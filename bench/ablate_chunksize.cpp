@@ -1,0 +1,47 @@
+// Ablation: fixed-size chunking granularity [19].
+//
+// The chunk ("load") size trades scheduling overhead (one GA atomic per
+// claim) against balance (large trailing chunks straggle).  The paper
+// fixes a chunk size; this ablation sweeps it at P = 8 and P = 32 so the
+// sweet spot and both failure modes are visible.
+#include "sva/index/inverted_index.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using sva::corpus::CorpusKind;
+  svabench::banner("Ablation: fixed-size chunking granularity (indexing, TREC-like S1)");
+
+  const auto& sources = svabench::corpus_for(CorpusKind::kTrecLike, 0);
+
+  sva::Table table({"chunk_fields", "procs", "index_modeled_s", "imbalance", "loads_total"});
+  for (const std::size_t chunk : {1u, 8u, 32u, 128u, 512u, 4096u}) {
+    for (int nprocs : {8, 32}) {
+      auto index_time = std::make_shared<double>(0.0);
+      auto report = std::make_shared<sva::index::LoadBalanceReport>();
+      sva::ga::spmd_run(nprocs, sva::ga::itanium_cluster_model(), [&](sva::ga::Context& ctx) {
+        const auto scan =
+            sva::text::scan_sources(ctx, sources, svabench::bench_engine_config().tokenizer);
+        ctx.barrier();
+        const double t0 = ctx.vtime_raw();
+        sva::index::IndexingConfig config;
+        config.chunk_fields = chunk;
+        const auto result = sva::index::build_inverted_index(
+            ctx, scan.forward, scan.vocabulary->size(), config);
+        ctx.barrier();
+        if (ctx.rank() == 0) {
+          *index_time = ctx.vtime_raw() - t0;
+          *report = result.load_balance;
+        }
+      });
+      std::int64_t loads = 0;
+      for (auto l : report->loads_claimed) loads += l;
+      table.add_row({sva::Table::num(static_cast<long long>(chunk)),
+                     sva::Table::num(static_cast<long long>(nprocs)),
+                     sva::Table::num(*index_time, 3),
+                     sva::Table::num(report->imbalance(), 3),
+                     sva::Table::num(static_cast<long long>(loads))});
+    }
+  }
+  svabench::emit("ablate_chunksize", table);
+  return 0;
+}

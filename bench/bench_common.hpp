@@ -1,0 +1,102 @@
+// Shared harness for the figure-reproduction benchmarks.
+//
+// Every figure binary sweeps processor counts P ∈ {1,2,4,8,16,32} over
+// the two dataset families at three problem sizes whose ratios match the
+// paper's (PubMed 2.75:6.67:16.44 GB, TREC 1:4:8.21 GB).  Absolute sizes
+// are scaled down for the single-core host; set SVA_BENCH_S1_MB to grow
+// them (both families share the knob; TREC's S1 is 3/4 of PubMed's, close
+// to the paper's 1 GB vs 2.75 GB relation in spirit while keeping runtime
+// in budget).
+//
+// Results are printed as aligned tables mirroring the paper's series and
+// also written to bench_results/<figure>.csv.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sva/corpus/generator.hpp"
+#include "sva/engine/pipeline.hpp"
+#include "sva/util/stringutil.hpp"
+#include "sva/util/table.hpp"
+
+namespace svabench {
+
+inline const std::vector<int>& proc_counts() {
+  static const std::vector<int> kProcs = {1, 2, 4, 8, 16, 32};
+  return kProcs;
+}
+
+inline std::size_t s1_megabytes() {
+  if (const char* env = std::getenv("SVA_BENCH_S1_MB")) {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  return 3;  // keeps a full figure sweep around a couple of minutes
+}
+
+inline sva::corpus::CorpusSpec spec_for(sva::corpus::CorpusKind kind, int size_index) {
+  const std::size_t s1 = s1_megabytes() << 20;
+  return kind == sva::corpus::CorpusKind::kPubMedLike
+             ? sva::corpus::pubmed_like_spec(size_index, s1)
+             : sva::corpus::trec_like_spec(size_index, (s1 * 3) / 4);
+}
+
+/// Paper-analog labels for the three problem sizes.
+inline std::string size_label(sva::corpus::CorpusKind kind, int size_index) {
+  static const char* kPubmed[] = {"S1(~2.75GB-analog)", "S2(~6.67GB-analog)",
+                                  "S3(~16.44GB-analog)"};
+  static const char* kTrec[] = {"S1(~1GB-analog)", "S2(~4GB-analog)", "S3(~8.21GB-analog)"};
+  return kind == sva::corpus::CorpusKind::kPubMedLike ? kPubmed[size_index]
+                                                      : kTrec[size_index];
+}
+
+/// Corpus cache: generating S3 repeatedly would dominate the harness.
+inline const sva::corpus::SourceSet& corpus_for(sva::corpus::CorpusKind kind, int size_index) {
+  static std::map<std::pair<int, int>, std::unique_ptr<sva::corpus::SourceSet>> cache;
+  const auto key = std::make_pair(static_cast<int>(kind), size_index);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto set = std::make_unique<sva::corpus::SourceSet>(
+        sva::corpus::generate_corpus(spec_for(kind, size_index)));
+    it = cache.emplace(key, std::move(set)).first;
+  }
+  return *it->second;
+}
+
+/// Engine configuration used by all figure harnesses (matched across
+/// datasets; topic space sized for the scaled-down corpora).
+inline sva::engine::EngineConfig bench_engine_config() {
+  sva::engine::EngineConfig config;
+  config.topicality.num_major_terms = 800;
+  config.kmeans.k = 16;
+  config.kmeans.max_iterations = 32;
+  return config;
+}
+
+/// One pipeline execution at (kind, size, P) under the Itanium-cluster
+/// performance model.
+inline sva::engine::PipelineRun run_engine(sva::corpus::CorpusKind kind, int size_index,
+                                           int nprocs) {
+  return sva::engine::run_pipeline(nprocs, sva::ga::itanium_cluster_model(),
+                                   corpus_for(kind, size_index), bench_engine_config());
+}
+
+inline void emit(const std::string& figure, const sva::Table& table) {
+  std::cout << table.to_ascii() << '\n';
+  const std::string path = "bench_results/" + figure + ".csv";
+  table.write_csv(path);
+  std::cout << "wrote " << path << "\n\n";
+}
+
+inline void banner(const std::string& title) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "(modeled cluster time: measured per-rank compute + LogGP comm model;\n"
+               " shapes are the reproduction target, not absolute values)\n\n";
+}
+
+}  // namespace svabench

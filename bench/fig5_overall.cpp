@@ -1,0 +1,35 @@
+// Figure 5: overall wall-clock time of the text engine for PubMed and
+// TREC at three problem sizes each, P = 1..32.
+//
+// Paper's claim: time-to-solution drops almost linearly with processor
+// count for every size (PubMed plotted log-scale; the 16 GB/4-processor
+// point degrades from memory pressure, which our model does not emulate).
+#include "bench_common.hpp"
+
+int main() {
+  using sva::corpus::CorpusKind;
+  svabench::banner("Figure 5: overall timings (PubMed-like & TREC-like, 3 sizes)");
+
+  sva::Table table({"dataset", "size", "bytes", "procs", "modeled_s", "speedup_vs_p1"});
+  for (CorpusKind kind : {CorpusKind::kPubMedLike, CorpusKind::kTrecLike}) {
+    for (int size = 0; size < 3; ++size) {
+      double p1_time = 0.0;
+      for (int nprocs : svabench::proc_counts()) {
+        const auto run = svabench::run_engine(kind, size, nprocs);
+        const double t = run.modeled_seconds;
+        if (nprocs == 1) p1_time = t;
+        table.add_row({sva::corpus::corpus_kind_name(kind),
+                       svabench::size_label(kind, size),
+                       sva::format_bytes(svabench::corpus_for(kind, size).total_bytes()),
+                       sva::Table::num(static_cast<long long>(nprocs)),
+                       sva::Table::num(t, 3),
+                       sva::Table::num(p1_time > 0 ? p1_time / t : 1.0, 2)});
+        std::cout << "  [" << sva::corpus::corpus_kind_name(kind) << " " << size + 1 << "/3"
+                  << " P=" << nprocs << "] modeled " << sva::Table::num(t, 2) << " s (wall "
+                  << sva::Table::num(run.wall_seconds, 2) << " s)\n";
+      }
+    }
+  }
+  svabench::emit("fig5_overall", table);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 8: per-component speedup for PubMed and TREC at three problem
+// sizes: scanning, indexing, signature generation (topic + AM + DocVec),
+// clustering & projection.
+//
+// Paper's claim: every component scales close to linearly in its own
+// right, for every size, on both datasets.
+#include "bench_common.hpp"
+
+int main() {
+  using sva::corpus::CorpusKind;
+  svabench::banner("Figure 8: per-component speedups (both datasets, 3 sizes)");
+
+  sva::Table table({"dataset", "size", "procs", "scan_speedup", "index_speedup",
+                    "siggen_speedup", "clusproj_speedup"});
+
+  for (CorpusKind kind : {CorpusKind::kPubMedLike, CorpusKind::kTrecLike}) {
+    for (int size = 0; size < 3; ++size) {
+      double base_scan = 0.0, base_index = 0.0, base_sig = 0.0, base_clusproj = 0.0;
+      for (int nprocs : svabench::proc_counts()) {
+        const auto run = svabench::run_engine(kind, size, nprocs);
+        const auto& t = run.result.timings;
+        if (nprocs == 1) {
+          base_scan = t.scan;
+          base_index = t.index;
+          base_sig = t.signature_generation();
+          base_clusproj = t.clusproj;
+        }
+        table.add_row({sva::corpus::corpus_kind_name(kind),
+                       svabench::size_label(kind, size),
+                       sva::Table::num(static_cast<long long>(nprocs)),
+                       sva::Table::num(base_scan / t.scan, 2),
+                       sva::Table::num(base_index / t.index, 2),
+                       sva::Table::num(base_sig / t.signature_generation(), 2),
+                       sva::Table::num(base_clusproj / t.clusproj, 2)});
+      }
+    }
+  }
+  svabench::emit("fig8_component_speedups", table);
+  return 0;
+}

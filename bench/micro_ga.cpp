@@ -1,0 +1,112 @@
+// Microbenchmarks (google-benchmark) for the GA substrate primitives that
+// underpin the performance model: one-sided put/get, atomic
+// fetch-and-increment, collectives, and the distributed hashmap.
+// These measure *host* performance (real nanoseconds), complementing the
+// modeled-time figure harnesses.
+#include <benchmark/benchmark.h>
+
+#include "sva/ga/dist_hashmap.hpp"
+#include "sva/ga/global_array.hpp"
+#include "sva/ga/task_queue.hpp"
+
+namespace {
+
+using namespace sva::ga;
+
+void BM_SpmdLaunch(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    spmd_run(nprocs, [](Context&) {});
+  }
+}
+BENCHMARK(BM_SpmdLaunch)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_Barrier(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  const int iters = 64;
+  for (auto _ : state) {
+    spmd_run(nprocs, [&](Context& ctx) {
+      for (int i = 0; i < iters; ++i) ctx.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * iters);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AllreduceVector(benchmark::State& state) {
+  const int nprocs = 4;
+  const auto count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    spmd_run(nprocs, [&](Context& ctx) {
+      std::vector<double> v(count, 1.0);
+      ctx.allreduce_sum(v.data(), v.size());
+      benchmark::DoNotOptimize(v.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(count) * 8);
+}
+BENCHMARK(BM_AllreduceVector)->Arg(1024)->Arg(65536);
+
+void BM_GlobalArrayLocalPut(benchmark::State& state) {
+  const auto block = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    spmd_run(2, [&](Context& ctx) {
+      auto ga = GlobalArray<std::int64_t>::create(ctx, block * 2);
+      std::vector<std::int64_t> buf(block, 7);
+      const auto [b, e] = ga.local_row_range(ctx);
+      if (e > b) ga.put(ctx, b, std::span<const std::int64_t>(buf.data(), e - b));
+      ctx.barrier();
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(block) * 8);
+}
+BENCHMARK(BM_GlobalArrayLocalPut)->Arg(1024)->Arg(262144);
+
+void BM_FetchAddThroughput(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  const int increments = 512;
+  for (auto _ : state) {
+    spmd_run(nprocs, [&](Context& ctx) {
+      auto ga = GlobalArray<std::int64_t>::create(ctx, 1);
+      for (int i = 0; i < increments; ++i) benchmark::DoNotOptimize(ga.fetch_add(ctx, 0, 1));
+      ctx.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * increments * nprocs);
+}
+BENCHMARK(BM_FetchAddThroughput)->Arg(1)->Arg(4);
+
+void BM_HashmapInsertBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::vector<std::string> terms;
+  terms.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) terms.push_back("bench_term_" + std::to_string(i));
+  for (auto _ : state) {
+    spmd_run(4, [&](Context& ctx) {
+      auto map = DistHashmap::create(ctx);
+      benchmark::DoNotOptimize(map.insert_batch(ctx, terms));
+      ctx.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch) * 4);
+}
+BENCHMARK(BM_HashmapInsertBatch)->Arg(256)->Arg(8192);
+
+void BM_TaskQueueDrain(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  constexpr std::size_t kTasks = 4096;
+  for (auto _ : state) {
+    spmd_run(nprocs, [&](Context& ctx) {
+      auto queue = make_task_queue(ctx, Scheduling::kOwnerFirst, kTasks, 32);
+      while (queue->next(ctx)) {
+      }
+      ctx.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_TaskQueueDrain)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

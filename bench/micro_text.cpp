@@ -1,0 +1,92 @@
+// Microbenchmarks (google-benchmark) for the text-processing kernels:
+// tokenizer throughput, corpus generation, scanning and inversion.
+#include <benchmark/benchmark.h>
+
+#include "sva/corpus/generator.hpp"
+#include "sva/index/inverted_index.hpp"
+#include "sva/text/scanner.hpp"
+
+namespace {
+
+using namespace sva;
+
+corpus::CorpusSpec micro_spec(corpus::CorpusKind kind, std::size_t bytes) {
+  corpus::CorpusSpec spec;
+  spec.kind = kind;
+  spec.target_bytes = bytes;
+  spec.core_vocabulary = 4000;
+  spec.num_themes = 8;
+  spec.theme_vocabulary = 150;
+  return spec;
+}
+
+void BM_TokenizerThroughput(benchmark::State& state) {
+  const auto sources = corpus::generate_corpus(
+      micro_spec(corpus::CorpusKind::kPubMedLike, 1 << 20));
+  text::Tokenizer tokenizer;
+  std::vector<std::string> out;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    for (const auto& doc : sources.docs()) {
+      for (const auto& field : doc.fields) {
+        out.clear();
+        tokenizer.tokenize_into(field.text, out);
+        benchmark::DoNotOptimize(out.data());
+        bytes += field.text.size();
+      }
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_TokenizerThroughput);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  const auto kind = state.range(0) == 0 ? corpus::CorpusKind::kPubMedLike
+                                        : corpus::CorpusKind::kTrecLike;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto sources = corpus::generate_corpus(micro_spec(kind, 1 << 20));
+    benchmark::DoNotOptimize(sources.size());
+    bytes += sources.total_bytes();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.SetLabel(corpus::corpus_kind_name(kind));
+}
+BENCHMARK(BM_CorpusGeneration)->Arg(0)->Arg(1);
+
+void BM_ScanPipeline(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  const auto sources = corpus::generate_corpus(
+      micro_spec(corpus::CorpusKind::kPubMedLike, 2 << 20));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+      benchmark::DoNotOptimize(text::scan_sources(ctx, sources, {}).forward.total_terms);
+    });
+    bytes += sources.total_bytes();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ScanPipeline)->Arg(1)->Arg(4);
+
+void BM_InvertedIndexing(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  const auto sources = corpus::generate_corpus(
+      micro_spec(corpus::CorpusKind::kTrecLike, 2 << 20));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+      const auto scan = text::scan_sources(ctx, sources, {});
+      benchmark::DoNotOptimize(
+          index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size(), {})
+              .index.total_record_postings);
+    });
+    bytes += sources.total_bytes();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_InvertedIndexing)->Arg(1)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Interactive analysis session: the paper's "next frontier".
+//
+// §6 names interaction with massive datasets as the follow-on problem to
+// the parallel engine itself.  This example plays one analyst session on
+// top of a single engine pass, entirely through collective queries that
+// scale with the number of simulated processes:
+//
+//   1. run the engine on a TREC-like corpus;
+//   2. summarize every theme cluster (size, label, cohesion, the
+//      documents worth reading first);
+//   3. pick the largest theme and run "more like this" from its top
+//      representative;
+//   4. drill into that theme: re-cluster + re-project its documents and
+//      print the sub-landscape, the visual analog of query refinement.
+//
+//   ./interactive_analysis [nprocs] [megabytes]
+#include <cstdlib>
+#include <iostream>
+
+#include "sva/cluster/projection.hpp"
+#include "sva/corpus/generator.hpp"
+#include "sva/engine/pipeline.hpp"
+#include "sva/ga/runtime.hpp"
+#include "sva/query/explore.hpp"
+#include "sva/query/similarity.hpp"
+#include "sva/util/stringutil.hpp"
+#include "sva/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const int nprocs = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::size_t megabytes = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 2;
+
+  const auto spec = sva::corpus::trec_like_spec(0, megabytes << 20);
+  const auto sources = sva::corpus::generate_corpus(spec);
+  std::cout << "TREC-like corpus: " << sources.size() << " documents, "
+            << sva::format_bytes(sources.total_bytes()) << ", " << nprocs
+            << " simulated processes\n\n";
+
+  sva::engine::EngineConfig config;
+  config.kmeans.k = 8;
+
+  sva::ga::spmd_run(nprocs, sva::ga::itanium_cluster_model(), [&](sva::ga::Context& ctx) {
+    const auto r = sva::engine::run_text_engine(ctx, sources, config);
+
+    // ---- 2. theme overview ---------------------------------------------
+    std::vector<sva::query::ClusterSummary> summaries;
+    for (std::size_t c = 0; c < r.clustering.centroids.rows(); ++c) {
+      summaries.push_back(sva::query::summarize_cluster(ctx, r.signatures,
+                                                        r.clustering.assignment, r.clustering,
+                                                        r.theme_labels, static_cast<int>(c)));
+    }
+
+    int biggest = 0;
+    if (ctx.rank() == 0) {
+      sva::Table overview({"cluster", "docs", "cohesion", "theme", "read-first"});
+      for (const auto& s : summaries) {
+        std::string label;
+        for (const auto& t : s.top_terms) label += (label.empty() ? "" : "/") + t;
+        std::string reps;
+        for (const auto d : s.representatives) {
+          reps += (reps.empty() ? "" : ",") + std::to_string(d);
+        }
+        overview.add_row({sva::Table::num(static_cast<long long>(s.cluster)),
+                          sva::Table::num(static_cast<long long>(s.size)),
+                          sva::Table::num(s.cohesion, 3), label, reps});
+        if (s.size > summaries[static_cast<std::size_t>(biggest)].size) biggest = s.cluster;
+      }
+      std::cout << "theme overview:\n" << overview.to_ascii() << '\n';
+    }
+    // Everyone agrees on the largest cluster (summaries are replicated).
+    for (std::size_t c = 1; c < summaries.size(); ++c) {
+      if (summaries[c].size > summaries[static_cast<std::size_t>(biggest)].size) {
+        biggest = static_cast<int>(c);
+      }
+    }
+
+    // ---- 3. "more like this" -------------------------------------------
+    const auto& focus = summaries[static_cast<std::size_t>(biggest)];
+    if (!focus.representatives.empty()) {
+      const auto probe = focus.representatives.front();
+      const auto hits = sva::query::similar_to_document(ctx, r.signatures, probe, 8);
+      if (ctx.rank() == 0) {
+        sva::Table similar({"doc", "cosine"});
+        for (const auto& h : hits) {
+          similar.add_row({sva::Table::num(static_cast<long long>(h.doc_id)),
+                           sva::Table::num(h.similarity, 4)});
+        }
+        std::cout << "documents most similar to doc " << probe << " (theme " << biggest
+                  << "):\n"
+                  << similar.to_ascii() << '\n';
+      }
+    }
+
+    // ---- 4. drill-down ----------------------------------------------------
+    sva::cluster::KMeansConfig sub;
+    sub.k = 4;
+    const auto drill = sva::query::drill_down_cluster(ctx, r.signatures,
+                                                      r.clustering.assignment, biggest, sub);
+    if (ctx.rank() == 0) {
+      std::cout << "drill-down into theme " << biggest << ": " << drill.subset_size
+                << " documents, re-clustered into " << drill.clustering.centroids.rows()
+                << " sub-themes\n\n";
+      const auto terrain =
+          sva::cluster::ThemeViewTerrain::from_points(drill.projection.all_xy, 40);
+      std::cout << "sub-landscape of theme " << biggest << ":\n" << terrain.to_ascii();
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,122 @@
+// PubMed-like ThemeView workflow: the paper's flagship scenario.
+//
+// Generates a PubMed-analog corpus (structured biomedical-abstract
+// records), runs the engine on a configurable number of simulated
+// processes, writes the 2-D document coordinates to disk — the engine's
+// "final primary product" — and renders the ThemeView terrain together
+// with per-theme statistics an analyst would start from.
+//
+//   ./pubmed_themeview [nprocs] [megabytes] [output_dir]
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "sva/cluster/projection.hpp"
+#include "sva/corpus/generator.hpp"
+#include "sva/engine/pipeline.hpp"
+#include "sva/util/stringutil.hpp"
+#include "sva/util/table.hpp"
+#include "sva/viz/contour.hpp"
+#include "sva/viz/peaks.hpp"
+#include "sva/viz/render.hpp"
+
+int main(int argc, char** argv) {
+  const int nprocs = argc > 1 ? std::atoi(argv[1]) : 8;
+  const std::size_t megabytes = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4;
+  const std::string out_dir = argc > 3 ? argv[3] : "themeview_out";
+
+  const auto spec = sva::corpus::pubmed_like_spec(0, megabytes << 20);
+  const auto sources = sva::corpus::generate_corpus(spec);
+  std::cout << "PubMed-like corpus: " << sources.size() << " abstracts, "
+            << sva::format_bytes(sources.total_bytes()) << "\n";
+
+  sva::engine::EngineConfig config;
+  config.topicality.num_major_terms = 900;
+  config.kmeans.k = 18;
+  // Biomedical corpora carry ID-ish fields; keep numerics out of the
+  // vocabulary and drop boilerplate.
+  config.tokenizer.drop_numeric = true;
+  config.tokenizer.use_stopwords = true;
+
+  const auto run =
+      sva::engine::run_pipeline(nprocs, sva::ga::itanium_cluster_model(), sources, config);
+  const auto& r = run.result;
+
+  // ---- persist the products -------------------------------------------
+  std::filesystem::create_directories(out_dir);
+  sva::cluster::write_coordinates(out_dir + "/coordinates.csv", r.projection.all_doc_ids,
+                                  r.projection.all_xy);
+
+  {
+    std::ofstream themes(out_dir + "/themes.txt");
+    for (std::size_t c = 0; c < r.theme_labels.size(); ++c) {
+      themes << "theme " << c << " (" << r.clustering.cluster_sizes[c] << " docs):";
+      for (const auto& term : r.theme_labels[c]) themes << ' ' << term;
+      themes << '\n';
+    }
+  }
+
+  // ---- report ----------------------------------------------------------
+  sva::Table summary({"metric", "value"});
+  summary.add_row({"records", sva::Table::num(static_cast<long long>(r.num_records))});
+  summary.add_row({"vocabulary", sva::Table::num(static_cast<long long>(r.num_terms))});
+  summary.add_row({"major terms (N)", sva::Table::num(r.selection.n())});
+  summary.add_row({"signature dims (M)", sva::Table::num(r.dimension)});
+  summary.add_row({"adaptive rounds", sva::Table::num(static_cast<long long>(r.signature_rounds))});
+  summary.add_row({"null signatures",
+                   sva::Table::num(static_cast<long long>(r.signatures.global_null_count))});
+  summary.add_row({"clusters", sva::Table::num(r.clustering.centroids.rows())});
+  summary.add_row({"kmeans iterations",
+                   sva::Table::num(static_cast<long long>(r.clustering.iterations))});
+  summary.add_row({"modeled time (s)", sva::Table::num(run.modeled_seconds, 3)});
+  summary.add_row({"wall time (s)", sva::Table::num(run.wall_seconds, 3)});
+  std::cout << summary.to_ascii() << '\n';
+
+  sva::Table comps({"component", "modeled_s", "pct"});
+  for (const auto& label : sva::engine::ComponentTimings::labels()) {
+    const double v = r.timings.by_label(label);
+    comps.add_row({label, sva::Table::num(v, 3),
+                   sva::Table::num(100.0 * v / r.timings.total(), 1)});
+  }
+  std::cout << comps.to_ascii() << '\n';
+
+  // ---- the annotated landscape ------------------------------------------
+  const auto terrain = sva::cluster::ThemeViewTerrain::from_points(r.projection.all_xy, 56);
+
+  // 2-D cluster centers from the gathered projection (rank 0 holds the
+  // full assignment), used to label the terrain's peaks with themes.
+  std::vector<double> centroid_xy(2 * r.theme_labels.size(), 0.0);
+  {
+    std::vector<double> count(r.theme_labels.size(), 0.0);
+    for (std::size_t i = 0; i < r.all_assignment.size(); ++i) {
+      const auto c = static_cast<std::size_t>(r.all_assignment[i]);
+      centroid_xy[2 * c] += r.projection.all_xy[2 * i];
+      centroid_xy[2 * c + 1] += r.projection.all_xy[2 * i + 1];
+      count[c] += 1.0;
+    }
+    for (std::size_t c = 0; c < count.size(); ++c) {
+      if (count[c] > 0.0) {
+        centroid_xy[2 * c] /= count[c];
+        centroid_xy[2 * c + 1] /= count[c];
+      }
+    }
+  }
+
+  auto peaks = sva::viz::find_peaks(terrain);
+  sva::viz::label_peaks(peaks, centroid_xy, r.theme_labels);
+
+  std::vector<sva::viz::Contour> contours;
+  for (const double level : sva::viz::contour_levels(terrain, 6)) {
+    for (auto& c : sva::viz::extract_contours(terrain, level)) contours.push_back(std::move(c));
+  }
+  sva::viz::write_ppm(terrain, out_dir + "/themeview.ppm");
+  sva::viz::write_svg(terrain, contours, peaks, r.projection.all_xy,
+                      out_dir + "/themeview.svg");
+
+  std::cout << "ThemeView terrain (numbered peaks = themes):\n"
+            << sva::viz::ascii_with_peaks(terrain, peaks);
+  std::cout << "\nwrote " << out_dir << "/coordinates.csv, themes.txt, themeview.ppm, "
+            << "themeview.svg\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: the whole engine in one page.
+//
+// Generates a small PubMed-like corpus, runs the parallel text engine on
+// 4 simulated processes, and prints the products an analyst would see:
+// corpus statistics, the discovered topic terms, theme labels per
+// cluster, and the ThemeView terrain built from the 2-D projection.
+//
+//   ./quickstart [nprocs] [megabytes]
+#include <cstdlib>
+#include <iostream>
+
+#include "sva/cluster/projection.hpp"
+#include "sva/corpus/generator.hpp"
+#include "sva/engine/pipeline.hpp"
+#include "sva/util/stringutil.hpp"
+
+int main(int argc, char** argv) {
+  const int nprocs = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::size_t megabytes = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 2;
+
+  // 1. A corpus (stand-in for a PubMed slice).
+  sva::corpus::CorpusSpec spec = sva::corpus::pubmed_like_spec(0, megabytes << 20);
+  const sva::corpus::SourceSet sources = sva::corpus::generate_corpus(spec);
+  std::cout << "corpus: " << sources.size() << " records, "
+            << sva::format_bytes(sources.total_bytes()) << "\n";
+
+  // 2. Engine configuration: defaults are sensible; shrink the topic
+  //    space a little for a small corpus.
+  sva::engine::EngineConfig config;
+  config.topicality.num_major_terms = 600;
+  config.kmeans.k = 12;
+
+  // 3. Run on an SPMD world of `nprocs` simulated processes.
+  const sva::engine::PipelineRun run =
+      sva::engine::run_pipeline(nprocs, sva::ga::itanium_cluster_model(), sources, config);
+  const sva::engine::EngineResult& r = run.result;
+
+  std::cout << "vocabulary: " << r.num_terms << " unique terms, "
+            << r.total_term_occurrences << " occurrences\n";
+  std::cout << "signature space: N=" << r.selection.n() << " major terms, M=" << r.dimension
+            << " dimensions (" << r.signature_rounds << " adaptive round(s))\n";
+
+  std::cout << "\ntop topic terms:";
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, r.selection.topic_terms.size()); ++i) {
+    std::cout << ' '
+              << r.vocabulary->terms[static_cast<std::size_t>(r.selection.topic_terms[i])];
+  }
+  std::cout << "\n\nthemes (cluster size -> label terms):\n";
+  for (std::size_t c = 0; c < r.theme_labels.size(); ++c) {
+    std::cout << "  [" << r.clustering.cluster_sizes[c] << "] ";
+    for (const auto& term : r.theme_labels[c]) std::cout << term << ' ';
+    std::cout << '\n';
+  }
+
+  // 4. The final primary product: 2-D coordinates per document, rendered
+  //    as a ThemeView-style terrain.
+  const auto terrain = sva::cluster::ThemeViewTerrain::from_points(r.projection.all_xy, 40);
+  std::cout << "\nThemeView terrain (" << r.projection.all_doc_ids.size()
+            << " documents):\n"
+            << terrain.to_ascii();
+
+  std::cout << "\nmodeled time: " << run.modeled_seconds << " s on " << nprocs
+            << " processes (wall " << run.wall_seconds << " s)\n";
+  std::cout << "components: scan=" << r.timings.scan << " index=" << r.timings.index
+            << " topic=" << r.timings.topic << " AM=" << r.timings.am
+            << " DocVec=" << r.timings.docvec << " ClusProj=" << r.timings.clusproj << "\n";
+  return 0;
+}

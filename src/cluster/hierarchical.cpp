@@ -1,0 +1,228 @@
+#include "sva/cluster/hierarchical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "sva/util/error.hpp"
+
+namespace sva::cluster {
+
+const char* linkage_name(Linkage linkage) {
+  switch (linkage) {
+    case Linkage::kSingle: return "single";
+    case Linkage::kComplete: return "complete";
+    case Linkage::kAverage: return "average";
+  }
+  return "?";
+}
+
+std::vector<std::int32_t> Dendrogram::cut_to_clusters(std::size_t k) const {
+  require(k >= 1 && k <= std::max<std::size_t>(num_leaves, 1),
+          "cut_to_clusters: k out of range");
+  // Union-find over leaves, applying merges in order until k components
+  // remain.  Merges are stored ascending by distance, so stopping early
+  // yields the k-cluster cut.
+  std::vector<std::size_t> parent(num_leaves + merges.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  const std::size_t merges_to_apply = num_leaves - k;
+  for (std::size_t m = 0; m < merges_to_apply; ++m) {
+    const auto& step = merges[m];
+    const std::size_t a = find(step.left);
+    const std::size_t b = find(step.right);
+    parent[a] = step.parent;
+    parent[b] = step.parent;
+  }
+
+  // Dense labels in first-leaf order (deterministic).
+  std::vector<std::int32_t> labels(num_leaves, -1);
+  std::vector<std::int64_t> root_label(parent.size(), -1);
+  std::int32_t next = 0;
+  for (std::size_t leaf = 0; leaf < num_leaves; ++leaf) {
+    const std::size_t root = find(leaf);
+    if (root_label[root] < 0) root_label[root] = next++;
+    labels[leaf] = static_cast<std::int32_t>(root_label[root]);
+  }
+  return labels;
+}
+
+std::size_t Dendrogram::adaptive_cut_k(std::size_t min_k, std::size_t max_k) const {
+  require(min_k >= 1 && min_k <= max_k, "adaptive_cut_k: bad bounds");
+  if (num_leaves <= min_k) return num_leaves;
+  max_k = std::min(max_k, num_leaves);
+
+  // Cutting before merge m leaves (num_leaves - m) clusters.  Find the
+  // largest relative jump between consecutive merge distances within the
+  // admissible k window; a big jump means the next merge glues together
+  // genuinely separate groups.
+  std::size_t best_k = min_k;
+  double best_gap = -1.0;
+  for (std::size_t k = min_k; k <= max_k; ++k) {
+    const std::size_t m = num_leaves - k;  // first merge NOT applied
+    if (m == 0 || m >= merges.size()) continue;
+    const double before = merges[m - 1].distance;
+    const double after = merges[m].distance;
+    const double gap = (after - before) / (before + 1e-12);
+    if (gap > best_gap) {
+      best_gap = gap;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+Dendrogram agglomerate(const Matrix& points, Linkage linkage) {
+  const std::size_t n = points.rows();
+  require(n >= 1, "agglomerate: empty input");
+  require(n <= 8192, "agglomerate: O(n^2) method limited to 8192 points");
+
+  Dendrogram out;
+  out.num_leaves = n;
+  if (n == 1) return out;
+
+  // Active cluster bookkeeping: distance matrix with Lance–Williams
+  // updates.  node_id maps active slot -> dendrogram node; size[] powers
+  // average linkage.
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = std::sqrt(squared_distance(points.row(i), points.row(j)));
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+  std::vector<bool> active(n, true);
+  std::vector<std::size_t> node_id(n);
+  std::iota(node_id.begin(), node_id.end(), std::size_t{0});
+  std::vector<double> size(n, 1.0);
+
+  std::size_t next_node = n;
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    // Closest active pair (deterministic tie-break on indices).
+    std::size_t best_i = 0, best_j = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (dist[i * n + j] < best_d) {
+          best_d = dist[i * n + j];
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+
+    out.merges.push_back({node_id[best_i], node_id[best_j], next_node, best_d});
+
+    // Lance–Williams update into slot best_i; retire best_j.
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == best_i || k == best_j) continue;
+      const double d_ik = dist[best_i * n + k];
+      const double d_jk = dist[best_j * n + k];
+      double d = 0.0;
+      switch (linkage) {
+        case Linkage::kSingle:
+          d = std::min(d_ik, d_jk);
+          break;
+        case Linkage::kComplete:
+          d = std::max(d_ik, d_jk);
+          break;
+        case Linkage::kAverage:
+          d = (size[best_i] * d_ik + size[best_j] * d_jk) / (size[best_i] + size[best_j]);
+          break;
+      }
+      dist[best_i * n + k] = d;
+      dist[k * n + best_i] = d;
+    }
+    size[best_i] += size[best_j];
+    node_id[best_i] = next_node++;
+    active[best_j] = false;
+  }
+  return out;
+}
+
+HierarchicalResult hierarchical_cluster(ga::Context& ctx, const Matrix& points,
+                                        const HierarchicalConfig& config) {
+  const std::size_t dim_local = points.rows() > 0 ? points.cols() : 0;
+  const auto dim = static_cast<std::size_t>(
+      ctx.allreduce_max(static_cast<std::int64_t>(dim_local)));
+  require(dim >= 1, "hierarchical_cluster: zero-dimensional points");
+
+  // Replicated strided sample (same scheme as k-means seeding): a fixed
+  // global budget split across ranks.
+  std::vector<double> local_sample;
+  {
+    const std::size_t quota = std::max<std::size_t>(
+        1, (config.seed_sample_total + static_cast<std::size_t>(ctx.nprocs()) - 1) /
+               static_cast<std::size_t>(ctx.nprocs()));
+    const std::size_t take = std::min(quota, points.rows());
+    if (take > 0) {
+      const std::size_t stride = std::max<std::size_t>(1, points.rows() / take);
+      for (std::size_t i = 0; i < points.rows() && local_sample.size() < take * dim;
+           i += stride) {
+        const auto row = points.row(i);
+        local_sample.insert(local_sample.end(), row.begin(), row.end());
+      }
+    }
+  }
+  const auto sample_flat = ctx.allgatherv(std::span<const double>(local_sample));
+  require(!sample_flat.empty(), "hierarchical_cluster: no points anywhere");
+  Matrix sample(sample_flat.size() / dim, dim);
+  std::copy(sample_flat.begin(), sample_flat.end(), sample.flat().begin());
+
+  HierarchicalResult result;
+  result.dendrogram = agglomerate(sample, config.linkage);
+
+  std::size_t k = config.k;
+  if (k == 0) k = result.dendrogram.adaptive_cut_k(config.min_k, config.max_k);
+  k = std::min(k, sample.rows());
+  result.k = k;
+  const auto sample_labels = result.dendrogram.cut_to_clusters(k);
+
+  // Cut-cluster centroids from the sample (identical on all ranks).
+  result.centroids = Matrix(k, dim);
+  std::vector<double> counts(k, 0.0);
+  for (std::size_t i = 0; i < sample.rows(); ++i) {
+    const auto c = static_cast<std::size_t>(sample_labels[i]);
+    axpy(1.0, sample.row(i), result.centroids.row(c));
+    counts[c] += 1.0;
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0.0) {
+      for (double& v : result.centroids.row(c)) v /= counts[c];
+    }
+  }
+
+  // Assign local points to nearest cut-cluster centroid.
+  result.assignment.assign(points.rows(), 0);
+  std::vector<std::int64_t> local_sizes(k, 0);
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      const double d = squared_distance(points.row(i), result.centroids.row(c));
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    result.assignment[i] = static_cast<std::int32_t>(best);
+    ++local_sizes[best];
+  }
+  ctx.allreduce_sum(local_sizes.data(), local_sizes.size());
+  result.cluster_sizes = std::move(local_sizes);
+  return result;
+}
+
+}  // namespace sva::cluster

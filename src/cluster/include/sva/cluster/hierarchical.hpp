@@ -1,0 +1,79 @@
+// Agglomerative hierarchical clustering (§3.5): "other types of
+// clustering could be applied that would enable different means to
+// explore the relationships of the data (e.g., hierarchical clustering:
+// single-link, complete, and various adaptive cutting approaches)."
+//
+// We implement Lance–Williams agglomeration with single, complete and
+// average linkage plus two cutting strategies (fixed cluster count and a
+// merge-distance gap cut).  The dendrogram is built serially over a
+// replicated sample — exactly how IN-SPIRE-style tools use hierarchies
+// for exploration — and the distributed wrapper assigns every rank-local
+// point to the nearest cut-cluster centroid, mirroring the k-means data
+// flow so the engine can swap backends.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sva/ga/runtime.hpp"
+#include "sva/util/mathutil.hpp"
+
+namespace sva::cluster {
+
+enum class Linkage { kSingle, kComplete, kAverage };
+
+const char* linkage_name(Linkage linkage);
+
+/// One merge step of the dendrogram: nodes `left` and `right` join at
+/// `distance` to form node `parent`.  Leaves are nodes [0, n); internal
+/// nodes are numbered n, n+1, ... in merge order.
+struct DendrogramMerge {
+  std::size_t left = 0;
+  std::size_t right = 0;
+  std::size_t parent = 0;
+  double distance = 0.0;
+};
+
+struct Dendrogram {
+  std::size_t num_leaves = 0;
+  std::vector<DendrogramMerge> merges;  ///< n-1 entries, ascending distance
+
+  /// Leaf labels after cutting to exactly `k` clusters (k in [1, n]).
+  /// Labels are dense in [0, k) and deterministic.
+  [[nodiscard]] std::vector<std::int32_t> cut_to_clusters(std::size_t k) const;
+
+  /// Adaptive cut: chooses k at the largest relative gap between
+  /// consecutive merge distances (bounded to [min_k, max_k]).
+  [[nodiscard]] std::size_t adaptive_cut_k(std::size_t min_k, std::size_t max_k) const;
+};
+
+/// Serial agglomeration over the rows of `points` (O(n^2) memory; intended
+/// for samples/centroids, n up to a few thousand).
+Dendrogram agglomerate(const Matrix& points, Linkage linkage);
+
+struct HierarchicalConfig {
+  Linkage linkage = Linkage::kAverage;
+  std::size_t k = 16;        ///< clusters after cutting (0 => adaptive cut)
+  std::size_t min_k = 4;     ///< adaptive-cut lower bound
+  std::size_t max_k = 64;    ///< adaptive-cut upper bound
+  /// Global size of the replicated sample (split across ranks); the
+  /// O(n^2) agglomeration runs on this sample, so keeping it
+  /// P-independent keeps the stage's cost P-independent too.
+  std::size_t seed_sample_total = 1024;
+};
+
+/// Mirrors KMeansResult so the engine can treat backends uniformly.
+struct HierarchicalResult {
+  Matrix centroids;                         ///< k × dim (cut-cluster means)
+  std::vector<std::int32_t> assignment;     ///< local points -> cluster
+  std::vector<std::int64_t> cluster_sizes;  ///< global
+  std::size_t k = 0;
+  Dendrogram dendrogram;                    ///< over the replicated sample
+};
+
+/// Collective: builds the dendrogram on a replicated sample, cuts it, and
+/// assigns every local point to the nearest cut-cluster centroid.
+HierarchicalResult hierarchical_cluster(ga::Context& ctx, const Matrix& points,
+                                        const HierarchicalConfig& config = {});
+
+}  // namespace sva::cluster

@@ -1,0 +1,54 @@
+// Distributed k-means (§3.5), after Dhillon & Modha's distributed-memory
+// formulation [9]: every rank assigns its own points to the replicated
+// centroids, partial centroid sums are merged with an Allreduce, and all
+// ranks recompute identical centroids.  Seeding is deterministic
+// k-means++ over a replicated sample, so results are independent of the
+// processor count.
+//
+// "The intent of clustering is to produce anchoring vectors (centroids)
+// in the M-dimensional space that represent the major thematic
+// groupings" — the centroids also feed the PCA projection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sva/ga/runtime.hpp"
+#include "sva/util/mathutil.hpp"
+
+namespace sva::cluster {
+
+struct KMeansConfig {
+  std::size_t k = 16;
+  int max_iterations = 64;
+  /// Convergence: stop when total squared centroid movement falls below
+  /// this threshold.
+  double tolerance = 1e-8;
+  std::uint64_t seed = 0x5EEDFACE;
+  /// Global size of the replicated seeding sample (split evenly across
+  /// ranks).  A P-independent total keeps the redundant per-rank seeding
+  /// work constant as the world grows — with a fixed per-rank quota the
+  /// seeding pass would cost O(P) on every rank and the clustering stage
+  /// would anti-scale.
+  std::size_t seed_sample_total = 2048;
+};
+
+struct KMeansResult {
+  Matrix centroids;                       ///< k × dim, replicated
+  std::vector<std::int32_t> assignment;   ///< local points → cluster id
+  std::vector<std::int64_t> cluster_sizes;  ///< global, length k
+  int iterations = 0;
+  double inertia = 0.0;  ///< global sum of squared point-centroid distances
+};
+
+/// Collective: clusters the rank-local `points` (rows) into k groups.
+/// All ranks receive identical centroids/cluster_sizes; `assignment` is
+/// row-aligned with the local points.
+KMeansResult kmeans_cluster(ga::Context& ctx, const Matrix& points,
+                            const KMeansConfig& config = {});
+
+/// Deterministic k-means++ seeding over a replicated sample (exposed for
+/// tests).  Returns k × dim centroids.
+Matrix kmeanspp_seed(const Matrix& sample, std::size_t k, std::uint64_t seed);
+
+}  // namespace sva::cluster

@@ -1,0 +1,33 @@
+// Principal component analysis over cluster centroids (§3.5).
+//
+// "Our approach for dimensionality reduction was to use the cluster
+// centroids and employ principal component analysis, where we can use the
+// first two principal components to project the M space onto those
+// principal components."  Using the K centroids (a representative sample
+// of the document space) instead of all documents makes the covariance
+// problem tiny and identical on every rank, so each process computes the
+// transformation matrix redundantly with zero communication.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sva/util/mathutil.hpp"
+
+namespace sva::cluster {
+
+struct PcaResult {
+  std::vector<double> mean;         ///< dim
+  Matrix components;                ///< num_components × dim, orthonormal
+  std::vector<double> eigenvalues;  ///< descending, one per component
+
+  /// Projects a dim-vector onto the principal components.
+  [[nodiscard]] std::vector<double> project(std::span<const double> point) const;
+};
+
+/// Computes PCA of the rows of `data` (typically cluster centroids) and
+/// keeps the top `num_components` components.  Purely local/deterministic.
+PcaResult pca_fit(const Matrix& data, std::size_t num_components = 2);
+
+}  // namespace sva::cluster

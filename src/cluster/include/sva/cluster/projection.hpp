@@ -1,0 +1,88 @@
+// 2-D projection and the ThemeView terrain (§3.5, Figure 2).
+//
+// Every rank projects its own documents' signatures through the
+// (replicated) PCA transformation; "the master process (rank 0) collects
+// all the coordinates and writes them to a file, which is used to
+// construct the ThemeView visualization."  The terrain itself — a
+// density landscape where "mountains" are dominant themes — is computed
+// by Gaussian splatting of the projected points onto a grid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sva/cluster/pca.hpp"
+#include "sva/ga/runtime.hpp"
+#include "sva/util/mathutil.hpp"
+
+namespace sva::cluster {
+
+struct ProjectionResult {
+  /// Number of projected components (2 for ThemeView, 3 supported).
+  std::size_t components = 2;
+  /// Local coordinates, interleaved (x0, y0[, z0], x1, ...).
+  std::vector<double> local_xy;
+  std::vector<std::uint64_t> local_doc_ids;
+
+  /// Rank 0 only: the gathered coordinates of every document (the
+  /// engine's "final primary product"), interleaved, plus aligned ids.
+  std::vector<double> all_xy;
+  std::vector<std::uint64_t> all_doc_ids;
+};
+
+/// Collective: projects local signature rows through `pca` (its component
+/// count, 2 or 3, determines the output dimension) and gathers all
+/// coordinates on rank 0.
+ProjectionResult project_documents(ga::Context& ctx, const Matrix& signatures,
+                                   const std::vector<std::uint64_t>& doc_ids,
+                                   const PcaResult& pca);
+
+/// Writes "doc_id,x,y[,z]" lines (rank 0's gathered output).
+void write_coordinates(const std::string& path, const std::vector<std::uint64_t>& doc_ids,
+                       const std::vector<double>& xy, std::size_t components = 2);
+
+/// Scale-independent density landscape built from 2-D points.
+class ThemeViewTerrain {
+ public:
+  /// World-coordinate window the grid covers (robust 2nd..98th
+  /// percentile extent of the input points).
+  struct Extent {
+    double min_x = 0.0;
+    double max_x = 1.0;
+    double min_y = 0.0;
+    double max_y = 1.0;
+  };
+
+  /// Splats `xy` (interleaved) onto a grid×grid landscape with a Gaussian
+  /// kernel whose radius is `sigma_cells` grid cells.
+  static ThemeViewTerrain from_points(const std::vector<double>& xy, std::size_t grid = 48,
+                                      double sigma_cells = 1.5);
+
+  [[nodiscard]] std::size_t grid() const { return grid_; }
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const {
+    return density_[row * grid_ + col];
+  }
+  [[nodiscard]] double peak() const;
+  [[nodiscard]] const std::vector<double>& densities() const { return density_; }
+  [[nodiscard]] const Extent& extent() const { return extent_; }
+
+  /// Maps a world coordinate into (col, row) grid space (fractional;
+  /// points outside the robust extent land outside [0, grid-1]).
+  [[nodiscard]] std::pair<double, double> to_grid(double x, double y) const;
+
+  /// Maps a (col, row) grid coordinate back to world space.
+  [[nodiscard]] std::pair<double, double> to_world(double col, double row) const;
+
+  /// ASCII rendering (one char per cell, darker = denser) for examples
+  /// and quick inspection.
+  [[nodiscard]] std::string to_ascii() const;
+
+ private:
+  std::size_t grid_ = 0;
+  std::vector<double> density_;
+  Extent extent_;
+};
+
+}  // namespace sva::cluster

@@ -1,0 +1,24 @@
+// External clustering-quality metrics.
+//
+// The synthetic corpora carry ground-truth latent themes, so the
+// reproduction can quantify what the paper only shows visually: that the
+// signature space + clustering recover real thematic structure.  Used by
+// tests and by the association-weighting ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sva::cluster {
+
+/// Purity: fraction of points whose cluster's majority truth label
+/// matches their own.  1.0 = perfect, ~1/k for random.
+double purity(const std::vector<std::int32_t>& assignment,
+              const std::vector<std::int32_t>& truth);
+
+/// Normalized mutual information in [0, 1] (arithmetic-mean
+/// normalization).  Robust to cluster-count mismatch, unlike purity.
+double normalized_mutual_information(const std::vector<std::int32_t>& assignment,
+                                     const std::vector<std::int32_t>& truth);
+
+}  // namespace sva::cluster

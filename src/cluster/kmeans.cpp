@@ -1,0 +1,200 @@
+#include "sva/cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sva/util/error.hpp"
+#include "sva/util/rng.hpp"
+
+namespace sva::cluster {
+
+namespace {
+
+std::size_t nearest_centroid(std::span<const double> point, const Matrix& centroids) {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids.rows(); ++c) {
+    const double d = squared_distance(point, centroids.row(c));
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double nearest_distance(std::span<const double> point, const Matrix& centroids,
+                        std::size_t upto) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < upto; ++c) {
+    best = std::min(best, squared_distance(point, centroids.row(c)));
+  }
+  return best;
+}
+
+}  // namespace
+
+Matrix kmeanspp_seed(const Matrix& sample, std::size_t k, std::uint64_t seed) {
+  require(sample.rows() >= 1, "kmeanspp_seed: empty sample");
+  const std::size_t dim = sample.cols();
+  Matrix centroids(k, dim);
+  Xoshiro256 rng(seed);
+
+  // First centroid: uniform pick.
+  {
+    const std::size_t first = rng.below(sample.rows());
+    auto dst = centroids.row(0);
+    auto src = sample.row(first);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+
+  std::vector<double> d2(sample.rows());
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < sample.rows(); ++i) {
+      d2[i] = nearest_distance(sample.row(i), centroids, c);
+      total += d2[i];
+    }
+    std::size_t pick = 0;
+    if (total > 0.0) {
+      // D^2-weighted pick.
+      double u = rng.uniform() * total;
+      for (std::size_t i = 0; i < sample.rows(); ++i) {
+        u -= d2[i];
+        if (u <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      pick = rng.below(sample.rows());
+    }
+    auto dst = centroids.row(c);
+    auto src = sample.row(pick);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return centroids;
+}
+
+KMeansResult kmeans_cluster(ga::Context& ctx, const Matrix& points,
+                            const KMeansConfig& config) {
+  require(config.k >= 1, "kmeans_cluster: k must be >= 1");
+  const std::size_t dim_local = points.rows() > 0 ? points.cols() : 0;
+  // All ranks must agree on the dimension even if some hold no points.
+  const auto dim = static_cast<std::size_t>(
+      ctx.allreduce_max(static_cast<std::int64_t>(dim_local)));
+  require(dim >= 1, "kmeans_cluster: zero-dimensional points");
+
+  // ---- replicated seeding sample --------------------------------------
+  // Strided deterministic subsample per rank, gathered everywhere.  The
+  // per-rank quota divides a fixed global budget so seeding work does not
+  // grow with the processor count.
+  std::vector<double> local_sample;
+  {
+    const std::size_t quota = std::max<std::size_t>(
+        1, (config.seed_sample_total + static_cast<std::size_t>(ctx.nprocs()) - 1) /
+               static_cast<std::size_t>(ctx.nprocs()));
+    const std::size_t take = std::min(quota, points.rows());
+    if (take > 0) {
+      const std::size_t stride = std::max<std::size_t>(1, points.rows() / take);
+      for (std::size_t i = 0; i < points.rows() && local_sample.size() < take * dim;
+           i += stride) {
+        const auto row = points.row(i);
+        local_sample.insert(local_sample.end(), row.begin(), row.end());
+      }
+    }
+  }
+  const std::vector<double> sample_flat =
+      ctx.allgatherv(std::span<const double>(local_sample));
+  require(!sample_flat.empty(), "kmeans_cluster: no points anywhere");
+
+  Matrix sample(sample_flat.size() / dim, dim);
+  std::copy(sample_flat.begin(), sample_flat.end(), sample.flat().begin());
+
+  const std::size_t k = std::min(config.k, sample.rows());
+  KMeansResult result;
+  result.centroids = kmeanspp_seed(sample, k, config.seed);
+  result.assignment.assign(points.rows(), 0);
+  result.cluster_sizes.assign(k, 0);
+
+  // ---- Lloyd iterations with Allreduce merges --------------------------
+  std::vector<double> sums(k * dim);
+  std::vector<std::int64_t> counts(k);
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    double local_inertia = 0.0;
+
+    for (std::size_t i = 0; i < points.rows(); ++i) {
+      const auto row = points.row(i);
+      const std::size_t c = nearest_centroid(row, result.centroids);
+      result.assignment[i] = static_cast<std::int32_t>(c);
+      local_inertia += squared_distance(row, result.centroids.row(c));
+      double* s = sums.data() + c * dim;
+      for (std::size_t d = 0; d < dim; ++d) s[d] += row[d];
+      ++counts[c];
+    }
+
+    ctx.allreduce_sum(sums.data(), sums.size());
+    ctx.allreduce_sum(counts.data(), counts.size());
+    double inertia = local_inertia;
+    ctx.allreduce_sum(&inertia, 1);
+    result.inertia = inertia;
+
+    double movement = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      auto centroid = result.centroids.row(c);
+      if (counts[c] > 0) {
+        for (std::size_t d = 0; d < dim; ++d) {
+          const double updated = sums[c * dim + d] / static_cast<double>(counts[c]);
+          const double delta = updated - centroid[d];
+          movement += delta * delta;
+          centroid[d] = updated;
+        }
+      } else {
+        // Empty cluster: reseed from the replicated sample with the point
+        // farthest from its nearest centroid (identical on all ranks).
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < sample.rows(); ++i) {
+          const double d = nearest_distance(sample.row(i), result.centroids, k);
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        const auto src = sample.row(far);
+        for (std::size_t d = 0; d < dim; ++d) {
+          const double delta = src[d] - centroid[d];
+          movement += delta * delta;
+          centroid[d] = src[d];
+        }
+      }
+    }
+
+    std::copy(counts.begin(), counts.end(), result.cluster_sizes.begin());
+    if (movement < config.tolerance) break;
+  }
+
+  // Final assignment against the converged centroids.
+  std::fill(counts.begin(), counts.end(), 0);
+  double local_inertia = 0.0;
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    const auto row = points.row(i);
+    const std::size_t c = nearest_centroid(row, result.centroids);
+    result.assignment[i] = static_cast<std::int32_t>(c);
+    local_inertia += squared_distance(row, result.centroids.row(c));
+    ++counts[c];
+  }
+  ctx.allreduce_sum(counts.data(), counts.size());
+  double inertia = local_inertia;
+  ctx.allreduce_sum(&inertia, 1);
+  result.inertia = inertia;
+  result.cluster_sizes.assign(counts.begin(), counts.end());
+  return result;
+}
+
+}  // namespace sva::cluster

@@ -1,0 +1,55 @@
+#include "sva/cluster/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sva/util/error.hpp"
+
+namespace sva::cluster {
+
+std::vector<double> PcaResult::project(std::span<const double> point) const {
+  require(point.size() == mean.size(), "PcaResult::project: dimension mismatch");
+  std::vector<double> out(components.rows(), 0.0);
+  std::vector<double> centered(point.size());
+  for (std::size_t d = 0; d < point.size(); ++d) centered[d] = point[d] - mean[d];
+  for (std::size_t c = 0; c < components.rows(); ++c) {
+    out[c] = dot(centered, components.row(c));
+  }
+  return out;
+}
+
+PcaResult pca_fit(const Matrix& data, std::size_t num_components) {
+  require(data.rows() >= 1, "pca_fit: empty data");
+  require(num_components >= 1 && num_components <= data.cols(),
+          "pca_fit: invalid component count");
+
+  PcaResult result;
+  result.mean = column_mean(data);
+  const Matrix cov = covariance(data, result.mean);
+  const EigenResult eig = jacobi_eigen(cov);
+
+  result.components = Matrix(num_components, data.cols());
+  result.eigenvalues.resize(num_components);
+  for (std::size_t c = 0; c < num_components; ++c) {
+    result.eigenvalues[c] = eig.values[c];
+    auto dst = result.components.row(c);
+    auto src = eig.vectors.row(c);
+    std::copy(src.begin(), src.end(), dst.begin());
+    // Deterministic sign convention: make the largest-magnitude entry
+    // positive so results are stable across eigensolver quirks.
+    double max_abs = 0.0;
+    double signed_val = 1.0;
+    for (double v : dst) {
+      if (std::abs(v) > max_abs) {
+        max_abs = std::abs(v);
+        signed_val = v;
+      }
+    }
+    if (signed_val < 0.0) {
+      for (double& v : dst) v = -v;
+    }
+  }
+  return result;
+}
+
+}  // namespace sva::cluster

@@ -1,0 +1,144 @@
+#include "sva/cluster/projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "sva/util/error.hpp"
+
+namespace sva::cluster {
+
+ProjectionResult project_documents(ga::Context& ctx, const Matrix& signatures,
+                                   const std::vector<std::uint64_t>& doc_ids,
+                                   const PcaResult& pca) {
+  require(doc_ids.size() == signatures.rows(),
+          "project_documents: ids/signatures mismatch");
+  const std::size_t components = pca.components.rows();
+  require(components >= 2 && components <= 3,
+          "project_documents: need 2 or 3 components");
+
+  ProjectionResult result;
+  result.components = components;
+  result.local_xy.reserve(signatures.rows() * components);
+  result.local_doc_ids = doc_ids;
+
+  for (std::size_t i = 0; i < signatures.rows(); ++i) {
+    const auto p = pca.project(signatures.row(i));
+    result.local_xy.insert(result.local_xy.end(), p.begin(), p.end());
+  }
+
+  result.all_xy = ctx.gatherv(std::span<const double>(result.local_xy), 0);
+  result.all_doc_ids = ctx.gatherv(std::span<const std::uint64_t>(doc_ids), 0);
+  return result;
+}
+
+void write_coordinates(const std::string& path, const std::vector<std::uint64_t>& doc_ids,
+                       const std::vector<double>& xy, std::size_t components) {
+  require(components == 2 || components == 3, "write_coordinates: 2 or 3 components");
+  require(xy.size() == doc_ids.size() * components, "write_coordinates: size mismatch");
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p);
+  require(out.good(), "write_coordinates: cannot open " + path);
+  out << (components == 2 ? "doc_id,x,y\n" : "doc_id,x,y,z\n");
+  for (std::size_t i = 0; i < doc_ids.size(); ++i) {
+    out << doc_ids[i];
+    for (std::size_t c = 0; c < components; ++c) out << ',' << xy[components * i + c];
+    out << '\n';
+  }
+}
+
+ThemeViewTerrain ThemeViewTerrain::from_points(const std::vector<double>& xy,
+                                               std::size_t grid, double sigma_cells) {
+  require(grid >= 4, "ThemeViewTerrain: grid too small");
+  require(xy.size() % 2 == 0, "ThemeViewTerrain: xy must be interleaved pairs");
+
+  ThemeViewTerrain terrain;
+  terrain.grid_ = grid;
+  terrain.density_.assign(grid * grid, 0.0);
+  if (xy.empty()) return terrain;
+
+  // Robust extent: clip to the 2nd..98th percentile so a handful of
+  // outlying documents cannot compress the landscape into one cell.
+  std::vector<double> xs, ys;
+  xs.reserve(xy.size() / 2);
+  ys.reserve(xy.size() / 2);
+  for (std::size_t i = 0; i < xy.size(); i += 2) {
+    xs.push_back(xy[i]);
+    ys.push_back(xy[i + 1]);
+  }
+  auto percentile = [](std::vector<double>& v, double p) {
+    const auto idx = static_cast<std::ptrdiff_t>(p * static_cast<double>(v.size() - 1));
+    std::nth_element(v.begin(), v.begin() + idx, v.end());
+    return v[static_cast<std::size_t>(idx)];
+  };
+  const double min_x = percentile(xs, 0.02);
+  const double max_x = percentile(xs, 0.98);
+  const double min_y = percentile(ys, 0.02);
+  const double max_y = percentile(ys, 0.98);
+  const double span_x = std::max(max_x - min_x, 1e-12);
+  const double span_y = std::max(max_y - min_y, 1e-12);
+  terrain.extent_ = {min_x, min_x + span_x, min_y, min_y + span_y};
+
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma_cells)));
+  const double inv_two_sigma2 = 1.0 / (2.0 * sigma_cells * sigma_cells);
+  const auto g = static_cast<double>(grid - 1);
+
+  for (std::size_t i = 0; i < xy.size(); i += 2) {
+    const double cx = (xy[i] - min_x) / span_x * g;
+    const double cy = (xy[i + 1] - min_y) / span_y * g;
+    const int ix = static_cast<int>(std::lround(cx));
+    const int iy = static_cast<int>(std::lround(cy));
+    for (int dy = -radius; dy <= radius; ++dy) {
+      const int row = iy + dy;
+      if (row < 0 || row >= static_cast<int>(grid)) continue;
+      for (int dx = -radius; dx <= radius; ++dx) {
+        const int col = ix + dx;
+        if (col < 0 || col >= static_cast<int>(grid)) continue;
+        const double ddx = cx - static_cast<double>(col);
+        const double ddy = cy - static_cast<double>(row);
+        terrain.density_[static_cast<std::size_t>(row) * grid +
+                         static_cast<std::size_t>(col)] +=
+            std::exp(-(ddx * ddx + ddy * ddy) * inv_two_sigma2);
+      }
+    }
+  }
+  return terrain;
+}
+
+std::pair<double, double> ThemeViewTerrain::to_grid(double x, double y) const {
+  const auto g = static_cast<double>(grid_ - 1);
+  return {(x - extent_.min_x) / (extent_.max_x - extent_.min_x) * g,
+          (y - extent_.min_y) / (extent_.max_y - extent_.min_y) * g};
+}
+
+std::pair<double, double> ThemeViewTerrain::to_world(double col, double row) const {
+  const auto g = static_cast<double>(grid_ - 1);
+  return {extent_.min_x + col / g * (extent_.max_x - extent_.min_x),
+          extent_.min_y + row / g * (extent_.max_y - extent_.min_y)};
+}
+
+double ThemeViewTerrain::peak() const {
+  double m = 0.0;
+  for (double d : density_) m = std::max(m, d);
+  return m;
+}
+
+std::string ThemeViewTerrain::to_ascii() const {
+  static const char kRamp[] = " .:-=+*#%@";
+  const double max_d = peak();
+  std::string out;
+  out.reserve(grid_ * (grid_ + 1));
+  for (std::size_t row = 0; row < grid_; ++row) {
+    for (std::size_t col = 0; col < grid_; ++col) {
+      const double v = max_d > 0.0 ? at(row, col) / max_d : 0.0;
+      const auto idx = static_cast<std::size_t>(v * 9.0);
+      out += kRamp[std::min<std::size_t>(idx, 9)];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sva::cluster

@@ -1,0 +1,64 @@
+#include "sva/cluster/quality.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "sva/util/error.hpp"
+
+namespace sva::cluster {
+
+double purity(const std::vector<std::int32_t>& assignment,
+              const std::vector<std::int32_t>& truth) {
+  require(assignment.size() == truth.size(), "purity: size mismatch");
+  if (assignment.empty()) return 1.0;
+
+  std::map<std::int32_t, std::map<std::int32_t, std::size_t>> cluster_truth_counts;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    ++cluster_truth_counts[assignment[i]][truth[i]];
+  }
+  std::size_t majority_total = 0;
+  for (const auto& [cluster, counts] : cluster_truth_counts) {
+    std::size_t best = 0;
+    for (const auto& [label, count] : counts) best = std::max(best, count);
+    majority_total += best;
+  }
+  return static_cast<double>(majority_total) / static_cast<double>(assignment.size());
+}
+
+double normalized_mutual_information(const std::vector<std::int32_t>& assignment,
+                                     const std::vector<std::int32_t>& truth) {
+  require(assignment.size() == truth.size(), "NMI: size mismatch");
+  const auto n = static_cast<double>(assignment.size());
+  if (assignment.empty()) return 1.0;
+
+  std::map<std::int32_t, double> pa, pb;
+  std::map<std::pair<std::int32_t, std::int32_t>, double> pab;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    pa[assignment[i]] += 1.0;
+    pb[truth[i]] += 1.0;
+    pab[{assignment[i], truth[i]}] += 1.0;
+  }
+
+  double mi = 0.0;
+  for (const auto& [key, count] : pab) {
+    const double p_joint = count / n;
+    const double p_a = pa[key.first] / n;
+    const double p_b = pb[key.second] / n;
+    mi += p_joint * std::log(p_joint / (p_a * p_b));
+  }
+  auto entropy = [&](const std::map<std::int32_t, double>& p) {
+    double h = 0.0;
+    for (const auto& [label, count] : p) {
+      const double q = count / n;
+      h -= q * std::log(q);
+    }
+    return h;
+  };
+  const double ha = entropy(pa);
+  const double hb = entropy(pb);
+  if (ha <= 0.0 && hb <= 0.0) return 1.0;  // both single-cluster
+  const double denom = 0.5 * (ha + hb);
+  return denom > 0.0 ? std::max(0.0, mi / denom) : 0.0;
+}
+
+}  // namespace sva::cluster

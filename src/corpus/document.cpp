@@ -1,0 +1,39 @@
+#include "sva/corpus/document.hpp"
+
+#include <algorithm>
+
+#include "sva/util/error.hpp"
+
+namespace sva::corpus {
+
+std::vector<std::pair<std::size_t, std::size_t>> partition_by_bytes(const SourceSet& sources,
+                                                                    int nprocs) {
+  require(nprocs >= 1, "partition_by_bytes: nprocs must be >= 1");
+  const std::size_t n = sources.size();
+  std::vector<std::pair<std::size_t, std::size_t>> parts(static_cast<std::size_t>(nprocs));
+
+  // Walk documents once, cutting a new partition whenever the running byte
+  // count passes the next equal-share boundary.  Contiguity preserves
+  // document order (stable record ids) while byte balancing matches the
+  // paper's partitioning criterion.
+  const double total = static_cast<double>(std::max<std::size_t>(sources.total_bytes(), 1));
+  const double share = total / nprocs;
+
+  std::size_t doc = 0;
+  double consumed = 0.0;
+  for (int r = 0; r < nprocs; ++r) {
+    const std::size_t begin = doc;
+    const double boundary = share * (r + 1);
+    while (doc < n && (consumed < boundary || r == nprocs - 1)) {
+      consumed += static_cast<double>(sources[doc].bytes());
+      ++doc;
+      // Stop as soon as we cross the boundary so later ranks get work too.
+      if (r != nprocs - 1 && consumed >= boundary) break;
+    }
+    parts[static_cast<std::size_t>(r)] = {begin, doc};
+  }
+  parts.back().second = n;
+  return parts;
+}
+
+}  // namespace sva::corpus

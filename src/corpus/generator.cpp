@@ -1,0 +1,225 @@
+#include "sva/corpus/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sva/corpus/lexicon.hpp"
+#include "sva/corpus/zipf.hpp"
+#include "sva/util/error.hpp"
+#include "sva/util/rng.hpp"
+
+namespace sva::corpus {
+
+namespace {
+
+/// Shared sampling machinery: background Zipf over the core vocabulary and
+/// per-theme Zipf over theme slices.
+class VocabularyModel {
+ public:
+  explicit VocabularyModel(const CorpusSpec& spec)
+      : spec_(spec),
+        background_(spec.core_vocabulary, spec.zipf_exponent),
+        theme_dist_(spec.theme_vocabulary, 0.8) {}
+
+  /// Word id for one token of a document with latent theme `theme`.
+  std::uint64_t sample_token(Xoshiro256& rng, std::size_t theme) const {
+    if (rng.uniform() < spec_.theme_token_fraction) {
+      const std::size_t rank = theme_dist_.sample(rng);
+      return spec_.core_vocabulary + theme * spec_.theme_vocabulary + rank;
+    }
+    return background_.sample(rng);
+  }
+
+  /// Theme-specific word (for MeSH-style keyword fields).
+  std::uint64_t sample_theme_word(Xoshiro256& rng, std::size_t theme) const {
+    const std::size_t rank = theme_dist_.sample(rng);
+    return spec_.core_vocabulary + theme * spec_.theme_vocabulary + rank;
+  }
+
+ private:
+  const CorpusSpec& spec_;
+  ZipfSampler background_;
+  ZipfSampler theme_dist_;
+};
+
+std::size_t pick_theme(const CorpusSpec& spec, std::uint64_t doc_seq) {
+  // Themes are mildly imbalanced (Zipf-ish over themes) so cluster sizes
+  // differ, as in real corpora.  Deterministic in (seed, doc_seq).
+  const std::uint64_t h = mix64(spec.seed ^ mix64(doc_seq * 2654435761ull));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  // Inverse-CDF of a truncated geometric-like distribution.
+  const double p = 0.12;
+  double acc = 0.0;
+  double w = p;
+  for (std::size_t t = 0; t + 1 < spec.num_themes; ++t) {
+    acc += w;
+    if (u < acc) return t;
+    w *= (1.0 - p);
+  }
+  return spec.num_themes - 1;
+}
+
+void append_tokens(std::string& text, const VocabularyModel& vocab, Xoshiro256& rng,
+                   std::size_t theme, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!text.empty()) text += ' ';
+    text += Lexicon::word(vocab.sample_token(rng, theme));
+  }
+}
+
+std::string noise_token(Xoshiro256& rng) {
+  switch (rng.below(4)) {
+    case 0: {  // bare number
+      return std::to_string(rng.below(1000000));
+    }
+    case 1: {  // url fragment
+      return "www." + Lexicon::word(rng.below(4000)) + ".gov";
+    }
+    case 2: {  // markup residue
+      static const char* kResidue[] = {"href", "nbsp", "http", "html", "pdf", "img"};
+      return kResidue[rng.below(6)];
+    }
+    default: {  // file-ish path
+      return Lexicon::word(rng.below(4000)) + ".pdf";
+    }
+  }
+}
+
+RawDocument make_pubmed_doc(const CorpusSpec& spec, const VocabularyModel& vocab,
+                            std::uint64_t doc_seq) {
+  Xoshiro256 rng(spec.seed, doc_seq);
+  const std::size_t theme = pick_theme(spec, doc_seq);
+
+  RawDocument doc;
+  doc.id = doc_seq;
+
+  RawField pmid{"PMID", std::to_string(10000000 + doc_seq)};
+
+  RawField title{"TI", {}};
+  append_tokens(title.text, vocab, rng, theme, 6 + rng.below(9));
+
+  // Abstracts are "consistent in both size and language type" (paper
+  // §4.1): normal-ish length around 140 tokens.
+  RawField abstract{"AB", {}};
+  const std::size_t ab_len = 90 + rng.below(100);
+  append_tokens(abstract.text, vocab, rng, theme, ab_len);
+
+  RawField authors{"AU", {}};
+  const std::size_t n_authors = 2 + rng.below(5);
+  for (std::size_t a = 0; a < n_authors; ++a) {
+    if (a) authors.text += "; ";
+    authors.text += Lexicon::author(rng.below(200000));
+  }
+
+  RawField mesh{"MH", {}};
+  const std::size_t n_mesh = 3 + rng.below(6);
+  for (std::size_t m = 0; m < n_mesh; ++m) {
+    if (m) mesh.text += ' ';
+    mesh.text += Lexicon::word(vocab.sample_theme_word(rng, theme));
+  }
+
+  doc.fields = {std::move(pmid), std::move(title), std::move(abstract), std::move(authors),
+                std::move(mesh)};
+  return doc;
+}
+
+RawDocument make_trec_doc(const CorpusSpec& spec, const VocabularyModel& vocab,
+                          std::uint64_t doc_seq) {
+  Xoshiro256 rng(spec.seed, doc_seq ^ 0x7452ec9311ull);
+  const std::size_t theme = pick_theme(spec, doc_seq);
+
+  RawDocument doc;
+  doc.id = doc_seq;
+
+  RawField title{"title", {}};
+  append_tokens(title.text, vocab, rng, theme, 3 + rng.below(10));
+
+  // Body lengths: lognormal-ish heavy tail; a small fraction of giant
+  // pages (concatenated PDFs, reports) creates the indexing skew.
+  std::size_t body_len;
+  if (rng.uniform() < spec.giant_doc_fraction) {
+    body_len = 6000 + rng.below(14000);
+  } else {
+    const double z = (rng.uniform() + rng.uniform() + rng.uniform() - 1.5) * 2.0;
+    body_len = static_cast<std::size_t>(std::clamp(std::exp(4.6 + 0.9 * z), 20.0, 5000.0));
+  }
+
+  RawField body{"body", {}};
+  body.text.reserve(body_len * 7);
+  for (std::size_t i = 0; i < body_len; ++i) {
+    if (!body.text.empty()) body.text += ' ';
+    if (rng.uniform() < spec.noise_token_fraction) {
+      body.text += noise_token(rng);
+    } else {
+      body.text += Lexicon::word(vocab.sample_token(rng, theme));
+    }
+  }
+
+  doc.fields = {std::move(title), std::move(body)};
+  return doc;
+}
+
+}  // namespace
+
+SourceSet generate_corpus(const CorpusSpec& spec) {
+  require(spec.target_bytes > 0, "generate_corpus: target_bytes must be > 0");
+  require(spec.num_themes >= 1, "generate_corpus: need at least one theme");
+  require(spec.core_vocabulary >= 100, "generate_corpus: core vocabulary too small");
+
+  VocabularyModel vocab(spec);
+  SourceSet sources;
+  std::uint64_t doc_seq = 0;
+  while (sources.total_bytes() < spec.target_bytes) {
+    if (spec.kind == CorpusKind::kPubMedLike) {
+      sources.add(make_pubmed_doc(spec, vocab, doc_seq));
+    } else {
+      sources.add(make_trec_doc(spec, vocab, doc_seq));
+    }
+    ++doc_seq;
+  }
+  return sources;
+}
+
+std::size_t ground_truth_theme(const CorpusSpec& spec, std::uint64_t doc_seq) {
+  return pick_theme(spec, doc_seq);
+}
+
+std::string corpus_kind_name(CorpusKind kind) {
+  return kind == CorpusKind::kPubMedLike ? "pubmed-like" : "trec-like";
+}
+
+CorpusSpec pubmed_like_spec(int size_index, std::size_t s1_bytes) {
+  require(size_index >= 0 && size_index <= 2, "pubmed_like_spec: size_index in {0,1,2}");
+  // Paper sizes 2.75 / 6.67 / 16.44 GB -> ratios 1 : 2.425 : 5.978.
+  static constexpr double kRatios[] = {1.0, 2.425, 5.978};
+  CorpusSpec spec;
+  spec.kind = CorpusKind::kPubMedLike;
+  spec.seed = 20070326;
+  spec.target_bytes = static_cast<std::size_t>(static_cast<double>(s1_bytes) *
+                                               kRatios[size_index]);
+  spec.core_vocabulary = 24000;
+  spec.num_themes = 24;
+  spec.theme_vocabulary = 400;
+  spec.zipf_exponent = 1.05;
+  return spec;
+}
+
+CorpusSpec trec_like_spec(int size_index, std::size_t s1_bytes) {
+  require(size_index >= 0 && size_index <= 2, "trec_like_spec: size_index in {0,1,2}");
+  // Paper sizes 1 / 4 / 8.21 GB.
+  static constexpr double kRatios[] = {1.0, 4.0, 8.21};
+  CorpusSpec spec;
+  spec.kind = CorpusKind::kTrecLike;
+  spec.seed = 20040115;
+  spec.target_bytes = static_cast<std::size_t>(static_cast<double>(s1_bytes) *
+                                               kRatios[size_index]);
+  spec.core_vocabulary = 60000;
+  spec.num_themes = 32;
+  spec.theme_vocabulary = 500;
+  spec.zipf_exponent = 1.0;
+  spec.noise_token_fraction = 0.08;
+  spec.giant_doc_fraction = 0.004;
+  return spec;
+}
+
+}  // namespace sva::corpus

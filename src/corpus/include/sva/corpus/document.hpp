@@ -1,0 +1,59 @@
+// Raw document model: what the scanner consumes.
+//
+// Matching the paper's terminology (§2.1): a *source* is a collection of
+// documents/records; each record is a set of fields; each field is a
+// collection of terms.  RawDocument carries unparsed field text — term
+// identification is the scanner's job.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sva::corpus {
+
+struct RawField {
+  std::string name;  ///< e.g. "TI", "AB" (PubMed) or "title", "body" (TREC)
+  std::string text;  ///< unparsed field content
+};
+
+struct RawDocument {
+  std::uint64_t id = 0;  ///< stable global record id
+  std::vector<RawField> fields;
+
+  /// Byte size used for load-balanced source partitioning.
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t n = 0;
+    for (const auto& f : fields) n += f.name.size() + f.text.size();
+    return n;
+  }
+};
+
+/// A source dataset: ordered documents plus cached size information.
+class SourceSet {
+ public:
+  SourceSet() = default;
+
+  void add(RawDocument doc) {
+    total_bytes_ += doc.bytes();
+    docs_.push_back(std::move(doc));
+  }
+
+  [[nodiscard]] const std::vector<RawDocument>& docs() const { return docs_; }
+  [[nodiscard]] std::size_t size() const { return docs_.size(); }
+  [[nodiscard]] std::size_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] const RawDocument& operator[](std::size_t i) const { return docs_[i]; }
+
+ private:
+  std::vector<RawDocument> docs_;
+  std::size_t total_bytes_ = 0;
+};
+
+/// Contiguous per-rank document ranges balanced by byte size — the
+/// paper's static source partitioning ("based on the size of individual
+/// documents (bytes)", §3.2).  Returns nprocs half-open [begin, end)
+/// index pairs covering the whole set in order.
+std::vector<std::pair<std::size_t, std::size_t>> partition_by_bytes(const SourceSet& sources,
+                                                                    int nprocs);
+
+}  // namespace sva::corpus

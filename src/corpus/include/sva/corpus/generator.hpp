@@ -1,0 +1,76 @@
+// Synthetic corpus generators standing in for the paper's datasets.
+//
+// The paper evaluates on PubMed (NIH biomedical abstracts; "consistent in
+// both size and language type") and TREC GOV2 (a noisy .gov web crawl with
+// wildly varying document sizes).  Neither corpus is redistributable here,
+// so we synthesize corpora that preserve the properties the engine's
+// behaviour depends on:
+//
+//   * Zipfian term-frequency skew (vocabulary breadth differs per corpus);
+//   * latent topical structure — each document draws a latent theme and
+//     mixes theme-specific vocabulary over a background distribution, so
+//     topicality, the association matrix, clustering and projection all
+//     operate on real signal;
+//   * document-length distributions — tight and regular for PubMed-like,
+//     heavy-tailed with occasional giant pages for TREC-like (this is what
+//     creates the indexing load imbalance of Figure 9);
+//   * field structure — PubMed records carry TI/AB/AU/MH fields, TREC
+//     pages carry title/body plus markup residue tokens.
+//
+// Generation is fully deterministic in (spec, seed): document i is
+// produced from an RNG substream keyed by i, independent of generation
+// order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sva/corpus/document.hpp"
+
+namespace sva::corpus {
+
+enum class CorpusKind {
+  kPubMedLike,  ///< regular, consistent biomedical-abstract-style records
+  kTrecLike,    ///< heavy-tailed, noisy web-page-style records
+};
+
+struct CorpusSpec {
+  CorpusKind kind = CorpusKind::kPubMedLike;
+  std::uint64_t seed = 42;
+  std::size_t target_bytes = 1 << 20;  ///< generate docs until this size
+
+  // Vocabulary model.
+  std::size_t core_vocabulary = 20000;   ///< background vocabulary breadth
+  std::size_t num_themes = 24;           ///< latent topical groups
+  std::size_t theme_vocabulary = 400;    ///< theme-specific words per theme
+  double theme_token_fraction = 0.28;    ///< P(token drawn from doc's theme)
+  double zipf_exponent = 1.05;           ///< background skew
+
+  // TREC-only noise controls.
+  double noise_token_fraction = 0.08;  ///< numbers / urls / markup residue
+  double giant_doc_fraction = 0.004;   ///< fraction of very large pages
+
+  /// Highest word id the generator can emit (for tests sizing oracles).
+  [[nodiscard]] std::size_t max_word_id() const {
+    return core_vocabulary + num_themes * theme_vocabulary;
+  }
+};
+
+/// Generates a corpus per `spec`.  Deterministic in the spec.
+SourceSet generate_corpus(const CorpusSpec& spec);
+
+/// The latent theme the generator assigned to document `doc_seq`
+/// (sequence number within the corpus).  Exposed so tests and benches can
+/// validate clustering against ground truth.
+std::size_t ground_truth_theme(const CorpusSpec& spec, std::uint64_t doc_seq);
+
+/// Name used in reports ("pubmed-like", "trec-like").
+std::string corpus_kind_name(CorpusKind kind);
+
+/// Convenience presets reproducing the paper's two dataset families at a
+/// reduced scale factor (bytes).  `size_index` selects S1/S2/S3, whose
+/// ratios match the paper's (PubMed 2.75:6.67:16.44 GB, TREC 1:4:8.21 GB).
+CorpusSpec pubmed_like_spec(int size_index, std::size_t s1_bytes);
+CorpusSpec trec_like_spec(int size_index, std::size_t s1_bytes);
+
+}  // namespace sva::corpus

@@ -1,0 +1,24 @@
+// Deterministic synthetic lexicon: maps word ids to pronounceable,
+// globally unique pseudo-words.  Word i is i written in base-|syllables|
+// with syllables as digits, so distinctness is by construction and the
+// mapping needs no storage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sva::corpus {
+
+class Lexicon {
+ public:
+  /// Pseudo-word for `word_id`; always at least two syllables.
+  static std::string word(std::uint64_t word_id);
+
+  /// Pseudo-name for authors ("Kamo RT" style); deterministic in id.
+  static std::string author(std::uint64_t author_id);
+
+  /// Number of distinct syllables (the radix of the encoding).
+  static std::size_t num_syllables();
+};
+
+}  // namespace sva::corpus

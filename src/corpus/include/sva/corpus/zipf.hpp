@@ -1,0 +1,61 @@
+// Zipf-distributed sampling over ranked vocabularies.
+//
+// Natural-language term frequencies are famously Zipfian; both synthetic
+// corpora sample token ranks from Zipf(s) so that the engine sees
+// realistic vocabulary skew (few very frequent terms, a long tail), which
+// is what stresses the inverted-file indexing load balance.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sva/util/error.hpp"
+#include "sva/util/rng.hpp"
+
+namespace sva::corpus {
+
+class ZipfSampler {
+ public:
+  /// Zipf over ranks [0, n) with exponent `s` (weights (rank+1)^-s).
+  ZipfSampler(std::size_t n, double s) {
+    require(n >= 1, "ZipfSampler: n must be >= 1");
+    require(s >= 0.0, "ZipfSampler: exponent must be >= 0");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += std::pow(static_cast<double>(i + 1), -s);
+      cdf_[i] = acc;
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+
+  /// Draws a rank in [0, n).
+  [[nodiscard]] std::size_t sample(Xoshiro256& rng) const {
+    const double u = rng.uniform();
+    // Binary search for the first cdf >= u.
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+  /// Probability mass of a rank (for tests validating the fit).
+  [[nodiscard]] double pmf(std::size_t rank) const {
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace sva::corpus

@@ -1,0 +1,48 @@
+#include "sva/corpus/lexicon.hpp"
+
+#include <array>
+
+#include "sva/util/rng.hpp"
+
+namespace sva::corpus {
+
+namespace {
+
+constexpr std::array<const char*, 48> kSyllables = {
+    "ka", "mo", "ri", "ta", "lu", "ne", "so", "vi", "da", "pe", "go", "shu",
+    "ba", "ke", "mi", "to", "ra", "le", "nu", "si", "va", "de", "po", "ga",
+    "hu", "be", "ko", "ma", "ti", "ro", "la", "ze", "ni", "su", "wa", "fe",
+    "du", "pa", "gi", "ho", "bu", "che", "mu", "te", "ru", "li", "no", "sa"};
+
+}  // namespace
+
+std::size_t Lexicon::num_syllables() { return kSyllables.size(); }
+
+std::string Lexicon::word(std::uint64_t word_id) {
+  // Base-48 digits of (word_id + 48), least significant first.  The offset
+  // guarantees at least two syllables (so words look natural and never
+  // collide with single-syllable stopwords) while keeping the mapping
+  // injective: distinct shifted values have distinct digit strings, and no
+  // padding scheme can collide with a genuine two-digit encoding.
+  std::string out;
+  out.reserve(12);
+  std::uint64_t v = word_id + kSyllables.size();
+  while (v != 0) {
+    out += kSyllables[v % kSyllables.size()];
+    v /= kSyllables.size();
+  }
+  return out;
+}
+
+std::string Lexicon::author(std::uint64_t author_id) {
+  std::string name = word(author_id % 9973);
+  name[0] = static_cast<char>(name[0] - 'a' + 'A');
+  const char initial1 = static_cast<char>('A' + mix64(author_id) % 26);
+  const char initial2 = static_cast<char>('A' + mix64(author_id ^ 0x5aa5) % 26);
+  name += ' ';
+  name += initial1;
+  name += initial2;
+  return name;
+}
+
+}  // namespace sva::corpus

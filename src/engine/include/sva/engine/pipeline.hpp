@@ -1,0 +1,116 @@
+// The IN-SPIRE text processing engine (§2.1, Figure 3/4): the paper's
+// core contribution, assembled from the substrate modules.
+//
+// Stages (parallel across all ranks):
+//   1. Scan & Map + forward indexing            -> text::scan_sources
+//   2. Inverted file indexing + term statistics -> index::build_inverted_index
+//   3. Topicality (Bookstein) + global topics   -> sig::select_topics
+//   4. Association matrix (Allreduce merge)     -> sig::build_association_matrix
+//   5. Knowledge signatures (+ adaptive dim.)   -> sig::compute_signatures
+//   6. Clustering (distributed k-means)         -> cluster::kmeans_cluster
+//   7. Projection (PCA on centroids, 2-D)       -> cluster::project_documents
+//
+// Component timings use the paper's six labels (scan, index, topic, AM,
+// DocVec, ClusProj) so the Figure 6b/7b/8 harnesses can report the same
+// series.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sva/cluster/hierarchical.hpp"
+#include "sva/cluster/kmeans.hpp"
+#include "sva/cluster/projection.hpp"
+#include "sva/corpus/document.hpp"
+#include "sva/ga/comm_model.hpp"
+#include "sva/ga/runtime.hpp"
+#include "sva/index/inverted_index.hpp"
+#include "sva/sig/signature.hpp"
+#include "sva/text/scanner.hpp"
+
+namespace sva::engine {
+
+/// Clustering backend (§3.5 notes "other types of clustering could be
+/// applied"; both are implemented).
+enum class ClusteringBackend {
+  kKMeans,        ///< the paper's distributed k-means
+  kHierarchical,  ///< agglomerative over a replicated sample
+};
+
+struct EngineConfig {
+  text::TokenizerConfig tokenizer;
+  index::IndexingConfig indexing;
+  sig::TopicalityConfig topicality;
+  sig::AssociationConfig association;
+  sig::SignatureConfig signature;
+  ClusteringBackend clustering = ClusteringBackend::kKMeans;
+  cluster::KMeansConfig kmeans;
+  cluster::HierarchicalConfig hierarchical;
+  /// 2 for ThemeView; 3 is also supported ("2-d or 3-d", §3.5).
+  std::size_t projection_components = 2;
+  /// Theme labels: top topic terms per cluster (0 disables).
+  std::size_t theme_label_terms = 5;
+};
+
+/// Modeled seconds per component, using the paper's labels.
+struct ComponentTimings {
+  double scan = 0.0;
+  double index = 0.0;
+  double topic = 0.0;
+  double am = 0.0;
+  double docvec = 0.0;
+  double clusproj = 0.0;
+
+  [[nodiscard]] double total() const { return scan + index + topic + am + docvec + clusproj; }
+
+  /// The four coarse groups of Figure 8 (signature generation combines
+  /// topic + AM + DocVec).
+  [[nodiscard]] double signature_generation() const { return topic + am + docvec; }
+
+  static const std::vector<std::string>& labels();
+  [[nodiscard]] double by_label(const std::string& label) const;
+};
+
+/// Everything one rank sees after a pipeline run.  Replicated members are
+/// identical on all ranks; "local" members cover the rank's records;
+/// rank 0 additionally holds the gathered global outputs.
+struct EngineResult {
+  // Replicated products.
+  std::shared_ptr<const ga::Vocabulary> vocabulary;
+  sig::TopicSelection selection;
+  std::size_t dimension = 0;
+  cluster::KMeansResult clustering;  ///< centroids/sizes replicated
+  std::vector<std::vector<std::string>> theme_labels;  ///< k × top terms
+
+  // Local products.
+  sig::SignatureSet signatures;
+  cluster::ProjectionResult projection;  ///< rank 0: all_xy/all_doc_ids
+  std::vector<std::int32_t> all_assignment;  ///< rank 0 only
+
+  // Telemetry.
+  ComponentTimings timings;
+  index::LoadBalanceReport index_load_balance;
+  std::uint64_t num_records = 0;
+  std::uint64_t num_terms = 0;
+  std::uint64_t total_term_occurrences = 0;
+  int signature_rounds = 1;
+  std::vector<double> null_fraction_per_round;
+};
+
+/// Collective: runs the full engine on `sources`.
+EngineResult run_text_engine(ga::Context& ctx, const corpus::SourceSet& sources,
+                             const EngineConfig& config = {});
+
+/// Single-call harness: spawns an SPMD world of `nprocs` ranks, runs the
+/// engine, and returns rank 0's result plus the modeled/wall durations.
+struct PipelineRun {
+  EngineResult result;  ///< rank 0's view (includes gathered outputs)
+  double modeled_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+PipelineRun run_pipeline(int nprocs, const ga::CommModel& model,
+                         const corpus::SourceSet& sources, const EngineConfig& config = {});
+
+}  // namespace sva::engine

@@ -1,0 +1,162 @@
+#include "sva/ga/dist_hashmap.hpp"
+
+#include <algorithm>
+
+#include "sva/util/rng.hpp"
+
+namespace sva::ga {
+
+namespace {
+
+// FNV-1a, stable across platforms, used to pick the owning partition.
+std::uint64_t term_hash(std::string_view term) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : term) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return mix64(h);
+}
+
+}  // namespace
+
+DistHashmap DistHashmap::create(Context& ctx) {
+  auto storage = ctx.collective_create<Storage>([&]() -> std::shared_ptr<Storage> {
+    auto s = std::make_shared<Storage>();
+    s->nprocs = ctx.nprocs();
+    s->partitions = std::vector<Partition>(static_cast<std::size_t>(ctx.nprocs()));
+    return s;
+  });
+  return DistHashmap(std::move(storage));
+}
+
+int DistHashmap::owner_of(std::string_view term) const {
+  return static_cast<int>(term_hash(term) % static_cast<std::uint64_t>(storage_->nprocs));
+}
+
+std::int64_t DistHashmap::insert_or_get(Context& ctx, std::string_view term) {
+  const int part = owner_of(term);
+  auto& p = storage_->partitions[static_cast<std::size_t>(part)];
+  const bool remote = part != ctx.rank();
+  ctx.charge(ctx.model().onesided(term.size() + sizeof(std::int64_t), remote) +
+             ctx.model().rpc_service);
+
+  std::lock_guard<std::mutex> lock(p.mutex);
+  auto [it, inserted] = p.ids.try_emplace(std::string(term),
+                                          static_cast<std::int64_t>(p.insertion_order.size()));
+  if (inserted) p.insertion_order.push_back(it->first);
+  return encode(it->second, part);
+}
+
+std::vector<std::int64_t> DistHashmap::insert_batch(Context& ctx,
+                                                    const std::vector<std::string>& terms) {
+  // Group requests by partition so each RPC channel is used once; this is
+  // the aggregation ARMCI encourages and what makes insertion scale.
+  const auto nprocs = static_cast<std::size_t>(storage_->nprocs);
+  std::vector<std::vector<std::size_t>> by_partition(nprocs);
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    by_partition[static_cast<std::size_t>(owner_of(terms[i]))].push_back(i);
+  }
+
+  std::vector<std::int64_t> out(terms.size(), -1);
+  for (std::size_t part = 0; part < nprocs; ++part) {
+    const auto& request = by_partition[part];
+    if (request.empty()) continue;
+    auto& p = storage_->partitions[part];
+    const bool remote = static_cast<int>(part) != ctx.rank();
+
+    std::size_t bytes = 0;
+    for (std::size_t i : request) bytes += terms[i].size() + sizeof(std::int64_t);
+    ctx.charge(ctx.model().onesided(bytes, remote) +
+               ctx.model().rpc_service * static_cast<double>(request.size()));
+
+    std::lock_guard<std::mutex> lock(p.mutex);
+    for (std::size_t i : request) {
+      auto [it, inserted] = p.ids.try_emplace(
+          terms[i], static_cast<std::int64_t>(p.insertion_order.size()));
+      if (inserted) p.insertion_order.push_back(it->first);
+      out[i] = encode(it->second, static_cast<int>(part));
+    }
+  }
+  return out;
+}
+
+std::optional<std::int64_t> DistHashmap::find(Context& ctx, std::string_view term) const {
+  const int part = owner_of(term);
+  auto& p = storage_->partitions[static_cast<std::size_t>(part)];
+  ctx.charge(ctx.model().onesided(term.size() + sizeof(std::int64_t), part != ctx.rank()) +
+             ctx.model().rpc_service);
+  std::lock_guard<std::mutex> lock(p.mutex);
+  auto it = p.ids.find(std::string(term));
+  if (it == p.ids.end()) return std::nullopt;
+  return encode(it->second, part);
+}
+
+std::size_t DistHashmap::size_estimate() const {
+  std::size_t total = 0;
+  for (auto& p : storage_->partitions) {
+    std::lock_guard<std::mutex> lock(p.mutex);
+    total += p.insertion_order.size();
+  }
+  return total;
+}
+
+DistHashmap::Finalized DistHashmap::finalize(Context& ctx) {
+  // Charge a gather of every partition's contents to rank 0 plus a
+  // broadcast of the canonical vocabulary; the heavy lifting (sort, map
+  // construction) happens once and is shared, so we account its compute
+  // on rank 0's clock via the collective_create factory running there.
+  std::size_t local_bytes = 0;
+  {
+    auto& p = storage_->partitions[static_cast<std::size_t>(ctx.rank())];
+    std::lock_guard<std::mutex> lock(p.mutex);
+    for (const auto& term : p.insertion_order) local_bytes += term.size() + sizeof(std::int64_t);
+  }
+  ctx.charge(ctx.model().reduce(ctx.nprocs(), std::max<std::size_t>(local_bytes, 1)) +
+             ctx.model().broadcast(ctx.nprocs(), std::max<std::size_t>(local_bytes, 1)));
+
+  struct Built {
+    std::shared_ptr<Vocabulary> vocab;
+    std::vector<std::int64_t> remap;
+  };
+  auto built = ctx.collective_create<Built>([&]() -> std::shared_ptr<Built> {
+    auto b = std::make_shared<Built>();
+    b->vocab = std::make_shared<Vocabulary>();
+
+    // Collect (term, provisional id) from all partitions.
+    std::vector<std::pair<std::string, std::int64_t>> entries;
+    std::int64_t max_provisional = -1;
+    for (std::size_t part = 0; part < storage_->partitions.size(); ++part) {
+      auto& p = storage_->partitions[part];
+      std::lock_guard<std::mutex> lock(p.mutex);
+      for (std::size_t i = 0; i < p.insertion_order.size(); ++i) {
+        const std::int64_t provisional = encode(static_cast<std::int64_t>(i),
+                                                static_cast<int>(part));
+        entries.emplace_back(p.insertion_order[i], provisional);
+        max_provisional = std::max(max_provisional, provisional);
+      }
+    }
+
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b2) { return a.first < b2.first; });
+
+    b->remap.assign(static_cast<std::size_t>(max_provisional + 1), -1);
+    b->vocab->terms.reserve(entries.size());
+    b->vocab->term_to_id.reserve(entries.size());
+    for (std::size_t canonical = 0; canonical < entries.size(); ++canonical) {
+      b->vocab->terms.push_back(entries[canonical].first);
+      b->vocab->term_to_id.emplace(entries[canonical].first,
+                                   static_cast<std::int64_t>(canonical));
+      b->remap[static_cast<std::size_t>(entries[canonical].second)] =
+          static_cast<std::int64_t>(canonical);
+    }
+    return b;
+  });
+
+  Finalized out;
+  out.vocabulary = built->vocab;
+  out.remap = built->remap;  // copy: each rank owns its remap table
+  return out;
+}
+
+}  // namespace sva::ga

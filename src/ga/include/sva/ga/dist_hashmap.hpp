@@ -1,0 +1,102 @@
+// Distributed hashmap: the ARMCI-RPC-backed global vocabulary map of §3.2.
+//
+// Terms are partitioned by hash across ranks; inserting a term issues an
+// RPC to the owning partition, which assigns a *provisional* global term
+// ID unique across the world.  Because provisional IDs depend on arrival
+// order (exactly as in the paper's implementation), a collective
+// finalize() pass canonicalizes the vocabulary — sorting terms
+// lexicographically and producing a provisional→canonical remap — so that
+// every downstream product is bit-reproducible for any processor count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sva/ga/runtime.hpp"
+
+namespace sva::ga {
+
+/// Canonicalized global vocabulary (replicated; immutable after finalize).
+struct Vocabulary {
+  /// All unique terms, lexicographically sorted; canonical ID = position.
+  std::vector<std::string> terms;
+  /// term → canonical ID.
+  std::unordered_map<std::string, std::int64_t> term_to_id;
+
+  [[nodiscard]] std::size_t size() const { return terms.size(); }
+
+  [[nodiscard]] std::int64_t id_of(std::string_view term) const {
+    auto it = term_to_id.find(std::string(term));
+    return it == term_to_id.end() ? -1 : it->second;
+  }
+};
+
+class DistHashmap {
+ public:
+  /// Collective: creates an empty map with one partition per rank.
+  static DistHashmap create(Context& ctx);
+
+  /// Inserts `term` (or looks it up) and returns its provisional global
+  /// ID.  One-sided: no cooperation from the owner rank.  Thread-safe.
+  std::int64_t insert_or_get(Context& ctx, std::string_view term);
+
+  /// Batched insert: groups terms by owning partition so each partition's
+  /// lock and RPC channel is visited once.  Returns provisional IDs
+  /// aligned with `terms`.
+  std::vector<std::int64_t> insert_batch(Context& ctx,
+                                         const std::vector<std::string>& terms);
+
+  /// Looks a term up without inserting.  Returns nullopt when absent.
+  std::optional<std::int64_t> find(Context& ctx, std::string_view term) const;
+
+  /// Total number of unique terms across all partitions (one-sided scan;
+  /// call after scanning completes or expect a racy snapshot).
+  [[nodiscard]] std::size_t size_estimate() const;
+
+  /// Collective: freezes the map, sorts the global vocabulary, and
+  /// returns (replicated) the canonical vocabulary plus a provisional→
+  /// canonical remap usable via remap_id().
+  struct Finalized {
+    std::shared_ptr<const Vocabulary> vocabulary;
+    /// provisional ID → canonical ID (dense vector; see provisional
+    /// encoding below).
+    std::vector<std::int64_t> remap;
+
+    [[nodiscard]] std::int64_t remap_id(std::int64_t provisional) const {
+      return remap[static_cast<std::size_t>(provisional)];
+    }
+  };
+  Finalized finalize(Context& ctx);
+
+  /// Owning partition (== rank) of a term.
+  [[nodiscard]] int owner_of(std::string_view term) const;
+
+ private:
+  struct Partition {
+    std::mutex mutex;
+    std::unordered_map<std::string, std::int64_t> ids;  // term -> local index
+    std::vector<std::string> insertion_order;           // local index -> term
+  };
+  struct Storage {
+    int nprocs = 1;
+    std::vector<Partition> partitions;
+  };
+
+  explicit DistHashmap(std::shared_ptr<Storage> storage) : storage_(std::move(storage)) {}
+
+  // Provisional ID encoding: local_index * nprocs + partition.  Unique
+  // world-wide without any cross-partition coordination.
+  [[nodiscard]] std::int64_t encode(std::int64_t local_index, int partition) const {
+    return local_index * storage_->nprocs + partition;
+  }
+
+  std::shared_ptr<Storage> storage_;
+};
+
+}  // namespace sva::ga

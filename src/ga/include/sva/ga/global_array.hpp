@@ -1,0 +1,304 @@
+// GlobalArray<T>: a block-distributed dense array with one-sided access,
+// modeled after the Global Arrays toolkit the paper builds on.
+//
+// Semantics mirrored from GA:
+//   * collective creation/destruction;
+//   * one-sided get / put / accumulate on arbitrary element ranges — no
+//     cooperation from the owner rank is required;
+//   * atomic fetch-and-add (GA's NGA_Read_inc), the primitive behind the
+//     paper's dynamic load-balancing task queue;
+//   * locality introspection (row_range / local_span) so algorithms can
+//     exploit data locality, as §3.1 of the paper emphasizes.
+//
+// Storage is one contiguous block per rank (block row distribution).  A
+// 2-D array of shape rows×cols is stored row-major and distributed by
+// rows; a 1-D array is the cols == 1 case.  Physical access goes through a
+// per-block mutex; communication costs are charged to the calling rank's
+// virtual clock based on locality (see comm_model.hpp).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "sva/ga/runtime.hpp"
+
+namespace sva::ga {
+
+template <typename T>
+class GlobalArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  /// Empty handle; using it before assignment from create() is undefined.
+  /// Exists so aggregate results (e.g. ForwardIndex) can be declared
+  /// before their arrays are created collectively.
+  GlobalArray() = default;
+
+  /// Collective: creates a rows×cols array block-distributed by rows.
+  static GlobalArray create(Context& ctx, std::size_t rows, std::size_t cols = 1) {
+    require(cols >= 1, "GlobalArray: cols must be >= 1");
+    auto storage = ctx.collective_create<Storage>([&]() -> std::shared_ptr<Storage> {
+      auto s = std::make_shared<Storage>();
+      s->rows = rows;
+      s->cols = cols;
+      const int nprocs = ctx.nprocs();
+      // Sized construction default-constructs in place; Block holds a
+      // mutex and is neither copyable nor movable.
+      s->blocks = std::vector<Block>(static_cast<std::size_t>(nprocs));
+      const std::size_t per_rank = (rows + static_cast<std::size_t>(nprocs) - 1) /
+                                   static_cast<std::size_t>(nprocs);
+      for (int r = 0; r < nprocs; ++r) {
+        auto& b = s->blocks[static_cast<std::size_t>(r)];
+        b.row_begin = std::min(rows, static_cast<std::size_t>(r) * per_rank);
+        b.row_end = std::min(rows, b.row_begin + per_rank);
+        b.data.assign((b.row_end - b.row_begin) * cols, T{});
+      }
+      return s;
+    });
+    return GlobalArray(std::move(storage));
+  }
+
+  [[nodiscard]] std::size_t rows() const { return storage_->rows; }
+  [[nodiscard]] std::size_t cols() const { return storage_->cols; }
+  [[nodiscard]] std::size_t size() const { return storage_->rows * storage_->cols; }
+
+  /// Row interval [begin, end) owned by `rank`.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> row_range(int rank) const {
+    const auto& b = storage_->blocks[static_cast<std::size_t>(rank)];
+    return {b.row_begin, b.row_end};
+  }
+
+  /// Rank owning flat element `index`.
+  [[nodiscard]] int owner_of(std::size_t index) const {
+    const std::size_t row = index / storage_->cols;
+    // Blocks are equal-sized except possibly the tail, so direct division
+    // finds the owner without a search.
+    const std::size_t per_rank = storage_->blocks[0].row_end - storage_->blocks[0].row_begin;
+    if (per_rank == 0) return 0;
+    const auto rank = static_cast<int>(row / per_rank);
+    return std::min(rank, static_cast<int>(storage_->blocks.size()) - 1);
+  }
+
+  /// Direct (zero-copy, zero-cost) access to the calling rank's block.
+  /// The caller must not race with one-sided writes from peers to the same
+  /// elements; pipeline phases are barrier-separated so this holds.
+  [[nodiscard]] std::span<T> local_span(Context& ctx) {
+    auto& b = storage_->blocks[static_cast<std::size_t>(ctx.rank())];
+    return {b.data.data(), b.data.size()};
+  }
+
+  [[nodiscard]] std::pair<std::size_t, std::size_t> local_row_range(Context& ctx) const {
+    return row_range(ctx.rank());
+  }
+
+  /// One-sided read of `out.size()` elements starting at flat `offset`.
+  void get(Context& ctx, std::size_t offset, std::span<T> out) const {
+    traverse(ctx, offset, out.size(), [&](Block& b, std::size_t block_off,
+                                          std::size_t count, std::size_t cursor) {
+      std::lock_guard<std::mutex> lock(b.mutex);
+      std::copy_n(b.data.data() + block_off, count, out.data() + cursor);
+    });
+  }
+
+  /// One-sided write of `data` starting at flat `offset`.
+  void put(Context& ctx, std::size_t offset, std::span<const T> data) {
+    traverse(ctx, offset, data.size(), [&](Block& b, std::size_t block_off,
+                                           std::size_t count, std::size_t cursor) {
+      std::lock_guard<std::mutex> lock(b.mutex);
+      std::copy_n(data.data() + cursor, count, b.data.data() + block_off);
+    });
+  }
+
+  /// One-sided atomic accumulate: element-wise += (GA's NGA_Acc).
+  void accumulate(Context& ctx, std::size_t offset, std::span<const T> data) {
+    traverse(ctx, offset, data.size(), [&](Block& b, std::size_t block_off,
+                                           std::size_t count, std::size_t cursor) {
+      std::lock_guard<std::mutex> lock(b.mutex);
+      for (std::size_t i = 0; i < count; ++i) b.data[block_off + i] += data[cursor + i];
+    });
+  }
+
+  /// Element-list read (GA's NGA_Gather): out[i] = array[indices[i]].
+  /// Communication is aggregated per owner rank — one modeled message per
+  /// distinct owner, not one per element — matching how GA/ARMCI batch
+  /// element-list operations.
+  void gather(Context& ctx, std::span<const std::size_t> indices, std::span<T> out) const {
+    require(indices.size() == out.size(), "GlobalArray::gather: size mismatch");
+    for_each_owner_batch(ctx, indices, /*rmw=*/false,
+                         [&](Block& b, std::size_t i, std::size_t element) {
+                           out[i] = b.data[element];
+                         });
+  }
+
+  /// Element-list write (GA's NGA_Scatter): array[indices[i]] = values[i].
+  /// Duplicate indices within one call are applied in position order.
+  void scatter(Context& ctx, std::span<const std::size_t> indices,
+               std::span<const T> values) {
+    require(indices.size() == values.size(), "GlobalArray::scatter: size mismatch");
+    for_each_owner_batch(ctx, indices, /*rmw=*/false,
+                         [&](Block& b, std::size_t i, std::size_t element) {
+                           b.data[element] = values[i];
+                         });
+  }
+
+  /// Element-list accumulate (GA's NGA_Scatter_acc): array[indices[i]] +=
+  /// values[i], atomically with respect to other accesses of the block.
+  void scatter_acc(Context& ctx, std::span<const std::size_t> indices,
+                   std::span<const T> values) {
+    require(indices.size() == values.size(), "GlobalArray::scatter_acc: size mismatch");
+    for_each_owner_batch(ctx, indices, /*rmw=*/true,
+                         [&](Block& b, std::size_t i, std::size_t element) {
+                           b.data[element] += values[i];
+                         });
+  }
+
+  /// Batched atomic fetch-and-add: out[i] = old array[indices[i]], then
+  /// array[indices[i]] += deltas[i].  Aggregated like GA element-list ops:
+  /// one modeled RMW message per distinct owner.  Duplicate indices observe
+  /// each other in position order.
+  std::vector<T> fetch_add_batch(Context& ctx, std::span<const std::size_t> indices,
+                                 std::span<const T> deltas) {
+    require(indices.size() == deltas.size(), "GlobalArray::fetch_add_batch: size mismatch");
+    std::vector<T> out(indices.size());
+    for_each_owner_batch(ctx, indices, /*rmw=*/true,
+                         [&](Block& b, std::size_t i, std::size_t element) {
+                           out[i] = b.data[element];
+                           b.data[element] += deltas[i];
+                         });
+    return out;
+  }
+
+  /// Atomic fetch-and-add on one element (GA's NGA_Read_inc).  Returns the
+  /// previous value.
+  T fetch_add(Context& ctx, std::size_t index, T delta) {
+    require(index < size(), "GlobalArray::fetch_add: index out of range");
+    const int owner = owner_of(index);
+    auto& b = storage_->blocks[static_cast<std::size_t>(owner)];
+    const std::size_t block_off = index - b.row_begin * storage_->cols;
+    ctx.charge(ctx.model().atomic_rmw(owner != ctx.rank()));
+    std::lock_guard<std::mutex> lock(b.mutex);
+    const T prev = b.data[block_off];
+    b.data[block_off] = prev + delta;
+    return prev;
+  }
+
+  /// Convenience: one-sided read of a single element.
+  [[nodiscard]] T get_value(Context& ctx, std::size_t index) const {
+    T v{};
+    get(ctx, index, std::span<T>(&v, 1));
+    return v;
+  }
+
+  /// Convenience: one-sided write of a single element.
+  void put_value(Context& ctx, std::size_t index, T value) {
+    put(ctx, index, std::span<const T>(&value, 1));
+  }
+
+  /// Reads the entire array into a local vector (charged as a get of the
+  /// remote portion).  Useful for replicating small arrays after a phase.
+  [[nodiscard]] std::vector<T> to_vector(Context& ctx) const {
+    std::vector<T> out(size());
+    if (!out.empty()) get(ctx, 0, std::span<T>(out.data(), out.size()));
+    return out;
+  }
+
+  /// Collective: zero-fills the array (each rank clears its own block).
+  void fill_local(Context& ctx, T value) {
+    auto span = local_span(ctx);
+    std::fill(span.begin(), span.end(), value);
+  }
+
+ private:
+  struct Block {
+    std::size_t row_begin = 0;
+    std::size_t row_end = 0;
+    std::vector<T> data;
+    std::mutex mutex;
+  };
+  struct Storage {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<Block> blocks;
+  };
+
+  explicit GlobalArray(std::shared_ptr<Storage> storage) : storage_(std::move(storage)) {}
+
+  /// Shared machinery of the element-list operations: visits every
+  /// (position, element) pair grouped by owner block, holding each owner's
+  /// lock once per call, and charges one modeled message per distinct
+  /// owner (α or α_rmw plus β per index+value pair).  `fn(block, i,
+  /// element_offset)` applies the element op; positions within one owner
+  /// are visited in ascending position order so duplicate indices behave
+  /// deterministically.
+  template <typename Fn>
+  void for_each_owner_batch(Context& ctx, std::span<const std::size_t> indices, bool rmw,
+                            Fn&& fn) const {
+    if (indices.empty()) return;
+    // Group positions by owner without allocating per-owner vectors:
+    // count, prefix, fill — positions stay in ascending order per owner.
+    const auto nprocs = storage_->blocks.size();
+    std::vector<std::size_t> owner_count(nprocs, 0);
+    std::vector<int> owner_of_pos(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      require(indices[i] < size(), "GlobalArray: element-list index out of range");
+      const int o = owner_of(indices[i]);
+      owner_of_pos[i] = o;
+      ++owner_count[static_cast<std::size_t>(o)];
+    }
+    std::vector<std::size_t> owner_begin(nprocs + 1, 0);
+    for (std::size_t o = 0; o < nprocs; ++o) owner_begin[o + 1] = owner_begin[o] + owner_count[o];
+    std::vector<std::size_t> positions(indices.size());
+    std::vector<std::size_t> fill = owner_begin;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      positions[fill[static_cast<std::size_t>(owner_of_pos[i])]++] = i;
+    }
+
+    for (std::size_t o = 0; o < nprocs; ++o) {
+      const std::size_t n = owner_begin[o + 1] - owner_begin[o];
+      if (n == 0) continue;
+      auto& b = storage_->blocks[o];
+      const bool remote = static_cast<int>(o) != ctx.rank();
+      const std::size_t bytes = n * (sizeof(T) + sizeof(std::int64_t));
+      if (rmw) {
+        ctx.charge(ctx.model().atomic_rmw(remote) +
+                   (remote ? ctx.model().beta : ctx.model().beta_local) *
+                       static_cast<double>(bytes));
+      } else {
+        ctx.charge(ctx.model().onesided(bytes, remote));
+      }
+      const std::size_t block_first = b.row_begin * storage_->cols;
+      std::lock_guard<std::mutex> lock(b.mutex);
+      for (std::size_t p = owner_begin[o]; p < owner_begin[o + 1]; ++p) {
+        const std::size_t i = positions[p];
+        fn(b, i, indices[i] - block_first);
+      }
+    }
+  }
+
+  /// Splits [offset, offset+count) across blocks, invoking `fn(block,
+  /// block_offset, n, cursor)` per piece and charging locality-dependent
+  /// transfer costs.
+  template <typename Fn>
+  void traverse(Context& ctx, std::size_t offset, std::size_t count, Fn&& fn) const {
+    require(offset + count <= size(), "GlobalArray: access out of range");
+    std::size_t cursor = 0;
+    while (cursor < count) {
+      const std::size_t index = offset + cursor;
+      const int owner = owner_of(index);
+      auto& b = storage_->blocks[static_cast<std::size_t>(owner)];
+      const std::size_t block_first = b.row_begin * storage_->cols;
+      const std::size_t block_last = b.row_end * storage_->cols;
+      const std::size_t take = std::min(count - cursor, block_last - index);
+      require(take > 0, "GlobalArray: internal traversal error");
+      ctx.charge(ctx.model().onesided(take * sizeof(T), owner != ctx.rank()));
+      fn(b, index - block_first, take, cursor);
+      cursor += take;
+    }
+  }
+
+  std::shared_ptr<Storage> storage_;
+};
+
+}  // namespace sva::ga

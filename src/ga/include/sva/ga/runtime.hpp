@@ -1,0 +1,357 @@
+// SPMD runtime: the Global-Arrays-style substrate the paper's engine runs
+// on.  `spmd_run(P, model, fn)` launches P ranks (one thread each), every
+// rank executes `fn(Context&)`, and the runtime provides:
+//
+//   * collectives — barrier, broadcast, reduce/allreduce, gather(v),
+//     allgather(v), exclusive scan — with LogGP-modeled costs;
+//   * virtual time — per-rank clocks combining measured thread-CPU compute
+//     with modeled communication (see comm_model.hpp);
+//   * collective object creation — the hook GlobalArray / DistHashmap /
+//     task queues use to materialize shared state.
+//
+// Protocol: like MPI/GA, all ranks must issue collectives in the same
+// order.  If any rank throws, the runtime aborts the remaining ranks at
+// their next synchronization point and rethrows the first exception from
+// spmd_run.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "sva/ga/comm_model.hpp"
+#include "sva/util/error.hpp"
+#include "sva/util/timer.hpp"
+
+namespace sva::ga {
+
+class Context;
+
+namespace detail {
+
+/// Central sense-counting barrier with abort support.
+class RawBarrier {
+ public:
+  explicit RawBarrier(int nprocs) : nprocs_(nprocs) {}
+
+  /// Blocks until all ranks arrive.  Throws ProtocolError if the world has
+  /// been aborted (some rank threw).
+  void wait(const std::atomic<bool>& aborted);
+
+  /// Wakes all waiters so they can observe the abort flag.
+  void abort_wakeup();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int nprocs_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace detail
+
+/// Shared state of one SPMD world.  Users never construct this directly;
+/// it is owned by spmd_run and surfaced through Context.
+class World {
+ public:
+  World(int nprocs, CommModel model);
+
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+  [[nodiscard]] const CommModel& model() const { return model_; }
+
+  // Internal state below: accessed by Context and the spmd_run launcher.
+  // Not part of the public API surface.
+  int nprocs_;
+  CommModel model_;
+  detail::RawBarrier barrier_;
+  std::atomic<bool> aborted_{false};
+
+  // Publication slots for the generic exchange primitive: each rank posts a
+  // pointer to its contribution, synchronizes, reads peers, synchronizes.
+  std::vector<const void*> slots_;
+  std::vector<double> clock_slots_;
+
+  // Collective object transfer: rank 0 parks a shared_ptr here between the
+  // two barriers of collective_create.
+  std::shared_ptr<void> create_slot_;
+
+  // First exception thrown by any rank.
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+/// Per-rank handle: rank id, collectives, and the virtual clock.
+class Context {
+ public:
+  Context(World& world, int rank);
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nprocs() const { return world_.nprocs(); }
+  [[nodiscard]] const CommModel& model() const { return world_.model(); }
+  [[nodiscard]] World& world() { return world_; }
+
+  // ---- virtual time ------------------------------------------------------
+
+  /// Folds thread-CPU time accrued since the last call into the virtual
+  /// clock (scaled by model().compute_scale).  Called automatically by
+  /// every communication op; call manually before reading vtime().
+  void sample_compute();
+
+  /// Adds a modeled communication/IO charge to this rank's clock.
+  void charge(double seconds) { vtime_ += seconds; }
+
+  /// Current virtual time in seconds (samples compute first).
+  [[nodiscard]] double vtime();
+
+  /// Virtual time without sampling (value as of the last sync point).
+  [[nodiscard]] double vtime_raw() const { return vtime_; }
+
+  /// Overwrites the clock; used by barriers (max-synchronization) and by
+  /// harnesses that reset between repetitions.
+  void set_vtime(double t) { vtime_ = t; }
+
+  /// Resets the clock and the CPU baseline to zero; collective callers
+  /// should barrier first so ranks stay aligned.
+  void reset_vtime();
+
+  // ---- collectives ---------------------------------------------------
+
+  /// Barrier: synchronizes all ranks; every clock advances to the maximum
+  /// plus the modeled barrier cost.
+  void barrier();
+
+  /// Generic exchange: publish `mine`, run `consume(slots)` with every
+  /// rank's pointer visible, then resynchronize.  `consume` runs on every
+  /// rank between the two internal barriers.  `comm_cost` is added to each
+  /// clock after max-synchronization.
+  void exchange(const void* mine, double comm_cost,
+                const std::function<void(const std::vector<const void*>&)>& consume);
+
+  /// Broadcast `count` elements from `root`'s buffer into every rank's.
+  template <typename T>
+  void broadcast(T* data, std::size_t count, int root);
+
+  template <typename T>
+  void broadcast_value(T& value, int root) {
+    broadcast(&value, 1, root);
+  }
+
+  /// Element-wise allreduce over equal-length buffers.  `op` must be
+  /// associative and commutative; contributions are combined in rank order
+  /// so floating-point results are deterministic.
+  template <typename T, typename Op>
+  void allreduce(T* data, std::size_t count, Op op);
+
+  template <typename T>
+  void allreduce_sum(T* data, std::size_t count) {
+    allreduce(data, count, [](T a, T b) { return a + b; });
+  }
+
+  template <typename T>
+  [[nodiscard]] T allreduce_sum(T value) {
+    allreduce_sum(&value, 1);
+    return value;
+  }
+
+  template <typename T>
+  [[nodiscard]] T allreduce_max(T value) {
+    allreduce(&value, 1, [](T a, T b) { return a > b ? a : b; });
+    return value;
+  }
+
+  template <typename T>
+  [[nodiscard]] T allreduce_min(T value) {
+    allreduce(&value, 1, [](T a, T b) { return a < b ? a : b; });
+    return value;
+  }
+
+  /// Gathers one value per rank; result on every rank (allgather).
+  template <typename T>
+  [[nodiscard]] std::vector<T> allgather(const T& value);
+
+  /// Gathers variable-length contributions; result (rank-ordered
+  /// concatenation) on every rank.
+  template <typename T>
+  [[nodiscard]] std::vector<T> allgatherv(std::span<const T> mine);
+
+  /// Gathers variable-length contributions to `root`; other ranks receive
+  /// an empty vector.
+  template <typename T>
+  [[nodiscard]] std::vector<T> gatherv(std::span<const T> mine, int root);
+
+  /// Exclusive prefix sum of one value per rank (rank 0 gets T{}).
+  template <typename T>
+  [[nodiscard]] T exscan_sum(const T& value);
+
+  // ---- collective object creation -------------------------------------
+
+  /// All ranks call this with the same factory; rank 0 runs it, everyone
+  /// returns the same shared_ptr.  Used by GlobalArray et al.
+  template <typename T>
+  std::shared_ptr<T> collective_create(const std::function<std::shared_ptr<T>()>& factory);
+
+ private:
+  void sync_clocks_max(double extra_cost);
+
+  World& world_;
+  int rank_;
+  double vtime_ = 0.0;
+  double cpu_mark_;
+};
+
+/// Result of one SPMD run.
+struct SpmdResult {
+  double max_vtime = 0.0;              ///< modeled duration of the run
+  std::vector<double> rank_vtimes;     ///< per-rank final clocks
+  double wall_seconds = 0.0;           ///< actual host wall-clock
+};
+
+/// Launches `nprocs` ranks executing `fn`.  Rethrows the first rank
+/// exception.  `nprocs` may exceed the hardware concurrency; ranks are
+/// plain threads and the virtual-time model keeps timing meaningful.
+SpmdResult spmd_run(int nprocs, const CommModel& model, const std::function<void(Context&)>& fn);
+
+/// Convenience overload with the default cluster model.
+SpmdResult spmd_run(int nprocs, const std::function<void(Context&)>& fn);
+
+// ===== template implementations =========================================
+
+template <typename T>
+void Context::broadcast(T* data, std::size_t count, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  require(root >= 0 && root < nprocs(), "broadcast: bad root");
+  const double cost = model().broadcast(nprocs(), count * sizeof(T));
+  exchange(data, cost, [&](const std::vector<const void*>& slots) {
+    if (rank_ != root) {
+      const T* src = static_cast<const T*>(slots[static_cast<std::size_t>(root)]);
+      std::copy(src, src + count, data);
+    }
+  });
+}
+
+template <typename T, typename Op>
+void Context::allreduce(T* data, std::size_t count, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const double cost = model().allreduce(nprocs(), count * sizeof(T));
+  std::vector<T> mine(data, data + count);
+  exchange(mine.data(), cost, [&](const std::vector<const void*>& slots) {
+    // Combine in rank order for determinism.
+    const T* first = static_cast<const T*>(slots[0]);
+    std::copy(first, first + count, data);
+    for (int r = 1; r < nprocs(); ++r) {
+      const T* src = static_cast<const T*>(slots[static_cast<std::size_t>(r)]);
+      for (std::size_t i = 0; i < count; ++i) data[i] = op(data[i], src[i]);
+    }
+  });
+}
+
+template <typename T>
+std::vector<T> Context::allgather(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<T> out(static_cast<std::size_t>(nprocs()));
+  const double cost = model().allgather(nprocs(), sizeof(T));
+  exchange(&value, cost, [&](const std::vector<const void*>& slots) {
+    for (int r = 0; r < nprocs(); ++r) out[static_cast<std::size_t>(r)] =
+        *static_cast<const T*>(slots[static_cast<std::size_t>(r)]);
+  });
+  return out;
+}
+
+template <typename T>
+std::vector<T> Context::allgatherv(std::span<const T> mine) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  struct Posting {
+    const T* data;
+    std::size_t count;
+  };
+  Posting posting{mine.data(), mine.size()};
+  std::vector<T> out;
+  // Cost: ring allgather with average chunk; sizes are exchanged first in
+  // the same round-trip (modeled within the same charge).
+  const std::size_t my_bytes = mine.size() * sizeof(T);
+  const double cost = model().allgather(nprocs(), std::max<std::size_t>(my_bytes, sizeof(T)));
+  exchange(&posting, cost, [&](const std::vector<const void*>& slots) {
+    std::size_t total = 0;
+    for (int r = 0; r < nprocs(); ++r) {
+      total += static_cast<const Posting*>(slots[static_cast<std::size_t>(r)])->count;
+    }
+    out.reserve(total);
+    for (int r = 0; r < nprocs(); ++r) {
+      const auto* p = static_cast<const Posting*>(slots[static_cast<std::size_t>(r)]);
+      out.insert(out.end(), p->data, p->data + p->count);
+    }
+  });
+  return out;
+}
+
+template <typename T>
+std::vector<T> Context::gatherv(std::span<const T> mine, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  require(root >= 0 && root < nprocs(), "gatherv: bad root");
+  struct Posting {
+    const T* data;
+    std::size_t count;
+  };
+  Posting posting{mine.data(), mine.size()};
+  std::vector<T> out;
+  const double cost =
+      model().reduce(nprocs(), std::max<std::size_t>(mine.size() * sizeof(T), sizeof(T)));
+  exchange(&posting, cost, [&](const std::vector<const void*>& slots) {
+    if (rank_ != root) return;
+    std::size_t total = 0;
+    for (int r = 0; r < nprocs(); ++r) {
+      total += static_cast<const Posting*>(slots[static_cast<std::size_t>(r)])->count;
+    }
+    out.reserve(total);
+    for (int r = 0; r < nprocs(); ++r) {
+      const auto* p = static_cast<const Posting*>(slots[static_cast<std::size_t>(r)]);
+      out.insert(out.end(), p->data, p->data + p->count);
+    }
+  });
+  return out;
+}
+
+template <typename T>
+T Context::exscan_sum(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T out{};
+  const double cost = model().reduce(nprocs(), sizeof(T));
+  exchange(&value, cost, [&](const std::vector<const void*>& slots) {
+    T acc{};
+    for (int r = 0; r < rank_; ++r) {
+      acc = acc + *static_cast<const T*>(slots[static_cast<std::size_t>(r)]);
+    }
+    out = acc;
+  });
+  return out;
+}
+
+template <typename T>
+std::shared_ptr<T> Context::collective_create(
+    const std::function<std::shared_ptr<T>()>& factory) {
+  std::shared_ptr<T> result;
+  if (rank_ == 0) {
+    result = factory();
+    world_.create_slot_ = result;
+  }
+  barrier();
+  result = std::static_pointer_cast<T>(world_.create_slot_);
+  barrier();
+  if (rank_ == 0) world_.create_slot_.reset();
+  return result;
+}
+
+}  // namespace sva::ga

@@ -1,0 +1,61 @@
+// Collective stage timing in virtual time.
+//
+// The engine brackets each pipeline component (scan, index, topic, AM,
+// DocVec, ClusProj) with StageTimer::mark().  mark() performs a barrier —
+// after which every rank's virtual clock equals the stage maximum — and
+// records the delta since the previous mark.  Because clocks are
+// max-synchronized, every rank records identical stage durations, which is
+// what the paper's per-component figures (6b, 7b, 8) report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sva/ga/runtime.hpp"
+
+namespace sva::ga {
+
+class StageTimer {
+ public:
+  /// Collective: aligns all ranks and starts the first stage interval.
+  explicit StageTimer(Context& ctx) : ctx_(ctx) {
+    ctx_.barrier();
+    last_ = ctx_.vtime_raw();
+  }
+
+  /// Collective: closes the current interval under `name`.
+  void mark(const std::string& name) {
+    ctx_.barrier();
+    const double now = ctx_.vtime_raw();
+    stages_.emplace_back(name, now - last_);
+    last_ = now;
+  }
+
+  /// Stage durations in the order marked (identical on all ranks).
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& stages() const {
+    return stages_;
+  }
+
+  /// Total across recorded stages.
+  [[nodiscard]] double total() const {
+    double t = 0.0;
+    for (const auto& [name, dur] : stages_) t += dur;
+    return t;
+  }
+
+  /// Duration of a stage by name (0.0 when absent; stages are unique in
+  /// the engine).
+  [[nodiscard]] double stage(const std::string& name) const {
+    for (const auto& [n, dur] : stages_) {
+      if (n == name) return dur;
+    }
+    return 0.0;
+  }
+
+ private:
+  Context& ctx_;
+  double last_ = 0.0;
+  std::vector<std::pair<std::string, double>> stages_;
+};
+
+}  // namespace sva::ga

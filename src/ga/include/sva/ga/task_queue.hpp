@@ -1,0 +1,216 @@
+// Dynamic load balancing by fixed-size chunking (§3.3).
+//
+// The paper's shared task queue is a counter in a global array advanced
+// with GA's atomic fetch-and-increment; any idle process grabs the next
+// chunk of inversion "loads" without involving a coordinator.  For the
+// ablation study we also provide the master–worker strategy the paper
+// argues against ([20]): every chunk request is serviced serially by a
+// master rank, which becomes a bottleneck as P grows.  Both queues expose
+// the same interface so the indexing code is strategy-agnostic.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "sva/ga/global_array.hpp"
+#include "sva/ga/runtime.hpp"
+
+namespace sva::ga {
+
+/// Half-open range of task indices handed to a worker.
+struct TaskChunk {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+/// Orders queue claims by *virtual* time.  Simulated ranks are host
+/// threads that the OS may schedule arbitrarily — on an oversubscribed
+/// host one thread can drain an entire dynamic queue before its peers run
+/// at all, which would make any load-balance measurement meaningless.
+/// The gate grants claims in (vtime, rank) order: a rank may claim only
+/// when no other active rank could still issue an earlier-in-virtual-time
+/// claim.  This is a conservative parallel-discrete-event rule; it can
+/// serialize claim *processing* in real time, but virtual-time results
+/// are then exactly those of a cluster whose ranks run concurrently.
+///
+/// Protocol: every rank of the world must call next() until it returns
+/// nullopt (the standard drain loop); a rank that abandons the queue
+/// early would stall peers with larger virtual times.
+class ClaimGate {
+ public:
+  explicit ClaimGate(int nprocs)
+      : state_(static_cast<std::size_t>(nprocs), State::kUnseen),
+        vtime_(static_cast<std::size_t>(nprocs), 0.0) {}
+
+  /// Blocks until this rank holds the minimal (vtime, rank) key among
+  /// active ranks.  Throws ProtocolError if the world aborts.
+  void enter(Context& ctx);
+
+  /// Marks this rank done with the queue (its claim returned nullopt).
+  void finish(Context& ctx);
+
+ private:
+  enum class State { kUnseen, kWaiting, kProcessing, kDone };
+
+  [[nodiscard]] bool may_grant(int rank) const;  // caller holds mutex_
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<State> state_;
+  std::vector<double> vtime_;
+};
+
+/// Interface for chunk schedulers.  next() claims the next chunk or
+/// returns nullopt when the queue is drained; when the queue was created
+/// with vtime ordering, claims are funneled through a ClaimGate first.
+class TaskQueue {
+ public:
+  virtual ~TaskQueue() = default;
+
+  /// Claims the next chunk, or nullopt when the queue is drained.
+  std::optional<TaskChunk> next(Context& ctx);
+
+  [[nodiscard]] virtual std::size_t num_tasks() const = 0;
+
+ protected:
+  /// Strategy-specific claim, called with gate ordering already applied.
+  virtual std::optional<TaskChunk> claim(Context& ctx) = 0;
+
+  void enable_vtime_order(int nprocs) { gate_ = std::make_unique<ClaimGate>(nprocs); }
+
+ private:
+  std::unique_ptr<ClaimGate> gate_;
+};
+
+/// Shared-counter queue: one atomic fetch-and-add per claim, hosted in a
+/// GlobalArray exactly like the paper's GA-based implementation.  The
+/// queue is "prioritized" by construction: callers seed their scan cursor
+/// with rank-local chunks first via the owner_first option in the indexing
+/// layer; the counter itself is strictly global.
+class AtomicCounterQueue : public TaskQueue {
+ public:
+  /// Collective: creates a queue over `num_tasks` tasks with the given
+  /// chunk size.
+  static std::shared_ptr<AtomicCounterQueue> create(Context& ctx, std::size_t num_tasks,
+                                                    std::size_t chunk_size,
+                                                    bool vtime_ordered = false);
+
+  [[nodiscard]] std::size_t num_tasks() const override { return num_tasks_; }
+  [[nodiscard]] std::size_t chunk_size() const { return chunk_size_; }
+
+  AtomicCounterQueue(GlobalArray<std::int64_t> counter, std::size_t num_tasks,
+                     std::size_t chunk_size);
+
+ protected:
+  std::optional<TaskChunk> claim(Context& ctx) override;
+
+ private:
+  GlobalArray<std::int64_t> counter_;
+  std::size_t num_tasks_;
+  std::size_t chunk_size_;
+};
+
+/// Master–worker queue: rank 0 "services" every chunk request serially.
+/// The modeled request/response latencies plus the master's serial service
+/// time reproduce the scalability bottleneck the paper describes.  (The
+/// master also performs its own work; its requests are serviced locally.)
+class MasterWorkerQueue : public TaskQueue {
+ public:
+  static std::shared_ptr<MasterWorkerQueue> create(Context& ctx, std::size_t num_tasks,
+                                                   std::size_t chunk_size,
+                                                   bool vtime_ordered = false);
+
+  [[nodiscard]] std::size_t num_tasks() const override { return num_tasks_; }
+
+  MasterWorkerQueue(std::size_t num_tasks, std::size_t chunk_size);
+
+ protected:
+  std::optional<TaskChunk> claim(Context& ctx) override;
+
+ private:
+  std::mutex mutex_;
+  std::size_t next_task_ = 0;
+  double master_busy_until_ = 0.0;  ///< master's virtual clock for queue service
+  std::size_t num_tasks_;
+  std::size_t chunk_size_;
+};
+
+/// Static pre-partitioned "queue": rank r receives exactly its contiguous
+/// 1/P share, mimicking no load balancing at all (the Figure 9 baseline).
+class StaticPartitionQueue : public TaskQueue {
+ public:
+  static std::shared_ptr<StaticPartitionQueue> create(Context& ctx, std::size_t num_tasks,
+                                                      bool vtime_ordered = false);
+
+  [[nodiscard]] std::size_t num_tasks() const override { return num_tasks_; }
+
+  StaticPartitionQueue(std::size_t num_tasks, int nprocs);
+
+ protected:
+  std::optional<TaskChunk> claim(Context& ctx) override;
+
+ private:
+  std::size_t num_tasks_;
+  int nprocs_;
+  // Per-rank single-shot flags; index = rank.
+  std::vector<bool> claimed_;
+  std::mutex mutex_;
+};
+
+/// The paper's queue (§3.3): per-rank cursors in a global array, advanced
+/// with GA fetch-and-increment.  "The task queue is prioritized in such a
+/// way that each process completes its inversion loads first, and then
+/// works on loads owned by other processes" — next() drains the caller's
+/// own range, then steals from peers in round-robin order.
+class OwnerFirstChunkQueue : public TaskQueue {
+ public:
+  /// Collective: `ranges[r]` is the contiguous task interval owned by rank
+  /// r; interval union must cover the queue's task space.
+  static std::shared_ptr<OwnerFirstChunkQueue> create(
+      Context& ctx, std::vector<std::pair<std::size_t, std::size_t>> ranges,
+      std::size_t chunk_size, bool vtime_ordered = false);
+
+  [[nodiscard]] std::size_t num_tasks() const override { return num_tasks_; }
+
+  OwnerFirstChunkQueue(GlobalArray<std::int64_t> cursors,
+                       std::vector<std::pair<std::size_t, std::size_t>> ranges,
+                       std::size_t chunk_size);
+
+ protected:
+  std::optional<TaskChunk> claim(Context& ctx) override;
+
+ private:
+  std::optional<TaskChunk> claim_from(Context& ctx, int owner);
+
+  GlobalArray<std::int64_t> cursors_;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges_;
+  std::size_t chunk_size_;
+  std::size_t num_tasks_ = 0;
+};
+
+/// Scheduling strategies selectable in the indexing configuration.
+enum class Scheduling {
+  kStatic,         ///< contiguous 1/P shares, no balancing
+  kOwnerFirst,     ///< the paper's prioritized GA-atomic queue
+  kAtomicCounter,  ///< single global GA fetch-and-increment counter
+  kMasterWorker,   ///< message-passing master–worker baseline
+};
+
+/// Factory used by the indexing component.  `ranges` (per-rank ownership)
+/// is required by kOwnerFirst; other strategies ignore it.  With
+/// `vtime_ordered` true, claims are granted in virtual-time order via a
+/// ClaimGate (see its protocol note: every rank must drain to nullopt).
+std::shared_ptr<TaskQueue> make_task_queue(
+    Context& ctx, Scheduling scheduling, std::size_t num_tasks, std::size_t chunk_size,
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges = {},
+    bool vtime_ordered = false);
+
+const char* scheduling_name(Scheduling s);
+
+}  // namespace sva::ga

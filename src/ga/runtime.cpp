@@ -1,0 +1,145 @@
+#include "sva/ga/runtime.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "sva/util/log.hpp"
+
+namespace sva::ga {
+
+namespace detail {
+
+void RawBarrier::wait(const std::atomic<bool>& aborted) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (aborted.load(std::memory_order_acquire)) {
+    throw ProtocolError("SPMD world aborted by a peer rank");
+  }
+  if (++arrived_ == nprocs_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  const std::uint64_t my_generation = generation_;
+  cv_.wait(lock, [&] {
+    return generation_ != my_generation || aborted.load(std::memory_order_acquire);
+  });
+  if (generation_ == my_generation && aborted.load(std::memory_order_acquire)) {
+    throw ProtocolError("SPMD world aborted by a peer rank");
+  }
+}
+
+void RawBarrier::abort_wakeup() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cv_.notify_all();
+}
+
+}  // namespace detail
+
+World::World(int nprocs, CommModel model)
+    : nprocs_(nprocs),
+      model_(model),
+      barrier_(nprocs),
+      slots_(static_cast<std::size_t>(nprocs), nullptr),
+      clock_slots_(static_cast<std::size_t>(nprocs), 0.0) {
+  require(nprocs >= 1, "World: nprocs must be >= 1");
+}
+
+Context::Context(World& world, int rank)
+    : world_(world), rank_(rank), cpu_mark_(ThreadCpuTimer::now()) {}
+
+void Context::sample_compute() {
+  const double now = ThreadCpuTimer::now();
+  vtime_ += (now - cpu_mark_) * world_.model().compute_scale;
+  cpu_mark_ = now;
+}
+
+double Context::vtime() {
+  sample_compute();
+  return vtime_;
+}
+
+void Context::reset_vtime() {
+  vtime_ = 0.0;
+  cpu_mark_ = ThreadCpuTimer::now();
+}
+
+void Context::sync_clocks_max(double extra_cost) {
+  // Publish clocks, synchronize, advance everyone to the max.
+  world_.clock_slots_[static_cast<std::size_t>(rank_)] = vtime_;
+  world_.barrier_.wait(world_.aborted_);
+  double max_clock = 0.0;
+  for (double t : world_.clock_slots_) max_clock = std::max(max_clock, t);
+  world_.barrier_.wait(world_.aborted_);
+  vtime_ = max_clock + extra_cost;
+  // Compute done inside the exchange window (e.g. local reduction work)
+  // belongs to the next interval; reset the CPU baseline.
+  cpu_mark_ = ThreadCpuTimer::now();
+}
+
+void Context::barrier() {
+  sample_compute();
+  sync_clocks_max(world_.model().barrier(nprocs()));
+}
+
+void Context::exchange(const void* mine, double comm_cost,
+                       const std::function<void(const std::vector<const void*>&)>& consume) {
+  sample_compute();
+  world_.slots_[static_cast<std::size_t>(rank_)] = mine;
+  world_.clock_slots_[static_cast<std::size_t>(rank_)] = vtime_;
+  world_.barrier_.wait(world_.aborted_);
+
+  consume(world_.slots_);
+  double max_clock = 0.0;
+  for (double t : world_.clock_slots_) max_clock = std::max(max_clock, t);
+
+  world_.barrier_.wait(world_.aborted_);
+  vtime_ = max_clock + comm_cost;
+  cpu_mark_ = ThreadCpuTimer::now();
+}
+
+SpmdResult spmd_run(int nprocs, const CommModel& model,
+                    const std::function<void(Context&)>& fn) {
+  require(nprocs >= 1 && nprocs <= 4096, "spmd_run: nprocs out of range [1, 4096]");
+  World world(nprocs, model);
+  SpmdResult result;
+  result.rank_vtimes.assign(static_cast<std::size_t>(nprocs), 0.0);
+
+  WallTimer wall;
+
+  auto body = [&](int rank) {
+    Context ctx(world, rank);
+    try {
+      fn(ctx);
+      ctx.sample_compute();
+      result.rank_vtimes[static_cast<std::size_t>(rank)] = ctx.vtime_raw();
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(world.error_mutex_);
+        if (!world.first_error_) world.first_error_ = std::current_exception();
+      }
+      world.aborted_.store(true, std::memory_order_release);
+      world.barrier_.abort_wakeup();
+    }
+  };
+
+  if (nprocs == 1) {
+    body(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nprocs));
+    for (int r = 0; r < nprocs; ++r) threads.emplace_back(body, r);
+    for (auto& t : threads) t.join();
+  }
+
+  result.wall_seconds = wall.elapsed();
+  if (world.first_error_) std::rethrow_exception(world.first_error_);
+  result.max_vtime = *std::max_element(result.rank_vtimes.begin(), result.rank_vtimes.end());
+  return result;
+}
+
+SpmdResult spmd_run(int nprocs, const std::function<void(Context&)>& fn) {
+  return spmd_run(nprocs, CommModel{}, fn);
+}
+
+}  // namespace sva::ga

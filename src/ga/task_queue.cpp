@@ -1,0 +1,255 @@
+#include "sva/ga/task_queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sva::ga {
+
+// ---- ClaimGate -------------------------------------------------------------
+
+bool ClaimGate::may_grant(int rank) const {
+  const auto r = static_cast<std::size_t>(rank);
+  for (std::size_t s = 0; s < state_.size(); ++s) {
+    if (s == r) continue;
+    switch (state_[s]) {
+      case State::kUnseen:
+        // s has not reached the queue yet; its first claim could carry any
+        // virtual time, so nobody may overtake it.
+        return false;
+      case State::kWaiting:
+      case State::kProcessing:
+        if (vtime_[s] < vtime_[r] || (vtime_[s] == vtime_[r] && s < r)) return false;
+        break;
+      case State::kDone:
+        break;
+    }
+  }
+  return true;
+}
+
+void ClaimGate::enter(Context& ctx) {
+  const auto r = static_cast<std::size_t>(ctx.rank());
+  const double now = ctx.vtime();  // samples compute before blocking
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (state_[r] == State::kDone) return;  // post-drain probes skip the gate
+  state_[r] = State::kWaiting;
+  vtime_[r] = now;
+  cv_.notify_all();
+  while (!may_grant(ctx.rank())) {
+    // Poll the abort flag so a peer's exception cannot strand us here.
+    cv_.wait_for(lock, std::chrono::milliseconds(20));
+    if (ctx.world().aborted_.load()) {
+      throw ProtocolError("ClaimGate: world aborted while waiting for a claim");
+    }
+  }
+  state_[r] = State::kProcessing;  // vtime_[r] stays as the lower bound
+}
+
+void ClaimGate::finish(Context& ctx) {
+  const auto r = static_cast<std::size_t>(ctx.rank());
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_[r] = State::kDone;
+  cv_.notify_all();
+}
+
+// ---- TaskQueue base ----------------------------------------------------------
+
+std::optional<TaskChunk> TaskQueue::next(Context& ctx) {
+  if (!gate_) return claim(ctx);
+  gate_->enter(ctx);
+  auto chunk = claim(ctx);
+  if (!chunk) gate_->finish(ctx);
+  return chunk;
+}
+
+// ---- AtomicCounterQueue --------------------------------------------------
+
+AtomicCounterQueue::AtomicCounterQueue(GlobalArray<std::int64_t> counter,
+                                       std::size_t num_tasks, std::size_t chunk_size)
+    : counter_(std::move(counter)), num_tasks_(num_tasks), chunk_size_(chunk_size) {
+  require(chunk_size >= 1, "AtomicCounterQueue: chunk_size must be >= 1");
+}
+
+std::shared_ptr<AtomicCounterQueue> AtomicCounterQueue::create(Context& ctx,
+                                                               std::size_t num_tasks,
+                                                               std::size_t chunk_size,
+                                                               bool vtime_ordered) {
+  auto counter = GlobalArray<std::int64_t>::create(ctx, 1);
+  return ctx.collective_create<AtomicCounterQueue>([&]() {
+    auto q = std::make_shared<AtomicCounterQueue>(counter, num_tasks, chunk_size);
+    if (vtime_ordered) q->enable_vtime_order(ctx.nprocs());
+    return q;
+  });
+}
+
+std::optional<TaskChunk> AtomicCounterQueue::claim(Context& ctx) {
+  // GA NGA_Read_inc on the shared counter: one atomic RMW per claim.
+  const auto begin = static_cast<std::size_t>(
+      counter_.fetch_add(ctx, 0, static_cast<std::int64_t>(chunk_size_)));
+  if (begin >= num_tasks_) return std::nullopt;
+  return TaskChunk{begin, std::min(num_tasks_, begin + chunk_size_)};
+}
+
+// ---- MasterWorkerQueue -----------------------------------------------------
+
+MasterWorkerQueue::MasterWorkerQueue(std::size_t num_tasks, std::size_t chunk_size)
+    : num_tasks_(num_tasks), chunk_size_(chunk_size) {
+  require(chunk_size >= 1, "MasterWorkerQueue: chunk_size must be >= 1");
+}
+
+std::shared_ptr<MasterWorkerQueue> MasterWorkerQueue::create(Context& ctx,
+                                                             std::size_t num_tasks,
+                                                             std::size_t chunk_size,
+                                                             bool vtime_ordered) {
+  return ctx.collective_create<MasterWorkerQueue>([&]() {
+    auto q = std::make_shared<MasterWorkerQueue>(num_tasks, chunk_size);
+    if (vtime_ordered) q->enable_vtime_order(ctx.nprocs());
+    return q;
+  });
+}
+
+std::optional<TaskChunk> MasterWorkerQueue::claim(Context& ctx) {
+  const bool is_master = ctx.rank() == 0;
+  const double request_latency = is_master ? ctx.model().alpha_local : ctx.model().alpha;
+
+  // The request leaves the worker at its current virtual time and queues
+  // at the master, which services requests one at a time.  The reply
+  // arrives one message latency after service completes.  This serial
+  // `master_busy_until_` clock is precisely the bottleneck of [20].
+  const double request_arrives = ctx.vtime() + request_latency;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double service_start = std::max(master_busy_until_, request_arrives);
+  const double service_end = service_start + ctx.model().rpc_service;
+  master_busy_until_ = service_end;
+  ctx.set_vtime(service_end + request_latency);
+
+  if (next_task_ >= num_tasks_) return std::nullopt;
+  const std::size_t begin = next_task_;
+  next_task_ = std::min(num_tasks_, next_task_ + chunk_size_);
+  return TaskChunk{begin, next_task_};
+}
+
+// ---- StaticPartitionQueue ---------------------------------------------------
+
+StaticPartitionQueue::StaticPartitionQueue(std::size_t num_tasks, int nprocs)
+    : num_tasks_(num_tasks),
+      nprocs_(nprocs),
+      claimed_(static_cast<std::size_t>(nprocs), false) {}
+
+std::shared_ptr<StaticPartitionQueue> StaticPartitionQueue::create(Context& ctx,
+                                                                   std::size_t num_tasks,
+                                                                   bool vtime_ordered) {
+  return ctx.collective_create<StaticPartitionQueue>([&]() {
+    auto q = std::make_shared<StaticPartitionQueue>(num_tasks, ctx.nprocs());
+    if (vtime_ordered) q->enable_vtime_order(ctx.nprocs());
+    return q;
+  });
+}
+
+std::optional<TaskChunk> StaticPartitionQueue::claim(Context& ctx) {
+  const auto rank = static_cast<std::size_t>(ctx.rank());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (claimed_[rank]) return std::nullopt;
+    claimed_[rank] = true;
+  }
+  const auto nprocs = static_cast<std::size_t>(nprocs_);
+  const std::size_t per_rank = (num_tasks_ + nprocs - 1) / nprocs;
+  const std::size_t begin = std::min(num_tasks_, rank * per_rank);
+  const std::size_t end = std::min(num_tasks_, begin + per_rank);
+  if (begin >= end) return std::nullopt;
+  return TaskChunk{begin, end};
+}
+
+// ---- OwnerFirstChunkQueue ---------------------------------------------------
+
+OwnerFirstChunkQueue::OwnerFirstChunkQueue(
+    GlobalArray<std::int64_t> cursors,
+    std::vector<std::pair<std::size_t, std::size_t>> ranges, std::size_t chunk_size)
+    : cursors_(std::move(cursors)), ranges_(std::move(ranges)), chunk_size_(chunk_size) {
+  require(chunk_size >= 1, "OwnerFirstChunkQueue: chunk_size must be >= 1");
+  for (const auto& [begin, end] : ranges_) {
+    require(begin <= end, "OwnerFirstChunkQueue: malformed range");
+    num_tasks_ += end - begin;
+  }
+}
+
+std::shared_ptr<OwnerFirstChunkQueue> OwnerFirstChunkQueue::create(
+    Context& ctx, std::vector<std::pair<std::size_t, std::size_t>> ranges,
+    std::size_t chunk_size, bool vtime_ordered) {
+  require(ranges.size() == static_cast<std::size_t>(ctx.nprocs()),
+          "OwnerFirstChunkQueue: need one range per rank");
+  auto cursors = GlobalArray<std::int64_t>::create(ctx, ranges.size());
+  // Each rank initializes its own cursor to its range start.
+  cursors.put_value(ctx, static_cast<std::size_t>(ctx.rank()),
+                    static_cast<std::int64_t>(ranges[static_cast<std::size_t>(ctx.rank())].first));
+  auto queue = ctx.collective_create<OwnerFirstChunkQueue>([&]() {
+    auto q = std::make_shared<OwnerFirstChunkQueue>(cursors, ranges, chunk_size);
+    if (vtime_ordered) q->enable_vtime_order(ctx.nprocs());
+    return q;
+  });
+  ctx.barrier();  // cursors visible before anyone claims
+  return queue;
+}
+
+std::optional<TaskChunk> OwnerFirstChunkQueue::claim_from(Context& ctx, int owner) {
+  const auto& [begin, end] = ranges_[static_cast<std::size_t>(owner)];
+  (void)begin;
+  const auto claimed = static_cast<std::size_t>(cursors_.fetch_add(
+      ctx, static_cast<std::size_t>(owner), static_cast<std::int64_t>(chunk_size_)));
+  if (claimed >= end) return std::nullopt;
+  return TaskChunk{claimed, std::min(end, claimed + chunk_size_)};
+}
+
+std::optional<TaskChunk> OwnerFirstChunkQueue::claim(Context& ctx) {
+  // Own loads first...
+  if (auto chunk = claim_from(ctx, ctx.rank())) return chunk;
+  // ...then help peers, cycling from the next rank upward.
+  for (int step = 1; step < ctx.nprocs(); ++step) {
+    const int victim = (ctx.rank() + step) % ctx.nprocs();
+    if (auto chunk = claim_from(ctx, victim)) return chunk;
+  }
+  return std::nullopt;
+}
+
+// ---- factory ---------------------------------------------------------------
+
+std::shared_ptr<TaskQueue> make_task_queue(
+    Context& ctx, Scheduling scheduling, std::size_t num_tasks, std::size_t chunk_size,
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges, bool vtime_ordered) {
+  switch (scheduling) {
+    case Scheduling::kStatic:
+      return StaticPartitionQueue::create(ctx, num_tasks, vtime_ordered);
+    case Scheduling::kOwnerFirst: {
+      auto owned = ranges;
+      if (owned.empty()) {
+        // Fall back to equal contiguous shares.
+        const auto nprocs = static_cast<std::size_t>(ctx.nprocs());
+        const std::size_t per_rank = (num_tasks + nprocs - 1) / nprocs;
+        for (std::size_t r = 0; r < nprocs; ++r) {
+          const std::size_t begin = std::min(num_tasks, r * per_rank);
+          owned.emplace_back(begin, std::min(num_tasks, begin + per_rank));
+        }
+      }
+      return OwnerFirstChunkQueue::create(ctx, std::move(owned), chunk_size, vtime_ordered);
+    }
+    case Scheduling::kAtomicCounter:
+      return AtomicCounterQueue::create(ctx, num_tasks, chunk_size, vtime_ordered);
+    case Scheduling::kMasterWorker:
+      return MasterWorkerQueue::create(ctx, num_tasks, chunk_size, vtime_ordered);
+  }
+  throw InvalidArgument("make_task_queue: unknown scheduling strategy");
+}
+
+const char* scheduling_name(Scheduling s) {
+  switch (s) {
+    case Scheduling::kStatic: return "static";
+    case Scheduling::kOwnerFirst: return "owner-first";
+    case Scheduling::kAtomicCounter: return "atomic-counter";
+    case Scheduling::kMasterWorker: return "master-worker";
+  }
+  return "?";
+}
+
+}  // namespace sva::ga

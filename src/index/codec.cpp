@@ -1,0 +1,123 @@
+#include "sva/index/codec.hpp"
+
+#include <algorithm>
+
+#include "sva/util/error.hpp"
+
+namespace sva::index {
+
+void varbyte_append(std::int64_t value, std::vector<std::uint8_t>& out) {
+  require(value >= 0, "varbyte_append: negative value");
+  auto v = static_cast<std::uint64_t>(value);
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::vector<std::uint8_t> varbyte_encode(std::span<const std::int64_t> values) {
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size() + values.size() / 2);
+  for (const auto v : values) varbyte_append(v, out);
+  return out;
+}
+
+std::vector<std::int64_t> varbyte_decode(std::span<const std::uint8_t> bytes) {
+  std::vector<std::int64_t> out;
+  std::uint64_t v = 0;
+  int shift = 0;
+  bool in_value = false;
+  for (const std::uint8_t b : bytes) {
+    require(shift <= 63, "varbyte_decode: value overflows 64 bits");
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) != 0) {
+      shift += 7;
+      in_value = true;
+    } else {
+      out.push_back(static_cast<std::int64_t>(v));
+      v = 0;
+      shift = 0;
+      in_value = false;
+    }
+  }
+  if (in_value) throw Error("varbyte_decode: truncated input");
+  return out;
+}
+
+std::vector<std::uint8_t> encode_postings(std::span<const std::int64_t> postings) {
+  std::vector<std::uint8_t> out;
+  if (postings.empty()) return out;
+  require(postings.front() >= 0, "encode_postings: negative posting");
+  varbyte_append(postings.front(), out);
+  for (std::size_t i = 1; i < postings.size(); ++i) {
+    const std::int64_t gap = postings[i] - postings[i - 1];
+    require(gap > 0, "encode_postings: postings must be strictly ascending");
+    varbyte_append(gap, out);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> decode_postings(std::span<const std::uint8_t> bytes) {
+  std::vector<std::int64_t> gaps = varbyte_decode(bytes);
+  std::int64_t running = 0;
+  for (std::size_t i = 0; i < gaps.size(); ++i) {
+    running += gaps[i];
+    gaps[i] = running;
+  }
+  return gaps;
+}
+
+std::vector<std::int64_t> CompressedIndex::postings_of(std::size_t term) const {
+  require(term < num_terms, "CompressedIndex: term out of range");
+  const std::uint64_t lo = offsets[term];
+  const std::uint64_t hi = offsets[term + 1];
+  return decode_postings(std::span<const std::uint8_t>(bytes.data() + lo, hi - lo));
+}
+
+double CompressedIndex::compression_ratio() const {
+  if (bytes.empty()) return 1.0;
+  return static_cast<double>(total_postings) * 8.0 / static_cast<double>(bytes.size());
+}
+
+CompressedIndex compress_record_index(ga::Context& ctx, const InvertedIndex& index) {
+  const auto n_terms = static_cast<std::size_t>(index.num_terms);
+
+  // Each rank compresses the term block it owns (postings are already
+  // sorted by the indexer's canonicalization pass).
+  const auto [tb, te] = index.record_offsets.local_row_range(ctx);
+  const std::size_t my_terms = te > tb ? std::min(te, n_terms) - tb : 0;
+
+  std::vector<std::uint8_t> my_bytes;
+  std::vector<std::uint64_t> my_lengths(my_terms, 0);
+  if (my_terms > 0) {
+    std::vector<std::int64_t> bounds(my_terms + 1);
+    index.record_offsets.get(ctx, tb, bounds);
+    const auto p_begin = static_cast<std::size_t>(bounds.front());
+    const auto p_end = static_cast<std::size_t>(bounds.back());
+    std::vector<std::int64_t> region(p_end - p_begin);
+    if (!region.empty()) index.record_postings.get(ctx, p_begin, region);
+
+    for (std::size_t t = 0; t < my_terms; ++t) {
+      const auto lo = static_cast<std::size_t>(bounds[t]) - p_begin;
+      const auto hi = static_cast<std::size_t>(bounds[t + 1]) - p_begin;
+      const auto encoded =
+          encode_postings(std::span<const std::int64_t>(region.data() + lo, hi - lo));
+      my_lengths[t] = encoded.size();
+      my_bytes.insert(my_bytes.end(), encoded.begin(), encoded.end());
+    }
+  }
+
+  CompressedIndex out;
+  out.num_terms = index.num_terms;
+  out.total_postings = index.total_record_postings;
+  const auto all_lengths = ctx.allgatherv(std::span<const std::uint64_t>(my_lengths));
+  out.bytes = ctx.allgatherv(std::span<const std::uint8_t>(my_bytes));
+  out.offsets.resize(n_terms + 1, 0);
+  for (std::size_t t = 0; t < n_terms; ++t) out.offsets[t + 1] = out.offsets[t] + all_lengths[t];
+  require(out.offsets.back() == out.bytes.size(),
+          "compress_record_index: offset/byte mismatch");
+  return out;
+}
+
+}  // namespace sva::index

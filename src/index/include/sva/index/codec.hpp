@@ -1,0 +1,57 @@
+// Posting-list compression: d-gaps + variable-byte encoding.
+//
+// FAST-INV exists because inverted files for multi-gigabyte corpora
+// outgrow memory; the companion technique in the same literature
+// (Frakes & Baeza-Yates [15]) is compressing each term's sorted posting
+// list as deltas ("d-gaps") in a variable-byte code.  The engine keeps
+// its working indexes uncompressed in global arrays, but persists them —
+// and serves memory-constrained deployments — through this codec.
+//
+// Varbyte layout: little-endian base-128, 7 payload bits per byte, the
+// high bit set on every byte except the last of each value.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sva/ga/runtime.hpp"
+#include "sva/index/inverted_index.hpp"
+
+namespace sva::index {
+
+/// Appends the varbyte encoding of `value` (must be >= 0) to `out`.
+void varbyte_append(std::int64_t value, std::vector<std::uint8_t>& out);
+
+/// Encodes non-negative values back-to-back.
+[[nodiscard]] std::vector<std::uint8_t> varbyte_encode(std::span<const std::int64_t> values);
+
+/// Decodes the whole buffer; throws FormatError on truncated input.
+[[nodiscard]] std::vector<std::int64_t> varbyte_decode(std::span<const std::uint8_t> bytes);
+
+/// Encodes a strictly sorted (ascending, unique) posting list as a first
+/// value plus d-gaps.  Throws InvalidArgument when unsorted.
+[[nodiscard]] std::vector<std::uint8_t> encode_postings(std::span<const std::int64_t> postings);
+
+/// Inverse of encode_postings.
+[[nodiscard]] std::vector<std::int64_t> decode_postings(std::span<const std::uint8_t> bytes);
+
+/// A whole term→record index, compressed.  Term t's list occupies
+/// bytes[offsets[t] .. offsets[t+1]).
+struct CompressedIndex {
+  std::vector<std::uint64_t> offsets;  ///< num_terms + 1
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t num_terms = 0;
+  std::uint64_t total_postings = 0;
+
+  [[nodiscard]] std::vector<std::int64_t> postings_of(std::size_t term) const;
+  /// Compression ratio vs. 8-byte raw postings (higher is better).
+  [[nodiscard]] double compression_ratio() const;
+};
+
+/// Collective: every rank compresses its owned term block and the blocks
+/// are gathered, so all ranks return the complete compressed index.
+[[nodiscard]] CompressedIndex compress_record_index(ga::Context& ctx,
+                                                    const InvertedIndex& index);
+
+}  // namespace sva::index

@@ -1,0 +1,58 @@
+// Query facade over the inverted index.
+//
+// The paper calls the indexes "a valuable intermediate product"; this is
+// the downstream-user API that makes them usable directly: term lookup,
+// conjunctive (AND) queries by sorted-postings intersection, and ranked
+// disjunctive queries with tf-idf scoring from the global term
+// statistics.  All reads are one-sided GA gets, so any rank can serve
+// queries — the concurrency story the paper's "multiple concurrent
+// users" motivation implies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sva/ga/dist_hashmap.hpp"
+#include "sva/index/inverted_index.hpp"
+
+namespace sva::index {
+
+struct ScoredRecord {
+  std::int64_t record = 0;
+  double score = 0.0;
+};
+
+class TermSearcher {
+ public:
+  /// `index`/`stats` are the products of build_inverted_index;
+  /// `vocabulary` is the canonical vocabulary from scanning.
+  TermSearcher(InvertedIndex index, TermStats stats,
+               std::shared_ptr<const ga::Vocabulary> vocabulary);
+
+  /// Record postings of a term (empty when the term is unknown).
+  [[nodiscard]] std::vector<std::int64_t> postings(ga::Context& ctx,
+                                                   std::string_view term) const;
+
+  /// Document frequency (0 when unknown).
+  [[nodiscard]] std::int64_t doc_frequency(ga::Context& ctx, std::string_view term) const;
+
+  /// Records containing ALL query terms (sorted-list intersection).
+  [[nodiscard]] std::vector<std::int64_t> conjunctive(
+      ga::Context& ctx, const std::vector<std::string>& terms) const;
+
+  /// Top-k records by summed idf weight over matched query terms
+  /// (disjunctive tf-idf-style ranking; presence-based tf).
+  [[nodiscard]] std::vector<ScoredRecord> ranked(ga::Context& ctx,
+                                                 const std::vector<std::string>& terms,
+                                                 std::size_t top_k = 10) const;
+
+ private:
+  InvertedIndex index_;
+  TermStats stats_;
+  std::shared_ptr<const ga::Vocabulary> vocabulary_;
+};
+
+}  // namespace sva::index

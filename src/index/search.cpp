@@ -1,0 +1,86 @@
+#include "sva/index/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "sva/util/error.hpp"
+
+namespace sva::index {
+
+TermSearcher::TermSearcher(InvertedIndex index, TermStats stats,
+                           std::shared_ptr<const ga::Vocabulary> vocabulary)
+    : index_(std::move(index)), stats_(std::move(stats)), vocabulary_(std::move(vocabulary)) {
+  require(vocabulary_ != nullptr, "TermSearcher: null vocabulary");
+}
+
+std::vector<std::int64_t> TermSearcher::postings(ga::Context& ctx,
+                                                 std::string_view term) const {
+  const std::int64_t id = vocabulary_->id_of(term);
+  if (id < 0) return {};
+  std::int64_t bounds[2];
+  index_.record_offsets.get(ctx, static_cast<std::size_t>(id),
+                            std::span<std::int64_t>(bounds, 2));
+  const auto begin = static_cast<std::size_t>(bounds[0]);
+  const auto end = static_cast<std::size_t>(bounds[1]);
+  std::vector<std::int64_t> out(end - begin);
+  if (!out.empty()) index_.record_postings.get(ctx, begin, out);
+  return out;
+}
+
+std::int64_t TermSearcher::doc_frequency(ga::Context& ctx, std::string_view term) const {
+  const std::int64_t id = vocabulary_->id_of(term);
+  if (id < 0) return 0;
+  return stats_.doc_frequency.get_value(ctx, static_cast<std::size_t>(id));
+}
+
+std::vector<std::int64_t> TermSearcher::conjunctive(
+    ga::Context& ctx, const std::vector<std::string>& terms) const {
+  if (terms.empty()) return {};
+
+  // Fetch all posting lists, rarest first (classic intersection order).
+  std::vector<std::vector<std::int64_t>> lists;
+  lists.reserve(terms.size());
+  for (const auto& term : terms) {
+    auto p = postings(ctx, term);
+    if (p.empty()) return {};  // an unknown term kills an AND query
+    lists.push_back(std::move(p));
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+
+  std::vector<std::int64_t> result = lists[0];
+  std::vector<std::int64_t> next;
+  for (std::size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    next.clear();
+    std::set_intersection(result.begin(), result.end(), lists[i].begin(), lists[i].end(),
+                          std::back_inserter(next));
+    result.swap(next);
+  }
+  return result;
+}
+
+std::vector<ScoredRecord> TermSearcher::ranked(ga::Context& ctx,
+                                               const std::vector<std::string>& terms,
+                                               std::size_t top_k) const {
+  std::map<std::int64_t, double> scores;
+  const double r = static_cast<double>(std::max<std::uint64_t>(stats_.num_records, 1));
+  for (const auto& term : terms) {
+    const auto p = postings(ctx, term);
+    if (p.empty()) continue;
+    const double idf = std::log((1.0 + r) / (1.0 + static_cast<double>(p.size())));
+    for (const auto record : p) scores[record] += idf;
+  }
+
+  std::vector<ScoredRecord> out;
+  out.reserve(scores.size());
+  for (const auto& [record, score] : scores) out.push_back({record, score});
+  std::sort(out.begin(), out.end(), [](const ScoredRecord& a, const ScoredRecord& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.record < b.record;
+  });
+  if (out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+}  // namespace sva::index

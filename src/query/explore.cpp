@@ -1,0 +1,141 @@
+#include "sva/query/explore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "sva/query/similarity.hpp"
+#include "sva/util/error.hpp"
+
+namespace sva::query {
+
+namespace {
+
+/// (distance, doc id) candidate for representative selection.
+struct Candidate {
+  double distance = 0.0;
+  std::uint64_t doc_id = 0;
+};
+
+/// Extracts the subset of local signature rows selected by `take(i)`.
+template <typename Pred>
+sig::SignatureSet subset_signatures(const sig::SignatureSet& signatures, Pred&& take) {
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < signatures.doc_ids.size(); ++i) {
+    if (take(i)) rows.push_back(i);
+  }
+  sig::SignatureSet out;
+  out.dimension = signatures.dimension;
+  out.docvecs = Matrix(rows.size(), signatures.dimension);
+  out.doc_ids.reserve(rows.size());
+  out.is_null.reserve(rows.size());
+  for (std::size_t j = 0; j < rows.size(); ++j) {
+    const auto src = signatures.docvecs.row(rows[j]);
+    std::copy(src.begin(), src.end(), out.docvecs.row(j).begin());
+    out.doc_ids.push_back(signatures.doc_ids[rows[j]]);
+    out.is_null.push_back(signatures.is_null[rows[j]]);
+  }
+  return out;
+}
+
+DrillDownResult drill_down_impl(ga::Context& ctx, const sig::SignatureSet& subset,
+                                cluster::KMeansConfig config) {
+  DrillDownResult result;
+  result.subset_size =
+      static_cast<std::uint64_t>(ctx.allreduce_sum(static_cast<std::int64_t>(
+          subset.doc_ids.size())));
+  require(result.subset_size >= 1, "drill_down: empty subset");
+
+  // Clamp k to the subset size so tiny selections still work.
+  config.k = std::max<std::size_t>(
+      1, std::min<std::size_t>(config.k, static_cast<std::size_t>(result.subset_size)));
+
+  result.clustering = cluster::kmeans_cluster(ctx, subset.docvecs, config);
+
+  // Fresh axes for the subset: PCA over its own centroids.
+  const auto pca = cluster::pca_fit(result.clustering.centroids, 2);
+  result.projection = cluster::project_documents(ctx, subset.docvecs, subset.doc_ids, pca);
+  return result;
+}
+
+}  // namespace
+
+ClusterSummary summarize_cluster(ga::Context& ctx, const sig::SignatureSet& signatures,
+                                 const std::vector<std::int32_t>& assignment,
+                                 const cluster::KMeansResult& clustering,
+                                 const std::vector<std::vector<std::string>>& theme_labels,
+                                 int cluster, std::size_t num_representatives) {
+  require(assignment.size() == signatures.doc_ids.size(),
+          "summarize_cluster: assignment/signatures mismatch");
+  require(cluster >= 0 &&
+              static_cast<std::size_t>(cluster) < clustering.centroids.rows(),
+          "summarize_cluster: cluster id out of range");
+
+  ClusterSummary summary;
+  summary.cluster = cluster;
+  summary.size = clustering.cluster_sizes[static_cast<std::size_t>(cluster)];
+  if (static_cast<std::size_t>(cluster) < theme_labels.size()) {
+    summary.top_terms = theme_labels[static_cast<std::size_t>(cluster)];
+  }
+
+  const auto centroid = clustering.centroids.row(static_cast<std::size_t>(cluster));
+
+  // Local pass: cohesion contribution and representative candidates.
+  double cos_sum = 0.0;
+  std::int64_t members = 0;
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] != cluster) continue;
+    ++members;
+    cos_sum += cosine_similarity(signatures.docvecs.row(i), centroid);
+    double d2 = 0.0;
+    const auto row = signatures.docvecs.row(i);
+    for (std::size_t d = 0; d < row.size(); ++d) {
+      const double diff = row[d] - centroid[d];
+      d2 += diff * diff;
+    }
+    candidates.push_back({d2, signatures.doc_ids[i]});
+  }
+
+  // Global cohesion.
+  const double global_cos = ctx.allreduce_sum(cos_sum);
+  const auto global_members = ctx.allreduce_sum(members);
+  summary.cohesion = global_members > 0 ? global_cos / static_cast<double>(global_members) : 0.0;
+
+  // Global representatives: local top-n, merged and re-cut.
+  auto closer = [](const Candidate& a, const Candidate& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.doc_id < b.doc_id;
+  };
+  const std::size_t keep = std::min(candidates.size(), num_representatives);
+  std::partial_sort(candidates.begin(), candidates.begin() + static_cast<std::ptrdiff_t>(keep),
+                    candidates.end(), closer);
+  candidates.resize(keep);
+  auto merged = ctx.allgatherv(std::span<const Candidate>(candidates));
+  std::sort(merged.begin(), merged.end(), closer);
+  if (merged.size() > num_representatives) merged.resize(num_representatives);
+  summary.representatives.reserve(merged.size());
+  for (const auto& c : merged) summary.representatives.push_back(c.doc_id);
+  return summary;
+}
+
+DrillDownResult drill_down_cluster(ga::Context& ctx, const sig::SignatureSet& signatures,
+                                   const std::vector<std::int32_t>& assignment, int cluster,
+                                   const cluster::KMeansConfig& config) {
+  require(assignment.size() == signatures.doc_ids.size(),
+          "drill_down_cluster: assignment/signatures mismatch");
+  const auto subset =
+      subset_signatures(signatures, [&](std::size_t i) { return assignment[i] == cluster; });
+  return drill_down_impl(ctx, subset, config);
+}
+
+DrillDownResult drill_down_documents(ga::Context& ctx, const sig::SignatureSet& signatures,
+                                     const std::vector<std::uint64_t>& doc_ids,
+                                     const cluster::KMeansConfig& config) {
+  const std::unordered_set<std::uint64_t> wanted(doc_ids.begin(), doc_ids.end());
+  const auto subset = subset_signatures(
+      signatures, [&](std::size_t i) { return wanted.count(signatures.doc_ids[i]) != 0; });
+  return drill_down_impl(ctx, subset, config);
+}
+
+}  // namespace sva::query

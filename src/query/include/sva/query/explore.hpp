@@ -1,0 +1,69 @@
+// Exploratory interactions: cluster summaries and drill-down.
+//
+// After one engine pass, the analyst reads the landscape, picks a theme
+// mountain and *drills in*: the documents of one cluster (or any ad-hoc
+// subset) are re-clustered and re-projected in isolation, producing a
+// fresh, higher-resolution landscape of just that theme — the successive
+// refinement loop that §2's query-refinement critique argues should
+// happen visually rather than by re-querying.  All operations are
+// collective and leave the original engine products untouched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sva/cluster/kmeans.hpp"
+#include "sva/cluster/pca.hpp"
+#include "sva/cluster/projection.hpp"
+#include "sva/ga/runtime.hpp"
+#include "sva/sig/signature.hpp"
+
+namespace sva::query {
+
+/// Analyst-facing digest of one cluster.
+struct ClusterSummary {
+  int cluster = -1;
+  std::int64_t size = 0;               ///< global member count
+  std::vector<std::string> top_terms;  ///< theme label terms
+  /// Global ids of the documents nearest the centroid — the ones to read.
+  std::vector<std::uint64_t> representatives;
+  /// Mean cosine of members to the centroid (1 = perfectly tight).
+  double cohesion = 0.0;
+};
+
+/// Collective: summarizes cluster `cluster` of a k-means run.
+/// `assignment` is the rank-local assignment aligned with
+/// `signatures.doc_ids`; `theme_labels` (usually EngineResult::
+/// theme_labels) provides the label terms and may be empty.
+[[nodiscard]] ClusterSummary summarize_cluster(
+    ga::Context& ctx, const sig::SignatureSet& signatures,
+    const std::vector<std::int32_t>& assignment, const cluster::KMeansResult& clustering,
+    const std::vector<std::vector<std::string>>& theme_labels, int cluster,
+    std::size_t num_representatives = 5);
+
+/// Products of one drill-down: the subset's own clustering and landscape.
+struct DrillDownResult {
+  cluster::KMeansResult clustering;        ///< over the subset
+  cluster::ProjectionResult projection;    ///< rank 0 gathers all_xy
+  std::uint64_t subset_size = 0;           ///< global subset cardinality
+};
+
+/// Collective: re-clusters and re-projects the members of `cluster`.
+/// `k` buckets the subset (clamped to the subset size); the projection is
+/// a fresh PCA over the subset's centroids, so the new landscape spreads
+/// the theme's internal structure instead of inheriting the global axes.
+[[nodiscard]] DrillDownResult drill_down_cluster(ga::Context& ctx,
+                                                 const sig::SignatureSet& signatures,
+                                                 const std::vector<std::int32_t>& assignment,
+                                                 int cluster,
+                                                 const cluster::KMeansConfig& config);
+
+/// Collective: drill-down on an arbitrary document subset (global ids,
+/// identical on every rank).
+[[nodiscard]] DrillDownResult drill_down_documents(ga::Context& ctx,
+                                                   const sig::SignatureSet& signatures,
+                                                   const std::vector<std::uint64_t>& doc_ids,
+                                                   const cluster::KMeansConfig& config);
+
+}  // namespace sva::query

@@ -1,0 +1,46 @@
+// Interactive similarity queries over distributed knowledge signatures.
+//
+// The paper's conclusion names "the interactions associated with massive
+// datasets within a visual analytics environment" as the next frontier;
+// this module provides the first interaction an analyst reaches for:
+// "more like this".  Signatures stay distributed (each rank holds its own
+// records' rows); a query broadcasts the probe vector, every rank scans
+// its block, and the per-rank top-k candidates are merged globally — the
+// same owner-computes pattern as the engine itself, so query latency
+// scales with P.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sva/ga/runtime.hpp"
+#include "sva/sig/signature.hpp"
+
+namespace sva::query {
+
+struct SimilarDoc {
+  std::uint64_t doc_id = 0;
+  double similarity = 0.0;  ///< cosine in [-1, 1]
+};
+
+/// Cosine similarity between two equal-length vectors; 0 when either is
+/// the zero vector (null signatures never match anything).
+[[nodiscard]] double cosine_similarity(std::span<const double> a, std::span<const double> b);
+
+/// Collective: the k most similar documents to `probe` (an M-vector in
+/// signature space).  All ranks receive the same result, ordered by
+/// descending similarity with doc-id tie-break.
+[[nodiscard]] std::vector<SimilarDoc> similar_documents(ga::Context& ctx,
+                                                        const sig::SignatureSet& signatures,
+                                                        std::span<const double> probe,
+                                                        std::size_t k);
+
+/// Collective: the k documents most similar to document `doc_id`
+/// (excluded from its own result).  Throws InvalidArgument when no rank
+/// owns `doc_id`.
+[[nodiscard]] std::vector<SimilarDoc> similar_to_document(ga::Context& ctx,
+                                                          const sig::SignatureSet& signatures,
+                                                          std::uint64_t doc_id, std::size_t k);
+
+}  // namespace sva::query

@@ -1,0 +1,93 @@
+#include "sva/sig/association.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sva/util/error.hpp"
+
+namespace sva::sig {
+
+const char* weighting_name(AssociationWeighting w) {
+  switch (w) {
+    case AssociationWeighting::kConditional: return "conditional";
+    case AssociationWeighting::kLiftSubtract: return "lift-subtract";
+    case AssociationWeighting::kLiftRatio: return "lift-ratio";
+  }
+  return "?";
+}
+
+AssociationMatrix build_association_matrix(ga::Context& ctx,
+                                           const std::vector<text::ScannedRecord>& records,
+                                           const TopicSelection& selection,
+                                           std::uint64_t num_records,
+                                           const AssociationConfig& config) {
+  const std::size_t n = selection.n();
+  const std::size_t m = selection.m();
+  require(n >= 1 && m >= 1, "build_association_matrix: empty selection");
+
+  // ---- partial co-occurrence counts over local records ----------------
+  // co[i*m + j] = #records containing both major term i and topic term j.
+  std::vector<double> co(n * m, 0.0);
+  std::vector<std::size_t> major_rows;
+  std::vector<std::size_t> topic_cols;
+
+  for (const auto& rec : records) {
+    major_rows.clear();
+    topic_cols.clear();
+    for (const auto& field : rec.fields) {
+      for (std::int64_t t : field.terms) {
+        if (auto it = selection.major_index.find(t); it != selection.major_index.end()) {
+          major_rows.push_back(it->second);
+        }
+        if (auto it = selection.topic_index.find(t); it != selection.topic_index.end()) {
+          topic_cols.push_back(it->second);
+        }
+      }
+    }
+    // Document-level presence: dedup.
+    std::sort(major_rows.begin(), major_rows.end());
+    major_rows.erase(std::unique(major_rows.begin(), major_rows.end()), major_rows.end());
+    std::sort(topic_cols.begin(), topic_cols.end());
+    topic_cols.erase(std::unique(topic_cols.begin(), topic_cols.end()), topic_cols.end());
+
+    for (std::size_t i : major_rows) {
+      double* row = co.data() + i * m;
+      for (std::size_t j : topic_cols) row[j] += 1.0;
+    }
+  }
+
+  // ---- merge partial matrices (the paper's MPI_Allreduce) -------------
+  ctx.allreduce_sum(co.data(), co.size());
+
+  // ---- weight entries ---------------------------------------------------
+  AssociationMatrix out;
+  out.weights = Matrix(n, m);
+  const double r = static_cast<double>(std::max<std::uint64_t>(num_records, 1));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p_i = static_cast<double>(selection.major_df[i]) / r;
+    for (std::size_t j = 0; j < m; ++j) {
+      // topic term j is also a major term (topics are the top-M prefix),
+      // so its df is available at the same index.
+      const double df_j = static_cast<double>(selection.major_df[j]);
+      if (df_j <= 0.0) continue;
+      const double conditional = co[i * m + j] / df_j;
+      double w = 0.0;
+      switch (config.weighting) {
+        case AssociationWeighting::kConditional:
+          w = conditional;
+          break;
+        case AssociationWeighting::kLiftSubtract:
+          w = std::max(0.0, conditional - p_i);
+          break;
+        case AssociationWeighting::kLiftRatio:
+          w = conditional * std::log1p(1.0 / std::max(p_i, 1e-12));
+          break;
+      }
+      out.weights.at(i, j) = w;
+    }
+  }
+  return out;
+}
+
+}  // namespace sva::sig

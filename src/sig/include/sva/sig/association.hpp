@@ -1,0 +1,52 @@
+// Association matrix (§3.4): relating topic terms to major terms.
+//
+// "An N by M matrix is then computed, with the entries in the matrix
+// being the conditional probabilities of occupance, modified by the
+// independent probability of occurrence."  Row i corresponds to major
+// term t_i, column j to topic term t_j; the entry combines the
+// conditional document-level co-occurrence probability P(t_i | t_j) with
+// t_i's independent probability P(t_i).  Each rank computes partial
+// co-occurrence counts over its own records, and the partial matrices are
+// merged with an Allreduce — exactly the paper's parallelization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sva/ga/runtime.hpp"
+#include "sva/sig/topicality.hpp"
+#include "sva/text/scanner.hpp"
+#include "sva/util/mathutil.hpp"
+
+namespace sva::sig {
+
+enum class AssociationWeighting {
+  kConditional,   ///< P(i|j)
+  kLiftSubtract,  ///< max(0, P(i|j) - P(i))   (default: "modified by the
+                  ///  independent probability of occurrence")
+  kLiftRatio,     ///< P(i|j) * log(1 + 1/P(i)) (IDF-style modification)
+};
+
+struct AssociationConfig {
+  AssociationWeighting weighting = AssociationWeighting::kLiftSubtract;
+};
+
+/// Replicated N×M association matrix over the current selection.
+struct AssociationMatrix {
+  Matrix weights;  ///< N rows (major terms) × M cols (topic terms)
+
+  [[nodiscard]] std::size_t n() const { return weights.rows(); }
+  [[nodiscard]] std::size_t m() const { return weights.cols(); }
+};
+
+const char* weighting_name(AssociationWeighting w);
+
+/// Collective: builds the association matrix from this rank's records
+/// (each rank passes its own slice; the merge is global).
+AssociationMatrix build_association_matrix(ga::Context& ctx,
+                                           const std::vector<text::ScannedRecord>& records,
+                                           const TopicSelection& selection,
+                                           std::uint64_t num_records,
+                                           const AssociationConfig& config = {});
+
+}  // namespace sva::sig

@@ -1,0 +1,41 @@
+// Knowledge-signature persistence (§2.1 step 7): "Persist the knowledge
+// signatures ... These signatures comprise a valuable intermediate
+// product of the text engine."
+//
+// The on-disk format is a small self-describing binary: a magic/version
+// header, the topic-term vocabulary (the meaning of each dimension), then
+// one row per record (doc id, null flag, M doubles).  Rank 0 gathers and
+// writes; reading is serial and validates the header.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sva/ga/runtime.hpp"
+#include "sva/sig/signature.hpp"
+
+namespace sva::sig {
+
+/// A deserialized signature store.
+struct PersistedSignatures {
+  std::vector<std::string> topic_terms;     ///< dimension labels
+  std::vector<std::uint64_t> doc_ids;       ///< row-aligned
+  std::vector<bool> is_null;                ///< row-aligned
+  Matrix docvecs;                           ///< rows × M
+
+  [[nodiscard]] std::size_t dimension() const { return docvecs.cols(); }
+  [[nodiscard]] std::size_t size() const { return docvecs.rows(); }
+};
+
+/// Collective: gathers every rank's signatures to rank 0 and writes them
+/// to `path` (rank 0 only touches the filesystem).  `topic_term_names`
+/// are the string labels of the M dimensions.
+void write_signatures(ga::Context& ctx, const std::string& path, const SignatureSet& sigs,
+                      const std::vector<std::string>& topic_term_names);
+
+/// Serial: loads a signature store written by write_signatures.
+/// Throws sva::Error on malformed input.
+PersistedSignatures read_signatures(const std::string& path);
+
+}  // namespace sva::sig

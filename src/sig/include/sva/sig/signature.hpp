@@ -1,0 +1,73 @@
+// Knowledge signatures (§3.4) and the adaptive-dimensionality remedy
+// (§4.2).
+//
+// A record's signature is the frequency-weighted linear combination of
+// the association-matrix rows of the major terms it contains, normalized
+// to unit L1 norm: an M-dimensional point whose axes are the topic terms.
+// Records containing no major terms produce *null signatures* — the
+// pathology the paper hit on PubMed.  Their remedy, reproduced here, is
+// to grow the dimensionality (N, and with it M) until the null fraction
+// falls below a threshold: "increasing the dimensionality producing
+// robust signatures".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sva/ga/runtime.hpp"
+#include "sva/sig/association.hpp"
+#include "sva/sig/topicality.hpp"
+#include "sva/text/scanner.hpp"
+#include "sva/util/mathutil.hpp"
+
+namespace sva::sig {
+
+struct SignatureConfig {
+  /// Signatures with pre-normalization L1 mass below this are null.
+  double null_threshold = 1e-12;
+  /// Adaptive dimensionality: re-run with a larger N when the global
+  /// null/weak fraction exceeds this bound.
+  bool adaptive = true;
+  double max_null_fraction = 0.02;
+  double growth_factor = 1.6;
+  int max_rounds = 3;
+};
+
+/// This rank's signatures (rows align with its records).
+struct SignatureSet {
+  Matrix docvecs;                      ///< local records × M
+  std::vector<std::uint64_t> doc_ids;  ///< global record ids, row-aligned
+  std::vector<bool> is_null;           ///< row-aligned null flags
+  std::size_t dimension = 0;           ///< M
+  std::uint64_t global_null_count = 0;
+};
+
+/// Collective (only for the null-count reduction): computes signatures
+/// for this rank's records against the association matrix.
+SignatureSet compute_signatures(ga::Context& ctx,
+                                const std::vector<text::ScannedRecord>& records,
+                                const TopicSelection& selection,
+                                const AssociationMatrix& association,
+                                const SignatureConfig& config = {});
+
+/// Outcome of the adaptive driver: final artifacts plus round telemetry.
+struct SignatureGenerationResult {
+  TopicSelection selection;
+  AssociationMatrix association;
+  SignatureSet signatures;
+  int rounds_used = 1;
+  /// Null fraction observed after each round (diagnostics/EXPERIMENTS).
+  std::vector<double> null_fraction_per_round;
+};
+
+/// Collective: the adaptive loop — topicality → association → signatures,
+/// growing N until the null fraction is acceptable (§4.2's remedy) or the
+/// vocabulary / round budget is exhausted.
+SignatureGenerationResult generate_signatures(ga::Context& ctx,
+                                              const std::vector<text::ScannedRecord>& records,
+                                              const index::TermStats& stats,
+                                              TopicalityConfig topicality_config,
+                                              const AssociationConfig& association_config,
+                                              const SignatureConfig& signature_config);
+
+}  // namespace sva::sig

@@ -1,0 +1,67 @@
+// Topicality (§3.4): finding the discriminating vocabulary.
+//
+// "From the global term statistics, each process generates topicality for
+// their sets of terms (N/P terms per process) ... based on Bookstein's
+// serial clustering method."  Bookstein–Klein–Raita's insight: a
+// content-bearing term *clumps* — its occurrences concentrate in few
+// documents relative to a random scatter of the same number of tokens.
+// Under random placement of tf tokens into R records, the expected number
+// of distinct records hit is
+//
+//     E[df] = R * (1 - (1 - 1/R)^tf)
+//
+// and the condensation score  (E[df] - df) / sqrt(E[df])  is large and
+// positive exactly for clumping (content-bearing) terms.  Each rank
+// scores its block of the term-statistics arrays, selects local top
+// candidates, and a global merge-sort (allgather + sort, matching the
+// paper's "global merge-sort process ... broadcast to all processes")
+// produces the top-N *major terms*; the top M ≈ 10 % of those are the
+// *topic terms* — the anchoring dimensions of the signature space.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sva/ga/runtime.hpp"
+#include "sva/index/inverted_index.hpp"
+
+namespace sva::sig {
+
+struct TopicalityConfig {
+  std::size_t num_major_terms = 1200;  ///< N
+  double topic_fraction = 0.10;        ///< M = max(2, fraction * N)
+  std::int64_t min_doc_frequency = 2;  ///< drop hapax/noise terms
+  double max_df_fraction = 0.25;       ///< drop near-ubiquitous terms
+};
+
+/// Replicated selection result.
+struct TopicSelection {
+  /// Top-N term ids by topicality, descending (ties broken by id).
+  std::vector<std::int64_t> major_terms;
+  /// Topicality scores aligned with major_terms.
+  std::vector<double> scores;
+  /// Document frequency of each major term (needed downstream).
+  std::vector<std::int64_t> major_df;
+  /// The top-M prefix of major_terms: the anchoring dimensions.
+  std::vector<std::int64_t> topic_terms;
+
+  /// term id → row position within major_terms.
+  std::unordered_map<std::int64_t, std::size_t> major_index;
+  /// term id → column position within topic_terms.
+  std::unordered_map<std::int64_t, std::size_t> topic_index;
+
+  [[nodiscard]] std::size_t n() const { return major_terms.size(); }
+  [[nodiscard]] std::size_t m() const { return topic_terms.size(); }
+};
+
+/// The raw Bookstein condensation score for one term.
+double bookstein_score(std::int64_t term_frequency, std::int64_t doc_frequency,
+                       std::uint64_t num_records);
+
+/// Collective: scores this rank's term block, merges globally, returns the
+/// replicated selection.
+TopicSelection select_topics(ga::Context& ctx, const index::TermStats& stats,
+                             const TopicalityConfig& config);
+
+}  // namespace sva::sig

@@ -1,0 +1,111 @@
+#include "sva/sig/persist.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "sva/util/error.hpp"
+
+namespace sva::sig {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'V', 'A', 'S', 'I', 'G', '0', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  require(in.good(), "read_signatures: truncated file");
+  return v;
+}
+
+void write_string(std::ofstream& out, const std::string& s) {
+  write_pod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::ifstream& in) {
+  const auto len = read_pod<std::uint32_t>(in);
+  require(len < (1u << 20), "read_signatures: implausible string length");
+  std::string s(len, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  require(in.good(), "read_signatures: truncated string");
+  return s;
+}
+
+}  // namespace
+
+void write_signatures(ga::Context& ctx, const std::string& path, const SignatureSet& sigs,
+                      const std::vector<std::string>& topic_term_names) {
+  require(topic_term_names.size() == sigs.dimension,
+          "write_signatures: dimension/label mismatch");
+
+  // Gather rows to rank 0: ids, null flags (as bytes), and the dense
+  // signature block.
+  std::vector<std::uint8_t> null_bytes(sigs.is_null.size());
+  for (std::size_t i = 0; i < sigs.is_null.size(); ++i) null_bytes[i] = sigs.is_null[i] ? 1 : 0;
+
+  const auto all_ids = ctx.gatherv(std::span<const std::uint64_t>(sigs.doc_ids), 0);
+  const auto all_nulls = ctx.gatherv(std::span<const std::uint8_t>(null_bytes), 0);
+  const auto all_vecs = ctx.gatherv(
+      std::span<const double>(sigs.docvecs.flat().data(), sigs.docvecs.flat().size()), 0);
+
+  if (ctx.rank() != 0) return;
+  require(all_vecs.size() == all_ids.size() * sigs.dimension,
+          "write_signatures: gathered size mismatch");
+
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::binary);
+  require(out.good(), "write_signatures: cannot open " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, static_cast<std::uint64_t>(all_ids.size()));
+  write_pod(out, static_cast<std::uint64_t>(sigs.dimension));
+  for (const auto& name : topic_term_names) write_string(out, name);
+  for (std::size_t i = 0; i < all_ids.size(); ++i) {
+    write_pod(out, all_ids[i]);
+    write_pod(out, all_nulls[i]);
+    out.write(reinterpret_cast<const char*>(all_vecs.data() + i * sigs.dimension),
+              static_cast<std::streamsize>(sigs.dimension * sizeof(double)));
+  }
+  require(out.good(), "write_signatures: write failed for " + path);
+}
+
+PersistedSignatures read_signatures(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "read_signatures: cannot open " + path);
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  require(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+          "read_signatures: bad magic (not a SVA signature file)");
+
+  const auto rows = read_pod<std::uint64_t>(in);
+  const auto dim = read_pod<std::uint64_t>(in);
+  require(dim >= 1 && dim < (1u << 20), "read_signatures: implausible dimension");
+
+  PersistedSignatures out;
+  out.topic_terms.reserve(dim);
+  for (std::uint64_t j = 0; j < dim; ++j) out.topic_terms.push_back(read_string(in));
+
+  out.doc_ids.reserve(rows);
+  out.is_null.reserve(rows);
+  out.docvecs = Matrix(rows, dim);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    out.doc_ids.push_back(read_pod<std::uint64_t>(in));
+    out.is_null.push_back(read_pod<std::uint8_t>(in) != 0);
+    in.read(reinterpret_cast<char*>(out.docvecs.row(i).data()),
+            static_cast<std::streamsize>(dim * sizeof(double)));
+    require(in.good(), "read_signatures: truncated rows");
+  }
+  return out;
+}
+
+}  // namespace sva::sig

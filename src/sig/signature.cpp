@@ -1,0 +1,108 @@
+#include "sva/sig/signature.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sva/util/error.hpp"
+#include "sva/util/log.hpp"
+
+namespace sva::sig {
+
+SignatureSet compute_signatures(ga::Context& ctx,
+                                const std::vector<text::ScannedRecord>& records,
+                                const TopicSelection& selection,
+                                const AssociationMatrix& association,
+                                const SignatureConfig& config) {
+  const std::size_t m = association.m();
+  require(m >= 1, "compute_signatures: zero-dimensional space");
+  require(association.n() == selection.n(),
+          "compute_signatures: selection/association mismatch");
+
+  SignatureSet out;
+  out.dimension = m;
+  out.docvecs = Matrix(records.size(), m);
+  out.doc_ids.reserve(records.size());
+  out.is_null.assign(records.size(), false);
+
+  std::unordered_map<std::size_t, double> freq;  // major row -> occurrences
+  std::int64_t local_nulls = 0;
+
+  for (std::size_t rec_idx = 0; rec_idx < records.size(); ++rec_idx) {
+    const auto& rec = records[rec_idx];
+    out.doc_ids.push_back(rec.doc_id);
+
+    // Term frequency of the record's major terms, across all fields.
+    freq.clear();
+    for (const auto& field : rec.fields) {
+      for (std::int64_t t : field.terms) {
+        if (auto it = selection.major_index.find(t); it != selection.major_index.end()) {
+          freq[it->second] += 1.0;
+        }
+      }
+    }
+
+    // "each term vector is multiplied by the frequency of that term
+    // within that record" — linear combination of association rows.
+    auto sig = out.docvecs.row(rec_idx);
+    for (const auto& [row, count] : freq) {
+      axpy(count, association.weights.row(row), sig);
+    }
+
+    // "Each signature is normalized based on a L1 Norm."
+    if (l1_norm(sig) <= config.null_threshold || !l1_normalize(sig)) {
+      out.is_null[rec_idx] = true;
+      ++local_nulls;
+      std::fill(sig.begin(), sig.end(), 0.0);
+    }
+  }
+
+  out.global_null_count = static_cast<std::uint64_t>(ctx.allreduce_sum(local_nulls));
+  return out;
+}
+
+SignatureGenerationResult generate_signatures(ga::Context& ctx,
+                                              const std::vector<text::ScannedRecord>& records,
+                                              const index::TermStats& stats,
+                                              TopicalityConfig topicality_config,
+                                              const AssociationConfig& association_config,
+                                              const SignatureConfig& signature_config) {
+  SignatureGenerationResult result;
+  const auto total_records =
+      static_cast<std::uint64_t>(ctx.allreduce_sum(static_cast<std::int64_t>(records.size())));
+
+  int round = 0;
+  while (true) {
+    ++round;
+    result.selection = select_topics(ctx, stats, topicality_config);
+    result.association = build_association_matrix(ctx, records, result.selection,
+                                                  stats.num_records, association_config);
+    result.signatures =
+        compute_signatures(ctx, records, result.selection, result.association,
+                           signature_config);
+
+    const double null_fraction =
+        total_records == 0
+            ? 0.0
+            : static_cast<double>(result.signatures.global_null_count) /
+                  static_cast<double>(total_records);
+    result.null_fraction_per_round.push_back(null_fraction);
+    result.rounds_used = round;
+
+    if (!signature_config.adaptive) break;
+    if (null_fraction <= signature_config.max_null_fraction) break;
+    if (round >= signature_config.max_rounds) break;
+    // Selection already saturated the scored vocabulary: growing N cannot
+    // recruit more terms.
+    if (result.selection.n() < topicality_config.num_major_terms) break;
+
+    const auto grown = static_cast<std::size_t>(
+        signature_config.growth_factor *
+        static_cast<double>(topicality_config.num_major_terms));
+    topicality_config.num_major_terms = std::max(grown, topicality_config.num_major_terms + 1);
+    log::debug("sig") << "adaptive dimensionality: null fraction " << null_fraction
+                      << " too high; growing N to " << topicality_config.num_major_terms;
+  }
+  return result;
+}
+
+}  // namespace sva::sig

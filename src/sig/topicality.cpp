@@ -1,0 +1,105 @@
+#include "sva/sig/topicality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sva/util/error.hpp"
+
+namespace sva::sig {
+
+double bookstein_score(std::int64_t term_frequency, std::int64_t doc_frequency,
+                       std::uint64_t num_records) {
+  if (num_records == 0 || term_frequency <= 0 || doc_frequency <= 0) return 0.0;
+  const double r = static_cast<double>(num_records);
+  const double tf = static_cast<double>(term_frequency);
+  // E[df] under random scatter; use log1p/expm1 for numerical stability
+  // with large R:  (1 - 1/R)^tf = exp(tf * log(1 - 1/R)).
+  const double expected_df = r * (-std::expm1(tf * std::log1p(-1.0 / r)));
+  if (expected_df <= 0.0) return 0.0;
+  return (expected_df - static_cast<double>(doc_frequency)) / std::sqrt(expected_df);
+}
+
+TopicSelection select_topics(ga::Context& ctx, const index::TermStats& stats,
+                             const TopicalityConfig& config) {
+  require(config.num_major_terms >= 2, "select_topics: need at least 2 major terms");
+  require(config.topic_fraction > 0.0 && config.topic_fraction <= 1.0,
+          "select_topics: topic_fraction in (0, 1]");
+
+  // ---- local scoring over this rank's term block ----------------------
+  struct Scored {
+    double score;
+    std::int64_t term;
+    std::int64_t df;
+  };
+
+  const auto [tb, te] = stats.term_frequency.local_row_range(ctx);
+  std::vector<std::int64_t> tf;
+  std::vector<std::int64_t> df;
+  if (te > tb) {
+    tf.resize(te - tb);
+    df.resize(te - tb);
+    stats.term_frequency.get(ctx, tb, tf);
+    stats.doc_frequency.get(ctx, tb, df);
+  }
+
+  // Filter strictness levels: the strict pass keeps only positively
+  // clumping (content-bearing) terms within the df window; if that leaves
+  // nothing *globally* — tiny or adversarial corpora where no term clumps
+  // — the df window is kept but the positivity requirement is dropped,
+  // and as a last resort any present term qualifies.  The level decision
+  // is collective (allreduce), so every rank selects identically, and the
+  // engine never produces an empty topic space for a nonempty vocabulary.
+  const auto max_df = static_cast<std::int64_t>(
+      config.max_df_fraction * static_cast<double>(stats.num_records));
+  std::vector<Scored> local;
+  for (int level = 0; level < 3; ++level) {
+    local.clear();
+    for (std::size_t i = 0; i < tf.size(); ++i) {
+      if (df[i] <= 0) continue;
+      if (level < 2 && (df[i] < config.min_doc_frequency || df[i] > max_df)) continue;
+      const double score = bookstein_score(tf[i], df[i], stats.num_records);
+      if (level < 1 && score <= 0.0) continue;
+      local.push_back({score, static_cast<std::int64_t>(tb + i), df[i]});
+    }
+    const auto survivors = ctx.allreduce_sum(static_cast<std::int64_t>(local.size()));
+    if (survivors > 0) break;
+  }
+
+  // Local top-N: no rank can contribute more than N winners.
+  auto better = [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.term < b.term;  // deterministic tie-break
+  };
+  const std::size_t keep = std::min(local.size(), config.num_major_terms);
+  std::partial_sort(local.begin(), local.begin() + static_cast<std::ptrdiff_t>(keep),
+                    local.end(), better);
+  local.resize(keep);
+
+  // ---- global merge-sort of candidates --------------------------------
+  std::vector<Scored> merged = ctx.allgatherv(std::span<const Scored>(local));
+  std::sort(merged.begin(), merged.end(), better);
+  if (merged.size() > config.num_major_terms) merged.resize(config.num_major_terms);
+
+  TopicSelection sel;
+  sel.major_terms.reserve(merged.size());
+  sel.scores.reserve(merged.size());
+  sel.major_df.reserve(merged.size());
+  for (const auto& s : merged) {
+    sel.major_index.emplace(s.term, sel.major_terms.size());
+    sel.major_terms.push_back(s.term);
+    sel.scores.push_back(s.score);
+    sel.major_df.push_back(s.df);
+  }
+
+  const std::size_t m = std::max<std::size_t>(
+      2, static_cast<std::size_t>(config.topic_fraction * static_cast<double>(sel.n())));
+  sel.topic_terms.assign(sel.major_terms.begin(),
+                         sel.major_terms.begin() +
+                             static_cast<std::ptrdiff_t>(std::min(m, sel.n())));
+  for (std::size_t j = 0; j < sel.topic_terms.size(); ++j) {
+    sel.topic_index.emplace(sel.topic_terms[j], j);
+  }
+  return sel;
+}
+
+}  // namespace sva::sig

@@ -1,0 +1,30 @@
+// Porter stemmer (M.F. Porter, "An algorithm for suffix stripping",
+// Program 14(3), 1980).
+//
+// IN-SPIRE-class text engines conflate morphological variants before any
+// statistics are computed — "connect", "connected", "connecting" and
+// "connection" should land on one vocabulary entry, otherwise topicality
+// splits a theme's evidence across inflections and the association matrix
+// dilutes.  The tokenizer applies this stemmer when
+// TokenizerConfig::stem is set.
+//
+// This is a faithful implementation of the original five-step algorithm
+// (with the standard step numbering 1a/1b/1c/2/3/4/5a/5b), operating on
+// lowercase ASCII tokens.  Tokens containing non-alphabetic bytes are
+// returned unchanged.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sva::text {
+
+/// Stems `word` in place.  Expects a lowercase ASCII token; words shorter
+/// than three letters and words containing non-letters are left unchanged
+/// (the classic guard: 1- and 2-letter words never change).
+void porter_stem_inplace(std::string& word);
+
+/// Convenience copy wrapper.
+[[nodiscard]] std::string porter_stem(std::string_view word);
+
+}  // namespace sva::text

@@ -1,0 +1,76 @@
+// Byte-stream tokenizer for the Scan & Map stage.
+//
+// Terms are separated by whitespace "or any delimiters specified during
+// configuration" (§3.2).  The tokenizer additionally supports the usual
+// text-engine normalizations: ASCII case folding, token length limits,
+// numeric-token suppression and a stopword list — all configurable so the
+// PubMed-like and TREC-like pipelines can differ where it matters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace sva::text {
+
+struct TokenizerConfig {
+  /// Characters that terminate a token (in addition to nothing else; a
+  /// byte is either a delimiter or part of a token).
+  std::string delimiters = " \t\r\n.,;:!?()[]{}<>\"'`|/\\=+*&^%$#@~";
+  bool lowercase = true;
+  std::size_t min_length = 2;
+  std::size_t max_length = 32;
+  bool drop_numeric = true;  ///< drop tokens consisting solely of digits
+  bool use_stopwords = true;
+  /// Extra stopwords merged with the builtin English list.
+  std::vector<std::string> extra_stopwords;
+  /// Conflate morphological variants with the Porter stemmer (applied
+  /// after stopword filtering, so stopwords are matched unstemmed).
+  bool stem = false;
+};
+
+/// Counters describing what the tokenizer dropped; aggregated per rank.
+struct TokenStats {
+  std::uint64_t emitted = 0;
+  std::uint64_t dropped_short = 0;
+  std::uint64_t dropped_long = 0;
+  std::uint64_t dropped_numeric = 0;
+  std::uint64_t dropped_stopword = 0;
+
+  TokenStats& operator+=(const TokenStats& o) {
+    emitted += o.emitted;
+    dropped_short += o.dropped_short;
+    dropped_long += o.dropped_long;
+    dropped_numeric += o.dropped_numeric;
+    dropped_stopword += o.dropped_stopword;
+    return *this;
+  }
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerConfig config = {});
+
+  /// Appends the surviving tokens of `text` to `out`.
+  void tokenize_into(std::string_view text, std::vector<std::string>& out,
+                     TokenStats* stats = nullptr) const;
+
+  /// Convenience wrapper returning a fresh vector.
+  [[nodiscard]] std::vector<std::string> tokenize(std::string_view text,
+                                                  TokenStats* stats = nullptr) const;
+
+  [[nodiscard]] const TokenizerConfig& config() const { return config_; }
+
+  /// The builtin English stopword list (exposed for tests).
+  static const std::vector<std::string>& builtin_stopwords();
+
+ private:
+  TokenizerConfig config_;
+  std::array<bool, 256> is_delimiter_{};
+  std::unordered_set<std::string> stopwords_;
+};
+
+}  // namespace sva::text

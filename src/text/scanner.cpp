@@ -1,0 +1,197 @@
+#include "sva/text/scanner.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sva/util/log.hpp"
+
+namespace sva::text {
+
+namespace {
+
+/// Intermediate per-field token buffer before ids are assigned.
+struct PendingField {
+  std::string name;
+  std::vector<std::string> tokens;
+};
+
+struct PendingRecord {
+  std::uint64_t doc_id = 0;
+  std::vector<PendingField> fields;
+};
+
+}  // namespace
+
+ScanResult scan_sources(ga::Context& ctx, const corpus::SourceSet& sources,
+                        const TokenizerConfig& tokenizer_config) {
+  ScanResult result;
+  const Tokenizer tokenizer(tokenizer_config);
+
+  // ---- static byte-balanced source distribution -----------------------
+  const auto parts = corpus::partition_by_bytes(sources, ctx.nprocs());
+  const auto [doc_begin, doc_end] = parts[static_cast<std::size_t>(ctx.rank())];
+  result.doc_range = {doc_begin, doc_end};
+
+  // ---- local scan: tokenize, collect unique terms ---------------------
+  std::vector<PendingRecord> pending;
+  pending.reserve(doc_end - doc_begin);
+
+  ga::DistHashmap term_map = ga::DistHashmap::create(ctx);
+  ga::DistHashmap field_map = ga::DistHashmap::create(ctx);
+
+  std::unordered_map<std::string, std::int64_t> local_term_ids;  // provisional
+  std::vector<std::string> new_terms;
+
+  for (std::size_t d = doc_begin; d < doc_end; ++d) {
+    const corpus::RawDocument& doc = sources[d];
+    PendingRecord rec;
+    rec.doc_id = doc.id;
+    rec.fields.reserve(doc.fields.size());
+    for (const auto& field : doc.fields) {
+      PendingField pf;
+      pf.name = field.name;
+      tokenizer.tokenize_into(field.text, pf.tokens, &result.stats.tokens);
+      if (pf.tokens.empty()) ++result.stats.empty_fields;
+      for (const auto& tok : pf.tokens) {
+        if (local_term_ids.try_emplace(tok, -1).second) new_terms.push_back(tok);
+      }
+      rec.fields.push_back(std::move(pf));
+    }
+    result.stats.bytes_scanned += doc.bytes();
+    ++result.stats.records_scanned;
+    pending.push_back(std::move(rec));
+  }
+
+  // Model the I/O cost of pulling this rank's slice off the filesystem;
+  // compute cost is measured directly.  A serial shared disk charges the
+  // whole corpus to every rank (see CommModel::io_parallel).
+  const auto total_bytes = static_cast<std::uint64_t>(
+      ctx.allreduce_sum(static_cast<std::int64_t>(result.stats.bytes_scanned)));
+  ctx.charge(ctx.model().io_read(result.stats.bytes_scanned, total_bytes));
+
+  // ---- global vocabulary: batched inserts into the distributed hashmap
+  {
+    const auto provisional = term_map.insert_batch(ctx, new_terms);
+    for (std::size_t i = 0; i < new_terms.size(); ++i) {
+      local_term_ids[new_terms[i]] = provisional[i];
+    }
+  }
+
+  // Field-type names go through a (tiny) second distributed map.
+  {
+    std::vector<std::string> local_field_names;
+    std::unordered_map<std::string, bool> seen;
+    for (const auto& rec : pending) {
+      for (const auto& f : rec.fields) {
+        if (seen.try_emplace(f.name, true).second) local_field_names.push_back(f.name);
+      }
+    }
+    (void)field_map.insert_batch(ctx, local_field_names);
+  }
+
+  // All inserts must complete before canonicalization.
+  ctx.barrier();
+
+  // ---- canonicalize vocabularies --------------------------------------
+  auto term_final = term_map.finalize(ctx);
+  auto field_final = field_map.finalize(ctx);
+  result.vocabulary = term_final.vocabulary;
+  result.field_type_names = field_final.vocabulary->terms;
+
+  // Rewrite local records with canonical ids.
+  std::unordered_map<std::string, std::int64_t> canonical_term_ids;
+  canonical_term_ids.reserve(local_term_ids.size());
+  for (const auto& [term, provisional] : local_term_ids) {
+    canonical_term_ids.emplace(term, term_final.remap_id(provisional));
+  }
+
+  result.records.reserve(pending.size());
+  std::size_t local_fields = 0;
+  std::size_t local_terms = 0;
+  for (auto& rec : pending) {
+    ScannedRecord out;
+    out.doc_id = rec.doc_id;
+    out.fields.reserve(rec.fields.size());
+    for (auto& f : rec.fields) {
+      ScannedField sf;
+      sf.type = static_cast<std::int32_t>(field_final.vocabulary->id_of(f.name));
+      sf.terms.reserve(f.tokens.size());
+      for (const auto& tok : f.tokens) sf.terms.push_back(canonical_term_ids.at(tok));
+      local_terms += sf.terms.size();
+      out.fields.push_back(std::move(sf));
+      ++local_fields;
+    }
+    result.records.push_back(std::move(out));
+  }
+  pending.clear();
+
+  // ---- forward index in global arrays (CSR over field instances) ------
+  const auto field_base = static_cast<std::size_t>(
+      ctx.exscan_sum(static_cast<std::int64_t>(local_fields)));
+  const auto term_base = static_cast<std::size_t>(
+      ctx.exscan_sum(static_cast<std::int64_t>(local_terms)));
+  const auto total_fields = static_cast<std::uint64_t>(
+      ctx.allreduce_sum(static_cast<std::int64_t>(local_fields)));
+  const auto total_terms = static_cast<std::uint64_t>(
+      ctx.allreduce_sum(static_cast<std::int64_t>(local_terms)));
+
+  ForwardIndex fwd{
+      .field_terms = ga::GlobalArray<std::int64_t>::create(
+          ctx, std::max<std::size_t>(total_terms, 1)),
+      .field_offsets = ga::GlobalArray<std::int64_t>::create(
+          ctx, static_cast<std::size_t>(total_fields) + 1),
+      .field_record = ga::GlobalArray<std::int64_t>::create(
+          ctx, std::max<std::size_t>(total_fields, 1)),
+      .field_type = ga::GlobalArray<std::int32_t>::create(
+          ctx, std::max<std::size_t>(total_fields, 1)),
+      .num_fields = total_fields,
+      .num_records = static_cast<std::uint64_t>(sources.size()),
+      .total_terms = total_terms,
+      .rank_field_ranges = {},
+  };
+  {
+    const auto bases = ctx.allgather(static_cast<std::int64_t>(field_base));
+    const auto counts = ctx.allgather(static_cast<std::int64_t>(local_fields));
+    fwd.rank_field_ranges.reserve(bases.size());
+    for (std::size_t r = 0; r < bases.size(); ++r) {
+      fwd.rank_field_ranges.emplace_back(static_cast<std::size_t>(bases[r]),
+                                         static_cast<std::size_t>(bases[r] + counts[r]));
+    }
+  }
+
+  // Assemble this rank's CSR segment locally, then publish with bulk puts.
+  std::vector<std::int64_t> seg_terms;
+  seg_terms.reserve(local_terms);
+  std::vector<std::int64_t> seg_offsets;
+  seg_offsets.reserve(local_fields + 1);
+  std::vector<std::int64_t> seg_record;
+  seg_record.reserve(local_fields);
+  std::vector<std::int32_t> seg_type;
+  seg_type.reserve(local_fields);
+
+  std::int64_t cursor = static_cast<std::int64_t>(term_base);
+  for (const auto& rec : result.records) {
+    for (const auto& f : rec.fields) {
+      seg_offsets.push_back(cursor);
+      seg_record.push_back(static_cast<std::int64_t>(rec.doc_id));
+      seg_type.push_back(f.type);
+      seg_terms.insert(seg_terms.end(), f.terms.begin(), f.terms.end());
+      cursor += static_cast<std::int64_t>(f.terms.size());
+    }
+  }
+
+  if (!seg_terms.empty()) fwd.field_terms.put(ctx, term_base, seg_terms);
+  if (!seg_offsets.empty()) fwd.field_offsets.put(ctx, field_base, seg_offsets);
+  if (!seg_record.empty()) fwd.field_record.put(ctx, field_base, seg_record);
+  if (!seg_type.empty()) fwd.field_type.put(ctx, field_base, seg_type);
+  if (ctx.rank() == ctx.nprocs() - 1) {
+    fwd.field_offsets.put_value(ctx, static_cast<std::size_t>(total_fields),
+                                static_cast<std::int64_t>(total_terms));
+  }
+  ctx.barrier();
+
+  result.forward = std::move(fwd);
+  return result;
+}
+
+}  // namespace sva::text

@@ -1,0 +1,247 @@
+#include "sva/text/stemmer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+
+namespace sva::text {
+
+namespace {
+
+// The algorithm works on word[0..end]; `end` is the index of the last
+// letter of the currently surviving stem.  Helper predicates follow
+// Porter's definitions: a consonant is a non-vowel, with 'y' counting as
+// a consonant when it follows a vowel-position letter.
+
+class Stem {
+ public:
+  explicit Stem(std::string& w) : w_(w), end_(w.size() - 1) {}
+
+  [[nodiscard]] std::size_t length() const { return end_ + 1; }
+
+  /// True when position i holds a consonant under Porter's rule.
+  [[nodiscard]] bool is_consonant(std::size_t i) const {
+    switch (w_[i]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !is_consonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  /// Porter's measure m of w[0..limit]: the number of VC sequences in the
+  /// form [C](VC)^m[V].
+  [[nodiscard]] std::size_t measure(std::size_t limit) const {
+    std::size_t m = 0;
+    std::size_t i = 0;
+    // Skip the optional initial consonant run.
+    while (i <= limit && is_consonant(i)) ++i;
+    while (i <= limit) {
+      while (i <= limit && !is_consonant(i)) ++i;  // vowel run
+      if (i > limit) break;
+      ++m;
+      while (i <= limit && is_consonant(i)) ++i;  // consonant run
+    }
+    return m;
+  }
+
+  /// True when the stem w[0..limit] contains a vowel.
+  [[nodiscard]] bool has_vowel(std::size_t limit) const {
+    for (std::size_t i = 0; i <= limit; ++i) {
+      if (!is_consonant(i)) return true;
+    }
+    return false;
+  }
+
+  /// *d — the stem ends with a double consonant.
+  [[nodiscard]] bool double_consonant(std::size_t i) const {
+    if (i < 1) return false;
+    return w_[i] == w_[i - 1] && is_consonant(i);
+  }
+
+  /// *o — the stem ends consonant-vowel-consonant where the final
+  /// consonant is not w, x or y.
+  [[nodiscard]] bool cvc(std::size_t i) const {
+    if (i < 2) return false;
+    if (!is_consonant(i) || is_consonant(i - 1) || !is_consonant(i - 2)) return false;
+    return w_[i] != 'w' && w_[i] != 'x' && w_[i] != 'y';
+  }
+
+  /// True when the surviving stem ends with `suffix`; if so, `stem_limit`
+  /// receives the index of the last letter before the suffix.
+  bool ends_with(std::string_view suffix, std::size_t& stem_limit) const {
+    if (suffix.size() > end_ + 1) return false;
+    const std::size_t start = end_ + 1 - suffix.size();
+    if (w_.compare(start, suffix.size(), suffix) != 0) return false;
+    if (start == 0) return false;  // suffix must leave a nonempty stem
+    stem_limit = start - 1;
+    return true;
+  }
+
+  /// Replaces the current suffix (everything after `stem_limit`) with `s`.
+  void set_suffix(std::size_t stem_limit, std::string_view s) {
+    w_.resize(stem_limit + 1);
+    w_.append(s);
+    end_ = w_.size() - 1;
+  }
+
+  void truncate(std::size_t new_end) {
+    end_ = new_end;
+    w_.resize(end_ + 1);
+  }
+
+  [[nodiscard]] char last() const { return w_[end_]; }
+  [[nodiscard]] char at(std::size_t i) const { return w_[i]; }
+  [[nodiscard]] std::size_t end() const { return end_; }
+
+ private:
+  std::string& w_;
+  std::size_t end_;
+};
+
+/// Rule table entry for steps 2, 3 and 4: replace `from` with `to` when
+/// measure(stem) > min_measure.
+struct Rule {
+  std::string_view from;
+  std::string_view to;
+};
+
+/// Applies the first matching rule whose stem measure exceeds
+/// `min_measure`; returns true when a rule fired or matched.
+bool apply_rules(Stem& s, std::initializer_list<Rule> rules, std::size_t min_measure) {
+  for (const Rule& r : rules) {
+    std::size_t limit = 0;
+    if (!s.ends_with(r.from, limit)) continue;
+    if (s.measure(limit) > min_measure) s.set_suffix(limit, r.to);
+    return true;  // in Porter's algorithm the first matching suffix ends the step
+  }
+  return false;
+}
+
+void step_1a(Stem& s) {
+  std::size_t limit = 0;
+  if (s.ends_with("sses", limit)) {
+    s.set_suffix(limit, "ss");
+  } else if (s.ends_with("ies", limit)) {
+    s.set_suffix(limit, "i");
+  } else if (s.ends_with("ss", limit)) {
+    // unchanged
+  } else if (s.ends_with("s", limit)) {
+    s.set_suffix(limit, "");
+  }
+}
+
+void step_1b(Stem& s) {
+  std::size_t limit = 0;
+  if (s.ends_with("eed", limit)) {
+    if (s.measure(limit) > 0) s.set_suffix(limit, "ee");
+    return;
+  }
+  bool stripped = false;
+  if (s.ends_with("ed", limit) && s.has_vowel(limit)) {
+    s.set_suffix(limit, "");
+    stripped = true;
+  } else if (s.ends_with("ing", limit) && s.has_vowel(limit)) {
+    s.set_suffix(limit, "");
+    stripped = true;
+  }
+  if (!stripped) return;
+
+  // Cleanup after a strip: restore an e, undo doubling, or leave alone.
+  std::size_t l2 = 0;
+  if (s.ends_with("at", l2) || s.ends_with("bl", l2) || s.ends_with("iz", l2)) {
+    s.set_suffix(s.end(), "e");  // append e
+  } else if (s.double_consonant(s.end()) && s.last() != 'l' && s.last() != 's' &&
+             s.last() != 'z') {
+    s.truncate(s.end() - 1);
+  } else if (s.measure(s.end()) == 1 && s.cvc(s.end())) {
+    s.set_suffix(s.end(), "e");
+  }
+}
+
+void step_1c(Stem& s) {
+  std::size_t limit = 0;
+  if (s.ends_with("y", limit) && s.has_vowel(limit)) {
+    s.set_suffix(limit, "i");
+  }
+}
+
+void step_2(Stem& s) {
+  apply_rules(s,
+              {{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+               {"izer", "ize"},    {"abli", "able"},   {"alli", "al"},   {"entli", "ent"},
+               {"eli", "e"},       {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+               {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"}, {"fulness", "ful"},
+               {"ousness", "ous"}, {"aliti", "al"},    {"iviti", "ive"},   {"biliti", "ble"}},
+              0);
+}
+
+void step_3(Stem& s) {
+  apply_rules(s,
+              {{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+               {"ical", "ic"},  {"ful", ""},   {"ness", ""}},
+              0);
+}
+
+void step_4(Stem& s) {
+  // Suffixes removed only when measure > 1.  Longest candidates first so
+  // e.g. "ement" is preferred over "ment" over "ent" (Porter takes the
+  // longest matching suffix within a step); "ion" additionally requires
+  // the remaining stem to end in s or t.
+  static constexpr std::array<std::string_view, 19> kSuffixes = {
+      "ement", "ance", "ence", "able", "ible", "ment", "ant", "ent", "ism", "ate",
+      "iti",   "ous",  "ive",  "ize",  "ion",  "al",   "er",  "ic",  "ou"};
+  for (std::string_view suf : kSuffixes) {
+    std::size_t limit = 0;
+    if (!s.ends_with(suf, limit)) continue;
+    if (suf == "ion" && s.at(limit) != 's' && s.at(limit) != 't') return;
+    if (s.measure(limit) > 1) s.set_suffix(limit, "");
+    return;
+  }
+}
+
+void step_5a(Stem& s) {
+  std::size_t limit = 0;
+  if (!s.ends_with("e", limit)) return;
+  const std::size_t m = s.measure(limit);
+  if (m > 1 || (m == 1 && !s.cvc(limit))) s.set_suffix(limit, "");
+}
+
+void step_5b(Stem& s) {
+  if (s.last() == 'l' && s.double_consonant(s.end()) && s.measure(s.end()) > 1) {
+    s.truncate(s.end() - 1);
+  }
+}
+
+}  // namespace
+
+void porter_stem_inplace(std::string& word) {
+  if (word.size() < 3) return;
+  if (!std::all_of(word.begin(), word.end(),
+                   [](unsigned char c) { return c >= 'a' && c <= 'z'; })) {
+    return;
+  }
+  Stem s(word);
+  step_1a(s);
+  if (s.length() >= 3) step_1b(s);
+  if (s.length() >= 3) step_1c(s);
+  if (s.length() >= 3) step_2(s);
+  if (s.length() >= 3) step_3(s);
+  if (s.length() >= 3) step_4(s);
+  if (s.length() >= 3) step_5a(s);
+  if (s.length() >= 3) step_5b(s);
+}
+
+std::string porter_stem(std::string_view word) {
+  std::string w(word);
+  porter_stem_inplace(w);
+  return w;
+}
+
+}  // namespace sva::text

@@ -1,0 +1,44 @@
+// Error types shared across the SVA library.
+//
+// The library reports programmer errors (bad arguments, protocol misuse of
+// the SPMD runtime) via exceptions derived from sva::Error.  Runtime data
+// errors (malformed documents) are tolerated and surfaced as counters, not
+// exceptions, because a text engine must survive dirty corpora.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sva {
+
+/// Base class for all exceptions thrown by the SVA library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid argument or configuration supplied by the caller.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Misuse of the SPMD runtime protocol (e.g. mismatched collective calls,
+/// out-of-range rank, or a global-array access outside the array bounds).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// Numeric failure (e.g. eigensolver non-convergence).
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgument with `msg` when `cond` is false.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+}  // namespace sva

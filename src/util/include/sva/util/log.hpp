@@ -1,0 +1,57 @@
+// Minimal thread-safe leveled logger.
+//
+// The SPMD runtime runs one thread per simulated process; log lines from
+// different ranks must not interleave mid-line, so all writes go through a
+// single mutex.  Verbosity is controlled globally (default: Info) or via
+// the SVA_LOG environment variable (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sva::log {
+
+enum class Level : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Sets the global verbosity threshold.
+void set_level(Level level);
+
+/// Returns the current global verbosity threshold.
+Level level();
+
+/// Returns true when a message at `lvl` would be emitted.
+bool enabled(Level lvl);
+
+/// Emits one line at level `lvl`; `tag` identifies the subsystem.
+void write(Level lvl, const std::string& tag, const std::string& message);
+
+namespace detail {
+
+class LineStream {
+ public:
+  LineStream(Level lvl, std::string tag) : lvl_(lvl), tag_(std::move(tag)) {}
+  LineStream(const LineStream&) = delete;
+  LineStream& operator=(const LineStream&) = delete;
+  ~LineStream() { write(lvl_, tag_, os_.str()); }
+
+  template <typename T>
+  LineStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::string tag_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+inline detail::LineStream trace(std::string tag) { return {Level::Trace, std::move(tag)}; }
+inline detail::LineStream debug(std::string tag) { return {Level::Debug, std::move(tag)}; }
+inline detail::LineStream info(std::string tag) { return {Level::Info, std::move(tag)}; }
+inline detail::LineStream warn(std::string tag) { return {Level::Warn, std::move(tag)}; }
+inline detail::LineStream error(std::string tag) { return {Level::Error, std::move(tag)}; }
+
+}  // namespace sva::log

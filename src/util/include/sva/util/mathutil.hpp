@@ -1,0 +1,75 @@
+// Dense vector/matrix helpers shared by the signature, clustering and
+// projection stages.  Everything operates on contiguous double storage;
+// matrices are row-major with explicit (rows, cols).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sva {
+
+/// Sum of |x_i| (L1 norm).
+double l1_norm(std::span<const double> x);
+
+/// Euclidean (L2) norm.
+double l2_norm(std::span<const double> x);
+
+/// Dot product; spans must have equal extent.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x (classic axpy); spans must have equal extent.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Squared Euclidean distance between two points of equal dimension.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+/// Scales x in place so that its L1 norm is 1; a zero vector is untouched
+/// and the function returns false (the caller treats it as a null
+/// signature).
+bool l1_normalize(std::span<double> x);
+
+/// Row-major dense matrix with minimal affordances — storage plus shape.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<double> flat() { return data_; }
+  [[nodiscard]] std::span<const double> flat() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Symmetric eigendecomposition by the cyclic Jacobi method.
+/// `a` is a symmetric n×n matrix (only read); returns eigenvalues in
+/// descending order with matching unit eigenvectors as rows of `vectors`.
+/// Throws NumericError if the sweep limit is exceeded.
+struct EigenResult {
+  std::vector<double> values;  ///< descending
+  Matrix vectors;              ///< row i is the eigenvector of values[i]
+};
+EigenResult jacobi_eigen(const Matrix& a, int max_sweeps = 64, double tol = 1e-12);
+
+/// Mean of a set of row vectors (rows × dim, row-major, contiguous).
+std::vector<double> column_mean(const Matrix& rows);
+
+/// Sample covariance (divides by rows-1; by rows when rows == 1) of the
+/// row vectors in `rows` after subtracting `mean`.
+Matrix covariance(const Matrix& rows, std::span<const double> mean);
+
+}  // namespace sva

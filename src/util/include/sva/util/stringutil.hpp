@@ -1,0 +1,28 @@
+// Small string helpers used across scanning and reporting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sva {
+
+/// Splits `text` on any character in `delims`; empty pieces are dropped.
+std::vector<std::string_view> split_any(std::string_view text, std::string_view delims);
+
+/// ASCII lower-casing in place.
+void to_lower_inplace(std::string& s);
+
+/// ASCII lower-cased copy.
+std::string to_lower(std::string_view s);
+
+/// True when `s` consists only of ASCII digits (and is non-empty).
+bool is_all_digits(std::string_view s);
+
+/// Joins tokens with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Human-readable byte count ("12.3 MB").
+std::string format_bytes(std::size_t bytes);
+
+}  // namespace sva

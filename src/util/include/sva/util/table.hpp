@@ -1,0 +1,46 @@
+// Tabular report emission: aligned ASCII tables for the console and CSV
+// files for downstream plotting.  Every benchmark harness in bench/ prints
+// its figure through this facility so the output rows mirror the paper's
+// series.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sva {
+
+/// A simple column-oriented table: header row plus string cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the arity must match the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with fixed precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::size_t v);
+  static std::string num(long long v);
+
+  /// Renders an aligned ASCII table.
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// Renders RFC-4180-ish CSV (no quoting of embedded commas is attempted;
+  /// callers use plain tokens).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes CSV to `path`; creates parent directories if needed.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& body() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sva

@@ -1,0 +1,54 @@
+// Wall-clock and per-thread CPU timers.
+//
+// ThreadCpuTimer is the foundation of the virtual-time performance model:
+// CLOCK_THREAD_CPUTIME_ID charges a thread only for the cycles it actually
+// executed, so per-rank compute time is measured accurately even when many
+// simulated processes time-share a single physical core.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace sva {
+
+/// Monotonic wall-clock stopwatch (seconds, double precision).
+class WallTimer {
+ public:
+  WallTimer() : start_(clock_type::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock_type::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(clock_type::now() - start_).count();
+  }
+
+ private:
+  using clock_type = std::chrono::steady_clock;
+  clock_type::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch.  Only counts cycles consumed by the
+/// calling thread, independent of how the OS schedules other threads.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  /// CPU-seconds consumed by this thread since construction/reset.
+  [[nodiscard]] double elapsed() const { return now() - start_; }
+
+  /// Current thread CPU time in seconds (monotonic per thread).
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+
+ private:
+  double start_;
+};
+
+}  // namespace sva

@@ -1,0 +1,58 @@
+#include "sva/util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace sva::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::Info)};
+std::mutex g_write_mutex;
+
+Level level_from_env() {
+  const char* env = std::getenv("SVA_LOG");
+  if (env == nullptr) return Level::Info;
+  if (std::strcmp(env, "trace") == 0) return Level::Trace;
+  if (std::strcmp(env, "debug") == 0) return Level::Debug;
+  if (std::strcmp(env, "info") == 0) return Level::Info;
+  if (std::strcmp(env, "warn") == 0) return Level::Warn;
+  if (std::strcmp(env, "error") == 0) return Level::Error;
+  if (std::strcmp(env, "off") == 0) return Level::Off;
+  return Level::Info;
+}
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO ";
+    case Level::Warn: return "WARN ";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF  ";
+  }
+  return "?";
+}
+
+struct EnvInit {
+  EnvInit() { g_level.store(static_cast<int>(level_from_env()), std::memory_order_relaxed); }
+};
+EnvInit g_env_init;
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+Level level() { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+bool enabled(Level lvl) { return static_cast<int>(lvl) >= g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& tag, const std::string& message) {
+  if (!enabled(lvl)) return;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%s] %-10s %s\n", level_name(lvl), tag.c_str(), message.c_str());
+}
+
+}  // namespace sva::log

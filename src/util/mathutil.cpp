@@ -1,0 +1,153 @@
+#include "sva/util/mathutil.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sva/util/error.hpp"
+
+namespace sva {
+
+double l1_norm(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += std::abs(v);
+  return s;
+}
+
+double l2_norm(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "dot: dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  require(x.size() == y.size(), "axpy: dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "squared_distance: dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+bool l1_normalize(std::span<double> x) {
+  const double n = l1_norm(x);
+  if (n <= 0.0) return false;
+  for (double& v : x) v /= n;
+  return true;
+}
+
+EigenResult jacobi_eigen(const Matrix& a_in, int max_sweeps, double tol) {
+  require(a_in.rows() == a_in.cols(), "jacobi_eigen: matrix must be square");
+  const std::size_t n = a_in.rows();
+
+  Matrix a = a_in;            // working copy, rotated towards diagonal
+  Matrix v(n, n);             // accumulated rotations; rows become eigenvectors
+  for (std::size_t i = 0; i < n; ++i) v.at(i, i) = 1.0;
+
+  auto off_diagonal_norm = [&] {
+    double s = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) s += a.at(p, q) * a.at(p, q);
+    }
+    return std::sqrt(s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tol) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::abs(apq) <= tol * 1e-3) continue;
+        const double app = a.at(p, p);
+        const double aqq = a.at(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vpk = v.at(p, k);
+          const double vqk = v.at(q, k);
+          v.at(p, k) = c * vpk - s * vqk;
+          v.at(q, k) = s * vpk + c * vqk;
+        }
+      }
+    }
+  }
+  if (off_diagonal_norm() > std::max(tol, 1e-8)) {
+    throw NumericError("jacobi_eigen: did not converge within sweep limit");
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return a.at(i, i) > a.at(j, j); });
+
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.values[i] = a.at(order[i], order[i]);
+    for (std::size_t k = 0; k < n; ++k) result.vectors.at(i, k) = v.at(order[i], k);
+  }
+  return result;
+}
+
+std::vector<double> column_mean(const Matrix& rows) {
+  require(rows.rows() > 0, "column_mean: empty matrix");
+  std::vector<double> mean(rows.cols(), 0.0);
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    const auto row = rows.row(r);
+    for (std::size_t c = 0; c < rows.cols(); ++c) mean[c] += row[c];
+  }
+  for (double& m : mean) m /= static_cast<double>(rows.rows());
+  return mean;
+}
+
+Matrix covariance(const Matrix& rows, std::span<const double> mean) {
+  require(mean.size() == rows.cols(), "covariance: mean dimension mismatch");
+  const std::size_t n = rows.rows();
+  const std::size_t d = rows.cols();
+  Matrix cov(d, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = rows.row(r);
+    for (std::size_t i = 0; i < d; ++i) {
+      const double di = row[i] - mean[i];
+      for (std::size_t j = i; j < d; ++j) {
+        cov.at(i, j) += di * (row[j] - mean[j]);
+      }
+    }
+  }
+  const double denom = (n > 1) ? static_cast<double>(n - 1) : 1.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov.at(i, j) /= denom;
+      cov.at(j, i) = cov.at(i, j);
+    }
+  }
+  return cov;
+}
+
+}  // namespace sva

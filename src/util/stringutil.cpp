@@ -1,0 +1,65 @@
+#include "sva/util/stringutil.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+
+namespace sva {
+
+std::vector<std::string_view> split_any(std::string_view text, std::string_view delims) {
+  std::array<bool, 256> is_delim{};
+  for (unsigned char c : delims) is_delim[c] = true;
+
+  std::vector<std::string_view> out;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    const bool at_end = (i == text.size());
+    if (at_end || is_delim[static_cast<unsigned char>(text[i])]) {
+      if (i > begin) out.push_back(text.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return out;
+}
+
+void to_lower_inplace(std::string& s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  to_lower_inplace(out);
+  return out;
+}
+
+bool is_all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format_bytes(std::size_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[u]);
+  return buf;
+}
+
+}  // namespace sva

@@ -1,0 +1,182 @@
+#include "sva/viz/contour.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "sva/util/error.hpp"
+
+namespace sva::viz {
+
+namespace {
+
+using Point = std::pair<double, double>;  // (col, row)
+
+/// Interpolates the level crossing between two corner values.
+double crossing(double a, double b, double level) {
+  const double d = b - a;
+  if (std::abs(d) < 1e-300) return 0.5;
+  return std::clamp((level - a) / d, 0.0, 1.0);
+}
+
+/// Quantized endpoint key so segment ends can be matched exactly even
+/// after floating-point interpolation.
+std::pair<std::int64_t, std::int64_t> key_of(const Point& p) {
+  constexpr double kScale = 1 << 20;
+  return {static_cast<std::int64_t>(std::llround(p.first * kScale)),
+          static_cast<std::int64_t>(std::llround(p.second * kScale))};
+}
+
+struct Segment {
+  Point a;
+  Point b;
+  bool used = false;
+};
+
+}  // namespace
+
+std::vector<Contour> extract_contours(const cluster::ThemeViewTerrain& terrain, double level) {
+  const std::size_t g = terrain.grid();
+  std::vector<Segment> segments;
+  if (g < 2) return {};
+
+  for (std::size_t r = 0; r + 1 < g; ++r) {
+    for (std::size_t c = 0; c + 1 < g; ++c) {
+      const double v00 = terrain.at(r, c);        // top-left
+      const double v01 = terrain.at(r, c + 1);    // top-right
+      const double v11 = terrain.at(r + 1, c + 1);  // bottom-right
+      const double v10 = terrain.at(r + 1, c);    // bottom-left
+
+      int idx = 0;
+      if (v00 >= level) idx |= 1;
+      if (v01 >= level) idx |= 2;
+      if (v11 >= level) idx |= 4;
+      if (v10 >= level) idx |= 8;
+      if (idx == 0 || idx == 15) continue;
+
+      const auto col = static_cast<double>(c);
+      const auto row = static_cast<double>(r);
+      // Edge midpoints with interpolation; edges numbered top(0),
+      // right(1), bottom(2), left(3).
+      const Point top{col + crossing(v00, v01, level), row};
+      const Point right{col + 1.0, row + crossing(v01, v11, level)};
+      const Point bottom{col + crossing(v10, v11, level), row + 1.0};
+      const Point left{col, row + crossing(v00, v10, level)};
+
+      auto emit = [&](const Point& a, const Point& b) { segments.push_back({a, b, false}); };
+
+      switch (idx) {
+        case 1:  emit(left, top); break;
+        case 2:  emit(top, right); break;
+        case 3:  emit(left, right); break;
+        case 4:  emit(right, bottom); break;
+        case 5: {
+          // Saddle: disambiguate with the cell-center average.
+          const double center = 0.25 * (v00 + v01 + v10 + v11);
+          if (center >= level) {
+            emit(left, bottom);
+            emit(top, right);
+          } else {
+            emit(left, top);
+            emit(right, bottom);
+          }
+          break;
+        }
+        case 6:  emit(top, bottom); break;
+        case 7:  emit(left, bottom); break;
+        case 8:  emit(bottom, left); break;
+        case 9:  emit(bottom, top); break;
+        case 10: {
+          const double center = 0.25 * (v00 + v01 + v10 + v11);
+          if (center >= level) {
+            emit(top, left);
+            emit(bottom, right);
+          } else {
+            emit(top, right);
+            emit(bottom, left);
+          }
+          break;
+        }
+        case 11: emit(bottom, right); break;
+        case 12: emit(right, left); break;
+        case 13: emit(right, top); break;
+        case 14: emit(top, left); break;
+        default: break;
+      }
+    }
+  }
+
+  // Chain segments into polylines: walk from each unused segment in both
+  // directions, matching quantized endpoints.
+  std::multimap<std::pair<std::int64_t, std::int64_t>, std::size_t> by_end;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    by_end.emplace(key_of(segments[i].a), i);
+    by_end.emplace(key_of(segments[i].b), i);
+  }
+
+  auto take_next = [&](const Point& tip, std::size_t& out_idx) {
+    auto [lo, hi] = by_end.equal_range(key_of(tip));
+    for (auto it = lo; it != hi; ++it) {
+      if (!segments[it->second].used) {
+        out_idx = it->second;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<Contour> contours;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].used) continue;
+    segments[i].used = true;
+    Contour contour;
+    contour.points.push_back(segments[i].a);
+    contour.points.push_back(segments[i].b);
+
+    // Extend forward from the tail, then backward from the head.
+    for (int pass = 0; pass < 2; ++pass) {
+      while (true) {
+        const Point tip = pass == 0 ? contour.points.back() : contour.points.front();
+        std::size_t next = 0;
+        if (!take_next(tip, next)) break;
+        segments[next].used = true;
+        const Point tip_key = tip;
+        const Point other = key_of(segments[next].a) == key_of(tip_key) ? segments[next].b
+                                                                        : segments[next].a;
+        if (pass == 0) {
+          contour.points.push_back(other);
+        } else {
+          contour.points.insert(contour.points.begin(), other);
+        }
+      }
+    }
+    contour.closed = contour.points.size() > 2 &&
+                     key_of(contour.points.front()) == key_of(contour.points.back());
+    contours.push_back(std::move(contour));
+  }
+  return contours;
+}
+
+std::vector<double> contour_levels(const cluster::ThemeViewTerrain& terrain,
+                                   std::size_t bands, double fraction_lo,
+                                   double fraction_hi) {
+  require(bands >= 1, "contour_levels: need at least one band");
+  require(fraction_lo > 0.0 && fraction_lo < fraction_hi && fraction_hi < 1.0,
+          "contour_levels: need 0 < lo < hi < 1");
+  std::vector<double> levels;
+  levels.reserve(bands);
+  const double peak = terrain.peak();
+  if (bands == 1) {
+    levels.push_back(peak * 0.5 * (fraction_lo + fraction_hi));
+    return levels;
+  }
+  for (std::size_t b = 0; b < bands; ++b) {
+    const double f = fraction_lo + (fraction_hi - fraction_lo) * static_cast<double>(b) /
+                                       static_cast<double>(bands - 1);
+    levels.push_back(peak * f);
+  }
+  return levels;
+}
+
+}  // namespace sva::viz

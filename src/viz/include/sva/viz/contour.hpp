@@ -1,0 +1,37 @@
+// Iso-contour extraction (marching squares) over a ThemeView terrain.
+//
+// Contour bands are how a density landscape reads as *terrain*: nested
+// rings around each theme mountain.  extract_contours traces the iso-line
+// of one density level through every grid cell it crosses, chaining the
+// segments into polylines (closed where the iso-line never touches the
+// grid boundary).  Coordinates are fractional (col, row) grid positions,
+// convertible to world space with ThemeViewTerrain::to_world.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sva/cluster/projection.hpp"
+
+namespace sva::viz {
+
+/// One traced iso-line: a sequence of (col, row) grid-space vertices.
+struct Contour {
+  std::vector<std::pair<double, double>> points;
+  bool closed = false;
+
+  [[nodiscard]] std::size_t size() const { return points.size(); }
+};
+
+/// Traces all iso-lines of `level` (absolute density).  Levels at or
+/// outside the terrain's range return no contours.
+[[nodiscard]] std::vector<Contour> extract_contours(const cluster::ThemeViewTerrain& terrain,
+                                                    double level);
+
+/// Evenly spaced levels between `fraction_lo` and `fraction_hi` of the
+/// peak density — the usual banding for a terrain rendering.
+[[nodiscard]] std::vector<double> contour_levels(const cluster::ThemeViewTerrain& terrain,
+                                                 std::size_t bands, double fraction_lo = 0.15,
+                                                 double fraction_hi = 0.85);
+
+}  // namespace sva::viz

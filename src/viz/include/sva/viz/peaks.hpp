@@ -1,0 +1,50 @@
+// Theme-peak detection over a ThemeView terrain.
+//
+// A ThemeView "mountain" (Figure 2) is a local maximum of the density
+// landscape; its label is the theme of the documents that piled up
+// there.  find_peaks locates the dominant maxima with a minimum
+// separation (so one broad mountain is not reported as many ridge
+// points); label_peaks attaches each peak to the nearest cluster
+// centroid's theme terms, giving the annotated landscape an analyst
+// actually reads.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sva/cluster/projection.hpp"
+
+namespace sva::viz {
+
+struct Peak {
+  std::size_t row = 0;       ///< grid row of the maximum
+  std::size_t col = 0;       ///< grid column of the maximum
+  double height = 0.0;       ///< density at the maximum
+  double x = 0.0;            ///< world x of the cell center
+  double y = 0.0;            ///< world y of the cell center
+  int cluster = -1;          ///< nearest cluster id (set by label_peaks)
+  std::string label;         ///< theme label (set by label_peaks)
+};
+
+struct PeakConfig {
+  /// Peaks lower than this fraction of the global maximum are noise.
+  double min_height_fraction = 0.15;
+  /// Chebyshev distance (cells) a peak must dominate.
+  std::size_t min_separation = 3;
+  /// Keep at most this many peaks (by height); 0 = no limit.
+  std::size_t max_peaks = 12;
+};
+
+/// Finds local maxima of the terrain, highest first.
+[[nodiscard]] std::vector<Peak> find_peaks(const cluster::ThemeViewTerrain& terrain,
+                                           const PeakConfig& config = {});
+
+/// Assigns each peak the nearest centroid (interleaved 2-D world
+/// coordinates) and a label of the form "term1/term2/...".  Peaks keep
+/// cluster = -1 when `centroids_xy` is empty.
+void label_peaks(std::vector<Peak>& peaks, const std::vector<double>& centroids_xy,
+                 const std::vector<std::vector<std::string>>& theme_labels,
+                 std::size_t label_terms = 3);
+
+}  // namespace sva::viz

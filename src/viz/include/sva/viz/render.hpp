@@ -1,0 +1,50 @@
+// Rasterized and vector renderings of the ThemeView terrain.
+//
+// The paper's Figure 2 shows the terrain as a shaded landscape with
+// theme labels at the mountains.  This module writes:
+//   * PGM — plain grayscale heightmap (universally readable, zero deps);
+//   * PPM — the classic terrain color ramp (sea → lowland → highland →
+//     snow) for a presentation-ready raster;
+//   * SVG — vector rendering with contour bands, document points and
+//     peak labels, the closest analog of the production ThemeView;
+//   * annotated ASCII — the terminal rendering with peak markers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sva/cluster/projection.hpp"
+#include "sva/viz/contour.hpp"
+#include "sva/viz/peaks.hpp"
+
+namespace sva::viz {
+
+/// Writes a plain (P2) PGM heightmap, densities normalized to 0..255,
+/// `scale` output pixels per grid cell.
+void write_pgm(const cluster::ThemeViewTerrain& terrain, const std::string& path,
+               std::size_t scale = 4);
+
+/// Writes a plain (P3) PPM with the terrain color ramp.
+void write_ppm(const cluster::ThemeViewTerrain& terrain, const std::string& path,
+               std::size_t scale = 4);
+
+struct SvgConfig {
+  std::size_t size_px = 640;     ///< output square dimension
+  std::size_t contour_bands = 6;
+  bool draw_points = true;
+  std::size_t max_points = 4000;  ///< subsample beyond this many documents
+  bool draw_labels = true;
+};
+
+/// Writes the full annotated landscape: filled background, contour bands,
+/// (optionally subsampled) document points, peak markers and labels.
+/// `points_xy` are interleaved world coordinates (may be empty).
+void write_svg(const cluster::ThemeViewTerrain& terrain, const std::vector<Contour>& contours,
+               const std::vector<Peak>& peaks, const std::vector<double>& points_xy,
+               const std::string& path, const SvgConfig& config = {});
+
+/// ASCII terrain with '^' peak markers and a numbered legend of labels.
+[[nodiscard]] std::string ascii_with_peaks(const cluster::ThemeViewTerrain& terrain,
+                                           const std::vector<Peak>& peaks);
+
+}  // namespace sva::viz

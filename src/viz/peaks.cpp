@@ -1,0 +1,115 @@
+#include "sva/viz/peaks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sva/util/error.hpp"
+
+namespace sva::viz {
+
+std::vector<Peak> find_peaks(const cluster::ThemeViewTerrain& terrain,
+                             const PeakConfig& config) {
+  require(config.min_height_fraction >= 0.0 && config.min_height_fraction <= 1.0,
+          "find_peaks: min_height_fraction in [0, 1]");
+  const std::size_t g = terrain.grid();
+  const double floor = terrain.peak() * config.min_height_fraction;
+  if (g == 0 || terrain.peak() <= 0.0) return {};
+
+  // Candidate maxima: strictly higher than every 8-neighbour (ties broken
+  // toward the lexicographically first cell so plateaus yield one peak).
+  std::vector<Peak> candidates;
+  for (std::size_t row = 0; row < g; ++row) {
+    for (std::size_t col = 0; col < g; ++col) {
+      const double h = terrain.at(row, col);
+      if (h < floor) continue;
+      bool is_max = true;
+      for (int dr = -1; dr <= 1 && is_max; ++dr) {
+        for (int dc = -1; dc <= 1 && is_max; ++dc) {
+          if (dr == 0 && dc == 0) continue;
+          const auto r2 = static_cast<std::ptrdiff_t>(row) + dr;
+          const auto c2 = static_cast<std::ptrdiff_t>(col) + dc;
+          if (r2 < 0 || c2 < 0 || r2 >= static_cast<std::ptrdiff_t>(g) ||
+              c2 >= static_cast<std::ptrdiff_t>(g)) {
+            continue;
+          }
+          const double other =
+              terrain.at(static_cast<std::size_t>(r2), static_cast<std::size_t>(c2));
+          if (other > h) is_max = false;
+          // Plateau tie: only the first cell in scan order survives.
+          if (other == h && (r2 < static_cast<std::ptrdiff_t>(row) ||
+                             (r2 == static_cast<std::ptrdiff_t>(row) &&
+                              c2 < static_cast<std::ptrdiff_t>(col)))) {
+            is_max = false;
+          }
+        }
+      }
+      if (!is_max) continue;
+      Peak p;
+      p.row = row;
+      p.col = col;
+      p.height = h;
+      const auto [wx, wy] =
+          terrain.to_world(static_cast<double>(col), static_cast<double>(row));
+      p.x = wx;
+      p.y = wy;
+      candidates.push_back(p);
+    }
+  }
+
+  // Highest first; deterministic tie-break by grid position.
+  std::sort(candidates.begin(), candidates.end(), [](const Peak& a, const Peak& b) {
+    if (a.height != b.height) return a.height > b.height;
+    if (a.row != b.row) return a.row < b.row;
+    return a.col < b.col;
+  });
+
+  // Non-maximum suppression: a candidate within min_separation (Chebyshev)
+  // of an accepted, higher peak is part of the same mountain.
+  std::vector<Peak> peaks;
+  for (const Peak& c : candidates) {
+    const bool suppressed = std::any_of(peaks.begin(), peaks.end(), [&](const Peak& p) {
+      const auto dr = static_cast<std::ptrdiff_t>(p.row) - static_cast<std::ptrdiff_t>(c.row);
+      const auto dc = static_cast<std::ptrdiff_t>(p.col) - static_cast<std::ptrdiff_t>(c.col);
+      return static_cast<std::size_t>(std::max(std::abs(dr), std::abs(dc))) <=
+             config.min_separation;
+    });
+    if (suppressed) continue;
+    peaks.push_back(c);
+    if (config.max_peaks != 0 && peaks.size() == config.max_peaks) break;
+  }
+  return peaks;
+}
+
+void label_peaks(std::vector<Peak>& peaks, const std::vector<double>& centroids_xy,
+                 const std::vector<std::vector<std::string>>& theme_labels,
+                 std::size_t label_terms) {
+  require(centroids_xy.size() % 2 == 0, "label_peaks: centroids_xy must be interleaved pairs");
+  const std::size_t k = centroids_xy.size() / 2;
+  if (k == 0) return;
+  for (Peak& p : peaks) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double dx = centroids_xy[2 * c] - p.x;
+      const double dy = centroids_xy[2 * c + 1] - p.y;
+      const double d2 = dx * dx + dy * dy;
+      if (d2 < best) {
+        best = d2;
+        best_c = c;
+      }
+    }
+    p.cluster = static_cast<int>(best_c);
+    p.label.clear();
+    if (best_c < theme_labels.size()) {
+      const auto& terms = theme_labels[best_c];
+      const std::size_t n = std::min(label_terms, terms.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i != 0) p.label += '/';
+        p.label += terms[i];
+      }
+    }
+  }
+}
+
+}  // namespace sva::viz

@@ -1,0 +1,182 @@
+#include "sva/viz/render.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "sva/util/error.hpp"
+
+namespace sva::viz {
+
+namespace {
+
+std::ofstream open_output(const std::string& path) {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p);
+  require(out.good(), "viz: cannot open " + path);
+  return out;
+}
+
+struct Rgb {
+  int r, g, b;
+};
+
+/// Classic hypsometric ramp: deep water through lowland green, highland
+/// brown, to snow.
+Rgb terrain_color(double t) {
+  static constexpr std::array<Rgb, 6> kStops = {{{24, 48, 96},     // deep
+                                                 {38, 98, 140},    // shallow
+                                                 {70, 140, 66},    // lowland
+                                                 {160, 150, 70},   // upland
+                                                 {140, 100, 60},   // mountain
+                                                 {245, 245, 245}}};  // snow
+  t = std::clamp(t, 0.0, 1.0);
+  const double pos = t * static_cast<double>(kStops.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, kStops.size() - 1);
+  const double f = pos - static_cast<double>(lo);
+  auto mix = [f](int a, int b) {
+    return static_cast<int>(std::lround(static_cast<double>(a) +
+                                        f * static_cast<double>(b - a)));
+  };
+  return {mix(kStops[lo].r, kStops[hi].r), mix(kStops[lo].g, kStops[hi].g),
+          mix(kStops[lo].b, kStops[hi].b)};
+}
+
+}  // namespace
+
+void write_pgm(const cluster::ThemeViewTerrain& terrain, const std::string& path,
+               std::size_t scale) {
+  require(scale >= 1, "write_pgm: scale must be >= 1");
+  auto out = open_output(path);
+  const std::size_t g = terrain.grid();
+  const std::size_t px = g * scale;
+  const double peak = terrain.peak();
+  out << "P2\n" << px << ' ' << px << "\n255\n";
+  for (std::size_t y = 0; y < px; ++y) {
+    for (std::size_t x = 0; x < px; ++x) {
+      const double v = peak > 0.0 ? terrain.at(y / scale, x / scale) / peak : 0.0;
+      out << static_cast<int>(std::lround(v * 255.0));
+      out << (x + 1 == px ? '\n' : ' ');
+    }
+  }
+}
+
+void write_ppm(const cluster::ThemeViewTerrain& terrain, const std::string& path,
+               std::size_t scale) {
+  require(scale >= 1, "write_ppm: scale must be >= 1");
+  auto out = open_output(path);
+  const std::size_t g = terrain.grid();
+  const std::size_t px = g * scale;
+  const double peak = terrain.peak();
+  out << "P3\n" << px << ' ' << px << "\n255\n";
+  for (std::size_t y = 0; y < px; ++y) {
+    for (std::size_t x = 0; x < px; ++x) {
+      const double v = peak > 0.0 ? terrain.at(y / scale, x / scale) / peak : 0.0;
+      const Rgb c = terrain_color(v);
+      out << c.r << ' ' << c.g << ' ' << c.b;
+      out << (x + 1 == px ? '\n' : ' ');
+    }
+  }
+}
+
+void write_svg(const cluster::ThemeViewTerrain& terrain, const std::vector<Contour>& contours,
+               const std::vector<Peak>& peaks, const std::vector<double>& points_xy,
+               const std::string& path, const SvgConfig& config) {
+  require(points_xy.size() % 2 == 0, "write_svg: points_xy must be interleaved pairs");
+  auto out = open_output(path);
+  const auto size = static_cast<double>(config.size_px);
+  const auto g = static_cast<double>(terrain.grid() - 1);
+  const double cell = size / (g + 1.0);
+
+  auto grid_to_px = [&](double col, double row) {
+    return std::pair<double, double>{(col + 0.5) * cell, (row + 0.5) * cell};
+  };
+  auto world_to_px = [&](double x, double y) {
+    const auto [col, row] = terrain.to_grid(x, y);
+    return grid_to_px(col, row);
+  };
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << config.size_px
+      << "\" height=\"" << config.size_px << "\" viewBox=\"0 0 " << config.size_px << ' '
+      << config.size_px << "\">\n";
+  {
+    const Rgb bg = terrain_color(0.0);
+    out << "  <rect width=\"100%\" height=\"100%\" fill=\"rgb(" << bg.r << ',' << bg.g << ','
+        << bg.b << ")\"/>\n";
+  }
+
+  // Contour bands, lowest level first so higher bands draw on top.
+  const double peak_h = terrain.peak();
+  for (const Contour& contour : contours) {
+    if (contour.points.size() < 2) continue;
+    // Sample the level from the first vertex for the band color.
+    const auto [c0, r0] = contour.points.front();
+    const double level =
+        terrain.at(std::min<std::size_t>(static_cast<std::size_t>(std::lround(r0)),
+                                         terrain.grid() - 1),
+                   std::min<std::size_t>(static_cast<std::size_t>(std::lround(c0)),
+                                         terrain.grid() - 1));
+    const Rgb stroke = terrain_color(peak_h > 0.0 ? level / peak_h : 0.0);
+    out << "  <polyline fill=\"none\" stroke=\"rgb(" << stroke.r << ',' << stroke.g << ','
+        << stroke.b << ")\" stroke-width=\"1.2\" points=\"";
+    for (const auto& [col, row] : contour.points) {
+      const auto [x, y] = grid_to_px(col, row);
+      out << x << ',' << y << ' ';
+    }
+    out << "\"/>\n";
+  }
+
+  if (config.draw_points && !points_xy.empty()) {
+    const std::size_t n = points_xy.size() / 2;
+    const std::size_t stride =
+        config.max_points != 0 ? std::max<std::size_t>(1, n / config.max_points) : 1;
+    out << "  <g fill=\"rgba(255,255,255,0.55)\">\n";
+    for (std::size_t i = 0; i < n; i += stride) {
+      const auto [x, y] = world_to_px(points_xy[2 * i], points_xy[2 * i + 1]);
+      if (x < 0.0 || y < 0.0 || x > size || y > size) continue;
+      out << "    <circle cx=\"" << x << "\" cy=\"" << y << "\" r=\"1.1\"/>\n";
+    }
+    out << "  </g>\n";
+  }
+
+  for (const Peak& p : peaks) {
+    const auto [x, y] = grid_to_px(static_cast<double>(p.col), static_cast<double>(p.row));
+    out << "  <circle cx=\"" << x << "\" cy=\"" << y
+        << "\" r=\"3.5\" fill=\"#ffffff\" stroke=\"#202020\"/>\n";
+    if (config.draw_labels && !p.label.empty()) {
+      out << "  <text x=\"" << x + 6.0 << "\" y=\"" << y - 6.0
+          << "\" font-family=\"sans-serif\" font-size=\"12\" fill=\"#101010\" "
+             "stroke=\"#ffffff\" stroke-width=\"0.4\">"
+          << p.label << "</text>\n";
+    }
+  }
+  out << "</svg>\n";
+}
+
+std::string ascii_with_peaks(const cluster::ThemeViewTerrain& terrain,
+                             const std::vector<Peak>& peaks) {
+  std::string ascii = terrain.to_ascii();
+  const std::size_t g = terrain.grid();
+  // Rows in to_ascii are g characters + newline.
+  for (std::size_t i = 0; i < peaks.size(); ++i) {
+    const Peak& p = peaks[i];
+    const std::size_t pos = p.row * (g + 1) + p.col;
+    if (pos < ascii.size()) {
+      ascii[pos] = i < 9 ? static_cast<char>('1' + i) : '^';
+    }
+  }
+  std::string legend;
+  for (std::size_t i = 0; i < peaks.size() && i < 9; ++i) {
+    legend += '\n';
+    legend += static_cast<char>('1' + i);
+    legend += ": ";
+    legend += peaks[i].label.empty() ? "(unlabeled)" : peaks[i].label;
+  }
+  return ascii + legend + (legend.empty() ? "" : "\n");
+}
+
+}  // namespace sva::viz

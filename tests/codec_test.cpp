@@ -1,0 +1,163 @@
+// Tests for the posting-list codec: varbyte boundary values, d-gap
+// round-trips over adversarial distributions, and whole-index compression
+// agreeing with the uncompressed inverted index at every processor count.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "sva/corpus/generator.hpp"
+#include "sva/index/codec.hpp"
+#include "sva/text/scanner.hpp"
+
+namespace sva::index {
+namespace {
+
+TEST(VarbyteTest, SingleByteValues) {
+  for (std::int64_t v : {0L, 1L, 63L, 127L}) {
+    std::vector<std::uint8_t> bytes;
+    varbyte_append(v, bytes);
+    EXPECT_EQ(bytes.size(), 1u) << v;
+    EXPECT_EQ(varbyte_decode(bytes), std::vector<std::int64_t>{v});
+  }
+}
+
+TEST(VarbyteTest, MultiByteBoundaries) {
+  // 128 needs 2 bytes; 16384 needs 3; each boundary round-trips.
+  const std::vector<std::int64_t> values = {128, 129, 16383, 16384, 2097151, 2097152,
+                                            (1LL << 31), (1LL << 62)};
+  const auto bytes = varbyte_encode(values);
+  EXPECT_EQ(varbyte_decode(bytes), values);
+}
+
+TEST(VarbyteTest, EncodedSizeMatchesTheory) {
+  std::vector<std::uint8_t> bytes;
+  varbyte_append(127, bytes);     // 1 byte
+  varbyte_append(128, bytes);     // 2 bytes
+  varbyte_append(16384, bytes);   // 3 bytes
+  EXPECT_EQ(bytes.size(), 6u);
+}
+
+TEST(VarbyteTest, NegativeValueThrows) {
+  std::vector<std::uint8_t> bytes;
+  EXPECT_THROW(varbyte_append(-1, bytes), Error);
+}
+
+TEST(VarbyteTest, TruncatedInputThrows) {
+  std::vector<std::uint8_t> bytes;
+  varbyte_append(1000, bytes);
+  bytes.pop_back();  // drop the terminating byte
+  EXPECT_THROW((void)varbyte_decode(bytes), Error);
+}
+
+TEST(VarbyteTest, EmptyInputDecodesEmpty) {
+  EXPECT_TRUE(varbyte_decode({}).empty());
+}
+
+// ---- d-gap posting lists -------------------------------------------------------
+
+class PostingsRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PostingsRoundTripTest, RandomSortedListsRoundTrip) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_int_distribution<std::int64_t> gap_dist(1, 1 << (GetParam() % 20 + 1));
+  std::vector<std::int64_t> postings;
+  std::int64_t v = static_cast<std::int64_t>(rng() % 100);
+  for (int i = 0; i < 500; ++i) {
+    postings.push_back(v);
+    v += gap_dist(rng);
+  }
+  const auto bytes = encode_postings(postings);
+  EXPECT_EQ(decode_postings(bytes), postings);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostingsRoundTripTest, ::testing::Values(1, 2, 7, 19, 40));
+
+TEST(PostingsTest, DenseListsCompressEightfold) {
+  // Gap-1 lists need one byte per posting: ratio ~ 8.
+  std::vector<std::int64_t> postings(4096);
+  for (std::size_t i = 0; i < postings.size(); ++i) postings[i] = static_cast<std::int64_t>(i);
+  const auto bytes = encode_postings(postings);
+  EXPECT_LE(bytes.size(), postings.size() + 1);
+}
+
+TEST(PostingsTest, EmptyListYieldsNoBytes) {
+  EXPECT_TRUE(encode_postings({}).empty());
+  EXPECT_TRUE(decode_postings({}).empty());
+}
+
+TEST(PostingsTest, SingleElementList) {
+  const std::vector<std::int64_t> one = {42};
+  EXPECT_EQ(decode_postings(encode_postings(one)), one);
+}
+
+TEST(PostingsTest, UnsortedThrows) {
+  const std::vector<std::int64_t> bad = {5, 3};
+  EXPECT_THROW((void)encode_postings(bad), Error);
+}
+
+TEST(PostingsTest, DuplicatesThrow) {
+  const std::vector<std::int64_t> bad = {3, 3};
+  EXPECT_THROW((void)encode_postings(bad), Error);
+}
+
+// ---- whole-index compression ----------------------------------------------------
+
+class CompressIndexTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressIndexTest, CompressedIndexMatchesUncompressed) {
+  const int nprocs = GetParam();
+  corpus::CorpusSpec spec;
+  spec.target_bytes = 48 << 10;
+  spec.core_vocabulary = 500;
+  const auto sources = corpus::generate_corpus(spec);
+
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    text::TokenizerConfig tok;
+    tok.use_stopwords = false;
+    const auto scan = text::scan_sources(ctx, sources, tok);
+    const auto r = build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    const auto compressed = compress_record_index(ctx, r.index);
+
+    ASSERT_EQ(compressed.num_terms, r.index.num_terms);
+    ASSERT_EQ(compressed.total_postings, r.index.total_record_postings);
+
+    // Every term's decompressed list must equal the global-array copy.
+    const auto offsets = r.index.record_offsets.to_vector(ctx);
+    const auto postings = r.index.record_postings.to_vector(ctx);
+    for (std::size_t t = 0; t < compressed.num_terms; ++t) {
+      const auto decoded = compressed.postings_of(t);
+      const auto lo = static_cast<std::size_t>(offsets[t]);
+      const auto hi = static_cast<std::size_t>(offsets[t + 1]);
+      ASSERT_EQ(decoded.size(), hi - lo) << "term " << t;
+      for (std::size_t i = lo; i < hi; ++i) {
+        EXPECT_EQ(decoded[i - lo], postings[i]) << "term " << t;
+      }
+    }
+    EXPECT_GT(compressed.compression_ratio(), 2.0)
+        << "record ids fit in far fewer than 8 bytes";
+    ctx.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, CompressIndexTest, ::testing::Values(1, 2, 4));
+
+TEST(CompressIndexTest, AllRanksGetIdenticalBytes) {
+  corpus::CorpusSpec spec;
+  spec.target_bytes = 16 << 10;
+  const auto sources = corpus::generate_corpus(spec);
+  auto per_rank = std::make_shared<std::vector<std::vector<std::uint8_t>>>(3);
+  ga::spmd_run(3, [&](ga::Context& ctx) {
+    text::TokenizerConfig tok;
+    tok.use_stopwords = false;
+    const auto scan = text::scan_sources(ctx, sources, tok);
+    const auto r = build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    const auto compressed = compress_record_index(ctx, r.index);
+    (*per_rank)[static_cast<std::size_t>(ctx.rank())] = compressed.bytes;
+  });
+  EXPECT_EQ((*per_rank)[0], (*per_rank)[1]);
+  EXPECT_EQ((*per_rank)[0], (*per_rank)[2]);
+}
+
+}  // namespace
+}  // namespace sva::index

@@ -1,0 +1,83 @@
+// Tests for the LogGP-style communication model: every figure's modeled
+// time is built from these formulas, so their structural properties
+// (monotonicity in P and bytes, locality discounts, collective tree
+// depths, the serial-vs-parallel I/O distinction) are pinned here.
+#include <gtest/gtest.h>
+
+#include "sva/ga/comm_model.hpp"
+
+namespace sva::ga {
+namespace {
+
+TEST(CommModelTest, TreeDepthIsCeilLog2) {
+  CommModel m;
+  EXPECT_EQ(m.tree_depth(1), 0);
+  EXPECT_EQ(m.tree_depth(2), 1);
+  EXPECT_EQ(m.tree_depth(3), 2);
+  EXPECT_EQ(m.tree_depth(4), 2);
+  EXPECT_EQ(m.tree_depth(5), 3);
+  EXPECT_EQ(m.tree_depth(32), 5);
+  EXPECT_EQ(m.tree_depth(33), 6);
+}
+
+TEST(CommModelTest, LocalOneSidedIsCheaperThanRemote) {
+  CommModel m;
+  for (std::size_t bytes : {8u, 1024u, 1u << 20}) {
+    EXPECT_LT(m.onesided(bytes, false), m.onesided(bytes, true)) << bytes;
+  }
+  EXPECT_LT(m.atomic_rmw(false), m.atomic_rmw(true));
+}
+
+TEST(CommModelTest, CostsIncreaseWithBytes) {
+  CommModel m;
+  EXPECT_LT(m.onesided(8, true), m.onesided(1 << 20, true));
+  EXPECT_LT(m.broadcast(8, 64), m.broadcast(8, 1 << 20));
+  EXPECT_LT(m.allgather(8, 64), m.allgather(8, 1 << 20));
+}
+
+TEST(CommModelTest, CollectivesGrowWithProcessorCount) {
+  CommModel m;
+  EXPECT_LT(m.barrier(2), m.barrier(32));
+  EXPECT_LT(m.broadcast(2, 1024), m.broadcast(32, 1024));
+  EXPECT_LT(m.allreduce(2, 1024), m.allreduce(32, 1024));
+  EXPECT_LT(m.allgather(2, 1024), m.allgather(32, 1024));
+}
+
+TEST(CommModelTest, AllreduceIsTwiceReduce) {
+  CommModel m;
+  EXPECT_DOUBLE_EQ(m.allreduce(16, 4096), 2.0 * m.reduce(16, 4096));
+}
+
+TEST(CommModelTest, SingleRankCollectivesAreFree) {
+  CommModel m;
+  EXPECT_DOUBLE_EQ(m.barrier(1), 0.0);
+  EXPECT_DOUBLE_EQ(m.broadcast(1, 1 << 20), 0.0);
+  EXPECT_DOUBLE_EQ(m.allreduce(1, 1 << 20), 0.0);
+}
+
+TEST(CommModelTest, ParallelFsChargesLocalSlice) {
+  CommModel m;
+  m.io_parallel = true;
+  EXPECT_DOUBLE_EQ(m.io_read(1000, 32000), m.io_read(1000));
+}
+
+TEST(CommModelTest, SerialDiskChargesWholeCorpus) {
+  CommModel m;
+  m.io_parallel = false;
+  EXPECT_DOUBLE_EQ(m.io_read(1000, 32000), m.io_read(32000));
+  // Serial >= parallel always.
+  CommModel p;
+  p.io_parallel = true;
+  EXPECT_GE(m.io_read(1000, 32000), p.io_read(1000, 32000));
+}
+
+TEST(CommModelTest, ItaniumPresetScalesComputeOnly) {
+  const CommModel base;
+  const CommModel preset = itanium_cluster_model();
+  EXPECT_GT(preset.compute_scale, base.compute_scale);
+  EXPECT_DOUBLE_EQ(preset.alpha, base.alpha);
+  EXPECT_DOUBLE_EQ(preset.beta, base.beta);
+}
+
+}  // namespace
+}  // namespace sva::ga

@@ -1,0 +1,296 @@
+// Tests for corpus synthesis: determinism, structural properties, Zipf
+// behaviour, and byte-balanced partitioning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sva/corpus/document.hpp"
+#include "sva/corpus/generator.hpp"
+#include "sva/corpus/lexicon.hpp"
+#include "sva/corpus/zipf.hpp"
+#include "sva/util/rng.hpp"
+
+namespace sva::corpus {
+namespace {
+
+CorpusSpec small_spec(CorpusKind kind, std::size_t bytes = 64 << 10) {
+  CorpusSpec spec;
+  spec.kind = kind;
+  spec.seed = 77;
+  spec.target_bytes = bytes;
+  spec.core_vocabulary = 2000;
+  spec.num_themes = 6;
+  spec.theme_vocabulary = 100;
+  return spec;
+}
+
+// ---- Lexicon ----------------------------------------------------------------
+
+TEST(LexiconTest, WordsAreUnique) {
+  std::set<std::string> seen;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    const auto w = Lexicon::word(i);
+    EXPECT_TRUE(seen.insert(w).second) << "duplicate word for id " << i;
+  }
+}
+
+TEST(LexiconTest, WordsAreDeterministic) {
+  EXPECT_EQ(Lexicon::word(12345), Lexicon::word(12345));
+}
+
+TEST(LexiconTest, WordsHaveAtLeastTwoSyllables) {
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_GE(Lexicon::word(i).size(), 4u);
+}
+
+TEST(LexiconTest, WordsAreLowercaseAlpha) {
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    for (char c : Lexicon::word(i)) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z');
+    }
+  }
+}
+
+TEST(LexiconTest, AuthorsLookLikeNames) {
+  const auto a = Lexicon::author(42);
+  EXPECT_TRUE(a[0] >= 'A' && a[0] <= 'Z');
+  EXPECT_NE(a.find(' '), std::string::npos);
+  EXPECT_EQ(a, Lexicon::author(42));
+}
+
+// ---- ZipfSampler -------------------------------------------------------------
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(100, 1.1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < 100; ++i) total += z.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, LowerRanksMoreProbable) {
+  ZipfSampler z(1000, 1.0);
+  EXPECT_GT(z.pmf(0), z.pmf(1));
+  EXPECT_GT(z.pmf(1), z.pmf(10));
+  EXPECT_GT(z.pmf(10), z.pmf(500));
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfSampler z(50, 1.2);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(rng), 50u);
+}
+
+TEST(ZipfTest, EmpiricalFrequencyMatchesPmf) {
+  ZipfSampler z(20, 1.0);
+  Xoshiro256 rng(2);
+  std::vector<int> hist(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++hist[z.sample(rng)];
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(static_cast<double>(hist[r]) / n, z.pmf(r), 0.01);
+  }
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  ZipfSampler z(10, 0.0);
+  for (std::size_t r = 0; r < 10; ++r) EXPECT_NEAR(z.pmf(r), 0.1, 1e-9);
+}
+
+TEST(ZipfTest, SingleItemAlwaysSampled) {
+  ZipfSampler z(1, 2.0);
+  Xoshiro256 rng(3);
+  EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(ZipfTest, InvalidArgsThrow) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), InvalidArgument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), InvalidArgument);
+}
+
+// ---- generators ---------------------------------------------------------------
+
+class GeneratorKindTest : public ::testing::TestWithParam<CorpusKind> {};
+
+TEST_P(GeneratorKindTest, ReachesTargetBytes) {
+  const auto spec = small_spec(GetParam());
+  const SourceSet s = generate_corpus(spec);
+  EXPECT_GE(s.total_bytes(), spec.target_bytes);
+  // Should not drastically overshoot (one document at most).
+  EXPECT_LT(s.total_bytes(), spec.target_bytes + (64 << 10));
+  EXPECT_GT(s.size(), 10u);
+}
+
+TEST_P(GeneratorKindTest, IsDeterministic) {
+  const auto spec = small_spec(GetParam());
+  const SourceSet a = generate_corpus(spec);
+  const SourceSet b = generate_corpus(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].fields.size(), b[i].fields.size());
+    for (std::size_t f = 0; f < a[i].fields.size(); ++f) {
+      EXPECT_EQ(a[i].fields[f].text, b[i].fields[f].text);
+    }
+  }
+}
+
+TEST_P(GeneratorKindTest, SeedChangesContent) {
+  auto spec = small_spec(GetParam());
+  const SourceSet a = generate_corpus(spec);
+  spec.seed = spec.seed + 1;
+  const SourceSet b = generate_corpus(spec);
+  // Compare first doc's first field text.
+  EXPECT_NE(a[0].fields.back().text, b[0].fields.back().text);
+}
+
+TEST_P(GeneratorKindTest, DocIdsAreSequential) {
+  const auto spec = small_spec(GetParam());
+  const SourceSet s = generate_corpus(spec);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s[i].id, i);
+}
+
+TEST_P(GeneratorKindTest, GroundTruthThemeIsStable) {
+  const auto spec = small_spec(GetParam());
+  for (std::uint64_t d = 0; d < 50; ++d) {
+    const auto t = ground_truth_theme(spec, d);
+    EXPECT_LT(t, spec.num_themes);
+    EXPECT_EQ(t, ground_truth_theme(spec, d));
+  }
+}
+
+TEST_P(GeneratorKindTest, ThemesAreDiverse) {
+  const auto spec = small_spec(GetParam());
+  std::set<std::size_t> seen;
+  for (std::uint64_t d = 0; d < 500; ++d) seen.insert(ground_truth_theme(spec, d));
+  EXPECT_GE(seen.size(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, GeneratorKindTest,
+                         ::testing::Values(CorpusKind::kPubMedLike, CorpusKind::kTrecLike),
+                         [](const auto& info) {
+                           return info.param == CorpusKind::kPubMedLike ? "pubmed" : "trec";
+                         });
+
+TEST(GeneratorTest, PubmedHasExpectedFields) {
+  const SourceSet s = generate_corpus(small_spec(CorpusKind::kPubMedLike));
+  const auto& doc = s[0];
+  ASSERT_EQ(doc.fields.size(), 5u);
+  EXPECT_EQ(doc.fields[0].name, "PMID");
+  EXPECT_EQ(doc.fields[1].name, "TI");
+  EXPECT_EQ(doc.fields[2].name, "AB");
+  EXPECT_EQ(doc.fields[3].name, "AU");
+  EXPECT_EQ(doc.fields[4].name, "MH");
+}
+
+TEST(GeneratorTest, TrecHasTitleAndBody) {
+  const SourceSet s = generate_corpus(small_spec(CorpusKind::kTrecLike));
+  const auto& doc = s[0];
+  ASSERT_EQ(doc.fields.size(), 2u);
+  EXPECT_EQ(doc.fields[0].name, "title");
+  EXPECT_EQ(doc.fields[1].name, "body");
+}
+
+TEST(GeneratorTest, PubmedSizesAreRegular) {
+  const SourceSet s = generate_corpus(small_spec(CorpusKind::kPubMedLike, 256 << 10));
+  double mean = 0.0;
+  for (const auto& d : s.docs()) mean += static_cast<double>(d.bytes());
+  mean /= static_cast<double>(s.size());
+  double var = 0.0;
+  for (const auto& d : s.docs()) {
+    const double delta = static_cast<double>(d.bytes()) - mean;
+    var += delta * delta;
+  }
+  var /= static_cast<double>(s.size());
+  // Coefficient of variation is modest for abstracts.
+  EXPECT_LT(std::sqrt(var) / mean, 0.35);
+}
+
+TEST(GeneratorTest, TrecSizesHaveHeavyTail) {
+  auto spec = small_spec(CorpusKind::kTrecLike, 1 << 20);
+  spec.giant_doc_fraction = 0.01;
+  const SourceSet s = generate_corpus(spec);
+  std::size_t max_bytes = 0;
+  double mean = 0.0;
+  for (const auto& d : s.docs()) {
+    max_bytes = std::max(max_bytes, d.bytes());
+    mean += static_cast<double>(d.bytes());
+  }
+  mean /= static_cast<double>(s.size());
+  EXPECT_GT(static_cast<double>(max_bytes), 8.0 * mean);
+}
+
+TEST(GeneratorTest, PresetRatiosMatchThePaper) {
+  const std::size_t s1 = 1 << 20;
+  EXPECT_EQ(pubmed_like_spec(0, s1).target_bytes, s1);
+  EXPECT_NEAR(static_cast<double>(pubmed_like_spec(1, s1).target_bytes) / s1, 6.67 / 2.75,
+              0.01);
+  EXPECT_NEAR(static_cast<double>(pubmed_like_spec(2, s1).target_bytes) / s1, 16.44 / 2.75,
+              0.01);
+  EXPECT_NEAR(static_cast<double>(trec_like_spec(1, s1).target_bytes) / s1, 4.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(trec_like_spec(2, s1).target_bytes) / s1, 8.21, 0.01);
+}
+
+TEST(GeneratorTest, PresetIndexValidation) {
+  EXPECT_THROW(pubmed_like_spec(3, 1024), InvalidArgument);
+  EXPECT_THROW(trec_like_spec(-1, 1024), InvalidArgument);
+}
+
+TEST(GeneratorTest, KindNames) {
+  EXPECT_EQ(corpus_kind_name(CorpusKind::kPubMedLike), "pubmed-like");
+  EXPECT_EQ(corpus_kind_name(CorpusKind::kTrecLike), "trec-like");
+}
+
+// ---- partition_by_bytes -------------------------------------------------------
+
+class PartitionSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionSweepTest, CoversAllDocumentsContiguously) {
+  const int nprocs = GetParam();
+  const SourceSet s = generate_corpus(small_spec(CorpusKind::kTrecLike));
+  const auto parts = partition_by_bytes(s, nprocs);
+  ASSERT_EQ(parts.size(), static_cast<std::size_t>(nprocs));
+  std::size_t expected_begin = 0;
+  for (const auto& [b, e] : parts) {
+    EXPECT_EQ(b, expected_begin);
+    EXPECT_LE(b, e);
+    expected_begin = e;
+  }
+  EXPECT_EQ(parts.back().second, s.size());
+}
+
+TEST_P(PartitionSweepTest, BytesAreBalanced) {
+  const int nprocs = GetParam();
+  const SourceSet s = generate_corpus(small_spec(CorpusKind::kPubMedLike, 512 << 10));
+  const auto parts = partition_by_bytes(s, nprocs);
+  const double ideal = static_cast<double>(s.total_bytes()) / nprocs;
+  for (const auto& [b, e] : parts) {
+    double bytes = 0.0;
+    for (std::size_t d = b; d < e; ++d) bytes += static_cast<double>(s[d].bytes());
+    // Within one max-document of the ideal share.
+    EXPECT_NEAR(bytes, ideal, ideal * 0.5 + 4096.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, PartitionSweepTest, ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(PartitionTest, MoreRanksThanDocs) {
+  SourceSet s;
+  for (int i = 0; i < 3; ++i) {
+    RawDocument d;
+    d.id = static_cast<std::uint64_t>(i);
+    d.fields.push_back({"body", "alpha beta"});
+    s.add(std::move(d));
+  }
+  const auto parts = partition_by_bytes(s, 8);
+  std::size_t total = 0;
+  for (const auto& [b, e] : parts) total += e - b;
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(parts.back().second, 3u);
+}
+
+TEST(PartitionTest, InvalidNprocsThrows) {
+  SourceSet s;
+  EXPECT_THROW(partition_by_bytes(s, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sva::corpus

@@ -1,0 +1,179 @@
+// Failure injection and adversarial inputs for the full engine: the
+// degenerate corpora a production deployment will eventually meet must
+// produce defined behavior (a result or a clean error), never a hang or
+// a crash — in SPMD code the extra risk is one rank erroring while the
+// others wait at a collective, which the runtime must turn into a clean
+// rethrow.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sva/engine/pipeline.hpp"
+
+namespace sva::engine {
+namespace {
+
+corpus::SourceSet docs_from(const std::vector<std::string>& bodies) {
+  corpus::SourceSet s;
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    corpus::RawDocument d;
+    d.id = i;
+    d.fields.push_back({"body", bodies[i]});
+    s.add(std::move(d));
+  }
+  return s;
+}
+
+EngineConfig tiny_config() {
+  EngineConfig config;
+  config.topicality.num_major_terms = 16;
+  config.topicality.min_doc_frequency = 1;
+  config.topicality.max_df_fraction = 1.0;
+  config.kmeans.k = 2;
+  config.tokenizer.use_stopwords = false;
+  return config;
+}
+
+class EdgeProcsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeProcsTest, SingleDocumentCorpus) {
+  const auto sources = docs_from({"lonely document with several distinct words"});
+  ga::spmd_run(GetParam(), [&](ga::Context& ctx) {
+    const EngineResult r = run_text_engine(ctx, sources, tiny_config());
+    EXPECT_EQ(r.num_records, 1u);
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(r.projection.all_doc_ids.size(), 1u);
+    }
+  });
+}
+
+TEST_P(EdgeProcsTest, IdenticalDocuments) {
+  // Zero variance anywhere: PCA of identical signatures must not blow up.
+  const auto sources =
+      docs_from(std::vector<std::string>(12, "identical tokens everywhere always"));
+  ga::spmd_run(GetParam(), [&](ga::Context& ctx) {
+    const EngineResult r = run_text_engine(ctx, sources, tiny_config());
+    EXPECT_EQ(r.num_records, 12u);
+  });
+}
+
+TEST_P(EdgeProcsTest, SingleTermCorpus) {
+  const auto sources = docs_from({"word", "word word", "word word word", "word"});
+  ga::spmd_run(GetParam(), [&](ga::Context& ctx) {
+    const EngineResult r = run_text_engine(ctx, sources, tiny_config());
+    EXPECT_EQ(r.num_terms, 1u);
+    EXPECT_GE(r.selection.n(), 1u);
+  });
+}
+
+TEST_P(EdgeProcsTest, EmptyAndWhitespaceDocumentsSurvive) {
+  const auto sources = docs_from({"", "   \t\n  ", "actual content here once",
+                                  "more actual content again twice", ""});
+  ga::spmd_run(GetParam(), [&](ga::Context& ctx) {
+    const EngineResult r = run_text_engine(ctx, sources, tiny_config());
+    EXPECT_EQ(r.num_records, 5u);
+    if (ctx.rank() == 0) {
+      // Every record gets coordinates, even token-free ones (null
+      // signatures land at the origin of the projection).
+      EXPECT_EQ(r.projection.all_doc_ids.size(), 5u);
+    }
+  });
+}
+
+TEST_P(EdgeProcsTest, GiantDocumentAmongTiny) {
+  // The byte-balanced partitioner gives the giant to one rank; dynamic
+  // indexing must still terminate and count every posting exactly once.
+  std::string giant;
+  for (int i = 0; i < 20000; ++i) {
+    giant += "gwork" + std::to_string(i % 300) + " ";
+  }
+  std::vector<std::string> bodies = {giant};
+  for (int i = 0; i < 40; ++i) bodies.push_back("small doc body number " + std::to_string(i));
+  const auto sources = docs_from(bodies);
+  ga::spmd_run(GetParam(), [&](ga::Context& ctx) {
+    const EngineResult r = run_text_engine(ctx, sources, tiny_config());
+    EXPECT_EQ(r.num_records, 41u);
+  });
+}
+
+TEST_P(EdgeProcsTest, MoreRanksThanDocuments) {
+  const auto sources = docs_from({"alpha beta gamma", "delta epsilon zeta"});
+  ga::spmd_run(GetParam(), [&](ga::Context& ctx) {
+    const EngineResult r = run_text_engine(ctx, sources, tiny_config());
+    EXPECT_EQ(r.num_records, 2u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, EdgeProcsTest, ::testing::Values(1, 2, 4, 8));
+
+TEST(EngineEdgeTest, EmptyCorpusThrowsCleanly) {
+  const corpus::SourceSet empty;
+  EXPECT_THROW(ga::spmd_run(2,
+                            [&](ga::Context& ctx) {
+                              (void)run_text_engine(ctx, empty, tiny_config());
+                            }),
+               Error);
+}
+
+TEST(EngineEdgeTest, AllStopwordCorpusThrowsCleanly) {
+  // Every token filtered: the vocabulary is empty, which the engine must
+  // report as an error on every rank (not deadlock).
+  auto config = tiny_config();
+  config.tokenizer.use_stopwords = true;
+  const auto sources = docs_from({"the and of to", "a an is are the", "of of the and"});
+  EXPECT_THROW(ga::spmd_run(3,
+                            [&](ga::Context& ctx) {
+                              (void)run_text_engine(ctx, sources, config);
+                            }),
+               Error);
+}
+
+TEST(EngineEdgeTest, StemmingChangesVocabularyNotStability) {
+  // Same corpus with and without stemming: stemming must shrink the
+  // vocabulary while the pipeline still runs to completion with
+  // P-invariant record counts.
+  const auto sources = docs_from({
+      "connected connections connecting connects",
+      "clustering clustered clusters cluster",
+      "projection projections projected projecting",
+      "analytics analytic analysis",
+      "document documents documented documenting",
+      "scaling scaled scales scale",
+  });
+  auto plain = tiny_config();
+  auto stemmed = tiny_config();
+  stemmed.tokenizer.stem = true;
+
+  auto vocab_plain = std::make_shared<std::uint64_t>(0);
+  auto vocab_stemmed = std::make_shared<std::uint64_t>(0);
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const auto r = run_text_engine(ctx, sources, plain);
+    if (ctx.rank() == 0) *vocab_plain = r.num_terms;
+  });
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const auto r = run_text_engine(ctx, sources, stemmed);
+    if (ctx.rank() == 0) *vocab_stemmed = r.num_terms;
+  });
+  EXPECT_LT(*vocab_stemmed, *vocab_plain);
+  EXPECT_LE(*vocab_stemmed, 8u);  // one stem per family (plus slack)
+}
+
+TEST(EngineEdgeTest, HierarchicalBackendRunsEndToEnd) {
+  const auto sources = docs_from({
+      "red crimson scarlet ruby", "red crimson ruby wine", "scarlet red wine crimson",
+      "blue azure navy cobalt", "azure blue cobalt sky", "navy blue sky azure",
+  });
+  auto config = tiny_config();
+  config.clustering = ClusteringBackend::kHierarchical;
+  config.hierarchical.k = 2;
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const EngineResult r = run_text_engine(ctx, sources, config);
+    EXPECT_EQ(r.clustering.centroids.rows(), 2u);
+    EXPECT_EQ(r.theme_labels.size(), 2u);
+  });
+}
+
+}  // namespace
+}  // namespace sva::engine

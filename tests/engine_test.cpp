@@ -1,0 +1,228 @@
+// End-to-end tests for the text engine: pipeline integrity, the central
+// P-invariance property (same corpus => same products for any processor
+// count), telemetry, and the single-call harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "sva/corpus/generator.hpp"
+#include "sva/engine/pipeline.hpp"
+
+namespace sva::engine {
+namespace {
+
+corpus::SourceSet small_corpus(corpus::CorpusKind kind = corpus::CorpusKind::kPubMedLike,
+                               std::size_t bytes = 192 << 10) {
+  corpus::CorpusSpec spec;
+  spec.kind = kind;
+  spec.target_bytes = bytes;
+  spec.core_vocabulary = 1500;
+  spec.num_themes = 6;
+  spec.theme_vocabulary = 100;
+  spec.theme_token_fraction = 0.3;
+  return corpus::generate_corpus(spec);
+}
+
+EngineConfig small_config() {
+  EngineConfig config;
+  config.topicality.num_major_terms = 200;
+  config.kmeans.k = 6;
+  return config;
+}
+
+class EngineSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineSweepTest, PipelineProducesCoherentProducts) {
+  const int nprocs = GetParam();
+  const auto sources = small_corpus();
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    const EngineResult r = run_text_engine(ctx, sources, small_config());
+
+    EXPECT_EQ(r.num_records, sources.size());
+    EXPECT_GT(r.num_terms, 100u);
+    EXPECT_GT(r.selection.n(), 0u);
+    EXPECT_EQ(r.dimension, r.selection.m());
+    EXPECT_EQ(r.signatures.docvecs.cols(), r.dimension);
+    EXPECT_EQ(r.clustering.centroids.cols(), r.dimension);
+
+    // Rank 0 gathered every document's coordinates and assignment.
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(r.projection.all_doc_ids.size(), sources.size());
+      EXPECT_EQ(r.projection.all_xy.size(), sources.size() * 2);
+      EXPECT_EQ(r.all_assignment.size(), sources.size());
+      for (auto a : r.all_assignment) {
+        EXPECT_GE(a, 0);
+        EXPECT_LT(a, static_cast<std::int32_t>(r.clustering.centroids.rows()));
+      }
+    }
+
+    // Theme labels exist for every cluster.
+    EXPECT_EQ(r.theme_labels.size(), r.clustering.centroids.rows());
+    for (const auto& labels : r.theme_labels) EXPECT_FALSE(labels.empty());
+  });
+}
+
+TEST_P(EngineSweepTest, ComponentTimingsArePositiveAndConsistent) {
+  const int nprocs = GetParam();
+  const auto sources = small_corpus();
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    const EngineResult r = run_text_engine(ctx, sources, small_config());
+    EXPECT_GT(r.timings.scan, 0.0);
+    EXPECT_GT(r.timings.index, 0.0);
+    EXPECT_GT(r.timings.topic, 0.0);
+    EXPECT_GT(r.timings.am, 0.0);
+    EXPECT_GT(r.timings.docvec, 0.0);
+    EXPECT_GT(r.timings.clusproj, 0.0);
+    EXPECT_NEAR(r.timings.total(),
+                r.timings.scan + r.timings.index + r.timings.signature_generation() +
+                    r.timings.clusproj,
+                1e-9);
+    // Timings are identical on every rank (max-synchronized clocks).
+    const auto totals = ctx.allgather(r.timings.total());
+    for (double t : totals) EXPECT_DOUBLE_EQ(t, totals[0]);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, EngineSweepTest, ::testing::Values(1, 2, 4));
+
+TEST(EngineTest, ResultsAreIndependentOfProcessorCount) {
+  // The headline invariant: vocabulary, topics, cluster sizes and final
+  // coordinates agree across P (coordinates within FP tolerance).
+  const auto sources = small_corpus();
+  const auto config = small_config();
+
+  struct Snapshot {
+    std::vector<std::string> topics;
+    std::vector<std::int64_t> cluster_sizes;
+    std::map<std::uint64_t, std::pair<double, double>> coords;
+    std::uint64_t num_terms = 0;
+  };
+  auto capture = [&](int nprocs) {
+    auto snap = std::make_shared<Snapshot>();
+    ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+      const EngineResult r = run_text_engine(ctx, sources, config);
+      if (ctx.rank() != 0) return;
+      snap->num_terms = r.num_terms;
+      for (auto t : r.selection.topic_terms) {
+        snap->topics.push_back(r.vocabulary->terms[static_cast<std::size_t>(t)]);
+      }
+      snap->cluster_sizes = r.clustering.cluster_sizes;
+      for (std::size_t i = 0; i < r.projection.all_doc_ids.size(); ++i) {
+        snap->coords[r.projection.all_doc_ids[i]] = {r.projection.all_xy[2 * i],
+                                                     r.projection.all_xy[2 * i + 1]};
+      }
+    });
+    return snap;
+  };
+
+  const auto s1 = capture(1);
+  const auto s3 = capture(3);
+  EXPECT_EQ(s1->num_terms, s3->num_terms);
+  EXPECT_EQ(s1->topics, s3->topics);
+  EXPECT_EQ(s1->cluster_sizes, s3->cluster_sizes);
+  ASSERT_EQ(s1->coords.size(), s3->coords.size());
+  for (const auto& [doc, xy1] : s1->coords) {
+    const auto& xy3 = s3->coords.at(doc);
+    EXPECT_NEAR(xy1.first, xy3.first, 1e-5) << "doc " << doc;
+    EXPECT_NEAR(xy1.second, xy3.second, 1e-5) << "doc " << doc;
+  }
+}
+
+TEST(EngineTest, DeterministicForSameInputs) {
+  const auto sources = small_corpus(corpus::CorpusKind::kTrecLike, 128 << 10);
+  const auto config = small_config();
+  auto run_once = [&]() {
+    auto coords = std::make_shared<std::vector<double>>();
+    ga::spmd_run(2, [&](ga::Context& ctx) {
+      const EngineResult r = run_text_engine(ctx, sources, config);
+      if (ctx.rank() == 0) *coords = r.projection.all_xy;
+    });
+    return coords;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) EXPECT_EQ((*a)[i], (*b)[i]);
+}
+
+TEST(EngineTest, TrecPipelineRuns) {
+  const auto sources = small_corpus(corpus::CorpusKind::kTrecLike, 128 << 10);
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    EngineConfig config = small_config();
+    config.tokenizer.drop_numeric = true;
+    const EngineResult r = run_text_engine(ctx, sources, config);
+    EXPECT_EQ(r.num_records, sources.size());
+    EXPECT_GT(r.dimension, 0u);
+  });
+}
+
+TEST(EngineTest, EmptySourcesThrow) {
+  corpus::SourceSet empty;
+  EXPECT_THROW(ga::spmd_run(1, [&](ga::Context& ctx) {
+    (void)run_text_engine(ctx, empty, {});
+  }), Error);
+}
+
+TEST(EngineTest, RunPipelineHarnessReturnsRankZeroView) {
+  const auto sources = small_corpus();
+  const PipelineRun run = run_pipeline(2, ga::CommModel{}, sources, small_config());
+  EXPECT_EQ(run.result.projection.all_doc_ids.size(), sources.size());
+  EXPECT_GT(run.modeled_seconds, 0.0);
+  EXPECT_GT(run.wall_seconds, 0.0);
+  EXPECT_NEAR(run.modeled_seconds, run.result.timings.total(), 1e-9);
+}
+
+TEST(EngineTest, ThemeLabelsCanBeDisabled) {
+  const auto sources = small_corpus();
+  EngineConfig config = small_config();
+  config.theme_label_terms = 0;
+  ga::spmd_run(1, [&](ga::Context& ctx) {
+    const EngineResult r = run_text_engine(ctx, sources, config);
+    EXPECT_TRUE(r.theme_labels.empty());
+  });
+}
+
+TEST(EngineTest, AdaptiveDimensionalityTriggersOnStarvedTopicSpace) {
+  const auto sources = small_corpus();
+  EngineConfig config = small_config();
+  config.topicality.num_major_terms = 10;  // starved on purpose
+  config.signature.adaptive = true;
+  config.signature.max_null_fraction = 0.0;
+  config.signature.max_rounds = 2;
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const EngineResult r = run_text_engine(ctx, sources, config);
+    EXPECT_EQ(r.null_fraction_per_round.size(),
+              static_cast<std::size_t>(r.signature_rounds));
+    if (r.signature_rounds > 1) {
+      EXPECT_GT(r.selection.n(), 10u);
+    }
+  });
+}
+
+TEST(EngineTest, ModeledTimeDecreasesWithMoreProcessors) {
+  // The headline scaling claim at small scale: P=4 must be materially
+  // faster than P=1 in modeled time.  The corpus is sized so the real
+  // measured compute dominates host-contention noise, and the threshold
+  // leaves margin for that noise (ideal would be ~3-4x).
+  const auto sources = small_corpus(corpus::CorpusKind::kPubMedLike, 1 << 20);
+  const auto config = small_config();
+  const PipelineRun p1 = run_pipeline(1, ga::CommModel{}, sources, config);
+  const PipelineRun p4 = run_pipeline(4, ga::CommModel{}, sources, config);
+  EXPECT_LT(p4.modeled_seconds, p1.modeled_seconds);
+  const double speedup = p1.modeled_seconds / p4.modeled_seconds;
+  EXPECT_GT(speedup, 1.5) << "expected meaningful parallel speedup";
+}
+
+TEST(EngineTest, ComponentLabelLookup) {
+  ComponentTimings t;
+  t.scan = 1.0;
+  t.clusproj = 2.0;
+  EXPECT_DOUBLE_EQ(t.by_label("scan"), 1.0);
+  EXPECT_DOUBLE_EQ(t.by_label("ClusProj"), 2.0);
+  EXPECT_THROW((void)t.by_label("bogus"), InvalidArgument);
+  EXPECT_EQ(ComponentTimings::labels().size(), 6u);
+}
+
+}  // namespace
+}  // namespace sva::engine

@@ -1,0 +1,385 @@
+// Tests for GlobalArray: distribution arithmetic, one-sided semantics,
+// atomics, and locality introspection across processor counts.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sva/ga/global_array.hpp"
+
+namespace sva::ga {
+namespace {
+
+class GlobalArraySweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GlobalArraySweepTest, RowRangesPartitionTheArray) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    auto ga = GlobalArray<std::int64_t>::create(ctx, 103);
+    std::size_t covered = 0;
+    std::size_t prev_end = 0;
+    for (int r = 0; r < nprocs; ++r) {
+      const auto [b, e] = ga.row_range(r);
+      EXPECT_EQ(b, prev_end);
+      EXPECT_LE(b, e);
+      covered += e - b;
+      prev_end = e;
+    }
+    EXPECT_EQ(covered, 103u);
+    EXPECT_EQ(prev_end, 103u);
+  });
+}
+
+TEST_P(GlobalArraySweepTest, OwnerOfMatchesRowRange) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    auto ga = GlobalArray<double>::create(ctx, 57, 3);
+    for (std::size_t i = 0; i < ga.size(); ++i) {
+      const int owner = ga.owner_of(i);
+      const auto [b, e] = ga.row_range(owner);
+      const std::size_t row = i / 3;
+      EXPECT_GE(row, b);
+      EXPECT_LT(row, e);
+    }
+  });
+}
+
+TEST_P(GlobalArraySweepTest, PutGetRoundTripAnywhere) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    auto ga = GlobalArray<std::int64_t>::create(ctx, 200);
+    // Each rank writes a disjoint strided region covering the array.
+    std::vector<std::int64_t> mine;
+    std::vector<std::size_t> offsets;
+    for (std::size_t i = static_cast<std::size_t>(ctx.rank()); i < 200;
+         i += static_cast<std::size_t>(nprocs)) {
+      offsets.push_back(i);
+    }
+    for (std::size_t i : offsets) {
+      const auto v = static_cast<std::int64_t>(i * 7 + 1);
+      ga.put_value(ctx, i, v);
+    }
+    ctx.barrier();
+    // Everyone verifies the whole array.
+    const auto all = ga.to_vector(ctx);
+    for (std::size_t i = 0; i < 200; ++i) {
+      EXPECT_EQ(all[i], static_cast<std::int64_t>(i * 7 + 1)) << "index " << i;
+    }
+  });
+}
+
+TEST_P(GlobalArraySweepTest, BulkPutSpanningBlocks) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    auto ga = GlobalArray<std::int32_t>::create(ctx, 64);
+    if (ctx.rank() == 0) {
+      std::vector<std::int32_t> data(64);
+      std::iota(data.begin(), data.end(), 0);
+      ga.put(ctx, 0, data);  // spans every block
+    }
+    ctx.barrier();
+    std::vector<std::int32_t> out(64);
+    ga.get(ctx, 0, out);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+  });
+}
+
+TEST_P(GlobalArraySweepTest, AccumulateSumsContributionsFromAllRanks) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    auto ga = GlobalArray<std::int64_t>::create(ctx, 40);
+    std::vector<std::int64_t> ones(40, 1);
+    ga.accumulate(ctx, 0, ones);
+    ctx.barrier();
+    const auto all = ga.to_vector(ctx);
+    for (std::int64_t v : all) EXPECT_EQ(v, nprocs);
+  });
+}
+
+TEST_P(GlobalArraySweepTest, FetchAddIsAtomicAcrossRanks) {
+  const int nprocs = GetParam();
+  constexpr int kIncrementsPerRank = 200;
+  spmd_run(nprocs, [&](Context& ctx) {
+    auto ga = GlobalArray<std::int64_t>::create(ctx, 1);
+    std::vector<std::int64_t> seen;
+    for (int i = 0; i < kIncrementsPerRank; ++i) seen.push_back(ga.fetch_add(ctx, 0, 1));
+    ctx.barrier();
+    EXPECT_EQ(ga.get_value(ctx, 0),
+              static_cast<std::int64_t>(nprocs) * kIncrementsPerRank);
+    // Claims observed by one rank are strictly increasing.
+    for (std::size_t i = 1; i < seen.size(); ++i) EXPECT_GT(seen[i], seen[i - 1]);
+  });
+}
+
+TEST_P(GlobalArraySweepTest, LocalSpanCoversOwnBlockExactly) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    auto ga = GlobalArray<double>::create(ctx, 31, 2);
+    const auto [b, e] = ga.local_row_range(ctx);
+    auto span = ga.local_span(ctx);
+    EXPECT_EQ(span.size(), (e - b) * 2);
+    // Local writes are visible to one-sided reads.
+    for (std::size_t i = 0; i < span.size(); ++i) span[i] = static_cast<double>(ctx.rank());
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      for (int r = 0; r < nprocs; ++r) {
+        const auto [rb, re] = ga.row_range(r);
+        if (rb == re) continue;
+        std::vector<double> probe(2);
+        ga.get(ctx, rb * 2, probe);
+        EXPECT_DOUBLE_EQ(probe[0], static_cast<double>(r));
+      }
+    }
+    ctx.barrier();
+  });
+}
+
+TEST_P(GlobalArraySweepTest, MoreRanksThanRows) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    auto ga = GlobalArray<std::int64_t>::create(ctx, 2);
+    if (ctx.rank() == 0) {
+      ga.put_value(ctx, 0, 11);
+      ga.put_value(ctx, 1, 22);
+    }
+    ctx.barrier();
+    EXPECT_EQ(ga.get_value(ctx, 0), 11);
+    EXPECT_EQ(ga.get_value(ctx, 1), 22);
+    // Trailing ranks own empty blocks.
+    const auto [b, e] = ga.row_range(nprocs - 1);
+    if (nprocs > 2) {
+      EXPECT_EQ(b, e);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, GlobalArraySweepTest, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(GlobalArrayTest, OutOfRangeAccessThrows) {
+  spmd_run(2, [](Context& ctx) {
+    auto ga = GlobalArray<std::int64_t>::create(ctx, 10);
+    std::vector<std::int64_t> buf(5);
+    EXPECT_THROW(ga.get(ctx, 8, buf), InvalidArgument);
+    EXPECT_THROW(ga.put(ctx, 11, buf), InvalidArgument);
+    EXPECT_THROW((void)ga.fetch_add(ctx, 10, 1), InvalidArgument);
+    ctx.barrier();
+  });
+}
+
+TEST(GlobalArrayTest, TwoDimensionalShape) {
+  spmd_run(2, [](Context& ctx) {
+    auto ga = GlobalArray<double>::create(ctx, 6, 4);
+    EXPECT_EQ(ga.rows(), 6u);
+    EXPECT_EQ(ga.cols(), 4u);
+    EXPECT_EQ(ga.size(), 24u);
+  });
+}
+
+TEST(GlobalArrayTest, FillLocalClearsOwnBlock) {
+  spmd_run(2, [](Context& ctx) {
+    auto ga = GlobalArray<std::int64_t>::create(ctx, 16);
+    ga.fill_local(ctx, 9);
+    ctx.barrier();
+    const auto all = ga.to_vector(ctx);
+    for (std::int64_t v : all) EXPECT_EQ(v, 9);
+  });
+}
+
+TEST(GlobalArrayTest, RemoteAccessCostsMoreVirtualTime) {
+  spmd_run(2, [](Context& ctx) {
+    auto ga = GlobalArray<std::int64_t>::create(ctx, 64);
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      const auto [b, e] = ga.row_range(0);
+      const auto [rb, re] = ga.row_range(1);
+      std::vector<std::int64_t> buf(4);
+      const double t0 = ctx.vtime();
+      ga.get(ctx, b, buf);
+      const double local_cost = ctx.vtime() - t0;
+      const double t1 = ctx.vtime();
+      ga.get(ctx, rb, buf);
+      const double remote_cost = ctx.vtime() - t1;
+      EXPECT_GT(remote_cost, local_cost);
+      (void)e;
+      (void)re;
+    }
+    ctx.barrier();
+  });
+}
+
+
+// ---- element-list operations (NGA_Gather / NGA_Scatter / Scatter_acc) ------
+
+class ElementListSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ElementListSweepTest, GatherReadsArbitraryElements) {
+  spmd_run(GetParam(), [](Context& ctx) {
+    auto a = GlobalArray<std::int64_t>::create(ctx, 100);
+    // Every rank writes its own block as identity values.
+    auto span = a.local_span(ctx);
+    const auto [b, e] = a.local_row_range(ctx);
+    for (std::size_t i = 0; i < span.size(); ++i) span[i] = static_cast<std::int64_t>(b + i);
+    ctx.barrier();
+
+    // Strided, unordered, cross-block index list.
+    const std::vector<std::size_t> idx = {99, 0, 57, 3, 42, 42, 88, 11};
+    std::vector<std::int64_t> out(idx.size());
+    a.gather(ctx, idx, out);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<std::int64_t>(idx[i]));
+    }
+    ctx.barrier();
+  });
+}
+
+TEST_P(ElementListSweepTest, ScatterWritesArbitraryElements) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    auto a = GlobalArray<std::int64_t>::create(ctx, 64);
+    ctx.barrier();
+    // Each rank scatters to a disjoint index set: value = 1000*rank + i.
+    std::vector<std::size_t> idx;
+    std::vector<std::int64_t> val;
+    for (std::size_t i = static_cast<std::size_t>(ctx.rank()); i < 64;
+         i += static_cast<std::size_t>(ctx.nprocs())) {
+      idx.push_back(i);
+      val.push_back(static_cast<std::int64_t>(1000 * ctx.rank() + static_cast<int>(i)));
+    }
+    a.scatter(ctx, idx, val);
+    ctx.barrier();
+    const auto all = a.to_vector(ctx);
+    for (std::size_t i = 0; i < 64; ++i) {
+      const auto owner = static_cast<std::int64_t>(i % static_cast<std::size_t>(nprocs));
+      EXPECT_EQ(all[i], 1000 * owner + static_cast<std::int64_t>(i));
+    }
+    ctx.barrier();
+  });
+}
+
+TEST_P(ElementListSweepTest, ScatterAccSumsAcrossRanks) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [](Context& ctx) {
+    auto a = GlobalArray<std::int64_t>::create(ctx, 40);
+    ctx.barrier();
+    // Every rank accumulates +1 into every element, with duplicates: the
+    // index list hits each element twice.
+    std::vector<std::size_t> idx;
+    std::vector<std::int64_t> val;
+    for (std::size_t pass = 0; pass < 2; ++pass) {
+      for (std::size_t i = 0; i < 40; ++i) {
+        idx.push_back(i);
+        val.push_back(1);
+      }
+    }
+    a.scatter_acc(ctx, idx, val);
+    ctx.barrier();
+    const auto all = a.to_vector(ctx);
+    for (std::size_t i = 0; i < 40; ++i) {
+      EXPECT_EQ(all[i], 2 * ctx.nprocs()) << "element " << i;
+    }
+    ctx.barrier();
+  });
+}
+
+TEST_P(ElementListSweepTest, FetchAddBatchReservesDisjointSlots) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [](Context& ctx) {
+    constexpr std::size_t kCounters = 8;
+    constexpr std::int64_t kPerRank = 5;
+    auto a = GlobalArray<std::int64_t>::create(ctx, kCounters);
+    ctx.barrier();
+    std::vector<std::size_t> idx(kCounters);
+    std::iota(idx.begin(), idx.end(), 0);
+    const std::vector<std::int64_t> delta(kCounters, kPerRank);
+    const auto prev = a.fetch_add_batch(ctx, idx, delta);
+    // Every reservation must be a multiple of kPerRank (slots disjoint).
+    for (const auto p : prev) EXPECT_EQ(p % kPerRank, 0);
+    ctx.barrier();
+    const auto all = a.to_vector(ctx);
+    for (const auto v : all) EXPECT_EQ(v, kPerRank * ctx.nprocs());
+    ctx.barrier();
+  });
+}
+
+TEST_P(ElementListSweepTest, FetchAddBatchDuplicatesObserveEachOther) {
+  spmd_run(GetParam(), [](Context& ctx) {
+    auto a = GlobalArray<std::int64_t>::create(ctx, 4);
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      // Same index three times in one batch: prev values must step.
+      const std::vector<std::size_t> idx = {2, 2, 2};
+      const std::vector<std::int64_t> delta = {10, 10, 10};
+      const auto prev = a.fetch_add_batch(ctx, idx, delta);
+      EXPECT_EQ(prev[0], 0);
+      EXPECT_EQ(prev[1], 10);
+      EXPECT_EQ(prev[2], 20);
+    }
+    ctx.barrier();
+    EXPECT_EQ(a.get_value(ctx, 2), 30);
+    ctx.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, ElementListSweepTest, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ElementListTest, SizeMismatchThrows) {
+  spmd_run(1, [](Context& ctx) {
+    auto a = GlobalArray<std::int64_t>::create(ctx, 10);
+    const std::vector<std::size_t> idx = {1, 2};
+    std::vector<std::int64_t> one(1);
+    EXPECT_THROW(a.gather(ctx, idx, one), Error);
+    EXPECT_THROW(a.scatter(ctx, idx, one), Error);
+    EXPECT_THROW((void)a.fetch_add_batch(ctx, idx, one), Error);
+  });
+}
+
+TEST(ElementListTest, OutOfRangeIndexThrows) {
+  spmd_run(1, [](Context& ctx) {
+    auto a = GlobalArray<std::int64_t>::create(ctx, 10);
+    const std::vector<std::size_t> idx = {10};
+    std::vector<std::int64_t> out(1);
+    EXPECT_THROW(a.gather(ctx, idx, out), Error);
+  });
+}
+
+TEST(ElementListTest, EmptyListsAreNoOps) {
+  spmd_run(1, [](Context& ctx) {
+    auto a = GlobalArray<std::int64_t>::create(ctx, 10);
+    const double t0 = ctx.vtime();
+    a.gather(ctx, {}, {});
+    a.scatter(ctx, {}, {});
+    (void)a.fetch_add_batch(ctx, {}, {});
+    EXPECT_LE(ctx.vtime() - t0, 1e-3);  // no per-owner messages charged
+  });
+}
+
+TEST(ElementListTest, RemoteBatchCostsOneMessagePerOwner) {
+  // A batch touching two remote blocks must cost ~2 RMW latencies, far
+  // less than one per element.
+  spmd_run(4, [](Context& ctx) {
+    auto a = GlobalArray<std::int64_t>::create(ctx, 400);
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      // 200 indices spread over blocks owned by ranks 2 and 3.
+      std::vector<std::size_t> idx;
+      std::vector<std::int64_t> delta;
+      for (std::size_t i = 200; i < 400; ++i) {
+        idx.push_back(i);
+        delta.push_back(1);
+      }
+      ctx.sample_compute();
+      const double t0 = ctx.vtime_raw();
+      (void)a.fetch_add_batch(ctx, idx, delta);
+      ctx.sample_compute();
+      const double elapsed = ctx.vtime_raw() - t0;
+      const CommModel& m = ctx.model();
+      // Lower bound: the two RMW latencies.  Upper bound: well under the
+      // 200 x alpha_rmw a per-element implementation would charge.
+      EXPECT_GE(elapsed, 2.0 * m.alpha_rmw * 0.99);
+      EXPECT_LT(elapsed, 50.0 * m.alpha_rmw);
+    }
+    ctx.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace sva::ga

@@ -1,0 +1,286 @@
+// Tests for the SPMD runtime: collectives against serial oracles under a
+// processor-count sweep, virtual-time semantics, and failure handling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "sva/ga/runtime.hpp"
+
+namespace sva::ga {
+namespace {
+
+class RuntimeSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuntimeSweepTest, EveryRankRunsExactlyOnce) {
+  const int nprocs = GetParam();
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(nprocs));
+  spmd_run(nprocs, [&](Context& ctx) {
+    hits[static_cast<std::size_t>(ctx.rank())].fetch_add(1);
+    EXPECT_EQ(ctx.nprocs(), nprocs);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(RuntimeSweepTest, BroadcastValueFromEveryRoot) {
+  const int nprocs = GetParam();
+  for (int root = 0; root < nprocs; ++root) {
+    spmd_run(nprocs, [&](Context& ctx) {
+      int value = ctx.rank() == root ? 1234 + root : -1;
+      ctx.broadcast_value(value, root);
+      EXPECT_EQ(value, 1234 + root);
+    });
+  }
+}
+
+TEST_P(RuntimeSweepTest, BroadcastBuffer) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    std::vector<double> buf(64, ctx.rank() == 0 ? 0.0 : -1.0);
+    if (ctx.rank() == 0) {
+      for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<double>(i);
+    }
+    ctx.broadcast(buf.data(), buf.size(), 0);
+    for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_DOUBLE_EQ(buf[i], i);
+  });
+}
+
+TEST_P(RuntimeSweepTest, AllreduceSumScalar) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    const auto sum = ctx.allreduce_sum(static_cast<std::int64_t>(ctx.rank() + 1));
+    EXPECT_EQ(sum, static_cast<std::int64_t>(nprocs) * (nprocs + 1) / 2);
+  });
+}
+
+TEST_P(RuntimeSweepTest, AllreduceSumVector) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    std::vector<std::int64_t> v = {static_cast<std::int64_t>(ctx.rank()), 1, 100};
+    ctx.allreduce_sum(v.data(), v.size());
+    EXPECT_EQ(v[0], static_cast<std::int64_t>(nprocs) * (nprocs - 1) / 2);
+    EXPECT_EQ(v[1], nprocs);
+    EXPECT_EQ(v[2], 100 * nprocs);
+  });
+}
+
+TEST_P(RuntimeSweepTest, AllreduceMinMax) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    EXPECT_EQ(ctx.allreduce_max(ctx.rank() * 10), (nprocs - 1) * 10);
+    EXPECT_EQ(ctx.allreduce_min(ctx.rank() * 10), 0);
+  });
+}
+
+TEST_P(RuntimeSweepTest, AllreduceDoubleIsDeterministicAcrossRanks) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    double v = 0.1 * (ctx.rank() + 1);
+    ctx.allreduce_sum(&v, 1);
+    // All ranks combine in rank order, so the bits must agree exactly.
+    const auto everyone = ctx.allgather(v);
+    for (double o : everyone) EXPECT_EQ(o, v);
+  });
+}
+
+TEST_P(RuntimeSweepTest, AllgatherCollectsRankValues) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    const auto all = ctx.allgather(ctx.rank() * 3);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(nprocs));
+    for (int r = 0; r < nprocs; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 3);
+  });
+}
+
+TEST_P(RuntimeSweepTest, AllgathervVariableLengths) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    // Rank r contributes r copies of r.
+    std::vector<std::int64_t> mine(static_cast<std::size_t>(ctx.rank()),
+                                   static_cast<std::int64_t>(ctx.rank()));
+    const auto all = ctx.allgatherv(std::span<const std::int64_t>(mine));
+    std::size_t expected_size = 0;
+    for (int r = 0; r < nprocs; ++r) expected_size += static_cast<std::size_t>(r);
+    ASSERT_EQ(all.size(), expected_size);
+    // Rank-ordered concatenation.
+    std::size_t pos = 0;
+    for (int r = 0; r < nprocs; ++r) {
+      for (int i = 0; i < r; ++i) EXPECT_EQ(all[pos++], r);
+    }
+  });
+}
+
+TEST_P(RuntimeSweepTest, GathervOnlyRootReceives) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    std::vector<int> mine = {ctx.rank()};
+    const auto got = ctx.gatherv(std::span<const int>(mine), 0);
+    if (ctx.rank() == 0) {
+      ASSERT_EQ(got.size(), static_cast<std::size_t>(nprocs));
+      for (int r = 0; r < nprocs; ++r) EXPECT_EQ(got[static_cast<std::size_t>(r)], r);
+    } else {
+      EXPECT_TRUE(got.empty());
+    }
+  });
+}
+
+TEST_P(RuntimeSweepTest, ExscanSum) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    const auto prefix = ctx.exscan_sum(static_cast<std::int64_t>(ctx.rank() + 1));
+    // Exclusive prefix of 1,2,3,... is r(r+1)/2.
+    EXPECT_EQ(prefix, static_cast<std::int64_t>(ctx.rank()) * (ctx.rank() + 1) / 2);
+  });
+}
+
+TEST_P(RuntimeSweepTest, BarrierSynchronizesClocksToMax) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    // Give each rank a distinct artificial clock, then barrier.
+    ctx.sample_compute();
+    ctx.charge(static_cast<double>(ctx.rank()) * 0.5);
+    ctx.barrier();
+    const double t = ctx.vtime_raw();
+    const auto clocks = ctx.allgather(t);
+    for (double c : clocks) EXPECT_DOUBLE_EQ(c, clocks[0]);
+    EXPECT_GE(t, 0.5 * (nprocs - 1));
+  });
+}
+
+TEST_P(RuntimeSweepTest, CollectiveCreateSharesOneObject) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    auto obj = ctx.collective_create<std::vector<int>>(
+        []() { return std::make_shared<std::vector<int>>(3, 7); });
+    ASSERT_NE(obj, nullptr);
+    // Everyone sees the same instance.
+    const auto addrs = ctx.allgather(reinterpret_cast<std::uintptr_t>(obj.get()));
+    for (auto a : addrs) EXPECT_EQ(a, addrs[0]);
+  });
+}
+
+TEST_P(RuntimeSweepTest, SequentialCollectivesDoNotInterfere) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    for (int round = 0; round < 20; ++round) {
+      const auto sum = ctx.allreduce_sum(static_cast<std::int64_t>(round));
+      EXPECT_EQ(sum, static_cast<std::int64_t>(round) * nprocs);
+    }
+  });
+}
+
+TEST_P(RuntimeSweepTest, VtimeMonotonicAcrossOps) {
+  const int nprocs = GetParam();
+  spmd_run(nprocs, [&](Context& ctx) {
+    double last = ctx.vtime();
+    for (int i = 0; i < 5; ++i) {
+      ctx.barrier();
+      (void)ctx.allreduce_sum(1);
+      const double now = ctx.vtime();
+      EXPECT_GE(now, last);
+      last = now;
+    }
+  });
+}
+
+TEST_P(RuntimeSweepTest, RankExceptionPropagatesAndAbortsPeers) {
+  const int nprocs = GetParam();
+  if (nprocs == 1) GTEST_SKIP() << "needs peers to abort";
+  EXPECT_THROW(
+      spmd_run(nprocs,
+               [&](Context& ctx) {
+                 if (ctx.rank() == 1) throw InvalidArgument("rank 1 fails");
+                 // Other ranks block on a barrier; the abort must wake them.
+                 ctx.barrier();
+                 ctx.barrier();
+               }),
+      Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, RuntimeSweepTest, ::testing::Values(1, 2, 3, 4, 8));
+
+// ---- non-parameterized ---------------------------------------------------
+
+TEST(RuntimeTest, InvalidNprocsThrows) {
+  EXPECT_THROW(spmd_run(0, [](Context&) {}), InvalidArgument);
+  EXPECT_THROW(spmd_run(-3, [](Context&) {}), InvalidArgument);
+}
+
+TEST(RuntimeTest, ResultReportsPerRankVtimes) {
+  const auto result = spmd_run(3, [](Context& ctx) {
+    ctx.sample_compute();
+    ctx.charge(1.0 + ctx.rank());
+  });
+  ASSERT_EQ(result.rank_vtimes.size(), 3u);
+  EXPECT_GE(result.max_vtime, 3.0);
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(RuntimeTest, ComputeScaleMultipliesMeasuredCpu) {
+  CommModel slow;
+  slow.compute_scale = 100.0;
+  CommModel fast;
+  fast.compute_scale = 1.0;
+  auto burn = [](Context& ctx) {
+    volatile double x = 0.0;
+    for (int i = 0; i < 3000000; ++i) x = x + 1.0;
+    ctx.sample_compute();
+  };
+  const auto a = spmd_run(1, slow, burn);
+  const auto b = spmd_run(1, fast, burn);
+  EXPECT_GT(a.max_vtime, b.max_vtime * 10.0);
+}
+
+TEST(RuntimeTest, ChargeAddsToClock) {
+  spmd_run(1, [](Context& ctx) {
+    const double before = ctx.vtime();
+    ctx.charge(2.5);
+    EXPECT_GE(ctx.vtime() - before, 2.5);
+  });
+}
+
+TEST(RuntimeTest, ResetVtimeZeroesClock) {
+  spmd_run(1, [](Context& ctx) {
+    ctx.charge(5.0);
+    ctx.reset_vtime();
+    EXPECT_LT(ctx.vtime(), 0.1);
+  });
+}
+
+// ---- comm model sanity -----------------------------------------------------
+
+TEST(CommModelTest, TreeDepth) {
+  CommModel m;
+  EXPECT_EQ(m.tree_depth(1), 0);
+  EXPECT_EQ(m.tree_depth(2), 1);
+  EXPECT_EQ(m.tree_depth(3), 2);
+  EXPECT_EQ(m.tree_depth(8), 3);
+  EXPECT_EQ(m.tree_depth(9), 4);
+}
+
+TEST(CommModelTest, RemoteCostsExceedLocal) {
+  CommModel m;
+  EXPECT_GT(m.onesided(1024, true), m.onesided(1024, false));
+  EXPECT_GT(m.atomic_rmw(true), m.atomic_rmw(false));
+}
+
+TEST(CommModelTest, CollectiveCostsGrowWithProcs) {
+  CommModel m;
+  EXPECT_GT(m.allreduce(32, 4096), m.allreduce(4, 4096));
+  EXPECT_GT(m.broadcast(32, 4096), m.broadcast(2, 4096));
+  EXPECT_GT(m.allgather(32, 4096), m.allgather(2, 4096));
+  EXPECT_GT(m.barrier(32), m.barrier(2));
+}
+
+TEST(CommModelTest, IoReadScalesWithBytes) {
+  CommModel m;
+  EXPECT_DOUBLE_EQ(m.io_read(0), 0.0);
+  EXPECT_GT(m.io_read(1 << 20), m.io_read(1 << 10));
+}
+
+TEST(CommModelTest, ItaniumPresetScalesCompute) {
+  EXPECT_GT(itanium_cluster_model().compute_scale, 1.0);
+}
+
+}  // namespace
+}  // namespace sva::ga

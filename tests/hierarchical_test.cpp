@@ -1,0 +1,211 @@
+// Tests for agglomerative clustering (§3.5's "other types of clustering
+// ... single-link, complete, and various adaptive cutting approaches")
+// and the external quality metrics used by the ablation benches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "sva/cluster/hierarchical.hpp"
+#include "sva/cluster/quality.hpp"
+
+namespace sva::cluster {
+namespace {
+
+/// Three tight, well-separated 2-D blobs with 8 points each.
+Matrix three_blobs() {
+  Matrix m(24, 2);
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (std::size_t i = 0; i < 24; ++i) {
+    const std::size_t blob = i / 8;
+    const double jitter_x = 0.1 * static_cast<double>(i % 8) / 8.0;
+    const double jitter_y = 0.1 * static_cast<double>((i * 3) % 8) / 8.0;
+    m.at(i, 0) = centers[blob][0] + jitter_x;
+    m.at(i, 1) = centers[blob][1] + jitter_y;
+  }
+  return m;
+}
+
+std::vector<std::int32_t> blob_truth() {
+  std::vector<std::int32_t> t(24);
+  for (std::size_t i = 0; i < 24; ++i) t[i] = static_cast<std::int32_t>(i / 8);
+  return t;
+}
+
+class LinkageTest : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(LinkageTest, DendrogramHasFullMergeHistory) {
+  const auto dendro = agglomerate(three_blobs(), GetParam());
+  EXPECT_EQ(dendro.num_leaves, 24u);
+  EXPECT_EQ(dendro.merges.size(), 23u);
+}
+
+TEST_P(LinkageTest, MergeDistancesAreMonotoneForBlobs) {
+  // For well-separated blobs every linkage yields (near) monotone merge
+  // distances; the cross-blob merges come last and are far larger.
+  const auto dendro = agglomerate(three_blobs(), GetParam());
+  const double intra_max = dendro.merges[20].distance;   // last intra-blob merge
+  const double inter_min = dendro.merges[21].distance;   // first cross-blob merge
+  EXPECT_GT(inter_min, 5.0 * intra_max);
+}
+
+TEST_P(LinkageTest, CutAtThreeRecoversTheBlobs) {
+  const auto dendro = agglomerate(three_blobs(), GetParam());
+  const auto labels = dendro.cut_to_clusters(3);
+  EXPECT_NEAR(purity(labels, blob_truth()), 1.0, 1e-12);
+}
+
+TEST_P(LinkageTest, AdaptiveCutFindsThree) {
+  const auto dendro = agglomerate(three_blobs(), GetParam());
+  EXPECT_EQ(dendro.adaptive_cut_k(2, 12), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Linkages, LinkageTest,
+                         ::testing::Values(Linkage::kSingle, Linkage::kComplete,
+                                           Linkage::kAverage),
+                         [](const ::testing::TestParamInfo<Linkage>& info) {
+                           return linkage_name(info.param);
+                         });
+
+TEST(DendrogramTest, CutToOneClusterIsAllSame) {
+  const auto dendro = agglomerate(three_blobs(), Linkage::kAverage);
+  const auto labels = dendro.cut_to_clusters(1);
+  for (const auto l : labels) EXPECT_EQ(l, labels[0]);
+}
+
+TEST(DendrogramTest, CutToNClustersIsAllDistinct) {
+  const auto dendro = agglomerate(three_blobs(), Linkage::kAverage);
+  auto labels = dendro.cut_to_clusters(24);
+  std::sort(labels.begin(), labels.end());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(labels[i], static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(DendrogramTest, BadCutThrows) {
+  const auto dendro = agglomerate(three_blobs(), Linkage::kAverage);
+  EXPECT_THROW((void)dendro.cut_to_clusters(0), Error);
+  EXPECT_THROW((void)dendro.cut_to_clusters(25), Error);
+}
+
+TEST(DendrogramTest, SinglePointDendrogram) {
+  Matrix one(1, 2);
+  const auto dendro = agglomerate(one, Linkage::kSingle);
+  EXPECT_EQ(dendro.num_leaves, 1u);
+  EXPECT_TRUE(dendro.merges.empty());
+  EXPECT_EQ(dendro.cut_to_clusters(1), std::vector<std::int32_t>{0});
+}
+
+TEST(DendrogramTest, SingleVsCompleteDifferOnChains) {
+  // A chain of points: single-link merges it into one elongated cluster
+  // cheaply; complete-link pays the full diameter.  The final merge
+  // distance must differ.
+  Matrix chain(8, 1);
+  for (std::size_t i = 0; i < 8; ++i) chain.at(i, 0) = static_cast<double>(i);
+  const auto single = agglomerate(chain, Linkage::kSingle);
+  const auto complete = agglomerate(chain, Linkage::kComplete);
+  EXPECT_NEAR(single.merges.back().distance, 1.0, 1e-9);
+  EXPECT_GT(complete.merges.back().distance, 3.0);
+}
+
+// ---- distributed wrapper ------------------------------------------------------
+
+class HierarchicalProcsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HierarchicalProcsTest, DistributedRecoversBlobs) {
+  const int nprocs = GetParam();
+  const Matrix all = three_blobs();
+  const auto truth = blob_truth();
+
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    // Block-partition the 24 points across ranks.
+    const auto per = static_cast<std::size_t>((24 + nprocs - 1) / nprocs);
+    const std::size_t begin = std::min<std::size_t>(24, static_cast<std::size_t>(ctx.rank()) * per);
+    const std::size_t end = std::min<std::size_t>(24, begin + per);
+    Matrix local(end - begin, 2);
+    for (std::size_t i = begin; i < end; ++i) {
+      local.at(i - begin, 0) = all.at(i, 0);
+      local.at(i - begin, 1) = all.at(i, 1);
+    }
+
+    HierarchicalConfig config;
+    config.k = 3;
+    const auto r = hierarchical_cluster(ctx, local, config);
+    EXPECT_EQ(r.k, 3u);
+    EXPECT_EQ(r.centroids.rows(), 3u);
+
+    // Local points must be assigned to the blob their truth says.
+    std::vector<std::int32_t> local_truth(truth.begin() + static_cast<std::ptrdiff_t>(begin),
+                                          truth.begin() + static_cast<std::ptrdiff_t>(end));
+    if (!local_truth.empty()) {
+      EXPECT_NEAR(purity(r.assignment, local_truth), 1.0, 1e-12);
+    }
+    std::int64_t total = 0;
+    for (const auto s : r.cluster_sizes) total += s;
+    EXPECT_EQ(total, 24);
+    ctx.barrier();
+  });
+}
+
+TEST_P(HierarchicalProcsTest, AdaptiveKSelectsThree) {
+  const int nprocs = GetParam();
+  const Matrix all = three_blobs();
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    const auto per = static_cast<std::size_t>((24 + nprocs - 1) / nprocs);
+    const std::size_t begin = std::min<std::size_t>(24, static_cast<std::size_t>(ctx.rank()) * per);
+    const std::size_t end = std::min<std::size_t>(24, begin + per);
+    Matrix local(end - begin, 2);
+    for (std::size_t i = begin; i < end; ++i) {
+      local.at(i - begin, 0) = all.at(i, 0);
+      local.at(i - begin, 1) = all.at(i, 1);
+    }
+    HierarchicalConfig config;
+    config.k = 0;  // adaptive
+    config.min_k = 2;
+    config.max_k = 10;
+    const auto r = hierarchical_cluster(ctx, local, config);
+    EXPECT_EQ(r.k, 3u);
+    ctx.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, HierarchicalProcsTest, ::testing::Values(1, 2, 3, 4));
+
+// ---- quality metrics -----------------------------------------------------------
+
+TEST(QualityTest, PerfectAssignmentScoresOne) {
+  const std::vector<std::int32_t> truth = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(purity(truth, truth), 1.0, 1e-12);
+  EXPECT_NEAR(normalized_mutual_information(truth, truth), 1.0, 1e-9);
+}
+
+TEST(QualityTest, LabelPermutationInvariant) {
+  const std::vector<std::int32_t> truth = {0, 0, 1, 1, 2, 2};
+  const std::vector<std::int32_t> permuted = {2, 2, 0, 0, 1, 1};
+  EXPECT_NEAR(purity(permuted, truth), 1.0, 1e-12);
+  EXPECT_NEAR(normalized_mutual_information(permuted, truth), 1.0, 1e-9);
+}
+
+TEST(QualityTest, SingleClusterAssignmentHasZeroNmi) {
+  const std::vector<std::int32_t> truth = {0, 0, 1, 1, 2, 2};
+  const std::vector<std::int32_t> lumped = {0, 0, 0, 0, 0, 0};
+  EXPECT_NEAR(normalized_mutual_information(lumped, truth), 0.0, 1e-9);
+  // Purity degenerates to the largest-class share.
+  EXPECT_NEAR(purity(lumped, truth), 2.0 / 6.0, 1e-12);
+}
+
+TEST(QualityTest, PartialOverlapIsBetween) {
+  const std::vector<std::int32_t> truth = {0, 0, 0, 1, 1, 1};
+  const std::vector<std::int32_t> off_by_one = {0, 0, 1, 1, 1, 1};
+  const double p = purity(off_by_one, truth);
+  EXPECT_GT(p, 0.5);
+  EXPECT_LT(p, 1.0);
+  const double nmi = normalized_mutual_information(off_by_one, truth);
+  EXPECT_GT(nmi, 0.0);
+  EXPECT_LT(nmi, 1.0);
+}
+
+}  // namespace
+}  // namespace sva::cluster

@@ -1,0 +1,222 @@
+// Unit + property tests for dense math helpers and the Jacobi eigensolver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "sva/util/error.hpp"
+#include "sva/util/mathutil.hpp"
+#include "sva/util/rng.hpp"
+
+namespace sva {
+namespace {
+
+TEST(VectorOpsTest, L1Norm) {
+  const std::vector<double> v = {1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(l1_norm(v), 6.0);
+}
+
+TEST(VectorOpsTest, L2Norm) {
+  const std::vector<double> v = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(l2_norm(v), 5.0);
+}
+
+TEST(VectorOpsTest, Dot) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(VectorOpsTest, DotDimensionMismatchThrows) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW((void)dot(a, b), InvalidArgument);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  const std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOpsTest, SquaredDistance) {
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+}
+
+TEST(VectorOpsTest, L1NormalizeMakesUnitMass) {
+  std::vector<double> v = {2.0, 2.0, -4.0};
+  EXPECT_TRUE(l1_normalize(v));
+  EXPECT_NEAR(l1_norm(v), 1.0, 1e-12);
+}
+
+TEST(VectorOpsTest, L1NormalizeZeroVectorReturnsFalse) {
+  std::vector<double> v = {0.0, 0.0};
+  EXPECT_FALSE(l1_normalize(v));
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+// ---- Matrix -----------------------------------------------------------------
+
+TEST(MatrixTest, ShapeAndAccess) {
+  Matrix m(2, 3);
+  m.at(1, 2) = 5.0;
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.row(1)[2], 5.0);
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 3);
+  for (double v : m.flat()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// ---- column_mean / covariance ------------------------------------------------
+
+TEST(StatsTest, ColumnMean) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(1, 0) = 3.0;
+  m.at(1, 1) = 4.0;
+  const auto mean = column_mean(m);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 3.0);
+}
+
+TEST(StatsTest, CovarianceOfIndependentColumns) {
+  // x in {0, 2}, y constant -> var(x) = 2, cov(x,y) = 0.
+  Matrix m(2, 2);
+  m.at(0, 0) = 0.0;
+  m.at(1, 0) = 2.0;
+  m.at(0, 1) = 5.0;
+  m.at(1, 1) = 5.0;
+  const auto mean = column_mean(m);
+  const Matrix cov = covariance(m, mean);
+  EXPECT_DOUBLE_EQ(cov.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(cov.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(cov.at(1, 1), 0.0);
+}
+
+TEST(StatsTest, CovarianceIsSymmetric) {
+  Xoshiro256 rng(3);
+  Matrix m(10, 4);
+  for (double& v : m.flat()) v = rng.uniform();
+  const Matrix cov = covariance(m, column_mean(m));
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(cov.at(i, j), cov.at(j, i));
+  }
+}
+
+// ---- jacobi_eigen -------------------------------------------------------------
+
+TEST(JacobiTest, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = 5.0;
+  a.at(2, 2) = 3.0;
+  const EigenResult r = jacobi_eigen(a);
+  EXPECT_NEAR(r.values[0], 5.0, 1e-10);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(r.values[2], 1.0, 1e-10);
+}
+
+TEST(JacobiTest, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 2.0;
+  const EigenResult r = jacobi_eigen(a);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-10);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(r.vectors.at(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(std::abs(r.vectors.at(0, 1)), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(JacobiTest, NonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW((void)jacobi_eigen(a), InvalidArgument);
+}
+
+class JacobiPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JacobiPropertyTest, EigenpairsSatisfyDefinition) {
+  const int n = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(n) * 77);
+  // Random symmetric matrix.
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double v = rng.uniform() * 2.0 - 1.0;
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  }
+  const EigenResult r = jacobi_eigen(a);
+
+  // A v = lambda v for every pair.
+  for (int k = 0; k < n; ++k) {
+    const auto v = r.vectors.row(k);
+    for (int i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (int j = 0; j < n; ++j) av += a.at(i, j) * v[j];
+      EXPECT_NEAR(av, r.values[static_cast<std::size_t>(k)] * v[i], 1e-7);
+    }
+  }
+}
+
+TEST_P(JacobiPropertyTest, EigenvectorsOrthonormal) {
+  const int n = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(n) * 191);
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double v = rng.uniform();
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  }
+  const EigenResult r = jacobi_eigen(a);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double d = dot(r.vectors.row(i), r.vectors.row(j));
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST_P(JacobiPropertyTest, EigenvaluesDescendAndTraceIsPreserved) {
+  const int n = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(n) * 311);
+  Matrix a(n, n);
+  double trace = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double v = rng.uniform();
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+    trace += a.at(i, i);
+  }
+  const EigenResult r = jacobi_eigen(a);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < r.values.size(); ++k) {
+    sum += r.values[k];
+    if (k > 0) {
+      EXPECT_LE(r.values[k], r.values[k - 1] + 1e-12);
+    }
+  }
+  EXPECT_NEAR(sum, trace, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiPropertyTest, ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+}  // namespace
+}  // namespace sva

@@ -1,0 +1,298 @@
+// Tests for the interaction layer: similarity search against a serial
+// oracle, P-invariance of query results, cluster summaries, and the
+// drill-down refinement loop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "sva/cluster/kmeans.hpp"
+#include "sva/query/explore.hpp"
+#include "sva/query/similarity.hpp"
+
+namespace sva::query {
+namespace {
+
+/// Builds a deterministic signature set of `n` docs in `dim` dimensions,
+/// block-distributed across ranks the same way the scanner partitions
+/// records.  Vectors form three angular groups so similarity structure is
+/// known by construction.
+sig::SignatureSet make_signatures(ga::Context& ctx, std::size_t n, std::size_t dim) {
+  const auto nprocs = static_cast<std::size_t>(ctx.nprocs());
+  const std::size_t per = (n + nprocs - 1) / nprocs;
+  const std::size_t begin = std::min(n, static_cast<std::size_t>(ctx.rank()) * per);
+  const std::size_t end = std::min(n, begin + per);
+
+  sig::SignatureSet s;
+  s.dimension = dim;
+  s.docvecs = Matrix(end - begin, dim);
+  for (std::size_t g = begin; g < end; ++g) {
+    const std::size_t i = g - begin;
+    const std::size_t group = g % 3;
+    for (std::size_t d = 0; d < dim; ++d) {
+      // Group base direction plus a small per-doc perturbation.
+      const double base = (d % 3 == group) ? 1.0 : 0.05;
+      s.docvecs.at(i, d) = base + 0.01 * static_cast<double>((g * 7 + d * 13) % 10);
+    }
+    s.doc_ids.push_back(static_cast<std::uint64_t>(g));
+    s.is_null.push_back(false);
+  }
+  return s;
+}
+
+TEST(CosineTest, IdenticalVectorsScoreOne) {
+  const std::vector<double> v = {0.3, 0.4, 0.5};
+  EXPECT_NEAR(cosine_similarity(v, v), 1.0, 1e-12);
+}
+
+TEST(CosineTest, OrthogonalVectorsScoreZero) {
+  const std::vector<double> a = {1.0, 0.0};
+  const std::vector<double> b = {0.0, 1.0};
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0, 1e-12);
+}
+
+TEST(CosineTest, OppositeVectorsScoreMinusOne) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {-1.0, -2.0};
+  EXPECT_NEAR(cosine_similarity(a, b), -1.0, 1e-12);
+}
+
+TEST(CosineTest, ZeroVectorScoresZero) {
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {1.0, 1.0};
+  EXPECT_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(CosineTest, DimensionMismatchThrows) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW((void)cosine_similarity(a, b), Error);
+}
+
+// ---- similarity queries ------------------------------------------------------
+
+class SimilarityProcsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimilarityProcsTest, MatchesSerialOracle) {
+  const int nprocs = GetParam();
+  constexpr std::size_t kDocs = 60;
+  constexpr std::size_t kDim = 9;
+  constexpr std::size_t kTopK = 8;
+
+  // Serial oracle at P = 1.
+  auto oracle = std::make_shared<std::vector<SimilarDoc>>();
+  ga::spmd_run(1, [&](ga::Context& ctx) {
+    const auto s = make_signatures(ctx, kDocs, kDim);
+    *oracle = similar_to_document(ctx, s, 5, kTopK);
+  });
+
+  auto result = std::make_shared<std::vector<SimilarDoc>>();
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    const auto s = make_signatures(ctx, kDocs, kDim);
+    auto r = similar_to_document(ctx, s, 5, kTopK);
+    if (ctx.rank() == 0) *result = std::move(r);
+  });
+
+  ASSERT_EQ(result->size(), oracle->size());
+  for (std::size_t i = 0; i < oracle->size(); ++i) {
+    EXPECT_EQ((*result)[i].doc_id, (*oracle)[i].doc_id) << "position " << i;
+    EXPECT_NEAR((*result)[i].similarity, (*oracle)[i].similarity, 1e-12);
+  }
+}
+
+TEST_P(SimilarityProcsTest, AllRanksReceiveIdenticalResults) {
+  const int nprocs = GetParam();
+  auto per_rank = std::make_shared<std::vector<std::vector<SimilarDoc>>>(
+      static_cast<std::size_t>(nprocs));
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    const auto s = make_signatures(ctx, 45, 6);
+    (*per_rank)[static_cast<std::size_t>(ctx.rank())] = similar_to_document(ctx, s, 7, 5);
+  });
+  for (int r = 1; r < nprocs; ++r) {
+    ASSERT_EQ((*per_rank)[0].size(), (*per_rank)[static_cast<std::size_t>(r)].size());
+    for (std::size_t i = 0; i < (*per_rank)[0].size(); ++i) {
+      EXPECT_EQ((*per_rank)[0][i].doc_id, (*per_rank)[static_cast<std::size_t>(r)][i].doc_id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, SimilarityProcsTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(SimilarityTest, SameGroupRanksAboveOtherGroups) {
+  // Doc 6 is in group 0 (6 % 3 == 0); its top hits must also be group 0.
+  ga::spmd_run(2, [](ga::Context& ctx) {
+    const auto s = make_signatures(ctx, 60, 9);
+    const auto hits = similar_to_document(ctx, s, 6, 5);
+    for (const auto& h : hits) {
+      EXPECT_EQ(h.doc_id % 3, 0u) << "doc " << h.doc_id << " is from another group";
+    }
+  });
+}
+
+TEST(SimilarityTest, ProbeExcludedFromOwnResults) {
+  ga::spmd_run(2, [](ga::Context& ctx) {
+    const auto s = make_signatures(ctx, 30, 6);
+    const auto hits = similar_to_document(ctx, s, 4, 10);
+    for (const auto& h : hits) EXPECT_NE(h.doc_id, 4u);
+  });
+}
+
+TEST(SimilarityTest, UnknownDocThrows) {
+  EXPECT_THROW(ga::spmd_run(2,
+                            [](ga::Context& ctx) {
+                              const auto s = make_signatures(ctx, 10, 4);
+                              (void)similar_to_document(ctx, s, 999, 3);
+                            }),
+               Error);
+}
+
+TEST(SimilarityTest, NullSignaturesNeverMatch) {
+  ga::spmd_run(1, [](ga::Context& ctx) {
+    auto s = make_signatures(ctx, 12, 4);
+    s.is_null[3] = true;
+    const auto hits = similar_to_document(ctx, s, 0, 11);
+    for (const auto& h : hits) EXPECT_NE(h.doc_id, s.doc_ids[3]);
+  });
+}
+
+TEST(SimilarityTest, ProbeVectorQueryHonorsK) {
+  ga::spmd_run(2, [](ga::Context& ctx) {
+    const auto s = make_signatures(ctx, 40, 6);
+    std::vector<double> probe(6, 1.0);
+    const auto hits = similar_documents(ctx, s, probe, 4);
+    EXPECT_EQ(hits.size(), 4u);
+    for (std::size_t i = 1; i < hits.size(); ++i) {
+      EXPECT_GE(hits[i - 1].similarity, hits[i].similarity);
+    }
+  });
+}
+
+// ---- cluster summaries --------------------------------------------------------
+
+TEST(SummaryTest, SummarizesSizesCohesionAndRepresentatives) {
+  ga::spmd_run(3, [](ga::Context& ctx) {
+    const auto s = make_signatures(ctx, 90, 9);
+    cluster::KMeansConfig config;
+    config.k = 3;
+    const auto km = cluster::kmeans_cluster(ctx, s.docvecs, config);
+
+    for (int c = 0; c < 3; ++c) {
+      const auto summary = summarize_cluster(ctx, s, km.assignment, km, {{"t0"}, {"t1"}, {"t2"}},
+                                             c, 4);
+      EXPECT_EQ(summary.cluster, c);
+      EXPECT_GT(summary.size, 0);
+      EXPECT_LE(static_cast<std::size_t>(summary.representatives.size()), 4u);
+      EXPECT_GT(summary.cohesion, 0.5) << "angular groups are tight";
+      EXPECT_EQ(summary.top_terms.size(), 1u);
+    }
+  });
+}
+
+TEST(SummaryTest, RepresentativesBelongToTheCluster) {
+  ga::spmd_run(2, [](ga::Context& ctx) {
+    const auto s = make_signatures(ctx, 60, 9);
+    cluster::KMeansConfig config;
+    config.k = 3;
+    const auto km = cluster::kmeans_cluster(ctx, s.docvecs, config);
+    const auto summary = summarize_cluster(ctx, s, km.assignment, km, {}, 0, 6);
+
+    // Gather the global assignment to check membership.
+    std::vector<std::int64_t> local_pairs;
+    for (std::size_t i = 0; i < s.doc_ids.size(); ++i) {
+      local_pairs.push_back(static_cast<std::int64_t>(s.doc_ids[i]));
+      local_pairs.push_back(km.assignment[i]);
+    }
+    const auto all_pairs = ctx.allgatherv(std::span<const std::int64_t>(local_pairs));
+    for (const auto rep : summary.representatives) {
+      bool found_in_cluster0 = false;
+      for (std::size_t i = 0; i < all_pairs.size(); i += 2) {
+        if (all_pairs[i] == static_cast<std::int64_t>(rep) && all_pairs[i + 1] == 0) {
+          found_in_cluster0 = true;
+        }
+      }
+      EXPECT_TRUE(found_in_cluster0) << "representative " << rep;
+    }
+  });
+}
+
+TEST(SummaryTest, BadClusterIdThrows) {
+  EXPECT_THROW(ga::spmd_run(1,
+                            [](ga::Context& ctx) {
+                              const auto s = make_signatures(ctx, 12, 4);
+                              cluster::KMeansConfig config;
+                              config.k = 2;
+                              const auto km = cluster::kmeans_cluster(ctx, s.docvecs, config);
+                              (void)summarize_cluster(ctx, s, km.assignment, km, {}, 7);
+                            }),
+               Error);
+}
+
+// ---- drill-down ---------------------------------------------------------------
+
+class DrillDownProcsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DrillDownProcsTest, SubsetLandscapeCoversTheCluster) {
+  const int nprocs = GetParam();
+  ga::spmd_run(nprocs, [](ga::Context& ctx) {
+    const auto s = make_signatures(ctx, 72, 9);
+    cluster::KMeansConfig config;
+    config.k = 3;
+    const auto km = cluster::kmeans_cluster(ctx, s.docvecs, config);
+
+    cluster::KMeansConfig sub;
+    sub.k = 2;
+    const auto drill = drill_down_cluster(ctx, s, km.assignment, 0, sub);
+
+    EXPECT_EQ(drill.subset_size,
+              static_cast<std::uint64_t>(km.cluster_sizes[0]));
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(drill.projection.all_doc_ids.size(), drill.subset_size);
+      EXPECT_EQ(drill.projection.all_xy.size(), 2 * drill.subset_size);
+    }
+    EXPECT_LE(drill.clustering.centroids.rows(), 2u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, DrillDownProcsTest, ::testing::Values(1, 2, 3));
+
+TEST(DrillDownTest, DocumentSubsetSelectsExactlyThoseDocs) {
+  ga::spmd_run(2, [](ga::Context& ctx) {
+    const auto s = make_signatures(ctx, 40, 6);
+    const std::vector<std::uint64_t> wanted = {1, 3, 5, 7, 9, 11, 13, 15};
+    cluster::KMeansConfig config;
+    config.k = 2;
+    const auto drill = drill_down_documents(ctx, s, wanted, config);
+    EXPECT_EQ(drill.subset_size, wanted.size());
+    if (ctx.rank() == 0) {
+      auto ids = drill.projection.all_doc_ids;
+      std::sort(ids.begin(), ids.end());
+      EXPECT_EQ(ids, wanted);
+    }
+  });
+}
+
+TEST(DrillDownTest, KClampsToTinySubsets) {
+  ga::spmd_run(2, [](ga::Context& ctx) {
+    const auto s = make_signatures(ctx, 20, 4);
+    const std::vector<std::uint64_t> wanted = {2, 4};
+    cluster::KMeansConfig config;
+    config.k = 16;  // far larger than the subset
+    const auto drill = drill_down_documents(ctx, s, wanted, config);
+    EXPECT_EQ(drill.subset_size, 2u);
+    EXPECT_LE(drill.clustering.centroids.rows(), 2u);
+  });
+}
+
+TEST(DrillDownTest, EmptySubsetThrows) {
+  EXPECT_THROW(ga::spmd_run(2,
+                            [](ga::Context& ctx) {
+                              const auto s = make_signatures(ctx, 10, 4);
+                              (void)drill_down_documents(ctx, s, {777}, {});
+                            }),
+               Error);
+}
+
+}  // namespace
+}  // namespace sva::query

@@ -1,0 +1,192 @@
+// Tests for the parallel scanner: the forward index and vocabulary must
+// match the serial oracle for every processor count.
+#include <gtest/gtest.h>
+
+#include "sva/corpus/generator.hpp"
+#include "sva/text/scanner.hpp"
+#include "test_oracles.hpp"
+
+namespace sva::text {
+namespace {
+
+TokenizerConfig test_tokenizer() {
+  TokenizerConfig c;
+  c.min_length = 2;
+  c.use_stopwords = false;
+  return c;
+}
+
+class ScannerSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScannerSweepTest, VocabularyMatchesSerialOracle) {
+  const int nprocs = GetParam();
+  const auto sources = sva::testing::tiny_corpus();
+  const auto oracle = sva::testing::serial_scan(sources, test_tokenizer());
+
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    const ScanResult r = scan_sources(ctx, sources, test_tokenizer());
+    ASSERT_EQ(r.vocabulary->terms, oracle.vocabulary);
+    EXPECT_EQ(r.field_type_names, oracle.field_type_names);
+    EXPECT_EQ(r.forward.total_terms, oracle.total_terms);
+    EXPECT_EQ(r.forward.num_records, sources.size());
+  });
+}
+
+TEST_P(ScannerSweepTest, LocalRecordsCarryCanonicalIds) {
+  const int nprocs = GetParam();
+  const auto sources = sva::testing::tiny_corpus();
+  const auto oracle = sva::testing::serial_scan(sources, test_tokenizer());
+
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    const ScanResult r = scan_sources(ctx, sources, test_tokenizer());
+    for (const auto& rec : r.records) {
+      const auto d = static_cast<std::size_t>(rec.doc_id);
+      ASSERT_EQ(rec.fields.size(), oracle.doc_field_terms[d].size());
+      for (std::size_t f = 0; f < rec.fields.size(); ++f) {
+        EXPECT_EQ(rec.fields[f].terms, oracle.doc_field_terms[d][f]);
+        EXPECT_EQ(rec.fields[f].type, oracle.doc_field_types[d][f]);
+      }
+    }
+  });
+}
+
+TEST_P(ScannerSweepTest, EveryRecordScannedExactlyOnce) {
+  const int nprocs = GetParam();
+  const auto sources = sva::testing::tiny_corpus();
+  std::vector<std::atomic<int>> seen(sources.size());
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    const ScanResult r = scan_sources(ctx, sources, test_tokenizer());
+    for (const auto& rec : r.records) seen[static_cast<std::size_t>(rec.doc_id)].fetch_add(1);
+  });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST_P(ScannerSweepTest, ForwardIndexCsrMatchesOracle) {
+  const int nprocs = GetParam();
+  const auto sources = sva::testing::tiny_corpus();
+  const auto oracle = sva::testing::serial_scan(sources, test_tokenizer());
+
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    ScanResult r = scan_sources(ctx, sources, test_tokenizer());
+    const auto offsets = r.forward.field_offsets.to_vector(ctx);
+    const auto terms = r.forward.field_terms.to_vector(ctx);
+    const auto records = r.forward.field_record.to_vector(ctx);
+    const auto types = r.forward.field_type.to_vector(ctx);
+
+    // Reconstruct field-by-field and compare with the oracle, walking
+    // documents in order (fields are laid out doc-major because the
+    // partitioning is contiguous).
+    std::size_t field_gid = 0;
+    for (std::size_t d = 0; d < oracle.doc_field_terms.size(); ++d) {
+      for (std::size_t f = 0; f < oracle.doc_field_terms[d].size(); ++f, ++field_gid) {
+        EXPECT_EQ(records[field_gid], static_cast<std::int64_t>(d));
+        EXPECT_EQ(types[field_gid], oracle.doc_field_types[d][f]);
+        const auto begin = static_cast<std::size_t>(offsets[field_gid]);
+        const auto end = static_cast<std::size_t>(offsets[field_gid + 1]);
+        const std::vector<std::int64_t> got(terms.begin() + begin, terms.begin() + end);
+        EXPECT_EQ(got, oracle.doc_field_terms[d][f]) << "doc " << d << " field " << f;
+      }
+    }
+    EXPECT_EQ(field_gid, r.forward.num_fields);
+  });
+}
+
+TEST_P(ScannerSweepTest, RankFieldRangesPartitionAllFields) {
+  const int nprocs = GetParam();
+  const auto sources = sva::testing::tiny_corpus();
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    const ScanResult r = scan_sources(ctx, sources, test_tokenizer());
+    ASSERT_EQ(r.forward.rank_field_ranges.size(), static_cast<std::size_t>(nprocs));
+    std::size_t expected = 0;
+    for (const auto& [b, e] : r.forward.rank_field_ranges) {
+      EXPECT_EQ(b, expected);
+      expected = e;
+    }
+    EXPECT_EQ(expected, r.forward.num_fields);
+  });
+}
+
+TEST_P(ScannerSweepTest, SyntheticCorpusStatsAreConsistent) {
+  const int nprocs = GetParam();
+  corpus::CorpusSpec spec;
+  spec.target_bytes = 96 << 10;
+  spec.core_vocabulary = 1500;
+  spec.num_themes = 4;
+  spec.theme_vocabulary = 80;
+  const auto sources = corpus::generate_corpus(spec);
+
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    const ScanResult r = scan_sources(ctx, sources, test_tokenizer());
+    const auto local_tokens = static_cast<std::int64_t>(r.stats.tokens.emitted);
+    const auto global_tokens = ctx.allreduce_sum(local_tokens);
+    EXPECT_EQ(static_cast<std::uint64_t>(global_tokens), r.forward.total_terms);
+
+    const auto local_bytes = static_cast<std::int64_t>(r.stats.bytes_scanned);
+    EXPECT_EQ(static_cast<std::size_t>(ctx.allreduce_sum(local_bytes)),
+              sources.total_bytes());
+    EXPECT_GT(r.vocabulary->size(), 100u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, ScannerSweepTest, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ScannerTest, EmptyFieldsCounted) {
+  corpus::SourceSet s;
+  corpus::RawDocument d;
+  d.id = 0;
+  d.fields.push_back({"TI", "real tokens here"});
+  d.fields.push_back({"AB", "..."});  // tokenizes to nothing
+  s.add(std::move(d));
+
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const ScanResult r = scan_sources(ctx, s, test_tokenizer());
+    const auto empties = ctx.allreduce_sum(static_cast<std::int64_t>(r.stats.empty_fields));
+    EXPECT_EQ(empties, 1);
+  });
+}
+
+TEST(ScannerTest, StopwordConfigPropagates) {
+  corpus::SourceSet s;
+  corpus::RawDocument d;
+  d.id = 0;
+  d.fields.push_back({"body", "the parallel engine and the index"});
+  s.add(std::move(d));
+
+  TokenizerConfig with_stop;
+  with_stop.use_stopwords = true;
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const ScanResult r = scan_sources(ctx, s, with_stop);
+    EXPECT_EQ(r.vocabulary->id_of("the"), -1);
+    EXPECT_GE(r.vocabulary->id_of("parallel"), 0);
+  });
+}
+
+TEST(ScannerTest, VocabularyIdsAreLexicographic) {
+  const auto sources = sva::testing::tiny_corpus();
+  ga::spmd_run(3, [&](ga::Context& ctx) {
+    const ScanResult r = scan_sources(ctx, sources, test_tokenizer());
+    for (std::size_t i = 1; i < r.vocabulary->terms.size(); ++i) {
+      EXPECT_LT(r.vocabulary->terms[i - 1], r.vocabulary->terms[i]);
+    }
+    for (std::size_t i = 0; i < r.vocabulary->terms.size(); ++i) {
+      EXPECT_EQ(r.vocabulary->id_of(r.vocabulary->terms[i]), static_cast<std::int64_t>(i));
+    }
+  });
+}
+
+TEST(ScannerTest, SingleDocumentSingleRank) {
+  corpus::SourceSet s;
+  corpus::RawDocument d;
+  d.id = 0;
+  d.fields.push_back({"body", "unique tokens only once"});
+  s.add(std::move(d));
+  ga::spmd_run(1, [&](ga::Context& ctx) {
+    const ScanResult r = scan_sources(ctx, s, test_tokenizer());
+    EXPECT_EQ(r.vocabulary->size(), 4u);
+    EXPECT_EQ(r.forward.total_terms, 4u);
+    EXPECT_EQ(r.records.size(), 1u);
+  });
+}
+
+}  // namespace
+}  // namespace sva::text

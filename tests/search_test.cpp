@@ -1,0 +1,141 @@
+// Tests for the TermSearcher query facade: postings lookups, conjunctive
+// intersection and tf-idf ranking against a hand-built corpus whose
+// correct answers are known by construction, across processor counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sva/index/search.hpp"
+#include "sva/text/scanner.hpp"
+
+namespace sva::index {
+namespace {
+
+/// Six tiny documents with a fully known term/record incidence.
+corpus::SourceSet search_corpus() {
+  corpus::SourceSet s;
+  const std::vector<std::string> bodies = {
+      "parallel visual analytics engine",          // 0
+      "parallel text engine scaling",              // 1
+      "visual landscape of themes",                // 2
+      "text clustering and projection engine",     // 3
+      "parallel clustering at terabyte scaling",   // 4
+      "landscape projection themes parallel",      // 5
+  };
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    corpus::RawDocument d;
+    d.id = i;
+    d.fields.push_back({"body", bodies[i]});
+    s.add(std::move(d));
+  }
+  return s;
+}
+
+text::TokenizerConfig plain_tokenizer() {
+  text::TokenizerConfig c;
+  c.use_stopwords = true;  // "of", "and", "at" drop out
+  c.min_length = 2;
+  return c;
+}
+
+/// Builds the searcher inside an SPMD region and hands it to `probe`.
+void with_searcher(int nprocs,
+                   const std::function<void(ga::Context&, const TermSearcher&)>& probe) {
+  const auto sources = search_corpus();
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, sources, plain_tokenizer());
+    auto r = build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    const TermSearcher searcher(std::move(r.index), std::move(r.stats), scan.vocabulary);
+    probe(ctx, searcher);
+    ctx.barrier();
+  });
+}
+
+class SearchProcsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SearchProcsTest, PostingsMatchIncidence) {
+  with_searcher(GetParam(), [](ga::Context& ctx, const TermSearcher& s) {
+    EXPECT_EQ(s.postings(ctx, "parallel"), (std::vector<std::int64_t>{0, 1, 4, 5}));
+    EXPECT_EQ(s.postings(ctx, "visual"), (std::vector<std::int64_t>{0, 2}));
+    EXPECT_EQ(s.postings(ctx, "engine"), (std::vector<std::int64_t>{0, 1, 3}));
+    EXPECT_EQ(s.postings(ctx, "themes"), (std::vector<std::int64_t>{2, 5}));
+  });
+}
+
+TEST_P(SearchProcsTest, UnknownTermIsEmptyNotError) {
+  with_searcher(GetParam(), [](ga::Context& ctx, const TermSearcher& s) {
+    EXPECT_TRUE(s.postings(ctx, "nonexistent").empty());
+    EXPECT_EQ(s.doc_frequency(ctx, "nonexistent"), 0);
+  });
+}
+
+TEST_P(SearchProcsTest, DocFrequencyMatchesPostingsSize) {
+  with_searcher(GetParam(), [](ga::Context& ctx, const TermSearcher& s) {
+    for (const char* term : {"parallel", "visual", "engine", "scaling", "landscape"}) {
+      EXPECT_EQ(static_cast<std::size_t>(s.doc_frequency(ctx, term)),
+                s.postings(ctx, term).size())
+          << term;
+    }
+  });
+}
+
+TEST_P(SearchProcsTest, ConjunctiveIntersects) {
+  with_searcher(GetParam(), [](ga::Context& ctx, const TermSearcher& s) {
+    EXPECT_EQ(s.conjunctive(ctx, {"parallel", "engine"}),
+              (std::vector<std::int64_t>{0, 1}));
+    EXPECT_EQ(s.conjunctive(ctx, {"landscape", "themes", "projection"}),
+              (std::vector<std::int64_t>{5}));
+    EXPECT_TRUE(s.conjunctive(ctx, {"visual", "terabyte"}).empty());
+  });
+}
+
+TEST_P(SearchProcsTest, ConjunctiveWithUnknownTermIsEmpty) {
+  with_searcher(GetParam(), [](ga::Context& ctx, const TermSearcher& s) {
+    EXPECT_TRUE(s.conjunctive(ctx, {"parallel", "nonexistent"}).empty());
+  });
+}
+
+TEST_P(SearchProcsTest, RankedPrefersRareTerms) {
+  with_searcher(GetParam(), [](ga::Context& ctx, const TermSearcher& s) {
+    // "terabyte" appears only in doc 4; "parallel" is common.  Doc 4
+    // matches both, so it must outrank docs matching "parallel" alone.
+    const auto hits = s.ranked(ctx, {"parallel", "terabyte"}, 6);
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits[0].record, 4);
+    for (std::size_t i = 1; i < hits.size(); ++i) {
+      EXPECT_GE(hits[i - 1].score, hits[i].score);
+    }
+  });
+}
+
+TEST_P(SearchProcsTest, RankedHonorsTopK) {
+  with_searcher(GetParam(), [](ga::Context& ctx, const TermSearcher& s) {
+    EXPECT_LE(s.ranked(ctx, {"parallel", "engine", "themes"}, 2).size(), 2u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, SearchProcsTest, ::testing::Values(1, 2, 3));
+
+TEST(SearchTest, AnyRankCanServeQueriesIdentically) {
+  // One-sided GA reads mean every rank can answer without coordination —
+  // the "multiple concurrent users" story.  All ranks must agree.
+  const auto sources = search_corpus();
+  auto per_rank = std::make_shared<std::vector<std::vector<std::int64_t>>>(4);
+  ga::spmd_run(4, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, sources, plain_tokenizer());
+    auto r = build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    const TermSearcher s(std::move(r.index), std::move(r.stats), scan.vocabulary);
+    ctx.barrier();
+    (*per_rank)[static_cast<std::size_t>(ctx.rank())] = s.conjunctive(ctx, {"parallel"});
+    ctx.barrier();
+  });
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ((*per_rank)[0], (*per_rank)[static_cast<std::size_t>(r)]);
+  }
+}
+
+}  // namespace
+}  // namespace sva::index

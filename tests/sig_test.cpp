@@ -1,0 +1,437 @@
+// Tests for signature generation: Bookstein topicality, the global
+// top-N merge, the association matrix against a serial co-occurrence
+// oracle, signature normalization, and the adaptive-dimensionality loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "sva/corpus/generator.hpp"
+#include "sva/index/inverted_index.hpp"
+#include "sva/sig/signature.hpp"
+#include "test_oracles.hpp"
+
+namespace sva::sig {
+namespace {
+
+text::TokenizerConfig test_tokenizer() {
+  text::TokenizerConfig c;
+  c.min_length = 2;
+  c.use_stopwords = false;
+  return c;
+}
+
+corpus::SourceSet themed_corpus(std::size_t bytes = 128 << 10) {
+  corpus::CorpusSpec spec;
+  spec.target_bytes = bytes;
+  spec.core_vocabulary = 1200;
+  spec.num_themes = 5;
+  spec.theme_vocabulary = 90;
+  spec.theme_token_fraction = 0.35;
+  return corpus::generate_corpus(spec);
+}
+
+// ---- bookstein_score ---------------------------------------------------------
+
+TEST(BooksteinTest, ClumpedTermScoresHigherThanScattered) {
+  // 100 occurrences in 5 docs (clumped) vs in 95 docs (scattered).
+  const double clumped = bookstein_score(100, 5, 1000);
+  const double scattered = bookstein_score(100, 95, 1000);
+  EXPECT_GT(clumped, scattered);
+  EXPECT_GT(clumped, 0.0);
+}
+
+TEST(BooksteinTest, PerfectScatterScoresNearZero) {
+  // tf == df means every occurrence hit a distinct document — close to
+  // the random expectation for tf << R.
+  const double s = bookstein_score(10, 10, 100000);
+  EXPECT_NEAR(s, 0.0, 0.05);
+}
+
+TEST(BooksteinTest, DegenerateInputsScoreZero) {
+  EXPECT_DOUBLE_EQ(bookstein_score(0, 0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(bookstein_score(10, 5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(bookstein_score(-1, 1, 100), 0.0);
+}
+
+TEST(BooksteinTest, ScoreGrowsWithClumping) {
+  const std::uint64_t r = 10000;
+  double prev = -1e9;
+  for (std::int64_t df : {500, 100, 20, 5, 1}) {
+    const double s = bookstein_score(500, df, r);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+// ---- select_topics -----------------------------------------------------------
+
+class TopicSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopicSweepTest, SelectionIsIdenticalOnAllRanksAndAllP) {
+  const int nprocs = GetParam();
+  const auto sources = themed_corpus();
+  auto p1_terms = std::make_shared<std::vector<std::int64_t>>();
+
+  // Serial reference.
+  ga::spmd_run(1, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, sources, test_tokenizer());
+    const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    TopicalityConfig config;
+    config.num_major_terms = 150;
+    *p1_terms = select_topics(ctx, idx.stats, config).major_terms;
+  });
+
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, sources, test_tokenizer());
+    const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    TopicalityConfig config;
+    config.num_major_terms = 150;
+    const TopicSelection sel = select_topics(ctx, idx.stats, config);
+    EXPECT_EQ(sel.major_terms, *p1_terms);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, TopicSweepTest, ::testing::Values(2, 3, 4, 8));
+
+TEST(TopicTest, ScoresAreDescending) {
+  const auto sources = themed_corpus();
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, sources, test_tokenizer());
+    const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    const TopicSelection sel = select_topics(ctx, idx.stats, {});
+    for (std::size_t i = 1; i < sel.scores.size(); ++i) {
+      EXPECT_LE(sel.scores[i], sel.scores[i - 1] + 1e-12);
+    }
+  });
+}
+
+TEST(TopicTest, TopicsArePrefixOfMajors) {
+  const auto sources = themed_corpus();
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, sources, test_tokenizer());
+    const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    TopicalityConfig config;
+    config.num_major_terms = 100;
+    config.topic_fraction = 0.1;
+    const TopicSelection sel = select_topics(ctx, idx.stats, config);
+    ASSERT_LE(sel.m(), sel.n());
+    for (std::size_t j = 0; j < sel.m(); ++j) {
+      EXPECT_EQ(sel.topic_terms[j], sel.major_terms[j]);
+    }
+    EXPECT_NEAR(static_cast<double>(sel.m()), 0.1 * static_cast<double>(sel.n()),
+                2.0);
+  });
+}
+
+TEST(TopicTest, IndexMapsAreConsistent) {
+  const auto sources = themed_corpus();
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, sources, test_tokenizer());
+    const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    const TopicSelection sel = select_topics(ctx, idx.stats, {});
+    for (std::size_t i = 0; i < sel.n(); ++i) {
+      EXPECT_EQ(sel.major_index.at(sel.major_terms[i]), i);
+    }
+    for (std::size_t j = 0; j < sel.m(); ++j) {
+      EXPECT_EQ(sel.topic_index.at(sel.topic_terms[j]), j);
+    }
+  });
+}
+
+TEST(TopicTest, ThemeWordsDominateSelection) {
+  // Theme vocabulary clumps by construction; most selected topics should
+  // be theme words (ids >= core_vocabulary in generator word-id space
+  // translate to specific lexicon words — instead check df selectivity).
+  const auto sources = themed_corpus();
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, sources, test_tokenizer());
+    const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    TopicalityConfig config;
+    config.num_major_terms = 50;
+    const TopicSelection sel = select_topics(ctx, idx.stats, config);
+    ASSERT_GT(sel.n(), 0u);
+    // Selected terms cannot be ubiquitous: df <= max_df_fraction * R.
+    const auto df = idx.stats.doc_frequency.to_vector(ctx);
+    for (auto t : sel.major_terms) {
+      EXPECT_LE(df[static_cast<std::size_t>(t)],
+                static_cast<std::int64_t>(0.25 * static_cast<double>(sources.size())) + 1);
+      EXPECT_GE(df[static_cast<std::size_t>(t)], 2);
+    }
+  });
+}
+
+TEST(TopicTest, InvalidConfigThrows) {
+  const auto sources = sva::testing::tiny_corpus();
+  ga::spmd_run(1, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, sources, test_tokenizer());
+    const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    TopicalityConfig bad;
+    bad.num_major_terms = 1;
+    EXPECT_THROW((void)select_topics(ctx, idx.stats, bad), InvalidArgument);
+    bad.num_major_terms = 10;
+    bad.topic_fraction = 0.0;
+    EXPECT_THROW((void)select_topics(ctx, idx.stats, bad), InvalidArgument);
+  });
+}
+
+// ---- association matrix --------------------------------------------------------
+
+TEST(AssociationTest, ConditionalEntriesMatchSerialCoOccurrence) {
+  const auto sources = themed_corpus(64 << 10);
+  const auto oracle = sva::testing::serial_scan(sources, test_tokenizer());
+
+  for (int nprocs : {1, 3}) {
+    ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+      const auto scan = text::scan_sources(ctx, sources, test_tokenizer());
+      const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+      TopicalityConfig tconfig;
+      tconfig.num_major_terms = 60;
+      const TopicSelection sel = select_topics(ctx, idx.stats, tconfig);
+      AssociationConfig aconfig;
+      aconfig.weighting = AssociationWeighting::kConditional;
+      const AssociationMatrix am =
+          build_association_matrix(ctx, scan.records, sel, idx.stats.num_records, aconfig);
+
+      // Serial oracle: P(i|j) = |docs(i) ∩ docs(j)| / |docs(j)|.
+      for (std::size_t i = 0; i < std::min<std::size_t>(sel.n(), 12); ++i) {
+        for (std::size_t j = 0; j < sel.m(); ++j) {
+          const auto& docs_i = oracle.term_documents.at(sel.major_terms[i]);
+          const auto& docs_j = oracle.term_documents.at(sel.topic_terms[j]);
+          std::size_t both = 0;
+          for (auto d : docs_j) both += docs_i.count(d);
+          const double expected =
+              static_cast<double>(both) / static_cast<double>(docs_j.size());
+          EXPECT_NEAR(am.weights.at(i, j), expected, 1e-9)
+              << "entry (" << i << ", " << j << ") at P=" << nprocs;
+        }
+      }
+    });
+  }
+}
+
+TEST(AssociationTest, DiagonalOfConditionalIsOne) {
+  // P(t|t) = 1 for every topic term against itself.
+  const auto sources = themed_corpus(64 << 10);
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, sources, test_tokenizer());
+    const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    TopicalityConfig tconfig;
+    tconfig.num_major_terms = 40;
+    const TopicSelection sel = select_topics(ctx, idx.stats, tconfig);
+    AssociationConfig aconfig;
+    aconfig.weighting = AssociationWeighting::kConditional;
+    const auto am =
+        build_association_matrix(ctx, scan.records, sel, idx.stats.num_records, aconfig);
+    for (std::size_t j = 0; j < sel.m(); ++j) {
+      EXPECT_NEAR(am.weights.at(j, j), 1.0, 1e-9);
+    }
+  });
+}
+
+TEST(AssociationTest, LiftSubtractIsNonNegativeAndBounded) {
+  const auto sources = themed_corpus(64 << 10);
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, sources, test_tokenizer());
+    const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    const TopicSelection sel = select_topics(ctx, idx.stats, {});
+    const auto am = build_association_matrix(ctx, scan.records, sel, idx.stats.num_records,
+                                             {AssociationWeighting::kLiftSubtract});
+    for (double v : am.weights.flat()) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  });
+}
+
+TEST(AssociationTest, MergeIsIndependentOfProcessorCount) {
+  const auto sources = themed_corpus(64 << 10);
+  auto reference = std::make_shared<std::vector<double>>();
+  for (int nprocs : {1, 4}) {
+    ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+      const auto scan = text::scan_sources(ctx, sources, test_tokenizer());
+      const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+      TopicalityConfig tconfig;
+      tconfig.num_major_terms = 80;
+      const TopicSelection sel = select_topics(ctx, idx.stats, tconfig);
+      const auto am =
+          build_association_matrix(ctx, scan.records, sel, idx.stats.num_records, {});
+      if (ctx.rank() == 0) {
+        if (reference->empty()) {
+          reference->assign(am.weights.flat().begin(), am.weights.flat().end());
+        } else {
+          ASSERT_EQ(reference->size(), am.weights.flat().size());
+          for (std::size_t i = 0; i < reference->size(); ++i) {
+            EXPECT_NEAR((*reference)[i], am.weights.flat()[i], 1e-9);
+          }
+        }
+      }
+    });
+  }
+}
+
+TEST(AssociationTest, WeightingNames) {
+  EXPECT_STREQ(weighting_name(AssociationWeighting::kConditional), "conditional");
+  EXPECT_STREQ(weighting_name(AssociationWeighting::kLiftSubtract), "lift-subtract");
+  EXPECT_STREQ(weighting_name(AssociationWeighting::kLiftRatio), "lift-ratio");
+}
+
+// ---- signatures ------------------------------------------------------------------
+
+class SignatureSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SignatureSweepTest, SignaturesAreL1NormalizedOrNull) {
+  const int nprocs = GetParam();
+  const auto sources = themed_corpus();
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, sources, test_tokenizer());
+    const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    const TopicSelection sel = select_topics(ctx, idx.stats, {});
+    const auto am = build_association_matrix(ctx, scan.records, sel, idx.stats.num_records);
+    const SignatureSet sigs = compute_signatures(ctx, scan.records, sel, am);
+
+    ASSERT_EQ(sigs.docvecs.rows(), scan.records.size());
+    ASSERT_EQ(sigs.doc_ids.size(), scan.records.size());
+    for (std::size_t i = 0; i < sigs.docvecs.rows(); ++i) {
+      const double norm = l1_norm(sigs.docvecs.row(i));
+      if (sigs.is_null[i]) {
+        EXPECT_DOUBLE_EQ(norm, 0.0);
+      } else {
+        EXPECT_NEAR(norm, 1.0, 1e-9);
+      }
+    }
+  });
+}
+
+TEST_P(SignatureSweepTest, GlobalNullCountAgreesWithLocalFlags) {
+  const int nprocs = GetParam();
+  const auto sources = themed_corpus();
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, sources, test_tokenizer());
+    const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    const TopicSelection sel = select_topics(ctx, idx.stats, {});
+    const auto am = build_association_matrix(ctx, scan.records, sel, idx.stats.num_records);
+    const SignatureSet sigs = compute_signatures(ctx, scan.records, sel, am);
+    std::int64_t local = 0;
+    for (bool b : sigs.is_null) local += b ? 1 : 0;
+    EXPECT_EQ(static_cast<std::int64_t>(sigs.global_null_count), ctx.allreduce_sum(local));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, SignatureSweepTest, ::testing::Values(1, 2, 4));
+
+TEST(SignatureTest, DocWithNoMajorTermsIsNull) {
+  // Craft a corpus where one doc shares no vocabulary with the others.
+  corpus::SourceSet s;
+  auto add = [&](std::uint64_t id, const std::string& text) {
+    corpus::RawDocument d;
+    d.id = id;
+    d.fields.push_back({"body", text});
+    s.add(std::move(d));
+  };
+  // 20 docs sharing clumped vocabulary; 1 orphan doc.
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    add(i, i % 2 == 0 ? "alpha beta gamma alpha beta" : "delta epsilon zeta delta");
+  }
+  add(20, "orphan words nobody shares");
+
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, s, test_tokenizer());
+    const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    TopicalityConfig tconfig;
+    tconfig.num_major_terms = 8;
+    tconfig.min_doc_frequency = 2;
+    tconfig.max_df_fraction = 0.8;
+    const TopicSelection sel = select_topics(ctx, idx.stats, tconfig);
+    const auto am = build_association_matrix(ctx, scan.records, sel, idx.stats.num_records);
+    SignatureConfig sconfig;
+    const SignatureSet sigs = compute_signatures(ctx, scan.records, sel, am, sconfig);
+    for (std::size_t i = 0; i < sigs.doc_ids.size(); ++i) {
+      if (sigs.doc_ids[i] == 20) {
+        EXPECT_TRUE(sigs.is_null[i]);
+      }
+    }
+    EXPECT_GE(sigs.global_null_count, 1u);
+  });
+}
+
+TEST(SignatureTest, AdaptiveLoopGrowsDimensionality) {
+  const auto sources = themed_corpus();
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, sources, test_tokenizer());
+    const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    TopicalityConfig tconfig;
+    tconfig.num_major_terms = 20;  // deliberately too small
+    SignatureConfig sconfig;
+    sconfig.adaptive = true;
+    sconfig.max_null_fraction = 0.0;  // force growth while nulls exist
+    sconfig.max_rounds = 3;
+    const auto result =
+        generate_signatures(ctx, scan.records, idx.stats, tconfig, {}, sconfig);
+    EXPECT_GE(result.rounds_used, 1);
+    EXPECT_EQ(result.null_fraction_per_round.size(),
+              static_cast<std::size_t>(result.rounds_used));
+    if (result.rounds_used > 1) {
+      // Null fraction must not get worse as N grows.
+      EXPECT_LE(result.null_fraction_per_round.back(),
+                result.null_fraction_per_round.front() + 1e-12);
+    }
+  });
+}
+
+TEST(SignatureTest, NonAdaptiveRunsExactlyOneRound) {
+  const auto sources = themed_corpus(32 << 10);
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, sources, test_tokenizer());
+    const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    SignatureConfig sconfig;
+    sconfig.adaptive = false;
+    const auto result = generate_signatures(ctx, scan.records, idx.stats, {}, {}, sconfig);
+    EXPECT_EQ(result.rounds_used, 1);
+  });
+}
+
+TEST(SignatureTest, SignaturesDependOnTermFrequency) {
+  // Two docs with the same terms but different frequencies must differ.
+  corpus::SourceSet s;
+  auto add = [&](std::uint64_t id, const std::string& text) {
+    corpus::RawDocument d;
+    d.id = id;
+    d.fields.push_back({"body", text});
+    s.add(std::move(d));
+  };
+  for (std::uint64_t i = 0; i < 8; ++i) add(i, "alpha beta gamma");
+  for (std::uint64_t i = 8; i < 16; ++i) add(i, "alpha delta epsilon");
+  add(16, "alpha alpha alpha alpha beta delta");
+  add(17, "alpha beta beta beta beta delta");
+
+  ga::spmd_run(1, [&](ga::Context& ctx) {
+    const auto scan = text::scan_sources(ctx, s, test_tokenizer());
+    const auto idx = index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size());
+    TopicalityConfig tconfig;
+    tconfig.num_major_terms = 6;
+    tconfig.max_df_fraction = 1.0;
+    tconfig.min_doc_frequency = 1;
+    const auto sel = select_topics(ctx, idx.stats, tconfig);
+    const auto am = build_association_matrix(ctx, scan.records, sel, idx.stats.num_records,
+                                             {AssociationWeighting::kConditional});
+    const auto sigs = compute_signatures(ctx, scan.records, sel, am);
+    // Find rows of docs 16 and 17.
+    std::span<const double> sig16, sig17;
+    for (std::size_t i = 0; i < sigs.doc_ids.size(); ++i) {
+      if (sigs.doc_ids[i] == 16) sig16 = sigs.docvecs.row(i);
+      if (sigs.doc_ids[i] == 17) sig17 = sigs.docvecs.row(i);
+    }
+    ASSERT_FALSE(sig16.empty());
+    ASSERT_FALSE(sig17.empty());
+    double max_diff = 0.0;
+    for (std::size_t d = 0; d < sig16.size(); ++d) {
+      max_diff = std::max(max_diff, std::abs(sig16[d] - sig17[d]));
+    }
+    EXPECT_GT(max_diff, 1e-6);
+  });
+}
+
+}  // namespace
+}  // namespace sva::sig

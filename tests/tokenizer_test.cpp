@@ -1,0 +1,187 @@
+// Tests for the Scan & Map tokenizer.
+#include <gtest/gtest.h>
+
+#include "sva/text/tokenizer.hpp"
+
+namespace sva::text {
+namespace {
+
+TokenizerConfig plain_config() {
+  TokenizerConfig c;
+  c.min_length = 1;
+  c.use_stopwords = false;
+  c.drop_numeric = false;
+  return c;
+}
+
+TEST(TokenizerTest, SplitsOnWhitespace) {
+  Tokenizer t(plain_config());
+  const auto tokens = t.tokenize("alpha beta\tgamma\ndelta");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "alpha");
+  EXPECT_EQ(tokens[3], "delta");
+}
+
+TEST(TokenizerTest, SplitsOnPunctuation) {
+  Tokenizer t(plain_config());
+  const auto tokens = t.tokenize("alpha,beta;gamma.delta(eps)");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[4], "eps");
+}
+
+TEST(TokenizerTest, CustomDelimiters) {
+  TokenizerConfig c = plain_config();
+  c.delimiters = "|";
+  Tokenizer t(c);
+  const auto tokens = t.tokenize("a b|c d");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "a b");
+  EXPECT_EQ(tokens[1], "c d");
+}
+
+TEST(TokenizerTest, LowercasesByDefault) {
+  Tokenizer t(plain_config());
+  const auto tokens = t.tokenize("AlPhA BETA");
+  EXPECT_EQ(tokens[0], "alpha");
+  EXPECT_EQ(tokens[1], "beta");
+}
+
+TEST(TokenizerTest, LowercaseCanBeDisabled) {
+  TokenizerConfig c = plain_config();
+  c.lowercase = false;
+  Tokenizer t(c);
+  EXPECT_EQ(t.tokenize("MixedCase")[0], "MixedCase");
+}
+
+TEST(TokenizerTest, MinLengthFilter) {
+  TokenizerConfig c = plain_config();
+  c.min_length = 3;
+  Tokenizer t(c);
+  TokenStats stats;
+  const auto tokens = t.tokenize("a ab abc abcd", &stats);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(stats.dropped_short, 2u);
+  EXPECT_EQ(stats.emitted, 2u);
+}
+
+TEST(TokenizerTest, MaxLengthFilter) {
+  TokenizerConfig c = plain_config();
+  c.max_length = 4;
+  Tokenizer t(c);
+  TokenStats stats;
+  const auto tokens = t.tokenize("ab abcde", &stats);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(stats.dropped_long, 1u);
+}
+
+TEST(TokenizerTest, NumericFilter) {
+  TokenizerConfig c = plain_config();
+  c.drop_numeric = true;
+  Tokenizer t(c);
+  TokenStats stats;
+  const auto tokens = t.tokenize("123 x9 42 alpha", &stats);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(stats.dropped_numeric, 2u);
+  EXPECT_EQ(tokens[0], "x9");
+}
+
+TEST(TokenizerTest, StopwordsDropped) {
+  TokenizerConfig c;
+  c.min_length = 1;
+  c.use_stopwords = true;
+  Tokenizer t(c);
+  TokenStats stats;
+  const auto tokens = t.tokenize("the cat and the hat", &stats);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "cat");
+  EXPECT_EQ(tokens[1], "hat");
+  EXPECT_EQ(stats.dropped_stopword, 3u);
+}
+
+TEST(TokenizerTest, ExtraStopwordsMerge) {
+  TokenizerConfig c;
+  c.min_length = 1;
+  c.use_stopwords = true;
+  c.extra_stopwords = {"CAT"};  // case-normalized
+  Tokenizer t(c);
+  const auto tokens = t.tokenize("the cat sat");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "sat");
+}
+
+TEST(TokenizerTest, StopwordsDisabledKeepsEverything) {
+  Tokenizer t(plain_config());
+  EXPECT_EQ(t.tokenize("the cat and the hat").size(), 5u);
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer t(plain_config());
+  EXPECT_TRUE(t.tokenize("").empty());
+}
+
+TEST(TokenizerTest, OnlyDelimiters) {
+  Tokenizer t(plain_config());
+  EXPECT_TRUE(t.tokenize("  ,,; .. ").empty());
+}
+
+TEST(TokenizerTest, TrailingTokenEmitted) {
+  Tokenizer t(plain_config());
+  const auto tokens = t.tokenize("alpha beta");
+  EXPECT_EQ(tokens.back(), "beta");
+}
+
+TEST(TokenizerTest, TokenizeIntoAppends) {
+  Tokenizer t(plain_config());
+  std::vector<std::string> out = {"pre"};
+  t.tokenize_into("alpha", out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "pre");
+  EXPECT_EQ(out[1], "alpha");
+}
+
+TEST(TokenizerTest, StatsAccumulateAcrossCalls) {
+  Tokenizer t(plain_config());
+  TokenStats stats;
+  (void)t.tokenize("a b", &stats);
+  (void)t.tokenize("c d e", &stats);
+  EXPECT_EQ(stats.emitted, 5u);
+}
+
+TEST(TokenizerTest, HighBitBytesAreTokenChars) {
+  // Non-ASCII bytes must not crash and are treated as token characters.
+  Tokenizer t(plain_config());
+  const std::string input = "caf\xC3\xA9 bar";
+  const auto tokens = t.tokenize(input);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1], "bar");
+}
+
+TEST(TokenizerTest, BuiltinStopwordListIsLowercaseAndNonEmpty) {
+  const auto& sw = Tokenizer::builtin_stopwords();
+  EXPECT_GT(sw.size(), 20u);
+  for (const auto& w : sw) {
+    for (char c : w) EXPECT_TRUE(c >= 'a' && c <= 'z');
+  }
+}
+
+TEST(TokenizerTest, DefaultConfigDropsShortTokens) {
+  Tokenizer t;  // defaults: min_length = 2
+  const auto tokens = t.tokenize("x yz");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "yz");
+}
+
+TEST(TokenStatsTest, PlusEqualsAggregates) {
+  TokenStats a, b;
+  a.emitted = 1;
+  a.dropped_short = 2;
+  b.emitted = 10;
+  b.dropped_stopword = 5;
+  a += b;
+  EXPECT_EQ(a.emitted, 11u);
+  EXPECT_EQ(a.dropped_short, 2u);
+  EXPECT_EQ(a.dropped_stopword, 5u);
+}
+
+}  // namespace
+}  // namespace sva::text

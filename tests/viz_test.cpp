@@ -1,0 +1,271 @@
+// Tests for the ThemeView visualization package: peak detection on known
+// density fields, marching-squares contour correctness, and the raster /
+// vector writers' formats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sva/cluster/projection.hpp"
+#include "sva/viz/contour.hpp"
+#include "sva/viz/peaks.hpp"
+#include "sva/viz/render.hpp"
+
+namespace sva::viz {
+namespace {
+
+/// Two well-separated point clouds: the terrain must show two mountains.
+cluster::ThemeViewTerrain two_bump_terrain(std::size_t per_cloud = 300) {
+  std::vector<double> xy;
+  xy.reserve(per_cloud * 4);
+  // Deterministic low-discrepancy-ish scatter around two centers.
+  for (std::size_t i = 0; i < per_cloud; ++i) {
+    const double a = static_cast<double>(i) * 0.61803398875;
+    const double r = 0.08 * std::fmod(a * 7.0, 1.0);
+    const double t = 6.28318 * std::fmod(a, 1.0);
+    xy.push_back(0.25 + r * std::cos(t));
+    xy.push_back(0.30 + r * std::sin(t));
+    xy.push_back(0.75 + r * std::cos(t + 1.0));
+    xy.push_back(0.70 + r * std::sin(t + 1.0));
+  }
+  return cluster::ThemeViewTerrain::from_points(xy, 64, 1.5);
+}
+
+std::filesystem::path temp_file(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+TEST(PeakTest, TwoCloudsYieldTwoDominantPeaks) {
+  const auto terrain = two_bump_terrain();
+  PeakConfig config;
+  config.min_height_fraction = 0.3;
+  config.min_separation = 6;
+  const auto peaks = find_peaks(terrain, config);
+  ASSERT_GE(peaks.size(), 2u);
+  // The two highest peaks must be far apart (different mountains).
+  const auto dr = static_cast<double>(peaks[0].row) - static_cast<double>(peaks[1].row);
+  const auto dc = static_cast<double>(peaks[0].col) - static_cast<double>(peaks[1].col);
+  EXPECT_GT(std::hypot(dr, dc), 12.0);
+}
+
+TEST(PeakTest, PeaksSortedByHeight) {
+  const auto peaks = find_peaks(two_bump_terrain());
+  for (std::size_t i = 1; i < peaks.size(); ++i) {
+    EXPECT_GE(peaks[i - 1].height, peaks[i].height);
+  }
+}
+
+TEST(PeakTest, MinSeparationSuppressesRidgeNeighbours) {
+  const auto terrain = two_bump_terrain();
+  PeakConfig tight;
+  tight.min_separation = 1;
+  PeakConfig loose;
+  loose.min_separation = 10;
+  EXPECT_GE(find_peaks(terrain, tight).size(), find_peaks(terrain, loose).size());
+}
+
+TEST(PeakTest, MaxPeaksCapsOutput) {
+  PeakConfig config;
+  config.max_peaks = 1;
+  config.min_height_fraction = 0.01;
+  config.min_separation = 0;
+  const auto peaks = find_peaks(two_bump_terrain(), config);
+  EXPECT_EQ(peaks.size(), 1u);
+}
+
+TEST(PeakTest, HeightFloorFiltersNoise) {
+  PeakConfig strict;
+  strict.min_height_fraction = 0.99;
+  const auto peaks = find_peaks(two_bump_terrain(), strict);
+  for (const auto& p : peaks) {
+    EXPECT_GE(p.height, 0.99 * two_bump_terrain().peak() * 0.99);
+  }
+}
+
+TEST(PeakTest, EmptyTerrainYieldsNoPeaks) {
+  const cluster::ThemeViewTerrain empty =
+      cluster::ThemeViewTerrain::from_points({}, 16, 1.0);
+  EXPECT_TRUE(find_peaks(empty).empty());
+}
+
+TEST(PeakTest, WorldCoordinatesMatchGridPosition) {
+  const auto terrain = two_bump_terrain();
+  for (const auto& p : find_peaks(terrain)) {
+    const auto [col, row] = terrain.to_grid(p.x, p.y);
+    EXPECT_NEAR(col, static_cast<double>(p.col), 0.51);
+    EXPECT_NEAR(row, static_cast<double>(p.row), 0.51);
+  }
+}
+
+TEST(PeakTest, LabelsComeFromNearestCentroid) {
+  auto peaks = find_peaks(two_bump_terrain());
+  ASSERT_GE(peaks.size(), 2u);
+  // Centroids at the two cloud centers, in world coordinates.
+  const std::vector<double> centroids = {0.25, 0.30, 0.75, 0.70};
+  const std::vector<std::vector<std::string>> labels = {{"alpha", "beta", "gamma"},
+                                                        {"delta", "epsilon"}};
+  label_peaks(peaks, centroids, labels, 2);
+  for (const auto& p : peaks) {
+    ASSERT_GE(p.cluster, 0);
+    ASSERT_LT(p.cluster, 2);
+    if (p.cluster == 0) EXPECT_EQ(p.label, "alpha/beta");
+    if (p.cluster == 1) EXPECT_EQ(p.label, "delta/epsilon");
+  }
+  // The two top peaks belong to different clusters.
+  EXPECT_NE(peaks[0].cluster, peaks[1].cluster);
+}
+
+TEST(PeakTest, NoCentroidsLeavesPeaksUnlabeled) {
+  auto peaks = find_peaks(two_bump_terrain());
+  label_peaks(peaks, {}, {});
+  for (const auto& p : peaks) EXPECT_EQ(p.cluster, -1);
+}
+
+// ---- contours ---------------------------------------------------------------
+
+TEST(ContourTest, LevelAboveMaxYieldsNothing) {
+  const auto terrain = two_bump_terrain();
+  EXPECT_TRUE(extract_contours(terrain, terrain.peak() * 1.1).empty());
+}
+
+TEST(ContourTest, MidLevelProducesClosedLoopsAroundBumps) {
+  const auto terrain = two_bump_terrain();
+  const auto contours = extract_contours(terrain, terrain.peak() * 0.5);
+  ASSERT_GE(contours.size(), 2u);
+  std::size_t closed = 0;
+  for (const auto& c : contours) {
+    if (c.closed) ++closed;
+  }
+  EXPECT_GE(closed, 2u);
+}
+
+TEST(ContourTest, VerticesLieOnTheLevel) {
+  // Every contour vertex, when the field is sampled bilinearly at it,
+  // must be close to the iso level (vertices come from edge
+  // interpolation, so exact on grid edges).
+  const auto terrain = two_bump_terrain();
+  const double level = terrain.peak() * 0.4;
+  for (const auto& contour : extract_contours(terrain, level)) {
+    for (const auto& [col, row] : contour.points) {
+      const auto c0 = static_cast<std::size_t>(col);
+      const auto r0 = static_cast<std::size_t>(row);
+      const std::size_t c1 = std::min(c0 + 1, terrain.grid() - 1);
+      const std::size_t r1 = std::min(r0 + 1, terrain.grid() - 1);
+      const double fc = col - static_cast<double>(c0);
+      const double fr = row - static_cast<double>(r0);
+      const double v = (1 - fr) * ((1 - fc) * terrain.at(r0, c0) + fc * terrain.at(r0, c1)) +
+                       fr * ((1 - fc) * terrain.at(r1, c0) + fc * terrain.at(r1, c1));
+      EXPECT_NEAR(v, level, level * 0.02);
+    }
+  }
+}
+
+TEST(ContourTest, LevelsAreMonotoneAndWithinRange) {
+  const auto terrain = two_bump_terrain();
+  const auto levels = contour_levels(terrain, 6);
+  ASSERT_EQ(levels.size(), 6u);
+  for (std::size_t i = 1; i < levels.size(); ++i) EXPECT_GT(levels[i], levels[i - 1]);
+  EXPECT_GT(levels.front(), 0.0);
+  EXPECT_LT(levels.back(), terrain.peak());
+}
+
+TEST(ContourTest, SingleBandUsesMidFraction) {
+  const auto terrain = two_bump_terrain();
+  const auto levels = contour_levels(terrain, 1, 0.2, 0.8);
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_NEAR(levels[0], terrain.peak() * 0.5, terrain.peak() * 1e-9);
+}
+
+// ---- writers ----------------------------------------------------------------
+
+TEST(RenderTest, PgmHeaderAndDimensions) {
+  const auto terrain = two_bump_terrain();
+  const auto path = temp_file("sva_viz_test.pgm");
+  write_pgm(terrain, path.string(), 2);
+  std::ifstream in(path);
+  std::string magic;
+  std::size_t w = 0, h = 0, maxv = 0;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P2");
+  EXPECT_EQ(w, terrain.grid() * 2);
+  EXPECT_EQ(h, terrain.grid() * 2);
+  EXPECT_EQ(maxv, 255u);
+  // All pixel values must parse and stay within range.
+  int v = 0;
+  std::size_t count = 0;
+  while (in >> v) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 255);
+    ++count;
+  }
+  EXPECT_EQ(count, w * h);
+  std::filesystem::remove(path);
+}
+
+TEST(RenderTest, PpmContainsPeakWhitePixel) {
+  const auto terrain = two_bump_terrain();
+  const auto path = temp_file("sva_viz_test.ppm");
+  write_ppm(terrain, path.string(), 1);
+  std::ifstream in(path);
+  std::string magic;
+  std::size_t w = 0, h = 0, maxv = 0;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P3");
+  EXPECT_EQ(w, terrain.grid());
+  int r = 0, g = 0, b = 0;
+  bool snow = false;
+  while (in >> r >> g >> b) {
+    if (r > 230 && g > 230 && b > 230) snow = true;
+  }
+  EXPECT_TRUE(snow) << "the density maximum should render as the snow color";
+  std::filesystem::remove(path);
+}
+
+TEST(RenderTest, SvgContainsContoursPointsAndLabels) {
+  const auto terrain = two_bump_terrain();
+  auto peaks = find_peaks(terrain);
+  const std::vector<double> centroids = {0.25, 0.30, 0.75, 0.70};
+  label_peaks(peaks, centroids, {{"metabolism"}, {"genome"}});
+  std::vector<Contour> contours;
+  for (double level : contour_levels(terrain, 4)) {
+    for (auto& c : extract_contours(terrain, level)) contours.push_back(std::move(c));
+  }
+  const std::vector<double> points = {0.25, 0.30, 0.75, 0.70, 0.5, 0.5};
+  const auto path = temp_file("sva_viz_test.svg");
+  write_svg(terrain, contours, peaks, points, path.string());
+
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string svg = ss.str();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find("metabolism"), std::string::npos);
+  EXPECT_NE(svg.find("genome"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(RenderTest, AsciiWithPeaksMarksAndLegends) {
+  const auto terrain = two_bump_terrain();
+  auto peaks = find_peaks(terrain);
+  ASSERT_GE(peaks.size(), 2u);
+  peaks[0].label = "first-theme";
+  const std::string art = ascii_with_peaks(terrain, peaks);
+  EXPECT_NE(art.find('1'), std::string::npos);
+  EXPECT_NE(art.find('2'), std::string::npos);
+  EXPECT_NE(art.find("1: first-theme"), std::string::npos);
+  EXPECT_NE(art.find("2: (unlabeled)"), std::string::npos);
+}
+
+TEST(RenderTest, InvalidScaleThrows) {
+  const auto terrain = two_bump_terrain();
+  EXPECT_THROW(write_pgm(terrain, temp_file("x.pgm").string(), 0), Error);
+}
+
+}  // namespace
+}  // namespace sva::viz
