@@ -1,0 +1,18 @@
+# Helper for declaring one src/ module as a static library with the
+# canonical sva:: alias, public include dir, and warning flags.
+#
+#   sva_add_module(<name>
+#     SOURCES <files...>
+#     [DEPS <sva::dep...>]
+#     [PRIVATE_DEPS <targets...>])
+function(sva_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS;PRIVATE_DEPS" ${ARGN})
+  add_library(sva_${name} STATIC ${ARG_SOURCES})
+  add_library(sva::${name} ALIAS sva_${name})
+  target_include_directories(sva_${name} PUBLIC
+    $<BUILD_INTERFACE:${CMAKE_CURRENT_SOURCE_DIR}/include>)
+  target_compile_features(sva_${name} PUBLIC cxx_std_20)
+  target_link_libraries(sva_${name}
+    PUBLIC ${ARG_DEPS}
+    PRIVATE sva::warnings ${ARG_PRIVATE_DEPS})
+endfunction()

@@ -58,7 +58,8 @@ int main(int argc, char** argv) {
         for (const auto& t : s.top_terms) label += (label.empty() ? "" : "/") + t;
         std::string reps;
         for (const auto d : s.representatives) {
-          reps += (reps.empty() ? "" : ",") + std::to_string(d);
+          if (!reps.empty()) reps += ',';
+          reps += std::to_string(d);
         }
         overview.add_row({sva::Table::num(static_cast<long long>(s.cluster)),
                           sva::Table::num(static_cast<long long>(s.size)),

@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 
+#include "sva/cluster/sample.hpp"
 #include "sva/util/error.hpp"
 
 namespace sva::cluster {
@@ -159,27 +160,11 @@ HierarchicalResult hierarchical_cluster(ga::Context& ctx, const Matrix& points,
       ctx.allreduce_max(static_cast<std::int64_t>(dim_local)));
   require(dim >= 1, "hierarchical_cluster: zero-dimensional points");
 
-  // Replicated strided sample (same scheme as k-means seeding): a fixed
-  // global budget split across ranks.
-  std::vector<double> local_sample;
-  {
-    const std::size_t quota = std::max<std::size_t>(
-        1, (config.seed_sample_total + static_cast<std::size_t>(ctx.nprocs()) - 1) /
-               static_cast<std::size_t>(ctx.nprocs()));
-    const std::size_t take = std::min(quota, points.rows());
-    if (take > 0) {
-      const std::size_t stride = std::max<std::size_t>(1, points.rows() / take);
-      for (std::size_t i = 0; i < points.rows() && local_sample.size() < take * dim;
-           i += stride) {
-        const auto row = points.row(i);
-        local_sample.insert(local_sample.end(), row.begin(), row.end());
-      }
-    }
-  }
-  const auto sample_flat = ctx.allgatherv(std::span<const double>(local_sample));
-  require(!sample_flat.empty(), "hierarchical_cluster: no points anywhere");
-  Matrix sample(sample_flat.size() / dim, dim);
-  std::copy(sample_flat.begin(), sample_flat.end(), sample.flat().begin());
+  // Replicated strided sample (same scheme as k-means seeding): selected
+  // by global row index, so the dendrogram — and every product cut from
+  // it — is byte-identical for any processor count.
+  const Matrix sample = replicated_sample(ctx, points, dim, config.seed_sample_total);
+  require(sample.rows() > 0, "hierarchical_cluster: no points anywhere");
 
   HierarchicalResult result;
   result.dendrogram = agglomerate(sample, config.linkage);

@@ -1,0 +1,26 @@
+// Replicated strided subsampling shared by the clustering backends.
+#pragma once
+
+#include <cstddef>
+
+#include "sva/ga/runtime.hpp"
+#include "sva/util/mathutil.hpp"
+
+namespace sva::cluster {
+
+/// Collective: deterministic strided subsample of the distributed point
+/// set (`points` holds this rank's rows), replicated on every rank.
+///
+/// Rows are selected by *global* row index — rank shards are contiguous
+/// and the gather concatenates in rank order, so every processor count
+/// sees the same sample matrix and anything seeded from it is a pure
+/// function of the data, not of the partitioning.  `total_budget` caps
+/// the sample size globally, keeping the redundant per-rank work
+/// constant as the world grows.
+///
+/// `dim` must be the agreed global column count (ranks may hold zero
+/// rows).  The result may have zero rows iff no rank holds any points.
+Matrix replicated_sample(ga::Context& ctx, const Matrix& points, std::size_t dim,
+                         std::size_t total_budget);
+
+}  // namespace sva::cluster

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "sva/cluster/sample.hpp"
+#include "sva/ga/repro_sum.hpp"
 #include "sva/util/error.hpp"
 #include "sva/util/rng.hpp"
 
@@ -87,30 +89,11 @@ KMeansResult kmeans_cluster(ga::Context& ctx, const Matrix& points,
   require(dim >= 1, "kmeans_cluster: zero-dimensional points");
 
   // ---- replicated seeding sample --------------------------------------
-  // Strided deterministic subsample per rank, gathered everywhere.  The
-  // per-rank quota divides a fixed global budget so seeding work does not
-  // grow with the processor count.
-  std::vector<double> local_sample;
-  {
-    const std::size_t quota = std::max<std::size_t>(
-        1, (config.seed_sample_total + static_cast<std::size_t>(ctx.nprocs()) - 1) /
-               static_cast<std::size_t>(ctx.nprocs()));
-    const std::size_t take = std::min(quota, points.rows());
-    if (take > 0) {
-      const std::size_t stride = std::max<std::size_t>(1, points.rows() / take);
-      for (std::size_t i = 0; i < points.rows() && local_sample.size() < take * dim;
-           i += stride) {
-        const auto row = points.row(i);
-        local_sample.insert(local_sample.end(), row.begin(), row.end());
-      }
-    }
-  }
-  const std::vector<double> sample_flat =
-      ctx.allgatherv(std::span<const double>(local_sample));
-  require(!sample_flat.empty(), "kmeans_cluster: no points anywhere");
-
-  Matrix sample(sample_flat.size() / dim, dim);
-  std::copy(sample_flat.begin(), sample_flat.end(), sample.flat().begin());
+  // Global-index strided subsample: identical for every processor count,
+  // so the k-means++ seeds (and with them the whole run) are a pure
+  // function of the data, not of the partitioning.
+  const Matrix sample = replicated_sample(ctx, points, dim, config.seed_sample_total);
+  require(sample.rows() > 0, "kmeans_cluster: no points anywhere");
 
   const std::size_t k = std::min(config.k, sample.rows());
   KMeansResult result;
@@ -119,30 +102,42 @@ KMeansResult kmeans_cluster(ga::Context& ctx, const Matrix& points,
   result.cluster_sizes.assign(k, 0);
 
   // ---- Lloyd iterations with Allreduce merges --------------------------
-  std::vector<double> sums(k * dim);
+  // Centroid sums and inertia accumulate through order-invariant
+  // fixed-point banks so the merged totals — and hence the centroids and
+  // every product downstream of them — are byte-identical for any
+  // processor count.  The magnitude bounds are exact collectives (max is
+  // order-invariant), so all ranks quantize at the same scale.
+  double local_abs = 0.0;
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    for (const double v : points.row(i)) local_abs = std::max(local_abs, std::abs(v));
+  }
+  const double coord_bound = ctx.allreduce_max(local_abs);
+  // squared_distance(point, centroid) <= dim * (2 * coord_bound)^2:
+  // centroids are convex combinations of points (or sample rows), so
+  // every coordinate stays within [-coord_bound, coord_bound].
+  const double inertia_bound =
+      4.0 * static_cast<double>(dim) * coord_bound * coord_bound + 1.0;
+
   std::vector<std::int64_t> counts(k);
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    std::fill(sums.begin(), sums.end(), 0.0);
     std::fill(counts.begin(), counts.end(), 0);
-    double local_inertia = 0.0;
+    ga::ReproducibleSum sum_acc(k * dim, coord_bound);
+    ga::ReproducibleSum inertia_acc(1, inertia_bound);
 
     for (std::size_t i = 0; i < points.rows(); ++i) {
       const auto row = points.row(i);
       const std::size_t c = nearest_centroid(row, result.centroids);
       result.assignment[i] = static_cast<std::int32_t>(c);
-      local_inertia += squared_distance(row, result.centroids.row(c));
-      double* s = sums.data() + c * dim;
-      for (std::size_t d = 0; d < dim; ++d) s[d] += row[d];
+      inertia_acc.add(0, squared_distance(row, result.centroids.row(c)));
+      for (std::size_t d = 0; d < dim; ++d) sum_acc.add(c * dim + d, row[d]);
       ++counts[c];
     }
 
-    ctx.allreduce_sum(sums.data(), sums.size());
+    const std::vector<double> sums = sum_acc.allreduce_sum(ctx);
     ctx.allreduce_sum(counts.data(), counts.size());
-    double inertia = local_inertia;
-    ctx.allreduce_sum(&inertia, 1);
-    result.inertia = inertia;
+    result.inertia = inertia_acc.allreduce_sum(ctx)[0];
 
     double movement = 0.0;
     for (std::size_t c = 0; c < k; ++c) {
@@ -181,18 +176,16 @@ KMeansResult kmeans_cluster(ga::Context& ctx, const Matrix& points,
 
   // Final assignment against the converged centroids.
   std::fill(counts.begin(), counts.end(), 0);
-  double local_inertia = 0.0;
+  ga::ReproducibleSum final_inertia(1, inertia_bound);
   for (std::size_t i = 0; i < points.rows(); ++i) {
     const auto row = points.row(i);
     const std::size_t c = nearest_centroid(row, result.centroids);
     result.assignment[i] = static_cast<std::int32_t>(c);
-    local_inertia += squared_distance(row, result.centroids.row(c));
+    final_inertia.add(0, squared_distance(row, result.centroids.row(c)));
     ++counts[c];
   }
   ctx.allreduce_sum(counts.data(), counts.size());
-  double inertia = local_inertia;
-  ctx.allreduce_sum(&inertia, 1);
-  result.inertia = inertia;
+  result.inertia = final_inertia.allreduce_sum(ctx)[0];
   result.cluster_sizes.assign(counts.begin(), counts.end());
   return result;
 }

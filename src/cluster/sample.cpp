@@ -1,0 +1,41 @@
+#include "sva/cluster/sample.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sva::cluster {
+
+Matrix replicated_sample(ga::Context& ctx, const Matrix& points, std::size_t dim,
+                         std::size_t total_budget) {
+  std::vector<double> local_sample;
+  const auto local_rows = static_cast<std::int64_t>(points.rows());
+  const std::int64_t row_offset = ctx.exscan_sum(local_rows);
+  const std::int64_t total_rows = ctx.allreduce_sum(local_rows);
+  const auto take = std::min<std::int64_t>(
+      static_cast<std::int64_t>(std::max<std::size_t>(total_budget, 1)), total_rows);
+  if (take > 0) {
+    // The i-th selected global row is floor(i * total_rows / take),
+    // i in [0, take): strictly increasing, exactly `take` rows, and
+    // evenly spread over the whole index range.  (A floored fixed
+    // stride would cluster the sample at the dataset prefix whenever
+    // total_rows < 2 * take, starving the tail of seeding coverage.)
+    // First i whose selected row falls at or after this rank's shard:
+    std::int64_t i = (row_offset * take + total_rows - 1) / total_rows;
+    for (; i < take; ++i) {
+      const std::int64_t g = i * total_rows / take;
+      if (g >= row_offset + local_rows) break;
+      const auto row = points.row(static_cast<std::size_t>(g - row_offset));
+      local_sample.insert(local_sample.end(), row.begin(), row.end());
+    }
+  }
+
+  const std::vector<double> sample_flat =
+      ctx.allgatherv(std::span<const double>(local_sample));
+  Matrix sample(sample_flat.size() / dim, dim);
+  std::copy(sample_flat.begin(), sample_flat.end(), sample.flat().begin());
+  return sample;
+}
+
+}  // namespace sva::cluster

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sva/ga/repro_sum.hpp"
 #include "sva/ga/stage_timer.hpp"
 #include "sva/util/error.hpp"
 #include "sva/util/log.hpp"
@@ -102,13 +103,17 @@ EngineResult run_text_engine(ga::Context& ctx, const corpus::SourceSet& sources,
     result.clustering.assignment = h.assignment;
     result.clustering.cluster_sizes = h.cluster_sizes;
     result.clustering.iterations = 1;
-    double local_inertia = 0.0;
+    // Order-invariant accumulation keeps the inertia byte-identical
+    // across processor counts.  Signatures and centroids are
+    // L1-normalized (or zero), so each squared Euclidean distance is at
+    // most (||a||_2 + ||c||_2)^2 <= (||a||_1 + ||c||_1)^2 <= 4.
+    ga::ReproducibleSum inertia_acc(1, 4.0);
     for (std::size_t i = 0; i < result.signatures.docvecs.rows(); ++i) {
-      local_inertia += squared_distance(
-          result.signatures.docvecs.row(i),
-          h.centroids.row(static_cast<std::size_t>(h.assignment[i])));
+      inertia_acc.add(0, squared_distance(
+                            result.signatures.docvecs.row(i),
+                            h.centroids.row(static_cast<std::size_t>(h.assignment[i]))));
     }
-    result.clustering.inertia = ctx.allreduce_sum(local_inertia);
+    result.clustering.inertia = inertia_acc.allreduce_sum(ctx)[0];
   }
 
   require(config.projection_components >= 2 && config.projection_components <= 3,

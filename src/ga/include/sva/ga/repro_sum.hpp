@@ -1,0 +1,94 @@
+// Order-invariant distributed summation.
+//
+// Floating-point addition is not associative, so a sum whose grouping
+// follows the rank partitioning — each rank reduces its shard, then the
+// partials merge — drifts in the last bits as the processor count
+// changes.  That breaks the engine's P-invariance contract (identical
+// products regardless of processor count), which holds by construction
+// for the integer statistics the pipeline mostly reduces, but not for
+// real-valued accumulations like k-means centroid sums.
+//
+// ReproducibleSum restores exactness by quantizing each addend once to
+// fixed-point ticks (round-to-nearest, at a scale derived from a
+// caller-supplied magnitude bound) and accumulating in 128-bit
+// integers.  Integer addition is associative, so the result is exactly
+// independent of addend order, rank count, and reduction topology.
+// Quantization costs one rounding of ~2^-52 relative per addend — the
+// same order as the FP rounding it replaces.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sva/ga/runtime.hpp"
+#include "sva/util/error.hpp"
+
+namespace sva::ga {
+
+/// A bank of `slots` independent order-invariant accumulators.
+class ReproducibleSum {
+ public:
+  /// `max_abs_addend` must bound |x| for every addend on every rank and
+  /// be identical across ranks — derive it from the data with an exact
+  /// collective (allreduce_max) or from an a-priori bound.
+  ReproducibleSum(std::size_t slots, double max_abs_addend)
+      : scale_(choose_scale(max_abs_addend)), cells_(slots) {}
+
+  void add(std::size_t slot, double x) {
+    const double scaled = x * scale_;
+    if (std::fabs(scaled) < kMaxTick) {
+      cells_[slot].ticks += static_cast<Ticks>(std::llrint(scaled));
+    } else {
+      // Addend violates the caller's bound or is inf/NaN: llrint would be
+      // UB.  Route it through a plain FP side-channel so the slot reports
+      // an honest inf/NaN/huge value instead of silent garbage.  (The FP
+      // side sum is order-dependent, but only fires on garbage input.)
+      cells_[slot].overflow += x;
+    }
+  }
+
+  /// Collective: one exact integer allreduce of the tick counts (the
+  /// overflow side-channel rides in the same cells, so the common path
+  /// pays a single collective), then one final rounding per slot.
+  /// Consumes the accumulator.
+  std::vector<double> allreduce_sum(Context& ctx) {
+    ctx.allreduce(cells_.data(), cells_.size(), [](Cell a, Cell b) {
+      return Cell{a.ticks + b.ticks, a.overflow + b.overflow};
+    });
+    std::vector<double> out(cells_.size());
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      out[i] = static_cast<double>(cells_[i].ticks) / scale_ + cells_[i].overflow;
+    }
+    return out;
+  }
+
+ private:
+  // 128-bit ticks: per-addend magnitude is < 2^53, so even 2^70 addends
+  // cannot overflow.  (GCC/Clang builtin; this library targets both.)
+  using Ticks = __int128;
+
+  struct Cell {
+    Ticks ticks = 0;
+    double overflow = 0.0;
+  };
+
+  static constexpr double kMaxTick = 9007199254740992.0;  // 2^53
+
+  static double choose_scale(double max_abs_addend) {
+    if (!std::isfinite(max_abs_addend)) return 1.0;  // bound is garbage anyway
+    int exp = 0;
+    std::frexp(std::max(max_abs_addend, std::numeric_limits<double>::min()), &exp);
+    // |x| < 2^exp  =>  |x * scale| < 2^52: exactly representable ticks.
+    // Clamp so scale stays finite for zero/subnormal bounds (an all-zero
+    // dataset must sum to exactly 0, not NaN via 0 * inf).
+    return std::ldexp(1.0, std::min(52 - exp, 1023));
+  }
+
+  double scale_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace sva::ga

@@ -29,7 +29,9 @@ std::vector<std::int64_t> varbyte_decode(std::span<const std::uint8_t> bytes) {
   int shift = 0;
   bool in_value = false;
   for (const std::uint8_t b : bytes) {
-    require(shift <= 63, "varbyte_decode: value overflows 64 bits");
+    // A valid encoding of a non-negative int64 uses at most 9 bytes
+    // (shifts 0..56); a 10th byte would silently drop payload bits.
+    require_format(shift <= 56, "varbyte_decode: value overflows 64 bits");
     v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
     if ((b & 0x80) != 0) {
       shift += 7;
@@ -41,7 +43,7 @@ std::vector<std::int64_t> varbyte_decode(std::span<const std::uint8_t> bytes) {
       in_value = false;
     }
   }
-  if (in_value) throw Error("varbyte_decode: truncated input");
+  require_format(!in_value, "varbyte_decode: truncated input");
   return out;
 }
 

@@ -21,7 +21,7 @@ template <typename T>
 T read_pod(std::ifstream& in) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  require(in.good(), "read_signatures: truncated file");
+  require_format(in.good(), "read_signatures: truncated file");
   return v;
 }
 
@@ -32,10 +32,10 @@ void write_string(std::ofstream& out, const std::string& s) {
 
 std::string read_string(std::ifstream& in) {
   const auto len = read_pod<std::uint32_t>(in);
-  require(len < (1u << 20), "read_signatures: implausible string length");
+  require_format(len < (1u << 20), "read_signatures: implausible string length");
   std::string s(len, '\0');
   in.read(s.data(), static_cast<std::streamsize>(len));
-  require(in.good(), "read_signatures: truncated string");
+  require_format(in.good(), "read_signatures: truncated string");
   return s;
 }
 
@@ -84,16 +84,28 @@ PersistedSignatures read_signatures(const std::string& path) {
 
   char magic[8];
   in.read(magic, sizeof(magic));
-  require(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-          "read_signatures: bad magic (not a SVA signature file)");
+  require_format(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                 "read_signatures: bad magic (not a SVA signature file)");
 
   const auto rows = read_pod<std::uint64_t>(in);
   const auto dim = read_pod<std::uint64_t>(in);
-  require(dim >= 1 && dim < (1u << 20), "read_signatures: implausible dimension");
+  require_format(dim >= 1 && dim < (1u << 20), "read_signatures: implausible dimension");
 
   PersistedSignatures out;
   out.topic_terms.reserve(dim);
   for (std::uint64_t j = 0; j < dim; ++j) out.topic_terms.push_back(read_string(in));
+
+  // A corrupt header must fail as FormatError, not as a huge allocation:
+  // each row occupies 8 (id) + 1 (null flag) + dim * 8 bytes, so bound
+  // the declared count by what the rest of the file can actually hold.
+  const auto row_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto file_end = in.tellg();
+  in.seekg(row_start);
+  const std::uint64_t row_bytes = 9 + dim * 8;
+  require_format(row_start >= 0 && file_end >= row_start &&
+                     rows <= static_cast<std::uint64_t>(file_end - row_start) / row_bytes,
+                 "read_signatures: row count exceeds file size");
 
   out.doc_ids.reserve(rows);
   out.is_null.reserve(rows);
@@ -103,7 +115,7 @@ PersistedSignatures read_signatures(const std::string& path) {
     out.is_null.push_back(read_pod<std::uint8_t>(in) != 0);
     in.read(reinterpret_cast<char*>(out.docvecs.row(i).data()),
             static_cast<std::streamsize>(dim * sizeof(double)));
-    require(in.good(), "read_signatures: truncated rows");
+    require_format(in.good(), "read_signatures: truncated rows");
   }
   return out;
 }

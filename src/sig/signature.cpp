@@ -1,7 +1,6 @@
 #include "sva/sig/signature.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "sva/util/error.hpp"
 #include "sva/util/log.hpp"
@@ -24,7 +23,13 @@ SignatureSet compute_signatures(ga::Context& ctx,
   out.doc_ids.reserve(records.size());
   out.is_null.assign(records.size(), false);
 
-  std::unordered_map<std::size_t, double> freq;  // major row -> occurrences
+  // Dense scratch keyed by major row, applied in ascending-row order: the
+  // combination order must be a function of the record alone (a reused
+  // hash map's iteration order depends on how many records this rank
+  // processed before, which would make the FP sum — and so the signature
+  // — depend on the partitioning and break P-invariance).
+  std::vector<double> freq(selection.n(), 0.0);
+  std::vector<std::size_t> touched;
   std::int64_t local_nulls = 0;
 
   for (std::size_t rec_idx = 0; rec_idx < records.size(); ++rec_idx) {
@@ -32,20 +37,23 @@ SignatureSet compute_signatures(ga::Context& ctx,
     out.doc_ids.push_back(rec.doc_id);
 
     // Term frequency of the record's major terms, across all fields.
-    freq.clear();
+    touched.clear();
     for (const auto& field : rec.fields) {
       for (std::int64_t t : field.terms) {
         if (auto it = selection.major_index.find(t); it != selection.major_index.end()) {
+          if (freq[it->second] == 0.0) touched.push_back(it->second);
           freq[it->second] += 1.0;
         }
       }
     }
+    std::sort(touched.begin(), touched.end());
 
     // "each term vector is multiplied by the frequency of that term
     // within that record" — linear combination of association rows.
     auto sig = out.docvecs.row(rec_idx);
-    for (const auto& [row, count] : freq) {
-      axpy(count, association.weights.row(row), sig);
+    for (const std::size_t row : touched) {
+      axpy(freq[row], association.weights.row(row), sig);
+      freq[row] = 0.0;
     }
 
     // "Each signature is normalized based on a L1 Norm."

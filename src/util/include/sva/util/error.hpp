@@ -36,9 +36,23 @@ class NumericError : public Error {
   explicit NumericError(const std::string& what) : Error(what) {}
 };
 
+/// Malformed serialized data (truncated varbyte stream, bad signature-store
+/// header, corrupt compressed index).
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
 /// Throws InvalidArgument with `msg` when `cond` is false.
 inline void require(bool cond, const std::string& msg) {
   if (!cond) throw InvalidArgument(msg);
+}
+
+/// Throws FormatError with `msg` when `cond` is false — for read-side
+/// validation of serialized data, where a failure means the bytes are
+/// malformed rather than the caller being wrong.
+inline void require_format(bool cond, const std::string& msg) {
+  if (!cond) throw FormatError(msg);
 }
 
 }  // namespace sva

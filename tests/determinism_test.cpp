@@ -1,0 +1,168 @@
+// P-invariance determinism tests (§3, "identical products regardless of
+// processor count"): the same seed and corpus spec must yield a
+// byte-identical EngineResult across spmd_run rank counts {1, 2, 4, 8},
+// and corpus generation itself must be a pure function of its spec.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sva/corpus/generator.hpp"
+#include "sva/engine/pipeline.hpp"
+
+namespace sva::engine {
+namespace {
+
+corpus::CorpusSpec small_spec(corpus::CorpusKind kind) {
+  corpus::CorpusSpec spec;
+  spec.kind = kind;
+  spec.seed = 1234;
+  spec.target_bytes = 96 << 10;
+  spec.core_vocabulary = 1200;
+  spec.num_themes = 5;
+  spec.theme_vocabulary = 80;
+  spec.theme_token_fraction = 0.3;
+  return spec;
+}
+
+EngineConfig small_config() {
+  EngineConfig config;
+  config.topicality.num_major_terms = 150;
+  config.kmeans.k = 5;
+  return config;
+}
+
+/// Serializes the deterministic products of a rank-0 EngineResult to a
+/// byte string.  Doubles are captured as their exact bit patterns, so two
+/// snapshots compare equal iff the results are byte-identical.  Telemetry
+/// (timings, wall clock, load-balance stats) is intentionally excluded:
+/// it depends on measured host CPU time.
+std::string snapshot(const EngineResult& r) {
+  std::string out;
+  auto put_u64 = [&](std::uint64_t v) { out.append(reinterpret_cast<const char*>(&v), 8); };
+  auto put_f64 = [&](double v) { put_u64(std::bit_cast<std::uint64_t>(v)); };
+  auto put_str = [&](const std::string& s) {
+    put_u64(s.size());
+    out.append(s);
+  };
+
+  put_u64(r.num_records);
+  put_u64(r.num_terms);
+  put_u64(r.total_term_occurrences);
+  put_u64(r.dimension);
+  put_u64(static_cast<std::uint64_t>(r.signature_rounds));
+
+  for (const auto& term : r.vocabulary->terms) put_str(term);
+
+  for (auto t : r.selection.major_terms) put_u64(static_cast<std::uint64_t>(t));
+  for (auto s : r.selection.scores) put_f64(s);
+  for (auto d : r.selection.major_df) put_u64(static_cast<std::uint64_t>(d));
+  for (auto t : r.selection.topic_terms) put_u64(static_cast<std::uint64_t>(t));
+
+  put_u64(r.clustering.centroids.rows());
+  put_u64(r.clustering.centroids.cols());
+  for (double v : r.clustering.centroids.flat()) put_f64(v);
+  for (auto s : r.clustering.cluster_sizes) put_u64(static_cast<std::uint64_t>(s));
+  put_f64(r.clustering.inertia);
+  put_u64(static_cast<std::uint64_t>(r.clustering.iterations));
+
+  for (const auto& labels : r.theme_labels) {
+    put_u64(labels.size());
+    for (const auto& l : labels) put_str(l);
+  }
+
+  // Rank-0 gathered outputs: every document's coordinates and cluster.
+  for (auto id : r.projection.all_doc_ids) put_u64(id);
+  for (double v : r.projection.all_xy) put_f64(v);
+  for (auto a : r.all_assignment) put_u64(static_cast<std::uint64_t>(a));
+
+  return out;
+}
+
+class KindTest : public ::testing::TestWithParam<corpus::CorpusKind> {};
+
+TEST_P(KindTest, CorpusGenerationIsDeterministic) {
+  const auto spec = small_spec(GetParam());
+  const auto a = corpus::generate_corpus(spec);
+  const auto b = corpus::generate_corpus(spec);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 0u);
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    ASSERT_EQ(a[i].fields.size(), b[i].fields.size());
+    for (std::size_t f = 0; f < a[i].fields.size(); ++f) {
+      EXPECT_EQ(a[i].fields[f].name, b[i].fields[f].name);
+      EXPECT_EQ(a[i].fields[f].text, b[i].fields[f].text);
+    }
+  }
+}
+
+TEST_P(KindTest, CorpusGenerationDependsOnSeed) {
+  auto spec = small_spec(GetParam());
+  const auto a = corpus::generate_corpus(spec);
+  spec.seed += 1;
+  const auto b = corpus::generate_corpus(spec);
+  ASSERT_GT(a.size(), 0u);
+  bool any_difference = a.size() != b.size();
+  for (std::size_t i = 0; !any_difference && i < std::min(a.size(), b.size()); ++i) {
+    for (std::size_t f = 0; !any_difference && f < a[i].fields.size(); ++f) {
+      any_difference = f >= b[i].fields.size() || a[i].fields[f].text != b[i].fields[f].text;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_P(KindTest, EngineResultIsByteIdenticalAcrossRankCounts) {
+  const auto sources = corpus::generate_corpus(small_spec(GetParam()));
+  const auto config = small_config();
+  const ga::CommModel model;
+
+  std::string baseline;
+  for (const int nprocs : {1, 2, 4, 8}) {
+    const PipelineRun run = run_pipeline(nprocs, model, sources, config);
+    const std::string snap = snapshot(run.result);
+    ASSERT_FALSE(snap.empty());
+    if (nprocs == 1) {
+      baseline = snap;
+    } else {
+      EXPECT_EQ(snap, baseline) << "EngineResult diverged at nprocs=" << nprocs;
+    }
+  }
+}
+
+TEST_P(KindTest, HierarchicalBackendIsByteIdenticalAcrossRankCounts) {
+  const auto sources = corpus::generate_corpus(small_spec(GetParam()));
+  auto config = small_config();
+  config.clustering = ClusteringBackend::kHierarchical;
+  config.hierarchical.k = 5;
+  const ga::CommModel model;
+  const std::string baseline = snapshot(run_pipeline(1, model, sources, config).result);
+  ASSERT_FALSE(baseline.empty());
+  for (const int nprocs : {2, 4}) {
+    EXPECT_EQ(snapshot(run_pipeline(nprocs, model, sources, config).result), baseline)
+        << "hierarchical EngineResult diverged at nprocs=" << nprocs;
+  }
+}
+
+TEST_P(KindTest, EngineResultIsByteIdenticalAcrossRepeatedRuns) {
+  const auto sources = corpus::generate_corpus(small_spec(GetParam()));
+  const auto config = small_config();
+  const ga::CommModel model;
+  const std::string first = snapshot(run_pipeline(4, model, sources, config).result);
+  const std::string second = snapshot(run_pipeline(4, model, sources, config).result);
+  EXPECT_EQ(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, KindTest,
+                         ::testing::Values(corpus::CorpusKind::kPubMedLike,
+                                           corpus::CorpusKind::kTrecLike),
+                         [](const auto& info) {
+                           return info.param == corpus::CorpusKind::kPubMedLike ? "PubMedLike"
+                                                                                : "TrecLike";
+                         });
+
+}  // namespace
+}  // namespace sva::engine

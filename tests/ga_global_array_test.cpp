@@ -6,6 +6,8 @@
 
 #include "sva/ga/global_array.hpp"
 
+#include "test_models.hpp"
+
 namespace sva::ga {
 namespace {
 
@@ -185,7 +187,9 @@ TEST(GlobalArrayTest, FillLocalClearsOwnBlock) {
 }
 
 TEST(GlobalArrayTest, RemoteAccessCostsMoreVirtualTime) {
-  spmd_run(2, [](Context& ctx) {
+  // Modeled-cost comparison only: see test_models.hpp.
+  const CommModel model = sva::testing::zero_compute_model();
+  spmd_run(2, model, [](Context& ctx) {
     auto ga = GlobalArray<std::int64_t>::create(ctx, 64);
     ctx.barrier();
     if (ctx.rank() == 0) {

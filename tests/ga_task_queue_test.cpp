@@ -9,6 +9,8 @@
 
 #include "sva/ga/task_queue.hpp"
 
+#include "test_models.hpp"
+
 namespace sva::ga {
 namespace {
 
@@ -171,8 +173,10 @@ TEST(MasterWorkerQueueTest, RequestsSerializeOnMasterClock) {
   // at least the master's service time: the later reply arrives no
   // earlier than (n_requests - 1) * service after the first.
   constexpr int kProcs = 8;
+  // Modeled-cost comparison only: see test_models.hpp.
+  const CommModel model = sva::testing::zero_compute_model();
   auto replies = std::make_shared<std::vector<double>>(kProcs, 0.0);
-  spmd_run(kProcs, [&](Context& ctx) {
+  spmd_run(kProcs, model, [&](Context& ctx) {
     auto queue = MasterWorkerQueue::create(ctx, 1000, 1);
     ctx.barrier();
     (void)queue->next(ctx);
@@ -180,16 +184,15 @@ TEST(MasterWorkerQueueTest, RequestsSerializeOnMasterClock) {
     ctx.barrier();
   });
   std::sort(replies->begin(), replies->end());
-  CommModel model;
-  // 0.9 slack: reply times include measured thread-CPU compute, which can
-  // shave a hair off the analytic spacing bound.
+  // 0.9 slack for FP accumulation order in the modeled clocks.
   EXPECT_GE(replies->back() - replies->front(), model.rpc_service * (kProcs - 2) * 0.9);
 }
 
 TEST(MasterWorkerQueueTest, MasterPaysLowerLatencyThanWorkers) {
-  CommModel model;
+  // Modeled-cost comparison only: see test_models.hpp.
+  const CommModel model = sva::testing::zero_compute_model();
   auto costs = std::make_shared<std::vector<double>>(2, 0.0);
-  spmd_run(2, [&](Context& ctx) {
+  spmd_run(2, model, [&](Context& ctx) {
     auto queue = MasterWorkerQueue::create(ctx, 100, 1);
     ctx.barrier();
     // Barrier-separated service windows: rank 0's request completes (in
@@ -264,8 +267,10 @@ TEST(ClaimGateTest, CounterLocalityFavorsTheOwnerRank) {
   // claims at least as many chunks as any peer, everyone gets work, and
   // every chunk is claimed.
   constexpr int kProcs = 4;
+  // Modeled-cost comparison only: see test_models.hpp.
+  const CommModel model = sva::testing::zero_compute_model();
   std::vector<std::atomic<int>> claimed(kProcs);
-  spmd_run(kProcs, [&](Context& ctx) {
+  spmd_run(kProcs, model, [&](Context& ctx) {
     auto queue =
         AtomicCounterQueue::create(ctx, 64, 4, /*vtime_ordered=*/true);
     ctx.barrier();

@@ -173,7 +173,7 @@ TEST(TimerTest, ThreadCpuTimerIgnoresSleep) {
 
 TEST(TimerTest, ThreadCpuNowMonotonic) {
   const double a = ThreadCpuTimer::now();
-  volatile int x = 0;
+  volatile long long x = 0;
   for (int i = 0; i < 100000; ++i) x = x + i;
   EXPECT_GE(ThreadCpuTimer::now(), a);
 }

@@ -111,8 +111,12 @@ TEST(PeakTest, LabelsComeFromNearestCentroid) {
   for (const auto& p : peaks) {
     ASSERT_GE(p.cluster, 0);
     ASSERT_LT(p.cluster, 2);
-    if (p.cluster == 0) EXPECT_EQ(p.label, "alpha/beta");
-    if (p.cluster == 1) EXPECT_EQ(p.label, "delta/epsilon");
+    if (p.cluster == 0) {
+      EXPECT_EQ(p.label, "alpha/beta");
+    }
+    if (p.cluster == 1) {
+      EXPECT_EQ(p.label, "delta/epsilon");
+    }
   }
   // The two top peaks belong to different clusters.
   EXPECT_NE(peaks[0].cluster, peaks[1].cluster);
