@@ -4,23 +4,38 @@
 // claim) against balance (large trailing chunks straggle).  The paper
 // fixes a chunk size; this ablation sweeps it at P = 8 and P = 32 so the
 // sweet spot and both failure modes are visible.
+#include <memory>
+
+#include "registry.hpp"
 #include "sva/index/inverted_index.hpp"
-#include "bench_common.hpp"
 
-int main() {
+namespace svabench {
+namespace {
+
+report::Report run_ablate_chunksize(const BenchOptions& opts) {
   using sva::corpus::CorpusKind;
-  svabench::banner("Ablation: fixed-size chunking granularity (indexing, TREC-like S1)");
+  banner("Ablation: fixed-size chunking granularity (indexing, TREC-like S1)");
 
-  const auto& sources = svabench::corpus_for(CorpusKind::kTrecLike, 0);
+  report::Report out;
+  out.name = "ablate_chunksize";
+  out.kind = "ablation";
+  out.title = "Fixed-size chunking granularity (indexing)";
+
+  const auto& sources = corpus_for(CorpusKind::kTrecLike, 0, opts);
+  const std::vector<std::size_t> chunks =
+      opts.smoke ? std::vector<std::size_t>{1, 32, 512}
+                 : std::vector<std::size_t>{1, 8, 32, 128, 512, 4096};
+  const std::vector<int> procs = opts.smoke ? std::vector<int>{4} : std::vector<int>{8, 32};
 
   sva::Table table({"chunk_fields", "procs", "index_modeled_s", "imbalance", "loads_total"});
-  for (const std::size_t chunk : {1u, 8u, 32u, 128u, 512u, 4096u}) {
-    for (int nprocs : {8, 32}) {
+  json::Value series = json::Value::array();
+  for (const std::size_t chunk : chunks) {
+    for (int nprocs : procs) {
       auto index_time = std::make_shared<double>(0.0);
-      auto report = std::make_shared<sva::index::LoadBalanceReport>();
+      auto rep = std::make_shared<sva::index::LoadBalanceReport>();
       sva::ga::spmd_run(nprocs, sva::ga::itanium_cluster_model(), [&](sva::ga::Context& ctx) {
         const auto scan =
-            sva::text::scan_sources(ctx, sources, svabench::bench_engine_config().tokenizer);
+            sva::text::scan_sources(ctx, sources, bench_engine_config().tokenizer);
         ctx.barrier();
         const double t0 = ctx.vtime_raw();
         sva::index::IndexingConfig config;
@@ -30,18 +45,34 @@ int main() {
         ctx.barrier();
         if (ctx.rank() == 0) {
           *index_time = ctx.vtime_raw() - t0;
-          *report = result.load_balance;
+          *rep = result.load_balance;
         }
       });
       std::int64_t loads = 0;
-      for (auto l : report->loads_claimed) loads += l;
+      for (auto l : rep->loads_claimed) loads += l;
       table.add_row({sva::Table::num(static_cast<long long>(chunk)),
                      sva::Table::num(static_cast<long long>(nprocs)),
-                     sva::Table::num(*index_time, 3),
-                     sva::Table::num(report->imbalance(), 3),
+                     sva::Table::num(*index_time, 3), sva::Table::num(rep->imbalance(), 3),
                      sva::Table::num(static_cast<long long>(loads))});
+
+      json::Value record = json::Value::object();
+      record["chunk_fields"] = chunk;
+      record["procs"] = nprocs;
+      record["index_modeled_s"] = *index_time;
+      record["imbalance"] = rep->imbalance();
+      record["loads_total"] = static_cast<std::int64_t>(loads);
+      series.push_back(std::move(record));
     }
   }
-  svabench::emit("ablate_chunksize", table);
-  return 0;
+  emit_table(opts, "ablate_chunksize", table);
+  out.data["series"] = std::move(series);
+  out.data["table"] = report::table_json(table);
+  return out;
 }
+
+const Registrar registrar{"ablate_chunksize", "ablation",
+                          "indexing chunk-size sweep (overhead vs balance)",
+                          &run_ablate_chunksize};
+
+}  // namespace
+}  // namespace svabench

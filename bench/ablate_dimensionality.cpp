@@ -6,25 +6,37 @@
 // until signatures are robust — recovers both.  We sweep the initial N
 // with the adaptive loop off and on, reporting the null-signature
 // fraction, the rounds used, k-means iterations and final inertia.
-#include "bench_common.hpp"
+#include "registry.hpp"
 
-int main() {
+namespace svabench {
+namespace {
+
+report::Report run_ablate_dimensionality(const BenchOptions& opts) {
   using sva::corpus::CorpusKind;
-  svabench::banner("Ablation: adaptive dimensionality (PubMed-like S1, P=8)");
+  banner("Ablation: adaptive dimensionality (PubMed-like S1)");
 
-  const auto& sources = svabench::corpus_for(CorpusKind::kPubMedLike, 0);
+  report::Report out;
+  out.name = "ablate_dimensionality";
+  out.kind = "ablation";
+  out.title = "Adaptive dimensionality: null fraction vs initial N";
+
+  const auto& sources = corpus_for(CorpusKind::kPubMedLike, 0, opts);
+  const std::vector<std::size_t> initial_ns =
+      opts.smoke ? std::vector<std::size_t>{40, 100} : std::vector<std::size_t>{40, 100, 400, 800};
+  const int nprocs = opts.smoke ? 4 : 8;
 
   sva::Table table({"initial_N", "adaptive", "final_N", "final_M", "rounds", "null_pct",
                     "kmeans_iters", "inertia"});
-  for (const std::size_t initial_n : {40u, 100u, 400u, 800u}) {
+  json::Value series = json::Value::array();
+  for (const std::size_t initial_n : initial_ns) {
     for (const bool adaptive : {false, true}) {
-      sva::engine::EngineConfig config = svabench::bench_engine_config();
+      sva::engine::EngineConfig config = bench_engine_config();
       config.topicality.num_major_terms = initial_n;
       config.signature.adaptive = adaptive;
       config.signature.max_null_fraction = 0.01;
       config.signature.max_rounds = 4;
 
-      const auto run = sva::engine::run_pipeline(8, sva::ga::itanium_cluster_model(),
+      const auto run = sva::engine::run_pipeline(nprocs, sva::ga::itanium_cluster_model(),
                                                  sources, config);
       const auto& r = run.result;
       table.add_row(
@@ -34,8 +46,28 @@ int main() {
            sva::Table::num(100.0 * r.null_fraction_per_round.back(), 2),
            sva::Table::num(static_cast<long long>(r.clustering.iterations)),
            sva::Table::num(r.clustering.inertia, 4)});
+
+      json::Value record = json::Value::object();
+      record["initial_N"] = initial_n;
+      record["adaptive"] = adaptive;
+      record["final_N"] = r.selection.n();
+      record["final_M"] = r.dimension;
+      record["rounds"] = static_cast<std::int64_t>(r.signature_rounds);
+      record["null_pct"] = 100.0 * r.null_fraction_per_round.back();
+      record["kmeans_iters"] = static_cast<std::int64_t>(r.clustering.iterations);
+      record["inertia"] = r.clustering.inertia;
+      series.push_back(std::move(record));
     }
   }
-  svabench::emit("ablate_dimensionality", table);
-  return 0;
+  emit_table(opts, "ablate_dimensionality", table);
+  out.data["series"] = std::move(series);
+  out.data["table"] = report::table_json(table);
+  return out;
 }
+
+const Registrar registrar{"ablate_dimensionality", "ablation",
+                          "adaptive dimensionality sweep (null fraction remedy)",
+                          &run_ablate_dimensionality};
+
+}  // namespace
+}  // namespace svabench

@@ -6,19 +6,29 @@
 // Expected shape: with a parallel FS the scan stage keeps scaling with P;
 // with one serial device the I/O term is constant, so scan time flattens
 // onto the disk-streaming floor and speedup saturates.
-#include "sva/text/scanner.hpp"
-#include "bench_common.hpp"
+#include <memory>
 
-int main() {
+#include "registry.hpp"
+
+namespace svabench {
+namespace {
+
+report::Report run_ablate_io(const BenchOptions& opts) {
   using sva::corpus::CorpusKind;
-  svabench::banner("Ablation: scan-stage I/O — serial shared disk vs parallel FS");
+  banner("Ablation: scan-stage I/O — serial shared disk vs parallel FS");
 
-  const auto& sources = svabench::corpus_for(CorpusKind::kPubMedLike, 0);
+  report::Report out;
+  out.name = "ablate_io";
+  out.kind = "ablation";
+  out.title = "Scan-stage I/O: serial shared disk vs parallel FS";
+
+  const auto& sources = corpus_for(CorpusKind::kPubMedLike, 0, opts);
 
   sva::Table table({"procs", "parallel_fs_s", "speedup_pfs", "serial_disk_s", "speedup_serial"});
+  json::Value series = json::Value::array();
   double base_pfs = 0.0;
   double base_serial = 0.0;
-  for (const int nprocs : svabench::proc_counts()) {
+  for (const int nprocs : opts.procs) {
     double scan_time[2] = {0.0, 0.0};
     for (const bool parallel : {true, false}) {
       auto model = sva::ga::itanium_cluster_model();
@@ -28,18 +38,18 @@ int main() {
       // multi-gigabyte scan, which is the regime the Lustre remark is
       // about.  (A 2007 shared SCSI array streamed ~100 MB/s.)
       model.io_bandwidth = 10.0e6;
-      auto out = std::make_shared<double>(0.0);
+      auto scan_out = std::make_shared<double>(0.0);
       sva::ga::spmd_run(nprocs, model, [&](sva::ga::Context& ctx) {
         ctx.barrier();
         ctx.reset_vtime();
-        const auto scan = sva::text::scan_sources(
-            ctx, sources, svabench::bench_engine_config().tokenizer);
+        const auto scan =
+            sva::text::scan_sources(ctx, sources, bench_engine_config().tokenizer);
         ctx.barrier();
-        if (ctx.rank() == 0) *out = ctx.vtime_raw();
+        if (ctx.rank() == 0) *scan_out = ctx.vtime_raw();
       });
-      scan_time[parallel ? 0 : 1] = *out;
+      scan_time[parallel ? 0 : 1] = *scan_out;
     }
-    if (nprocs == 1) {
+    if (nprocs == opts.procs.front()) {
       base_pfs = scan_time[0];
       base_serial = scan_time[1];
     }
@@ -48,7 +58,24 @@ int main() {
                    sva::Table::num(base_pfs / scan_time[0], 2),
                    sva::Table::num(scan_time[1], 3),
                    sva::Table::num(base_serial / scan_time[1], 2)});
+
+    json::Value record = json::Value::object();
+    record["procs"] = nprocs;
+    record["parallel_fs_s"] = scan_time[0];
+    record["serial_disk_s"] = scan_time[1];
+    record["speedup_pfs"] = base_pfs / scan_time[0];
+    record["speedup_serial"] = base_serial / scan_time[1];
+    series.push_back(std::move(record));
   }
-  svabench::emit("ablate_io", table);
-  return 0;
+  emit_table(opts, "ablate_io", table);
+  out.data["series"] = std::move(series);
+  out.data["table"] = report::table_json(table);
+  return out;
 }
+
+const Registrar registrar{"ablate_io", "ablation",
+                          "scan-stage I/O model sweep (serial disk vs parallel FS)",
+                          &run_ablate_io};
+
+}  // namespace
+}  // namespace svabench

@@ -9,26 +9,43 @@
 // uses single-field loads (maximum queue traffic) and extends to P = 64:
 // the master-worker curve flattens as the master saturates while the GA
 // atomic queues keep scaling.
+#include <memory>
+
+#include "registry.hpp"
 #include "sva/index/inverted_index.hpp"
-#include "bench_common.hpp"
 
-int main() {
+namespace svabench {
+namespace {
+
+report::Report run_ablate_taskqueue(const BenchOptions& opts) {
   using sva::corpus::CorpusKind;
-  svabench::banner(
-      "Ablation: task-queue strategy (indexing phase, TREC-like S1, 1-field loads)");
+  banner("Ablation: task-queue strategy (indexing phase, TREC-like S1, 1-field loads)");
 
-  const auto& sources = svabench::corpus_for(CorpusKind::kTrecLike, 0);
+  report::Report out;
+  out.name = "ablate_taskqueue";
+  out.kind = "ablation";
+  out.title = "Task-queue strategy under maximum claim traffic";
+
+  const auto& sources = corpus_for(CorpusKind::kTrecLike, 0, opts);
+  // The master bottleneck is a rate phenomenon: extend past the figure
+  // sweep to P = 64 (smoke keeps the configured tiny sweep).
+  std::vector<int> procs = opts.procs;
+  if (!opts.smoke && (procs.empty() || procs.back() < 64)) procs.push_back(64);
 
   sva::Table table({"scheduling", "procs", "index_modeled_s", "speedup_vs_p1"});
+  json::Value series = json::Value::array();
   for (const auto scheduling :
        {sva::ga::Scheduling::kStatic, sva::ga::Scheduling::kOwnerFirst,
         sva::ga::Scheduling::kAtomicCounter, sva::ga::Scheduling::kMasterWorker}) {
+    json::Value entry = json::Value::object();
+    entry["scheduling"] = sva::ga::scheduling_name(scheduling);
+    json::Value runs = json::Value::array();
     double p1_time = 0.0;
-    for (int nprocs : {1, 2, 4, 8, 16, 32, 64}) {
+    for (int nprocs : procs) {
       auto index_time = std::make_shared<double>(0.0);
       sva::ga::spmd_run(nprocs, sva::ga::itanium_cluster_model(), [&](sva::ga::Context& ctx) {
         const auto scan =
-            sva::text::scan_sources(ctx, sources, svabench::bench_engine_config().tokenizer);
+            sva::text::scan_sources(ctx, sources, bench_engine_config().tokenizer);
         ctx.barrier();
         const double t0 = ctx.vtime_raw();
         sva::index::IndexingConfig config;
@@ -39,13 +56,30 @@ int main() {
         ctx.barrier();
         if (ctx.rank() == 0) *index_time = ctx.vtime_raw() - t0;
       });
-      if (nprocs == 1) p1_time = *index_time;
+      if (nprocs == procs.front()) p1_time = *index_time;
       table.add_row({sva::ga::scheduling_name(scheduling),
                      sva::Table::num(static_cast<long long>(nprocs)),
                      sva::Table::num(*index_time, 3),
                      sva::Table::num(p1_time / *index_time, 2)});
+
+      json::Value record = json::Value::object();
+      record["procs"] = nprocs;
+      record["index_modeled_s"] = *index_time;
+      record["speedup_vs_p1"] = p1_time / *index_time;
+      runs.push_back(std::move(record));
     }
+    entry["runs"] = std::move(runs);
+    series.push_back(std::move(entry));
   }
-  svabench::emit("ablate_taskqueue", table);
-  return 0;
+  emit_table(opts, "ablate_taskqueue", table);
+  out.data["series"] = std::move(series);
+  out.data["table"] = report::table_json(table);
+  return out;
 }
+
+const Registrar registrar{"ablate_taskqueue", "ablation",
+                          "task-queue scheduling sweep (GA atomics vs master-worker)",
+                          &run_ablate_taskqueue};
+
+}  // namespace
+}  // namespace svabench

@@ -7,31 +7,41 @@
 // the choice: each weighting (raw conditional / lift-subtract /
 // lift-ratio) runs through the full engine with both clustering backends
 // and is scored by purity and NMI against the generator's latent themes.
+#include "registry.hpp"
 #include "sva/cluster/quality.hpp"
-#include "bench_common.hpp"
 
-int main() {
+namespace svabench {
+namespace {
+
+report::Report run_ablate_weighting(const BenchOptions& opts) {
   using sva::corpus::CorpusKind;
-  svabench::banner("Ablation: association weighting x clustering backend (PubMed-like S1, P=8)");
+  banner("Ablation: association weighting x clustering backend (PubMed-like S1)");
 
-  const auto spec = svabench::spec_for(CorpusKind::kPubMedLike, 0);
-  const auto& sources = svabench::corpus_for(CorpusKind::kPubMedLike, 0);
+  report::Report out;
+  out.name = "ablate_weighting";
+  out.kind = "ablation";
+  out.title = "Association weighting x clustering backend vs ground truth";
+
+  const auto spec = spec_for(CorpusKind::kPubMedLike, 0, opts);
+  const auto& sources = corpus_for(CorpusKind::kPubMedLike, 0, opts);
+  const int nprocs = opts.smoke ? 4 : 8;
 
   sva::Table table({"weighting", "backend", "clusters", "purity", "nmi", "null_pct",
                     "modeled_s"});
+  json::Value series = json::Value::array();
   for (const auto weighting :
        {sva::sig::AssociationWeighting::kConditional,
         sva::sig::AssociationWeighting::kLiftSubtract,
         sva::sig::AssociationWeighting::kLiftRatio}) {
     for (const auto backend : {sva::engine::ClusteringBackend::kKMeans,
                                sva::engine::ClusteringBackend::kHierarchical}) {
-      sva::engine::EngineConfig config = svabench::bench_engine_config();
+      sva::engine::EngineConfig config = bench_engine_config();
       config.association.weighting = weighting;
       config.clustering = backend;
       config.kmeans.k = spec.num_themes;
       config.hierarchical.k = spec.num_themes;
 
-      const auto run = sva::engine::run_pipeline(8, sva::ga::itanium_cluster_model(),
+      const auto run = sva::engine::run_pipeline(nprocs, sva::ga::itanium_cluster_model(),
                                                  sources, config);
       const auto& r = run.result;
 
@@ -43,17 +53,39 @@ int main() {
             static_cast<std::int32_t>(sva::corpus::ground_truth_theme(spec, doc)));
       }
 
-      table.add_row(
-          {sva::sig::weighting_name(weighting),
-           backend == sva::engine::ClusteringBackend::kKMeans ? "kmeans" : "hierarchical",
-           sva::Table::num(r.clustering.centroids.rows()),
-           sva::Table::num(sva::cluster::purity(r.all_assignment, truth), 3),
-           sva::Table::num(
-               sva::cluster::normalized_mutual_information(r.all_assignment, truth), 3),
-           sva::Table::num(100.0 * r.null_fraction_per_round.back(), 2),
-           sva::Table::num(run.modeled_seconds, 2)});
+      const double purity = sva::cluster::purity(r.all_assignment, truth);
+      const double nmi =
+          sva::cluster::normalized_mutual_information(r.all_assignment, truth);
+      const std::string backend_name =
+          backend == sva::engine::ClusteringBackend::kKMeans ? "kmeans" : "hierarchical";
+
+      table.add_row({sva::sig::weighting_name(weighting), backend_name,
+                     sva::Table::num(r.clustering.centroids.rows()),
+                     sva::Table::num(purity, 3), sva::Table::num(nmi, 3),
+                     sva::Table::num(100.0 * r.null_fraction_per_round.back(), 2),
+                     sva::Table::num(run.modeled_seconds, 2)});
+
+      const std::string key =
+          std::string(sva::sig::weighting_name(weighting)) + "/" + backend_name;
+      json::Value record = report::run_record(out, key, nprocs, run, sources.total_bytes());
+      record["weighting"] = sva::sig::weighting_name(weighting);
+      record["backend"] = backend_name;
+      record["clusters"] = r.clustering.centroids.rows();
+      record["purity"] = purity;
+      record["nmi"] = nmi;
+      record["null_pct"] = 100.0 * r.null_fraction_per_round.back();
+      series.push_back(std::move(record));
     }
   }
-  svabench::emit("ablate_weighting", table);
-  return 0;
+  emit_table(opts, "ablate_weighting", table);
+  out.data["series"] = std::move(series);
+  out.data["table"] = report::table_json(table);
+  return out;
 }
+
+const Registrar registrar{"ablate_weighting", "ablation",
+                          "association weighting x clustering backend quality",
+                          &run_ablate_weighting};
+
+}  // namespace
+}  // namespace svabench

@@ -4,23 +4,47 @@
 // Paper's claim: time-to-solution drops almost linearly with processor
 // count for every size (PubMed plotted log-scale; the 16 GB/4-processor
 // point degrades from memory pressure, which our model does not emulate).
-#include "bench_common.hpp"
+#include <iostream>
 
-int main() {
+#include "registry.hpp"
+#include "sva/util/stringutil.hpp"
+
+namespace svabench {
+namespace {
+
+report::Report run_fig5(const BenchOptions& opts) {
   using sva::corpus::CorpusKind;
-  svabench::banner("Figure 5: overall timings (PubMed-like & TREC-like, 3 sizes)");
+  banner("Figure 5: overall timings (PubMed-like & TREC-like, 3 sizes)");
+
+  report::Report out;
+  out.name = "fig5_overall";
+  out.kind = "figure";
+  out.title = "Overall engine timings, both datasets, 3 sizes";
+  json::Value series = json::Value::array();
 
   sva::Table table({"dataset", "size", "bytes", "procs", "modeled_s", "speedup_vs_p1"});
   for (CorpusKind kind : {CorpusKind::kPubMedLike, CorpusKind::kTrecLike}) {
-    for (int size = 0; size < 3; ++size) {
+    for (int size : opts.size_indices) {
+      const auto& sources = corpus_for(kind, size, opts);
+      const std::string key =
+          sva::corpus::corpus_kind_name(kind) + "/" + size_label(kind, size);
+      json::Value entry = json::Value::object();
+      entry["dataset"] = sva::corpus::corpus_kind_name(kind);
+      entry["size"] = size_label(kind, size);
+      entry["bytes"] = sources.total_bytes();
+      json::Value runs = json::Value::array();
+
       double p1_time = 0.0;
-      for (int nprocs : svabench::proc_counts()) {
-        const auto run = svabench::run_engine(kind, size, nprocs);
+      for (int nprocs : opts.procs) {
+        const auto run = run_engine(kind, size, nprocs, opts);
         const double t = run.modeled_seconds;
-        if (nprocs == 1) p1_time = t;
-        table.add_row({sva::corpus::corpus_kind_name(kind),
-                       svabench::size_label(kind, size),
-                       sva::format_bytes(svabench::corpus_for(kind, size).total_bytes()),
+        if (nprocs == opts.procs.front()) p1_time = t;
+        json::Value record =
+            report::run_record(out, key, nprocs, run, sources.total_bytes());
+        record["speedup_vs_p1"] = p1_time > 0 ? p1_time / t : 1.0;
+        runs.push_back(std::move(record));
+        table.add_row({sva::corpus::corpus_kind_name(kind), size_label(kind, size),
+                       sva::format_bytes(sources.total_bytes()),
                        sva::Table::num(static_cast<long long>(nprocs)),
                        sva::Table::num(t, 3),
                        sva::Table::num(p1_time > 0 ? p1_time / t : 1.0, 2)});
@@ -28,8 +52,19 @@ int main() {
                   << " P=" << nprocs << "] modeled " << sva::Table::num(t, 2) << " s (wall "
                   << sva::Table::num(run.wall_seconds, 2) << " s)\n";
       }
+      entry["runs"] = std::move(runs);
+      series.push_back(std::move(entry));
     }
   }
-  svabench::emit("fig5_overall", table);
-  return 0;
+  emit_table(opts, "fig5_overall", table);
+  out.data["series"] = std::move(series);
+  out.data["table"] = report::table_json(table);
+  return out;
 }
+
+const Registrar registrar{"fig5_overall", "figure",
+                          "overall engine timings (both datasets, 3 sizes, P-sweep)",
+                          &run_fig5};
+
+}  // namespace
+}  // namespace svabench

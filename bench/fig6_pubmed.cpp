@@ -5,39 +5,19 @@
 // Paper's claims: near-linear speedup for every size; component shares
 // stay roughly constant as P grows — except topicality, whose Allreduce
 // makes its (small) share grow with P.
-#include "bench_common.hpp"
+#include "fig_speedup_common.hpp"
 
-int main() {
-  using sva::corpus::CorpusKind;
-  using sva::engine::ComponentTimings;
-  svabench::banner("Figure 6: PubMed-like speedup (a) and component breakdown (b)");
+namespace svabench {
+namespace {
 
-  sva::Table speedup({"size", "procs", "modeled_s", "speedup"});
-  std::map<int, ComponentTimings> smallest_by_procs;
-
-  for (int size = 0; size < 3; ++size) {
-    double p1_time = 0.0;
-    for (int nprocs : svabench::proc_counts()) {
-      const auto run = svabench::run_engine(CorpusKind::kPubMedLike, size, nprocs);
-      if (nprocs == 1) p1_time = run.modeled_seconds;
-      speedup.add_row({svabench::size_label(CorpusKind::kPubMedLike, size),
-                       sva::Table::num(static_cast<long long>(nprocs)),
-                       sva::Table::num(run.modeled_seconds, 3),
-                       sva::Table::num(p1_time / run.modeled_seconds, 2)});
-      if (size == 0) smallest_by_procs[nprocs] = run.result.timings;
-    }
-  }
-  svabench::emit("fig6a_pubmed_speedup", speedup);
-
-  sva::Table pct({"component", "p4_pct", "p8_pct", "p16_pct", "p32_pct"});
-  for (const auto& label : ComponentTimings::labels()) {
-    std::vector<std::string> row = {label};
-    for (int nprocs : {4, 8, 16, 32}) {
-      const auto& t = smallest_by_procs.at(nprocs);
-      row.push_back(sva::Table::num(100.0 * t.by_label(label) / t.total(), 1));
-    }
-    pct.add_row(std::move(row));
-  }
-  svabench::emit("fig6b_pubmed_components", pct);
-  return 0;
+report::Report run_fig6(const BenchOptions& opts) {
+  return run_speedup_figure(sva::corpus::CorpusKind::kPubMedLike, "fig6_pubmed",
+                            "Figure 6: PubMed-like speedup (a) and component breakdown (b)",
+                            opts);
 }
+
+const Registrar registrar{"fig6_pubmed", "figure",
+                          "PubMed-like speedup + component breakdown", &run_fig6};
+
+}  // namespace
+}  // namespace svabench

@@ -2,39 +2,19 @@
 // Figure 7b: component time percentages for the 1 GB-analog size.
 //
 // Same claims as Figure 6, on the noisier heavy-tailed web corpus.
-#include "bench_common.hpp"
+#include "fig_speedup_common.hpp"
 
-int main() {
-  using sva::corpus::CorpusKind;
-  using sva::engine::ComponentTimings;
-  svabench::banner("Figure 7: TREC-like speedup (a) and component breakdown (b)");
+namespace svabench {
+namespace {
 
-  sva::Table speedup({"size", "procs", "modeled_s", "speedup"});
-  std::map<int, ComponentTimings> smallest_by_procs;
-
-  for (int size = 0; size < 3; ++size) {
-    double p1_time = 0.0;
-    for (int nprocs : svabench::proc_counts()) {
-      const auto run = svabench::run_engine(CorpusKind::kTrecLike, size, nprocs);
-      if (nprocs == 1) p1_time = run.modeled_seconds;
-      speedup.add_row({svabench::size_label(CorpusKind::kTrecLike, size),
-                       sva::Table::num(static_cast<long long>(nprocs)),
-                       sva::Table::num(run.modeled_seconds, 3),
-                       sva::Table::num(p1_time / run.modeled_seconds, 2)});
-      if (size == 0) smallest_by_procs[nprocs] = run.result.timings;
-    }
-  }
-  svabench::emit("fig7a_trec_speedup", speedup);
-
-  sva::Table pct({"component", "p4_pct", "p8_pct", "p16_pct", "p32_pct"});
-  for (const auto& label : ComponentTimings::labels()) {
-    std::vector<std::string> row = {label};
-    for (int nprocs : {4, 8, 16, 32}) {
-      const auto& t = smallest_by_procs.at(nprocs);
-      row.push_back(sva::Table::num(100.0 * t.by_label(label) / t.total(), 1));
-    }
-    pct.add_row(std::move(row));
-  }
-  svabench::emit("fig7b_trec_components", pct);
-  return 0;
+report::Report run_fig7(const BenchOptions& opts) {
+  return run_speedup_figure(sva::corpus::CorpusKind::kTrecLike, "fig7_trec",
+                            "Figure 7: TREC-like speedup (a) and component breakdown (b)",
+                            opts);
 }
+
+const Registrar registrar{"fig7_trec", "figure",
+                          "TREC-like speedup + component breakdown", &run_fig7};
+
+}  // namespace
+}  // namespace svabench

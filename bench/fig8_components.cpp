@@ -4,37 +4,71 @@
 //
 // Paper's claim: every component scales close to linearly in its own
 // right, for every size, on both datasets.
-#include "bench_common.hpp"
+#include "registry.hpp"
 
-int main() {
+namespace svabench {
+namespace {
+
+report::Report run_fig8(const BenchOptions& opts) {
   using sva::corpus::CorpusKind;
-  svabench::banner("Figure 8: per-component speedups (both datasets, 3 sizes)");
+  banner("Figure 8: per-component speedups (both datasets, 3 sizes)");
+
+  report::Report out;
+  out.name = "fig8_components";
+  out.kind = "figure";
+  out.title = "Per-component speedups, both datasets, 3 sizes";
+  json::Value series = json::Value::array();
 
   sva::Table table({"dataset", "size", "procs", "scan_speedup", "index_speedup",
                     "siggen_speedup", "clusproj_speedup"});
 
   for (CorpusKind kind : {CorpusKind::kPubMedLike, CorpusKind::kTrecLike}) {
-    for (int size = 0; size < 3; ++size) {
+    for (int size : opts.size_indices) {
+      const auto& sources = corpus_for(kind, size, opts);
+      const std::string key =
+          sva::corpus::corpus_kind_name(kind) + "/" + size_label(kind, size);
+      json::Value entry = json::Value::object();
+      entry["dataset"] = sva::corpus::corpus_kind_name(kind);
+      entry["size"] = size_label(kind, size);
+      json::Value runs = json::Value::array();
+
       double base_scan = 0.0, base_index = 0.0, base_sig = 0.0, base_clusproj = 0.0;
-      for (int nprocs : svabench::proc_counts()) {
-        const auto run = svabench::run_engine(kind, size, nprocs);
+      for (int nprocs : opts.procs) {
+        const auto run = run_engine(kind, size, nprocs, opts);
         const auto& t = run.result.timings;
-        if (nprocs == 1) {
+        if (nprocs == opts.procs.front()) {
           base_scan = t.scan;
           base_index = t.index;
           base_sig = t.signature_generation();
           base_clusproj = t.clusproj;
         }
-        table.add_row({sva::corpus::corpus_kind_name(kind),
-                       svabench::size_label(kind, size),
+        json::Value record = report::run_record(out, key, nprocs, run, sources.total_bytes());
+        json::Value speedups = json::Value::object();
+        speedups["scan"] = base_scan / t.scan;
+        speedups["index"] = base_index / t.index;
+        speedups["siggen"] = base_sig / t.signature_generation();
+        speedups["clusproj"] = base_clusproj / t.clusproj;
+        record["component_speedups"] = std::move(speedups);
+        runs.push_back(std::move(record));
+        table.add_row({sva::corpus::corpus_kind_name(kind), size_label(kind, size),
                        sva::Table::num(static_cast<long long>(nprocs)),
                        sva::Table::num(base_scan / t.scan, 2),
                        sva::Table::num(base_index / t.index, 2),
                        sva::Table::num(base_sig / t.signature_generation(), 2),
                        sva::Table::num(base_clusproj / t.clusproj, 2)});
       }
+      entry["runs"] = std::move(runs);
+      series.push_back(std::move(entry));
     }
   }
-  svabench::emit("fig8_component_speedups", table);
-  return 0;
+  emit_table(opts, "fig8_component_speedups", table);
+  out.data["series"] = std::move(series);
+  out.data["table"] = report::table_json(table);
+  return out;
 }
+
+const Registrar registrar{"fig8_components", "figure",
+                          "per-component speedups (scan/index/siggen/clusproj)", &run_fig8};
+
+}  // namespace
+}  // namespace svabench

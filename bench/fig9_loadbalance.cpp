@@ -12,18 +12,30 @@
 // heavy-tailed TREC-like corpus under three schedules (no balancing /
 // the paper's owner-first GA queue / master-worker) and reporting the
 // per-rank busy-time imbalance (max/mean; 1.0 = perfect).
-#include "sva/index/inverted_index.hpp"
-#include "bench_common.hpp"
+#include <algorithm>
+#include <memory>
 
-int main() {
+#include "registry.hpp"
+#include "sva/index/inverted_index.hpp"
+
+namespace svabench {
+namespace {
+
+report::Report run_fig9(const BenchOptions& opts) {
   using sva::corpus::CorpusKind;
-  svabench::banner("Figure 9: dynamic load balancing in the indexing component");
+  banner("Figure 9: dynamic load balancing in the indexing component");
+
+  report::Report out;
+  out.name = "fig9_loadbalance";
+  out.kind = "figure";
+  out.title = "Dynamic load balancing in the indexing component";
 
   // Heavy-tailed TREC-like corpus: a visible fraction of giant pages is
   // exactly the "term distributions will not be [equally] distributed"
   // condition the paper describes — static field shares then straggle on
-  // whichever rank drew the giants.
-  auto spec = svabench::spec_for(CorpusKind::kTrecLike, 1);
+  // whichever rank drew the giants.  Smoke keeps S1 to stay in budget.
+  const int size_index = opts.smoke ? 0 : 1;
+  auto spec = spec_for(CorpusKind::kTrecLike, size_index, opts);
   spec.giant_doc_fraction = 0.05;
   const auto sources = sva::corpus::generate_corpus(spec);
 
@@ -32,14 +44,18 @@ int main() {
 
   sva::Table table({"scheduling", "procs", "index_modeled_s", "imbalance_max_over_mean",
                     "loads_min", "loads_max"});
+  json::Value series = json::Value::array();
 
   for (const auto scheduling : schedules) {
-    for (int nprocs : svabench::proc_counts()) {
-      auto report = std::make_shared<sva::index::LoadBalanceReport>();
+    json::Value entry = json::Value::object();
+    entry["scheduling"] = sva::ga::scheduling_name(scheduling);
+    json::Value runs = json::Value::array();
+    for (int nprocs : opts.procs) {
+      auto rep = std::make_shared<sva::index::LoadBalanceReport>();
       auto index_time = std::make_shared<double>(0.0);
       sva::ga::spmd_run(nprocs, sva::ga::itanium_cluster_model(), [&](sva::ga::Context& ctx) {
         const auto scan =
-            sva::text::scan_sources(ctx, sources, svabench::bench_engine_config().tokenizer);
+            sva::text::scan_sources(ctx, sources, bench_engine_config().tokenizer);
         ctx.barrier();
         const double t0 = ctx.vtime_raw();
         sva::index::IndexingConfig config;
@@ -51,25 +67,42 @@ int main() {
             ctx, scan.forward, scan.vocabulary->size(), config);
         ctx.barrier();
         if (ctx.rank() == 0) {
-          *report = result.load_balance;
+          *rep = result.load_balance;
           *index_time = ctx.vtime_raw() - t0;
         }
       });
 
-      std::int64_t loads_min = report->loads_claimed.empty() ? 0 : report->loads_claimed[0];
+      std::int64_t loads_min = rep->loads_claimed.empty() ? 0 : rep->loads_claimed[0];
       std::int64_t loads_max = loads_min;
-      for (auto l : report->loads_claimed) {
+      for (auto l : rep->loads_claimed) {
         loads_min = std::min(loads_min, l);
         loads_max = std::max(loads_max, l);
       }
       table.add_row({sva::ga::scheduling_name(scheduling),
                      sva::Table::num(static_cast<long long>(nprocs)),
-                     sva::Table::num(*index_time, 3),
-                     sva::Table::num(report->imbalance(), 3),
+                     sva::Table::num(*index_time, 3), sva::Table::num(rep->imbalance(), 3),
                      sva::Table::num(static_cast<long long>(loads_min)),
                      sva::Table::num(static_cast<long long>(loads_max))});
+
+      json::Value record = json::Value::object();
+      record["procs"] = nprocs;
+      record["index_modeled_s"] = *index_time;
+      record["imbalance_max_over_mean"] = rep->imbalance();
+      record["loads_min"] = static_cast<std::int64_t>(loads_min);
+      record["loads_max"] = static_cast<std::int64_t>(loads_max);
+      runs.push_back(std::move(record));
     }
+    entry["runs"] = std::move(runs);
+    series.push_back(std::move(entry));
   }
-  svabench::emit("fig9_load_balance", table);
-  return 0;
+  emit_table(opts, "fig9_load_balance", table);
+  out.data["series"] = std::move(series);
+  out.data["table"] = report::table_json(table);
+  return out;
 }
+
+const Registrar registrar{"fig9_loadbalance", "figure",
+                          "indexing load balance under three schedules", &run_fig9};
+
+}  // namespace
+}  // namespace svabench

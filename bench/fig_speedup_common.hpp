@@ -1,0 +1,90 @@
+// Shared shape of Figures 6 and 7: per-size speedup sweep (a) plus the
+// smallest size's per-component time percentages (b) for one dataset
+// family.  The component table reports every swept P > 1 (the paper uses
+// 4..32; smoke sweeps fewer).
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "registry.hpp"
+
+namespace svabench {
+
+inline report::Report run_speedup_figure(sva::corpus::CorpusKind kind, const std::string& name,
+                                         const std::string& title, const BenchOptions& opts) {
+  using sva::engine::ComponentTimings;
+  banner(title);
+
+  report::Report out;
+  out.name = name;
+  out.kind = "figure";
+  out.title = title;
+  json::Value series = json::Value::array();
+
+  sva::Table speedup({"size", "procs", "modeled_s", "speedup"});
+  std::map<int, ComponentTimings> smallest_by_procs;
+  const int smallest_size =
+      *std::min_element(opts.size_indices.begin(), opts.size_indices.end());
+
+  for (int size : opts.size_indices) {
+    const auto& sources = corpus_for(kind, size, opts);
+    const std::string key = sva::corpus::corpus_kind_name(kind) + "/" + size_label(kind, size);
+    json::Value entry = json::Value::object();
+    entry["dataset"] = sva::corpus::corpus_kind_name(kind);
+    entry["size"] = size_label(kind, size);
+    entry["bytes"] = sources.total_bytes();
+    json::Value runs = json::Value::array();
+
+    double p1_time = 0.0;
+    for (int nprocs : opts.procs) {
+      const auto run = run_engine(kind, size, nprocs, opts);
+      if (nprocs == opts.procs.front()) p1_time = run.modeled_seconds;
+      json::Value record = report::run_record(out, key, nprocs, run, sources.total_bytes());
+      record["speedup_vs_p1"] = p1_time > 0 ? p1_time / run.modeled_seconds : 1.0;
+      runs.push_back(std::move(record));
+      speedup.add_row({size_label(kind, size), sva::Table::num(static_cast<long long>(nprocs)),
+                       sva::Table::num(run.modeled_seconds, 3),
+                       sva::Table::num(p1_time / run.modeled_seconds, 2)});
+      if (size == smallest_size) smallest_by_procs[nprocs] = run.result.timings;
+    }
+    entry["runs"] = std::move(runs);
+    series.push_back(std::move(entry));
+  }
+  emit_table(opts, name + "_speedup", speedup);
+
+  // Component-share table over the swept P > 1 (all P when only one).
+  std::vector<int> pct_procs;
+  for (int nprocs : opts.procs) {
+    if (nprocs > 1) pct_procs.push_back(nprocs);
+  }
+  if (pct_procs.empty()) pct_procs = opts.procs;
+
+  std::vector<std::string> header = {"component"};
+  for (int nprocs : pct_procs) header.push_back("p" + std::to_string(nprocs) + "_pct");
+  sva::Table pct(header);
+  json::Value pct_json = json::Value::object();
+  for (const auto& label : ComponentTimings::labels()) {
+    std::vector<std::string> row = {label};
+    json::Value shares = json::Value::object();
+    for (int nprocs : pct_procs) {
+      const auto& t = smallest_by_procs.at(nprocs);
+      const double share = 100.0 * t.by_label(label) / t.total();
+      row.push_back(sva::Table::num(share, 1));
+      shares["p" + std::to_string(nprocs)] = share;
+    }
+    pct.add_row(std::move(row));
+    pct_json[label] = std::move(shares);
+  }
+  emit_table(opts, name + "_components", pct);
+
+  out.data["series"] = std::move(series);
+  out.data["component_pct_smallest_size"] = std::move(pct_json);
+  out.data["speedup_table"] = report::table_json(speedup);
+  out.data["component_table"] = report::table_json(pct);
+  return out;
+}
+
+}  // namespace svabench

@@ -1,112 +1,155 @@
-// Microbenchmarks (google-benchmark) for the GA substrate primitives that
-// underpin the performance model: one-sided put/get, atomic
-// fetch-and-increment, collectives, and the distributed hashmap.
-// These measure *host* performance (real nanoseconds), complementing the
-// modeled-time figure harnesses.
-#include <benchmark/benchmark.h>
+// Microbenchmarks for the GA substrate primitives that underpin the
+// performance model: SPMD world launch, barrier, collectives, one-sided
+// puts, atomic fetch-and-increment, the distributed hashmap and the task
+// queue.  These measure *host* wall-clock performance (real seconds),
+// complementing the modeled-time figure harnesses.
+#include <cstdint>
+#include <string>
+#include <vector>
 
+#include "registry.hpp"
 #include "sva/ga/dist_hashmap.hpp"
 #include "sva/ga/global_array.hpp"
 #include "sva/ga/task_queue.hpp"
+#include "sva/util/timer.hpp"
 
+namespace svabench {
 namespace {
 
-using namespace sva::ga;
+using sva::ga::Context;
+using sva::ga::spmd_run;
 
-void BM_SpmdLaunch(benchmark::State& state) {
-  const int nprocs = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    spmd_run(nprocs, [](Context&) {});
+/// Best-of-reps wall seconds for `body`.
+template <typename Body>
+double best_seconds(int reps, Body&& body) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    sva::WallTimer timer;
+    body();
+    const double elapsed = timer.elapsed();
+    if (rep == 0 || elapsed < best) best = elapsed;
   }
+  return best;
 }
-BENCHMARK(BM_SpmdLaunch)->Arg(1)->Arg(4)->Arg(8);
 
-void BM_Barrier(benchmark::State& state) {
-  const int nprocs = static_cast<int>(state.range(0));
-  const int iters = 64;
-  for (auto _ : state) {
-    spmd_run(nprocs, [&](Context& ctx) {
-      for (int i = 0; i < iters; ++i) ctx.barrier();
+report::Report run_micro_ga(const BenchOptions& opts) {
+  banner("Micro: GA substrate primitives (host wall-clock)");
+
+  report::Report out;
+  out.name = "micro_ga";
+  out.kind = "micro";
+  out.title = "GA substrate primitive costs (host wall-clock)";
+
+  const int reps = opts.smoke ? 2 : 4;
+  sva::Table table({"primitive", "config", "best_s", "per_op_us"});
+  json::Value series = json::Value::array();
+
+  auto add = [&](const std::string& primitive, const std::string& config, double seconds,
+                 double ops) {
+    const double per_op_us = ops > 0 ? 1.0e6 * seconds / ops : 0.0;
+    table.add_row({primitive, config, sva::Table::num(seconds, 5),
+                   sva::Table::num(per_op_us, 3)});
+    json::Value record = json::Value::object();
+    record["primitive"] = primitive;
+    record["config"] = config;
+    record["best_s"] = seconds;
+    record["ops"] = ops;
+    record["per_op_us"] = per_op_us;
+    series.push_back(std::move(record));
+  };
+
+  for (const int nprocs : {1, 4, 8}) {
+    const double t = best_seconds(reps, [&] { spmd_run(nprocs, [](Context&) {}); });
+    add("spmd_launch", "P=" + std::to_string(nprocs), t, 1.0);
+  }
+
+  for (const int nprocs : {2, 4, 8}) {
+    constexpr int kIters = 64;
+    const double t = best_seconds(reps, [&] {
+      spmd_run(nprocs, [&](Context& ctx) {
+        for (int i = 0; i < kIters; ++i) ctx.barrier();
+      });
     });
+    add("barrier", "P=" + std::to_string(nprocs), t, kIters);
   }
-  state.SetItemsProcessed(state.iterations() * iters);
-}
-BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8);
 
-void BM_AllreduceVector(benchmark::State& state) {
-  const int nprocs = 4;
-  const auto count = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    spmd_run(nprocs, [&](Context& ctx) {
-      std::vector<double> v(count, 1.0);
-      ctx.allreduce_sum(v.data(), v.size());
-      benchmark::DoNotOptimize(v.data());
+  for (const std::size_t count : {std::size_t{1024}, std::size_t{65536}}) {
+    const double t = best_seconds(reps, [&] {
+      spmd_run(4, [&](Context& ctx) {
+        std::vector<double> v(count, 1.0);
+        ctx.allreduce_sum(v.data(), v.size());
+      });
     });
+    add("allreduce_sum", "P=4 n=" + std::to_string(count), t, static_cast<double>(count));
   }
-  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(count) * 8);
-}
-BENCHMARK(BM_AllreduceVector)->Arg(1024)->Arg(65536);
 
-void BM_GlobalArrayLocalPut(benchmark::State& state) {
-  const auto block = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    spmd_run(2, [&](Context& ctx) {
-      auto ga = GlobalArray<std::int64_t>::create(ctx, block * 2);
-      std::vector<std::int64_t> buf(block, 7);
-      const auto [b, e] = ga.local_row_range(ctx);
-      if (e > b) ga.put(ctx, b, std::span<const std::int64_t>(buf.data(), e - b));
-      ctx.barrier();
+  for (const std::size_t block : {std::size_t{1024}, std::size_t{262144}}) {
+    const double t = best_seconds(reps, [&] {
+      spmd_run(2, [&](Context& ctx) {
+        auto ga = sva::ga::GlobalArray<std::int64_t>::create(ctx, block * 2);
+        std::vector<std::int64_t> buf(block, 7);
+        const auto [b, e] = ga.local_row_range(ctx);
+        if (e > b) {
+          ga.put(ctx, b, std::span<const std::int64_t>(buf.data(), e - b));
+        }
+        ctx.barrier();
+      });
     });
+    add("global_array_put", "P=2 block=" + std::to_string(block), t,
+        static_cast<double>(block));
   }
-  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(block) * 8);
-}
-BENCHMARK(BM_GlobalArrayLocalPut)->Arg(1024)->Arg(262144);
 
-void BM_FetchAddThroughput(benchmark::State& state) {
-  const int nprocs = static_cast<int>(state.range(0));
-  const int increments = 512;
-  for (auto _ : state) {
-    spmd_run(nprocs, [&](Context& ctx) {
-      auto ga = GlobalArray<std::int64_t>::create(ctx, 1);
-      for (int i = 0; i < increments; ++i) benchmark::DoNotOptimize(ga.fetch_add(ctx, 0, 1));
-      ctx.barrier();
+  for (const int nprocs : {1, 4}) {
+    constexpr int kIncrements = 512;
+    const double t = best_seconds(reps, [&] {
+      spmd_run(nprocs, [&](Context& ctx) {
+        auto ga = sva::ga::GlobalArray<std::int64_t>::create(ctx, 1);
+        for (int i = 0; i < kIncrements; ++i) (void)ga.fetch_add(ctx, 0, 1);
+        ctx.barrier();
+      });
     });
+    add("fetch_add", "P=" + std::to_string(nprocs), t,
+        static_cast<double>(kIncrements) * nprocs);
   }
-  state.SetItemsProcessed(state.iterations() * increments * nprocs);
-}
-BENCHMARK(BM_FetchAddThroughput)->Arg(1)->Arg(4);
 
-void BM_HashmapInsertBatch(benchmark::State& state) {
-  const auto batch = static_cast<std::size_t>(state.range(0));
-  std::vector<std::string> terms;
-  terms.reserve(batch);
-  for (std::size_t i = 0; i < batch; ++i) terms.push_back("bench_term_" + std::to_string(i));
-  for (auto _ : state) {
-    spmd_run(4, [&](Context& ctx) {
-      auto map = DistHashmap::create(ctx);
-      benchmark::DoNotOptimize(map.insert_batch(ctx, terms));
-      ctx.barrier();
+  {
+    const std::size_t batch = opts.smoke ? 2048 : 8192;
+    std::vector<std::string> terms;
+    terms.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) terms.push_back("bench_term_" + std::to_string(i));
+    const double t = best_seconds(reps, [&] {
+      spmd_run(4, [&](Context& ctx) {
+        auto map = sva::ga::DistHashmap::create(ctx);
+        (void)map.insert_batch(ctx, terms);
+        ctx.barrier();
+      });
     });
+    add("hashmap_insert_batch", "P=4 batch=" + std::to_string(batch), t,
+        static_cast<double>(batch) * 4);
   }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch) * 4);
-}
-BENCHMARK(BM_HashmapInsertBatch)->Arg(256)->Arg(8192);
 
-void BM_TaskQueueDrain(benchmark::State& state) {
-  const int nprocs = static_cast<int>(state.range(0));
-  constexpr std::size_t kTasks = 4096;
-  for (auto _ : state) {
-    spmd_run(nprocs, [&](Context& ctx) {
-      auto queue = make_task_queue(ctx, Scheduling::kOwnerFirst, kTasks, 32);
-      while (queue->next(ctx)) {
-      }
-      ctx.barrier();
+  for (const int nprocs : {1, 4, 8}) {
+    constexpr std::size_t kTasks = 4096;
+    const double t = best_seconds(reps, [&] {
+      spmd_run(nprocs, [&](Context& ctx) {
+        auto queue = sva::ga::make_task_queue(ctx, sva::ga::Scheduling::kOwnerFirst, kTasks, 32);
+        while (queue->next(ctx)) {
+        }
+        ctx.barrier();
+      });
     });
+    add("task_queue_drain", "P=" + std::to_string(nprocs), t, static_cast<double>(kTasks));
   }
-  state.SetItemsProcessed(state.iterations() * kTasks);
+
+  emit_table(opts, "micro_ga", table);
+  out.data["series"] = std::move(series);
+  out.data["table"] = report::table_json(table);
+  return out;
 }
-BENCHMARK(BM_TaskQueueDrain)->Arg(1)->Arg(4)->Arg(8);
+
+const Registrar registrar{"micro_ga", "micro",
+                          "GA substrate primitive costs (launch/barrier/collectives/atomics)",
+                          &run_micro_ga};
 
 }  // namespace
-
-BENCHMARK_MAIN();
+}  // namespace svabench

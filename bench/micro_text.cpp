@@ -1,17 +1,31 @@
-// Microbenchmarks (google-benchmark) for the text-processing kernels:
-// tokenizer throughput, corpus generation, scanning and inversion.
-#include <benchmark/benchmark.h>
+// Microbenchmarks for the text-processing kernels (host wall-clock, not
+// modeled time): tokenizer/dedup throughput on the string path vs the
+// token-arena fast path, plus end-to-end scan_sources throughput.
+//
+// The "baseline" reproduces the pre-arena scanner inner loop — per-token
+// std::string materialization, a std::string-keyed dedup map, and a
+// second per-token hash lookup for the canonical rewrite.  The "arena"
+// path is what scan_sources ships: string_view streaming, interning of
+// unique spellings only, and a dense local->canonical rewrite.  Both
+// produce the same term-id stream; the report records the verified match
+// and the speedup.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
-#include "sva/corpus/generator.hpp"
-#include "sva/index/inverted_index.hpp"
+#include "registry.hpp"
 #include "sva/text/scanner.hpp"
+#include "sva/text/token_arena.hpp"
+#include "sva/text/tokenizer.hpp"
+#include "sva/util/timer.hpp"
 
+namespace svabench {
 namespace {
 
-using namespace sva;
-
-corpus::CorpusSpec micro_spec(corpus::CorpusKind kind, std::size_t bytes) {
-  corpus::CorpusSpec spec;
+sva::corpus::CorpusSpec micro_spec(sva::corpus::CorpusKind kind, std::size_t bytes) {
+  sva::corpus::CorpusSpec spec;
   spec.kind = kind;
   spec.target_bytes = bytes;
   spec.core_vocabulary = 4000;
@@ -20,73 +34,158 @@ corpus::CorpusSpec micro_spec(corpus::CorpusKind kind, std::size_t bytes) {
   return spec;
 }
 
-void BM_TokenizerThroughput(benchmark::State& state) {
-  const auto sources = corpus::generate_corpus(
-      micro_spec(corpus::CorpusKind::kPubMedLike, 1 << 20));
-  text::Tokenizer tokenizer;
-  std::vector<std::string> out;
-  std::size_t bytes = 0;
-  for (auto _ : state) {
+struct PathResult {
+  double best_seconds = 0.0;
+  std::uint64_t bytes = 0;
+  std::vector<std::int64_t> ids;  ///< term-id stream (equivalence check)
+};
+
+/// Pre-arena scanner inner loop: tokenize into std::strings, dedup via a
+/// string-keyed map, then a second per-token hash lookup (the canonical
+/// rewrite the old scanner performed).
+PathResult run_string_path(const sva::corpus::SourceSet& sources,
+                           const sva::text::Tokenizer& tokenizer, int reps) {
+  PathResult out;
+  for (int rep = 0; rep < reps; ++rep) {
+    sva::WallTimer timer;
+    std::unordered_map<std::string, std::int64_t> term_ids;
+    std::vector<std::vector<std::string>> fields;
+    std::uint64_t bytes = 0;
     for (const auto& doc : sources.docs()) {
       for (const auto& field : doc.fields) {
-        out.clear();
-        tokenizer.tokenize_into(field.text, out);
-        benchmark::DoNotOptimize(out.data());
+        std::vector<std::string> tokens;
+        tokenizer.tokenize_into(field.text, tokens);
+        for (const auto& tok : tokens) {
+          term_ids.try_emplace(tok, static_cast<std::int64_t>(term_ids.size()));
+        }
+        bytes += field.text.size();
+        fields.push_back(std::move(tokens));
+      }
+    }
+    std::vector<std::int64_t> ids;
+    for (const auto& tokens : fields) {
+      for (const auto& tok : tokens) ids.push_back(term_ids.at(tok));
+    }
+    const double elapsed = timer.elapsed();
+    if (rep == 0 || elapsed < out.best_seconds) out.best_seconds = elapsed;
+    out.bytes = bytes;
+    out.ids = std::move(ids);
+  }
+  return out;
+}
+
+/// The shipping fast path: string_view streaming into a TokenArena, one
+/// dedup probe per occurrence, dense id rewrite.
+PathResult run_arena_path(const sva::corpus::SourceSet& sources,
+                          const sva::text::Tokenizer& tokenizer, int reps) {
+  PathResult out;
+  for (int rep = 0; rep < reps; ++rep) {
+    sva::WallTimer timer;
+    sva::text::TokenArena arena;
+    std::unordered_map<std::string_view, std::int64_t> term_ids;
+    std::vector<std::int64_t> ids;
+    std::uint64_t bytes = 0;
+    for (const auto& doc : sources.docs()) {
+      for (const auto& field : doc.fields) {
+        tokenizer.for_each_token(field.text, [&](std::string_view tok) {
+          auto it = term_ids.find(tok);
+          std::int64_t id;
+          if (it == term_ids.end()) {
+            const std::string_view stable = arena.intern(tok);
+            id = static_cast<std::int64_t>(term_ids.size());
+            term_ids.emplace(stable, id);
+          } else {
+            id = it->second;
+          }
+          ids.push_back(id);
+        });
         bytes += field.text.size();
       }
     }
+    // Dense identity rewrite stands in for the canonical-id remap (one
+    // array load per token in the real scanner).
+    std::vector<std::int64_t> remap(term_ids.size());
+    for (std::size_t i = 0; i < remap.size(); ++i) remap[i] = static_cast<std::int64_t>(i);
+    for (auto& id : ids) id = remap[static_cast<std::size_t>(id)];
+    const double elapsed = timer.elapsed();
+    if (rep == 0 || elapsed < out.best_seconds) out.best_seconds = elapsed;
+    out.bytes = bytes;
+    out.ids = std::move(ids);
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  return out;
 }
-BENCHMARK(BM_TokenizerThroughput);
 
-void BM_CorpusGeneration(benchmark::State& state) {
-  const auto kind = state.range(0) == 0 ? corpus::CorpusKind::kPubMedLike
-                                        : corpus::CorpusKind::kTrecLike;
-  std::size_t bytes = 0;
-  for (auto _ : state) {
-    const auto sources = corpus::generate_corpus(micro_spec(kind, 1 << 20));
-    benchmark::DoNotOptimize(sources.size());
-    bytes += sources.total_bytes();
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
-  state.SetLabel(corpus::corpus_kind_name(kind));
-}
-BENCHMARK(BM_CorpusGeneration)->Arg(0)->Arg(1);
+report::Report run_micro_text(const BenchOptions& opts) {
+  using sva::corpus::CorpusKind;
+  banner("Micro: text kernels — string path vs token-arena fast path");
 
-void BM_ScanPipeline(benchmark::State& state) {
-  const int nprocs = static_cast<int>(state.range(0));
-  const auto sources = corpus::generate_corpus(
-      micro_spec(corpus::CorpusKind::kPubMedLike, 2 << 20));
-  std::size_t bytes = 0;
-  for (auto _ : state) {
-    ga::spmd_run(nprocs, [&](ga::Context& ctx) {
-      benchmark::DoNotOptimize(text::scan_sources(ctx, sources, {}).forward.total_terms);
-    });
-    bytes += sources.total_bytes();
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
-}
-BENCHMARK(BM_ScanPipeline)->Arg(1)->Arg(4);
+  report::Report out;
+  out.name = "micro_text";
+  out.kind = "micro";
+  out.title = "Text kernel throughput (host wall-clock)";
 
-void BM_InvertedIndexing(benchmark::State& state) {
-  const int nprocs = static_cast<int>(state.range(0));
-  const auto sources = corpus::generate_corpus(
-      micro_spec(corpus::CorpusKind::kTrecLike, 2 << 20));
-  std::size_t bytes = 0;
-  for (auto _ : state) {
-    ga::spmd_run(nprocs, [&](ga::Context& ctx) {
-      const auto scan = text::scan_sources(ctx, sources, {});
-      benchmark::DoNotOptimize(
-          index::build_inverted_index(ctx, scan.forward, scan.vocabulary->size(), {})
-              .index.total_record_postings);
-    });
-    bytes += sources.total_bytes();
+  const std::size_t corpus_bytes = opts.smoke ? (1u << 20) : (4u << 20);
+  const int reps = opts.smoke ? 3 : 5;
+  const auto sources =
+      sva::corpus::generate_corpus(micro_spec(CorpusKind::kPubMedLike, corpus_bytes));
+  const sva::text::Tokenizer tokenizer;
+
+  const PathResult baseline = run_string_path(sources, tokenizer, reps);
+  const PathResult arena = run_arena_path(sources, tokenizer, reps);
+  const bool streams_match = baseline.ids == arena.ids;
+
+  const double baseline_mb_s =
+      static_cast<double>(baseline.bytes) / 1.0e6 / baseline.best_seconds;
+  const double arena_mb_s = static_cast<double>(arena.bytes) / 1.0e6 / arena.best_seconds;
+  const double speedup = baseline.best_seconds / arena.best_seconds;
+
+  sva::Table table({"path", "bytes", "best_s", "mb_per_s", "speedup_vs_string"});
+  table.add_row({"string", sva::Table::num(baseline.bytes), sva::Table::num(baseline.best_seconds, 4),
+                 sva::Table::num(baseline_mb_s, 1), sva::Table::num(1.0, 2)});
+  table.add_row({"token-arena", sva::Table::num(arena.bytes), sva::Table::num(arena.best_seconds, 4),
+                 sva::Table::num(arena_mb_s, 1), sva::Table::num(speedup, 2)});
+  emit_table(opts, "micro_text_tokenizer", table);
+  std::cout << "  token-arena speedup over string path: " << sva::Table::num(speedup, 2)
+            << "x (id streams " << (streams_match ? "match" : "MISMATCH") << ")\n\n";
+
+  json::Value tok = json::Value::object();
+  tok["bytes"] = static_cast<std::int64_t>(baseline.bytes);
+  tok["string_path_mb_s"] = baseline_mb_s;
+  tok["arena_path_mb_s"] = arena_mb_s;
+  tok["arena_speedup"] = speedup;
+  tok["streams_match"] = streams_match;
+  out.data["tokenizer"] = std::move(tok);
+
+  // End-to-end scan_sources wall throughput at a couple of rank counts.
+  json::Value scans = json::Value::array();
+  sva::Table scan_table({"procs", "wall_s", "mb_per_s"});
+  for (const int nprocs : {1, 4}) {
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      sva::WallTimer timer;
+      sva::ga::spmd_run(nprocs, [&](sva::ga::Context& ctx) {
+        (void)sva::text::scan_sources(ctx, sources, tokenizer.config());
+      });
+      const double elapsed = timer.elapsed();
+      if (rep == 0 || elapsed < best) best = elapsed;
+    }
+    const double mb_s = static_cast<double>(sources.total_bytes()) / 1.0e6 / best;
+    scan_table.add_row({sva::Table::num(static_cast<long long>(nprocs)),
+                        sva::Table::num(best, 4), sva::Table::num(mb_s, 1)});
+    json::Value record = json::Value::object();
+    record["procs"] = nprocs;
+    record["wall_s"] = best;
+    record["mb_s"] = mb_s;
+    scans.push_back(std::move(record));
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  emit_table(opts, "micro_text_scan", scan_table);
+  out.data["scan"] = std::move(scans);
+  return out;
 }
-BENCHMARK(BM_InvertedIndexing)->Arg(1)->Arg(4);
+
+const Registrar registrar{"micro_text", "micro",
+                          "tokenizer/dedup throughput: string path vs token arena",
+                          &run_micro_text};
 
 }  // namespace
-
-BENCHMARK_MAIN();
+}  // namespace svabench

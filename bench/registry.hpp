@@ -1,0 +1,104 @@
+// Benchmark registry + shared harness for the unified sva_bench driver.
+//
+// Every figure reproduction, ablation and microbenchmark registers itself
+// here (one Registrar per translation unit) and is invoked through the
+// single `sva_bench` binary — `--list` to enumerate, `--run <name>` to
+// execute, `--smoke` for the tiny-size CI sweep.  A benchmark is a pure
+// function BenchOptions -> report::Report; the driver owns argument
+// parsing, JSON emission and the cross-P determinism verdict.
+//
+// The harness helpers (corpus cache, engine config, size labels, table
+// emission) encode the paper's experimental setup: every figure sweeps
+// processor counts over the two dataset families at three problem sizes
+// whose ratios match the paper's (PubMed 2.75:6.67:16.44 GB, TREC
+// 1:4:8.21 GB), scaled down for a single-core host.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report.hpp"
+#include "sva/corpus/generator.hpp"
+#include "sva/engine/pipeline.hpp"
+#include "sva/util/table.hpp"
+
+namespace svabench {
+
+/// Default S1 size: SVA_BENCH_S1_MB env override, else 3 MiB (keeps a
+/// full figure sweep around a couple of minutes).
+std::size_t default_s1_bytes();
+
+/// Resolved run options shared by every benchmark.
+struct BenchOptions {
+  /// Processor counts for the figure P-sweeps.
+  std::vector<int> procs = {1, 2, 4, 8, 16, 32};
+  /// Problem sizes to sweep (indices into the S1/S2/S3 presets).
+  std::vector<int> size_indices = {0, 1, 2};
+  /// Tiny-size quick pass: benchmarks shrink their secondary sweeps too.
+  bool smoke = false;
+  /// PubMed-like S1 size in bytes (TREC-like S1 is 3/4 of it).
+  std::size_t s1_bytes = default_s1_bytes();
+  /// Where BENCH_*.json and the CSV tables land.  Never cwd-relative
+  /// output scatter: everything the subsystem writes goes through this.
+  std::filesystem::path out_dir = "build/bench_results";
+};
+
+using BenchFn = report::Report (*)(const BenchOptions&);
+
+struct BenchInfo {
+  std::string name;     ///< registry key and JSON file stem
+  std::string kind;     ///< "figure" | "ablation" | "micro"
+  std::string summary;  ///< one-liner for --list
+  BenchFn fn = nullptr;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  void add(BenchInfo info);
+  [[nodiscard]] const BenchInfo* find(std::string_view name) const;
+  /// All entries sorted by (kind, name) for stable --list output.
+  [[nodiscard]] std::vector<const BenchInfo*> sorted() const;
+
+ private:
+  std::vector<BenchInfo> entries_;
+};
+
+/// One static instance per benchmark translation unit.
+struct Registrar {
+  Registrar(std::string name, std::string kind, std::string summary, BenchFn fn);
+};
+
+// ---- shared harness -----------------------------------------------------
+
+/// The paper-analog corpus spec at (kind, size_index) under `opts`.
+sva::corpus::CorpusSpec spec_for(sva::corpus::CorpusKind kind, int size_index,
+                                 const BenchOptions& opts);
+
+/// Paper-analog labels for the three problem sizes.
+std::string size_label(sva::corpus::CorpusKind kind, int size_index);
+
+/// Corpus cache: generating S3 repeatedly would dominate the harness.
+/// Keyed by the full spec, so differently-sized smoke runs never collide.
+const sva::corpus::SourceSet& corpus_for(sva::corpus::CorpusKind kind, int size_index,
+                                         const BenchOptions& opts);
+
+/// Engine configuration used by all figure harnesses (matched across
+/// datasets; topic space sized for the scaled-down corpora).
+sva::engine::EngineConfig bench_engine_config();
+
+/// One pipeline execution at (kind, size, P) under the Itanium-cluster
+/// performance model.
+sva::engine::PipelineRun run_engine(sva::corpus::CorpusKind kind, int size_index, int nprocs,
+                                    const BenchOptions& opts);
+
+/// Prints the ASCII table and writes <out_dir>/<figure>.csv.
+void emit_table(const BenchOptions& opts, const std::string& figure, const sva::Table& table);
+
+void banner(const std::string& title);
+
+}  // namespace svabench

@@ -1,0 +1,493 @@
+#include "report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "sva/engine/digest.hpp"
+#include "sva/util/error.hpp"
+
+namespace svabench::json {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want) {
+  throw sva::InvalidArgument(std::string("json::Value: not a ") + want);
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN; emit null so the document stays parseable.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+  // Ensure a double never reads back as an integer.
+  if (out.find_first_of(".eE", out.size() - std::strlen(buf)) == std::string::npos) out += ".0";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw sva::FormatError("json parse error at offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Value(parse_string());
+    if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      return Value(true);
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      return Value(false);
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      return Value(nullptr);
+    }
+    return parse_number();
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value out = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out[key] = parse_value();
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return out;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value out = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return out;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // Telemetry strings are ASCII; encode BMP code points as UTF-8
+          // and leave surrogate pairs unsupported.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) fail("bad number");
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    if (integral) {
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return Value(static_cast<std::int64_t>(v));
+      }
+      // Integer overflow: fall through to double.
+    }
+    errno = 0;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number");
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_value(const Value& v, std::string& out, int indent, int depth);
+
+void dump_container_sep(std::string& out, int indent, int depth) {
+  if (indent > 0) {
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+  }
+}
+
+void dump_value(const Value& v, std::string& out, int indent, int depth) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_int()) {
+    out += std::to_string(v.as_int());
+  } else if (v.is_double()) {
+    append_number(out, v.as_double());
+  } else if (v.is_string()) {
+    append_escaped(out, v.as_string());
+  } else if (v.is_array()) {
+    const auto& items = v.items();
+    if (items.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += ',';
+      dump_container_sep(out, indent, depth + 1);
+      dump_value(items[i], out, indent, depth + 1);
+    }
+    dump_container_sep(out, indent, depth);
+    out += ']';
+  } else {
+    const auto& members = v.members();
+    if (members.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) out += ',';
+      dump_container_sep(out, indent, depth + 1);
+      append_escaped(out, members[i].first);
+      out += indent > 0 ? ": " : ":";
+      dump_value(members[i].second, out, indent, depth + 1);
+    }
+    dump_container_sep(out, indent, depth);
+    out += '}';
+  }
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (!is_bool()) type_error("bool");
+  return std::get<bool>(data_);
+}
+
+std::int64_t Value::as_int() const {
+  if (!is_int()) type_error("integer");
+  return std::get<std::int64_t>(data_);
+}
+
+double Value::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(data_));
+  if (!is_double()) type_error("number");
+  return std::get<double>(data_);
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) type_error("string");
+  return std::get<std::string>(data_);
+}
+
+const Value::Array& Value::items() const {
+  if (!is_array()) type_error("array");
+  return std::get<Array>(data_);
+}
+
+const Value::Object& Value::members() const {
+  if (!is_object()) type_error("object");
+  return std::get<Object>(data_);
+}
+
+Value& Value::operator[](std::string_view key) {
+  if (is_null()) data_ = Object{};
+  if (!is_object()) type_error("object");
+  auto& members = std::get<Object>(data_);
+  for (auto& [k, v] : members) {
+    if (k == key) return v;
+  }
+  members.emplace_back(std::string(key), Value());
+  return members.back().second;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(data_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr) throw sva::InvalidArgument("json::Value: missing key " + std::string(key));
+  return *v;
+}
+
+void Value::push_back(Value v) {
+  if (is_null()) data_ = Array{};
+  if (!is_array()) type_error("array");
+  std::get<Array>(data_).push_back(std::move(v));
+}
+
+std::size_t Value::size() const {
+  if (is_array()) return std::get<Array>(data_).size();
+  if (is_object()) return std::get<Object>(data_).size();
+  type_error("container");
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_value(*this, out, indent, 0);
+  return out;
+}
+
+Value Value::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace svabench::json
+
+namespace svabench::report {
+
+void Report::record_checksum(const std::string& key, int procs, std::uint64_t checksum) {
+  for (auto& series : checksums) {
+    if (series.key == key) {
+      series.by_procs.emplace_back(procs, checksum);
+      return;
+    }
+  }
+  checksums.push_back({key, {{procs, checksum}}});
+}
+
+std::vector<std::string> Report::determinism_violations() const {
+  std::vector<std::string> out;
+  for (const auto& series : checksums) {
+    for (const auto& [procs, checksum] : series.by_procs) {
+      if (checksum != series.by_procs.front().second) {
+        out.push_back(series.key);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+json::Value Report::to_json() const {
+  json::Value doc = json::Value::object();
+  doc["schema_version"] = kSchemaVersion;
+  doc["name"] = name;
+  doc["kind"] = kind;
+  doc["title"] = title;
+  doc["meta"] = meta;
+  doc["data"] = data;
+
+  json::Value determinism = json::Value::object();
+  determinism["consistent"] = determinism_violations().empty();
+  json::Value series_json = json::Value::array();
+  for (const auto& series : checksums) {
+    json::Value entry = json::Value::object();
+    entry["key"] = series.key;
+    json::Value by_procs = json::Value::object();
+    for (const auto& [procs, checksum] : series.by_procs) {
+      by_procs[std::to_string(procs)] = sva::engine::checksum_hex(checksum);
+    }
+    entry["checksums"] = std::move(by_procs);
+    series_json.push_back(std::move(entry));
+  }
+  determinism["series"] = std::move(series_json);
+  doc["determinism"] = std::move(determinism);
+  return doc;
+}
+
+json::Value run_record(Report& report, const std::string& key, int procs,
+                       const sva::engine::PipelineRun& run, std::uint64_t corpus_bytes) {
+  const auto& timings = run.result.timings;
+  json::Value record = json::Value::object();
+  record["procs"] = procs;
+  record["modeled_s"] = run.modeled_seconds;
+  record["wall_s"] = run.wall_seconds;
+  json::Value stages = json::Value::object();
+  for (const auto& label : sva::engine::ComponentTimings::labels()) {
+    stages[label] = timings.by_label(label);
+  }
+  record["stages"] = std::move(stages);
+  record["bytes"] = static_cast<std::int64_t>(corpus_bytes);
+  record["throughput_mb_s"] = run.modeled_seconds > 0.0
+                                  ? static_cast<double>(corpus_bytes) / 1.0e6 / run.modeled_seconds
+                                  : 0.0;
+  record["records"] = static_cast<std::int64_t>(run.result.num_records);
+  record["terms"] = static_cast<std::int64_t>(run.result.num_terms);
+
+  const std::uint64_t checksum = sva::engine::result_checksum(run.result);
+  record["checksum"] = sva::engine::checksum_hex(checksum);
+  report.record_checksum(key, procs, checksum);
+  return record;
+}
+
+json::Value table_json(const sva::Table& table) {
+  json::Value out = json::Value::object();
+  json::Value columns = json::Value::array();
+  for (const auto& h : table.header()) columns.push_back(h);
+  out["columns"] = std::move(columns);
+  json::Value rows = json::Value::array();
+  for (const auto& row : table.body()) {
+    json::Value cells = json::Value::array();
+    for (const auto& cell : row) cells.push_back(cell);
+    rows.push_back(std::move(cells));
+  }
+  out["rows"] = std::move(rows);
+  return out;
+}
+
+std::filesystem::path write_report(const Report& report, const std::filesystem::path& out_dir) {
+  std::filesystem::create_directories(out_dir);
+  const std::filesystem::path path = out_dir / ("BENCH_" + report.name + ".json");
+  std::ofstream stream(path);
+  if (!stream) throw sva::Error("write_report: cannot open " + path.string());
+  stream << report.to_json().dump() << '\n';
+  if (!stream) throw sva::Error("write_report: short write to " + path.string());
+  return path;
+}
+
+}  // namespace svabench::report

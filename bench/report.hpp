@@ -1,0 +1,142 @@
+// Schema-versioned JSON perf telemetry for the sva_bench subsystem.
+//
+// Every benchmark emits one BENCH_<name>.json per run: per-stage modeled
+// timings (the paper's six ComponentTimings labels), throughput, the
+// P-sweep series, and a determinism checksum of the EngineResult so a
+// P-variance regression is visible from the artifact alone.  The format
+// is deliberately append-friendly: later PRs (sharding, batching, async)
+// add fields under "data" without breaking older readers, and bump
+// kSchemaVersion only on incompatible changes.
+//
+// The json::Value type is a tiny ordered-object JSON document — emit and
+// parse, no external dependency — sized for telemetry, not for arbitrary
+// interchange (UTF-16 surrogate escapes are passed through verbatim).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "sva/engine/pipeline.hpp"
+#include "sva/util/table.hpp"
+
+namespace svabench::json {
+
+/// JSON document node.  Objects preserve insertion order so emitted
+/// reports are stable and diffable.
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::vector<std::pair<std::string, Value>>;
+
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : data_(b) {}                // NOLINT(google-explicit-constructor)
+  Value(double d) : data_(d) {}              // NOLINT(google-explicit-constructor)
+  Value(std::int64_t i) : data_(i) {}        // NOLINT(google-explicit-constructor)
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(std::size_t u) : data_(static_cast<std::int64_t>(u)) {}  // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+  Value(std::string_view s) : data_(std::string(s)) {}  // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}       // NOLINT
+
+  static Value object() { return Value(Object{}); }
+  static Value array() { return Value(Array{}); }
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(data_); }
+  [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(data_); }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(data_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  /// Numeric accessor: returns ints widened to double too.
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& items() const;
+  [[nodiscard]] const Object& members() const;
+
+  /// Object access: find-or-append (non-const), lookup (const).
+  Value& operator[](std::string_view key);
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] const Value& at(std::string_view key) const;
+
+  /// Array append.
+  void push_back(Value v);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serializes with 2-space indentation (indent <= 0 for compact).
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Parses a complete JSON document; throws sva::FormatError on
+  /// malformed input or trailing garbage.
+  static Value parse(std::string_view text);
+
+  friend bool operator==(const Value& a, const Value& b) { return a.data_ == b.data_; }
+
+ private:
+  explicit Value(Array a) : data_(std::move(a)) {}
+  explicit Value(Object o) : data_(std::move(o)) {}
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array, Object> data_;
+};
+
+}  // namespace svabench::json
+
+namespace svabench::report {
+
+/// Bump on incompatible BENCH_*.json layout changes.
+inline constexpr int kSchemaVersion = 1;
+
+/// One benchmark's emitted document plus the determinism ledger the
+/// driver verifies across processor counts.
+struct Report {
+  std::string name;   ///< file stem: BENCH_<name>.json
+  std::string kind;   ///< "figure" | "ablation" | "micro"
+  std::string title;  ///< human headline
+  json::Value meta = json::Value::object();  ///< resolved knobs (procs, bytes, smoke, …)
+  json::Value data = json::Value::object();  ///< benchmark-specific series
+
+  /// Determinism ledger: checksum of the EngineResult per (configuration
+  /// key, procs).  The driver fails CI when a key's checksums differ
+  /// across P.
+  struct ChecksumSeries {
+    std::string key;
+    std::vector<std::pair<int, std::uint64_t>> by_procs;
+  };
+  std::vector<ChecksumSeries> checksums;
+
+  void record_checksum(const std::string& key, int procs, std::uint64_t checksum);
+
+  /// Keys whose checksums differ across processor counts.
+  [[nodiscard]] std::vector<std::string> determinism_violations() const;
+
+  /// Assembles the full document (schema_version, identity, meta, data,
+  /// determinism block).
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// Distills one engine execution into a run record — per-stage modeled
+/// seconds (paper labels), totals, throughput MB/s over `corpus_bytes`,
+/// host wall seconds and the EngineResult checksum — and files the
+/// checksum under (key, procs) in the report's determinism ledger.
+json::Value run_record(Report& report, const std::string& key, int procs,
+                       const sva::engine::PipelineRun& run, std::uint64_t corpus_bytes);
+
+/// Embeds an ASCII/CSV table as {"columns": [...], "rows": [[...]]}.
+json::Value table_json(const sva::Table& table);
+
+/// Writes BENCH_<name>.json under out_dir (created if needed); returns
+/// the path written.
+std::filesystem::path write_report(const Report& report, const std::filesystem::path& out_dir);
+
+}  // namespace svabench::report

@@ -1,0 +1,201 @@
+// Unified benchmark driver.
+//
+//   sva_bench --list                      enumerate figures/ablations/micros
+//   sva_bench --run fig5_overall[,name…]  run selected benchmarks
+//   sva_bench --smoke                     run everything at tiny size (CI)
+//   sva_bench --procs 1,4                 override the P-sweep
+//   sva_bench --out-dir DIR               where BENCH_*.json + CSVs land
+//   sva_bench --s1-mb N                   PubMed-like S1 megabytes
+//
+// Every benchmark emits a schema-versioned BENCH_<name>.json under the
+// output directory.  The driver aggregates each report's determinism
+// ledger — the EngineResult checksum per (configuration, P) — and exits
+// nonzero when any configuration's checksum varies across processor
+// counts, which is how CI turns "identical products regardless of
+// processor count" into a gate.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "registry.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "usage: sva_bench [--list] [--run NAME[,NAME...]] [--smoke]\n"
+      "                 [--procs P[,P...]] [--sizes I[,I...]] [--s1-mb N]\n"
+      "                 [--out-dir DIR]\n"
+      "\n"
+      "  --list        list registered benchmarks and exit\n"
+      "  --run NAMES   run the named benchmarks (repeatable, comma-separated)\n"
+      "  --smoke       run every benchmark at tiny size, P={1,4} (CI gate)\n"
+      "  --procs LIST  processor counts for the figure sweeps (default 1,2,4,8,16,32)\n"
+      "  --sizes LIST  problem-size indices 0..2 to sweep (default 0,1,2)\n"
+      "  --s1-mb N     PubMed-like S1 megabytes (default $SVA_BENCH_S1_MB or 3)\n"
+      "  --out-dir DIR output directory (default build/bench_results/)\n";
+}
+
+std::vector<int> parse_int_list(const std::string& arg, const char* flag, int min_value = 1) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string piece = arg.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (piece.empty()) {
+      std::cerr << "sva_bench: empty entry in " << flag << " list\n";
+      std::exit(2);
+    }
+    char* end = nullptr;
+    const long v = std::strtol(piece.c_str(), &end, 10);
+    if (end != piece.c_str() + piece.size() || v < min_value) {
+      std::cerr << "sva_bench: bad value '" << piece << "' for " << flag << "\n";
+      std::exit(2);
+    }
+    out.push_back(static_cast<int>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) {
+    std::cerr << "sva_bench: " << flag << " needs at least one value\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+void split_names(const std::string& arg, std::vector<std::string>& out) {
+  std::size_t pos = 0;
+  while (pos <= arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string piece =
+        arg.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!piece.empty()) out.push_back(piece);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace svabench;
+
+  BenchOptions opts;
+  bool list = false;
+  bool smoke = false;
+  bool procs_given = false;
+  bool sizes_given = false;
+  bool s1_given = false;
+  std::vector<std::string> names;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "sva_bench: " << arg << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--run") {
+      split_names(next(), names);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--procs") {
+      opts.procs = parse_int_list(next(), "--procs");
+      procs_given = true;
+    } else if (arg == "--sizes") {
+      opts.size_indices.clear();
+      for (const int v : parse_int_list(next(), "--sizes", 0)) {
+        if (v > 2) {
+          std::cerr << "sva_bench: --sizes entries must be 0..2 (got " << v << ")\n";
+          return 2;
+        }
+        opts.size_indices.push_back(v);
+      }
+      sizes_given = true;
+    } else if (arg == "--s1-mb") {
+      const std::vector<int> v = parse_int_list(next(), "--s1-mb");
+      if (v.size() != 1) {
+        std::cerr << "sva_bench: --s1-mb takes a single value\n";
+        return 2;
+      }
+      opts.s1_bytes = static_cast<std::size_t>(v.front()) << 20;
+      s1_given = true;
+    } else if (arg == "--out-dir") {
+      opts.out_dir = next();
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::cerr << "sva_bench: unknown argument " << arg << "\n";
+      print_usage();
+      return 2;
+    }
+  }
+
+  auto& registry = Registry::instance();
+
+  if (list || (names.empty() && !smoke)) {
+    std::cout << "registered benchmarks:\n";
+    for (const BenchInfo* info : registry.sorted()) {
+      std::cout << "  " << info->kind << "  " << info->name;
+      for (std::size_t pad = info->name.size(); pad < 24; ++pad) std::cout << ' ';
+      std::cout << info->summary << "\n";
+    }
+    if (!list && names.empty() && !smoke) {
+      std::cout << "\nnothing selected; use --run NAME or --smoke\n";
+      print_usage();
+    }
+    return 0;
+  }
+
+  if (smoke) {
+    opts.smoke = true;
+    if (!procs_given) opts.procs = {1, 4};
+    if (!sizes_given) opts.size_indices = {0};
+    if (!s1_given) opts.s1_bytes = 256 << 10;  // tiny corpora: CI-sized sweep
+    if (names.empty()) {
+      for (const BenchInfo* info : registry.sorted()) names.push_back(info->name);
+    }
+  }
+
+  int failures = 0;
+  std::vector<std::string> violations;
+  for (const std::string& name : names) {
+    const BenchInfo* info = registry.find(name);
+    if (info == nullptr) {
+      std::cerr << "sva_bench: unknown benchmark '" << name << "' (see --list)\n";
+      return 2;
+    }
+    try {
+      report::Report report = info->fn(opts);
+      report.meta["smoke"] = opts.smoke;
+      {
+        svabench::json::Value procs = svabench::json::Value::array();
+        for (const int p : opts.procs) procs.push_back(p);
+        report.meta["procs"] = std::move(procs);
+      }
+      report.meta["s1_bytes"] = opts.s1_bytes;
+      const auto path = report::write_report(report, opts.out_dir);
+      std::cout << "wrote " << path.string() << "\n";
+      for (const auto& key : report.determinism_violations()) {
+        violations.push_back(report.name + ": " + key);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "sva_bench: " << name << " failed: " << e.what() << "\n";
+      ++failures;
+    }
+  }
+
+  if (!violations.empty()) {
+    std::cerr << "\nDETERMINISM FAILURE: EngineResult checksums differ across P for:\n";
+    for (const auto& v : violations) std::cerr << "  " << v << "\n";
+  }
+  if (failures > 0) std::cerr << failures << " benchmark(s) failed\n";
+  return (failures > 0 || !violations.empty()) ? 1 : 0;
+}

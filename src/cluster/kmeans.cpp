@@ -13,18 +13,45 @@ namespace sva::cluster {
 
 namespace {
 
-std::size_t nearest_centroid(std::span<const double> point, const Matrix& centroids) {
-  std::size_t best = 0;
-  double best_d = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < centroids.rows(); ++c) {
-    const double d = squared_distance(point, centroids.row(c));
-    if (d < best_d) {
-      best_d = d;
-      best = c;
+/// Cache-blocked nearest-centroid assignment for a contiguous tile of
+/// points: centroids are visited block by block (a block sized to stay
+/// L1-resident) with the whole tile scanning each block before the next
+/// is touched.  Per point, the comparison sequence is still ascending
+/// centroid order with strict `<`, so best distance, winning centroid and
+/// tie-breaking are bit-identical to the naive per-point loop — this is a
+/// pure reordering across independent points.
+void assign_tile_blocked(const Matrix& points, std::size_t tile_begin, std::size_t tile_end,
+                         const Matrix& centroids, std::span<std::int32_t> best_c,
+                         std::span<double> best_d) {
+  const std::size_t k = centroids.rows();
+  const std::size_t dim = centroids.cols();
+  // Centroid block sized to ~half of a 32 KiB L1d, at least one row.
+  const std::size_t block =
+      std::max<std::size_t>(1, (16u << 10) / std::max<std::size_t>(1, dim * sizeof(double)));
+  for (std::size_t i = tile_begin; i < tile_end; ++i) {
+    best_d[i - tile_begin] = std::numeric_limits<double>::infinity();
+    best_c[i - tile_begin] = 0;
+  }
+  for (std::size_t cb = 0; cb < k; cb += block) {
+    const std::size_t ce = std::min(k, cb + block);
+    for (std::size_t i = tile_begin; i < tile_end; ++i) {
+      const auto row = points.row(i);
+      double d_best = best_d[i - tile_begin];
+      std::int32_t c_best = best_c[i - tile_begin];
+      for (std::size_t c = cb; c < ce; ++c) {
+        const double d = squared_distance(row, centroids.row(c));
+        if (d < d_best) {
+          d_best = d;
+          c_best = static_cast<std::int32_t>(c);
+        }
+      }
+      best_d[i - tile_begin] = d_best;
+      best_c[i - tile_begin] = c_best;
     }
   }
-  return best;
 }
+
+constexpr std::size_t kAssignTilePoints = 128;
 
 double nearest_distance(std::span<const double> point, const Matrix& centroids,
                         std::size_t upto) {
@@ -119,6 +146,8 @@ KMeansResult kmeans_cluster(ga::Context& ctx, const Matrix& points,
       4.0 * static_cast<double>(dim) * coord_bound * coord_bound + 1.0;
 
   std::vector<std::int64_t> counts(k);
+  std::vector<std::int32_t> tile_c(kAssignTilePoints);
+  std::vector<double> tile_d(kAssignTilePoints);
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     result.iterations = iter + 1;
@@ -126,13 +155,17 @@ KMeansResult kmeans_cluster(ga::Context& ctx, const Matrix& points,
     ga::ReproducibleSum sum_acc(k * dim, coord_bound);
     ga::ReproducibleSum inertia_acc(1, inertia_bound);
 
-    for (std::size_t i = 0; i < points.rows(); ++i) {
-      const auto row = points.row(i);
-      const std::size_t c = nearest_centroid(row, result.centroids);
-      result.assignment[i] = static_cast<std::int32_t>(c);
-      inertia_acc.add(0, squared_distance(row, result.centroids.row(c)));
-      for (std::size_t d = 0; d < dim; ++d) sum_acc.add(c * dim + d, row[d]);
-      ++counts[c];
+    for (std::size_t tb = 0; tb < points.rows(); tb += kAssignTilePoints) {
+      const std::size_t te = std::min(points.rows(), tb + kAssignTilePoints);
+      assign_tile_blocked(points, tb, te, result.centroids, tile_c, tile_d);
+      for (std::size_t i = tb; i < te; ++i) {
+        const auto row = points.row(i);
+        const auto c = static_cast<std::size_t>(tile_c[i - tb]);
+        result.assignment[i] = tile_c[i - tb];
+        inertia_acc.add(0, tile_d[i - tb]);
+        for (std::size_t d = 0; d < dim; ++d) sum_acc.add(c * dim + d, row[d]);
+        ++counts[c];
+      }
     }
 
     const std::vector<double> sums = sum_acc.allreduce_sum(ctx);
@@ -177,12 +210,14 @@ KMeansResult kmeans_cluster(ga::Context& ctx, const Matrix& points,
   // Final assignment against the converged centroids.
   std::fill(counts.begin(), counts.end(), 0);
   ga::ReproducibleSum final_inertia(1, inertia_bound);
-  for (std::size_t i = 0; i < points.rows(); ++i) {
-    const auto row = points.row(i);
-    const std::size_t c = nearest_centroid(row, result.centroids);
-    result.assignment[i] = static_cast<std::int32_t>(c);
-    final_inertia.add(0, squared_distance(row, result.centroids.row(c)));
-    ++counts[c];
+  for (std::size_t tb = 0; tb < points.rows(); tb += kAssignTilePoints) {
+    const std::size_t te = std::min(points.rows(), tb + kAssignTilePoints);
+    assign_tile_blocked(points, tb, te, result.centroids, tile_c, tile_d);
+    for (std::size_t i = tb; i < te; ++i) {
+      result.assignment[i] = tile_c[i - tb];
+      final_inertia.add(0, tile_d[i - tb]);
+      ++counts[static_cast<std::size_t>(tile_c[i - tb])];
+    }
   }
   ctx.allreduce_sum(counts.data(), counts.size());
   result.inertia = final_inertia.allreduce_sum(ctx)[0];

@@ -1,0 +1,75 @@
+#include "sva/engine/digest.hpp"
+
+#include <bit>
+
+namespace sva::engine {
+
+std::string result_snapshot(const EngineResult& r) {
+  std::string out;
+  auto put_u64 = [&](std::uint64_t v) { out.append(reinterpret_cast<const char*>(&v), 8); };
+  auto put_f64 = [&](double v) { put_u64(std::bit_cast<std::uint64_t>(v)); };
+  auto put_str = [&](const std::string& s) {
+    put_u64(s.size());
+    out.append(s);
+  };
+
+  put_u64(r.num_records);
+  put_u64(r.num_terms);
+  put_u64(r.total_term_occurrences);
+  put_u64(r.dimension);
+  put_u64(static_cast<std::uint64_t>(r.signature_rounds));
+
+  if (r.vocabulary) {
+    for (const auto& term : r.vocabulary->terms) put_str(term);
+  }
+
+  for (auto t : r.selection.major_terms) put_u64(static_cast<std::uint64_t>(t));
+  for (auto s : r.selection.scores) put_f64(s);
+  for (auto d : r.selection.major_df) put_u64(static_cast<std::uint64_t>(d));
+  for (auto t : r.selection.topic_terms) put_u64(static_cast<std::uint64_t>(t));
+
+  put_u64(r.clustering.centroids.rows());
+  put_u64(r.clustering.centroids.cols());
+  for (double v : r.clustering.centroids.flat()) put_f64(v);
+  for (auto s : r.clustering.cluster_sizes) put_u64(static_cast<std::uint64_t>(s));
+  put_f64(r.clustering.inertia);
+  put_u64(static_cast<std::uint64_t>(r.clustering.iterations));
+
+  for (const auto& labels : r.theme_labels) {
+    put_u64(labels.size());
+    for (const auto& l : labels) put_str(l);
+  }
+
+  // Rank-0 gathered outputs: every document's coordinates and cluster.
+  for (auto id : r.projection.all_doc_ids) put_u64(id);
+  for (double v : r.projection.all_xy) put_f64(v);
+  for (auto a : r.all_assignment) put_u64(static_cast<std::uint64_t>(a));
+
+  return out;
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t result_checksum(const EngineResult& result) {
+  const std::string snap = result_snapshot(result);
+  return fnv1a64(snap.data(), snap.size());
+}
+
+std::string checksum_hex(std::uint64_t checksum) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out = "0x";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out += kDigits[(checksum >> shift) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace sva::engine

@@ -1,0 +1,38 @@
+// Deterministic digest of an EngineResult.
+//
+// The engine guarantees byte-identical products for any processor count
+// (§3's "identical products regardless of processor count").  This module
+// turns that guarantee into something checkable from the outside: a
+// canonical byte serialization of the deterministic products (snapshot)
+// and a 64-bit FNV-1a checksum of it.  Telemetry — timings, wall clock,
+// load-balance counters — is deliberately excluded: it depends on
+// measured host CPU time and may differ run to run.
+//
+// The determinism tests compare snapshots across rank counts; the bench
+// reports embed the checksum so CI can flag a P-variance regression from
+// the emitted BENCH_*.json alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sva/engine/pipeline.hpp"
+
+namespace sva::engine {
+
+/// Serializes the deterministic products of a rank-0 EngineResult to a
+/// byte string.  Doubles are captured as their exact bit patterns, so two
+/// snapshots compare equal iff the results are byte-identical.
+std::string result_snapshot(const EngineResult& result);
+
+/// 64-bit FNV-1a over arbitrary bytes (exposed for tests).
+std::uint64_t fnv1a64(const void* data, std::size_t size);
+
+/// FNV-1a checksum of result_snapshot(result).
+std::uint64_t result_checksum(const EngineResult& result);
+
+/// Lowercase zero-padded hex rendering ("0x0123456789abcdef") used by the
+/// JSON reports.
+std::string checksum_hex(std::uint64_t checksum);
+
+}  // namespace sva::engine

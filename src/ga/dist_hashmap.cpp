@@ -49,7 +49,7 @@ std::int64_t DistHashmap::insert_or_get(Context& ctx, std::string_view term) {
 }
 
 std::vector<std::int64_t> DistHashmap::insert_batch(Context& ctx,
-                                                    const std::vector<std::string>& terms) {
+                                                    std::span<const std::string_view> terms) {
   // Group requests by partition so each RPC channel is used once; this is
   // the aggregation ARMCI encourages and what makes insertion scale.
   const auto nprocs = static_cast<std::size_t>(storage_->nprocs);
@@ -73,12 +73,18 @@ std::vector<std::int64_t> DistHashmap::insert_batch(Context& ctx,
     std::lock_guard<std::mutex> lock(p.mutex);
     for (std::size_t i : request) {
       auto [it, inserted] = p.ids.try_emplace(
-          terms[i], static_cast<std::int64_t>(p.insertion_order.size()));
+          std::string(terms[i]), static_cast<std::int64_t>(p.insertion_order.size()));
       if (inserted) p.insertion_order.push_back(it->first);
       out[i] = encode(it->second, static_cast<int>(part));
     }
   }
   return out;
+}
+
+std::vector<std::int64_t> DistHashmap::insert_batch(Context& ctx,
+                                                    const std::vector<std::string>& terms) {
+  std::vector<std::string_view> views(terms.begin(), terms.end());
+  return insert_batch(ctx, std::span<const std::string_view>(views));
 }
 
 std::optional<std::int64_t> DistHashmap::find(Context& ctx, std::string_view term) const {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -48,7 +49,10 @@ class DistHashmap {
 
   /// Batched insert: groups terms by owning partition so each partition's
   /// lock and RPC channel is visited once.  Returns provisional IDs
-  /// aligned with `terms`.
+  /// aligned with `terms`.  The string_view overload is the scanner's
+  /// fast path: callers keep their spellings in a TokenArena and never
+  /// materialize per-term std::strings on the requesting side.
+  std::vector<std::int64_t> insert_batch(Context& ctx, std::span<const std::string_view> terms);
   std::vector<std::int64_t> insert_batch(Context& ctx,
                                          const std::vector<std::string>& terms);
 

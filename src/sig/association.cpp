@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "sva/util/error.hpp"
 
@@ -24,35 +25,70 @@ AssociationMatrix build_association_matrix(ga::Context& ctx,
   const std::size_t n = selection.n();
   const std::size_t m = selection.m();
   require(n >= 1 && m >= 1, "build_association_matrix: empty selection");
+  // The kernel exploits the prefix invariant (topic terms are the top-M
+  // prefix of the major terms, so row j < m is also topic column j).
+  require(m <= n, "build_association_matrix: more topic terms than major terms");
+  for (std::size_t j = 0; j < m; ++j) {
+    require(selection.topic_terms[j] == selection.major_terms[j],
+            "build_association_matrix: topic_terms is not a prefix of major_terms");
+  }
 
   // ---- partial co-occurrence counts over local records ----------------
   // co[i*m + j] = #records containing both major term i and topic term j.
+  //
+  // Records are processed in tiles: each record contributes its unique
+  // (major row, topic col) cross product, and the tile's row hits are
+  // sorted so the co rows are walked in ascending order with reuse across
+  // the tile's records — frequent major terms appear in many records of a
+  // tile, so their row slice stays cache-resident while every record that
+  // contains them scatters into it.  The entries are exact counts
+  // (+1.0 adds), so any accumulation order is byte-identical.
   std::vector<double> co(n * m, 0.0);
-  std::vector<std::size_t> major_rows;
-  std::vector<std::size_t> topic_cols;
+  const MajorRowMap row_map(selection);
 
-  for (const auto& rec : records) {
-    major_rows.clear();
-    topic_cols.clear();
-    for (const auto& field : rec.fields) {
-      for (std::int64_t t : field.terms) {
-        if (auto it = selection.major_index.find(t); it != selection.major_index.end()) {
-          major_rows.push_back(it->second);
-        }
-        if (auto it = selection.topic_index.find(t); it != selection.topic_index.end()) {
-          topic_cols.push_back(it->second);
+  constexpr std::size_t kTileRecords = 64;
+  std::vector<std::uint8_t> seen(n, 0);             // per-record presence scratch
+  std::vector<std::uint32_t> rows_scratch;          // one record's unique rows
+  std::vector<std::uint64_t> hits;                  // (row << 32 | record-in-tile)
+  std::vector<std::uint32_t> cols_flat;             // tile's topic cols, per record
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cols_range;  // per record
+
+  for (std::size_t tile = 0; tile < records.size(); tile += kTileRecords) {
+    const std::size_t tile_end = std::min(records.size(), tile + kTileRecords);
+    hits.clear();
+    cols_flat.clear();
+    cols_range.clear();
+
+    for (std::size_t rec_idx = tile; rec_idx < tile_end; ++rec_idx) {
+      const auto local = static_cast<std::uint32_t>(rec_idx - tile);
+      rows_scratch.clear();
+      for (const auto& field : records[rec_idx].fields) {
+        for (const std::int64_t t : field.terms) {
+          const std::int32_t r = row_map.row_of(t);
+          if (r >= 0 && seen[static_cast<std::size_t>(r)] == 0) {
+            seen[static_cast<std::size_t>(r)] = 1;
+            rows_scratch.push_back(static_cast<std::uint32_t>(r));
+          }
         }
       }
-    }
-    // Document-level presence: dedup.
-    std::sort(major_rows.begin(), major_rows.end());
-    major_rows.erase(std::unique(major_rows.begin(), major_rows.end()), major_rows.end());
-    std::sort(topic_cols.begin(), topic_cols.end());
-    topic_cols.erase(std::unique(topic_cols.begin(), topic_cols.end()), topic_cols.end());
+      for (const std::uint32_t r : rows_scratch) seen[r] = 0;
+      std::sort(rows_scratch.begin(), rows_scratch.end());
 
-    for (std::size_t i : major_rows) {
-      double* row = co.data() + i * m;
-      for (std::size_t j : topic_cols) row[j] += 1.0;
+      const auto cols_begin = static_cast<std::uint32_t>(cols_flat.size());
+      for (const std::uint32_t r : rows_scratch) {
+        if (r < m) cols_flat.push_back(r);  // prefix invariant: col == row
+        hits.push_back((static_cast<std::uint64_t>(r) << 32) | local);
+      }
+      cols_range.emplace_back(cols_begin, static_cast<std::uint32_t>(cols_flat.size()));
+    }
+
+    std::sort(hits.begin(), hits.end());
+    for (const std::uint64_t hit : hits) {
+      const auto row = static_cast<std::size_t>(hit >> 32);
+      const auto local = static_cast<std::size_t>(hit & 0xFFFFFFFFu);
+      double* rowp = co.data() + row * m;
+      const auto [cb, ce] = cols_range[local];
+      for (std::uint32_t c = cb; c < ce; ++c) rowp[cols_flat[c]] += 1.0;
     }
   }
 

@@ -55,6 +55,27 @@ struct TopicSelection {
   [[nodiscard]] std::size_t m() const { return topic_terms.size(); }
 };
 
+/// Dense term-id → major-row lookup for the per-token hot paths.  The
+/// association and signature kernels probe the selection once per term
+/// occurrence; a flat array indexed by canonical term id turns each probe
+/// into one load instead of a hash lookup.  Terms outside the selection
+/// map to -1.  Because topic_terms is the top-M prefix of major_terms,
+/// a row i is also a topic column iff i < m() — the kernels rely on this
+/// prefix invariant instead of a second (topic) lookup structure.
+class MajorRowMap {
+ public:
+  explicit MajorRowMap(const TopicSelection& selection);
+
+  [[nodiscard]] std::int32_t row_of(std::int64_t term) const {
+    return term >= 0 && static_cast<std::size_t>(term) < map_.size()
+               ? map_[static_cast<std::size_t>(term)]
+               : -1;
+  }
+
+ private:
+  std::vector<std::int32_t> map_;
+};
+
 /// The raw Bookstein condensation score for one term.
 double bookstein_score(std::int64_t term_frequency, std::int64_t doc_frequency,
                        std::uint64_t num_records);

@@ -27,7 +27,9 @@ SignatureSet compute_signatures(ga::Context& ctx,
   // combination order must be a function of the record alone (a reused
   // hash map's iteration order depends on how many records this rank
   // processed before, which would make the FP sum — and so the signature
-  // — depend on the partitioning and break P-invariance).
+  // — depend on the partitioning and break P-invariance).  The dense
+  // MajorRowMap turns the per-occurrence selection probe into one load.
+  const MajorRowMap row_map(selection);
   std::vector<double> freq(selection.n(), 0.0);
   std::vector<std::size_t> touched;
   std::int64_t local_nulls = 0;
@@ -40,9 +42,11 @@ SignatureSet compute_signatures(ga::Context& ctx,
     touched.clear();
     for (const auto& field : rec.fields) {
       for (std::int64_t t : field.terms) {
-        if (auto it = selection.major_index.find(t); it != selection.major_index.end()) {
-          if (freq[it->second] == 0.0) touched.push_back(it->second);
-          freq[it->second] += 1.0;
+        const std::int32_t row = row_map.row_of(t);
+        if (row >= 0) {
+          const auto r = static_cast<std::size_t>(row);
+          if (freq[r] == 0.0) touched.push_back(r);
+          freq[r] += 1.0;
         }
       }
     }

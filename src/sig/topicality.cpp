@@ -7,6 +7,15 @@
 
 namespace sva::sig {
 
+MajorRowMap::MajorRowMap(const TopicSelection& selection) {
+  std::int64_t max_term = -1;
+  for (const std::int64_t t : selection.major_terms) max_term = std::max(max_term, t);
+  map_.assign(static_cast<std::size_t>(max_term + 1), -1);
+  for (std::size_t i = 0; i < selection.major_terms.size(); ++i) {
+    map_[static_cast<std::size_t>(selection.major_terms[i])] = static_cast<std::int32_t>(i);
+  }
+}
+
 double bookstein_score(std::int64_t term_frequency, std::int64_t doc_frequency,
                        std::uint64_t num_records) {
   if (num_records == 0 || term_frequency <= 0 || doc_frequency <= 0) return 0.0;

@@ -1,0 +1,54 @@
+// Reusable per-rank token arena for the scan fast path.
+//
+// The scanner dedupes every token occurrence against the rank's unique
+// terms.  Doing that with std::string keys costs a heap allocation per
+// token plus repeated hashing; the arena instead stores each *unique*
+// spelling exactly once in chunked, stable character storage (structure
+// of arrays: one byte stream plus views into it), so the hot loop deals
+// only in std::string_view and integer term ids.  Views returned by
+// intern() remain valid until clear(); clear() keeps the chunk capacity
+// so an arena can be recycled across rounds without reallocating.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace sva::text {
+
+class TokenArena {
+ public:
+  explicit TokenArena(std::size_t chunk_bytes = 1 << 20);
+
+  /// Copies `token` into stable arena storage and returns a view of the
+  /// copy.  The view stays valid until clear() or destruction.
+  std::string_view intern(std::string_view token);
+
+  /// Forgets all interned tokens but keeps the allocated chunks.
+  void clear();
+
+  /// Bytes currently interned (across all chunks).
+  [[nodiscard]] std::size_t size_bytes() const { return interned_bytes_; }
+
+  /// Allocated capacity in bytes (diagnostics).
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const auto& chunk : chunks_) total += chunk.capacity;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  ///< chunks_[0..active_] are in use
+  std::size_t interned_bytes_ = 0;
+};
+
+}  // namespace sva::text

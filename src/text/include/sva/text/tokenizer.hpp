@@ -5,6 +5,12 @@
 // text-engine normalizations: ASCII case folding, token length limits,
 // numeric-token suppression and a stopword list — all configurable so the
 // PubMed-like and TREC-like pipelines can differ where it matters.
+//
+// Two consumption styles are offered: tokenize_into() materializes
+// std::strings (convenient for tests and small callers), and
+// for_each_token() streams each surviving token as a std::string_view
+// into a sink with no per-token heap allocation — the scanner's fast
+// path, which dedupes against a TokenArena.
 #pragma once
 
 #include <array>
@@ -54,6 +60,31 @@ class Tokenizer {
  public:
   explicit Tokenizer(TokenizerConfig config = {});
 
+  /// Streams each surviving token to `sink(std::string_view)`.  The view
+  /// aliases an internal scratch buffer and is only valid for the duration
+  /// of the sink call; sinks that keep tokens must copy (or intern into a
+  /// TokenArena).  One scratch buffer is (re)used for the whole text, so
+  /// the loop performs no per-token allocation.
+  template <typename Sink>
+  void for_each_token(std::string_view text, Sink&& sink, TokenStats* stats = nullptr) const {
+    TokenStats local;
+    std::string token;
+    token.reserve(config_.max_length + 1);
+    for (const unsigned char c : text) {
+      const char folded = fold_[c];
+      if (folded == '\0') {
+        if (!token.empty()) {
+          if (accept(token, local)) sink(std::string_view(token));
+          token.clear();
+        }
+      } else {
+        token += folded;
+      }
+    }
+    if (!token.empty() && accept(token, local)) sink(std::string_view(token));
+    if (stats != nullptr) *stats += local;
+  }
+
   /// Appends the surviving tokens of `text` to `out`.
   void tokenize_into(std::string_view text, std::vector<std::string>& out,
                      TokenStats* stats = nullptr) const;
@@ -68,8 +99,17 @@ class Tokenizer {
   static const std::vector<std::string>& builtin_stopwords();
 
  private:
+  /// Applies the length/numeric/stopword filters and (if configured) the
+  /// stemmer.  Returns whether the (possibly stemmed, in place) token
+  /// should be emitted.
+  bool accept(std::string& token, TokenStats& stats) const;
+
   TokenizerConfig config_;
-  std::array<bool, 256> is_delimiter_{};
+  /// Byte fold table: '\0' for delimiters, the (possibly lowercased)
+  /// byte otherwise.  One load replaces the delimiter test and the
+  /// std::tolower call on the hot path.  NUL bytes therefore act as
+  /// delimiters, which is the useful reading for text input.
+  std::array<char, 256> fold_{};
   std::unordered_set<std::string> stopwords_;
 };
 

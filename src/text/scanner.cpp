@@ -1,26 +1,13 @@
 #include "sva/text/scanner.hpp"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_map>
 
+#include "sva/text/token_arena.hpp"
 #include "sva/util/log.hpp"
 
 namespace sva::text {
-
-namespace {
-
-/// Intermediate per-field token buffer before ids are assigned.
-struct PendingField {
-  std::string name;
-  std::vector<std::string> tokens;
-};
-
-struct PendingRecord {
-  std::uint64_t doc_id = 0;
-  std::vector<PendingField> fields;
-};
-
-}  // namespace
 
 ScanResult scan_sources(ga::Context& ctx, const corpus::SourceSet& sources,
                         const TokenizerConfig& tokenizer_config) {
@@ -32,34 +19,64 @@ ScanResult scan_sources(ga::Context& ctx, const corpus::SourceSet& sources,
   const auto [doc_begin, doc_end] = parts[static_cast<std::size_t>(ctx.rank())];
   result.doc_range = {doc_begin, doc_end};
 
-  // ---- local scan: tokenize, collect unique terms ---------------------
-  std::vector<PendingRecord> pending;
-  pending.reserve(doc_end - doc_begin);
-
   ga::DistHashmap term_map = ga::DistHashmap::create(ctx);
   ga::DistHashmap field_map = ga::DistHashmap::create(ctx);
 
-  std::unordered_map<std::string, std::int64_t> local_term_ids;  // provisional
-  std::vector<std::string> new_terms;
+  // ---- local scan: tokenize straight into dense local term ids --------
+  // The fast path: each unique spelling is interned once into the arena,
+  // the dedup map is keyed by string_views into it, and the token stream
+  // is recorded as dense local ids (0, 1, 2, … in first-encounter order).
+  // No per-token std::string is ever allocated, and after the global
+  // vocabulary is canonicalized the records are rewritten with one table
+  // lookup per token instead of a second string hash.
+  TokenArena arena;
+  std::unordered_map<std::string_view, std::int64_t> local_ids;
+  std::vector<std::string_view> new_terms;  // local id -> spelling, first-seen order
+
+  std::vector<std::string> field_names;  // local field-name id -> name
+  std::unordered_map<std::string, std::int32_t> field_name_ids;
+
+  result.records.reserve(doc_end - doc_begin);
+  std::size_t local_fields = 0;
+  std::size_t local_terms = 0;
 
   for (std::size_t d = doc_begin; d < doc_end; ++d) {
     const corpus::RawDocument& doc = sources[d];
-    PendingRecord rec;
+    ScannedRecord rec;
     rec.doc_id = doc.id;
     rec.fields.reserve(doc.fields.size());
     for (const auto& field : doc.fields) {
-      PendingField pf;
-      pf.name = field.name;
-      tokenizer.tokenize_into(field.text, pf.tokens, &result.stats.tokens);
-      if (pf.tokens.empty()) ++result.stats.empty_fields;
-      for (const auto& tok : pf.tokens) {
-        if (local_term_ids.try_emplace(tok, -1).second) new_terms.push_back(tok);
+      ScannedField sf;
+      {
+        auto [it, inserted] = field_name_ids.try_emplace(
+            field.name, static_cast<std::int32_t>(field_names.size()));
+        if (inserted) field_names.push_back(field.name);
+        sf.type = it->second;  // provisional; canonicalized below
       }
-      rec.fields.push_back(std::move(pf));
+      tokenizer.for_each_token(
+          field.text,
+          [&](std::string_view token) {
+            auto it = local_ids.find(token);
+            std::int64_t id;
+            if (it == local_ids.end()) {
+              const std::string_view stable = arena.intern(token);
+              id = static_cast<std::int64_t>(new_terms.size());
+              local_ids.emplace(stable, id);
+              new_terms.push_back(stable);
+            } else {
+              id = it->second;
+            }
+            sf.terms.push_back(id);
+          },
+          &result.stats.tokens);
+      if (sf.terms.empty()) ++result.stats.empty_fields;
+      local_terms += sf.terms.size();
+      ++local_fields;
+      rec.fields.push_back(std::move(sf));
     }
     result.stats.bytes_scanned += doc.bytes();
     ++result.stats.records_scanned;
-    pending.push_back(std::move(rec));
+    result.records.push_back(std::move(rec));
   }
 
   // Model the I/O cost of pulling this rank's slice off the filesystem;
@@ -70,24 +87,11 @@ ScanResult scan_sources(ga::Context& ctx, const corpus::SourceSet& sources,
   ctx.charge(ctx.model().io_read(result.stats.bytes_scanned, total_bytes));
 
   // ---- global vocabulary: batched inserts into the distributed hashmap
-  {
-    const auto provisional = term_map.insert_batch(ctx, new_terms);
-    for (std::size_t i = 0; i < new_terms.size(); ++i) {
-      local_term_ids[new_terms[i]] = provisional[i];
-    }
-  }
+  const std::vector<std::int64_t> provisional =
+      term_map.insert_batch(ctx, std::span<const std::string_view>(new_terms));
 
   // Field-type names go through a (tiny) second distributed map.
-  {
-    std::vector<std::string> local_field_names;
-    std::unordered_map<std::string, bool> seen;
-    for (const auto& rec : pending) {
-      for (const auto& f : rec.fields) {
-        if (seen.try_emplace(f.name, true).second) local_field_names.push_back(f.name);
-      }
-    }
-    (void)field_map.insert_batch(ctx, local_field_names);
-  }
+  (void)field_map.insert_batch(ctx, field_names);
 
   // All inserts must complete before canonicalization.
   ctx.barrier();
@@ -98,32 +102,24 @@ ScanResult scan_sources(ga::Context& ctx, const corpus::SourceSet& sources,
   result.vocabulary = term_final.vocabulary;
   result.field_type_names = field_final.vocabulary->terms;
 
-  // Rewrite local records with canonical ids.
-  std::unordered_map<std::string, std::int64_t> canonical_term_ids;
-  canonical_term_ids.reserve(local_term_ids.size());
-  for (const auto& [term, provisional] : local_term_ids) {
-    canonical_term_ids.emplace(term, term_final.remap_id(provisional));
+  // Rewrite local records with canonical ids: local id -> canonical id is
+  // a dense table, so the rewrite is pure array indexing.
+  std::vector<std::int64_t> local_to_canonical(new_terms.size());
+  for (std::size_t i = 0; i < new_terms.size(); ++i) {
+    local_to_canonical[i] = term_final.remap_id(provisional[i]);
+  }
+  std::vector<std::int32_t> field_type_canonical(field_names.size());
+  for (std::size_t i = 0; i < field_names.size(); ++i) {
+    field_type_canonical[i] =
+        static_cast<std::int32_t>(field_final.vocabulary->id_of(field_names[i]));
   }
 
-  result.records.reserve(pending.size());
-  std::size_t local_fields = 0;
-  std::size_t local_terms = 0;
-  for (auto& rec : pending) {
-    ScannedRecord out;
-    out.doc_id = rec.doc_id;
-    out.fields.reserve(rec.fields.size());
+  for (auto& rec : result.records) {
     for (auto& f : rec.fields) {
-      ScannedField sf;
-      sf.type = static_cast<std::int32_t>(field_final.vocabulary->id_of(f.name));
-      sf.terms.reserve(f.tokens.size());
-      for (const auto& tok : f.tokens) sf.terms.push_back(canonical_term_ids.at(tok));
-      local_terms += sf.terms.size();
-      out.fields.push_back(std::move(sf));
-      ++local_fields;
+      f.type = field_type_canonical[static_cast<std::size_t>(f.type)];
+      for (auto& t : f.terms) t = local_to_canonical[static_cast<std::size_t>(t)];
     }
-    result.records.push_back(std::move(out));
   }
-  pending.clear();
 
   // ---- forward index in global arrays (CSR over field instances) ------
   const auto field_base = static_cast<std::size_t>(

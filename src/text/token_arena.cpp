@@ -1,0 +1,44 @@
+#include "sva/text/token_arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sva::text {
+
+TokenArena::TokenArena(std::size_t chunk_bytes)
+    : chunk_bytes_(std::max<std::size_t>(chunk_bytes, 64)) {
+  chunks_.emplace_back();
+  chunks_.back().data = std::make_unique<char[]>(chunk_bytes_);
+  chunks_.back().capacity = chunk_bytes_;
+}
+
+std::string_view TokenArena::intern(std::string_view token) {
+  // A token never spans chunks; oversized tokens get a chunk of their own
+  // size so the invariant (stable contiguous bytes) holds for any length.
+  const std::size_t need = token.size();
+  Chunk* chunk = &chunks_[active_];
+  if (chunk->capacity - chunk->used < need) {
+    ++active_;
+    if (active_ == chunks_.size()) chunks_.emplace_back();
+    chunk = &chunks_[active_];
+    if (chunk->capacity < need || chunk->capacity == 0) {
+      const std::size_t capacity = std::max(chunk_bytes_, need);
+      chunk->data = std::make_unique<char[]>(capacity);
+      chunk->capacity = capacity;
+    }
+    chunk->used = 0;
+  }
+  char* dst = chunk->data.get() + chunk->used;
+  if (need > 0) std::memcpy(dst, token.data(), need);
+  chunk->used += need;
+  interned_bytes_ += need;
+  return {dst, need};
+}
+
+void TokenArena::clear() {
+  for (auto& chunk : chunks_) chunk.used = 0;
+  active_ = 0;
+  interned_bytes_ = 0;
+}
+
+}  // namespace sva::text

@@ -8,6 +8,7 @@
 namespace sva::text {
 
 const std::vector<std::string>& Tokenizer::builtin_stopwords() {
+  // clang-format off
   static const std::vector<std::string> kStopwords = {
       "a",    "an",   "and",  "are",   "as",    "at",   "be",    "but",  "by",
       "for",  "from", "had",  "has",   "have",  "he",   "her",   "his",  "if",
@@ -15,52 +16,44 @@ const std::vector<std::string>& Tokenizer::builtin_stopwords() {
       "on",   "or",   "our",  "she",   "so",    "that", "the",   "their", "then",
       "there", "these", "they", "this", "to",   "was",  "we",    "were", "which",
       "while", "with", "you",  "your"};
+  // clang-format on
   return kStopwords;
 }
 
 Tokenizer::Tokenizer(TokenizerConfig config) : config_(std::move(config)) {
-  for (unsigned char c : config_.delimiters) is_delimiter_[c] = true;
+  for (int c = 0; c < 256; ++c) {
+    fold_[static_cast<std::size_t>(c)] =
+        config_.lowercase ? static_cast<char>(std::tolower(c)) : static_cast<char>(c);
+  }
+  for (const unsigned char c : config_.delimiters) fold_[c] = '\0';
   if (config_.use_stopwords) {
     for (const auto& w : builtin_stopwords()) stopwords_.insert(w);
     for (const auto& w : config_.extra_stopwords) stopwords_.insert(to_lower(w));
   }
 }
 
+bool Tokenizer::accept(std::string& token, TokenStats& stats) const {
+  const std::size_t len = token.size();
+  if (len < config_.min_length) {
+    ++stats.dropped_short;
+  } else if (len > config_.max_length) {
+    ++stats.dropped_long;
+  } else if (config_.drop_numeric && is_all_digits(token)) {
+    ++stats.dropped_numeric;
+  } else if (config_.use_stopwords && stopwords_.count(token) != 0) {
+    ++stats.dropped_stopword;
+  } else {
+    if (config_.stem) porter_stem_inplace(token);
+    ++stats.emitted;
+    return true;
+  }
+  return false;
+}
+
 void Tokenizer::tokenize_into(std::string_view text, std::vector<std::string>& out,
                               TokenStats* stats) const {
-  TokenStats local;
-  std::string token;
-  token.reserve(config_.max_length + 1);
-
-  auto flush = [&] {
-    if (token.empty()) return;
-    const std::size_t len = token.size();
-    if (len < config_.min_length) {
-      ++local.dropped_short;
-    } else if (len > config_.max_length) {
-      ++local.dropped_long;
-    } else if (config_.drop_numeric && is_all_digits(token)) {
-      ++local.dropped_numeric;
-    } else if (config_.use_stopwords && stopwords_.count(token) != 0) {
-      ++local.dropped_stopword;
-    } else {
-      if (config_.stem) porter_stem_inplace(token);
-      out.push_back(token);
-      ++local.emitted;
-    }
-    token.clear();
-  };
-
-  for (unsigned char c : text) {
-    if (is_delimiter_[c]) {
-      flush();
-    } else {
-      token += config_.lowercase ? static_cast<char>(std::tolower(c)) : static_cast<char>(c);
-    }
-  }
-  flush();
-
-  if (stats != nullptr) *stats += local;
+  for_each_token(
+      text, [&](std::string_view token) { out.emplace_back(token); }, stats);
 }
 
 std::vector<std::string> Tokenizer::tokenize(std::string_view text, TokenStats* stats) const {

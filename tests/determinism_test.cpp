@@ -4,12 +4,12 @@
 // and corpus generation itself must be a pure function of its spec.
 #include <gtest/gtest.h>
 
-#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "sva/corpus/generator.hpp"
+#include "sva/engine/digest.hpp"
 #include "sva/engine/pipeline.hpp"
 
 namespace sva::engine {
@@ -34,52 +34,9 @@ EngineConfig small_config() {
   return config;
 }
 
-/// Serializes the deterministic products of a rank-0 EngineResult to a
-/// byte string.  Doubles are captured as their exact bit patterns, so two
-/// snapshots compare equal iff the results are byte-identical.  Telemetry
-/// (timings, wall clock, load-balance stats) is intentionally excluded:
-/// it depends on measured host CPU time.
-std::string snapshot(const EngineResult& r) {
-  std::string out;
-  auto put_u64 = [&](std::uint64_t v) { out.append(reinterpret_cast<const char*>(&v), 8); };
-  auto put_f64 = [&](double v) { put_u64(std::bit_cast<std::uint64_t>(v)); };
-  auto put_str = [&](const std::string& s) {
-    put_u64(s.size());
-    out.append(s);
-  };
-
-  put_u64(r.num_records);
-  put_u64(r.num_terms);
-  put_u64(r.total_term_occurrences);
-  put_u64(r.dimension);
-  put_u64(static_cast<std::uint64_t>(r.signature_rounds));
-
-  for (const auto& term : r.vocabulary->terms) put_str(term);
-
-  for (auto t : r.selection.major_terms) put_u64(static_cast<std::uint64_t>(t));
-  for (auto s : r.selection.scores) put_f64(s);
-  for (auto d : r.selection.major_df) put_u64(static_cast<std::uint64_t>(d));
-  for (auto t : r.selection.topic_terms) put_u64(static_cast<std::uint64_t>(t));
-
-  put_u64(r.clustering.centroids.rows());
-  put_u64(r.clustering.centroids.cols());
-  for (double v : r.clustering.centroids.flat()) put_f64(v);
-  for (auto s : r.clustering.cluster_sizes) put_u64(static_cast<std::uint64_t>(s));
-  put_f64(r.clustering.inertia);
-  put_u64(static_cast<std::uint64_t>(r.clustering.iterations));
-
-  for (const auto& labels : r.theme_labels) {
-    put_u64(labels.size());
-    for (const auto& l : labels) put_str(l);
-  }
-
-  // Rank-0 gathered outputs: every document's coordinates and cluster.
-  for (auto id : r.projection.all_doc_ids) put_u64(id);
-  for (double v : r.projection.all_xy) put_f64(v);
-  for (auto a : r.all_assignment) put_u64(static_cast<std::uint64_t>(a));
-
-  return out;
-}
+/// Canonical byte serialization of the deterministic products (telemetry
+/// excluded); shared with the bench reports via sva/engine/digest.hpp.
+std::string snapshot(const EngineResult& r) { return result_snapshot(r); }
 
 class KindTest : public ::testing::TestWithParam<corpus::CorpusKind> {};
 
