@@ -22,7 +22,8 @@ report::Report run_ablate_dimensionality(const BenchOptions& opts) {
 
   const auto& sources = corpus_for(CorpusKind::kPubMedLike, 0, opts);
   const std::vector<std::size_t> initial_ns =
-      opts.smoke ? std::vector<std::size_t>{40, 100} : std::vector<std::size_t>{40, 100, 400, 800};
+      opts.smoke ? std::vector<std::size_t>{40, 100}
+                 : std::vector<std::size_t>{40, 100, 400, 800};
   const int nprocs = opts.smoke ? 4 : 8;
 
   sva::Table table({"initial_N", "adaptive", "final_N", "final_M", "rounds", "null_pct",

@@ -24,7 +24,8 @@ report::Report run_ablate_io(const BenchOptions& opts) {
 
   const auto& sources = corpus_for(CorpusKind::kPubMedLike, 0, opts);
 
-  sva::Table table({"procs", "parallel_fs_s", "speedup_pfs", "serial_disk_s", "speedup_serial"});
+  sva::Table table(
+      {"procs", "parallel_fs_s", "speedup_pfs", "serial_disk_s", "speedup_serial"});
   json::Value series = json::Value::array();
   double base_pfs = 0.0;
   double base_serial = 0.0;

@@ -1,0 +1,183 @@
+#include "compare.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "sva/util/error.hpp"
+
+namespace svabench::compare {
+
+namespace {
+
+std::string format_pct(double fraction) {
+  std::ostringstream out;
+  out.precision(1);
+  out << std::fixed << fraction * 100.0 << "%";
+  return out.str();
+}
+
+/// Regression fraction of a "higher is better" metric (positive = worse).
+double drop_fraction(double baseline, double current) {
+  if (baseline <= 0.0) return 0.0;
+  return (baseline - current) / baseline;
+}
+
+/// Regression fraction of a "lower is better" metric (positive = worse).
+double rise_fraction(double baseline, double current) {
+  if (baseline <= 0.0) return current > 0.0 ? 1.0 : 0.0;
+  return (current - baseline) / baseline;
+}
+
+bool is_throughput_field(const std::string& key) {
+  return key.size() >= 4 && key.compare(key.size() - 4, 4, "mb_s") == 0;
+}
+
+/// Walks both documents in parallel, checking every numeric metric field
+/// present on both sides.  Structure drift (added/removed fields, longer
+/// arrays) is tolerated — the trajectory is append-friendly by design.
+void walk(const std::string& bench, const std::string& path, const json::Value& baseline,
+          const json::Value& current, const CompareOptions& options, CompareResult& out) {
+  if (baseline.is_object() && current.is_object()) {
+    for (const auto& [key, value] : baseline.members()) {
+      const json::Value* other = current.find(key);
+      if (other == nullptr) continue;
+      const std::string child = path.empty() ? key : path + "." + key;
+      if (value.is_number() && other->is_number()) {
+        if (key == "modeled_s") {
+          const double rise = rise_fraction(value.as_double(), other->as_double());
+          if (rise > options.modeled_tolerance) {
+            out.findings.push_back(
+                {true, bench + ": " + child + " regressed " + format_pct(rise) + " (" +
+                           std::to_string(value.as_double()) + "s -> " +
+                           std::to_string(other->as_double()) + "s, tolerance " +
+                           format_pct(options.modeled_tolerance) + ")"});
+          }
+        } else if (bench == "micro_text" && is_throughput_field(key)) {
+          const double drop = drop_fraction(value.as_double(), other->as_double());
+          if (drop > options.throughput_tolerance) {
+            out.findings.push_back(
+                {true, bench + ": " + child + " throughput regressed " + format_pct(drop) +
+                           " (" + std::to_string(value.as_double()) + " -> " +
+                           std::to_string(other->as_double()) + " MB/s, tolerance " +
+                           format_pct(options.throughput_tolerance) + ")"});
+          }
+        }
+      } else {
+        walk(bench, child, value, *other, options, out);
+      }
+    }
+  } else if (baseline.is_array() && current.is_array()) {
+    const std::size_t n = std::min(baseline.size(), current.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      walk(bench, path + "[" + std::to_string(i) + "]", baseline.items()[i],
+           current.items()[i], options, out);
+    }
+  }
+}
+
+void compare_checksums(const std::string& bench, const json::Value& baseline,
+                       const json::Value& current, const CompareOptions& options,
+                       CompareResult& out) {
+  const json::Value* base_det = baseline.find("determinism");
+  const json::Value* cur_det = current.find("determinism");
+  if (base_det == nullptr || cur_det == nullptr) return;
+  const json::Value* base_series = base_det->find("series");
+  const json::Value* cur_series = cur_det->find("series");
+  if (base_series == nullptr || cur_series == nullptr) return;
+
+  for (const auto& base_entry : base_series->items()) {
+    const std::string& key = base_entry.at("key").as_string();
+    const json::Value* cur_entry = nullptr;
+    for (const auto& candidate : cur_series->items()) {
+      if (candidate.at("key").as_string() == key) {
+        cur_entry = &candidate;
+        break;
+      }
+    }
+    if (cur_entry == nullptr) {
+      out.findings.push_back(
+          {false, bench + ": determinism key '" + key + "' absent from current run"});
+      continue;
+    }
+    for (const auto& [procs, checksum] : base_entry.at("checksums").members()) {
+      const json::Value* cur_checksum = cur_entry->at("checksums").find(procs);
+      if (cur_checksum == nullptr) continue;
+      if (cur_checksum->as_string() != checksum.as_string()) {
+        out.findings.push_back(
+            {!options.allow_checksum_change,
+             bench + ": determinism checksum changed for '" + key + "' at P=" + procs +
+                 " (" + checksum.as_string() + " -> " + cur_checksum->as_string() + ")"});
+      }
+    }
+  }
+}
+
+json::Value load_report(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw sva::Error("compare: cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return json::Value::parse(buffer.str());
+}
+
+}  // namespace
+
+void compare_report_documents(const std::string& name, const json::Value& baseline,
+                              const json::Value& current, const CompareOptions& options,
+                              CompareResult& out) {
+  ++out.benchmarks_compared;
+  compare_checksums(name, baseline, current, options, out);
+  const json::Value* base_data = baseline.find("data");
+  const json::Value* cur_data = current.find("data");
+  if (base_data != nullptr && cur_data != nullptr) {
+    walk(name, "data", *base_data, *cur_data, options, out);
+  }
+}
+
+CompareResult compare_directories(const std::filesystem::path& baseline_dir,
+                                  const std::filesystem::path& current_dir,
+                                  const CompareOptions& options) {
+  CompareResult out;
+
+  std::vector<std::filesystem::path> baseline_files;
+  if (std::filesystem::is_directory(baseline_dir)) {
+    for (const auto& entry : std::filesystem::directory_iterator(baseline_dir)) {
+      const std::string stem = entry.path().filename().string();
+      if (entry.is_regular_file() && stem.rfind("BENCH_", 0) == 0 &&
+          entry.path().extension() == ".json") {
+        baseline_files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(baseline_files.begin(), baseline_files.end());
+
+  if (baseline_files.empty()) {
+    out.findings.push_back(
+        {false, "no baseline BENCH_*.json under " + baseline_dir.string() +
+                    "; nothing to compare (first run?)"});
+    return out;
+  }
+
+  for (const auto& path : baseline_files) {
+    const std::string filename = path.filename().string();
+    const std::string name =
+        filename.substr(6, filename.size() - 6 - 5);  // strip BENCH_ / .json
+    const std::filesystem::path current_path = current_dir / filename;
+    if (!std::filesystem::exists(current_path)) {
+      out.findings.push_back(
+          {true, name + ": present in baseline but missing from current run"});
+      continue;
+    }
+    try {
+      const json::Value baseline = load_report(path);
+      const json::Value current = load_report(current_path);
+      compare_report_documents(name, baseline, current, options, out);
+    } catch (const sva::Error& e) {
+      out.findings.push_back({true, name + ": " + e.what()});
+    }
+  }
+  return out;
+}
+
+}  // namespace svabench::compare

@@ -1,0 +1,72 @@
+// Perf-regression comparison of two BENCH_*.json trajectories (the CI
+// gate ROADMAP tracked since PR 2).
+//
+// The baseline is the previous main-branch bench-smoke-json artifact;
+// the current side is a fresh --smoke run.  Three rules, mirroring the
+// trajectory's noise characteristics:
+//
+//   * determinism checksums are exact: any change for a (benchmark, key,
+//     procs) present on both sides fails — a checksum drift means the
+//     engine's products changed;
+//   * modeled_s may not regress beyond --modeled-tolerance (default 0:
+//     modeled time is the LogGP communication model plus measured
+//     compute, and any regression is a real cost increase);
+//   * micro_text's wall-clock throughput fields (*_mb_s) may not regress
+//     more than --throughput-tolerance (default 10%: host wall clock is
+//     noisy on shared runners).
+//
+// Benchmarks present only in the current run are new and ignored; a
+// benchmark that disappears from the current run fails.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "report.hpp"
+
+namespace svabench::compare {
+
+struct CompareOptions {
+  /// Allowed fractional regression of wall-clock throughput (micro_text
+  /// *_mb_s fields).
+  double throughput_tolerance = 0.10;
+  /// Allowed fractional regression of modeled_s fields.
+  double modeled_tolerance = 0.0;
+  /// Downgrade checksum changes to informational (for runs that are
+  /// expected to change the engine's products).
+  bool allow_checksum_change = false;
+};
+
+struct Finding {
+  bool fail = false;  ///< false = informational
+  std::string message;
+};
+
+struct CompareResult {
+  std::vector<Finding> findings;
+  int benchmarks_compared = 0;
+
+  [[nodiscard]] bool failed() const {
+    for (const auto& f : findings) {
+      if (f.fail) return true;
+    }
+    return false;
+  }
+};
+
+/// Compares one baseline report document against its current
+/// counterpart; appends findings.  `name` is the benchmark name used in
+/// messages.
+void compare_report_documents(const std::string& name, const json::Value& baseline,
+                              const json::Value& current, const CompareOptions& options,
+                              CompareResult& out);
+
+/// Compares every BENCH_*.json in `baseline_dir` against `current_dir`.
+/// An empty or missing baseline directory yields an informational
+/// finding and no failures (first-run bootstrap).
+CompareResult compare_directories(const std::filesystem::path& baseline_dir,
+                                  const std::filesystem::path& current_dir,
+                                  const CompareOptions& options = {});
+
+}  // namespace svabench::compare

@@ -1,0 +1,102 @@
+// CI perf-regression gate: compares the previous main-branch
+// bench-smoke-json artifact against a fresh --smoke run.
+//
+//   compare_reports --baseline DIR --current DIR
+//
+// Exits 0 when the trajectory holds, 1 on any regression (see
+// compare.hpp for the rules), 2 on usage errors.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "compare.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "usage: compare_reports --baseline DIR --current DIR\n"
+      "                       [--throughput-tolerance F] [--modeled-tolerance F]\n"
+      "                       [--allow-checksum-change]\n"
+      "\n"
+      "  --baseline DIR            previous run's BENCH_*.json directory\n"
+      "  --current DIR             fresh run's BENCH_*.json directory\n"
+      "  --throughput-tolerance F  allowed fractional wall-throughput drop\n"
+      "                            (micro_text *_mb_s; default 0.10)\n"
+      "  --modeled-tolerance F     allowed fractional modeled_s rise (default 0)\n"
+      "  --allow-checksum-change   checksum drift is informational, not fatal\n";
+}
+
+double parse_fraction(const std::string& arg, const char* flag) {
+  char* end = nullptr;
+  const double v = std::strtod(arg.c_str(), &end);
+  if (end != arg.c_str() + arg.size() || arg.empty() || v < 0.0 || v > 10.0) {
+    std::cerr << "compare_reports: bad value '" << arg << "' for " << flag << "\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace svabench::compare;
+
+  std::string baseline_dir;
+  std::string current_dir;
+  CompareOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "compare_reports: " << arg << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--baseline") {
+      baseline_dir = next();
+    } else if (arg == "--current") {
+      current_dir = next();
+    } else if (arg == "--throughput-tolerance") {
+      options.throughput_tolerance = parse_fraction(next(), "--throughput-tolerance");
+    } else if (arg == "--modeled-tolerance") {
+      options.modeled_tolerance = parse_fraction(next(), "--modeled-tolerance");
+    } else if (arg == "--allow-checksum-change") {
+      options.allow_checksum_change = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::cerr << "compare_reports: unknown argument " << arg << "\n";
+      print_usage();
+      return 2;
+    }
+  }
+  if (baseline_dir.empty() || current_dir.empty()) {
+    std::cerr << "compare_reports: --baseline and --current are required\n";
+    print_usage();
+    return 2;
+  }
+
+  try {
+    const CompareResult result = compare_directories(baseline_dir, current_dir, options);
+    for (const auto& finding : result.findings) {
+      (finding.fail ? std::cerr : std::cout)
+          << (finding.fail ? "FAIL: " : "note: ") << finding.message << "\n";
+    }
+    std::cout << result.benchmarks_compared << " benchmark(s) compared, "
+              << result.findings.size() << " finding(s)\n";
+    if (result.failed()) {
+      std::cerr << "perf-regression gate: FAILED\n";
+      return 1;
+    }
+    std::cout << "perf-regression gate: OK\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "compare_reports: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,120 @@
+// Sharded out-of-core ingestion benchmark: shard-count sweeps at fixed P
+// plus a processor sweep at fixed shard count, with the invariant the
+// pipeline guarantees wired into the determinism ledger — the
+// EngineResult checksum must be byte-identical for every shard count
+// (entry 0 of each sweep is the classic single-pass engine, so sharding
+// is also checked against the unsharded baseline, and the driver exits
+// nonzero on any divergence).
+#include <cstdint>
+#include <iostream>
+
+#include "registry.hpp"
+#include "sva/corpus/reader.hpp"
+#include "sva/engine/digest.hpp"
+#include "sva/engine/engine.hpp"
+#include "sva/util/timer.hpp"
+
+namespace svabench {
+namespace {
+
+struct ShardedRun {
+  double wall_s = 0.0;
+  double modeled_s = 0.0;
+  std::uint64_t checksum = 0;
+  std::size_t num_records = 0;
+};
+
+ShardedRun run_sharded(const sva::corpus::SourceSet& sources, int nprocs,
+                       std::size_t shards) {
+  const sva::corpus::InMemoryReader reader(sources);
+  sva::engine::Engine engine(bench_engine_config());
+  sva::engine::PipelineOptions options;
+  options.sharding.num_shards = shards;
+
+  ShardedRun out;
+  sva::WallTimer timer;
+  sva::ga::spmd_run(nprocs, sva::ga::itanium_cluster_model(), [&](sva::ga::Context& ctx) {
+    auto result = engine.run(ctx, reader, options);
+    if (ctx.rank() == 0) {
+      out.checksum = sva::engine::result_checksum(*result);
+      out.modeled_s = result->timings.total();
+      out.num_records = result->num_records;
+    }
+  });
+  out.wall_s = timer.elapsed();
+  return out;
+}
+
+report::Report run_ingest_sharded(const BenchOptions& opts) {
+  using sva::corpus::CorpusKind;
+  banner("Sharded out-of-core ingestion: shard-count and processor sweeps");
+
+  report::Report out;
+  out.name = "ingest_sharded";
+  out.kind = "ablation";
+  out.title = "Sharded ingestion vs single pass (checksum-verified)";
+
+  const std::vector<std::size_t> shard_counts =
+      opts.smoke ? std::vector<std::size_t>{1, 2, 5} : std::vector<std::size_t>{1, 2, 4, 8};
+  const int fixed_procs = 2;
+  const std::size_t fixed_shards = 3;
+
+  for (const CorpusKind kind : {CorpusKind::kPubMedLike, CorpusKind::kTrecLike}) {
+    const std::string kind_name = sva::corpus::corpus_kind_name(kind);
+    const auto& sources = corpus_for(kind, 0, opts);
+
+    // Baseline: the unsharded engine.  Filed as sweep entry 0 so any
+    // sharded divergence from it is a determinism violation.
+    const auto baseline =
+        sva::engine::run_pipeline(fixed_procs, sva::ga::itanium_cluster_model(), sources,
+                                  bench_engine_config());
+    const std::uint64_t baseline_checksum = sva::engine::result_checksum(baseline.result);
+    const std::string shard_key = kind_name + "/S1/shard-sweep";
+    out.record_checksum(shard_key, 0, baseline_checksum);
+
+    sva::Table table({"shards", "wall_s", "modeled_s", "checksum", "matches_single_pass"});
+    json::Value sweep = json::Value::array();
+    for (const std::size_t shards : shard_counts) {
+      const ShardedRun run = run_sharded(sources, fixed_procs, shards);
+      out.record_checksum(shard_key, static_cast<int>(shards), run.checksum);
+      table.add_row({sva::Table::num(static_cast<long long>(shards)),
+                     sva::Table::num(run.wall_s, 4), sva::Table::num(run.modeled_s, 4),
+                     sva::engine::checksum_hex(run.checksum),
+                     run.checksum == baseline_checksum ? "yes" : "NO"});
+      json::Value record = json::Value::object();
+      record["shards"] = shards;
+      record["wall_s"] = run.wall_s;
+      record["modeled_s"] = run.modeled_s;
+      record["checksum"] = sva::engine::checksum_hex(run.checksum);
+      record["matches_single_pass"] = run.checksum == baseline_checksum;
+      sweep.push_back(std::move(record));
+    }
+    emit_table(opts, "ingest_sharded_" + kind_name, table);
+    out.data[kind_name + "_shard_sweep"] = std::move(sweep);
+
+    // Processor sweep at a fixed shard count: the same checksum must
+    // appear at every P.
+    const std::string proc_key = kind_name + "/S1/procs-sweep";
+    json::Value procs_sweep = json::Value::array();
+    for (const int nprocs : opts.procs) {
+      const ShardedRun run = run_sharded(sources, nprocs, fixed_shards);
+      out.record_checksum(proc_key, nprocs, run.checksum);
+      json::Value record = json::Value::object();
+      record["procs"] = nprocs;
+      record["shards"] = fixed_shards;
+      record["wall_s"] = run.wall_s;
+      record["modeled_s"] = run.modeled_s;
+      record["checksum"] = sva::engine::checksum_hex(run.checksum);
+      procs_sweep.push_back(std::move(record));
+    }
+    out.data[kind_name + "_procs_sweep"] = std::move(procs_sweep);
+  }
+  return out;
+}
+
+const Registrar registrar{"ingest_sharded", "ablation",
+                          "sharded out-of-core ingestion vs single pass (checksums)",
+                          &run_ingest_sharded};
+
+}  // namespace
+}  // namespace svabench

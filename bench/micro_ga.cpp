@@ -132,7 +132,8 @@ report::Report run_micro_ga(const BenchOptions& opts) {
     constexpr std::size_t kTasks = 4096;
     const double t = best_seconds(reps, [&] {
       spmd_run(nprocs, [&](Context& ctx) {
-        auto queue = sva::ga::make_task_queue(ctx, sva::ga::Scheduling::kOwnerFirst, kTasks, 32);
+        auto queue =
+            sva::ga::make_task_queue(ctx, sva::ga::Scheduling::kOwnerFirst, kTasks, 32);
         while (queue->next(ctx)) {
         }
         ctx.barrier();

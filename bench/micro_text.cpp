@@ -140,10 +140,12 @@ report::Report run_micro_text(const BenchOptions& opts) {
   const double speedup = baseline.best_seconds / arena.best_seconds;
 
   sva::Table table({"path", "bytes", "best_s", "mb_per_s", "speedup_vs_string"});
-  table.add_row({"string", sva::Table::num(baseline.bytes), sva::Table::num(baseline.best_seconds, 4),
-                 sva::Table::num(baseline_mb_s, 1), sva::Table::num(1.0, 2)});
-  table.add_row({"token-arena", sva::Table::num(arena.bytes), sva::Table::num(arena.best_seconds, 4),
-                 sva::Table::num(arena_mb_s, 1), sva::Table::num(speedup, 2)});
+  table.add_row({"string", sva::Table::num(baseline.bytes),
+                 sva::Table::num(baseline.best_seconds, 4), sva::Table::num(baseline_mb_s, 1),
+                 sva::Table::num(1.0, 2)});
+  table.add_row({"token-arena", sva::Table::num(arena.bytes),
+                 sva::Table::num(arena.best_seconds, 4), sva::Table::num(arena_mb_s, 1),
+                 sva::Table::num(speedup, 2)});
   emit_table(opts, "micro_text_tokenizer", table);
   std::cout << "  token-arena speedup over string path: " << sva::Table::num(speedup, 2)
             << "x (id streams " << (streams_match ? "match" : "MISMATCH") << ")\n\n";

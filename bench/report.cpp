@@ -453,9 +453,10 @@ json::Value run_record(Report& report, const std::string& key, int procs,
   }
   record["stages"] = std::move(stages);
   record["bytes"] = static_cast<std::int64_t>(corpus_bytes);
-  record["throughput_mb_s"] = run.modeled_seconds > 0.0
-                                  ? static_cast<double>(corpus_bytes) / 1.0e6 / run.modeled_seconds
-                                  : 0.0;
+  record["throughput_mb_s"] =
+      run.modeled_seconds > 0.0
+          ? static_cast<double>(corpus_bytes) / 1.0e6 / run.modeled_seconds
+          : 0.0;
   record["records"] = static_cast<std::int64_t>(run.result.num_records);
   record["terms"] = static_cast<std::int64_t>(run.result.num_terms);
 

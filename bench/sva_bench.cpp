@@ -77,6 +77,15 @@ void split_names(const std::string& arg, std::vector<std::string>& out) {
   }
 }
 
+void print_inventory(std::ostream& out) {
+  out << "registered benchmarks:\n";
+  for (const svabench::BenchInfo* info : svabench::Registry::instance().sorted()) {
+    out << "  " << info->kind << "  " << info->name;
+    for (std::size_t pad = info->name.size(); pad < 24; ++pad) out << ' ';
+    out << info->summary << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -102,7 +111,16 @@ int main(int argc, char** argv) {
     if (arg == "--list") {
       list = true;
     } else if (arg == "--run") {
-      split_names(next(), names);
+      const std::string spec = next();
+      const std::size_t before = names.size();
+      split_names(spec, names);
+      if (names.size() == before) {
+        // A --run that selects nothing must not fall through to the
+        // "nothing selected" listing with a zero exit.
+        std::cerr << "sva_bench: --run '" << spec << "' selects no benchmarks\n";
+        print_inventory(std::cerr);
+        return 2;
+      }
     } else if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--procs") {
@@ -141,17 +159,29 @@ int main(int argc, char** argv) {
   auto& registry = Registry::instance();
 
   if (list || (names.empty() && !smoke)) {
-    std::cout << "registered benchmarks:\n";
-    for (const BenchInfo* info : registry.sorted()) {
-      std::cout << "  " << info->kind << "  " << info->name;
-      for (std::size_t pad = info->name.size(); pad < 24; ++pad) std::cout << ' ';
-      std::cout << info->summary << "\n";
-    }
+    print_inventory(std::cout);
     if (!list && names.empty() && !smoke) {
       std::cout << "\nnothing selected; use --run NAME or --smoke\n";
       print_usage();
     }
     return 0;
+  }
+
+  // Validate every requested name up front: an unknown benchmark exits
+  // nonzero with the full inventory instead of silently running nothing
+  // (or only a prefix of the request).
+  {
+    bool unknown = false;
+    for (const std::string& name : names) {
+      if (registry.find(name) == nullptr) {
+        std::cerr << "sva_bench: unknown benchmark '" << name << "'\n";
+        unknown = true;
+      }
+    }
+    if (unknown) {
+      print_inventory(std::cerr);
+      return 2;
+    }
   }
 
   if (smoke) {
@@ -168,10 +198,6 @@ int main(int argc, char** argv) {
   std::vector<std::string> violations;
   for (const std::string& name : names) {
     const BenchInfo* info = registry.find(name);
-    if (info == nullptr) {
-      std::cerr << "sva_bench: unknown benchmark '" << name << "' (see --list)\n";
-      return 2;
-    }
     try {
       report::Report report = info->fn(opts);
       report.meta["smoke"] = opts.smoke;

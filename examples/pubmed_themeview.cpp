@@ -63,7 +63,8 @@ int main(int argc, char** argv) {
   summary.add_row({"vocabulary", sva::Table::num(static_cast<long long>(r.num_terms))});
   summary.add_row({"major terms (N)", sva::Table::num(r.selection.n())});
   summary.add_row({"signature dims (M)", sva::Table::num(r.dimension)});
-  summary.add_row({"adaptive rounds", sva::Table::num(static_cast<long long>(r.signature_rounds))});
+  summary.add_row(
+      {"adaptive rounds", sva::Table::num(static_cast<long long>(r.signature_rounds))});
   summary.add_row({"null signatures",
                    sva::Table::num(static_cast<long long>(r.signatures.global_null_count))});
   summary.add_row({"clusters", sva::Table::num(r.clustering.centroids.rows())});

@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
   for (std::size_t rank = 0; rank < r.index_load_balance.busy_seconds.size(); ++rank) {
     lb.add_row({sva::Table::num(static_cast<long long>(rank)),
                 sva::Table::num(r.index_load_balance.busy_seconds[rank], 4),
-                sva::Table::num(static_cast<long long>(r.index_load_balance.loads_claimed[rank]))});
+                sva::Table::num(
+                    static_cast<long long>(r.index_load_balance.loads_claimed[rank]))});
   }
   std::cout << "indexing load balance (imbalance = "
             << sva::Table::num(r.index_load_balance.imbalance(), 3) << "):\n"

@@ -6,17 +6,19 @@
 
 namespace sva::corpus {
 
-std::vector<std::pair<std::size_t, std::size_t>> partition_by_bytes(const SourceSet& sources,
-                                                                    int nprocs) {
+std::vector<std::pair<std::size_t, std::size_t>> partition_sizes_by_bytes(
+    const std::vector<std::size_t>& doc_sizes, int nprocs) {
   require(nprocs >= 1, "partition_by_bytes: nprocs must be >= 1");
-  const std::size_t n = sources.size();
+  const std::size_t n = doc_sizes.size();
   std::vector<std::pair<std::size_t, std::size_t>> parts(static_cast<std::size_t>(nprocs));
 
   // Walk documents once, cutting a new partition whenever the running byte
   // count passes the next equal-share boundary.  Contiguity preserves
   // document order (stable record ids) while byte balancing matches the
   // paper's partitioning criterion.
-  const double total = static_cast<double>(std::max<std::size_t>(sources.total_bytes(), 1));
+  std::size_t total_bytes = 0;
+  for (const std::size_t b : doc_sizes) total_bytes += b;
+  const double total = static_cast<double>(std::max<std::size_t>(total_bytes, 1));
   const double share = total / nprocs;
 
   std::size_t doc = 0;
@@ -25,7 +27,7 @@ std::vector<std::pair<std::size_t, std::size_t>> partition_by_bytes(const Source
     const std::size_t begin = doc;
     const double boundary = share * (r + 1);
     while (doc < n && (consumed < boundary || r == nprocs - 1)) {
-      consumed += static_cast<double>(sources[doc].bytes());
+      consumed += static_cast<double>(doc_sizes[doc]);
       ++doc;
       // Stop as soon as we cross the boundary so later ranks get work too.
       if (r != nprocs - 1 && consumed >= boundary) break;
@@ -34,6 +36,14 @@ std::vector<std::pair<std::size_t, std::size_t>> partition_by_bytes(const Source
   }
   parts.back().second = n;
   return parts;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> partition_by_bytes(const SourceSet& sources,
+                                                                    int nprocs) {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(sources.size());
+  for (const auto& doc : sources.docs()) sizes.push_back(doc.bytes());
+  return partition_sizes_by_bytes(sizes, nprocs);
 }
 
 }  // namespace sva::corpus

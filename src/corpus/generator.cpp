@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "sva/corpus/lexicon.hpp"
 #include "sva/corpus/zipf.hpp"
@@ -161,20 +162,37 @@ RawDocument make_trec_doc(const CorpusSpec& spec, const VocabularyModel& vocab,
 
 }  // namespace
 
-SourceSet generate_corpus(const CorpusSpec& spec) {
-  require(spec.target_bytes > 0, "generate_corpus: target_bytes must be > 0");
-  require(spec.num_themes >= 1, "generate_corpus: need at least one theme");
-  require(spec.core_vocabulary >= 100, "generate_corpus: core vocabulary too small");
+struct DocumentGenerator::Impl {
+  CorpusSpec spec;
+  VocabularyModel vocab;
 
-  VocabularyModel vocab(spec);
+  explicit Impl(CorpusSpec s) : spec(std::move(s)), vocab(spec) {
+    require(spec.target_bytes > 0, "DocumentGenerator: target_bytes must be > 0");
+    require(spec.num_themes >= 1, "DocumentGenerator: need at least one theme");
+    require(spec.core_vocabulary >= 100, "DocumentGenerator: core vocabulary too small");
+  }
+};
+
+DocumentGenerator::DocumentGenerator(CorpusSpec spec)
+    : impl_(std::make_unique<Impl>(std::move(spec))) {}
+DocumentGenerator::~DocumentGenerator() = default;
+DocumentGenerator::DocumentGenerator(DocumentGenerator&&) noexcept = default;
+DocumentGenerator& DocumentGenerator::operator=(DocumentGenerator&&) noexcept = default;
+
+const CorpusSpec& DocumentGenerator::spec() const { return impl_->spec; }
+
+RawDocument DocumentGenerator::make(std::uint64_t doc_seq) const {
+  return impl_->spec.kind == CorpusKind::kPubMedLike
+             ? make_pubmed_doc(impl_->spec, impl_->vocab, doc_seq)
+             : make_trec_doc(impl_->spec, impl_->vocab, doc_seq);
+}
+
+SourceSet generate_corpus(const CorpusSpec& spec) {
+  const DocumentGenerator gen(spec);
   SourceSet sources;
   std::uint64_t doc_seq = 0;
   while (sources.total_bytes() < spec.target_bytes) {
-    if (spec.kind == CorpusKind::kPubMedLike) {
-      sources.add(make_pubmed_doc(spec, vocab, doc_seq));
-    } else {
-      sources.add(make_trec_doc(spec, vocab, doc_seq));
-    }
+    sources.add(gen.make(doc_seq));
     ++doc_seq;
   }
   return sources;

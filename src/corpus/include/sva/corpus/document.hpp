@@ -56,4 +56,10 @@ class SourceSet {
 std::vector<std::pair<std::size_t, std::size_t>> partition_by_bytes(const SourceSet& sources,
                                                                     int nprocs);
 
+/// Same cut, driven by a size-metadata vector instead of resident
+/// documents, so out-of-core readers and checkpoint resume can reproduce
+/// the exact partition without materializing any document.
+std::vector<std::pair<std::size_t, std::size_t>> partition_sizes_by_bytes(
+    const std::vector<std::size_t>& doc_sizes, int nprocs);
+
 }  // namespace sva::corpus

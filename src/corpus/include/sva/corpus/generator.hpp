@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "sva/corpus/document.hpp"
@@ -58,6 +59,28 @@ struct CorpusSpec {
 
 /// Generates a corpus per `spec`.  Deterministic in the spec.
 SourceSet generate_corpus(const CorpusSpec& spec);
+
+/// Per-document generator: materializes the exact documents
+/// generate_corpus(spec) produces, one at a time.  Document i is a pure
+/// function of (spec, i), so callers can fetch documents in any order —
+/// or concurrently — without holding the rest of the corpus.  This is
+/// the substrate of the out-of-core GeneratedReader.
+class DocumentGenerator {
+ public:
+  explicit DocumentGenerator(CorpusSpec spec);
+  ~DocumentGenerator();
+  DocumentGenerator(DocumentGenerator&&) noexcept;
+  DocumentGenerator& operator=(DocumentGenerator&&) noexcept;
+
+  [[nodiscard]] const CorpusSpec& spec() const;
+
+  /// Document `doc_seq` of the corpus.  Thread-safe.
+  [[nodiscard]] RawDocument make(std::uint64_t doc_seq) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// The latent theme the generator assigned to document `doc_seq`
 /// (sequence number within the corpus).  Exposed so tests and benches can

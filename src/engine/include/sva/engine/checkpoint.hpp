@@ -1,0 +1,140 @@
+// Engine checkpoints: per-stage persistence with versioned headers and
+// per-section FNV-1a checksums, so a killed pipeline run restarts at the
+// last completed stage (Engine::resume) instead of from the raw corpus.
+//
+// One file per completed stage group lives in the checkpoint directory:
+//
+//   ingest.svack      stages 1–2: vocabulary, field types, per-record
+//                     term streams (global document order), per-record
+//                     raw byte sizes (so any processor count reproduces
+//                     the byte-balanced partition), term statistics and
+//                     load-balance telemetry;
+//   signatures.svack  stages 3–5: topic selection, knowledge signatures,
+//                     adaptive-round telemetry;
+//   cluster.svack     stage 6: centroids, assignment, sizes, inertia;
+//   final.svack       stage 7: projection coordinates and theme labels.
+//
+// Every file records the engine-configuration fingerprint it was written
+// under; loading with a different configuration is refused.  All
+// integers are varbyte, doubles are exact bit patterns — a resumed run
+// recomputes the remaining stages to a byte-identical EngineResult.
+// Files are written to a temporary name and renamed, so a kill can never
+// leave a half-written stage file under its final name; any corruption
+// (truncation, bit flips — including in the header or section table) is
+// rejected with FormatError.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sva/engine/ingest.hpp"
+#include "sva/engine/stages.hpp"
+
+namespace sva::engine {
+
+/// Checkpointable stage groups, in pipeline order.
+enum class Stage {
+  kIngest = 0,      ///< scan & map + inverted indexing (stages 1–2)
+  kSignatures = 1,  ///< topicality + association + signatures (3–5)
+  kCluster = 2,     ///< clustering (6)
+  kFinal = 3,       ///< projection + theme labels (7)
+};
+
+[[nodiscard]] const char* stage_name(Stage stage);
+[[nodiscard]] std::optional<Stage> parse_stage(std::string_view name);
+[[nodiscard]] std::filesystem::path stage_path(const std::filesystem::path& dir, Stage stage);
+
+/// Generic checkpoint container: named byte sections behind a versioned
+/// header.  write() checksums each section and the header itself;
+/// read() refuses anything that does not verify, with FormatError.
+class CheckpointFile {
+ public:
+  Stage stage = Stage::kIngest;
+  std::uint64_t config_fingerprint = 0;
+
+  void add(std::string name, std::vector<std::uint8_t> payload);
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] const std::vector<std::uint8_t>& section(std::string_view name) const;
+
+  /// Serial: writes temp-then-rename under `path`.
+  void write(const std::filesystem::path& path) const;
+  /// Serial: reads and fully validates `path`; throws FormatError on any
+  /// corruption, sva::Error when the file cannot be opened.
+  static CheckpointFile read(const std::filesystem::path& path);
+  /// Parses an in-memory image (what read() and the resume broadcast
+  /// use); throws FormatError on any corruption.
+  static CheckpointFile parse(std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> sections_;
+};
+
+/// Highest stage S such that every stage file up to and including S is
+/// present and valid in `dir` (invalid/corrupt files end the chain).
+/// Serial; callers in an SPMD world should evaluate on rank 0 and
+/// broadcast.
+[[nodiscard]] std::optional<Stage> last_completed_stage(const std::filesystem::path& dir);
+
+// ---- per-stage persistence (collective; rank 0 touches the disk) -------
+
+void save_ingest_checkpoint(ga::Context& ctx, const std::filesystem::path& dir,
+                            const IngestState& state, const ComponentTimings& timings,
+                            std::uint64_t config_fingerprint);
+
+void save_signature_checkpoint(ga::Context& ctx, const std::filesystem::path& dir,
+                               const SignatureStageState& state,
+                               const ComponentTimings& timings,
+                               std::uint64_t config_fingerprint);
+
+void save_cluster_checkpoint(ga::Context& ctx, const std::filesystem::path& dir,
+                             const ClusterStageState& state, const ComponentTimings& timings,
+                             std::uint64_t config_fingerprint);
+
+void save_final_checkpoint(ga::Context& ctx, const std::filesystem::path& dir,
+                           const ProjectionStageState& state, const ComponentTimings& timings,
+                           std::uint64_t config_fingerprint);
+
+/// Restored stage-1–2 state.  With `for_recompute`, the records and term
+/// statistics needed to re-run stages 3–5 are rebuilt (records
+/// redistributed by the stored byte sizes); otherwise only the light
+/// replicated products are loaded.
+struct IngestCheckpoint {
+  IngestState state;  ///< forward/inverted global arrays are not restored
+  ComponentTimings timings;
+  std::vector<std::size_t> record_sizes;  ///< global, for partitioning
+};
+IngestCheckpoint load_ingest_checkpoint(ga::Context& ctx, const std::filesystem::path& dir,
+                                        std::uint64_t config_fingerprint, bool for_recompute);
+
+struct SignatureCheckpoint {
+  SignatureStageState state;  ///< signatures redistributed to this rank
+  ComponentTimings timings;
+};
+SignatureCheckpoint load_signature_checkpoint(ga::Context& ctx,
+                                              const std::filesystem::path& dir,
+                                              std::uint64_t config_fingerprint,
+                                              const std::vector<std::size_t>& record_sizes);
+
+struct ClusterCheckpoint {
+  ClusterStageState state;  ///< assignment redistributed to this rank
+  std::vector<std::int32_t> all_assignment;  ///< rank 0 only
+  ComponentTimings timings;
+};
+ClusterCheckpoint load_cluster_checkpoint(ga::Context& ctx, const std::filesystem::path& dir,
+                                          std::uint64_t config_fingerprint,
+                                          const std::vector<std::size_t>& record_sizes);
+
+struct FinalCheckpoint {
+  ProjectionStageState state;
+  ComponentTimings timings;
+};
+FinalCheckpoint load_final_checkpoint(ga::Context& ctx, const std::filesystem::path& dir,
+                                      std::uint64_t config_fingerprint,
+                                      const std::vector<std::size_t>& record_sizes);
+
+}  // namespace sva::engine

@@ -1,0 +1,61 @@
+// Engine facade: the checkpointing, shard-aware entry point to the full
+// pipeline.
+//
+//   Engine eng(config);
+//   auto result = eng.run(ctx, reader, {.sharding = {.num_shards = 8},
+//                                       .checkpoint_dir = "ckpt/"});
+//   // ... killed? restart:
+//   EngineResult r = eng.resume(ctx, "ckpt/");
+//
+// run() ingests shard by shard under the configured memory budget and
+// persists a checkpoint after every completed stage group; resume()
+// restarts at the last completed stage and recomputes the remainder to a
+// byte-identical EngineResult.  The classic run_text_engine /
+// run_pipeline single-pass entry points are unchanged — the facade adds
+// scale-out and durability on top of the same stage functions.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+
+#include "sva/engine/checkpoint.hpp"
+#include "sva/engine/pipeline.hpp"
+
+namespace sva::engine {
+
+struct PipelineOptions {
+  /// Shard plan for out-of-core ingestion (defaults to one shard).
+  corpus::ShardingConfig sharding;
+  /// When set, a checkpoint is persisted after each completed stage.
+  std::filesystem::path checkpoint_dir;
+  /// Testing hook: halt (like a kill) after this stage's checkpoint is
+  /// written.  Requires checkpoint_dir.  Stage::kFinal runs to completion.
+  std::optional<Stage> stop_after;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+  /// Collective: runs the full pipeline over `reader`.  Returns nullopt
+  /// iff `stop_after` halted the run before the final stage.
+  std::optional<EngineResult> run(ga::Context& ctx, const corpus::CorpusReader& reader,
+                                  const PipelineOptions& options = {});
+
+  /// Collective: resumes from the last completed stage checkpoint in
+  /// `checkpoint_dir`, writing the remaining stage checkpoints as it
+  /// goes.  Throws InvalidArgument when no usable checkpoint exists or
+  /// the directory was written under a different configuration.
+  EngineResult resume(ga::Context& ctx, const std::filesystem::path& checkpoint_dir);
+
+  /// Deterministic fingerprint of an engine configuration; stored in
+  /// every checkpoint header and verified on resume.
+  static std::uint64_t config_fingerprint(const EngineConfig& config);
+
+ private:
+  EngineConfig config_;
+};
+
+}  // namespace sva::engine

@@ -1,0 +1,67 @@
+// The engine's analysis stages (3–7) as composable steps over an
+// IngestState.  run_text_engine composes them directly; the Engine
+// facade interleaves them with checkpoint persistence so a killed run
+// can resume at the last completed stage.  Stage functions are
+// collective and deterministic: identical inputs produce byte-identical
+// products for any processor count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sva/engine/ingest.hpp"
+#include "sva/engine/pipeline.hpp"
+
+namespace sva::engine {
+
+/// Stages 3–5: the adaptive signature-generation loop (topicality →
+/// association → signatures, growing N until the null fraction is
+/// acceptable).
+struct SignatureStageState {
+  sig::TopicSelection selection;
+  sig::SignatureSet signatures;
+  int signature_rounds = 1;
+  std::vector<double> null_fraction_per_round;
+};
+
+/// Collective: runs stages 3–5.  Marks "topic" / "AM" / "DocVec" per
+/// round on `timer`.
+SignatureStageState run_signature_stage(ga::Context& ctx, const IngestState& ingest,
+                                        const EngineConfig& config, ga::StageTimer& timer);
+
+/// Stage 6: clustering (k-means or hierarchical, per config).
+struct ClusterStageState {
+  cluster::KMeansResult clustering;
+};
+
+/// Collective: runs stage 6.  Marks "ClusProj" on `timer` (the paper
+/// groups clustering and projection under one component label).
+ClusterStageState run_cluster_stage(ga::Context& ctx, const SignatureStageState& sig_state,
+                                    const EngineConfig& config, ga::StageTimer& timer);
+
+/// Stage 7: PCA projection, gathered outputs and theme labels.
+struct ProjectionStageState {
+  cluster::ProjectionResult projection;
+  std::vector<std::int32_t> all_assignment;  ///< rank 0 only
+  std::vector<std::vector<std::string>> theme_labels;
+};
+
+/// Collective: runs stage 7.  Marks "ClusProj" on `timer`.
+ProjectionStageState run_projection_stage(ga::Context& ctx, const IngestState& ingest,
+                                          const SignatureStageState& sig_state,
+                                          const ClusterStageState& cluster_state,
+                                          const EngineConfig& config, ga::StageTimer& timer);
+
+/// Assembles the EngineResult from the per-stage products.  `timings`
+/// come from the caller's timer (or a checkpoint restore).
+EngineResult assemble_result(IngestState&& ingest, SignatureStageState&& sig_state,
+                             ClusterStageState&& cluster_state,
+                             ProjectionStageState&& projection_state,
+                             const ComponentTimings& timings);
+
+/// Folds a StageTimer's marked intervals into the paper's six component
+/// buckets (repeated marks accumulate).
+ComponentTimings fold_timings(const ga::StageTimer& timer);
+
+}  // namespace sva::engine

@@ -1,0 +1,133 @@
+#include "sva/engine/ingest.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sva/index/shard_merge.hpp"
+#include "sva/util/error.hpp"
+#include "sva/util/log.hpp"
+
+namespace sva::engine {
+
+IngestState ingest_single_pass(ga::Context& ctx, const corpus::SourceSet& sources,
+                               const text::TokenizerConfig& tokenizer_config,
+                               const index::IndexingConfig& indexing_config,
+                               ga::StageTimer& timer) {
+  require(sources.size() > 0, "ingest: empty source set");
+
+  IngestState state;
+  text::ScanResult scan = text::scan_sources(ctx, sources, tokenizer_config);
+  state.vocabulary = scan.vocabulary;
+  state.field_type_names = std::move(scan.field_type_names);
+  state.records = std::move(scan.records);
+  state.forward = std::move(scan.forward);
+  state.num_records = state.forward.num_records;
+  state.num_terms = state.vocabulary->size();
+  state.total_term_occurrences = state.forward.total_terms;
+  timer.mark("scan");
+
+  require(state.num_terms > 0, "ingest: empty vocabulary after scanning");
+
+  index::IndexingResult indexing =
+      index::build_inverted_index(ctx, state.forward, state.num_terms, indexing_config);
+  state.index = std::move(indexing.index);
+  state.stats = std::move(indexing.stats);
+  state.load_balance = std::move(indexing.load_balance);
+  timer.mark("index");
+  return state;
+}
+
+IngestState ingest_sharded(ga::Context& ctx, const corpus::CorpusReader& reader,
+                           const text::TokenizerConfig& tokenizer_config,
+                           const index::IndexingConfig& indexing_config,
+                           const corpus::ShardingConfig& sharding, ga::StageTimer& timer) {
+  require(reader.size() > 0, "ingest: empty source set");
+
+  // Ownership is fixed by the full-corpus byte partition; the shard plan
+  // only bounds how much raw text is resident at once.
+  const auto rank_ranges =
+      corpus::partition_sizes_by_bytes(reader.doc_sizes(), ctx.nprocs());
+  const auto shards = corpus::plan_shards(reader, sharding);
+  const std::size_t num_shards = shards.size();
+
+  std::vector<index::ShardBlobs> blobs(ctx.rank() == 0 ? num_shards : 0);
+  std::vector<std::vector<text::ScannedRecord>> shard_records(num_shards);
+  index::LoadBalanceReport load_balance;
+  load_balance.busy_seconds.assign(static_cast<std::size_t>(ctx.nprocs()), 0.0);
+  load_balance.loads_claimed.assign(static_cast<std::size_t>(ctx.nprocs()), 0);
+
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    // Scope holds the shard's global arrays; everything survives the
+    // scope as a compact extract + this rank's records.
+    text::ScanResult scan =
+        text::scan_shard(ctx, reader, shards[s], rank_ranges, tokenizer_config);
+    timer.mark("scan");
+
+    index::ShardExtract extract;
+    if (scan.vocabulary->size() > 0) {
+      index::IndexingResult indexing = index::build_inverted_index(
+          ctx, scan.forward, scan.vocabulary->size(), indexing_config);
+      for (std::size_t r = 0; r < indexing.load_balance.busy_seconds.size(); ++r) {
+        load_balance.busy_seconds[r] += indexing.load_balance.busy_seconds[r];
+        load_balance.loads_claimed[r] += indexing.load_balance.loads_claimed[r];
+      }
+      extract = index::extract_shard(ctx, scan, indexing);
+    } else {
+      // A shard of token-free documents still contributes its records.
+      extract.num_records = shards[s].second - shards[s].first;
+    }
+    timer.mark("index");
+
+    if (ctx.rank() == 0) {
+      blobs[s] = {extract.serialize_vocab(), extract.serialize_data()};
+    }
+    shard_records[s] = std::move(scan.records);
+    log::debug("engine") << "shard " << (s + 1) << "/" << num_shards << ": "
+                         << extract.num_records << " records, " << extract.terms.size()
+                         << " terms";
+  }
+
+  index::MergedShards merged = index::merge_shards(ctx, blobs, num_shards);
+  blobs.clear();
+
+  IngestState state;
+  state.vocabulary = merged.vocabulary;
+  state.field_type_names = std::move(merged.field_type_names);
+  state.stats = std::move(merged.stats);
+  state.index = std::move(merged.index);
+  state.load_balance = std::move(load_balance);
+  state.num_records = merged.num_records;
+  state.num_terms = state.vocabulary->size();
+  state.total_term_occurrences = merged.total_occurrences;
+  state.shards_used = num_shards;
+  require(state.num_records == reader.size(),
+          "ingest_sharded: merged record count disagrees with the reader");
+  require(state.num_terms > 0, "ingest: empty vocabulary after scanning");
+
+  // Rewrite this rank's records from shard-canonical into final canonical
+  // ids.  Shard slices are ascending and shards are processed in order,
+  // so the concatenation preserves global document order.
+  std::size_t total_records = 0;
+  for (const auto& recs : shard_records) total_records += recs.size();
+  state.records.reserve(total_records);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const auto& term_remap = merged.term_remap[s];
+    const auto& type_remap = merged.field_type_remap[s];
+    for (auto& rec : shard_records[s]) {
+      for (auto& f : rec.fields) {
+        f.type = type_remap[static_cast<std::size_t>(f.type)];
+        for (auto& t : f.terms) t = term_remap[static_cast<std::size_t>(t)];
+      }
+      state.records.push_back(std::move(rec));
+    }
+    shard_records[s].clear();
+    shard_records[s].shrink_to_fit();
+  }
+
+  // The merged forward product: the same CSR a single-pass scan publishes.
+  state.forward = text::build_forward_index(ctx, state.records, state.num_records);
+  timer.mark("index");
+  return state;
+}
+
+}  // namespace sva::engine

@@ -1,11 +1,7 @@
 #include "sva/engine/pipeline.hpp"
 
-#include <algorithm>
-
-#include "sva/ga/repro_sum.hpp"
-#include "sva/ga/stage_timer.hpp"
+#include "sva/engine/stages.hpp"
 #include "sva/util/error.hpp"
-#include "sva/util/log.hpp"
 
 namespace sva::engine {
 
@@ -29,148 +25,22 @@ EngineResult run_text_engine(ga::Context& ctx, const corpus::SourceSet& sources,
                              const EngineConfig& config) {
   require(sources.size() > 0, "run_text_engine: empty source set");
 
-  EngineResult result;
   ga::StageTimer timer(ctx);
 
-  // ---- 1. Scan & Map + forward indexing --------------------------------
-  text::ScanResult scan = text::scan_sources(ctx, sources, config.tokenizer);
-  result.vocabulary = scan.vocabulary;
-  result.num_records = scan.forward.num_records;
-  result.num_terms = scan.vocabulary->size();
-  result.total_term_occurrences = scan.forward.total_terms;
-  timer.mark("scan");
-
-  require(result.num_terms > 0, "run_text_engine: empty vocabulary after scanning");
-
-  // ---- 2. Inverted file indexing + global term statistics --------------
-  index::IndexingResult indexing = index::build_inverted_index(
-      ctx, scan.forward, result.num_terms, config.indexing);
-  result.index_load_balance = indexing.load_balance;
-  timer.mark("index");
+  // ---- 1-2. Scan & Map + inverted indexing -----------------------------
+  IngestState ingest =
+      ingest_single_pass(ctx, sources, config.tokenizer, config.indexing, timer);
 
   // ---- 3-5. Signature generation with adaptive dimensionality ----------
-  // The adaptive loop is unrolled here (rather than calling
-  // sig::generate_signatures) so each sub-stage lands in its own timing
-  // bucket even across rounds.
-  {
-    sig::TopicalityConfig topicality = config.topicality;
-    const auto total_records = result.num_records;
-    int round = 0;
-    while (true) {
-      ++round;
-      result.selection = sig::select_topics(ctx, indexing.stats, topicality);
-      timer.mark("topic");
-
-      sig::AssociationMatrix association = sig::build_association_matrix(
-          ctx, scan.records, result.selection, indexing.stats.num_records,
-          config.association);
-      timer.mark("AM");
-
-      result.signatures = sig::compute_signatures(ctx, scan.records, result.selection,
-                                                  association, config.signature);
-      timer.mark("DocVec");
-
-      const double null_fraction =
-          total_records == 0 ? 0.0
-                             : static_cast<double>(result.signatures.global_null_count) /
-                                   static_cast<double>(total_records);
-      result.null_fraction_per_round.push_back(null_fraction);
-      result.signature_rounds = round;
-
-      if (!config.signature.adaptive) break;
-      if (null_fraction <= config.signature.max_null_fraction) break;
-      if (round >= config.signature.max_rounds) break;
-      if (result.selection.n() < topicality.num_major_terms) break;
-
-      const auto grown = static_cast<std::size_t>(
-          config.signature.growth_factor * static_cast<double>(topicality.num_major_terms));
-      topicality.num_major_terms = std::max(grown, topicality.num_major_terms + 1);
-      log::debug("engine") << "adaptive dimensionality round " << round << ": null fraction "
-                           << null_fraction << ", growing N to "
-                           << topicality.num_major_terms;
-    }
-  }
-  result.dimension = result.signatures.dimension;
+  SignatureStageState sig_state = run_signature_stage(ctx, ingest, config, timer);
 
   // ---- 6-7. Clustering and projection -----------------------------------
-  if (config.clustering == ClusteringBackend::kKMeans) {
-    result.clustering =
-        cluster::kmeans_cluster(ctx, result.signatures.docvecs, config.kmeans);
-  } else {
-    const cluster::HierarchicalResult h =
-        cluster::hierarchical_cluster(ctx, result.signatures.docvecs, config.hierarchical);
-    result.clustering.centroids = h.centroids;
-    result.clustering.assignment = h.assignment;
-    result.clustering.cluster_sizes = h.cluster_sizes;
-    result.clustering.iterations = 1;
-    // Order-invariant accumulation keeps the inertia byte-identical
-    // across processor counts.  Signatures and centroids are
-    // L1-normalized (or zero), so each squared Euclidean distance is at
-    // most (||a||_2 + ||c||_2)^2 <= (||a||_1 + ||c||_1)^2 <= 4.
-    ga::ReproducibleSum inertia_acc(1, 4.0);
-    for (std::size_t i = 0; i < result.signatures.docvecs.rows(); ++i) {
-      inertia_acc.add(0, squared_distance(
-                            result.signatures.docvecs.row(i),
-                            h.centroids.row(static_cast<std::size_t>(h.assignment[i]))));
-    }
-    result.clustering.inertia = inertia_acc.allreduce_sum(ctx)[0];
-  }
+  ClusterStageState cluster_state = run_cluster_stage(ctx, sig_state, config, timer);
+  ProjectionStageState projection_state =
+      run_projection_stage(ctx, ingest, sig_state, cluster_state, config, timer);
 
-  require(config.projection_components >= 2 && config.projection_components <= 3,
-          "run_text_engine: projection_components must be 2 or 3");
-  // Degenerate topic spaces (M smaller than the view dimension, e.g. a
-  // one-term vocabulary) still produce a valid view: PCA keeps whatever
-  // components exist and the missing view axes are zero-padded.
-  const std::size_t pca_components =
-      std::min(config.projection_components, result.clustering.centroids.cols());
-  cluster::PcaResult pca = cluster::pca_fit(result.clustering.centroids, pca_components);
-  if (pca.components.rows() < config.projection_components) {
-    Matrix padded(config.projection_components, pca.components.cols());
-    for (std::size_t r = 0; r < pca.components.rows(); ++r) {
-      const auto src = pca.components.row(r);
-      std::copy(src.begin(), src.end(), padded.row(r).begin());
-    }
-    pca.components = std::move(padded);
-    pca.eigenvalues.resize(config.projection_components, 0.0);
-  }
-  result.projection =
-      cluster::project_documents(ctx, result.signatures.docvecs,
-                                 result.signatures.doc_ids, pca);
-  result.all_assignment =
-      ctx.gatherv(std::span<const std::int32_t>(result.clustering.assignment), 0);
-
-  // Theme labels: strongest topic dimensions of each centroid.
-  if (config.theme_label_terms > 0) {
-    const std::size_t k = result.clustering.centroids.rows();
-    const std::size_t m = result.clustering.centroids.cols();
-    result.theme_labels.resize(k);
-    for (std::size_t c = 0; c < k; ++c) {
-      std::vector<std::size_t> dims(m);
-      for (std::size_t j = 0; j < m; ++j) dims[j] = j;
-      const auto centroid = result.clustering.centroids.row(c);
-      std::sort(dims.begin(), dims.end(), [&](std::size_t a, std::size_t b) {
-        if (centroid[a] != centroid[b]) return centroid[a] > centroid[b];
-        return a < b;
-      });
-      const std::size_t take = std::min(config.theme_label_terms, m);
-      for (std::size_t j = 0; j < take; ++j) {
-        const auto term_id = static_cast<std::size_t>(result.selection.topic_terms[dims[j]]);
-        result.theme_labels[c].push_back(result.vocabulary->terms[term_id]);
-      }
-    }
-  }
-  timer.mark("ClusProj");
-
-  // ---- aggregate timings by label ---------------------------------------
-  for (const auto& [name, seconds] : timer.stages()) {
-    if (name == "scan") result.timings.scan += seconds;
-    else if (name == "index") result.timings.index += seconds;
-    else if (name == "topic") result.timings.topic += seconds;
-    else if (name == "AM") result.timings.am += seconds;
-    else if (name == "DocVec") result.timings.docvec += seconds;
-    else if (name == "ClusProj") result.timings.clusproj += seconds;
-  }
-  return result;
+  return assemble_result(std::move(ingest), std::move(sig_state), std::move(cluster_state),
+                         std::move(projection_state), fold_timings(timer));
 }
 
 PipelineRun run_pipeline(int nprocs, const ga::CommModel& model,

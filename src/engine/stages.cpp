@@ -1,0 +1,176 @@
+#include "sva/engine/stages.hpp"
+
+#include <algorithm>
+
+#include "sva/ga/repro_sum.hpp"
+#include "sva/util/error.hpp"
+#include "sva/util/log.hpp"
+
+namespace sva::engine {
+
+SignatureStageState run_signature_stage(ga::Context& ctx, const IngestState& ingest,
+                                        const EngineConfig& config, ga::StageTimer& timer) {
+  // The adaptive loop is unrolled here (rather than calling
+  // sig::generate_signatures) so each sub-stage lands in its own timing
+  // bucket even across rounds.
+  SignatureStageState state;
+  sig::TopicalityConfig topicality = config.topicality;
+  const auto total_records = ingest.num_records;
+  int round = 0;
+  while (true) {
+    ++round;
+    state.selection = sig::select_topics(ctx, ingest.stats, topicality);
+    timer.mark("topic");
+
+    sig::AssociationMatrix association = sig::build_association_matrix(
+        ctx, ingest.records, state.selection, ingest.stats.num_records, config.association);
+    timer.mark("AM");
+
+    state.signatures = sig::compute_signatures(ctx, ingest.records, state.selection,
+                                               association, config.signature);
+    timer.mark("DocVec");
+
+    const double null_fraction =
+        total_records == 0 ? 0.0
+                           : static_cast<double>(state.signatures.global_null_count) /
+                                 static_cast<double>(total_records);
+    state.null_fraction_per_round.push_back(null_fraction);
+    state.signature_rounds = round;
+
+    if (!config.signature.adaptive) break;
+    if (null_fraction <= config.signature.max_null_fraction) break;
+    if (round >= config.signature.max_rounds) break;
+    if (state.selection.n() < topicality.num_major_terms) break;
+
+    const auto grown = static_cast<std::size_t>(
+        config.signature.growth_factor * static_cast<double>(topicality.num_major_terms));
+    topicality.num_major_terms = std::max(grown, topicality.num_major_terms + 1);
+    log::debug("engine") << "adaptive dimensionality round " << round << ": null fraction "
+                         << null_fraction << ", growing N to " << topicality.num_major_terms;
+  }
+  return state;
+}
+
+ClusterStageState run_cluster_stage(ga::Context& ctx, const SignatureStageState& sig_state,
+                                    const EngineConfig& config, ga::StageTimer& timer) {
+  ClusterStageState state;
+  if (config.clustering == ClusteringBackend::kKMeans) {
+    state.clustering =
+        cluster::kmeans_cluster(ctx, sig_state.signatures.docvecs, config.kmeans);
+  } else {
+    const cluster::HierarchicalResult h = cluster::hierarchical_cluster(
+        ctx, sig_state.signatures.docvecs, config.hierarchical);
+    state.clustering.centroids = h.centroids;
+    state.clustering.assignment = h.assignment;
+    state.clustering.cluster_sizes = h.cluster_sizes;
+    state.clustering.iterations = 1;
+    // Order-invariant accumulation keeps the inertia byte-identical
+    // across processor counts.  Signatures and centroids are
+    // L1-normalized (or zero), so each squared Euclidean distance is at
+    // most (||a||_2 + ||c||_2)^2 <= (||a||_1 + ||c||_1)^2 <= 4.
+    ga::ReproducibleSum inertia_acc(1, 4.0);
+    for (std::size_t i = 0; i < sig_state.signatures.docvecs.rows(); ++i) {
+      inertia_acc.add(0, squared_distance(
+                             sig_state.signatures.docvecs.row(i),
+                             h.centroids.row(static_cast<std::size_t>(h.assignment[i]))));
+    }
+    state.clustering.inertia = inertia_acc.allreduce_sum(ctx)[0];
+  }
+  timer.mark("ClusProj");
+  return state;
+}
+
+ProjectionStageState run_projection_stage(ga::Context& ctx, const IngestState& ingest,
+                                          const SignatureStageState& sig_state,
+                                          const ClusterStageState& cluster_state,
+                                          const EngineConfig& config, ga::StageTimer& timer) {
+  ProjectionStageState state;
+  const cluster::KMeansResult& clustering = cluster_state.clustering;
+
+  require(config.projection_components >= 2 && config.projection_components <= 3,
+          "run_text_engine: projection_components must be 2 or 3");
+  // Degenerate topic spaces (M smaller than the view dimension, e.g. a
+  // one-term vocabulary) still produce a valid view: PCA keeps whatever
+  // components exist and the missing view axes are zero-padded.
+  const std::size_t pca_components =
+      std::min(config.projection_components, clustering.centroids.cols());
+  cluster::PcaResult pca = cluster::pca_fit(clustering.centroids, pca_components);
+  if (pca.components.rows() < config.projection_components) {
+    Matrix padded(config.projection_components, pca.components.cols());
+    for (std::size_t r = 0; r < pca.components.rows(); ++r) {
+      const auto src = pca.components.row(r);
+      std::copy(src.begin(), src.end(), padded.row(r).begin());
+    }
+    pca.components = std::move(padded);
+    pca.eigenvalues.resize(config.projection_components, 0.0);
+  }
+  state.projection = cluster::project_documents(ctx, sig_state.signatures.docvecs,
+                                                sig_state.signatures.doc_ids, pca);
+  state.all_assignment =
+      ctx.gatherv(std::span<const std::int32_t>(clustering.assignment), 0);
+
+  // Theme labels: strongest topic dimensions of each centroid.
+  if (config.theme_label_terms > 0) {
+    const std::size_t k = clustering.centroids.rows();
+    const std::size_t m = clustering.centroids.cols();
+    state.theme_labels.resize(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      std::vector<std::size_t> dims(m);
+      for (std::size_t j = 0; j < m; ++j) dims[j] = j;
+      const auto centroid = clustering.centroids.row(c);
+      std::sort(dims.begin(), dims.end(), [&](std::size_t a, std::size_t b) {
+        if (centroid[a] != centroid[b]) return centroid[a] > centroid[b];
+        return a < b;
+      });
+      const std::size_t take = std::min(config.theme_label_terms, m);
+      for (std::size_t j = 0; j < take; ++j) {
+        const auto term_id =
+            static_cast<std::size_t>(sig_state.selection.topic_terms[dims[j]]);
+        state.theme_labels[c].push_back(ingest.vocabulary->terms[term_id]);
+      }
+    }
+  }
+  timer.mark("ClusProj");
+  return state;
+}
+
+ComponentTimings fold_timings(const ga::StageTimer& timer) {
+  ComponentTimings timings;
+  for (const auto& [name, seconds] : timer.stages()) {
+    if (name == "scan") timings.scan += seconds;
+    else if (name == "index") timings.index += seconds;
+    else if (name == "topic") timings.topic += seconds;
+    else if (name == "AM") timings.am += seconds;
+    else if (name == "DocVec") timings.docvec += seconds;
+    else if (name == "ClusProj") timings.clusproj += seconds;
+  }
+  return timings;
+}
+
+EngineResult assemble_result(IngestState&& ingest, SignatureStageState&& sig_state,
+                             ClusterStageState&& cluster_state,
+                             ProjectionStageState&& projection_state,
+                             const ComponentTimings& timings) {
+  EngineResult result;
+  result.vocabulary = std::move(ingest.vocabulary);
+  result.num_records = ingest.num_records;
+  result.num_terms = ingest.num_terms;
+  result.total_term_occurrences = ingest.total_term_occurrences;
+  result.index_load_balance = std::move(ingest.load_balance);
+
+  result.selection = std::move(sig_state.selection);
+  result.signatures = std::move(sig_state.signatures);
+  result.dimension = result.signatures.dimension;
+  result.signature_rounds = sig_state.signature_rounds;
+  result.null_fraction_per_round = std::move(sig_state.null_fraction_per_round);
+
+  result.clustering = std::move(cluster_state.clustering);
+  result.projection = std::move(projection_state.projection);
+  result.all_assignment = std::move(projection_state.all_assignment);
+  result.theme_labels = std::move(projection_state.theme_labels);
+
+  result.timings = timings;
+  return result;
+}
+
+}  // namespace sva::engine

@@ -116,7 +116,9 @@ DistHashmap::Finalized DistHashmap::finalize(Context& ctx) {
   {
     auto& p = storage_->partitions[static_cast<std::size_t>(ctx.rank())];
     std::lock_guard<std::mutex> lock(p.mutex);
-    for (const auto& term : p.insertion_order) local_bytes += term.size() + sizeof(std::int64_t);
+    for (const auto& term : p.insertion_order) {
+      local_bytes += term.size() + sizeof(std::int64_t);
+    }
   }
   ctx.charge(ctx.model().reduce(ctx.nprocs(), std::max<std::size_t>(local_bytes, 1)) +
              ctx.model().broadcast(ctx.nprocs(), std::max<std::size_t>(local_bytes, 1)));

@@ -54,7 +54,9 @@ struct CommModel {
   }
 
   /// Remote atomic read-modify-write.
-  [[nodiscard]] double atomic_rmw(bool remote) const { return remote ? alpha_rmw : alpha_local; }
+  [[nodiscard]] double atomic_rmw(bool remote) const {
+    return remote ? alpha_rmw : alpha_local;
+  }
 
   /// Barrier among `nprocs` ranks (dissemination barrier).
   [[nodiscard]] double barrier(int nprocs) const {

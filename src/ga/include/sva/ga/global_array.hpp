@@ -248,7 +248,9 @@ class GlobalArray {
       ++owner_count[static_cast<std::size_t>(o)];
     }
     std::vector<std::size_t> owner_begin(nprocs + 1, 0);
-    for (std::size_t o = 0; o < nprocs; ++o) owner_begin[o + 1] = owner_begin[o] + owner_count[o];
+    for (std::size_t o = 0; o < nprocs; ++o) {
+      owner_begin[o + 1] = owner_begin[o] + owner_count[o];
+    }
     std::vector<std::size_t> positions(indices.size());
     std::vector<std::size_t> fill = owner_begin;
     for (std::size_t i = 0; i < indices.size(); ++i) {

@@ -222,10 +222,21 @@ struct SpmdResult {
 /// Launches `nprocs` ranks executing `fn`.  Rethrows the first rank
 /// exception.  `nprocs` may exceed the hardware concurrency; ranks are
 /// plain threads and the virtual-time model keeps timing meaningful.
-SpmdResult spmd_run(int nprocs, const CommModel& model, const std::function<void(Context&)>& fn);
+SpmdResult spmd_run(int nprocs, const CommModel& model,
+                    const std::function<void(Context&)>& fn);
 
 /// Convenience overload with the default cluster model.
 SpmdResult spmd_run(int nprocs, const std::function<void(Context&)>& fn);
+
+/// Broadcasts a variable-length byte buffer from `root`: the size first,
+/// then the payload (non-root buffers are resized to fit).  The shard
+/// merger and the checkpoint loader ship their serialized blobs this way.
+inline void broadcast_bytes(Context& ctx, std::vector<std::uint8_t>& bytes, int root) {
+  auto size = static_cast<std::uint64_t>(bytes.size());
+  ctx.broadcast_value(size, root);
+  if (ctx.rank() != root) bytes.resize(static_cast<std::size_t>(size));
+  if (size > 0) ctx.broadcast(bytes.data(), bytes.size(), root);
+}
 
 // ===== template implementations =========================================
 

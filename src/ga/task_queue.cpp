@@ -182,8 +182,9 @@ std::shared_ptr<OwnerFirstChunkQueue> OwnerFirstChunkQueue::create(
           "OwnerFirstChunkQueue: need one range per rank");
   auto cursors = GlobalArray<std::int64_t>::create(ctx, ranges.size());
   // Each rank initializes its own cursor to its range start.
-  cursors.put_value(ctx, static_cast<std::size_t>(ctx.rank()),
-                    static_cast<std::int64_t>(ranges[static_cast<std::size_t>(ctx.rank())].first));
+  cursors.put_value(
+      ctx, static_cast<std::size_t>(ctx.rank()),
+      static_cast<std::int64_t>(ranges[static_cast<std::size_t>(ctx.rank())].first));
   auto queue = ctx.collective_create<OwnerFirstChunkQueue>([&]() {
     auto q = std::make_shared<OwnerFirstChunkQueue>(cursors, ranges, chunk_size);
     if (vtime_ordered) q->enable_vtime_order(ctx.nprocs());

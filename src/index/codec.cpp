@@ -116,7 +116,9 @@ CompressedIndex compress_record_index(ga::Context& ctx, const InvertedIndex& ind
   const auto all_lengths = ctx.allgatherv(std::span<const std::uint64_t>(my_lengths));
   out.bytes = ctx.allgatherv(std::span<const std::uint8_t>(my_bytes));
   out.offsets.resize(n_terms + 1, 0);
-  for (std::size_t t = 0; t < n_terms; ++t) out.offsets[t + 1] = out.offsets[t] + all_lengths[t];
+  for (std::size_t t = 0; t < n_terms; ++t) {
+    out.offsets[t + 1] = out.offsets[t] + all_lengths[t];
+  }
   require(out.offsets.back() == out.bytes.size(),
           "compress_record_index: offset/byte mismatch");
   return out;

@@ -100,7 +100,8 @@ ClusterSummary summarize_cluster(ga::Context& ctx, const sig::SignatureSet& sign
   // Global cohesion.
   const double global_cos = ctx.allreduce_sum(cos_sum);
   const auto global_members = ctx.allreduce_sum(members);
-  summary.cohesion = global_members > 0 ? global_cos / static_cast<double>(global_members) : 0.0;
+  summary.cohesion =
+      global_members > 0 ? global_cos / static_cast<double>(global_members) : 0.0;
 
   // Global representatives: local top-n, merged and re-cut.
   auto closer = [](const Candidate& a, const Candidate& b) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sva/corpus/document.hpp"
+#include "sva/corpus/reader.hpp"
 #include "sva/ga/dist_hashmap.hpp"
 #include "sva/ga/global_array.hpp"
 #include "sva/ga/runtime.hpp"
@@ -35,6 +36,9 @@ struct ScannedField {
 /// One scanned record (document) held by its owning rank.
 struct ScannedRecord {
   std::uint64_t doc_id = 0;  ///< global record id (corpus position)
+  /// Raw byte size of the source document.  Carried so checkpoint resume
+  /// can reproduce the byte-balanced partition without the raw corpus.
+  std::uint64_t raw_bytes = 0;
   std::vector<ScannedField> fields;
 
   [[nodiscard]] std::size_t term_count() const {
@@ -85,5 +89,25 @@ struct ScanResult {
 /// sources and config.
 ScanResult scan_sources(ga::Context& ctx, const corpus::SourceSet& sources,
                         const TokenizerConfig& tokenizer_config);
+
+/// Collective: scans one shard [shard.first, shard.second) of `reader`.
+/// Each rank tokenizes the shard documents that fall inside its
+/// *full-corpus* range (`rank_doc_ranges`, from corpus::partition_*), so
+/// record ownership — and therefore every gathered downstream product —
+/// matches what a single-pass scan of the whole corpus produces.  The
+/// returned vocabulary, ids and forward index cover this shard only
+/// (shard-canonical term ids); forward.num_records is the shard's record
+/// count.  Only the shard's documents are materialized.
+ScanResult scan_shard(ga::Context& ctx, const corpus::CorpusReader& reader,
+                      std::pair<std::size_t, std::size_t> shard,
+                      const std::vector<std::pair<std::size_t, std::size_t>>& rank_doc_ranges,
+                      const TokenizerConfig& tokenizer_config);
+
+/// Collective: assembles and publishes the CSR forward index over every
+/// rank's (canonical-id) records — the scanner's final step, reused by
+/// the shard merger to rebuild the merged forward product.
+/// `num_records` is the global record count.
+ForwardIndex build_forward_index(ga::Context& ctx, const std::vector<ScannedRecord>& records,
+                                 std::uint64_t num_records);
 
 }  // namespace sva::text

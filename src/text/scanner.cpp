@@ -9,14 +9,18 @@
 
 namespace sva::text {
 
-ScanResult scan_sources(ga::Context& ctx, const corpus::SourceSet& sources,
-                        const TokenizerConfig& tokenizer_config) {
+namespace {
+
+/// Shared scan core: tokenizes documents [doc_begin, doc_end) of `reader`
+/// (this rank's slice of the current shard — or of the whole corpus for
+/// the single-pass path), canonicalizes the vocabulary across ranks, and
+/// publishes the forward index.  `num_records` is the record count the
+/// forward index describes (shard size or corpus size).
+ScanResult scan_range(ga::Context& ctx, const corpus::CorpusReader& reader,
+                      std::size_t doc_begin, std::size_t doc_end, std::uint64_t num_records,
+                      const TokenizerConfig& tokenizer_config) {
   ScanResult result;
   const Tokenizer tokenizer(tokenizer_config);
-
-  // ---- static byte-balanced source distribution -----------------------
-  const auto parts = corpus::partition_by_bytes(sources, ctx.nprocs());
-  const auto [doc_begin, doc_end] = parts[static_cast<std::size_t>(ctx.rank())];
   result.doc_range = {doc_begin, doc_end};
 
   ga::DistHashmap term_map = ga::DistHashmap::create(ctx);
@@ -36,14 +40,14 @@ ScanResult scan_sources(ga::Context& ctx, const corpus::SourceSet& sources,
   std::vector<std::string> field_names;  // local field-name id -> name
   std::unordered_map<std::string, std::int32_t> field_name_ids;
 
-  result.records.reserve(doc_end - doc_begin);
-  std::size_t local_fields = 0;
-  std::size_t local_terms = 0;
+  result.records.reserve(doc_end > doc_begin ? doc_end - doc_begin : 0);
 
+  corpus::RawDocument scratch;
   for (std::size_t d = doc_begin; d < doc_end; ++d) {
-    const corpus::RawDocument& doc = sources[d];
+    const corpus::RawDocument& doc = *reader.fetch(d, scratch);
     ScannedRecord rec;
     rec.doc_id = doc.id;
+    rec.raw_bytes = doc.bytes();
     rec.fields.reserve(doc.fields.size());
     for (const auto& field : doc.fields) {
       ScannedField sf;
@@ -70,8 +74,6 @@ ScanResult scan_sources(ga::Context& ctx, const corpus::SourceSet& sources,
           },
           &result.stats.tokens);
       if (sf.terms.empty()) ++result.stats.empty_fields;
-      local_terms += sf.terms.size();
-      ++local_fields;
       rec.fields.push_back(std::move(sf));
     }
     result.stats.bytes_scanned += doc.bytes();
@@ -121,6 +123,21 @@ ScanResult scan_sources(ga::Context& ctx, const corpus::SourceSet& sources,
     }
   }
 
+  result.forward = build_forward_index(ctx, result.records, num_records);
+  return result;
+}
+
+}  // namespace
+
+ForwardIndex build_forward_index(ga::Context& ctx, const std::vector<ScannedRecord>& records,
+                                 std::uint64_t num_records) {
+  std::size_t local_fields = 0;
+  std::size_t local_terms = 0;
+  for (const auto& rec : records) {
+    local_fields += rec.fields.size();
+    local_terms += rec.term_count();
+  }
+
   // ---- forward index in global arrays (CSR over field instances) ------
   const auto field_base = static_cast<std::size_t>(
       ctx.exscan_sum(static_cast<std::int64_t>(local_fields)));
@@ -141,7 +158,7 @@ ScanResult scan_sources(ga::Context& ctx, const corpus::SourceSet& sources,
       .field_type = ga::GlobalArray<std::int32_t>::create(
           ctx, std::max<std::size_t>(total_fields, 1)),
       .num_fields = total_fields,
-      .num_records = static_cast<std::uint64_t>(sources.size()),
+      .num_records = num_records,
       .total_terms = total_terms,
       .rank_field_ranges = {},
   };
@@ -166,7 +183,7 @@ ScanResult scan_sources(ga::Context& ctx, const corpus::SourceSet& sources,
   seg_type.reserve(local_fields);
 
   std::int64_t cursor = static_cast<std::int64_t>(term_base);
-  for (const auto& rec : result.records) {
+  for (const auto& rec : records) {
     for (const auto& f : rec.fields) {
       seg_offsets.push_back(cursor);
       seg_record.push_back(static_cast<std::int64_t>(rec.doc_id));
@@ -185,9 +202,32 @@ ScanResult scan_sources(ga::Context& ctx, const corpus::SourceSet& sources,
                                 static_cast<std::int64_t>(total_terms));
   }
   ctx.barrier();
+  return fwd;
+}
 
-  result.forward = std::move(fwd);
-  return result;
+ScanResult scan_sources(ga::Context& ctx, const corpus::SourceSet& sources,
+                        const TokenizerConfig& tokenizer_config) {
+  const corpus::InMemoryReader reader(sources);
+
+  // ---- static byte-balanced source distribution -----------------------
+  const auto parts = corpus::partition_by_bytes(sources, ctx.nprocs());
+  const auto [doc_begin, doc_end] = parts[static_cast<std::size_t>(ctx.rank())];
+  return scan_range(ctx, reader, doc_begin, doc_end,
+                    static_cast<std::uint64_t>(sources.size()), tokenizer_config);
+}
+
+ScanResult scan_shard(ga::Context& ctx, const corpus::CorpusReader& reader,
+                      std::pair<std::size_t, std::size_t> shard,
+                      const std::vector<std::pair<std::size_t, std::size_t>>& rank_doc_ranges,
+                      const TokenizerConfig& tokenizer_config) {
+  // This rank scans the intersection of its full-corpus range with the
+  // shard: the shard boundary bounds residency, the global partition
+  // fixes ownership.
+  const auto [rank_begin, rank_end] = rank_doc_ranges[static_cast<std::size_t>(ctx.rank())];
+  const std::size_t begin = std::max(shard.first, rank_begin);
+  const std::size_t end = std::min(shard.second, rank_end);
+  return scan_range(ctx, reader, begin, std::max(begin, end),
+                    static_cast<std::uint64_t>(shard.second - shard.first), tokenizer_config);
 }
 
 }  // namespace sva::text

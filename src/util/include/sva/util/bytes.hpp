@@ -1,0 +1,110 @@
+// Compact byte-stream serialization shared by the shard-merge extracts
+// and the engine checkpoints: varbyte-coded integers, length-prefixed
+// strings and raw little-endian pods.  The read side validates every
+// access and throws FormatError on truncated or malformed input — a
+// corrupt stream must never decode into garbage.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sva/util/error.hpp"
+
+namespace sva {
+
+struct ByteWriter {
+  std::vector<std::uint8_t> bytes;
+
+  /// Varbyte (little-endian base-128) unsigned integer.
+  void u64(std::uint64_t v) {
+    while (v >= 0x80) {
+      bytes.push_back(static_cast<std::uint8_t>((v & 0x7F) | 0x80));
+      v >>= 7;
+    }
+    bytes.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Exact double bit pattern (8 raw bytes).
+  void f64(double v) { raw(&v, sizeof(v)); }
+
+  /// Length-prefixed string.
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes.insert(bytes.end(), s.begin(), s.end());
+  }
+
+  void raw(const void* data, std::size_t size) {
+    if (size == 0) return;  // data may be null for empty payloads
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes.insert(bytes.end(), p, p + size);
+  }
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint64_t u64() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      require_format(pos_ < bytes_.size(), "byte stream: truncated varbyte");
+      require_format(shift <= 63, "byte stream: varbyte overflows 64 bits");
+      const std::uint8_t b = bytes_[pos_++];
+      // The 10th byte carries only bit 63; anything more would be
+      // silently dropped by the shift.
+      require_format(shift < 63 || (b & 0x7E) == 0,
+                     "byte stream: varbyte overflows 64 bits");
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  [[nodiscard]] double f64() {
+    double v = 0.0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+
+  [[nodiscard]] std::string str() {
+    const std::uint64_t len = u64();
+    require_format(len <= remaining(), "byte stream: truncated string");
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                  static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+  }
+
+  void raw(void* out, std::size_t size) {
+    require_format(size <= remaining(), "byte stream: truncated raw block");
+    if (size == 0) return;  // an empty span's data() may be null
+    std::memcpy(out, bytes_.data() + pos_, size);
+    pos_ += size;
+  }
+
+  /// Advances past `size` bytes without copying (fixed-stride sections
+  /// let readers jump straight to their slice).
+  void skip(std::size_t size) {
+    require_format(size <= remaining(), "byte stream: truncated skip");
+    pos_ += size;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+  /// Asserts the stream was consumed exactly.
+  void expect_done() const {
+    require_format(pos_ == bytes_.size(), "byte stream: trailing bytes");
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sva

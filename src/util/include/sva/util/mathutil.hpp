@@ -33,7 +33,8 @@ bool l1_normalize(std::span<double> x);
 class Matrix {
  public:
   Matrix() = default;
-  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
 
   [[nodiscard]] std::size_t rows() const { return rows_; }
   [[nodiscard]] std::size_t cols() const { return cols_; }
@@ -41,7 +42,9 @@ class Matrix {
   double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
   [[nodiscard]] double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
 
-  [[nodiscard]] std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
   [[nodiscard]] std::span<const double> row(std::size_t r) const {
     return {data_.data() + r * cols_, cols_};
   }

@@ -39,7 +39,8 @@ class Xoshiro256 {
   }
 
   /// Derives an independent substream: same seed, different stream id.
-  Xoshiro256(std::uint64_t seed, std::uint64_t stream) : Xoshiro256(mix64(seed) ^ mix64(~stream)) {}
+  Xoshiro256(std::uint64_t seed, std::uint64_t stream)
+      : Xoshiro256(mix64(seed) ^ mix64(~stream)) {}
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ull; }

@@ -43,11 +43,15 @@ EnvInit g_env_init;
 
 }  // namespace
 
-void set_level(Level level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+void set_level(Level level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 Level level() { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
 
-bool enabled(Level lvl) { return static_cast<int>(lvl) >= g_level.load(std::memory_order_relaxed); }
+bool enabled(Level lvl) {
+  return static_cast<int>(lvl) >= g_level.load(std::memory_order_relaxed);
+}
 
 void write(Level lvl, const std::string& tag, const std::string& message) {
   if (!enabled(lvl)) return;

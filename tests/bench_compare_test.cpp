@@ -1,0 +1,212 @@
+// The perf-regression gate (bench/compare): identical trajectories pass;
+// a doctored baseline — throughput drop beyond tolerance, any modeled_s
+// rise, or a determinism-checksum change — fails.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "compare.hpp"
+
+namespace svabench::compare {
+namespace {
+
+json::Value micro_text_doc(double arena_mb_s, double scan_mb_s) {
+  json::Value doc = json::Value::object();
+  doc["schema_version"] = report::kSchemaVersion;
+  doc["name"] = "micro_text";
+  json::Value tok = json::Value::object();
+  tok["arena_path_mb_s"] = arena_mb_s;
+  tok["arena_speedup"] = 1.9;
+  json::Value scan = json::Value::array();
+  json::Value rec = json::Value::object();
+  rec["procs"] = 1;
+  rec["mb_s"] = scan_mb_s;
+  scan.push_back(std::move(rec));
+  json::Value data = json::Value::object();
+  data["tokenizer"] = std::move(tok);
+  data["scan"] = std::move(scan);
+  doc["data"] = std::move(data);
+  return doc;
+}
+
+json::Value figure_doc(double modeled_s, const std::string& checksum,
+                       double modeled_throughput = 10.0) {
+  json::Value doc = json::Value::object();
+  doc["name"] = "fig5_overall";
+  json::Value run = json::Value::object();
+  run["procs"] = 4;
+  run["modeled_s"] = modeled_s;
+  run["throughput_mb_s"] = modeled_throughput;  // modeled, not a wall metric
+  json::Value runs = json::Value::array();
+  runs.push_back(std::move(run));
+  json::Value data = json::Value::object();
+  data["runs"] = std::move(runs);
+  doc["data"] = std::move(data);
+
+  json::Value by_procs = json::Value::object();
+  by_procs["4"] = checksum;
+  json::Value entry = json::Value::object();
+  entry["key"] = "pubmed/S1";
+  entry["checksums"] = std::move(by_procs);
+  json::Value series = json::Value::array();
+  series.push_back(std::move(entry));
+  json::Value det = json::Value::object();
+  det["consistent"] = true;
+  det["series"] = std::move(series);
+  doc["determinism"] = std::move(det);
+  return doc;
+}
+
+TEST(CompareTest, IdenticalReportsPass) {
+  CompareResult out;
+  const auto doc = figure_doc(1.25, "0x0123456789abcdef");
+  compare_report_documents("fig5_overall", doc, doc, {}, out);
+  EXPECT_FALSE(out.failed());
+  EXPECT_EQ(out.benchmarks_compared, 1);
+}
+
+TEST(CompareTest, AnyModeledRegressionFailsByDefault) {
+  CompareResult out;
+  compare_report_documents("fig5_overall", figure_doc(1.25, "0xaa"),
+                           figure_doc(1.26, "0xaa"), {}, out);
+  EXPECT_TRUE(out.failed());
+}
+
+TEST(CompareTest, ModeledToleranceAbsorbsSmallRises) {
+  CompareResult out;
+  CompareOptions options;
+  options.modeled_tolerance = 0.05;
+  compare_report_documents("fig5_overall", figure_doc(1.25, "0xaa"),
+                           figure_doc(1.26, "0xaa"), options, out);
+  EXPECT_FALSE(out.failed());
+}
+
+TEST(CompareTest, ModeledImprovementPasses) {
+  CompareResult out;
+  compare_report_documents("fig5_overall", figure_doc(1.25, "0xaa"),
+                           figure_doc(1.10, "0xaa"), {}, out);
+  EXPECT_FALSE(out.failed());
+}
+
+TEST(CompareTest, ChecksumChangeFails) {
+  CompareResult out;
+  compare_report_documents("fig5_overall", figure_doc(1.25, "0xaa"),
+                           figure_doc(1.25, "0xbb"), {}, out);
+  EXPECT_TRUE(out.failed());
+}
+
+TEST(CompareTest, ChecksumChangeDowngradesWhenAllowed) {
+  CompareResult out;
+  CompareOptions options;
+  options.allow_checksum_change = true;
+  compare_report_documents("fig5_overall", figure_doc(1.25, "0xaa"),
+                           figure_doc(1.25, "0xbb"), options, out);
+  EXPECT_FALSE(out.failed());
+  EXPECT_FALSE(out.findings.empty());  // still reported
+}
+
+TEST(CompareTest, ThroughputDropBeyondToleranceFails) {
+  CompareResult out;
+  compare_report_documents("micro_text", micro_text_doc(100.0, 50.0),
+                           micro_text_doc(85.0, 50.0), {}, out);
+  EXPECT_TRUE(out.failed());
+}
+
+TEST(CompareTest, ThroughputDropWithinToleranceIsNoise) {
+  CompareResult out;
+  compare_report_documents("micro_text", micro_text_doc(100.0, 50.0),
+                           micro_text_doc(92.0, 50.0), {}, out);
+  EXPECT_FALSE(out.failed());
+}
+
+TEST(CompareTest, ScanThroughputIsGatedToo) {
+  CompareResult out;
+  compare_report_documents("micro_text", micro_text_doc(100.0, 50.0),
+                           micro_text_doc(100.0, 30.0), {}, out);
+  EXPECT_TRUE(out.failed());
+}
+
+TEST(CompareTest, ModeledThroughputOutsideMicroTextIsNotWallGated) {
+  // throughput_mb_s in figure reports derives from modeled time; the
+  // 10% wall tolerance must not apply there (modeled_s itself is gated).
+  CompareResult out;
+  const auto base = figure_doc(1.25, "0xaa", 10.0);
+  const auto cur = figure_doc(1.25, "0xaa", 5.0);  // -50% modeled throughput
+  compare_report_documents("fig5_overall", base, cur, {}, out);
+  EXPECT_FALSE(out.failed());
+}
+
+// ---- directory-level behaviour ----------------------------------------
+
+class CompareDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test: ctest runs discovered cases as parallel processes.
+    const std::string test =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    base_ = std::filesystem::path(::testing::TempDir()) / ("cmp_base_" + test);
+    cur_ = std::filesystem::path(::testing::TempDir()) / ("cmp_cur_" + test);
+    std::filesystem::remove_all(base_);
+    std::filesystem::remove_all(cur_);
+    std::filesystem::create_directories(base_);
+    std::filesystem::create_directories(cur_);
+  }
+
+  static void write(const std::filesystem::path& dir, const std::string& name,
+                    const json::Value& doc) {
+    std::ofstream out(dir / ("BENCH_" + name + ".json"));
+    out << doc.dump() << "\n";
+  }
+
+  std::filesystem::path base_;
+  std::filesystem::path cur_;
+};
+
+TEST_F(CompareDirTest, EmptyBaselineIsBootstrapNotFailure) {
+  write(cur_, "fig5_overall", figure_doc(1.0, "0xaa"));
+  const CompareResult out = compare_directories(base_, cur_, {});
+  EXPECT_FALSE(out.failed());
+  EXPECT_EQ(out.benchmarks_compared, 0);
+  ASSERT_EQ(out.findings.size(), 1u);  // the informational note
+}
+
+TEST_F(CompareDirTest, MissingCurrentBenchmarkFails) {
+  write(base_, "fig5_overall", figure_doc(1.0, "0xaa"));
+  const CompareResult out = compare_directories(base_, cur_, {});
+  EXPECT_TRUE(out.failed());
+}
+
+TEST_F(CompareDirTest, NewCurrentBenchmarkIsIgnored) {
+  write(base_, "fig5_overall", figure_doc(1.0, "0xaa"));
+  write(cur_, "fig5_overall", figure_doc(1.0, "0xaa"));
+  write(cur_, "ingest_sharded", figure_doc(2.0, "0xcc"));
+  const CompareResult out = compare_directories(base_, cur_, {});
+  EXPECT_FALSE(out.failed());
+  EXPECT_EQ(out.benchmarks_compared, 1);
+}
+
+TEST_F(CompareDirTest, MalformedCurrentReportFails) {
+  write(base_, "fig5_overall", figure_doc(1.0, "0xaa"));
+  std::ofstream(cur_ / "BENCH_fig5_overall.json") << "{not json";
+  const CompareResult out = compare_directories(base_, cur_, {});
+  EXPECT_TRUE(out.failed());
+}
+
+TEST_F(CompareDirTest, DoctoredBaselineFiresTheGate) {
+  // The acceptance scenario: a baseline doctored to make the current run
+  // look regressed on all three axes must fail.
+  write(base_, "fig5_overall", figure_doc(0.80, "0xdeadbeef"));
+  write(base_, "micro_text", micro_text_doc(200.0, 100.0));
+  write(cur_, "fig5_overall", figure_doc(1.0, "0xaa"));
+  write(cur_, "micro_text", micro_text_doc(100.0, 100.0));
+  const CompareResult out = compare_directories(base_, cur_, {});
+  EXPECT_TRUE(out.failed());
+  int fails = 0;
+  for (const auto& f : out.findings) fails += f.fail ? 1 : 0;
+  EXPECT_GE(fails, 3);  // modeled_s + checksum + throughput
+}
+
+}  // namespace
+}  // namespace svabench::compare

@@ -297,7 +297,8 @@ TEST(ProjectionTest, GathersAllCoordinatesOnRankZero) {
 }
 
 TEST(ProjectionTest, WriteCoordinatesRoundTrip) {
-  const auto path = (std::filesystem::temp_directory_path() / "sva_proj" / "coords.csv").string();
+  const auto path =
+      (std::filesystem::temp_directory_path() / "sva_proj" / "coords.csv").string();
   write_coordinates(path, {7, 8}, {1.0, 2.0, 3.0, 4.0});
   std::ifstream in(path);
   std::string line;

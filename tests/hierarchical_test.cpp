@@ -122,7 +122,8 @@ TEST_P(HierarchicalProcsTest, DistributedRecoversBlobs) {
   ga::spmd_run(nprocs, [&](ga::Context& ctx) {
     // Block-partition the 24 points across ranks.
     const auto per = static_cast<std::size_t>((24 + nprocs - 1) / nprocs);
-    const std::size_t begin = std::min<std::size_t>(24, static_cast<std::size_t>(ctx.rank()) * per);
+    const std::size_t begin =
+        std::min<std::size_t>(24, static_cast<std::size_t>(ctx.rank()) * per);
     const std::size_t end = std::min<std::size_t>(24, begin + per);
     Matrix local(end - begin, 2);
     for (std::size_t i = begin; i < end; ++i) {
@@ -154,7 +155,8 @@ TEST_P(HierarchicalProcsTest, AdaptiveKSelectsThree) {
   const Matrix all = three_blobs();
   ga::spmd_run(nprocs, [&](ga::Context& ctx) {
     const auto per = static_cast<std::size_t>((24 + nprocs - 1) / nprocs);
-    const std::size_t begin = std::min<std::size_t>(24, static_cast<std::size_t>(ctx.rank()) * per);
+    const std::size_t begin =
+        std::min<std::size_t>(24, static_cast<std::size_t>(ctx.rank()) * per);
     const std::size_t end = std::min<std::size_t>(24, begin + per);
     Matrix local(end - begin, 2);
     for (std::size_t i = begin; i < end; ++i) {

@@ -31,7 +31,8 @@ std::filesystem::path temp_file(const std::string& name) {
 
 /// Splits `rows` rows across the world and returns this rank's shard.
 sig::SignatureSet shard_rows(ga::Context& ctx, const std::vector<std::uint64_t>& doc_ids,
-                             const std::vector<bool>& nulls, const Matrix& all, std::size_t dim) {
+                             const std::vector<bool>& nulls, const Matrix& all,
+                             std::size_t dim) {
   const auto nprocs = static_cast<std::size_t>(ctx.nprocs());
   const std::size_t rows = doc_ids.size();
   const std::size_t per = (rows + nprocs - 1) / nprocs;
@@ -166,7 +167,8 @@ TEST(PersistRoundtripTest, TruncatedFilesThrowFormatError) {
     sig::write_signatures(ctx, full_path.string(), s, ascii_names(2));
   });
   std::ifstream in(full_path, std::ios::binary);
-  std::vector<char> bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
   in.close();
   ASSERT_GT(bytes.size(), 8u);
 

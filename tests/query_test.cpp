@@ -179,8 +179,8 @@ TEST(SummaryTest, SummarizesSizesCohesionAndRepresentatives) {
     const auto km = cluster::kmeans_cluster(ctx, s.docvecs, config);
 
     for (int c = 0; c < 3; ++c) {
-      const auto summary = summarize_cluster(ctx, s, km.assignment, km, {{"t0"}, {"t1"}, {"t2"}},
-                                             c, 4);
+      const auto summary = summarize_cluster(ctx, s, km.assignment, km,
+                                             {{"t0"}, {"t1"}, {"t2"}}, c, 4);
       EXPECT_EQ(summary.cluster, c);
       EXPECT_GT(summary.size, 0);
       EXPECT_LE(static_cast<std::size_t>(summary.representatives.size()), 4u);

@@ -1,0 +1,206 @@
+// Sharded out-of-core ingestion: the non-negotiable invariant is that
+// the sharded pipeline's EngineResult checksum is byte-identical to the
+// single-pass engine for every shard count and processor count, and that
+// every merged stage-1-2 product (vocabulary, term statistics, record
+// streams, term→record postings) equals its single-pass counterpart.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sva/corpus/generator.hpp"
+#include "sva/corpus/reader.hpp"
+#include "sva/engine/digest.hpp"
+#include "sva/engine/engine.hpp"
+#include "sva/engine/ingest.hpp"
+#include "sva/engine/pipeline.hpp"
+
+namespace sva::engine {
+namespace {
+
+corpus::CorpusSpec small_spec(corpus::CorpusKind kind) {
+  corpus::CorpusSpec spec;
+  spec.kind = kind;
+  spec.seed = 4321;
+  spec.target_bytes = 96 << 10;
+  spec.core_vocabulary = 1200;
+  spec.num_themes = 5;
+  spec.theme_vocabulary = 80;
+  spec.theme_token_fraction = 0.3;
+  return spec;
+}
+
+EngineConfig small_config() {
+  EngineConfig config;
+  config.topicality.num_major_terms = 150;
+  config.kmeans.k = 5;
+  return config;
+}
+
+std::uint64_t sharded_checksum(const corpus::CorpusReader& reader, const EngineConfig& config,
+                               int nprocs, std::size_t shards) {
+  Engine engine(config);
+  PipelineOptions options;
+  options.sharding.num_shards = shards;
+  std::uint64_t checksum = 0;
+  ga::spmd_run(nprocs, [&](ga::Context& ctx) {
+    auto result = engine.run(ctx, reader, options);
+    ASSERT_TRUE(result.has_value());
+    if (ctx.rank() == 0) checksum = result_checksum(*result);
+  });
+  return checksum;
+}
+
+// ---- readers ----------------------------------------------------------
+
+TEST(ReaderTest, GeneratedReaderMatchesGenerateCorpus) {
+  const auto spec = small_spec(corpus::CorpusKind::kTrecLike);
+  const auto sources = corpus::generate_corpus(spec);
+  const corpus::GeneratedReader reader(spec);
+
+  ASSERT_EQ(reader.size(), sources.size());
+  EXPECT_EQ(reader.total_bytes(), sources.total_bytes());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(reader.doc_bytes(i), sources[i].bytes());
+    const corpus::RawDocument doc = reader.read(i);
+    EXPECT_EQ(doc.id, sources[i].id);
+    ASSERT_EQ(doc.fields.size(), sources[i].fields.size());
+    for (std::size_t f = 0; f < doc.fields.size(); ++f) {
+      EXPECT_EQ(doc.fields[f].name, sources[i].fields[f].name);
+      EXPECT_EQ(doc.fields[f].text, sources[i].fields[f].text);
+    }
+  }
+}
+
+TEST(ReaderTest, InMemoryReaderBorrowsWithoutCopy) {
+  const auto sources = corpus::generate_corpus(small_spec(corpus::CorpusKind::kPubMedLike));
+  const corpus::InMemoryReader reader(sources);
+  ASSERT_EQ(reader.size(), sources.size());
+  corpus::RawDocument scratch;
+  const corpus::RawDocument* doc = reader.fetch(3, scratch);
+  EXPECT_EQ(doc, &sources[3]);  // resident storage, no copy
+}
+
+TEST(ReaderTest, PlanShardsCoversCorpusContiguously) {
+  const auto sources = corpus::generate_corpus(small_spec(corpus::CorpusKind::kPubMedLike));
+  const corpus::InMemoryReader reader(sources);
+  for (const std::size_t shards : {1u, 2u, 5u, 13u}) {
+    const auto plan = corpus::plan_shards(reader, {.num_shards = shards});
+    ASSERT_EQ(plan.size(), shards);
+    EXPECT_EQ(plan.front().first, 0u);
+    EXPECT_EQ(plan.back().second, reader.size());
+    for (std::size_t s = 1; s < plan.size(); ++s) {
+      EXPECT_EQ(plan[s].first, plan[s - 1].second);
+    }
+  }
+}
+
+TEST(ReaderTest, PlanShardsHonorsMemoryBudget) {
+  const auto sources = corpus::generate_corpus(small_spec(corpus::CorpusKind::kPubMedLike));
+  const corpus::InMemoryReader reader(sources);
+  const std::size_t budget = reader.total_bytes() / 7;
+  const auto plan = corpus::plan_shards(reader, {.mem_budget_bytes = budget});
+  EXPECT_GE(plan.size(), 7u);
+  // Byte-balanced contiguous cuts: every shard stays within ~a document
+  // of the budget.
+  std::size_t max_doc = 0;
+  for (std::size_t i = 0; i < reader.size(); ++i) {
+    max_doc = std::max(max_doc, reader.doc_bytes(i));
+  }
+  for (const auto& [begin, end] : plan) {
+    std::size_t bytes = 0;
+    for (std::size_t i = begin; i < end; ++i) bytes += reader.doc_bytes(i);
+    EXPECT_LE(bytes, budget + max_doc);
+  }
+}
+
+// ---- merged stage-1-2 products ----------------------------------------
+
+TEST(ShardedIngestTest, MergedProductsMatchSinglePass) {
+  const auto sources = corpus::generate_corpus(small_spec(corpus::CorpusKind::kPubMedLike));
+  const corpus::InMemoryReader reader(sources);
+  const EngineConfig config = small_config();
+
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    ga::StageTimer timer_a(ctx);
+    IngestState single =
+        ingest_single_pass(ctx, sources, config.tokenizer, config.indexing, timer_a);
+    ga::StageTimer timer_b(ctx);
+    IngestState sharded = ingest_sharded(ctx, reader, config.tokenizer, config.indexing,
+                                         {.num_shards = 3}, timer_b);
+
+    ASSERT_EQ(sharded.shards_used, 3u);
+    EXPECT_EQ(sharded.num_records, single.num_records);
+    EXPECT_EQ(sharded.num_terms, single.num_terms);
+    EXPECT_EQ(sharded.total_term_occurrences, single.total_term_occurrences);
+    EXPECT_EQ(sharded.vocabulary->terms, single.vocabulary->terms);
+    EXPECT_EQ(sharded.field_type_names, single.field_type_names);
+
+    // Per-rank record streams (ownership follows the same partition).
+    ASSERT_EQ(sharded.records.size(), single.records.size());
+    for (std::size_t i = 0; i < single.records.size(); ++i) {
+      EXPECT_EQ(sharded.records[i].doc_id, single.records[i].doc_id);
+      EXPECT_EQ(sharded.records[i].raw_bytes, single.records[i].raw_bytes);
+      ASSERT_EQ(sharded.records[i].fields.size(), single.records[i].fields.size());
+      for (std::size_t f = 0; f < single.records[i].fields.size(); ++f) {
+        EXPECT_EQ(sharded.records[i].fields[f].type, single.records[i].fields[f].type);
+        EXPECT_EQ(sharded.records[i].fields[f].terms, single.records[i].fields[f].terms);
+      }
+    }
+
+    // Exact global term statistics.
+    EXPECT_EQ(sharded.stats.term_frequency.to_vector(ctx),
+              single.stats.term_frequency.to_vector(ctx));
+    EXPECT_EQ(sharded.stats.doc_frequency.to_vector(ctx),
+              single.stats.doc_frequency.to_vector(ctx));
+
+    // Merged term→record postings.
+    EXPECT_EQ(sharded.index.total_record_postings, single.index.total_record_postings);
+    EXPECT_EQ(sharded.index.record_offsets.to_vector(ctx),
+              single.index.record_offsets.to_vector(ctx));
+    EXPECT_EQ(sharded.index.record_postings.to_vector(ctx),
+              single.index.record_postings.to_vector(ctx));
+
+    // Merged forward product.
+    EXPECT_EQ(sharded.forward.num_fields, single.forward.num_fields);
+    EXPECT_EQ(sharded.forward.total_terms, single.forward.total_terms);
+    EXPECT_EQ(sharded.forward.field_terms.to_vector(ctx),
+              single.forward.field_terms.to_vector(ctx));
+    EXPECT_EQ(sharded.forward.field_record.to_vector(ctx),
+              single.forward.field_record.to_vector(ctx));
+  });
+}
+
+// ---- the acceptance invariant -----------------------------------------
+
+class ShardedKindTest : public ::testing::TestWithParam<corpus::CorpusKind> {};
+
+TEST_P(ShardedKindTest, ChecksumIdenticalToSinglePassAcrossShardAndProcCounts) {
+  const auto spec = small_spec(GetParam());
+  const auto sources = corpus::generate_corpus(spec);
+  const corpus::GeneratedReader reader(spec);
+  const EngineConfig config = small_config();
+
+  // Single-pass baseline through the classic entry point.
+  const std::uint64_t baseline =
+      result_checksum(run_pipeline(1, ga::CommModel{}, sources, config).result);
+
+  for (const std::size_t shards : {1u, 2u, 5u}) {
+    for (const int nprocs : {1, 4}) {
+      EXPECT_EQ(sharded_checksum(reader, config, nprocs, shards), baseline)
+          << "diverged at shards=" << shards << " nprocs=" << nprocs;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ShardedKindTest,
+                         ::testing::Values(corpus::CorpusKind::kPubMedLike,
+                                           corpus::CorpusKind::kTrecLike),
+                         [](const auto& info) {
+                           return info.param == corpus::CorpusKind::kPubMedLike ? "PubMedLike"
+                                                                                : "TrecLike";
+                         });
+
+}  // namespace
+}  // namespace sva::engine

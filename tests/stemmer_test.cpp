@@ -65,9 +65,11 @@ INSTANTIATE_TEST_SUITE_P(
 // Step 3.
 INSTANTIATE_TEST_SUITE_P(Step3, PorterPairTest,
                          ::testing::Values(Pair{"triplicate", "triplic"},
-                                           Pair{"formative", "form"}, Pair{"formalize", "formal"},
+                                           Pair{"formative", "form"},
+                                           Pair{"formalize", "formal"},
                                            Pair{"electriciti", "electr"},
-                                           Pair{"electrical", "electr"}, Pair{"hopeful", "hope"},
+                                           Pair{"electrical", "electr"},
+                                           Pair{"hopeful", "hope"},
                                            Pair{"goodness", "good"}));
 
 // Step 4 (single suffixes, m > 1).

@@ -1,0 +1,241 @@
+// Sharded out-of-core pipeline driver.
+//
+//   sva_pipeline --corpus pubmed --size-mb 8 --procs 4
+//                --shards 4 --mem-budget-mb 2 --checkpoint-dir ckpt/
+//   # ...killed?  restart where it left off:
+//   sva_pipeline --corpus pubmed --size-mb 8 --procs 4
+//                --checkpoint-dir ckpt/ --resume
+//
+// The corpus is synthesized document-by-document (never resident as a
+// whole); ingestion runs shard by shard under the memory budget; a
+// checkpoint lands after every completed stage.  The EngineResult
+// checksum printed at the end is byte-identical for any shard count,
+// processor count, or resume point — that is the contract the test
+// suite enforces.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sva/corpus/generator.hpp"
+#include "sva/corpus/reader.hpp"
+#include "sva/engine/digest.hpp"
+#include "sva/engine/engine.hpp"
+#include "sva/util/error.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "usage: sva_pipeline [options]\n"
+      "\n"
+      "corpus:\n"
+      "  --corpus pubmed|trec   synthetic corpus family (default pubmed)\n"
+      "  --size-mb N            corpus size in MiB (default 4)\n"
+      "  --seed N               generator seed (default 20070326)\n"
+      "\n"
+      "execution:\n"
+      "  --procs P              SPMD ranks (default 4)\n"
+      "  --shards N             ingestion shard count (default: from budget, else 1)\n"
+      "  --mem-budget-mb M      max resident raw corpus MiB per shard\n"
+      "  --major-terms N        topicality N (default 800)\n"
+      "  --clusters K           k-means clusters (default 16)\n"
+      "\n"
+      "durability:\n"
+      "  --checkpoint-dir D     persist a checkpoint after every stage\n"
+      "  --resume               restart from the last completed stage in D\n"
+      "  --stop-after STAGE     halt after STAGE's checkpoint (ingest|signatures|cluster);\n"
+      "                         simulates a kill for testing resume\n"
+      "\n"
+      "output:\n"
+      "  --out FILE             write a JSON summary (checksum, counts, timings)\n";
+}
+
+std::uint64_t parse_u64(const std::string& arg, const char* flag) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg.c_str(), &end, 10);
+  if (end != arg.c_str() + arg.size() || arg.empty()) {
+    std::cerr << "sva_pipeline: bad value '" << arg << "' for " << flag << "\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sva;
+
+  corpus::CorpusKind kind = corpus::CorpusKind::kPubMedLike;
+  std::size_t size_mb = 4;
+  std::uint64_t seed = 20070326;
+  int procs = 4;
+  engine::PipelineOptions options;
+  bool resume = false;
+  std::size_t major_terms = 800;
+  std::size_t clusters = 16;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "sva_pipeline: " << arg << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--corpus") {
+      const std::string v = next();
+      if (v == "pubmed") {
+        kind = corpus::CorpusKind::kPubMedLike;
+      } else if (v == "trec") {
+        kind = corpus::CorpusKind::kTrecLike;
+      } else {
+        std::cerr << "sva_pipeline: --corpus must be pubmed or trec\n";
+        return 2;
+      }
+    } else if (arg == "--size-mb") {
+      size_mb = static_cast<std::size_t>(parse_u64(next(), "--size-mb"));
+    } else if (arg == "--seed") {
+      seed = parse_u64(next(), "--seed");
+    } else if (arg == "--procs") {
+      procs = static_cast<int>(parse_u64(next(), "--procs"));
+    } else if (arg == "--shards") {
+      options.sharding.num_shards = static_cast<std::size_t>(parse_u64(next(), "--shards"));
+    } else if (arg == "--mem-budget-mb") {
+      options.sharding.mem_budget_bytes =
+          static_cast<std::size_t>(parse_u64(next(), "--mem-budget-mb")) << 20;
+    } else if (arg == "--major-terms") {
+      major_terms = static_cast<std::size_t>(parse_u64(next(), "--major-terms"));
+    } else if (arg == "--clusters") {
+      clusters = static_cast<std::size_t>(parse_u64(next(), "--clusters"));
+    } else if (arg == "--checkpoint-dir") {
+      options.checkpoint_dir = next();
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--stop-after") {
+      const std::string v = next();
+      options.stop_after = engine::parse_stage(v);
+      if (!options.stop_after || *options.stop_after == engine::Stage::kFinal) {
+        std::cerr << "sva_pipeline: --stop-after must be ingest, signatures or cluster\n";
+        return 2;
+      }
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::cerr << "sva_pipeline: unknown argument " << arg << "\n";
+      print_usage();
+      return 2;
+    }
+  }
+  if (procs < 1) {
+    std::cerr << "sva_pipeline: --procs must be >= 1\n";
+    return 2;
+  }
+  if (resume && options.checkpoint_dir.empty()) {
+    std::cerr << "sva_pipeline: --resume needs --checkpoint-dir\n";
+    return 2;
+  }
+  if (resume && options.stop_after) {
+    std::cerr << "sva_pipeline: --stop-after only applies to fresh runs; a resumed run "
+                 "always completes\n";
+    return 2;
+  }
+  if (resume &&
+      (options.sharding.num_shards > 0 || options.sharding.mem_budget_bytes > 0)) {
+    std::cout << "note: --shards/--mem-budget-mb are ignored on --resume (ingestion is "
+                 "already checkpointed)\n";
+  }
+
+  try {
+    corpus::CorpusSpec spec =
+        kind == corpus::CorpusKind::kPubMedLike
+            ? corpus::pubmed_like_spec(0, size_mb << 20)
+            : corpus::trec_like_spec(0, size_mb << 20);
+    spec.seed = seed;
+
+    std::cout << "synthesizing " << corpus::corpus_kind_name(kind)
+              << " corpus metadata (" << size_mb << " MiB target, streamed)...\n";
+    const corpus::GeneratedReader reader(spec);
+    std::cout << "  " << reader.size() << " documents, " << reader.total_bytes()
+              << " bytes\n";
+
+    engine::EngineConfig config;
+    config.topicality.num_major_terms = major_terms;
+    config.kmeans.k = clusters;
+    engine::Engine eng(config);
+
+    std::optional<engine::EngineResult> result;
+    bool stopped = false;
+    const ga::SpmdResult spmd = ga::spmd_run(procs, ga::CommModel{}, [&](ga::Context& ctx) {
+      std::optional<engine::EngineResult> r;
+      if (resume) {
+        r = eng.resume(ctx, options.checkpoint_dir);
+      } else {
+        r = eng.run(ctx, reader, options);
+      }
+      if (ctx.rank() == 0) {
+        if (r) {
+          result = std::move(r);
+        } else {
+          stopped = true;
+        }
+      }
+    });
+
+    if (stopped) {
+      std::cout << "stopped after stage '" << engine::stage_name(*options.stop_after)
+                << "' (checkpoint written to " << options.checkpoint_dir.string()
+                << "); rerun with --resume to continue\n";
+      return 0;
+    }
+
+    const std::uint64_t checksum = engine::result_checksum(*result);
+    const auto& t = result->timings;
+    std::cout << "pipeline complete:\n"
+              << "  records            " << result->num_records << "\n"
+              << "  terms              " << result->num_terms << "\n"
+              << "  occurrences        " << result->total_term_occurrences << "\n"
+              << "  dimension          " << result->dimension << " ("
+              << result->signature_rounds << " adaptive round(s))\n"
+              << "  clusters           " << result->clustering.centroids.rows() << "\n"
+              << "  modeled seconds    " << t.total() << "  (scan " << t.scan << ", index "
+              << t.index << ", topic " << t.topic << ", AM " << t.am << ", DocVec "
+              << t.docvec << ", ClusProj " << t.clusproj << ")\n"
+              << "  wall seconds       " << spmd.wall_seconds << "\n"
+              << "  result checksum    " << engine::checksum_hex(checksum) << "\n";
+
+    if (!out_path.empty()) {
+      std::filesystem::path p(out_path);
+      if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+      std::ofstream out(p);
+      if (!out) {
+        std::cerr << "sva_pipeline: cannot open " << out_path << "\n";
+        return 1;
+      }
+      out << "{\n"
+          << "  \"corpus\": \"" << corpus::corpus_kind_name(kind) << "\",\n"
+          << "  \"procs\": " << procs << ",\n"
+          << "  \"records\": " << result->num_records << ",\n"
+          << "  \"terms\": " << result->num_terms << ",\n"
+          << "  \"occurrences\": " << result->total_term_occurrences << ",\n"
+          << "  \"dimension\": " << result->dimension << ",\n"
+          << "  \"modeled_s\": " << t.total() << ",\n"
+          << "  \"wall_s\": " << spmd.wall_seconds << ",\n"
+          << "  \"checksum\": \"" << engine::checksum_hex(checksum) << "\"\n"
+          << "}\n";
+      std::cout << "wrote " << out_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "sva_pipeline: " << e.what() << "\n";
+    return 1;
+  }
+}
