@@ -48,10 +48,11 @@ void walk(const std::string& bench, const std::string& path, const json::Value& 
           const double rise = rise_fraction(value.as_double(), other->as_double());
           if (rise > options.modeled_tolerance) {
             out.findings.push_back(
-                {true, bench + ": " + child + " regressed " + format_pct(rise) + " (" +
-                           std::to_string(value.as_double()) + "s -> " +
-                           std::to_string(other->as_double()) + "s, tolerance " +
-                           format_pct(options.modeled_tolerance) + ")"});
+                {!options.allow_modeled_change,
+                 bench + ": " + child + " regressed " + format_pct(rise) + " (" +
+                     std::to_string(value.as_double()) + "s -> " +
+                     std::to_string(other->as_double()) + "s, tolerance " +
+                     format_pct(options.modeled_tolerance) + ")"});
           }
         } else if (bench == "micro_text" && is_throughput_field(key)) {
           const double drop = drop_fraction(value.as_double(), other->as_double());
@@ -76,6 +77,63 @@ void walk(const std::string& bench, const std::string& path, const json::Value& 
   }
 }
 
+/// First entry of `series` satisfying `match`, or nullptr.  Shared by the
+/// keyed gates (checksums, micro_ga wall) so "entry went missing ->
+/// informational" semantics stay in one shape.
+template <typename Match>
+const json::Value* find_series_entry(const json::Value& series, Match&& match) {
+  for (const auto& candidate : series.items()) {
+    if (match(candidate)) return &candidate;
+  }
+  return nullptr;
+}
+
+/// micro_ga wall-clock gate: matches data.series entries by their
+/// (primitive, config) key — array positions shift whenever a config is
+/// added — and fails when best_s rises beyond the wall tolerance.
+void compare_micro_ga_wall(const std::string& bench, const json::Value& baseline,
+                           const json::Value& current, const CompareOptions& options,
+                           CompareResult& out) {
+  const json::Value* base_data = baseline.find("data");
+  const json::Value* cur_data = current.find("data");
+  if (base_data == nullptr || cur_data == nullptr) return;
+  const json::Value* base_series = base_data->find("series");
+  const json::Value* cur_series = cur_data->find("series");
+  if (base_series == nullptr || cur_series == nullptr) return;
+  if (!base_series->is_array() || !cur_series->is_array()) return;
+
+  for (const auto& base_entry : base_series->items()) {
+    const json::Value* primitive = base_entry.find("primitive");
+    const json::Value* config = base_entry.find("config");
+    const json::Value* base_best = base_entry.find("best_s");
+    if (primitive == nullptr || config == nullptr || base_best == nullptr) continue;
+    const json::Value* cur_entry =
+        find_series_entry(*cur_series, [&](const json::Value& candidate) {
+          const json::Value* cp = candidate.find("primitive");
+          const json::Value* cc = candidate.find("config");
+          return cp != nullptr && cc != nullptr &&
+                 cp->as_string() == primitive->as_string() &&
+                 cc->as_string() == config->as_string();
+        });
+    const std::string key = primitive->as_string() + " " + config->as_string();
+    if (cur_entry == nullptr) {
+      out.findings.push_back(
+          {false, bench + ": wall metric '" + key + "' absent from current run"});
+      continue;
+    }
+    const json::Value* cur_best = cur_entry->find("best_s");
+    if (cur_best == nullptr) continue;
+    const double rise = rise_fraction(base_best->as_double(), cur_best->as_double());
+    if (rise > options.wall_tolerance) {
+      out.findings.push_back(
+          {true, bench + ": wall best_s for '" + key + "' regressed " + format_pct(rise) +
+                     " (" + std::to_string(base_best->as_double()) + "s -> " +
+                     std::to_string(cur_best->as_double()) + "s, tolerance " +
+                     format_pct(options.wall_tolerance) + ")"});
+    }
+  }
+}
+
 void compare_checksums(const std::string& bench, const json::Value& baseline,
                        const json::Value& current, const CompareOptions& options,
                        CompareResult& out) {
@@ -88,13 +146,10 @@ void compare_checksums(const std::string& bench, const json::Value& baseline,
 
   for (const auto& base_entry : base_series->items()) {
     const std::string& key = base_entry.at("key").as_string();
-    const json::Value* cur_entry = nullptr;
-    for (const auto& candidate : cur_series->items()) {
-      if (candidate.at("key").as_string() == key) {
-        cur_entry = &candidate;
-        break;
-      }
-    }
+    const json::Value* cur_entry =
+        find_series_entry(*cur_series, [&](const json::Value& candidate) {
+          return candidate.at("key").as_string() == key;
+        });
     if (cur_entry == nullptr) {
       out.findings.push_back(
           {false, bench + ": determinism key '" + key + "' absent from current run"});
@@ -128,6 +183,7 @@ void compare_report_documents(const std::string& name, const json::Value& baseli
                               CompareResult& out) {
   ++out.benchmarks_compared;
   compare_checksums(name, baseline, current, options, out);
+  if (name == "micro_ga") compare_micro_ga_wall(name, baseline, current, options, out);
   const json::Value* base_data = baseline.find("data");
   const json::Value* cur_data = current.find("data");
   if (base_data != nullptr && cur_data != nullptr) {

@@ -10,10 +10,16 @@
 //     engine's products changed;
 //   * modeled_s may not regress beyond --modeled-tolerance (default 0:
 //     modeled time is the LogGP communication model plus measured
-//     compute, and any regression is a real cost increase);
+//     compute, and any regression is a real cost increase); a PR that
+//     deliberately re-costs the model passes --allow-modeled-change to
+//     downgrade these findings to informational for one baseline cycle;
 //   * micro_text's wall-clock throughput fields (*_mb_s) may not regress
 //     more than --throughput-tolerance (default 10%: host wall clock is
-//     noisy on shared runners).
+//     noisy on shared runners);
+//   * micro_ga's wall metrics (best_s per primitive/config) may not rise
+//     more than --wall-tolerance (default 10%) — series entries are
+//     matched by (primitive, config) key, so reordering or adding
+//     configs never misattributes a regression.
 //
 // Benchmarks present only in the current run are new and ignored; a
 // benchmark that disappears from the current run fails.
@@ -33,9 +39,14 @@ struct CompareOptions {
   double throughput_tolerance = 0.10;
   /// Allowed fractional regression of modeled_s fields.
   double modeled_tolerance = 0.0;
+  /// Allowed fractional rise of micro_ga wall metrics (best_s).
+  double wall_tolerance = 0.10;
   /// Downgrade checksum changes to informational (for runs that are
   /// expected to change the engine's products).
   bool allow_checksum_change = false;
+  /// Downgrade modeled_s regressions to informational (for runs that
+  /// deliberately change the communication cost model).
+  bool allow_modeled_change = false;
 };
 
 struct Finding {

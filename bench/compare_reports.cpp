@@ -18,14 +18,19 @@ void print_usage() {
   std::cout <<
       "usage: compare_reports --baseline DIR --current DIR\n"
       "                       [--throughput-tolerance F] [--modeled-tolerance F]\n"
-      "                       [--allow-checksum-change]\n"
+      "                       [--wall-tolerance F]\n"
+      "                       [--allow-checksum-change] [--allow-modeled-change]\n"
       "\n"
       "  --baseline DIR            previous run's BENCH_*.json directory\n"
       "  --current DIR             fresh run's BENCH_*.json directory\n"
       "  --throughput-tolerance F  allowed fractional wall-throughput drop\n"
       "                            (micro_text *_mb_s; default 0.10)\n"
       "  --modeled-tolerance F     allowed fractional modeled_s rise (default 0)\n"
-      "  --allow-checksum-change   checksum drift is informational, not fatal\n";
+      "  --wall-tolerance F        allowed fractional micro_ga best_s rise\n"
+      "                            (matched by primitive+config; default 0.10)\n"
+      "  --allow-checksum-change   checksum drift is informational, not fatal\n"
+      "  --allow-modeled-change    modeled_s rises are informational, not fatal\n"
+      "                            (for PRs that re-cost the comm model)\n";
 }
 
 double parse_fraction(const std::string& arg, const char* flag) {
@@ -64,8 +69,12 @@ int main(int argc, char** argv) {
       options.throughput_tolerance = parse_fraction(next(), "--throughput-tolerance");
     } else if (arg == "--modeled-tolerance") {
       options.modeled_tolerance = parse_fraction(next(), "--modeled-tolerance");
+    } else if (arg == "--wall-tolerance") {
+      options.wall_tolerance = parse_fraction(next(), "--wall-tolerance");
     } else if (arg == "--allow-checksum-change") {
       options.allow_checksum_change = true;
+    } else if (arg == "--allow-modeled-change") {
+      options.allow_modeled_change = true;
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;

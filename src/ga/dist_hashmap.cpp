@@ -42,39 +42,77 @@ std::int64_t DistHashmap::insert_or_get(Context& ctx, std::string_view term) {
              ctx.model().rpc_service);
 
   std::lock_guard<std::mutex> lock(p.mutex);
-  auto [it, inserted] = p.ids.try_emplace(std::string(term),
-                                          static_cast<std::int64_t>(p.insertion_order.size()));
-  if (inserted) p.insertion_order.push_back(it->first);
+  if (auto it = p.ids.find(term); it != p.ids.end()) return encode(it->second, part);
+  const auto it =
+      p.ids.emplace(std::string(term), static_cast<std::int64_t>(p.insertion_order.size()))
+          .first;
+  p.insertion_order.push_back(it->first);
   return encode(it->second, part);
 }
 
+namespace {
+
+/// Reusable per-rank (per-thread) request grouping for insert_batch: a
+/// counting sort by owning partition, so the hot path allocates nothing
+/// once the high-water mark is reached.
+struct BatchScratch {
+  std::vector<int> owner;              // position -> owning partition
+  std::vector<std::size_t> begin;      // partition -> first slot in positions
+  std::vector<std::size_t> fill;       // partition -> next free slot
+  std::vector<std::size_t> positions;  // positions grouped by partition
+  std::vector<std::size_t> bytes;      // partition -> request payload bytes
+};
+
+}  // namespace
+
 std::vector<std::int64_t> DistHashmap::insert_batch(Context& ctx,
                                                     std::span<const std::string_view> terms) {
-  // Group requests by partition so each RPC channel is used once; this is
-  // the aggregation ARMCI encourages and what makes insertion scale.
+  // Group requests by partition so each RPC channel — and each partition
+  // lock — is used exactly once per call; this is the aggregation ARMCI
+  // encourages and what makes insertion scale.
   const auto nprocs = static_cast<std::size_t>(storage_->nprocs);
-  std::vector<std::vector<std::size_t>> by_partition(nprocs);
+  static thread_local BatchScratch scratch;
+  scratch.owner.resize(terms.size());
+  scratch.positions.resize(terms.size());
+  scratch.begin.assign(nprocs + 1, 0);
+  scratch.bytes.assign(nprocs, 0);
   for (std::size_t i = 0; i < terms.size(); ++i) {
-    by_partition[static_cast<std::size_t>(owner_of(terms[i]))].push_back(i);
+    const int o = owner_of(terms[i]);
+    scratch.owner[i] = o;
+    ++scratch.begin[static_cast<std::size_t>(o) + 1];
+    scratch.bytes[static_cast<std::size_t>(o)] += terms[i].size() + sizeof(std::int64_t);
+  }
+  for (std::size_t part = 0; part < nprocs; ++part) {
+    scratch.begin[part + 1] += scratch.begin[part];
+  }
+  scratch.fill.assign(scratch.begin.begin(), scratch.begin.end() - 1);
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    scratch.positions[scratch.fill[static_cast<std::size_t>(scratch.owner[i])]++] = i;
   }
 
   std::vector<std::int64_t> out(terms.size(), -1);
   for (std::size_t part = 0; part < nprocs; ++part) {
-    const auto& request = by_partition[part];
-    if (request.empty()) continue;
+    const std::size_t first = scratch.begin[part];
+    const std::size_t last = scratch.begin[part + 1];
+    if (first == last) continue;
     auto& p = storage_->partitions[part];
     const bool remote = static_cast<int>(part) != ctx.rank();
 
-    std::size_t bytes = 0;
-    for (std::size_t i : request) bytes += terms[i].size() + sizeof(std::int64_t);
-    ctx.charge(ctx.model().onesided(bytes, remote) +
-               ctx.model().rpc_service * static_cast<double>(request.size()));
+    ctx.charge(ctx.model().onesided(scratch.bytes[part], remote) +
+               ctx.model().rpc_service * static_cast<double>(last - first));
 
     std::lock_guard<std::mutex> lock(p.mutex);
-    for (std::size_t i : request) {
-      auto [it, inserted] = p.ids.try_emplace(
-          std::string(terms[i]), static_cast<std::int64_t>(p.insertion_order.size()));
-      if (inserted) p.insertion_order.push_back(it->first);
+    for (std::size_t slot = first; slot < last; ++slot) {
+      const std::size_t i = scratch.positions[slot];
+      if (auto it = p.ids.find(terms[i]); it != p.ids.end()) {
+        out[i] = encode(it->second, static_cast<int>(part));
+        continue;
+      }
+      const auto it = p.ids
+                          .emplace(std::string(terms[i]),
+                                   static_cast<std::int64_t>(p.insertion_order.size()))
+                          .first;
+      p.insertion_order.push_back(it->first);
       out[i] = encode(it->second, static_cast<int>(part));
     }
   }
@@ -93,7 +131,7 @@ std::optional<std::int64_t> DistHashmap::find(Context& ctx, std::string_view ter
   ctx.charge(ctx.model().onesided(term.size() + sizeof(std::int64_t), part != ctx.rank()) +
              ctx.model().rpc_service);
   std::lock_guard<std::mutex> lock(p.mutex);
-  auto it = p.ids.find(std::string(term));
+  auto it = p.ids.find(term);
   if (it == p.ids.end()) return std::nullopt;
   return encode(it->second, part);
 }

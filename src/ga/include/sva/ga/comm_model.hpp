@@ -37,6 +37,25 @@ struct CommModel {
   bool io_parallel = true;
   double compute_scale = 1.0;     ///< multiplier applied to thread-CPU time
 
+  // ---- host execution tuning -------------------------------------------
+  // These knobs steer the *host* fast path of the runtime (see
+  // runtime.hpp) and never enter a modeled cost.  Exposed so tests can
+  // force each path deterministically.
+  /// Barrier spin iterations before parking on the epoch futex; -1 picks
+  /// a default (0 when ranks oversubscribe the host's cores).
+  int host_spin_iters = -1;
+  /// Largest broadcast payload staged into World scratch (one-round
+  /// broadcast; only the root copies in).  Bigger payloads stay zero-copy
+  /// behind a departure fence.
+  std::size_t host_copy_max_bytes = std::size_t{64} << 10;
+  /// Largest per-rank contribution staged by allgatherv/gatherv.  Every
+  /// rank pays its own copy-in here, so the crossover against the saved
+  /// departure fence sits much lower than for broadcast.
+  std::size_t host_vstage_max_bytes = std::size_t{8} << 10;
+  /// Allreduce payloads up to this size are folded by the round's last
+  /// arriver (leader combines); larger ones use partitioned combining.
+  std::size_t host_leader_max_bytes = 4096;
+
   [[nodiscard]] int tree_depth(int nprocs) const {
     int depth = 0;
     int span = 1;
@@ -72,6 +91,15 @@ struct CommModel {
   /// Binomial-tree reduction of `bytes`.
   [[nodiscard]] double reduce(int nprocs, std::size_t bytes) const {
     return broadcast(nprocs, bytes);
+  }
+
+  /// Binomial-tree gather of `total_bytes` (summed over every rank's
+  /// contribution) to one root: the latency term scales with the tree
+  /// depth, the bandwidth term with the full payload funneled into the
+  /// root.
+  [[nodiscard]] double gather(int nprocs, std::size_t total_bytes) const {
+    return static_cast<double>(tree_depth(nprocs)) * alpha +
+           beta * static_cast<double>(total_bytes);
   }
 
   /// Allreduce = reduce + broadcast (the classic implementation the paper's

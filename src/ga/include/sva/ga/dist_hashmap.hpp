@@ -23,17 +23,26 @@
 
 namespace sva::ga {
 
+/// Transparent string hashing so string_view probes never materialize a
+/// std::string.
+struct StringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 /// Canonicalized global vocabulary (replicated; immutable after finalize).
 struct Vocabulary {
   /// All unique terms, lexicographically sorted; canonical ID = position.
   std::vector<std::string> terms;
   /// term → canonical ID.
-  std::unordered_map<std::string, std::int64_t> term_to_id;
+  std::unordered_map<std::string, std::int64_t, StringHash, std::equal_to<>> term_to_id;
 
   [[nodiscard]] std::size_t size() const { return terms.size(); }
 
   [[nodiscard]] std::int64_t id_of(std::string_view term) const {
-    auto it = term_to_id.find(std::string(term));
+    auto it = term_to_id.find(term);
     return it == term_to_id.end() ? -1 : it->second;
   }
 };
@@ -84,8 +93,10 @@ class DistHashmap {
  private:
   struct Partition {
     std::mutex mutex;
-    std::unordered_map<std::string, std::int64_t> ids;  // term -> local index
-    std::vector<std::string> insertion_order;           // local index -> term
+    // term -> local index; transparent hashing so request-side
+    // string_views probe without materializing std::strings.
+    std::unordered_map<std::string, std::int64_t, StringHash, std::equal_to<>> ids;
+    std::vector<std::string> insertion_order;  // local index -> term
   };
   struct Storage {
     int nprocs = 1;

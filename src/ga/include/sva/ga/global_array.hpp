@@ -232,6 +232,15 @@ class GlobalArray {
   /// element_offset)` applies the element op; positions within one owner
   /// are visited in ascending position order so duplicate indices behave
   /// deterministically.
+  /// Reusable per-rank (per-thread) grouping scratch shared by every
+  /// element-list call: steady-state batches allocate nothing.
+  struct BatchScratch {
+    std::vector<int> owner_of_pos;
+    std::vector<std::size_t> owner_begin;
+    std::vector<std::size_t> fill;
+    std::vector<std::size_t> positions;
+  };
+
   template <typename Fn>
   void for_each_owner_batch(Context& ctx, std::span<const std::size_t> indices, bool rmw,
                             Fn&& fn) const {
@@ -239,23 +248,25 @@ class GlobalArray {
     // Group positions by owner without allocating per-owner vectors:
     // count, prefix, fill — positions stay in ascending order per owner.
     const auto nprocs = storage_->blocks.size();
-    std::vector<std::size_t> owner_count(nprocs, 0);
-    std::vector<int> owner_of_pos(indices.size());
+    static thread_local BatchScratch s;
+    s.owner_begin.assign(nprocs + 1, 0);
+    s.owner_of_pos.resize(indices.size());
     for (std::size_t i = 0; i < indices.size(); ++i) {
       require(indices[i] < size(), "GlobalArray: element-list index out of range");
       const int o = owner_of(indices[i]);
-      owner_of_pos[i] = o;
-      ++owner_count[static_cast<std::size_t>(o)];
+      s.owner_of_pos[i] = o;
+      ++s.owner_begin[static_cast<std::size_t>(o) + 1];
     }
-    std::vector<std::size_t> owner_begin(nprocs + 1, 0);
     for (std::size_t o = 0; o < nprocs; ++o) {
-      owner_begin[o + 1] = owner_begin[o] + owner_count[o];
+      s.owner_begin[o + 1] += s.owner_begin[o];
     }
-    std::vector<std::size_t> positions(indices.size());
-    std::vector<std::size_t> fill = owner_begin;
+    s.positions.resize(indices.size());
+    s.fill.assign(s.owner_begin.begin(), s.owner_begin.end() - 1);
     for (std::size_t i = 0; i < indices.size(); ++i) {
-      positions[fill[static_cast<std::size_t>(owner_of_pos[i])]++] = i;
+      s.positions[s.fill[static_cast<std::size_t>(s.owner_of_pos[i])]++] = i;
     }
+    const auto& owner_begin = s.owner_begin;
+    const auto& positions = s.positions;
 
     for (std::size_t o = 0; o < nprocs; ++o) {
       const std::size_t n = owner_begin[o + 1] - owner_begin[o];

@@ -13,12 +13,24 @@
 // order.  If any rank throws, the runtime aborts the remaining ranks at
 // their next synchronization point and rethrows the first exception from
 // spmd_run.
+//
+// Host fast path (see README "GA substrate performance"): synchronization
+// is an epoch-counting sense-reversing barrier — one atomic arrival per
+// rank, the last arriver folds the virtual clocks and releases the epoch;
+// waiters spin briefly, then park on the epoch word (futex).  Collectives
+// that can stage their payload in World-owned scratch complete in a
+// single arrival round; zero-copy paths add one departure fence so caller
+// buffers stay readable until every peer is done.  Allreduce combines
+// partitioned: each rank reduces only its contiguous element block (in
+// rank order per element, so results are bit-identical to a serial
+// rank-order fold), with a leader-combines fallback for small payloads.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -38,24 +50,93 @@ class Context;
 
 namespace detail {
 
-/// Central sense-counting barrier with abort support.
-class RawBarrier {
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Spin budget before parking: on an oversubscribed host (more ranks than
+/// cores) spinning only steals cycles from the rank being waited for, so
+/// the barrier parks immediately.
+int default_spin_iters(int nprocs);
+
+/// Central epoch-counting (sense-reversing) barrier with abort support.
+/// One `fetch_add` per arrival; the last arriver runs a callback while it
+/// exclusively owns the round, then releases everyone by bumping the
+/// epoch word and waking parked waiters.  Counter and epoch live on
+/// separate cache lines so arrivals don't bounce the waiters' line.
+class SpinBarrier {
  public:
-  explicit RawBarrier(int nprocs) : nprocs_(nprocs) {}
+  SpinBarrier(int nprocs, int spin_iters) : nprocs_(nprocs), spin_iters_(spin_iters) {}
 
-  /// Blocks until all ranks arrive.  Throws ProtocolError if the world has
-  /// been aborted (some rank threw).
-  void wait(const std::atomic<bool>& aborted);
+  /// Arrives at the current round; the last rank runs `on_last()` before
+  /// any waiter is released.  Throws ProtocolError if the world has been
+  /// aborted (some rank threw).
+  template <typename OnLast>
+  void arrive(const std::atomic<bool>& aborted, OnLast&& on_last) {
+    // Pre-abort this load is exact under coherence: the epoch cannot
+    // advance without this rank's arrival, and this rank already observed
+    // the value released by the previous round.  The acquire matters for
+    // the abort race: if this load sees an abort_wakeup bump, it
+    // synchronizes with that release, making the aborted flag (stored
+    // before the bump) visible to the re-check below — without it a rank
+    // could capture the post-abort epoch yet read a stale aborted=false,
+    // then park on a futex nobody will ever notify again.
+    const std::uint32_t epoch = epoch_.value.load(std::memory_order_acquire);
+    throw_if_aborted(aborted);
+    if (arrived_.value.fetch_add(1, std::memory_order_acq_rel) == nprocs_ - 1) {
+      arrived_.value.store(0, std::memory_order_relaxed);
+      on_last();
+      // fetch_add, not store: an abort_wakeup bump racing with the round's
+      // release must never be overwritten, or parked peers sleep forever.
+      epoch_.value.fetch_add(1, std::memory_order_release);
+      epoch_.value.notify_all();
+    } else {
+      wait_for_epoch(epoch, aborted);
+    }
+    throw_if_aborted(aborted);
+  }
 
-  /// Wakes all waiters so they can observe the abort flag.
+  void arrive(const std::atomic<bool>& aborted) {
+    arrive(aborted, [] {});
+  }
+
+  /// Wakes all waiters (parked or spinning) so they can observe the abort
+  /// flag.  Call only after setting the flag.
   void abort_wakeup();
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  static void throw_if_aborted(const std::atomic<bool>& aborted);
+  void wait_for_epoch(std::uint32_t epoch, const std::atomic<bool>& aborted) const;
+
+  struct alignas(kCacheLine) PaddedEpoch {
+    std::atomic<std::uint32_t> value{0};
+  };
+  struct alignas(kCacheLine) PaddedCount {
+    std::atomic<int> value{0};
+  };
+  PaddedEpoch epoch_;
+  PaddedCount arrived_;
   int nprocs_;
-  int arrived_ = 0;
-  std::uint64_t generation_ = 0;
+  int spin_iters_;
+};
+
+/// Publication slot for one rank's collective contribution.  Padded so
+/// concurrent publishes never share a cache line.
+struct alignas(kCacheLine) ExSlot {
+  const void* ptr = nullptr;
+  std::size_t bytes = 0;
+  /// Payload was staged into World scratch (stable storage): readers need
+  /// no departure fence before the contributor reuses its own buffer.
+  bool copied = false;
+};
+
+/// Reusable per-rank payload staging buffer (padded vector header).
+struct alignas(kCacheLine) Scratch {
+  std::vector<std::uint8_t> buf;
+};
+
+/// Per-rank virtual clock slot, folded to a max by each round's last
+/// arriver.
+struct alignas(kCacheLine) ClockSlot {
+  double v = 0.0;
 };
 
 }  // namespace detail
@@ -73,13 +154,27 @@ class World {
   // Not part of the public API surface.
   int nprocs_;
   CommModel model_;
-  detail::RawBarrier barrier_;
+  detail::SpinBarrier barrier_;
   std::atomic<bool> aborted_{false};
 
-  // Publication slots for the generic exchange primitive: each rank posts a
-  // pointer to its contribution, synchronizes, reads peers, synchronizes.
-  std::vector<const void*> slots_;
-  std::vector<double> clock_slots_;
+  // Publication slots and staging scratch for collectives, double-buffered
+  // by data-round parity: a one-round collective's readers of parity p are
+  // provably done before parity p is written again (the next arrival round
+  // sits in between), so no departure fence is needed on the copy path.
+  std::array<std::vector<detail::ExSlot>, 2> slots_;
+  std::array<std::vector<detail::Scratch>, 2> scratch_;
+  // Generic exchange keeps the historical consume(vector<const void*>)
+  // signature; these mirror slots_[par][r].ptr for that path only.
+  std::array<std::vector<const void*>, 2> ptrs_;
+
+  // Virtual clocks: each rank publishes before arriving; the round's last
+  // arriver folds the max into synced_clock_.
+  std::vector<detail::ClockSlot> clocks_;
+  double synced_clock_ = 0.0;
+
+  // Shared combine target for allreduce (partitioned blocks or the
+  // leader's fold); grows to the high-water payload and is reused.
+  std::vector<std::uint8_t> reduce_buf_;
 
   // Collective object transfer: rank 0 parks a shared_ptr here between the
   // two barriers of collective_create.
@@ -130,13 +225,13 @@ class Context {
   // ---- collectives ---------------------------------------------------
 
   /// Barrier: synchronizes all ranks; every clock advances to the maximum
-  /// plus the modeled barrier cost.
+  /// plus the modeled barrier cost.  One arrival round.
   void barrier();
 
   /// Generic exchange: publish `mine`, run `consume(slots)` with every
   /// rank's pointer visible, then resynchronize.  `consume` runs on every
-  /// rank between the two internal barriers.  `comm_cost` is added to each
-  /// clock after max-synchronization.
+  /// rank between the arrival round and the departure fence.  `comm_cost`
+  /// is added to each clock after max-synchronization.
   void exchange(const void* mine, double comm_cost,
                 const std::function<void(const std::vector<const void*>&)>& consume);
 
@@ -151,7 +246,8 @@ class Context {
 
   /// Element-wise allreduce over equal-length buffers.  `op` must be
   /// associative and commutative; contributions are combined in rank order
-  /// so floating-point results are deterministic.
+  /// so floating-point results are deterministic — the partitioned and
+  /// leader paths fold per element in the same order and are bit-identical.
   template <typename T, typename Op>
   void allreduce(T* data, std::size_t count, Op op);
 
@@ -183,12 +279,13 @@ class Context {
   [[nodiscard]] std::vector<T> allgather(const T& value);
 
   /// Gathers variable-length contributions; result (rank-ordered
-  /// concatenation) on every rank.
+  /// concatenation) on every rank.  The modeled charge is computed from
+  /// the summed contribution sizes observed inside the exchange.
   template <typename T>
   [[nodiscard]] std::vector<T> allgatherv(std::span<const T> mine);
 
   /// Gathers variable-length contributions to `root`; other ranks receive
-  /// an empty vector.
+  /// an empty vector.  Charged as a tree gather of the summed sizes.
   template <typename T>
   [[nodiscard]] std::vector<T> gatherv(std::span<const T> mine, int root);
 
@@ -204,12 +301,71 @@ class Context {
   std::shared_ptr<T> collective_create(const std::function<std::shared_ptr<T>()>& factory);
 
  private:
-  void sync_clocks_max(double extra_cost);
+  // ---- round engine ----------------------------------------------------
+  // Every collective is built from at most two arrival rounds on the
+  // world barrier.  sync_round publishes this rank's clock and lets the
+  // round's last arriver fold the max (plus run `on_last` while it owns
+  // the round); fence_round is an arrival-only departure fence for
+  // zero-copy payloads.  finish_round applies the post-round clock:
+  // vtime = folded max + modeled cost, and restarts the CPU baseline so
+  // in-window combine work is not double-charged.
+
+  template <typename OnLast>
+  void sync_round(OnLast&& on_last) {
+    world_.clocks_[static_cast<std::size_t>(rank_)].v = vtime_;
+    world_.barrier_.arrive(world_.aborted_, [&] {
+      double mx = 0.0;
+      for (const auto& c : world_.clocks_) mx = std::max(mx, c.v);
+      world_.synced_clock_ = mx;
+      on_last();
+    });
+  }
+  void sync_round() {
+    sync_round([] {});
+  }
+  void fence_round() { world_.barrier_.arrive(world_.aborted_); }
+  void finish_round(double extra_cost);
+
+  /// Flips the slot/scratch parity; every rank executes the same
+  /// collective sequence, so the per-rank counters stay in lockstep.
+  std::uint32_t next_parity() { return static_cast<std::uint32_t>(data_round_++ & 1U); }
+
+  /// Publishes this rank's contribution for the current data round,
+  /// staging it into World scratch when `copy` is set (the scratch only
+  /// ever grows: steady-state collectives allocate nothing).
+  detail::ExSlot& publish(std::uint32_t parity, const void* ptr, std::size_t bytes,
+                          bool copy) {
+    auto& slot = world_.slots_[parity][static_cast<std::size_t>(rank_)];
+    if (copy && bytes > 0) {
+      auto& buf = world_.scratch_[parity][static_cast<std::size_t>(rank_)].buf;
+      if (buf.size() < bytes) buf.resize(bytes);
+      std::memcpy(buf.data(), ptr, bytes);
+      slot.ptr = buf.data();
+    } else {
+      slot.ptr = ptr;
+    }
+    slot.bytes = bytes;
+    slot.copied = copy || bytes == 0;
+    return slot;
+  }
+
+  /// Contiguous element block [begin, end) combined by `rank` in the
+  /// partitioned allreduce; identical on every rank.
+  static std::pair<std::size_t, std::size_t> element_block(std::size_t count, int rank,
+                                                           int nprocs) {
+    const auto p = static_cast<std::size_t>(nprocs);
+    const auto r = static_cast<std::size_t>(rank);
+    const std::size_t per = count / p;
+    const std::size_t rem = count % p;
+    const std::size_t begin = r * per + std::min(r, rem);
+    return {begin, begin + per + (r < rem ? 1 : 0)};
+  }
 
   World& world_;
   int rank_;
   double vtime_ = 0.0;
   double cpu_mark_;
+  std::uint64_t data_round_ = 0;
 };
 
 /// Result of one SPMD run.
@@ -244,67 +400,127 @@ template <typename T>
 void Context::broadcast(T* data, std::size_t count, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   require(root >= 0 && root < nprocs(), "broadcast: bad root");
-  const double cost = model().broadcast(nprocs(), count * sizeof(T));
-  exchange(data, cost, [&](const std::vector<const void*>& slots) {
-    if (rank_ != root) {
-      const T* src = static_cast<const T*>(slots[static_cast<std::size_t>(root)]);
-      std::copy(src, src + count, data);
-    }
-  });
+  sample_compute();
+  const std::size_t bytes = count * sizeof(T);
+  const double cost = model().broadcast(nprocs(), bytes);
+  const std::uint32_t par = next_parity();
+  // `bytes` is identical on every rank, so the path choice is collective.
+  const bool staged = bytes <= model().host_copy_max_bytes;
+  if (rank_ == root) publish(par, data, bytes, staged);
+  sync_round();
+  if (rank_ != root) {
+    const T* src =
+        static_cast<const T*>(world_.slots_[par][static_cast<std::size_t>(root)].ptr);
+    std::copy(src, src + count, data);
+  }
+  if (!staged) fence_round();  // root's buffer may be reused after return
+  finish_round(cost);
 }
 
 template <typename T, typename Op>
 void Context::allreduce(T* data, std::size_t count, Op op) {
   static_assert(std::is_trivially_copyable_v<T>);
-  const double cost = model().allreduce(nprocs(), count * sizeof(T));
-  std::vector<T> mine(data, data + count);
-  exchange(mine.data(), cost, [&](const std::vector<const void*>& slots) {
-    // Combine in rank order for determinism.
-    const T* first = static_cast<const T*>(slots[0]);
-    std::copy(first, first + count, data);
-    for (int r = 1; r < nprocs(); ++r) {
-      const T* src = static_cast<const T*>(slots[static_cast<std::size_t>(r)]);
-      for (std::size_t i = 0; i < count; ++i) data[i] = op(data[i], src[i]);
+  sample_compute();
+  const std::size_t bytes = count * sizeof(T);
+  const double cost = model().allreduce(nprocs(), bytes);
+  const int np = nprocs();
+  const std::uint32_t par = next_parity();
+  auto& slots = world_.slots_[par];
+  if (bytes <= model().host_leader_max_bytes || np == 1) {
+    // Leader combines: the round's last arriver folds every contribution
+    // (rank order per element) into reduce_buf_; one round, and the
+    // staged copies make the contributions outlive the fold.
+    publish(par, data, bytes, /*copy=*/true);
+    sync_round([&] {
+      if (world_.reduce_buf_.size() < bytes) world_.reduce_buf_.resize(bytes);
+      T* acc = reinterpret_cast<T*>(world_.reduce_buf_.data());
+      const T* first = static_cast<const T*>(slots[0].ptr);
+      std::copy(first, first + count, acc);
+      for (int r = 1; r < np; ++r) {
+        const T* src = static_cast<const T*>(slots[static_cast<std::size_t>(r)].ptr);
+        for (std::size_t i = 0; i < count; ++i) acc[i] = op(acc[i], src[i]);
+      }
+    });
+    const T* acc = reinterpret_cast<const T*>(world_.reduce_buf_.data());
+    std::copy(acc, acc + count, data);
+  } else {
+    // Partitioned combining (reduce-scatter + allgather): contributions
+    // stay zero-copy in the callers' buffers; each rank folds only its
+    // contiguous element block — same rank order per element, so results
+    // are bit-identical to the leader path — then a departure fence
+    // protects the source buffers and everyone copies the assembled
+    // result out.
+    publish(par, data, bytes, /*copy=*/false);
+    sync_round([&] {
+      if (world_.reduce_buf_.size() < bytes) world_.reduce_buf_.resize(bytes);
+    });
+    const auto [eb, ee] = element_block(count, rank_, np);
+    T* acc = reinterpret_cast<T*>(world_.reduce_buf_.data());
+    const T* first = static_cast<const T*>(slots[0].ptr);
+    for (std::size_t i = eb; i < ee; ++i) {
+      T v = first[i];
+      for (int r = 1; r < np; ++r) {
+        v = op(v, static_cast<const T*>(slots[static_cast<std::size_t>(r)].ptr)[i]);
+      }
+      acc[i] = v;
     }
-  });
+    fence_round();  // every block folded, every source read complete
+    std::copy(acc, acc + count, data);
+  }
+  finish_round(cost);
 }
 
 template <typename T>
 std::vector<T> Context::allgather(const T& value) {
   static_assert(std::is_trivially_copyable_v<T>);
-  std::vector<T> out(static_cast<std::size_t>(nprocs()));
+  sample_compute();
   const double cost = model().allgather(nprocs(), sizeof(T));
-  exchange(&value, cost, [&](const std::vector<const void*>& slots) {
-    for (int r = 0; r < nprocs(); ++r) out[static_cast<std::size_t>(r)] =
-        *static_cast<const T*>(slots[static_cast<std::size_t>(r)]);
-  });
+  std::vector<T> out(static_cast<std::size_t>(nprocs()));
+  const std::uint32_t par = next_parity();
+  publish(par, &value, sizeof(T), /*copy=*/true);
+  sync_round();
+  const auto& slots = world_.slots_[par];
+  for (int r = 0; r < nprocs(); ++r) {
+    out[static_cast<std::size_t>(r)] =
+        *static_cast<const T*>(slots[static_cast<std::size_t>(r)].ptr);
+  }
+  finish_round(cost);
   return out;
 }
 
 template <typename T>
 std::vector<T> Context::allgatherv(std::span<const T> mine) {
   static_assert(std::is_trivially_copyable_v<T>);
-  struct Posting {
-    const T* data;
-    std::size_t count;
-  };
-  Posting posting{mine.data(), mine.size()};
+  sample_compute();
+  const std::size_t my_bytes = mine.size_bytes();
+  const std::uint32_t par = next_parity();
+  // Small contributions are staged (one round); oversized ones stay
+  // zero-copy and force a departure fence, which every rank detects from
+  // the published `copied` flags — the decision needs no extra round.
+  publish(par, mine.data(), my_bytes, my_bytes <= model().host_vstage_max_bytes);
+  sync_round();
+  const auto& slots = world_.slots_[par];
+  std::size_t total = 0;
+  bool any_raw = false;
+  for (int r = 0; r < nprocs(); ++r) {
+    const auto& s = slots[static_cast<std::size_t>(r)];
+    total += s.bytes;
+    any_raw = any_raw || !s.copied;
+  }
   std::vector<T> out;
-  // Cost: ring allgather with average chunk; sizes are exchanged first in
-  // the same round-trip (modeled within the same charge).
-  const std::size_t my_bytes = mine.size() * sizeof(T);
-  const double cost = model().allgather(nprocs(), std::max<std::size_t>(my_bytes, sizeof(T)));
-  exchange(&posting, cost, [&](const std::vector<const void*>& slots) {
-    std::size_t total = 0;
-    for (int r = 0; r < nprocs(); ++r) {
-      total += static_cast<const Posting*>(slots[static_cast<std::size_t>(r)])->count;
-    }
-    out.reserve(total);
-    for (int r = 0; r < nprocs(); ++r) {
-      const auto* p = static_cast<const Posting*>(slots[static_cast<std::size_t>(r)]);
-      out.insert(out.end(), p->data, p->data + p->count);
-    }
-  });
+  out.reserve(total / sizeof(T));
+  for (int r = 0; r < nprocs(); ++r) {
+    const auto& s = slots[static_cast<std::size_t>(r)];
+    if (s.bytes == 0) continue;
+    const T* src = static_cast<const T*>(s.ptr);
+    out.insert(out.end(), src, src + s.bytes / sizeof(T));
+  }
+  if (any_raw) fence_round();
+  // Ring allgather of the true moved volume: average chunk over the
+  // summed sizes (uniform across ranks — vtime stays synchronized).
+  const std::size_t avg =
+      (total + static_cast<std::size_t>(nprocs()) - 1) / static_cast<std::size_t>(nprocs());
+  finish_round(model().allgather(nprocs(), std::max<std::size_t>(avg, sizeof(T))));
   return out;
 }
 
@@ -312,42 +528,51 @@ template <typename T>
 std::vector<T> Context::gatherv(std::span<const T> mine, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   require(root >= 0 && root < nprocs(), "gatherv: bad root");
-  struct Posting {
-    const T* data;
-    std::size_t count;
-  };
-  Posting posting{mine.data(), mine.size()};
+  sample_compute();
+  const std::size_t my_bytes = mine.size_bytes();
+  const std::uint32_t par = next_parity();
+  publish(par, mine.data(), my_bytes, my_bytes <= model().host_vstage_max_bytes);
+  sync_round();
+  const auto& slots = world_.slots_[par];
+  std::size_t total = 0;
+  bool any_raw = false;
+  for (int r = 0; r < nprocs(); ++r) {
+    const auto& s = slots[static_cast<std::size_t>(r)];
+    total += s.bytes;
+    any_raw = any_raw || !s.copied;
+  }
   std::vector<T> out;
-  const double cost =
-      model().reduce(nprocs(), std::max<std::size_t>(mine.size() * sizeof(T), sizeof(T)));
-  exchange(&posting, cost, [&](const std::vector<const void*>& slots) {
-    if (rank_ != root) return;
-    std::size_t total = 0;
+  if (rank_ == root) {
+    out.reserve(total / sizeof(T));
     for (int r = 0; r < nprocs(); ++r) {
-      total += static_cast<const Posting*>(slots[static_cast<std::size_t>(r)])->count;
+      const auto& s = slots[static_cast<std::size_t>(r)];
+      if (s.bytes == 0) continue;
+      const T* src = static_cast<const T*>(s.ptr);
+      out.insert(out.end(), src, src + s.bytes / sizeof(T));
     }
-    out.reserve(total);
-    for (int r = 0; r < nprocs(); ++r) {
-      const auto* p = static_cast<const Posting*>(slots[static_cast<std::size_t>(r)]);
-      out.insert(out.end(), p->data, p->data + p->count);
-    }
-  });
+  }
+  if (any_raw) fence_round();
+  // Tree gather of the true total payload (previously this under-charged
+  // by modeling only the local contribution).
+  finish_round(model().gather(nprocs(), std::max<std::size_t>(total, sizeof(T))));
   return out;
 }
 
 template <typename T>
 T Context::exscan_sum(const T& value) {
   static_assert(std::is_trivially_copyable_v<T>);
-  T out{};
+  sample_compute();
   const double cost = model().reduce(nprocs(), sizeof(T));
-  exchange(&value, cost, [&](const std::vector<const void*>& slots) {
-    T acc{};
-    for (int r = 0; r < rank_; ++r) {
-      acc = acc + *static_cast<const T*>(slots[static_cast<std::size_t>(r)]);
-    }
-    out = acc;
-  });
-  return out;
+  const std::uint32_t par = next_parity();
+  publish(par, &value, sizeof(T), /*copy=*/true);
+  sync_round();
+  const auto& slots = world_.slots_[par];
+  T acc{};
+  for (int r = 0; r < rank_; ++r) {
+    acc = acc + *static_cast<const T*>(slots[static_cast<std::size_t>(r)].ptr);
+  }
+  finish_round(cost);
+  return acc;
 }
 
 template <typename T>

@@ -158,9 +158,9 @@ class StaticPartitionQueue : public TaskQueue {
  private:
   std::size_t num_tasks_;
   int nprocs_;
-  // Per-rank single-shot flags; index = rank.
-  std::vector<bool> claimed_;
-  std::mutex mutex_;
+  // Per-rank single-shot flags; index = rank.  Each rank touches only its
+  // own byte (distinct memory locations), so no lock is needed.
+  std::vector<unsigned char> claimed_;
 };
 
 /// The paper's queue (§3.3): per-rank cursors in a global array, advanced

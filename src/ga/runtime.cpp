@@ -9,29 +9,51 @@ namespace sva::ga {
 
 namespace detail {
 
-void RawBarrier::wait(const std::atomic<bool>& aborted) {
-  std::unique_lock<std::mutex> lock(mutex_);
+namespace {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace
+
+int default_spin_iters(int nprocs) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw != 0 && static_cast<unsigned>(nprocs) > hw) return 0;
+  return 4096;
+}
+
+void SpinBarrier::throw_if_aborted(const std::atomic<bool>& aborted) {
   if (aborted.load(std::memory_order_acquire)) {
-    throw ProtocolError("SPMD world aborted by a peer rank");
-  }
-  if (++arrived_ == nprocs_) {
-    arrived_ = 0;
-    ++generation_;
-    cv_.notify_all();
-    return;
-  }
-  const std::uint64_t my_generation = generation_;
-  cv_.wait(lock, [&] {
-    return generation_ != my_generation || aborted.load(std::memory_order_acquire);
-  });
-  if (generation_ == my_generation && aborted.load(std::memory_order_acquire)) {
     throw ProtocolError("SPMD world aborted by a peer rank");
   }
 }
 
-void RawBarrier::abort_wakeup() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  cv_.notify_all();
+void SpinBarrier::wait_for_epoch(std::uint32_t epoch,
+                                 const std::atomic<bool>& aborted) const {
+  // Fast path: spin on the epoch word (read-only until it changes, so the
+  // line stays shared); bail to the caller on abort.
+  for (int i = 0; i < spin_iters_; ++i) {
+    if (epoch_.value.load(std::memory_order_acquire) != epoch) return;
+    if ((i & 63) == 0 && aborted.load(std::memory_order_acquire)) return;
+    cpu_relax();
+  }
+  // Park: futex wait on the epoch word.  abort_wakeup bumps the epoch, so
+  // an abort always wakes parked waiters.
+  while (epoch_.value.load(std::memory_order_acquire) == epoch) {
+    epoch_.value.wait(epoch, std::memory_order_acquire);
+  }
+}
+
+void SpinBarrier::abort_wakeup() {
+  epoch_.value.fetch_add(1, std::memory_order_release);
+  epoch_.value.notify_all();
 }
 
 }  // namespace detail
@@ -39,10 +61,13 @@ void RawBarrier::abort_wakeup() {
 World::World(int nprocs, CommModel model)
     : nprocs_(nprocs),
       model_(model),
-      barrier_(nprocs),
-      slots_(static_cast<std::size_t>(nprocs), nullptr),
-      clock_slots_(static_cast<std::size_t>(nprocs), 0.0) {
+      barrier_(nprocs, model.host_spin_iters >= 0 ? model.host_spin_iters
+                                                  : detail::default_spin_iters(nprocs)),
+      clocks_(static_cast<std::size_t>(nprocs)) {
   require(nprocs >= 1, "World: nprocs must be >= 1");
+  for (auto& parity : slots_) parity.resize(static_cast<std::size_t>(nprocs));
+  for (auto& parity : scratch_) parity.resize(static_cast<std::size_t>(nprocs));
+  for (auto& parity : ptrs_) parity.assign(static_cast<std::size_t>(nprocs), nullptr);
 }
 
 Context::Context(World& world, int rank)
@@ -64,38 +89,31 @@ void Context::reset_vtime() {
   cpu_mark_ = ThreadCpuTimer::now();
 }
 
-void Context::sync_clocks_max(double extra_cost) {
-  // Publish clocks, synchronize, advance everyone to the max.
-  world_.clock_slots_[static_cast<std::size_t>(rank_)] = vtime_;
-  world_.barrier_.wait(world_.aborted_);
-  double max_clock = 0.0;
-  for (double t : world_.clock_slots_) max_clock = std::max(max_clock, t);
-  world_.barrier_.wait(world_.aborted_);
-  vtime_ = max_clock + extra_cost;
-  // Compute done inside the exchange window (e.g. local reduction work)
+void Context::finish_round(double extra_cost) {
+  vtime_ = world_.synced_clock_ + extra_cost;
+  // Compute done inside the exchange window (e.g. local combine work)
   // belongs to the next interval; reset the CPU baseline.
   cpu_mark_ = ThreadCpuTimer::now();
 }
 
 void Context::barrier() {
   sample_compute();
-  sync_clocks_max(world_.model().barrier(nprocs()));
+  sync_round();
+  finish_round(world_.model().barrier(nprocs()));
 }
 
 void Context::exchange(const void* mine, double comm_cost,
                        const std::function<void(const std::vector<const void*>&)>& consume) {
   sample_compute();
-  world_.slots_[static_cast<std::size_t>(rank_)] = mine;
-  world_.clock_slots_[static_cast<std::size_t>(rank_)] = vtime_;
-  world_.barrier_.wait(world_.aborted_);
-
-  consume(world_.slots_);
-  double max_clock = 0.0;
-  for (double t : world_.clock_slots_) max_clock = std::max(max_clock, t);
-
-  world_.barrier_.wait(world_.aborted_);
-  vtime_ = max_clock + comm_cost;
-  cpu_mark_ = ThreadCpuTimer::now();
+  // The generic path publishes through the ptrs_ mirror only (the typed
+  // slots_ of this parity stay untouched); the parity still advances so
+  // ptrs_ reuse follows the same two-rounds-apart rule as slots_.
+  const std::uint32_t par = next_parity();
+  world_.ptrs_[par][static_cast<std::size_t>(rank_)] = mine;
+  sync_round();
+  consume(world_.ptrs_[par]);
+  fence_round();  // caller buffers stay readable until every consume is done
+  finish_round(comm_cost);
 }
 
 SpmdResult spmd_run(int nprocs, const CommModel& model,

@@ -135,7 +135,7 @@ std::optional<TaskChunk> MasterWorkerQueue::claim(Context& ctx) {
 StaticPartitionQueue::StaticPartitionQueue(std::size_t num_tasks, int nprocs)
     : num_tasks_(num_tasks),
       nprocs_(nprocs),
-      claimed_(static_cast<std::size_t>(nprocs), false) {}
+      claimed_(static_cast<std::size_t>(nprocs), 0) {}
 
 std::shared_ptr<StaticPartitionQueue> StaticPartitionQueue::create(Context& ctx,
                                                                    std::size_t num_tasks,
@@ -149,11 +149,8 @@ std::shared_ptr<StaticPartitionQueue> StaticPartitionQueue::create(Context& ctx,
 
 std::optional<TaskChunk> StaticPartitionQueue::claim(Context& ctx) {
   const auto rank = static_cast<std::size_t>(ctx.rank());
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (claimed_[rank]) return std::nullopt;
-    claimed_[rank] = true;
-  }
+  if (claimed_[rank] != 0) return std::nullopt;
+  claimed_[rank] = 1;
   const auto nprocs = static_cast<std::size_t>(nprocs_);
   const std::size_t per_rank = (num_tasks_ + nprocs - 1) / nprocs;
   const std::size_t begin = std::min(num_tasks_, rank * per_rank);

@@ -107,6 +107,93 @@ TEST(CompareTest, ChecksumChangeDowngradesWhenAllowed) {
   EXPECT_FALSE(out.findings.empty());  // still reported
 }
 
+json::Value micro_ga_doc(double barrier_best_s, double allreduce_best_s,
+                         bool with_allreduce = true) {
+  json::Value doc = json::Value::object();
+  doc["name"] = "micro_ga";
+  json::Value series = json::Value::array();
+  auto entry = [](const std::string& primitive, const std::string& config, double best_s) {
+    json::Value e = json::Value::object();
+    e["primitive"] = primitive;
+    e["config"] = config;
+    e["best_s"] = best_s;
+    e["ops"] = 64.0;
+    e["per_op_us"] = 1.0e6 * best_s / 64.0;
+    return e;
+  };
+  series.push_back(entry("barrier", "P=4", barrier_best_s));
+  if (with_allreduce) {
+    series.push_back(entry("allreduce_sum", "P=4 n=1024", allreduce_best_s));
+  }
+  json::Value data = json::Value::object();
+  data["series"] = std::move(series);
+  doc["data"] = std::move(data);
+  return doc;
+}
+
+TEST(CompareTest, MicroGaWallRiseBeyondToleranceFails) {
+  CompareResult out;
+  compare_report_documents("micro_ga", micro_ga_doc(1.0e-3, 1.0e-3),
+                           micro_ga_doc(1.2e-3, 1.0e-3), {}, out);
+  EXPECT_TRUE(out.failed());
+}
+
+TEST(CompareTest, MicroGaWallRiseWithinToleranceIsNoise) {
+  CompareResult out;
+  compare_report_documents("micro_ga", micro_ga_doc(1.0e-3, 1.0e-3),
+                           micro_ga_doc(1.05e-3, 1.0e-3), {}, out);
+  EXPECT_FALSE(out.failed());
+}
+
+TEST(CompareTest, MicroGaWallMatchesByKeyNotPosition) {
+  // The current run reorders the series (allreduce first): matching by
+  // (primitive, config) must not misattribute a regression.
+  CompareResult out;
+  json::Value cur = json::Value::object();
+  cur["name"] = "micro_ga";
+  json::Value series = json::Value::array();
+  json::Value a = json::Value::object();
+  a["primitive"] = "allreduce_sum";
+  a["config"] = "P=4 n=1024";
+  a["best_s"] = 1.0e-3;
+  series.push_back(std::move(a));
+  json::Value b = json::Value::object();
+  b["primitive"] = "barrier";
+  b["config"] = "P=4";
+  b["best_s"] = 1.0e-3;
+  series.push_back(std::move(b));
+  json::Value data = json::Value::object();
+  data["series"] = std::move(series);
+  cur["data"] = std::move(data);
+  compare_report_documents("micro_ga", micro_ga_doc(1.0e-3, 1.0e-3), cur, {}, out);
+  EXPECT_FALSE(out.failed());
+}
+
+TEST(CompareTest, MicroGaConfigAbsentFromCurrentIsInformational) {
+  CompareResult out;
+  compare_report_documents("micro_ga", micro_ga_doc(1.0e-3, 1.0e-3),
+                           micro_ga_doc(1.0e-3, 0.0, /*with_allreduce=*/false), {}, out);
+  EXPECT_FALSE(out.failed());
+  EXPECT_FALSE(out.findings.empty());  // still noted
+}
+
+TEST(CompareTest, MicroGaWallImprovementPasses) {
+  CompareResult out;
+  compare_report_documents("micro_ga", micro_ga_doc(1.0e-3, 1.0e-3),
+                           micro_ga_doc(0.4e-3, 0.5e-3), {}, out);
+  EXPECT_FALSE(out.failed());
+}
+
+TEST(CompareTest, ModeledRegressionDowngradesWhenAllowed) {
+  CompareResult out;
+  CompareOptions options;
+  options.allow_modeled_change = true;
+  compare_report_documents("fig5_overall", figure_doc(1.25, "0xaa"),
+                           figure_doc(1.50, "0xaa"), options, out);
+  EXPECT_FALSE(out.failed());
+  EXPECT_FALSE(out.findings.empty());  // still reported
+}
+
 TEST(CompareTest, ThroughputDropBeyondToleranceFails) {
   CompareResult out;
   compare_report_documents("micro_text", micro_text_doc(100.0, 50.0),

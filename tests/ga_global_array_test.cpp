@@ -358,8 +358,11 @@ TEST(ElementListTest, EmptyListsAreNoOps) {
 
 TEST(ElementListTest, RemoteBatchCostsOneMessagePerOwner) {
   // A batch touching two remote blocks must cost ~2 RMW latencies, far
-  // less than one per element.
-  spmd_run(4, [](Context& ctx) {
+  // less than one per element.  Zero compute_scale so the bound sees only
+  // the modeled charges (measured CPU is sanitizer-inflated).
+  CommModel model;
+  model.compute_scale = 0.0;
+  spmd_run(4, model, [](Context& ctx) {
     auto a = GlobalArray<std::int64_t>::create(ctx, 400);
     ctx.barrier();
     if (ctx.rank() == 0) {
