@@ -88,12 +88,13 @@ const json::Value* find_series_entry(const json::Value& series, Match&& match) {
   return nullptr;
 }
 
-/// micro_ga wall-clock gate: matches data.series entries by their
+/// Wall-clock gate for the host-time micros (micro_ga primitives,
+/// micro_query serving planes): matches data.series entries by their
 /// (primitive, config) key — array positions shift whenever a config is
 /// added — and fails when best_s rises beyond the wall tolerance.
-void compare_micro_ga_wall(const std::string& bench, const json::Value& baseline,
-                           const json::Value& current, const CompareOptions& options,
-                           CompareResult& out) {
+void compare_wall_series(const std::string& bench, const json::Value& baseline,
+                         const json::Value& current, const CompareOptions& options,
+                         CompareResult& out) {
   const json::Value* base_data = baseline.find("data");
   const json::Value* cur_data = current.find("data");
   if (base_data == nullptr || cur_data == nullptr) return;
@@ -183,7 +184,9 @@ void compare_report_documents(const std::string& name, const json::Value& baseli
                               CompareResult& out) {
   ++out.benchmarks_compared;
   compare_checksums(name, baseline, current, options, out);
-  if (name == "micro_ga") compare_micro_ga_wall(name, baseline, current, options, out);
+  if (name == "micro_ga" || name == "micro_query") {
+    compare_wall_series(name, baseline, current, options, out);
+  }
   const json::Value* base_data = baseline.find("data");
   const json::Value* cur_data = current.find("data");
   if (base_data != nullptr && cur_data != nullptr) {

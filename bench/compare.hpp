@@ -16,8 +16,9 @@
 //   * micro_text's wall-clock throughput fields (*_mb_s) may not regress
 //     more than --throughput-tolerance (default 10%: host wall clock is
 //     noisy on shared runners);
-//   * micro_ga's wall metrics (best_s per primitive/config) may not rise
-//     more than --wall-tolerance (default 10%) — series entries are
+//   * the host-time micros' wall metrics (micro_ga primitives,
+//     micro_query serving planes: best_s per primitive/config) may not
+//     rise more than --wall-tolerance (default 10%) — series entries are
 //     matched by (primitive, config) key, so reordering or adding
 //     configs never misattributes a regression.
 //

@@ -1,0 +1,216 @@
+// Microbenchmark for the serving query plane: one engine pass exports a
+// model bundle; a Session then answers a fixed mixed workload (similarity
+// + cluster-summary queries) two ways at each processor count —
+//
+//   single:  N one-shot Session calls, each paying its own collectives;
+//   batched: one Session::run_batch sweep (one probe exchange, one fused
+//            scan, one merge, one summary reduction).
+//
+// best_s per (plane, P) is the host wall-clock serving figure the CI
+// wall gate tracks; the determinism ledger records an FNV-1a digest of
+// every result set per (plane, P), so a cross-P divergence — or any
+// drift of the query answers — fails the smoke gate.  The benchmark
+// itself also fails if the batched plane's answers differ from the
+// single-query plane's: they run the same fused core and must be
+// bit-identical.
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "registry.hpp"
+#include "sva/engine/bundle.hpp"
+#include "sva/engine/digest.hpp"
+#include "sva/query/session.hpp"
+#include "sva/util/bytes.hpp"
+#include "sva/util/error.hpp"
+#include "sva/util/timer.hpp"
+
+namespace svabench {
+namespace {
+
+using sva::query::Query;
+using sva::query::QueryResult;
+
+/// Canonical byte digest of a result set: doc ids and exact double bit
+/// patterns, so two digests agree iff the answers are bit-identical.
+std::uint64_t digest_results(const std::vector<QueryResult>& results) {
+  sva::ByteWriter w;
+  w.u64(results.size());
+  for (const auto& r : results) {
+    w.u64(static_cast<std::uint64_t>(r.kind));
+    w.u64(r.hits.size());
+    for (const auto& h : r.hits) {
+      w.u64(h.doc_id);
+      w.f64(h.similarity);
+    }
+    const auto& s = r.summary;
+    w.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.cluster)));
+    w.u64(static_cast<std::uint64_t>(s.size));
+    w.f64(s.cohesion);
+    w.u64(s.representatives.size());
+    for (const auto d : s.representatives) w.u64(d);
+    for (const auto& t : s.top_terms) w.str(t);
+  }
+  return sva::engine::fnv1a64(w.bytes.data(), w.bytes.size());
+}
+
+/// The fixed mixed workload: 3/4 "more like this" probes spread across
+/// the document range, 1/4 theme summaries cycling the clusters.
+std::vector<Query> make_workload(std::uint64_t num_docs, std::size_t num_clusters,
+                                 std::size_t count) {
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i % 4 == 3) {
+      queries.push_back(
+          Query::cluster_summary(static_cast<int>(i % num_clusters), /*reps=*/5));
+    } else {
+      const std::uint64_t doc = (i * num_docs) / count;  // spread, deterministic
+      queries.push_back(Query::similar_doc(doc, /*top_k=*/8));
+    }
+  }
+  return queries;
+}
+
+struct PlaneMeasurement {
+  double single_s = 0.0;
+  double batch_s = 0.0;
+  std::uint64_t single_digest = 0;
+  std::uint64_t batch_digest = 0;
+};
+
+/// Opens the bundle at P ranks and times both planes over `queries`,
+/// best-of-reps, barrier-fenced (the Session::open cost is excluded —
+/// a serving process opens once and answers many).
+PlaneMeasurement measure_planes(const std::filesystem::path& bundle, int nprocs, int reps,
+                                const std::vector<Query>& queries) {
+  PlaneMeasurement out;
+  sva::ga::spmd_run(nprocs, [&](sva::ga::Context& ctx) {
+    auto session = sva::query::Session::open(ctx, bundle);
+
+    auto run_single = [&]() {
+      std::vector<QueryResult> results(queries.size());
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        const Query& q = queries[i];
+        results[i].kind = q.kind;
+        switch (q.kind) {
+          case Query::Kind::kClusterSummary:
+            results[i].summary = session.cluster_summary(q.cluster, q.k);
+            break;
+          case Query::Kind::kSimilarByDoc:
+            results[i].hits = session.similar(q.doc_id, q.k);
+            break;
+          case Query::Kind::kSimilarByProbe:
+            results[i].hits = session.similar(std::span<const double>(q.probe), q.k);
+            break;
+        }
+      }
+      return results;
+    };
+
+    // Digests once, outside the timed reps.
+    const auto single_results = run_single();
+    const auto batch_results = session.run_batch(queries);
+    if (ctx.rank() == 0) {
+      out.single_digest = digest_results(single_results);
+      out.batch_digest = digest_results(batch_results);
+    }
+
+    for (int rep = 0; rep < reps; ++rep) {
+      ctx.barrier();
+      sva::WallTimer timer;
+      (void)run_single();
+      ctx.barrier();
+      const double elapsed = timer.elapsed();
+      if (ctx.rank() == 0 && (rep == 0 || elapsed < out.single_s)) out.single_s = elapsed;
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+      ctx.barrier();
+      sva::WallTimer timer;
+      (void)session.run_batch(queries);
+      ctx.barrier();
+      const double elapsed = timer.elapsed();
+      if (ctx.rank() == 0 && (rep == 0 || elapsed < out.batch_s)) out.batch_s = elapsed;
+    }
+  });
+  return out;
+}
+
+report::Report run_micro_query(const BenchOptions& opts) {
+  banner("Micro: sessionized query serving (single vs batched plane)");
+
+  report::Report out;
+  out.name = "micro_query";
+  out.kind = "micro";
+  out.title = "Session query serving: single-query vs batched plane (host wall-clock)";
+
+  // One engine pass builds the served artifact.
+  const auto& sources = corpus_for(sva::corpus::CorpusKind::kPubMedLike, 0, opts);
+  const sva::engine::EngineConfig config = bench_engine_config();
+  const std::filesystem::path bundle = opts.out_dir / "micro_query.svab";
+  std::filesystem::create_directories(opts.out_dir);
+  sva::ga::spmd_run(1, [&](sva::ga::Context& ctx) {
+    const auto result = sva::engine::run_text_engine(ctx, sources, config);
+    sva::engine::export_bundle(ctx, result, config, bundle);
+  });
+
+  std::uint64_t num_docs = 0;
+  std::size_t num_clusters = 0;
+  sva::ga::spmd_run(1, [&](sva::ga::Context& ctx) {
+    const auto session = sva::query::Session::open(ctx, bundle);
+    num_docs = session.num_documents();
+    num_clusters = session.num_clusters();
+  });
+
+  const std::size_t workload = opts.smoke ? 16 : 48;
+  const int reps = opts.smoke ? 3 : 8;
+  const auto queries = make_workload(num_docs, num_clusters, workload);
+
+  sva::Table table({"plane", "config", "best_s", "queries_per_s", "speedup"});
+  json::Value series = json::Value::array();
+
+  for (const int nprocs : {1, 2, 4}) {
+    const PlaneMeasurement m = measure_planes(bundle, nprocs, reps, queries);
+    sva::require(m.single_digest == m.batch_digest,
+                 "micro_query: batched plane diverged from single-query plane at P=" +
+                     std::to_string(nprocs));
+
+    const std::string config_key =
+        "P=" + std::to_string(nprocs) + " Q=" + std::to_string(workload);
+    const double speedup = m.batch_s > 0.0 ? m.single_s / m.batch_s : 0.0;
+    auto add = [&](const std::string& plane, double seconds, double plane_speedup) {
+      table.add_row({plane, config_key, sva::Table::num(seconds, 5),
+                     sva::Table::num(seconds > 0.0 ? workload / seconds : 0.0, 1),
+                     sva::Table::num(plane_speedup, 2)});
+      json::Value record = json::Value::object();
+      record["primitive"] = plane;
+      record["config"] = config_key;
+      record["best_s"] = seconds;
+      record["queries"] = workload;
+      record["queries_per_s"] = seconds > 0.0 ? workload / seconds : 0.0;
+      if (plane_speedup > 0.0) record["batch_speedup"] = plane_speedup;
+      series.push_back(std::move(record));
+    };
+    add("single_queries", m.single_s, 0.0);
+    add("batched", m.batch_s, speedup);
+
+    // Cross-P identity of the served answers, per plane.
+    out.record_checksum("single Q=" + std::to_string(workload), nprocs, m.single_digest);
+    out.record_checksum("batch Q=" + std::to_string(workload), nprocs, m.batch_digest);
+  }
+
+  emit_table(opts, "micro_query", table);
+  out.data["series"] = std::move(series);
+  out.data["table"] = report::table_json(table);
+  out.data["workload_queries"] = workload;
+  return out;
+}
+
+const Registrar registrar{"micro_query", "micro",
+                          "Session serving plane: single vs batched query throughput",
+                          &run_micro_query};
+
+}  // namespace
+}  // namespace svabench

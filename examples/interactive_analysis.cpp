@@ -1,30 +1,127 @@
-// Interactive analysis session: the paper's "next frontier".
+// Interactive analysis session: the paper's "next frontier", served
+// through the sessionized query API.
 //
 // §6 names interaction with massive datasets as the follow-on problem to
-// the parallel engine itself.  This example plays one analyst session on
-// top of a single engine pass, entirely through collective queries that
-// scale with the number of simulated processes:
+// the parallel engine itself.  This example plays one analyst session in
+// the serving shape: build once, persist the analysis products, answer
+// every query off the persisted bundle:
 //
 //   1. run the engine on a TREC-like corpus;
-//   2. summarize every theme cluster (size, label, cohesion, the
-//      documents worth reading first);
-//   3. pick the largest theme and run "more like this" from its top
+//   2. export the model bundle (the serving artifact);
+//   3. open a Session over it and summarize every theme cluster in ONE
+//      batched collective sweep (size, label, cohesion, the documents
+//      worth reading first);
+//   4. pick the largest theme and run "more like this" from its top
 //      representative;
-//   4. drill into that theme: re-cluster + re-project its documents and
-//      print the sub-landscape, the visual analog of query refinement.
+//   5. drill into that theme: re-cluster + re-project its documents,
+//      label the sub-themes from the bundle's topic vocabulary, and
+//      print the sub-landscape — the visual analog of query refinement.
 //
 //   ./interactive_analysis [nprocs] [megabytes]
+#include <unistd.h>
+
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 
 #include "sva/cluster/projection.hpp"
 #include "sva/corpus/generator.hpp"
+#include "sva/engine/bundle.hpp"
 #include "sva/engine/pipeline.hpp"
 #include "sva/ga/runtime.hpp"
-#include "sva/query/explore.hpp"
-#include "sva/query/similarity.hpp"
+#include "sva/query/session.hpp"
 #include "sva/util/stringutil.hpp"
 #include "sva/util/table.hpp"
+
+namespace {
+
+void run_session(int nprocs, const sva::corpus::SourceSet& sources,
+                 const sva::engine::EngineConfig& config,
+                 const std::filesystem::path& bundle) {
+  sva::ga::spmd_run(nprocs, sva::ga::itanium_cluster_model(), [&](sva::ga::Context& ctx) {
+    // ---- 1-2. engine pass + bundle export -------------------------------
+    const auto r = sva::engine::run_text_engine(ctx, sources, config);
+    sva::engine::export_bundle(ctx, r, config, bundle);
+    if (ctx.rank() == 0) {
+      std::cout << "exported model bundle to " << bundle.string() << "\n\n";
+    }
+
+    // ---- 3. theme overview: one batched sweep ----------------------------
+    auto session = sva::query::Session::open(ctx, bundle);
+    std::vector<sva::query::Query> overview;
+    for (std::size_t c = 0; c < session.num_clusters(); ++c) {
+      overview.push_back(sva::query::Query::cluster_summary(static_cast<int>(c)));
+    }
+    const auto summaries = session.run_batch(overview);
+
+    int biggest = 0;
+    if (ctx.rank() == 0) {
+      sva::Table table({"cluster", "docs", "cohesion", "theme", "read-first"});
+      for (const auto& result : summaries) {
+        const auto& s = result.summary;
+        std::string label;
+        for (const auto& t : s.top_terms) label += (label.empty() ? "" : "/") + t;
+        std::string reps;
+        for (const auto d : s.representatives) {
+          if (!reps.empty()) reps += ',';
+          reps += std::to_string(d);
+        }
+        table.add_row({sva::Table::num(static_cast<long long>(s.cluster)),
+                       sva::Table::num(static_cast<long long>(s.size)),
+                       sva::Table::num(s.cohesion, 3), label, reps});
+      }
+      std::cout << "theme overview (" << summaries.size()
+                << " summaries, one batched sweep):\n"
+                << table.to_ascii() << '\n';
+    }
+    // Everyone agrees on the largest cluster (results are replicated).
+    for (std::size_t c = 1; c < summaries.size(); ++c) {
+      if (summaries[c].summary.size >
+          summaries[static_cast<std::size_t>(biggest)].summary.size) {
+        biggest = static_cast<int>(c);
+      }
+    }
+
+    // ---- 4. "more like this" -------------------------------------------
+    const auto& focus = summaries[static_cast<std::size_t>(biggest)].summary;
+    if (!focus.representatives.empty()) {
+      const auto probe = focus.representatives.front();
+      const auto hits = session.similar(probe, 8);
+      if (ctx.rank() == 0) {
+        sva::Table similar({"doc", "cosine"});
+        for (const auto& h : hits) {
+          similar.add_row({sva::Table::num(static_cast<long long>(h.doc_id)),
+                           sva::Table::num(h.similarity, 4)});
+        }
+        std::cout << "documents most similar to doc " << probe << " (theme " << biggest
+                  << "):\n"
+                  << similar.to_ascii() << '\n';
+      }
+    }
+
+    // ---- 5. drill-down ----------------------------------------------------
+    sva::cluster::KMeansConfig sub;
+    sub.k = 4;
+    const auto drill = session.drill_down(biggest, sub);
+    const auto sub_labels = session.sub_theme_labels(drill.clustering, 3);
+    if (ctx.rank() == 0) {
+      std::cout << "drill-down into theme " << biggest << ": " << drill.subset_size
+                << " documents, re-clustered into " << drill.clustering.centroids.rows()
+                << " sub-themes\n";
+      for (std::size_t c = 0; c < sub_labels.size(); ++c) {
+        std::cout << "  sub-theme " << c << " (" << drill.clustering.cluster_sizes[c]
+                  << " docs):";
+        for (const auto& t : sub_labels[c]) std::cout << ' ' << t;
+        std::cout << '\n';
+      }
+      const auto terrain =
+          sva::cluster::ThemeViewTerrain::from_points(drill.projection.all_xy, 40);
+      std::cout << "\nsub-landscape of theme " << biggest << ":\n" << terrain.to_ascii();
+    }
+  });
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const int nprocs = argc > 1 ? std::atoi(argv[1]) : 4;
@@ -38,73 +135,21 @@ int main(int argc, char** argv) {
 
   sva::engine::EngineConfig config;
   config.kmeans.k = 8;
+  // Per-process name: concurrent runs must not swap bundles under each
+  // other between export and open.
+  const std::filesystem::path bundle =
+      std::filesystem::temp_directory_path() /
+      ("interactive_analysis_" + std::to_string(::getpid()) + ".svab");
 
-  sva::ga::spmd_run(nprocs, sva::ga::itanium_cluster_model(), [&](sva::ga::Context& ctx) {
-    const auto r = sva::engine::run_text_engine(ctx, sources, config);
-
-    // ---- 2. theme overview ---------------------------------------------
-    std::vector<sva::query::ClusterSummary> summaries;
-    for (std::size_t c = 0; c < r.clustering.centroids.rows(); ++c) {
-      summaries.push_back(sva::query::summarize_cluster(ctx, r.signatures,
-                                                        r.clustering.assignment, r.clustering,
-                                                        r.theme_labels, static_cast<int>(c)));
-    }
-
-    int biggest = 0;
-    if (ctx.rank() == 0) {
-      sva::Table overview({"cluster", "docs", "cohesion", "theme", "read-first"});
-      for (const auto& s : summaries) {
-        std::string label;
-        for (const auto& t : s.top_terms) label += (label.empty() ? "" : "/") + t;
-        std::string reps;
-        for (const auto d : s.representatives) {
-          if (!reps.empty()) reps += ',';
-          reps += std::to_string(d);
-        }
-        overview.add_row({sva::Table::num(static_cast<long long>(s.cluster)),
-                          sva::Table::num(static_cast<long long>(s.size)),
-                          sva::Table::num(s.cohesion, 3), label, reps});
-        if (s.size > summaries[static_cast<std::size_t>(biggest)].size) biggest = s.cluster;
-      }
-      std::cout << "theme overview:\n" << overview.to_ascii() << '\n';
-    }
-    // Everyone agrees on the largest cluster (summaries are replicated).
-    for (std::size_t c = 1; c < summaries.size(); ++c) {
-      if (summaries[c].size > summaries[static_cast<std::size_t>(biggest)].size) {
-        biggest = static_cast<int>(c);
-      }
-    }
-
-    // ---- 3. "more like this" -------------------------------------------
-    const auto& focus = summaries[static_cast<std::size_t>(biggest)];
-    if (!focus.representatives.empty()) {
-      const auto probe = focus.representatives.front();
-      const auto hits = sva::query::similar_to_document(ctx, r.signatures, probe, 8);
-      if (ctx.rank() == 0) {
-        sva::Table similar({"doc", "cosine"});
-        for (const auto& h : hits) {
-          similar.add_row({sva::Table::num(static_cast<long long>(h.doc_id)),
-                           sva::Table::num(h.similarity, 4)});
-        }
-        std::cout << "documents most similar to doc " << probe << " (theme " << biggest
-                  << "):\n"
-                  << similar.to_ascii() << '\n';
-      }
-    }
-
-    // ---- 4. drill-down ----------------------------------------------------
-    sva::cluster::KMeansConfig sub;
-    sub.k = 4;
-    const auto drill = sva::query::drill_down_cluster(ctx, r.signatures,
-                                                      r.clustering.assignment, biggest, sub);
-    if (ctx.rank() == 0) {
-      std::cout << "drill-down into theme " << biggest << ": " << drill.subset_size
-                << " documents, re-clustered into " << drill.clustering.centroids.rows()
-                << " sub-themes\n\n";
-      const auto terrain =
-          sva::cluster::ThemeViewTerrain::from_points(drill.projection.all_xy, 40);
-      std::cout << "sub-landscape of theme " << biggest << ":\n" << terrain.to_ascii();
-    }
-  });
-  return 0;
+  // The bundle name embeds this pid, so a stranded file would never be
+  // reclaimed by a later run: remove it on the failure path too.
+  int rc = 0;
+  try {
+    run_session(nprocs, sources, config, bundle);
+  } catch (const std::exception& e) {
+    std::cerr << "interactive_analysis: " << e.what() << "\n";
+    rc = 1;
+  }
+  std::filesystem::remove(bundle);
+  return rc;
 }

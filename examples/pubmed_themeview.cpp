@@ -1,10 +1,13 @@
-// PubMed-like ThemeView workflow: the paper's flagship scenario.
+// PubMed-like ThemeView workflow: the paper's flagship scenario, in the
+// serving shape.
 //
 // Generates a PubMed-analog corpus (structured biomedical-abstract
 // records), runs the engine on a configurable number of simulated
-// processes, writes the 2-D document coordinates to disk — the engine's
-// "final primary product" — and renders the ThemeView terrain together
-// with per-theme statistics an analyst would start from.
+// processes and exports the model bundle — the servable successor of the
+// paper's "final primary product" coordinate file.  Everything an
+// analyst then sees comes through a query::Session opened over that
+// bundle: the gathered 2-D landscape, and a per-theme statistics table
+// answered in one batched query sweep.
 //
 //   ./pubmed_themeview [nprocs] [megabytes] [output_dir]
 #include <cstdlib>
@@ -14,7 +17,9 @@
 
 #include "sva/cluster/projection.hpp"
 #include "sva/corpus/generator.hpp"
+#include "sva/engine/bundle.hpp"
 #include "sva/engine/pipeline.hpp"
+#include "sva/query/session.hpp"
 #include "sva/util/stringutil.hpp"
 #include "sva/util/table.hpp"
 #include "sva/viz/contour.hpp"
@@ -39,85 +44,111 @@ int main(int argc, char** argv) {
   config.tokenizer.drop_numeric = true;
   config.tokenizer.use_stopwords = true;
 
-  const auto run =
-      sva::engine::run_pipeline(nprocs, sva::ga::itanium_cluster_model(), sources, config);
-  const auto& r = run.result;
-
-  // ---- persist the products -------------------------------------------
   std::filesystem::create_directories(out_dir);
-  sva::cluster::write_coordinates(out_dir + "/coordinates.csv", r.projection.all_doc_ids,
-                                  r.projection.all_xy);
+  const std::filesystem::path bundle = std::filesystem::path(out_dir) / "pubmed.svab";
 
-  {
-    std::ofstream themes(out_dir + "/themes.txt");
-    for (std::size_t c = 0; c < r.theme_labels.size(); ++c) {
-      themes << "theme " << c << " (" << r.clustering.cluster_sizes[c] << " docs):";
-      for (const auto& term : r.theme_labels[c]) themes << ' ' << term;
-      themes << '\n';
-    }
-  }
+  const auto spmd = sva::ga::spmd_run(
+      nprocs, sva::ga::itanium_cluster_model(), [&](sva::ga::Context& ctx) {
+        const auto r = sva::engine::run_text_engine(ctx, sources, config);
 
-  // ---- report ----------------------------------------------------------
-  sva::Table summary({"metric", "value"});
-  summary.add_row({"records", sva::Table::num(static_cast<long long>(r.num_records))});
-  summary.add_row({"vocabulary", sva::Table::num(static_cast<long long>(r.num_terms))});
-  summary.add_row({"major terms (N)", sva::Table::num(r.selection.n())});
-  summary.add_row({"signature dims (M)", sva::Table::num(r.dimension)});
-  summary.add_row(
-      {"adaptive rounds", sva::Table::num(static_cast<long long>(r.signature_rounds))});
-  summary.add_row({"null signatures",
-                   sva::Table::num(static_cast<long long>(r.signatures.global_null_count))});
-  summary.add_row({"clusters", sva::Table::num(r.clustering.centroids.rows())});
-  summary.add_row({"kmeans iterations",
-                   sva::Table::num(static_cast<long long>(r.clustering.iterations))});
-  summary.add_row({"modeled time (s)", sva::Table::num(run.modeled_seconds, 3)});
-  summary.add_row({"wall time (s)", sva::Table::num(run.wall_seconds, 3)});
-  std::cout << summary.to_ascii() << '\n';
+        // ---- persist the servable artifact, serve everything off it -----
+        sva::engine::export_bundle(ctx, r, config, bundle);
+        auto session = sva::query::Session::open(ctx, bundle);
 
-  sva::Table comps({"component", "modeled_s", "pct"});
-  for (const auto& label : sva::engine::ComponentTimings::labels()) {
-    const double v = r.timings.by_label(label);
-    comps.add_row({label, sva::Table::num(v, 3),
-                   sva::Table::num(100.0 * v / r.timings.total(), 1)});
-  }
-  std::cout << comps.to_ascii() << '\n';
+        const auto land = session.landscape();
+        std::vector<sva::query::Query> overview;
+        for (std::size_t c = 0; c < session.num_clusters(); ++c) {
+          overview.push_back(sva::query::Query::cluster_summary(static_cast<int>(c), 3));
+        }
+        const auto themes = session.run_batch(overview);
 
-  // ---- the annotated landscape ------------------------------------------
-  const auto terrain = sva::cluster::ThemeViewTerrain::from_points(r.projection.all_xy, 56);
+        // 2-D theme centers from the session's row slices (local partial
+        // sums, one exact integer + one coordinate allreduce).
+        const std::size_t k = session.num_clusters();
+        const auto& view = session.bundle();
+        std::vector<double> centroid_xy(2 * k, 0.0);
+        std::vector<std::int64_t> counts(k, 0);
+        for (std::size_t i = 0; i < view.clustering.assignment.size(); ++i) {
+          const auto c = static_cast<std::size_t>(view.clustering.assignment[i]);
+          centroid_xy[2 * c] += view.projection_xy[2 * i];
+          centroid_xy[2 * c + 1] += view.projection_xy[2 * i + 1];
+          ++counts[c];
+        }
+        ctx.allreduce_sum(centroid_xy.data(), centroid_xy.size());
+        ctx.allreduce_sum(counts.data(), counts.size());
+        for (std::size_t c = 0; c < k; ++c) {
+          if (counts[c] > 0) {
+            centroid_xy[2 * c] /= static_cast<double>(counts[c]);
+            centroid_xy[2 * c + 1] /= static_cast<double>(counts[c]);
+          }
+        }
 
-  // 2-D cluster centers from the gathered projection (rank 0 holds the
-  // full assignment), used to label the terrain's peaks with themes.
-  std::vector<double> centroid_xy(2 * r.theme_labels.size(), 0.0);
-  {
-    std::vector<double> count(r.theme_labels.size(), 0.0);
-    for (std::size_t i = 0; i < r.all_assignment.size(); ++i) {
-      const auto c = static_cast<std::size_t>(r.all_assignment[i]);
-      centroid_xy[2 * c] += r.projection.all_xy[2 * i];
-      centroid_xy[2 * c + 1] += r.projection.all_xy[2 * i + 1];
-      count[c] += 1.0;
-    }
-    for (std::size_t c = 0; c < count.size(); ++c) {
-      if (count[c] > 0.0) {
-        centroid_xy[2 * c] /= count[c];
-        centroid_xy[2 * c + 1] /= count[c];
-      }
-    }
-  }
+        if (ctx.rank() != 0) return;
 
-  auto peaks = sva::viz::find_peaks(terrain);
-  sva::viz::label_peaks(peaks, centroid_xy, r.theme_labels);
+        sva::cluster::write_coordinates(out_dir + "/coordinates.csv", land.doc_ids,
+                                        land.xy);
+        {
+          std::ofstream out(out_dir + "/themes.txt");
+          for (const auto& result : themes) {
+            const auto& s = result.summary;
+            out << "theme " << s.cluster << " (" << s.size
+                << " docs, cohesion " << s.cohesion << "):";
+            for (const auto& term : s.top_terms) out << ' ' << term;
+            out << "  read-first:";
+            for (const auto d : s.representatives) out << ' ' << d;
+            out << '\n';
+          }
+        }
 
-  std::vector<sva::viz::Contour> contours;
-  for (const double level : sva::viz::contour_levels(terrain, 6)) {
-    for (auto& c : sva::viz::extract_contours(terrain, level)) contours.push_back(std::move(c));
-  }
-  sva::viz::write_ppm(terrain, out_dir + "/themeview.ppm");
-  sva::viz::write_svg(terrain, contours, peaks, r.projection.all_xy,
-                      out_dir + "/themeview.svg");
+        // ---- report -----------------------------------------------------
+        sva::Table summary({"metric", "value"});
+        summary.add_row({"records", sva::Table::num(static_cast<long long>(r.num_records))});
+        summary.add_row(
+            {"vocabulary", sva::Table::num(static_cast<long long>(r.num_terms))});
+        summary.add_row({"major terms (N)", sva::Table::num(r.selection.n())});
+        summary.add_row({"signature dims (M)", sva::Table::num(session.dimension())});
+        summary.add_row({"adaptive rounds",
+                         sva::Table::num(static_cast<long long>(r.signature_rounds))});
+        summary.add_row(
+            {"null signatures",
+             sva::Table::num(static_cast<long long>(r.signatures.global_null_count))});
+        summary.add_row({"clusters", sva::Table::num(session.num_clusters())});
+        summary.add_row({"kmeans iterations",
+                         sva::Table::num(static_cast<long long>(r.clustering.iterations))});
+        summary.add_row({"modeled time (s)", sva::Table::num(r.timings.total(), 3)});
+        std::cout << summary.to_ascii() << '\n';
 
-  std::cout << "ThemeView terrain (numbered peaks = themes):\n"
-            << sva::viz::ascii_with_peaks(terrain, peaks);
-  std::cout << "\nwrote " << out_dir << "/coordinates.csv, themes.txt, themeview.ppm, "
-            << "themeview.svg\n";
+        sva::Table comps({"component", "modeled_s", "pct"});
+        for (const auto& label : sva::engine::ComponentTimings::labels()) {
+          const double v = r.timings.by_label(label);
+          comps.add_row({label, sva::Table::num(v, 3),
+                         sva::Table::num(100.0 * v / r.timings.total(), 1)});
+        }
+        std::cout << comps.to_ascii() << '\n';
+
+        // ---- the annotated landscape ------------------------------------
+        const auto terrain = sva::cluster::ThemeViewTerrain::from_points(land.xy, 56);
+        std::vector<std::vector<std::string>> labels;
+        for (const auto& result : themes) labels.push_back(result.summary.top_terms);
+        auto peaks = sva::viz::find_peaks(terrain);
+        sva::viz::label_peaks(peaks, centroid_xy, labels);
+
+        std::vector<sva::viz::Contour> contours;
+        for (const double level : sva::viz::contour_levels(terrain, 6)) {
+          for (auto& c : sva::viz::extract_contours(terrain, level)) {
+            contours.push_back(std::move(c));
+          }
+        }
+        sva::viz::write_ppm(terrain, out_dir + "/themeview.ppm");
+        sva::viz::write_svg(terrain, contours, peaks, land.xy, out_dir + "/themeview.svg");
+
+        std::cout << "ThemeView terrain (numbered peaks = themes):\n"
+                  << sva::viz::ascii_with_peaks(terrain, peaks);
+        std::cout << "\nwrote " << out_dir << "/pubmed.svab (model bundle), "
+                  << "coordinates.csv, themes.txt, themeview.ppm, themeview.svg\n"
+                  << "serve more queries with: sva_query --bundle " << bundle.string()
+                  << " --info\n";
+      });
+  std::cout << "wall time: " << spmd.wall_seconds << " s\n";
   return 0;
 }

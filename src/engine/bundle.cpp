@@ -1,0 +1,268 @@
+#include "sva/engine/bundle.hpp"
+
+#include <algorithm>
+
+#include "sva/corpus/document.hpp"
+#include "sva/engine/engine.hpp"
+#include "sva/engine/section_file.hpp"
+#include "sva/util/bytes.hpp"
+#include "sva/util/error.hpp"
+
+namespace sva::engine {
+
+namespace {
+
+/// This rank's row range under the stored partition weights.
+std::pair<std::size_t, std::size_t> my_range(ga::Context& ctx,
+                                             const std::vector<std::size_t>& weights) {
+  const auto parts = corpus::partition_sizes_by_bytes(weights, ctx.nprocs());
+  return parts[static_cast<std::size_t>(ctx.rank())];
+}
+
+}  // namespace
+
+void export_bundle(ga::Context& ctx, const EngineResult& result,
+                   std::uint64_t config_fingerprint, const std::filesystem::path& path,
+                   std::span<const std::size_t> record_sizes) {
+  const auto& sigs = result.signatures;
+  require(result.clustering.assignment.size() == sigs.doc_ids.size(),
+          "export_bundle: assignment/signature row mismatch");
+  require(result.projection.local_doc_ids.size() == sigs.doc_ids.size(),
+          "export_bundle: projection/signature row mismatch");
+
+  // Gather every per-rank slice; rank order == global doc order.
+  std::vector<std::uint8_t> null_bytes(sigs.is_null.size());
+  for (std::size_t i = 0; i < sigs.is_null.size(); ++i) {
+    null_bytes[i] = sigs.is_null[i] ? 1 : 0;
+  }
+  const auto all_ids = ctx.gatherv(std::span<const std::uint64_t>(sigs.doc_ids), 0);
+  const auto all_nulls = ctx.gatherv(std::span<const std::uint8_t>(null_bytes), 0);
+  const auto all_vecs = ctx.gatherv(
+      std::span<const double>(sigs.docvecs.flat().data(), sigs.docvecs.flat().size()), 0);
+  const auto all_assignment =
+      ctx.gatherv(std::span<const std::int32_t>(result.clustering.assignment), 0);
+  const auto all_proj_ids =
+      ctx.gatherv(std::span<const std::uint64_t>(result.projection.local_doc_ids), 0);
+  const auto all_xy = ctx.gatherv(std::span<const double>(result.projection.local_xy), 0);
+
+  if (ctx.rank() == 0) {
+    require(all_ids.size() == result.num_records,
+            "export_bundle: gathered row count disagrees with num_records");
+    require(record_sizes.empty() || record_sizes.size() == all_ids.size(),
+            "export_bundle: record_sizes must cover every document");
+
+    SectionedFile file;
+    file.fingerprint = config_fingerprint;
+
+    ByteWriter meta;
+    meta.u64(result.num_records);
+    meta.u64(result.num_terms);
+    meta.u64(result.total_term_occurrences);
+    meta.u64(sigs.dimension);
+    meta.u64(static_cast<std::uint64_t>(result.signature_rounds));
+    meta.u64(sigs.global_null_count);
+    file.add("meta", std::move(meta.bytes));
+
+    // Row-partition weights: raw document bytes when the caller has them
+    // (Engine::run does), else one unit per row.
+    ByteWriter weights;
+    weights.u64(all_ids.size());
+    for (std::size_t i = 0; i < all_ids.size(); ++i) {
+      weights.u64(record_sizes.empty() ? 1 : record_sizes[i]);
+    }
+    file.add("weights", std::move(weights.bytes));
+
+    ByteWriter rows;
+    rows.u64(all_ids.size());
+    rows.u64(sigs.dimension);
+    for (const auto id : all_ids) rows.u64(id);
+    rows.raw(all_nulls.data(), all_nulls.size());
+    rows.raw(all_vecs.data(), all_vecs.size() * sizeof(double));
+    file.add("signatures", std::move(rows.bytes));
+
+    const auto& c = result.clustering;
+    require(c.cluster_sizes.size() == c.centroids.rows(),
+            "export_bundle: cluster_sizes/centroid shape mismatch");
+    ByteWriter clu;
+    clu.u64(static_cast<std::uint64_t>(c.iterations));
+    clu.f64(c.inertia);
+    clu.u64(c.centroids.rows());
+    clu.u64(c.centroids.cols());
+    clu.raw(c.centroids.flat().data(), c.centroids.flat().size() * sizeof(double));
+    for (const auto s : c.cluster_sizes) clu.u64(static_cast<std::uint64_t>(s));
+    clu.u64(all_assignment.size());
+    for (const auto a : all_assignment) clu.u64(static_cast<std::uint64_t>(a));
+    file.add("cluster", std::move(clu.bytes));
+
+    ByteWriter labels;
+    labels.u64(result.theme_labels.size());
+    for (const auto& cluster_labels : result.theme_labels) {
+      labels.u64(cluster_labels.size());
+      for (const auto& l : cluster_labels) labels.str(l);
+    }
+    file.add("labels", std::move(labels.bytes));
+
+    // Vocabulary slice: only the topic terms (the M dimension labels)
+    // travel with the bundle — queries never need the full vocabulary.
+    ByteWriter topics;
+    const auto& topic_terms = result.selection.topic_terms;
+    topics.u64(topic_terms.size());
+    for (const auto t : topic_terms) {
+      require(result.vocabulary != nullptr && t >= 0 &&
+                  static_cast<std::size_t>(t) < result.vocabulary->terms.size(),
+              "export_bundle: topic term outside the vocabulary");
+      topics.str(result.vocabulary->terms[static_cast<std::size_t>(t)]);
+    }
+    file.add("topic_terms", std::move(topics.bytes));
+
+    ByteWriter proj;
+    proj.u64(result.projection.components);
+    proj.u64(all_proj_ids.size());
+    for (const auto id : all_proj_ids) proj.u64(id);
+    proj.raw(all_xy.data(), all_xy.size() * sizeof(double));
+    file.add("projection", std::move(proj.bytes));
+
+    file.write(path, kBundleMagic, kBundleFormatVersion);
+  }
+  ctx.barrier();
+}
+
+void export_bundle(ga::Context& ctx, const EngineResult& result, const EngineConfig& config,
+                   const std::filesystem::path& path,
+                   std::span<const std::size_t> record_sizes) {
+  export_bundle(ctx, result, Engine::config_fingerprint(config), path, record_sizes);
+}
+
+BundleView load_bundle(ga::Context& ctx, const std::filesystem::path& path) {
+  std::vector<std::uint8_t> bytes;
+  if (ctx.rank() == 0) bytes = SectionedFile::read_file_bytes(path, "bundle");
+  ga::broadcast_bytes(ctx, bytes, 0);
+  const SectionedFile file =
+      SectionedFile::parse(bytes, kBundleMagic, kBundleFormatVersion, "bundle");
+
+  BundleView out;
+  out.config_fingerprint = file.fingerprint;
+  {
+    ByteReader meta(file.section("meta"));
+    out.num_records = meta.u64();
+    out.num_terms = meta.u64();
+    out.total_term_occurrences = meta.u64();
+    out.signatures.dimension = static_cast<std::size_t>(meta.u64());
+    out.signature_rounds = static_cast<int>(meta.u64());
+    out.signatures.global_null_count = meta.u64();
+    meta.expect_done();
+  }
+
+  std::vector<std::size_t> weights;
+  {
+    ByteReader w(file.section("weights"));
+    const std::uint64_t n = w.u64();
+    require_format(n == out.num_records, "bundle: weight count mismatch");
+    weights.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      weights.push_back(static_cast<std::size_t>(w.u64()));
+    }
+    w.expect_done();
+  }
+  const auto [begin, end] = my_range(ctx, weights);
+  out.row_range = {begin, end};
+  const std::size_t mine = end > begin ? end - begin : 0;
+
+  {
+    ByteReader rows(file.section("signatures"));
+    const std::uint64_t n = rows.u64();
+    const std::uint64_t dim = rows.u64();
+    require_format(n == out.num_records, "bundle: signature row count mismatch");
+    require_format(dim == out.signatures.dimension, "bundle: signature dimension mismatch");
+    std::vector<std::uint64_t> ids(static_cast<std::size_t>(n));
+    for (auto& id : ids) id = rows.u64();
+    std::vector<std::uint8_t> nulls(static_cast<std::size_t>(n));
+    rows.raw(nulls.data(), nulls.size());
+    const std::size_t row_bytes = static_cast<std::size_t>(dim) * sizeof(double);
+    require_format(rows.remaining() == static_cast<std::size_t>(n) * row_bytes,
+                   "bundle: signature matrix size mismatch");
+
+    auto& sigs = out.signatures;
+    sigs.docvecs = Matrix(mine, static_cast<std::size_t>(dim));
+    sigs.doc_ids.assign(ids.begin() + static_cast<std::ptrdiff_t>(begin),
+                        ids.begin() + static_cast<std::ptrdiff_t>(end));
+    sigs.is_null.resize(mine);
+    for (std::size_t i = 0; i < mine; ++i) sigs.is_null[i] = nulls[begin + i] != 0;
+    // Fixed-stride rows: jump straight to this rank's slice.
+    rows.skip(begin * row_bytes);
+    if (mine > 0) rows.raw(sigs.docvecs.flat().data(), mine * row_bytes);
+    rows.skip((static_cast<std::size_t>(n) - end) * row_bytes);
+    rows.expect_done();
+  }
+
+  {
+    ByteReader clu(file.section("cluster"));
+    auto& c = out.clustering;
+    c.iterations = static_cast<int>(clu.u64());
+    c.inertia = clu.f64();
+    const std::uint64_t k = clu.u64();
+    const std::uint64_t dim = clu.u64();
+    require_format(k <= (1u << 24) && dim <= (1u << 24), "bundle: implausible centroid shape");
+    c.centroids = Matrix(static_cast<std::size_t>(k), static_cast<std::size_t>(dim));
+    clu.raw(c.centroids.flat().data(), c.centroids.flat().size() * sizeof(double));
+    c.cluster_sizes.resize(static_cast<std::size_t>(k));
+    for (auto& s : c.cluster_sizes) s = static_cast<std::int64_t>(clu.u64());
+    const std::uint64_t n = clu.u64();
+    require_format(n == out.num_records, "bundle: assignment count mismatch");
+    c.assignment.resize(mine);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t v = clu.u64();
+      require_format(v < k, "bundle: assignment outside cluster range");
+      if (i >= begin && i < end) c.assignment[i - begin] = static_cast<std::int32_t>(v);
+    }
+    clu.expect_done();
+  }
+
+  {
+    ByteReader labels(file.section("labels"));
+    const std::uint64_t k = labels.u64();
+    require_format(k <= (1u << 24), "bundle: implausible label count");
+    out.theme_labels.resize(static_cast<std::size_t>(k));
+    for (auto& cluster_labels : out.theme_labels) {
+      const std::uint64_t n = labels.u64();
+      require_format(n <= (1u << 16), "bundle: implausible label list");
+      for (std::uint64_t i = 0; i < n; ++i) cluster_labels.push_back(labels.str());
+    }
+    labels.expect_done();
+  }
+
+  {
+    ByteReader topics(file.section("topic_terms"));
+    const std::uint64_t m = topics.u64();
+    require_format(m == out.signatures.dimension,
+                   "bundle: topic-term count disagrees with the signature dimension");
+    out.topic_term_names.reserve(static_cast<std::size_t>(m));
+    for (std::uint64_t i = 0; i < m; ++i) out.topic_term_names.push_back(topics.str());
+    topics.expect_done();
+  }
+
+  {
+    ByteReader proj(file.section("projection"));
+    out.projection_components = static_cast<std::size_t>(proj.u64());
+    require_format(out.projection_components >= 2 && out.projection_components <= 3,
+                   "bundle: implausible projection components");
+    const std::uint64_t n = proj.u64();
+    require_format(n == out.num_records, "bundle: projection row count mismatch");
+    std::vector<std::uint64_t> ids(static_cast<std::size_t>(n));
+    for (auto& id : ids) id = proj.u64();
+    const std::size_t comps = out.projection_components;
+    const std::size_t row_bytes = comps * sizeof(double);
+    require_format(proj.remaining() == static_cast<std::size_t>(n) * row_bytes,
+                   "bundle: projection coordinate size mismatch");
+    out.projection_doc_ids.assign(ids.begin() + static_cast<std::ptrdiff_t>(begin),
+                                  ids.begin() + static_cast<std::ptrdiff_t>(end));
+    out.projection_xy.resize(mine * comps);
+    proj.skip(begin * row_bytes);
+    if (mine > 0) proj.raw(out.projection_xy.data(), mine * row_bytes);
+    proj.skip((static_cast<std::size_t>(n) - end) * row_bytes);
+    proj.expect_done();
+  }
+  return out;
+}
+
+}  // namespace sva::engine

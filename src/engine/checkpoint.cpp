@@ -1,11 +1,8 @@
 #include "sva/engine/checkpoint.hpp"
 
 #include <algorithm>
-#include <cstring>
-#include <fstream>
 #include <utility>
 
-#include "sva/engine/digest.hpp"
 #include "sva/util/bytes.hpp"
 #include "sva/util/error.hpp"
 
@@ -40,27 +37,14 @@ ComponentTimings read_timings(ByteReader& in) {
   return t;
 }
 
-/// Reads a whole file into memory (shared by read() and the resume
-/// broadcast path).
-std::vector<std::uint8_t> read_file_bytes(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  require(in.good(), "checkpoint: cannot open " + path.string());
-  in.seekg(0, std::ios::end);
-  const auto end = in.tellg();
-  require(end >= 0, "checkpoint: cannot stat " + path.string());
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(end));
-  in.seekg(0);
-  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
-  require(in.good(), "checkpoint: cannot read " + path.string());
-  return bytes;
-}
-
 /// Rank 0 reads the stage file; every rank parses the broadcast bytes, so
 /// validation failures surface identically (and collectively) everywhere.
 CheckpointFile load_stage_file(ga::Context& ctx, const std::filesystem::path& dir,
                                Stage stage, std::uint64_t config_fingerprint) {
   std::vector<std::uint8_t> bytes;
-  if (ctx.rank() == 0) bytes = read_file_bytes(stage_path(dir, stage));
+  if (ctx.rank() == 0) {
+    bytes = SectionedFile::read_file_bytes(stage_path(dir, stage), "checkpoint");
+  }
   ga::broadcast_bytes(ctx, bytes, 0);
   CheckpointFile file = CheckpointFile::parse(bytes);
   require_format(file.stage == stage, "checkpoint: file holds the wrong stage");
@@ -91,110 +75,23 @@ std::filesystem::path stage_path(const std::filesystem::path& dir, Stage stage) 
   return dir / kStageFiles[static_cast<int>(stage)];
 }
 
-void CheckpointFile::add(std::string name, std::vector<std::uint8_t> payload) {
-  sections_.emplace_back(std::move(name), std::move(payload));
-}
-
-bool CheckpointFile::has(std::string_view name) const {
-  for (const auto& [n, p] : sections_) {
-    if (n == name) return true;
-  }
-  return false;
-}
-
-const std::vector<std::uint8_t>& CheckpointFile::section(std::string_view name) const {
-  for (const auto& [n, p] : sections_) {
-    if (n == name) return p;
-  }
-  throw FormatError("checkpoint: missing section '" + std::string(name) + "'");
-}
-
-void CheckpointFile::write(const std::filesystem::path& path) const {
-  ByteWriter out;
-  out.raw(kMagic, sizeof(kMagic));
-  out.u64(kFormatVersion);
-  out.u64(static_cast<std::uint64_t>(stage));
-  out.u64(config_fingerprint);
-  out.u64(sections_.size());
-  for (const auto& [name, payload] : sections_) {
-    out.str(name);
-    out.u64(payload.size());
-    out.u64(fnv1a64(payload.data(), payload.size()));
-  }
-  // The header itself is covered too, so a bit flip in the section table
-  // (names, sizes, stored checksums) is caught directly.
-  out.u64(fnv1a64(out.bytes.data(), out.bytes.size()));
-  for (const auto& [name, payload] : sections_) {
-    out.raw(payload.data(), payload.size());
-  }
-
-  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
-  const std::filesystem::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    require(file.good(), "checkpoint: cannot open " + tmp.string());
-    file.write(reinterpret_cast<const char*>(out.bytes.data()),
-               static_cast<std::streamsize>(out.bytes.size()));
-    require(file.good(), "checkpoint: short write to " + tmp.string());
-  }
-  std::filesystem::rename(tmp, path);
+void CheckpointFile::write(const std::filesystem::path& path) {
+  sections_.tag = static_cast<std::uint64_t>(stage);
+  sections_.fingerprint = config_fingerprint;
+  sections_.write(path, kMagic, kFormatVersion);
 }
 
 CheckpointFile CheckpointFile::parse(std::span<const std::uint8_t> bytes) {
-  require_format(bytes.size() >= sizeof(kMagic) &&
-                     std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0,
-                 "checkpoint: bad magic (not a SVA checkpoint file)");
-  ByteReader in(bytes);
-  {
-    char magic[sizeof(kMagic)];
-    in.raw(magic, sizeof(magic));
-  }
   CheckpointFile file;
-  require_format(in.u64() == kFormatVersion, "checkpoint: unsupported format version");
-  const std::uint64_t stage = in.u64();
-  require_format(stage < 4, "checkpoint: bad stage id");
-  file.stage = static_cast<Stage>(stage);
-  file.config_fingerprint = in.u64();
-  const std::uint64_t section_count = in.u64();
-  require_format(section_count <= 64, "checkpoint: implausible section count");
-
-  struct Entry {
-    std::string name;
-    std::uint64_t size = 0;
-    std::uint64_t checksum = 0;
-  };
-  std::vector<Entry> entries(static_cast<std::size_t>(section_count));
-  for (auto& e : entries) {
-    e.name = in.str();
-    e.size = in.u64();
-    e.checksum = in.u64();
-  }
-  const std::size_t header_end = in.position();
-  const std::uint64_t stored_header_fnv = in.u64();
-  require_format(stored_header_fnv == fnv1a64(bytes.data(), header_end),
-                 "checkpoint: header checksum mismatch");
-
-  std::uint64_t payload_total = 0;
-  for (const auto& e : entries) {
-    require_format(e.size <= bytes.size(), "checkpoint: implausible section size");
-    payload_total += e.size;
-  }
-  require_format(payload_total == in.remaining(),
-                 "checkpoint: payload size disagrees with section table");
-
-  for (auto& e : entries) {
-    std::vector<std::uint8_t> payload(static_cast<std::size_t>(e.size));
-    in.raw(payload.data(), payload.size());
-    require_format(fnv1a64(payload.data(), payload.size()) == e.checksum,
-                   "checkpoint: section '" + e.name + "' checksum mismatch");
-    file.sections_.emplace_back(std::move(e.name), std::move(payload));
-  }
-  in.expect_done();
+  file.sections_ = SectionedFile::parse(bytes, kMagic, kFormatVersion, "checkpoint");
+  require_format(file.sections_.tag < 4, "checkpoint: bad stage id");
+  file.stage = static_cast<Stage>(file.sections_.tag);
+  file.config_fingerprint = file.sections_.fingerprint;
   return file;
 }
 
 CheckpointFile CheckpointFile::read(const std::filesystem::path& path) {
-  return parse(read_file_bytes(path));
+  return parse(SectionedFile::read_file_bytes(path, "checkpoint"));
 }
 
 std::optional<Stage> last_completed_stage(const std::filesystem::path& dir) {

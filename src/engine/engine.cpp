@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sva/engine/bundle.hpp"
 #include "sva/engine/digest.hpp"
 #include "sva/util/bytes.hpp"
 #include "sva/util/error.hpp"
@@ -110,11 +111,29 @@ std::optional<EngineResult> Engine::run(ga::Context& ctx, const corpus::CorpusRe
   if (checkpoint) {
     save_final_checkpoint(ctx, options.checkpoint_dir, projection_state, timings, fp);
   }
-  return assemble_result(std::move(ingest), std::move(sig_state), std::move(cluster_state),
-                         std::move(projection_state), timings);
+
+  // Bundle export wants the global per-document raw byte sizes as the
+  // row-partition weights; gather them before ingest is consumed.
+  std::vector<std::size_t> record_sizes;
+  if (!options.export_bundle.empty()) {
+    std::vector<std::uint64_t> my_sizes;
+    my_sizes.reserve(ingest.records.size());
+    for (const auto& rec : ingest.records) my_sizes.push_back(rec.raw_bytes);
+    const auto all_sizes = ctx.gatherv(std::span<const std::uint64_t>(my_sizes), 0);
+    record_sizes.assign(all_sizes.begin(), all_sizes.end());
+  }
+
+  EngineResult result =
+      assemble_result(std::move(ingest), std::move(sig_state), std::move(cluster_state),
+                      std::move(projection_state), timings);
+  if (!options.export_bundle.empty()) {
+    export_bundle(ctx, result, fp, options.export_bundle, record_sizes);
+  }
+  return result;
 }
 
-EngineResult Engine::resume(ga::Context& ctx, const std::filesystem::path& checkpoint_dir) {
+EngineResult Engine::resume(ga::Context& ctx, const std::filesystem::path& checkpoint_dir,
+                            const std::filesystem::path& export_bundle_path) {
   const std::uint64_t fp = config_fingerprint(config_);
 
   int last = -1;
@@ -175,9 +194,14 @@ EngineResult Engine::resume(ga::Context& ctx, const std::filesystem::path& check
     save_final_checkpoint(ctx, checkpoint_dir, projection_state, final_timings, fp);
   }
 
-  return assemble_result(std::move(ingest.state), std::move(sig_state),
-                         std::move(cluster_state), std::move(projection_state),
-                         final_timings);
+  EngineResult result =
+      assemble_result(std::move(ingest.state), std::move(sig_state),
+                      std::move(cluster_state), std::move(projection_state), final_timings);
+  if (!export_bundle_path.empty()) {
+    // The ingest checkpoint already carries the global byte sizes.
+    export_bundle(ctx, result, fp, export_bundle_path, ingest.record_sizes);
+  }
+  return result;
 }
 
 }  // namespace sva::engine

@@ -1,0 +1,83 @@
+// Model bundle: one versioned on-disk artifact (SVABNDL1) holding
+// everything the query layer needs to serve an analyzed corpus without
+// the engine that produced it — knowledge signatures with doc ids and
+// null flags, the k-means centroids/assignment, the 2-D projection
+// coordinates, theme labels, the topic-term vocabulary slice (the string
+// meaning of each signature dimension) and the engine-configuration
+// fingerprint the products were computed under.
+//
+// The paper's pipeline ends when rank 0 writes the projected coordinates;
+// the ROADMAP's serving workload starts after that: build once, persist,
+// answer many queries later.  The bundle is the handoff point.  It reuses
+// the checkpoint's SectionedFile machinery (per-section + header FNV-1a
+// checksums, temp-then-rename writes), so truncation or a bit flip
+// anywhere raises FormatError instead of serving garbage.
+//
+// Both ends are collective and P-independent: export_bundle gathers every
+// rank's row slices (rank 0 touches the disk); load_bundle broadcasts the
+// image and re-partitions the rows for the *opening* world's processor
+// count — a bundle written at P=4 serves at P=1 or P=8, and because every
+// query reduction is order-invariant, the answers are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sva/engine/pipeline.hpp"
+
+namespace sva::engine {
+
+inline constexpr char kBundleMagic[8] = {'S', 'V', 'A', 'B', 'N', 'D', 'L', '1'};
+inline constexpr std::uint64_t kBundleFormatVersion = 1;
+
+/// One rank's view of an opened bundle: row-sliced local products plus
+/// the replicated analysis artifacts.  This is exactly what a
+/// query::Session hangs its queries off.
+struct BundleView {
+  std::uint64_t config_fingerprint = 0;
+  std::uint64_t num_records = 0;
+  std::uint64_t num_terms = 0;
+  std::uint64_t total_term_occurrences = 0;
+  int signature_rounds = 1;
+
+  /// This rank's contiguous global row range [begin, end) under the
+  /// bundle's stored partition weights.
+  std::pair<std::size_t, std::size_t> row_range{0, 0};
+
+  sig::SignatureSet signatures;      ///< local rows
+  cluster::KMeansResult clustering;  ///< centroids/sizes replicated; assignment local
+  std::vector<std::vector<std::string>> theme_labels;
+  /// Vocabulary slice: the string label of each of the M signature
+  /// dimensions (selection.topic_terms resolved through the vocabulary).
+  std::vector<std::string> topic_term_names;
+
+  std::size_t projection_components = 2;
+  std::vector<std::uint64_t> projection_doc_ids;  ///< local slice
+  std::vector<double> projection_xy;              ///< local slice, interleaved
+};
+
+/// Collective: gathers the per-rank slices of `result` and writes the
+/// bundle (rank 0 touches the disk).  `record_sizes` are the global
+/// per-document raw byte sizes used as row-partition weights when the
+/// bundle is reopened (read on rank 0; pass empty for uniform weights —
+/// results are identical either way, only the load balance differs).
+void export_bundle(ga::Context& ctx, const EngineResult& result,
+                   std::uint64_t config_fingerprint, const std::filesystem::path& path,
+                   std::span<const std::size_t> record_sizes = {});
+
+/// Convenience overload: fingerprints `config` itself.
+void export_bundle(ga::Context& ctx, const EngineResult& result, const EngineConfig& config,
+                   const std::filesystem::path& path,
+                   std::span<const std::size_t> record_sizes = {});
+
+/// Collective: rank 0 reads `path`, every rank parses the broadcast image
+/// and keeps its slice of the rows under this world's processor count.
+/// Throws FormatError on any corruption, sva::Error when the file cannot
+/// be opened.
+BundleView load_bundle(ga::Context& ctx, const std::filesystem::path& path);
+
+}  // namespace sva::engine

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "sva/engine/ingest.hpp"
+#include "sva/engine/section_file.hpp"
 #include "sva/engine/stages.hpp"
 
 namespace sva::engine {
@@ -49,20 +50,27 @@ enum class Stage {
 [[nodiscard]] std::optional<Stage> parse_stage(std::string_view name);
 [[nodiscard]] std::filesystem::path stage_path(const std::filesystem::path& dir, Stage stage);
 
-/// Generic checkpoint container: named byte sections behind a versioned
-/// header.  write() checksums each section and the header itself;
-/// read() refuses anything that does not verify, with FormatError.
+/// Checkpoint container: a SectionedFile under the SVACKPT1 magic whose
+/// header tag is the stage id.  write() checksums each section and the
+/// header itself; read() refuses anything that does not verify, with
+/// FormatError.
 class CheckpointFile {
  public:
   Stage stage = Stage::kIngest;
   std::uint64_t config_fingerprint = 0;
 
-  void add(std::string name, std::vector<std::uint8_t> payload);
-  [[nodiscard]] bool has(std::string_view name) const;
-  [[nodiscard]] const std::vector<std::uint8_t>& section(std::string_view name) const;
+  void add(std::string name, std::vector<std::uint8_t> payload) {
+    sections_.add(std::move(name), std::move(payload));
+  }
+  [[nodiscard]] bool has(std::string_view name) const { return sections_.has(name); }
+  [[nodiscard]] const std::vector<std::uint8_t>& section(std::string_view name) const {
+    return sections_.section(name);
+  }
 
-  /// Serial: writes temp-then-rename under `path`.
-  void write(const std::filesystem::path& path) const;
+  /// Serial: writes temp-then-rename under `path`.  Non-const only to
+  /// stamp stage/fingerprint into the section container without copying
+  /// the payloads.
+  void write(const std::filesystem::path& path);
   /// Serial: reads and fully validates `path`; throws FormatError on any
   /// corruption, sva::Error when the file cannot be opened.
   static CheckpointFile read(const std::filesystem::path& path);
@@ -71,7 +79,7 @@ class CheckpointFile {
   static CheckpointFile parse(std::span<const std::uint8_t> bytes);
 
  private:
-  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> sections_;
+  SectionedFile sections_;
 };
 
 /// Highest stage S such that every stage file up to and including S is

@@ -31,6 +31,11 @@ struct PipelineOptions {
   /// Testing hook: halt (like a kill) after this stage's checkpoint is
   /// written.  Requires checkpoint_dir.  Stage::kFinal runs to completion.
   std::optional<Stage> stop_after;
+  /// When set, the completed run additionally exports a serving model
+  /// bundle (see bundle.hpp) to this path, with the per-document raw byte
+  /// sizes as row-partition weights.  Ignored when stop_after halts the
+  /// run before the final stage.
+  std::filesystem::path export_bundle;
 };
 
 class Engine {
@@ -47,8 +52,11 @@ class Engine {
   /// Collective: resumes from the last completed stage checkpoint in
   /// `checkpoint_dir`, writing the remaining stage checkpoints as it
   /// goes.  Throws InvalidArgument when no usable checkpoint exists or
-  /// the directory was written under a different configuration.
-  EngineResult resume(ga::Context& ctx, const std::filesystem::path& checkpoint_dir);
+  /// the directory was written under a different configuration.  When
+  /// `export_bundle` is non-empty, the completed result is additionally
+  /// exported as a serving model bundle to that path.
+  EngineResult resume(ga::Context& ctx, const std::filesystem::path& checkpoint_dir,
+                      const std::filesystem::path& export_bundle = {});
 
   /// Deterministic fingerprint of an engine configuration; stored in
   /// every checkpoint header and verified on resume.

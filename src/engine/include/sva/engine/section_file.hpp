@@ -1,0 +1,58 @@
+// Generic checksummed section container shared by the engine's persisted
+// artifacts (per-stage checkpoints, the serving model bundle).
+//
+// Layout: an 8-byte magic, a varbyte format version, two caller-defined
+// header words (the checkpoint stores its stage id and configuration
+// fingerprint; the bundle stores a flags word and the fingerprint), a
+// section table (name, size, FNV-1a checksum per section), an FNV-1a
+// checksum of the header itself, then the section payloads.  parse()
+// refuses anything that does not verify — truncation or a bit flip
+// anywhere, including in the header or section table, raises FormatError
+// instead of decoding garbage.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sva::engine {
+
+class SectionedFile {
+ public:
+  /// First caller-defined header word (checkpoint: stage id).
+  std::uint64_t tag = 0;
+  /// Second caller-defined header word (engine-config fingerprint).
+  std::uint64_t fingerprint = 0;
+
+  void add(std::string name, std::vector<std::uint8_t> payload);
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] const std::vector<std::uint8_t>& section(std::string_view name) const;
+
+  /// Serial: writes temp-then-rename under `path` (a kill can never leave
+  /// a half-written artifact under its final name).
+  void write(const std::filesystem::path& path, const char (&magic)[8],
+             std::uint64_t version) const;
+
+  /// Parses an in-memory image; throws FormatError on any corruption.
+  /// `what` prefixes error messages ("checkpoint", "bundle", ...).
+  static SectionedFile parse(std::span<const std::uint8_t> bytes, const char (&magic)[8],
+                             std::uint64_t version, const char* what);
+
+  /// Serial: reads and fully validates `path`.
+  static SectionedFile read(const std::filesystem::path& path, const char (&magic)[8],
+                            std::uint64_t version, const char* what);
+
+  /// Reads a whole file into memory; throws sva::Error when the file
+  /// cannot be opened (shared by read() and SPMD broadcast loaders).
+  static std::vector<std::uint8_t> read_file_bytes(const std::filesystem::path& path,
+                                                   const char* what);
+
+ private:
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> sections_;
+};
+
+}  // namespace sva::engine

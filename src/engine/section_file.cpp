@@ -1,0 +1,137 @@
+#include "sva/engine/section_file.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "sva/engine/digest.hpp"
+#include "sva/util/bytes.hpp"
+#include "sva/util/error.hpp"
+
+namespace sva::engine {
+
+void SectionedFile::add(std::string name, std::vector<std::uint8_t> payload) {
+  sections_.emplace_back(std::move(name), std::move(payload));
+}
+
+bool SectionedFile::has(std::string_view name) const {
+  for (const auto& [n, p] : sections_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+const std::vector<std::uint8_t>& SectionedFile::section(std::string_view name) const {
+  for (const auto& [n, p] : sections_) {
+    if (n == name) return p;
+  }
+  throw FormatError("sectioned file: missing section '" + std::string(name) + "'");
+}
+
+void SectionedFile::write(const std::filesystem::path& path, const char (&magic)[8],
+                          std::uint64_t version) const {
+  ByteWriter out;
+  out.raw(magic, sizeof(magic));
+  out.u64(version);
+  out.u64(tag);
+  out.u64(fingerprint);
+  out.u64(sections_.size());
+  for (const auto& [name, payload] : sections_) {
+    out.str(name);
+    out.u64(payload.size());
+    out.u64(fnv1a64(payload.data(), payload.size()));
+  }
+  // The header itself is covered too, so a bit flip in the section table
+  // (names, sizes, stored checksums) is caught directly.
+  out.u64(fnv1a64(out.bytes.data(), out.bytes.size()));
+  for (const auto& [name, payload] : sections_) {
+    out.raw(payload.data(), payload.size());
+  }
+
+  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    require(file.good(), "sectioned file: cannot open " + tmp.string());
+    file.write(reinterpret_cast<const char*>(out.bytes.data()),
+               static_cast<std::streamsize>(out.bytes.size()));
+    require(file.good(), "sectioned file: short write to " + tmp.string());
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+SectionedFile SectionedFile::parse(std::span<const std::uint8_t> bytes,
+                                   const char (&magic)[8], std::uint64_t version,
+                                   const char* what) {
+  const std::string prefix(what);
+  require_format(bytes.size() >= sizeof(magic) &&
+                     std::memcmp(bytes.data(), magic, sizeof(magic)) == 0,
+                 prefix + ": bad magic (not a " + prefix + " file)");
+  ByteReader in(bytes);
+  {
+    char seen[sizeof(magic)];
+    in.raw(seen, sizeof(seen));
+  }
+  SectionedFile file;
+  require_format(in.u64() == version, prefix + ": unsupported format version");
+  file.tag = in.u64();
+  file.fingerprint = in.u64();
+  const std::uint64_t section_count = in.u64();
+  require_format(section_count <= 64, prefix + ": implausible section count");
+
+  struct Entry {
+    std::string name;
+    std::uint64_t size = 0;
+    std::uint64_t checksum = 0;
+  };
+  std::vector<Entry> entries(static_cast<std::size_t>(section_count));
+  for (auto& e : entries) {
+    e.name = in.str();
+    e.size = in.u64();
+    e.checksum = in.u64();
+  }
+  const std::size_t header_end = in.position();
+  const std::uint64_t stored_header_fnv = in.u64();
+  require_format(stored_header_fnv == fnv1a64(bytes.data(), header_end),
+                 prefix + ": header checksum mismatch");
+
+  std::uint64_t payload_total = 0;
+  for (const auto& e : entries) {
+    require_format(e.size <= bytes.size(), prefix + ": implausible section size");
+    payload_total += e.size;
+  }
+  require_format(payload_total == in.remaining(),
+                 prefix + ": payload size disagrees with section table");
+
+  for (auto& e : entries) {
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(e.size));
+    in.raw(payload.data(), payload.size());
+    require_format(fnv1a64(payload.data(), payload.size()) == e.checksum,
+                   prefix + ": section '" + e.name + "' checksum mismatch");
+    file.sections_.emplace_back(std::move(e.name), std::move(payload));
+  }
+  in.expect_done();
+  return file;
+}
+
+SectionedFile SectionedFile::read(const std::filesystem::path& path, const char (&magic)[8],
+                                  std::uint64_t version, const char* what) {
+  return parse(read_file_bytes(path, what), magic, version, what);
+}
+
+std::vector<std::uint8_t> SectionedFile::read_file_bytes(const std::filesystem::path& path,
+                                                         const char* what) {
+  const std::string prefix(what);
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), prefix + ": cannot open " + path.string());
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  require(end >= 0, prefix + ": cannot stat " + path.string());
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(end));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
+  require(in.good(), prefix + ": cannot read " + path.string());
+  return bytes;
+}
+
+}  // namespace sva::engine

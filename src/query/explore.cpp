@@ -1,21 +1,16 @@
 #include "sva/query/explore.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <unordered_set>
+#include <utility>
 
+#include "sva/query/session.hpp"
 #include "sva/query/similarity.hpp"
 #include "sva/util/error.hpp"
 
 namespace sva::query {
 
 namespace {
-
-/// (distance, doc id) candidate for representative selection.
-struct Candidate {
-  double distance = 0.0;
-  std::uint64_t doc_id = 0;
-};
 
 /// Extracts the subset of local signature rows selected by `take(i)`.
 template <typename Pred>
@@ -38,27 +33,12 @@ sig::SignatureSet subset_signatures(const sig::SignatureSet& signatures, Pred&& 
   return out;
 }
 
-DrillDownResult drill_down_impl(ga::Context& ctx, const sig::SignatureSet& subset,
-                                cluster::KMeansConfig config) {
-  DrillDownResult result;
-  result.subset_size =
-      static_cast<std::uint64_t>(ctx.allreduce_sum(static_cast<std::int64_t>(
-          subset.doc_ids.size())));
-  require(result.subset_size >= 1, "drill_down: empty subset");
-
-  // Clamp k to the subset size so tiny selections still work.
-  config.k = std::max<std::size_t>(
-      1, std::min<std::size_t>(config.k, static_cast<std::size_t>(result.subset_size)));
-
-  result.clustering = cluster::kmeans_cluster(ctx, subset.docvecs, config);
-
-  // Fresh axes for the subset: PCA over its own centroids.
-  const auto pca = cluster::pca_fit(result.clustering.centroids, 2);
-  result.projection = cluster::project_documents(ctx, subset.docvecs, subset.doc_ids, pca);
-  return result;
-}
-
 }  // namespace
+
+// summarize_cluster and the drill-downs are thin wrappers over the
+// batched query plane / drill-down core in session.cpp — the same code a
+// Session serves from a persisted bundle, so both surfaces stay
+// bit-identical by construction.
 
 ClusterSummary summarize_cluster(ga::Context& ctx, const sig::SignatureSet& signatures,
                                  const std::vector<std::int32_t>& assignment,
@@ -70,54 +50,10 @@ ClusterSummary summarize_cluster(ga::Context& ctx, const sig::SignatureSet& sign
   require(cluster >= 0 &&
               static_cast<std::size_t>(cluster) < clustering.centroids.rows(),
           "summarize_cluster: cluster id out of range");
-
-  ClusterSummary summary;
-  summary.cluster = cluster;
-  summary.size = clustering.cluster_sizes[static_cast<std::size_t>(cluster)];
-  if (static_cast<std::size_t>(cluster) < theme_labels.size()) {
-    summary.top_terms = theme_labels[static_cast<std::size_t>(cluster)];
-  }
-
-  const auto centroid = clustering.centroids.row(static_cast<std::size_t>(cluster));
-
-  // Local pass: cohesion contribution and representative candidates.
-  double cos_sum = 0.0;
-  std::int64_t members = 0;
-  std::vector<Candidate> candidates;
-  for (std::size_t i = 0; i < assignment.size(); ++i) {
-    if (assignment[i] != cluster) continue;
-    ++members;
-    cos_sum += cosine_similarity(signatures.docvecs.row(i), centroid);
-    double d2 = 0.0;
-    const auto row = signatures.docvecs.row(i);
-    for (std::size_t d = 0; d < row.size(); ++d) {
-      const double diff = row[d] - centroid[d];
-      d2 += diff * diff;
-    }
-    candidates.push_back({d2, signatures.doc_ids[i]});
-  }
-
-  // Global cohesion.
-  const double global_cos = ctx.allreduce_sum(cos_sum);
-  const auto global_members = ctx.allreduce_sum(members);
-  summary.cohesion =
-      global_members > 0 ? global_cos / static_cast<double>(global_members) : 0.0;
-
-  // Global representatives: local top-n, merged and re-cut.
-  auto closer = [](const Candidate& a, const Candidate& b) {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.doc_id < b.doc_id;
-  };
-  const std::size_t keep = std::min(candidates.size(), num_representatives);
-  std::partial_sort(candidates.begin(), candidates.begin() + static_cast<std::ptrdiff_t>(keep),
-                    candidates.end(), closer);
-  candidates.resize(keep);
-  auto merged = ctx.allgatherv(std::span<const Candidate>(candidates));
-  std::sort(merged.begin(), merged.end(), closer);
-  if (merged.size() > num_representatives) merged.resize(num_representatives);
-  summary.representatives.reserve(merged.size());
-  for (const auto& c : merged) summary.representatives.push_back(c.doc_id);
-  return summary;
+  QueryInputs inputs{&signatures, &assignment, &clustering, &theme_labels};
+  const Query query = Query::cluster_summary(cluster, num_representatives);
+  auto results = run_query_batch(ctx, inputs, {&query, 1});
+  return std::move(results.front().summary);
 }
 
 DrillDownResult drill_down_cluster(ga::Context& ctx, const sig::SignatureSet& signatures,
@@ -127,7 +63,7 @@ DrillDownResult drill_down_cluster(ga::Context& ctx, const sig::SignatureSet& si
           "drill_down_cluster: assignment/signatures mismatch");
   const auto subset =
       subset_signatures(signatures, [&](std::size_t i) { return assignment[i] == cluster; });
-  return drill_down_impl(ctx, subset, config);
+  return detail::drill_down_subset(ctx, subset, config);
 }
 
 DrillDownResult drill_down_documents(ga::Context& ctx, const sig::SignatureSet& signatures,
@@ -136,7 +72,7 @@ DrillDownResult drill_down_documents(ga::Context& ctx, const sig::SignatureSet& 
   const std::unordered_set<std::uint64_t> wanted(doc_ids.begin(), doc_ids.end());
   const auto subset = subset_signatures(
       signatures, [&](std::size_t i) { return wanted.count(signatures.doc_ids[i]) != 0; });
-  return drill_down_impl(ctx, subset, config);
+  return detail::drill_down_subset(ctx, subset, config);
 }
 
 }  // namespace sva::query

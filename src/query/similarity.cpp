@@ -1,8 +1,10 @@
 #include "sva/query/similarity.hpp"
 
-#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
+#include "sva/query/session.hpp"
 #include "sva/util/error.hpp"
 
 namespace sva::query {
@@ -21,27 +23,10 @@ double cosine_similarity(std::span<const double> a, std::span<const double> b) {
   return dot / std::sqrt(na * nb);
 }
 
-namespace {
-
-/// Merges rank-local candidates into the global top-k (descending
-/// similarity, ascending doc id on ties — deterministic across P).
-std::vector<SimilarDoc> merge_top_k(ga::Context& ctx, std::vector<SimilarDoc> local,
-                                    std::size_t k) {
-  auto better = [](const SimilarDoc& a, const SimilarDoc& b) {
-    if (a.similarity != b.similarity) return a.similarity > b.similarity;
-    return a.doc_id < b.doc_id;
-  };
-  const std::size_t keep = std::min(local.size(), k);
-  std::partial_sort(local.begin(), local.begin() + static_cast<std::ptrdiff_t>(keep),
-                    local.end(), better);
-  local.resize(keep);
-  auto merged = ctx.allgatherv(std::span<const SimilarDoc>(local));
-  std::sort(merged.begin(), merged.end(), better);
-  if (merged.size() > k) merged.resize(k);
-  return merged;
-}
-
-}  // namespace
+// The classic one-shot entry points are thin wrappers over the batched
+// query plane (session.cpp): a one-element batch runs the identical
+// fused-scan/merge code path a Session serves, so the two surfaces can
+// never drift apart.
 
 std::vector<SimilarDoc> similar_documents(ga::Context& ctx,
                                           const sig::SignatureSet& signatures,
@@ -49,50 +34,22 @@ std::vector<SimilarDoc> similar_documents(ga::Context& ctx,
   require(k >= 1, "similar_documents: k must be >= 1");
   require(probe.size() == signatures.dimension,
           "similar_documents: probe dimension mismatch");
-  std::vector<SimilarDoc> local;
-  local.reserve(signatures.doc_ids.size());
-  for (std::size_t i = 0; i < signatures.doc_ids.size(); ++i) {
-    if (signatures.is_null[i]) continue;
-    local.push_back(
-        {signatures.doc_ids[i], cosine_similarity(signatures.docvecs.row(i), probe)});
-  }
-  return merge_top_k(ctx, std::move(local), k);
+  QueryInputs inputs;
+  inputs.signatures = &signatures;
+  const Query query = Query::similar_probe({probe.begin(), probe.end()}, k);
+  auto results = run_query_batch(ctx, inputs, {&query, 1});
+  return std::move(results.front().hits);
 }
 
 std::vector<SimilarDoc> similar_to_document(ga::Context& ctx,
                                             const sig::SignatureSet& signatures,
                                             std::uint64_t doc_id, std::size_t k) {
   require(k >= 1, "similar_to_document: k must be >= 1");
-
-  // Locate the probe row's owner; ranks that do not own it contribute -1.
-  int my_claim = -1;
-  std::size_t my_row = 0;
-  for (std::size_t i = 0; i < signatures.doc_ids.size(); ++i) {
-    if (signatures.doc_ids[i] == doc_id) {
-      my_claim = ctx.rank();
-      my_row = i;
-      break;
-    }
-  }
-  const int owner = ctx.allreduce_max(my_claim);
-  require(owner >= 0, "similar_to_document: unknown doc id");
-
-  // Owner broadcasts the probe signature.
-  std::vector<double> probe(signatures.dimension, 0.0);
-  if (ctx.rank() == owner) {
-    const auto row = signatures.docvecs.row(my_row);
-    std::copy(row.begin(), row.end(), probe.begin());
-  }
-  ctx.broadcast(probe.data(), probe.size(), owner);
-
-  std::vector<SimilarDoc> local;
-  local.reserve(signatures.doc_ids.size());
-  for (std::size_t i = 0; i < signatures.doc_ids.size(); ++i) {
-    if (signatures.is_null[i] || signatures.doc_ids[i] == doc_id) continue;
-    local.push_back(
-        {signatures.doc_ids[i], cosine_similarity(signatures.docvecs.row(i), probe)});
-  }
-  return merge_top_k(ctx, std::move(local), k);
+  QueryInputs inputs;
+  inputs.signatures = &signatures;
+  const Query query = Query::similar_doc(doc_id, k);
+  auto results = run_query_batch(ctx, inputs, {&query, 1});
+  return std::move(results.front().hits);
 }
 
 }  // namespace sva::query

@@ -184,6 +184,41 @@ TEST(CompareTest, MicroGaWallImprovementPasses) {
   EXPECT_FALSE(out.failed());
 }
 
+json::Value micro_query_doc(double single_best_s, double batch_best_s) {
+  json::Value doc = json::Value::object();
+  doc["name"] = "micro_query";
+  json::Value series = json::Value::array();
+  auto entry = [](const std::string& plane, double best_s) {
+    json::Value e = json::Value::object();
+    e["primitive"] = plane;
+    e["config"] = "P=2 Q=16";
+    e["best_s"] = best_s;
+    e["queries"] = 16.0;
+    return e;
+  };
+  series.push_back(entry("single_queries", single_best_s));
+  series.push_back(entry("batched", batch_best_s));
+  json::Value data = json::Value::object();
+  data["series"] = std::move(series);
+  doc["data"] = std::move(data);
+  return doc;
+}
+
+TEST(CompareTest, MicroQueryWallRiseBeyondToleranceFails) {
+  // The serving-plane micro rides the same keyed wall gate as micro_ga.
+  CompareResult out;
+  compare_report_documents("micro_query", micro_query_doc(4.0e-3, 1.0e-3),
+                           micro_query_doc(4.0e-3, 1.5e-3), {}, out);
+  EXPECT_TRUE(out.failed());
+}
+
+TEST(CompareTest, MicroQueryWallWithinToleranceIsNoise) {
+  CompareResult out;
+  compare_report_documents("micro_query", micro_query_doc(4.0e-3, 1.0e-3),
+                           micro_query_doc(4.1e-3, 1.05e-3), {}, out);
+  EXPECT_FALSE(out.failed());
+}
+
 TEST(CompareTest, ModeledRegressionDowngradesWhenAllowed) {
   CompareResult out;
   CompareOptions options;

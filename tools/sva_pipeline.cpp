@@ -51,7 +51,8 @@ void print_usage() {
       "                         simulates a kill for testing resume\n"
       "\n"
       "output:\n"
-      "  --out FILE             write a JSON summary (checksum, counts, timings)\n";
+      "  --out FILE             write a JSON summary (checksum, counts, timings)\n"
+      "  --export-bundle FILE   export a serving model bundle (open with sva_query)\n";
 }
 
 std::uint64_t parse_u64(const std::string& arg, const char* flag) {
@@ -78,6 +79,7 @@ int main(int argc, char** argv) {
   std::size_t major_terms = 800;
   std::size_t clusters = 16;
   std::string out_path;
+  std::string bundle_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -126,6 +128,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--export-bundle") {
+      bundle_path = next();
     } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
@@ -146,6 +150,10 @@ int main(int argc, char** argv) {
   if (resume && options.stop_after) {
     std::cerr << "sva_pipeline: --stop-after only applies to fresh runs; a resumed run "
                  "always completes\n";
+    return 2;
+  }
+  if (!bundle_path.empty() && options.stop_after) {
+    std::cerr << "sva_pipeline: --export-bundle needs a completed run; drop --stop-after\n";
     return 2;
   }
   if (resume &&
@@ -172,12 +180,13 @@ int main(int argc, char** argv) {
     config.kmeans.k = clusters;
     engine::Engine eng(config);
 
+    options.export_bundle = bundle_path;
     std::optional<engine::EngineResult> result;
     bool stopped = false;
     const ga::SpmdResult spmd = ga::spmd_run(procs, ga::CommModel{}, [&](ga::Context& ctx) {
       std::optional<engine::EngineResult> r;
       if (resume) {
-        r = eng.resume(ctx, options.checkpoint_dir);
+        r = eng.resume(ctx, options.checkpoint_dir, options.export_bundle);
       } else {
         r = eng.run(ctx, reader, options);
       }
@@ -211,6 +220,10 @@ int main(int argc, char** argv) {
               << t.docvec << ", ClusProj " << t.clusproj << ")\n"
               << "  wall seconds       " << spmd.wall_seconds << "\n"
               << "  result checksum    " << engine::checksum_hex(checksum) << "\n";
+    if (!bundle_path.empty()) {
+      std::cout << "exported model bundle to " << bundle_path
+                << " (open with sva_query --bundle)\n";
+    }
 
     if (!out_path.empty()) {
       std::filesystem::path p(out_path);

@@ -1,0 +1,317 @@
+// Serving-side query driver: opens a persisted model bundle (written by
+// `sva_pipeline --export-bundle` or Engine::run) and answers queries
+// against it — no engine, no corpus, any processor count.
+//
+//   sva_query --bundle corpus.svab --info
+//   sva_query --bundle corpus.svab --similar-doc 42 --topk 8
+//   sva_query --bundle corpus.svab --summary 3
+//   sva_query --bundle corpus.svab --drill 3 --k 4
+//   sva_query --bundle corpus.svab --batch queries.txt --procs 4
+//
+// The batch file holds one query per line (the batched plane executes
+// the whole file in one collective sweep):
+//
+//   similar <doc_id> <k>
+//   summary <cluster> [representatives]
+//
+// Blank lines and lines starting with '#' are ignored.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sva/cluster/projection.hpp"
+#include "sva/query/session.hpp"
+#include "sva/util/error.hpp"
+#include "sva/util/table.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "usage: sva_query --bundle FILE [options] [query]\n"
+      "\n"
+      "  --bundle FILE       model bundle to open (required)\n"
+      "  --procs P           SPMD ranks to serve with (default 2)\n"
+      "\n"
+      "one-shot queries (pick one):\n"
+      "  --info              bundle contents and theme overview (default)\n"
+      "  --similar-doc ID    documents most similar to document ID\n"
+      "  --summary C         digest of theme cluster C\n"
+      "  --drill C           drill into theme cluster C (re-cluster + re-project)\n"
+      "  --landscape         render the ASCII ThemeView terrain\n"
+      "\n"
+      "query knobs:\n"
+      "  --topk K            similarity hits to return (default 10)\n"
+      "  --reps N            summary representatives (default 5)\n"
+      "  --k K               drill-down sub-clusters (default 4)\n"
+      "\n"
+      "batched plane:\n"
+      "  --batch FILE        run every query in FILE in one collective sweep\n";
+}
+
+std::uint64_t parse_u64(const std::string& arg, const char* flag) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg.c_str(), &end, 10);
+  if (end != arg.c_str() + arg.size() || arg.empty()) {
+    std::cerr << "sva_query: bad value '" << arg << "' for " << flag << "\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Parses the batch file; exits with a message on malformed lines.
+std::vector<sva::query::Query> parse_batch_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "sva_query: cannot open batch file " << path << "\n";
+    std::exit(2);
+  }
+  std::vector<sva::query::Query> queries;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream fields(line);
+    std::string verb;
+    if (!(fields >> verb) || verb[0] == '#') continue;
+    auto bad = [&](const char* why) {
+      std::cerr << "sva_query: " << path << ":" << lineno << ": " << why << ": " << line
+                << "\n";
+      std::exit(2);
+    };
+    if (verb == "similar") {
+      std::uint64_t doc = 0;
+      std::size_t k = 10;
+      if (!(fields >> doc >> k)) bad("expected 'similar <doc_id> <k>'");
+      queries.push_back(sva::query::Query::similar_doc(doc, k));
+    } else if (verb == "summary") {
+      int cluster = 0;
+      if (!(fields >> cluster)) bad("expected 'summary <cluster> [reps]'");
+      std::size_t reps = 5;
+      std::string reps_token;
+      if (fields >> reps_token) {
+        char* end = nullptr;
+        reps = static_cast<std::size_t>(std::strtoull(reps_token.c_str(), &end, 10));
+        if (end != reps_token.c_str() + reps_token.size()) {
+          bad("bad representatives count");
+        }
+      }
+      queries.push_back(sva::query::Query::cluster_summary(cluster, reps));
+    } else {
+      bad("unknown query verb");
+    }
+  }
+  if (queries.empty()) {
+    std::cerr << "sva_query: batch file " << path << " holds no queries\n";
+    std::exit(2);
+  }
+  return queries;
+}
+
+void print_hits(const std::string& headline, const std::vector<sva::query::SimilarDoc>& hits) {
+  sva::Table table({"doc", "cosine"});
+  for (const auto& h : hits) {
+    table.add_row({sva::Table::num(static_cast<long long>(h.doc_id)),
+                   sva::Table::num(h.similarity, 4)});
+  }
+  std::cout << headline << ":\n" << table.to_ascii() << '\n';
+}
+
+void print_summary(const sva::query::ClusterSummary& s) {
+  std::string label;
+  for (const auto& t : s.top_terms) label += (label.empty() ? "" : "/") + t;
+  std::string reps;
+  for (const auto d : s.representatives) {
+    if (!reps.empty()) reps += ',';
+    reps += std::to_string(d);
+  }
+  sva::Table table({"cluster", "docs", "cohesion", "theme", "read-first"});
+  table.add_row({sva::Table::num(static_cast<long long>(s.cluster)),
+                 sva::Table::num(static_cast<long long>(s.size)),
+                 sva::Table::num(s.cohesion, 3), label, reps});
+  std::cout << table.to_ascii() << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sva;
+
+  std::string bundle_path;
+  std::string batch_path;
+  int procs = 2;
+  enum class Mode { kInfo, kSimilarDoc, kSummary, kDrill, kLandscape, kBatch };
+  Mode mode = Mode::kInfo;
+  std::uint64_t similar_doc = 0;
+  int cluster = 0;
+  std::size_t topk = 10;
+  std::size_t reps = 5;
+  std::size_t drill_k = 4;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "sva_query: " << arg << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--bundle") {
+      bundle_path = next();
+    } else if (arg == "--procs") {
+      procs = static_cast<int>(parse_u64(next(), "--procs"));
+    } else if (arg == "--info") {
+      mode = Mode::kInfo;
+    } else if (arg == "--similar-doc") {
+      mode = Mode::kSimilarDoc;
+      similar_doc = parse_u64(next(), "--similar-doc");
+    } else if (arg == "--summary") {
+      mode = Mode::kSummary;
+      cluster = static_cast<int>(parse_u64(next(), "--summary"));
+    } else if (arg == "--drill") {
+      mode = Mode::kDrill;
+      cluster = static_cast<int>(parse_u64(next(), "--drill"));
+    } else if (arg == "--landscape") {
+      mode = Mode::kLandscape;
+    } else if (arg == "--batch") {
+      mode = Mode::kBatch;
+      batch_path = next();
+    } else if (arg == "--topk") {
+      topk = static_cast<std::size_t>(parse_u64(next(), "--topk"));
+    } else if (arg == "--reps") {
+      reps = static_cast<std::size_t>(parse_u64(next(), "--reps"));
+    } else if (arg == "--k") {
+      drill_k = static_cast<std::size_t>(parse_u64(next(), "--k"));
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::cerr << "sva_query: unknown argument " << arg << "\n";
+      print_usage();
+      return 2;
+    }
+  }
+  if (bundle_path.empty()) {
+    std::cerr << "sva_query: --bundle is required\n";
+    print_usage();
+    return 2;
+  }
+  if (procs < 1) {
+    std::cerr << "sva_query: --procs must be >= 1\n";
+    return 2;
+  }
+
+  std::vector<query::Query> batch;
+  if (mode == Mode::kBatch) batch = parse_batch_file(batch_path);
+
+  try {
+    ga::spmd_run(procs, ga::CommModel{}, [&](ga::Context& ctx) {
+      auto session = query::Session::open(ctx, bundle_path);
+      const bool print = ctx.rank() == 0;
+
+      switch (mode) {
+        case Mode::kInfo: {
+          // One batched sweep summarizes every theme.
+          std::vector<query::Query> overview;
+          for (std::size_t c = 0; c < session.num_clusters(); ++c) {
+            overview.push_back(query::Query::cluster_summary(static_cast<int>(c), reps));
+          }
+          const auto results = session.run_batch(overview);
+          if (print) {
+            std::cout << "bundle " << bundle_path << ":\n"
+                      << "  documents   " << session.num_documents() << "\n"
+                      << "  dimension   " << session.dimension() << "\n"
+                      << "  clusters    " << session.num_clusters() << "\n"
+                      << "  fingerprint 0x" << std::hex << session.config_fingerprint()
+                      << std::dec << "\n\n";
+            sva::Table table({"cluster", "docs", "cohesion", "theme", "read-first"});
+            for (const auto& r : results) {
+              const auto& s = r.summary;
+              std::string label;
+              for (const auto& t : s.top_terms) label += (label.empty() ? "" : "/") + t;
+              std::string rep_list;
+              for (const auto d : s.representatives) {
+                if (!rep_list.empty()) rep_list += ',';
+                rep_list += std::to_string(d);
+              }
+              table.add_row({sva::Table::num(static_cast<long long>(s.cluster)),
+                             sva::Table::num(static_cast<long long>(s.size)),
+                             sva::Table::num(s.cohesion, 3), label, rep_list});
+            }
+            std::cout << "theme overview:\n" << table.to_ascii();
+          }
+          break;
+        }
+        case Mode::kSimilarDoc: {
+          const auto hits = session.similar(similar_doc, topk);
+          if (print) {
+            print_hits("documents most similar to doc " + std::to_string(similar_doc), hits);
+          }
+          break;
+        }
+        case Mode::kSummary: {
+          const auto summary = session.cluster_summary(cluster, reps);
+          if (print) print_summary(summary);
+          break;
+        }
+        case Mode::kDrill: {
+          cluster::KMeansConfig sub;
+          sub.k = drill_k;
+          const auto drill = session.drill_down(cluster, sub);
+          const auto labels = session.sub_theme_labels(drill.clustering);
+          if (print) {
+            std::cout << "drill-down into theme " << cluster << ": " << drill.subset_size
+                      << " documents, " << drill.clustering.centroids.rows()
+                      << " sub-themes\n";
+            for (std::size_t c = 0; c < labels.size(); ++c) {
+              std::cout << "  sub-theme " << c << " ("
+                        << drill.clustering.cluster_sizes[c] << " docs):";
+              for (const auto& t : labels[c]) std::cout << ' ' << t;
+              std::cout << '\n';
+            }
+            const auto terrain =
+                cluster::ThemeViewTerrain::from_points(drill.projection.all_xy, 40);
+            std::cout << "sub-landscape:\n" << terrain.to_ascii();
+          }
+          break;
+        }
+        case Mode::kLandscape: {
+          const auto land = session.landscape();
+          if (print) {
+            const auto terrain = cluster::ThemeViewTerrain::from_points(land.xy, 48);
+            std::cout << "landscape (" << land.doc_ids.size() << " documents):\n"
+                      << terrain.to_ascii();
+          }
+          break;
+        }
+        case Mode::kBatch: {
+          const auto results = session.run_batch(batch);
+          if (print) {
+            for (std::size_t i = 0; i < results.size(); ++i) {
+              std::cout << "-- query " << i << " --\n";
+              if (results[i].kind == query::Query::Kind::kClusterSummary) {
+                print_summary(results[i].summary);
+              } else {
+                print_hits("documents most similar to doc " +
+                               std::to_string(batch[i].doc_id),
+                           results[i].hits);
+              }
+            }
+            std::cout << results.size() << " queries answered in one batched sweep\n";
+          }
+          break;
+        }
+      }
+    });
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "sva_query: " << e.what() << "\n";
+    return 1;
+  }
+}
