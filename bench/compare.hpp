@@ -17,10 +17,12 @@
 //     more than --throughput-tolerance (default 10%: host wall clock is
 //     noisy on shared runners);
 //   * the host-time micros' wall metrics (micro_ga primitives,
-//     micro_query serving planes: best_s per primitive/config) may not
+//     micro_query serving planes, micro_serve daemon planes: best_s and
+//     the p50_s/p95_s latency quantiles per primitive/config) may not
 //     rise more than --wall-tolerance (default 10%) — series entries are
 //     matched by (primitive, config) key, so reordering or adding
-//     configs never misattributes a regression.
+//     configs never misattributes a regression; p99_s drift is reported
+//     informationally only.
 //
 // Benchmarks present only in the current run are new and ignored; a
 // benchmark that disappears from the current run fails.
@@ -40,7 +42,8 @@ struct CompareOptions {
   double throughput_tolerance = 0.10;
   /// Allowed fractional regression of modeled_s fields.
   double modeled_tolerance = 0.0;
-  /// Allowed fractional rise of micro_ga wall metrics (best_s).
+  /// Allowed fractional rise of the host-time micros' wall metrics
+  /// (best_s, p50_s, p95_s).
   double wall_tolerance = 0.10;
   /// Downgrade checksum changes to informational (for runs that are
   /// expected to change the engine's products).

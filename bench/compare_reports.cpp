@@ -26,8 +26,9 @@ void print_usage() {
       "  --throughput-tolerance F  allowed fractional wall-throughput drop\n"
       "                            (micro_text *_mb_s; default 0.10)\n"
       "  --modeled-tolerance F     allowed fractional modeled_s rise (default 0)\n"
-      "  --wall-tolerance F        allowed fractional micro_ga best_s rise\n"
-      "                            (matched by primitive+config; default 0.10)\n"
+      "  --wall-tolerance F        allowed fractional rise of the host-time\n"
+      "                            micros' best_s/p50_s/p95_s (matched by\n"
+      "                            primitive+config; default 0.10)\n"
       "  --allow-checksum-change   checksum drift is informational, not fatal\n"
       "  --allow-modeled-change    modeled_s rises are informational, not fatal\n"
       "                            (for PRs that re-cost the comm model)\n";

@@ -33,7 +33,12 @@ class SectionedFile {
   [[nodiscard]] const std::vector<std::uint8_t>& section(std::string_view name) const;
 
   /// Serial: writes temp-then-rename under `path` (a kill can never leave
-  /// a half-written artifact under its final name).
+  /// a half-written artifact under its final name).  The temp file is
+  /// PID- and sequence-suffixed (concurrent writers to the same final
+  /// path — threads or processes — cannot clobber each other), fsynced
+  /// before the rename, and unlinked on a failed write; the parent
+  /// directory is fsynced after the rename so the published entry
+  /// survives a crash.
   void write(const std::filesystem::path& path, const char (&magic)[8],
              std::uint64_t version) const;
 

@@ -1,5 +1,10 @@
 #include "sva/engine/section_file.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <utility>
@@ -9,6 +14,55 @@
 #include "sva/util/error.hpp"
 
 namespace sva::engine {
+
+namespace {
+
+/// Opens, fsyncs and closes a directory so a just-renamed entry inside it
+/// survives a crash (rename alone orders nothing on most filesystems).
+void fsync_directory(const std::filesystem::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir opens
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Writes `bytes` to `path` and fsyncs before returning; throws sva::Error
+/// (with the file removed) on any failure, so a partial temp file never
+/// outlives the attempt.
+void write_file_synced(const std::filesystem::path& path,
+                       std::span<const std::uint8_t> bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  require(fd >= 0, "sectioned file: cannot open " + path.string() + ": " +
+                       std::strerror(errno));
+  auto fail = [&](const char* op) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw Error("sectioned file: " + std::string(op) + " failed for " + path.string() +
+                ": " + std::strerror(err));
+  };
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // The data must be on disk before the rename publishes the name: a
+  // crash between rename and writeback would otherwise persist an empty
+  // or truncated artifact under the final path.
+  if (::fsync(fd) != 0) fail("fsync");
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(path.c_str());
+    throw Error("sectioned file: close failed for " + path.string() + ": " +
+                std::strerror(err));
+  }
+}
+
+}  // namespace
 
 void SectionedFile::add(std::string name, std::vector<std::uint8_t> payload) {
   sections_.emplace_back(std::move(name), std::move(payload));
@@ -48,16 +102,34 @@ void SectionedFile::write(const std::filesystem::path& path, const char (&magic)
     out.raw(payload.data(), payload.size());
   }
 
-  if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
-  const std::filesystem::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    require(file.good(), "sectioned file: cannot open " + tmp.string());
-    file.write(reinterpret_cast<const char*>(out.bytes.data()),
-               static_cast<std::streamsize>(out.bytes.size()));
-    require(file.good(), "sectioned file: short write to " + tmp.string());
+  if (path.has_parent_path()) {
+    std::error_code dir_ec;
+    std::filesystem::create_directories(path.parent_path(), dir_ec);
+    if (dir_ec) {
+      throw Error("sectioned file: cannot create parent directory for " + path.string() +
+                  ": " + dir_ec.message());
+    }
   }
-  std::filesystem::rename(tmp, path);
+  // PID- and sequence-suffixed temp name: two exporters racing on the
+  // same final path (threads or processes) each write their own temp
+  // file, and whichever renames last wins with a complete artifact — a
+  // shared ".tmp" would let them clobber each other's half-written
+  // bytes, and a PID alone still collides across threads.
+  static std::atomic<std::uint64_t> write_seq{0};
+  const std::filesystem::path tmp = path.string() + ".tmp." +
+                                    std::to_string(::getpid()) + "." +
+                                    std::to_string(write_seq.fetch_add(1));
+  write_file_synced(tmp, out.bytes);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    ::unlink(tmp.c_str());
+    throw Error("sectioned file: cannot rename " + tmp.string() + " to " + path.string() +
+                ": " + ec.message());
+  }
+  // And the directory entry itself must survive a crash.
+  fsync_directory(path.has_parent_path() ? path.parent_path()
+                                         : std::filesystem::path("."));
 }
 
 SectionedFile SectionedFile::parse(std::span<const std::uint8_t> bytes,

@@ -25,6 +25,8 @@
 // wrappers over the same plane with a one-element batch.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <span>
@@ -102,6 +104,27 @@ struct QueryInputs {
   const std::unordered_map<std::uint64_t, std::size_t>* doc_index = nullptr;
 };
 
+/// Cooperative control of one batched sweep — the serving daemon's
+/// shutdown and overload paths.  The sweep polls collectively at its
+/// phase boundaries (entry, post-probe-exchange, post-scan): when any
+/// rank observes `cancel` set or its steady clock past `deadline`, every
+/// rank abandons the sweep, sets `*cancelled` (if given) and returns an
+/// empty result vector — the world stays healthy for the next sweep.
+/// A default-constructed control is inert and adds no collectives.
+struct BatchControl {
+  /// Cancellation flag shared with the caller (e.g. a shutdown handler).
+  const std::atomic<bool>* cancel = nullptr;
+  /// Abandon the sweep once any rank's steady clock passes this;
+  /// time_point{} (the default) means no deadline.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Set to true on every rank when the sweep stopped early.
+  std::atomic<bool>* cancelled = nullptr;
+
+  [[nodiscard]] bool inert() const {
+    return cancel == nullptr && deadline == std::chrono::steady_clock::time_point{};
+  }
+};
+
 /// Collective: executes the whole batch in one sweep (one probe exchange,
 /// one fused scan, one candidate merge, one summary reduction).  Results
 /// are identical on every rank, bit-identical for any processor count or
@@ -109,6 +132,13 @@ struct QueryInputs {
 /// queries or an unknown doc id.
 std::vector<QueryResult> run_query_batch(ga::Context& ctx, const QueryInputs& inputs,
                                          std::span<const Query> queries);
+
+/// Cancellable/deadline-aware variant: identical results when the sweep
+/// completes; empty results (with `*control.cancelled` set) when it was
+/// abandoned at a phase boundary.
+std::vector<QueryResult> run_query_batch(ga::Context& ctx, const QueryInputs& inputs,
+                                         std::span<const Query> queries,
+                                         const BatchControl& control);
 
 namespace detail {
 /// Collective drill-down core shared by the free functions and Session:
@@ -154,6 +184,11 @@ class Session {
   /// Executes many heterogeneous queries in one collective sweep — the
   /// serving fast path (see run_query_batch).
   [[nodiscard]] std::vector<QueryResult> run_batch(std::span<const Query> queries);
+
+  /// Cancellable/deadline-aware sweep (see BatchControl): empty results
+  /// when the sweep was abandoned.
+  [[nodiscard]] std::vector<QueryResult> run_batch(std::span<const Query> queries,
+                                                   const BatchControl& control);
 
   /// Labels a drill-down's sub-clusters by their strongest signature
   /// dimensions, resolved through the bundle's topic-term vocabulary

@@ -38,10 +38,35 @@ bool closer_rep(const TaggedCandidate& a, const TaggedCandidate& b) {
 
 bool is_similarity(Query::Kind kind) { return kind != Query::Kind::kClusterSummary; }
 
+/// Collective cancellation poll: every rank folds its local view of the
+/// cancel flag / deadline through an allreduce, so all ranks take the
+/// same branch — a rank abandoning a sweep alone would wedge the world.
+bool sweep_abandoned(ga::Context& ctx, const BatchControl& control) {
+  int flag = 0;
+  if (control.cancel != nullptr && control.cancel->load(std::memory_order_acquire)) {
+    flag = 1;
+  }
+  if (control.deadline != std::chrono::steady_clock::time_point{} &&
+      std::chrono::steady_clock::now() >= control.deadline) {
+    flag = 1;
+  }
+  flag = ctx.allreduce_max(flag);
+  if (flag != 0 && control.cancelled != nullptr) {
+    control.cancelled->store(true, std::memory_order_release);
+  }
+  return flag != 0;
+}
+
 }  // namespace
 
-std::vector<QueryResult> run_query_batch(ga::Context& ctx, const QueryInputs& in,
+std::vector<QueryResult> run_query_batch(ga::Context& ctx, const QueryInputs& inputs,
                                          std::span<const Query> queries) {
+  return run_query_batch(ctx, inputs, queries, BatchControl{});
+}
+
+std::vector<QueryResult> run_query_batch(ga::Context& ctx, const QueryInputs& in,
+                                         std::span<const Query> queries,
+                                         const BatchControl& control) {
   require(in.signatures != nullptr, "run_query_batch: signatures are required");
   const sig::SignatureSet& sigs = *in.signatures;
   const std::size_t dim = sigs.dimension;
@@ -72,6 +97,7 @@ std::vector<QueryResult> run_query_batch(ga::Context& ctx, const QueryInputs& in
     }
   }
   if (queries.empty()) return {};
+  if (!control.inert() && sweep_abandoned(ctx, control)) return {};
 
   // ---- one exchange resolves every document probe ----------------------
   // Each rank contributes the signature rows it owns as (slot, row...)
@@ -117,6 +143,7 @@ std::vector<QueryResult> run_query_batch(ga::Context& ctx, const QueryInputs& in
       }
     }
   }
+  if (!control.inert() && sweep_abandoned(ctx, control)) return {};
 
   // ---- one fused per-rank scan ------------------------------------------
   // Probe norms are hoisted (accumulated in the same element order as
@@ -188,6 +215,8 @@ std::vector<QueryResult> run_query_batch(ga::Context& ctx, const QueryInputs& in
           {static_cast<std::uint32_t>(sr.query), 0, sigs.doc_ids[i], d2});
     }
   }
+
+  if (!control.inert() && sweep_abandoned(ctx, control)) return {};
 
   // ---- one merge of every query's local top-k ---------------------------
   std::vector<TaggedCandidate> packed;
@@ -325,6 +354,11 @@ Landscape Session::landscape() {
 
 std::vector<QueryResult> Session::run_batch(std::span<const Query> queries) {
   return run_query_batch(*ctx_, inputs(), queries);
+}
+
+std::vector<QueryResult> Session::run_batch(std::span<const Query> queries,
+                                            const BatchControl& control) {
+  return run_query_batch(*ctx_, inputs(), queries, control);
 }
 
 std::vector<std::vector<std::string>> Session::sub_theme_labels(

@@ -1,0 +1,64 @@
+#include "sva/serve/cache.hpp"
+
+#include <utility>
+
+namespace sva::serve {
+
+std::optional<query::QueryResult> ResultCache::lookup(
+    std::uint64_t digest, const std::vector<std::uint8_t>& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [first, last] = index_.equal_range(digest);
+  for (auto it = first; it != last; ++it) {
+    if (it->second->key != key) continue;  // digest collision: not a hit
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    return it->second->result;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::insert(std::uint64_t digest, std::vector<std::uint8_t> key,
+                         query::QueryResult result) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [first, last] = index_.equal_range(digest);
+  for (auto it = first; it != last; ++it) {
+    if (it->second->key != key) continue;
+    it->second->result = std::move(result);  // refresh an existing entry
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front({digest, std::move(key), std::move(result)});
+  index_.emplace(digest, lru_.begin());
+  while (lru_.size() > capacity_) {
+    const auto& victim = lru_.back();
+    const auto [vfirst, vlast] = index_.equal_range(victim.digest);
+    for (auto it = vfirst; it != vlast; ++it) {
+      if (it->second == std::prev(lru_.end())) {
+        index_.erase(it);
+        break;
+      }
+    }
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+}
+
+void ResultCache::invalidate_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.invalidations += lru_.size();
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace sva::serve

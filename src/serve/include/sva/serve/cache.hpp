@@ -1,0 +1,72 @@
+// Per-session result cache of the serving daemon.
+//
+// Keyed on the FNV-1a digest of a query's canonical byte serialization
+// (protocol.hpp) — the same digest machinery the determinism ledger uses
+// — with the full key bytes stored alongside each entry so a digest
+// collision degrades to a miss, never to a wrong answer.  Entries are
+// evicted LRU once `capacity` is exceeded; invalidate_all() flushes
+// everything when the served bundle is swapped (a cached answer is only
+// valid against the model generation that produced it).
+//
+// Thread-safe: ingress threads look up at admission while the serve loop
+// inserts after each sweep.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sva/query/session.hpp"
+
+namespace sva::serve {
+
+/// Hit/miss/evict counters, snapshot under the cache lock.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;  ///< entries dropped by bundle swaps
+  std::uint64_t entries = 0;        ///< current resident entries
+};
+
+class ResultCache {
+ public:
+  /// `capacity` = max resident entries; 0 disables caching entirely
+  /// (every lookup is a miss, inserts are dropped).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached result for (digest, key) or nullopt; counts a hit
+  /// or miss and refreshes the entry's LRU position on a hit.
+  [[nodiscard]] std::optional<query::QueryResult> lookup(
+      std::uint64_t digest, const std::vector<std::uint8_t>& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entries beyond capacity.
+  void insert(std::uint64_t digest, std::vector<std::uint8_t> key,
+              query::QueryResult result);
+
+  /// Flushes every entry (bundle swap): counts them as invalidations.
+  void invalidate_all();
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::uint64_t digest = 0;
+    std::vector<std::uint8_t> key;
+    query::QueryResult result;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  /// LRU order: front = most recent.  The map indexes list iterators;
+  /// digest collisions chain through the multimap.
+  std::list<Entry> lru_;
+  std::unordered_multimap<std::uint64_t, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace sva::serve

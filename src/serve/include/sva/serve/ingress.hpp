@@ -1,0 +1,114 @@
+// Ingress transports of the serving daemon: how protocol lines reach the
+// Server and responses reach the client.
+//
+//   * SocketIngress — the primary transport: a Unix domain stream socket.
+//     Each accepted connection gets a reader thread; every non-blank
+//     request line yields exactly one response line, in order, so clients
+//     can pipeline.  Concurrency across connections is what the admission
+//     scheduler coalesces into sweeps.
+//
+//   * FileQueueIngress — the fallback for environments without socket
+//     access (or for batch drops): a spool directory polled for `*.req`
+//     files; each is answered with a same-stem `.resp` file written
+//     atomically (temp + rename), then the request is removed.
+//
+// Both transports share process_request_line(), so the grammar and the
+// response shapes cannot drift between them.
+#pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "sva/serve/server.hpp"
+
+namespace sva::serve {
+
+/// Executes one protocol line against `server` and returns the response
+/// line (without a trailing newline).  Returns an empty string for a
+/// blank/comment line (no response is owed).  Sets `*shutdown` when the
+/// line asked the daemon to stop.  Blocks until the answer is known —
+/// callers that want concurrency issue this from several threads.
+std::string process_request_line(Server& server, std::string_view line, bool* shutdown);
+
+/// Renders the daemon's counters as a one-line `ok stats ...` response.
+std::string format_stats(const ServerStats& stats);
+
+/// Unix-domain-socket ingress.  start() binds and listens; stop() wakes
+/// the accept loop, closes every live connection and joins the threads.
+class SocketIngress {
+ public:
+  SocketIngress(Server& server, std::filesystem::path socket_path);
+  ~SocketIngress();
+
+  SocketIngress(const SocketIngress&) = delete;
+  SocketIngress& operator=(const SocketIngress&) = delete;
+
+  /// Binds + listens; throws Error when the address cannot be bound.
+  void start();
+  /// Stops accepting, closes live connections, joins all threads, and
+  /// unlinks the socket path.
+  void stop();
+
+  /// True once a `shutdown` request line has been processed.
+  [[nodiscard]] bool shutdown_requested() const { return shutdown_.load(); }
+  [[nodiscard]] const std::filesystem::path& path() const { return socket_path_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Server& server_;
+  const std::filesystem::path socket_path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_{false};
+  std::thread accept_thread_;
+  std::mutex clients_mutex_;
+  std::vector<int> client_fds_;
+  std::vector<std::thread> client_threads_;
+};
+
+/// File-queue ingress: polls `spool_dir` for `*.req` files.  A request
+/// file holds protocol lines; the daemon claims it by rename (so several
+/// daemons can share a spool), answers every line into `<stem>.resp`
+/// (atomic temp + rename), and removes the claimed request.
+class FileQueueIngress {
+ public:
+  FileQueueIngress(Server& server, std::filesystem::path spool_dir,
+                   std::chrono::milliseconds poll_interval = std::chrono::milliseconds(20));
+  ~FileQueueIngress();
+
+  FileQueueIngress(const FileQueueIngress&) = delete;
+  FileQueueIngress& operator=(const FileQueueIngress&) = delete;
+
+  /// Creates the spool directory (if needed) and starts the poll thread.
+  void start();
+  /// Stops polling and joins.  In-flight request files are finished.
+  void stop();
+
+  [[nodiscard]] bool shutdown_requested() const { return shutdown_.load(); }
+
+ private:
+  void poll_loop();
+  void handle_request_file(const std::filesystem::path& req);
+
+  Server& server_;
+  const std::filesystem::path spool_dir_;
+  const std::chrono::milliseconds poll_interval_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_{false};
+  std::thread poll_thread_;
+};
+
+/// Client helper: connects to `socket_path`, sends every line, and
+/// returns one response line per non-blank request line.  Throws Error on
+/// connect/IO failure or a short response stream.
+std::vector<std::string> client_roundtrip(const std::filesystem::path& socket_path,
+                                          const std::vector<std::string>& lines);
+
+}  // namespace sva::serve

@@ -1,0 +1,74 @@
+// Newline-delimited request protocol of the serving daemon, shared with
+// sva_query's --batch files so one grammar serves both planes.
+//
+// Query lines (strict: unknown verbs, missing fields and trailing
+// garbage are all malformed — nothing is silently ignored):
+//
+//   similar <doc_id> <k>
+//   summary <cluster> [representatives]
+//
+// Control lines (daemon ingress only):
+//
+//   ping                 liveness probe
+//   stats                scheduler/cache counter snapshot
+//   reload <path>        swap the served bundle (invalidates the cache)
+//   shutdown             drain and stop the daemon
+//
+// Blank lines and lines whose first non-space character is '#' are
+// skipped.  Responses are single lines: "ok <payload>" or "error <why>";
+// similarity hits render as doc:similarity pairs with the exact double
+// bits in hex so a cached reply is textually identical to an uncached
+// one iff the answers are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sva/query/session.hpp"
+#include "sva/util/bytes.hpp"
+
+namespace sva::serve {
+
+/// A parsed protocol line.
+struct Request {
+  enum class Kind { kBlank, kQuery, kPing, kStats, kReload, kShutdown };
+  Kind kind = Kind::kBlank;
+  query::Query query;       ///< kQuery
+  std::string reload_path;  ///< kReload
+};
+
+/// Parses one query line (`similar`/`summary` grammar only — the shape
+/// sva_query batch files accept).  Returns nullopt with `error` set on a
+/// malformed line; a blank/comment line parses as kBlank.
+std::optional<Request> parse_query_line(std::string_view line, std::string& error);
+
+/// Parses one ingress line: the query grammar plus the control verbs.
+std::optional<Request> parse_request_line(std::string_view line, std::string& error);
+
+/// Appends the canonical byte serialization of one query — the shape
+/// shared by the result-cache key and the daemon's rank-0 → world
+/// command broadcast.
+void encode_query(ByteWriter& w, const query::Query& q);
+
+/// Inverse of encode_query; throws FormatError on malformed bytes.
+query::Query decode_query(ByteReader& in);
+
+/// Canonical byte serialization of a query — the result-cache key.  Two
+/// queries serialize identically iff they request the same answer.
+std::vector<std::uint8_t> query_key_bytes(const query::Query& q);
+
+/// FNV-1a digest of query_key_bytes (the cache's hash key).
+std::uint64_t query_digest(const query::Query& q);
+
+/// Renders one result as a single deterministic response line ("ok ...").
+/// Doubles are rendered as exact bit patterns, so two renderings compare
+/// equal iff the results are bit-identical.
+std::string format_result(const query::QueryResult& result);
+
+/// Renders an error response line.
+std::string format_error(std::string_view what);
+
+}  // namespace sva::serve

@@ -1,0 +1,90 @@
+// Admission scheduler of the serving daemon: the piece that turns
+// concurrent single queries into Session::run_batch sweeps.
+//
+// Ingress threads submit() individual queries; the serve loop's rank 0
+// blocks in take_batch(), which releases a batch when either
+//
+//   * the pending queue reaches `batch_max` (size trigger: bursty load
+//     rides the batched plane at full width), or
+//   * `deadline` has elapsed since the OLDEST pending admission
+//     (deadline trigger: a lone query never waits longer than the
+//     coalescing window).
+//
+// The scheduler never reorders: batches are admission-ordered prefixes
+// of the queue, so a client's pipelined queries complete in order.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "sva/query/session.hpp"
+
+namespace sva::serve {
+
+/// One admitted query waiting for (or riding) a sweep.
+struct PendingQuery {
+  query::Query query;
+  std::uint64_t digest = 0;             ///< protocol::query_digest
+  std::vector<std::uint8_t> key;        ///< canonical key bytes (cache insert)
+  std::promise<query::QueryResult> promise;
+  std::chrono::steady_clock::time_point admitted{};
+};
+
+/// Counter snapshot; taken under the scheduler lock.
+struct SchedulerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t batches = 0;           ///< batches released to the serve loop
+  std::uint64_t size_flushes = 0;      ///< released because the queue hit batch_max
+  std::uint64_t deadline_flushes = 0;  ///< released because the window expired
+  std::uint64_t drain_flushes = 0;     ///< released while draining for shutdown
+  std::uint64_t max_batch = 0;         ///< largest batch released
+};
+
+class AdmissionScheduler {
+ public:
+  AdmissionScheduler(std::size_t batch_max, std::chrono::microseconds deadline)
+      : batch_max_(batch_max > 0 ? batch_max : 1), deadline_(deadline) {}
+
+  /// Admits one query; returns the future its sweep will complete.
+  /// After stop(), admission fails the promise immediately with
+  /// InvalidArgument("server is shutting down").
+  std::future<query::QueryResult> submit(query::Query q, std::uint64_t digest,
+                                         std::vector<std::uint8_t> key);
+
+  /// Blocks until a batch is ready and returns it (admission order).
+  /// Returns an empty vector when `interrupt` reports true (an external
+  /// command needs the serve loop) or when the scheduler is stopped and
+  /// fully drained — the caller distinguishes via stopped()/pending().
+  std::vector<PendingQuery> take_batch(const std::function<bool()>& interrupt = {});
+
+  /// Stops admission and wakes take_batch so it can drain what remains.
+  void stop();
+
+  /// Wakes a blocked take_batch (external condition changed).
+  void wake();
+
+  [[nodiscard]] bool stopped() const;
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] SchedulerStats stats() const;
+
+ private:
+  /// Pops up to batch_max_ items (caller holds the lock).
+  std::vector<PendingQuery> pop_batch_locked();
+
+  const std::size_t batch_max_;
+  const std::chrono::microseconds deadline_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<PendingQuery> queue_;
+  bool stopped_ = false;
+  SchedulerStats stats_;
+};
+
+}  // namespace sva::serve

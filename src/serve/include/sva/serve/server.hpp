@@ -1,0 +1,166 @@
+// The serving daemon's core: one long-lived SPMD world over one opened
+// Session, fed by the admission scheduler, fronted by the result cache.
+//
+// Lifecycle:
+//
+//   serve::Server server(bundle, options);
+//   server.start();                    // opens the Session, blocks until ready
+//   auto f = server.submit(query);     // from any thread
+//   f.get();                           // completes when its sweep lands
+//   server.stop();                     // drain queued sweeps, then exit
+//   server.join();                     // rethrows a fatal serve-loop error
+//
+// Internally rank 0 of the world owns the ingress side: it blocks in
+// AdmissionScheduler::take_batch, encodes each released batch (or
+// control command) and broadcasts it to the other ranks, so every rank
+// executes the identical Session::run_batch sweep — the daemon pays
+// Session::open once and every burst rides the batched plane.  The
+// result cache is consulted at admission (a hit never enters the
+// scheduler) and filled after each sweep.
+//
+// Queries are validated at admission against the served bundle's
+// metadata (dimension, cluster count, the full doc-id set), so a
+// malformed query fails its own future instead of poisoning a sweep.
+//
+// stop() drains: queued queries still complete.  stop_now() raises the
+// sweep cancel flag — an in-flight sweep is abandoned at its next phase
+// boundary (query::BatchControl) and every unanswered query fails with
+// "server is shutting down".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_set>
+
+#include "sva/ga/comm_model.hpp"
+#include "sva/serve/cache.hpp"
+#include "sva/serve/scheduler.hpp"
+
+namespace sva::serve {
+
+struct ServeOptions {
+  /// SPMD ranks the world serves with.
+  int procs = 2;
+  /// Sweep released as soon as this many queries are pending.
+  std::size_t batch_max = 16;
+  /// ...or once the oldest pending query has waited this long.
+  std::chrono::microseconds batch_deadline{2000};
+  /// Result-cache capacity in entries (0 disables caching).
+  std::size_t cache_capacity = 1024;
+  /// Communication model for the serving world.
+  ga::CommModel model{};
+};
+
+/// Counter snapshot across the daemon's moving parts.
+struct ServerStats {
+  std::uint64_t sweeps = 0;          ///< run_batch sweeps executed
+  std::uint64_t queries_swept = 0;   ///< queries answered by sweeps
+  std::uint64_t rejected = 0;        ///< failed admission validation
+  std::uint64_t reloads = 0;         ///< completed bundle swaps
+  SchedulerStats scheduler;
+  CacheStats cache;
+};
+
+class Server {
+ public:
+  Server(std::filesystem::path bundle_path, ServeOptions options);
+  /// Stops (now) and joins; a pending fatal error is swallowed here —
+  /// call join() first to observe it.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Launches the serving world and blocks until the Session is open and
+  /// admission metadata is ready; rethrows the open failure.
+  void start();
+
+  /// Admits one query: answered from the cache immediately on a hit,
+  /// otherwise scheduled into the next sweep.  The future fails with
+  /// InvalidArgument on a query the served bundle cannot answer.
+  std::future<query::QueryResult> submit(query::Query q);
+
+  /// Swaps the served bundle (collectively re-opens the Session) and
+  /// invalidates the result cache.  The future fails if the new bundle
+  /// does not validate; the old bundle keeps serving in that case.
+  std::future<void> reload(std::filesystem::path new_bundle);
+
+  /// Graceful shutdown: stops admission, drains queued sweeps, exits.
+  void stop();
+
+  /// Urgent shutdown: additionally abandons the in-flight sweep at its
+  /// next phase boundary and fails unanswered queries.
+  void stop_now();
+
+  /// Waits for the serve loop to exit; rethrows its fatal error, if any.
+  void join();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  [[nodiscard]] ServerStats stats() const;
+
+  // Served-bundle metadata (admission validation reads the same values).
+  [[nodiscard]] std::uint64_t num_documents() const;
+  [[nodiscard]] std::size_t num_clusters() const;
+  [[nodiscard]] std::size_t dimension() const;
+
+ private:
+  struct Metadata {
+    std::uint64_t num_documents = 0;
+    std::size_t dimension = 0;
+    std::size_t num_clusters = 0;
+    std::unordered_set<std::uint64_t> doc_ids;
+  };
+  struct ReloadRequest {
+    std::filesystem::path path;
+    std::promise<void> promise;
+  };
+
+  /// The SPMD body every rank runs (rank 0 drives the scheduler).
+  void serve_world(ga::Context& ctx);
+  /// Collective: re-gathers the served bundle's admission metadata
+  /// (rank 0 publishes it under meta_mutex_).
+  void refresh_metadata(ga::Context& ctx, query::Session& session);
+  /// Rank 0: blocks for the next command; returns the encoded blob.
+  std::vector<std::uint8_t> next_command(std::vector<PendingQuery>& batch_out);
+  /// Rank 0: validates `q` against the current metadata; empty string
+  /// when admissible.
+  std::string validate(const query::Query& q) const;
+  /// Fails every query in `batch` with `why`.
+  static void fail_batch(std::vector<PendingQuery>& batch, const std::string& why);
+
+  const std::filesystem::path bundle_path_;
+  const ServeOptions options_;
+
+  AdmissionScheduler scheduler_;
+  ResultCache cache_;
+
+  mutable std::mutex meta_mutex_;
+  Metadata meta_;
+
+  std::mutex control_mutex_;
+  std::deque<ReloadRequest> reloads_;
+  /// The reload whose collective open is in flight (rank 0 / exit path).
+  std::optional<ReloadRequest> current_reload_;
+
+  std::atomic<bool> cancel_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> sweeps_{0};
+  std::atomic<std::uint64_t> queries_swept_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> reload_count_{0};
+
+  std::thread world_thread_;
+  std::promise<void> ready_;
+  bool ready_signalled_ = false;  ///< guarded by meta_mutex_
+  std::exception_ptr run_error_;  ///< guarded by meta_mutex_
+  bool joined_ = false;
+};
+
+}  // namespace sva::serve

@@ -1,0 +1,333 @@
+#include "sva/serve/ingress.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sva/serve/protocol.hpp"
+#include "sva/util/error.hpp"
+
+namespace sva::serve {
+
+namespace {
+
+/// EINTR-safe full write of `text` to `fd`; returns false on error.
+bool write_all(int fd, std::string_view text) {
+  const char* p = text.data();
+  std::size_t left = text.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+sockaddr_un make_unix_addr(const std::filesystem::path& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string s = path.string();
+  require(s.size() < sizeof(addr.sun_path),
+          "unix socket path too long: " + s);
+  std::memcpy(addr.sun_path, s.c_str(), s.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+std::string format_stats(const ServerStats& s) {
+  std::string out = "ok stats";
+  const auto kv = [&out](const char* key, std::uint64_t v) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += std::to_string(v);
+  };
+  kv("sweeps", s.sweeps);
+  kv("queries_swept", s.queries_swept);
+  kv("rejected", s.rejected);
+  kv("reloads", s.reloads);
+  kv("submitted", s.scheduler.submitted);
+  kv("batches", s.scheduler.batches);
+  kv("size_flushes", s.scheduler.size_flushes);
+  kv("deadline_flushes", s.scheduler.deadline_flushes);
+  kv("max_batch", s.scheduler.max_batch);
+  kv("cache_hits", s.cache.hits);
+  kv("cache_misses", s.cache.misses);
+  kv("cache_evictions", s.cache.evictions);
+  kv("cache_invalidations", s.cache.invalidations);
+  kv("cache_entries", s.cache.entries);
+  return out;
+}
+
+std::string process_request_line(Server& server, std::string_view line, bool* shutdown) {
+  std::string error;
+  const auto request = parse_request_line(line, error);
+  if (!request.has_value()) return format_error(error);
+
+  switch (request->kind) {
+    case Request::Kind::kBlank:
+      return {};
+    case Request::Kind::kPing:
+      return "ok pong";
+    case Request::Kind::kStats:
+      return format_stats(server.stats());
+    case Request::Kind::kShutdown:
+      if (shutdown != nullptr) *shutdown = true;
+      server.stop();
+      return "ok shutting-down";
+    case Request::Kind::kReload:
+      try {
+        server.reload(request->reload_path).get();
+        return "ok reloaded";
+      } catch (const std::exception& e) {
+        return format_error(e.what());
+      }
+    case Request::Kind::kQuery:
+      try {
+        return format_result(server.submit(request->query).get());
+      } catch (const std::exception& e) {
+        return format_error(e.what());
+      }
+  }
+  return format_error("unreachable request kind");
+}
+
+// ---- SocketIngress -----------------------------------------------------
+
+SocketIngress::SocketIngress(Server& server, std::filesystem::path socket_path)
+    : server_(server), socket_path_(std::move(socket_path)) {}
+
+SocketIngress::~SocketIngress() { stop(); }
+
+void SocketIngress::start() {
+  require(listen_fd_ < 0, "SocketIngress::start: already started");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  require(fd >= 0, "socket(AF_UNIX) failed: " + std::string(std::strerror(errno)));
+  const sockaddr_un addr = make_unix_addr(socket_path_);
+  // A stale socket file from a dead daemon blocks bind; remove it first.
+  std::filesystem::remove(socket_path_);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("bind(" + socket_path_.string() + ") failed: " + std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    std::filesystem::remove(socket_path_);
+    throw Error("listen(" + socket_path_.string() + ") failed: " + std::strerror(err));
+  }
+  listen_fd_ = fd;
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void SocketIngress::stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+  ::shutdown(listen_fd_, SHUT_RDWR);  // wakes the blocked accept
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    threads.swap(client_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::filesystem::remove(socket_path_);
+}
+
+void SocketIngress::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or fatal) — stop() joins us
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    client_fds_.push_back(fd);
+    client_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void SocketIngress::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string_view line(buffer.data() + start, nl - start);
+      start = nl + 1;
+      bool shutdown = false;
+      const std::string response = process_request_line(server_, line, &shutdown);
+      if (shutdown) shutdown_.store(true);
+      if (!response.empty() && !write_all(fd, response + "\n")) {
+        open = false;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+}
+
+// ---- FileQueueIngress --------------------------------------------------
+
+FileQueueIngress::FileQueueIngress(Server& server, std::filesystem::path spool_dir,
+                                   std::chrono::milliseconds poll_interval)
+    : server_(server), spool_dir_(std::move(spool_dir)), poll_interval_(poll_interval) {}
+
+FileQueueIngress::~FileQueueIngress() { stop(); }
+
+void FileQueueIngress::start() {
+  require(!poll_thread_.joinable(), "FileQueueIngress::start: already started");
+  std::filesystem::create_directories(spool_dir_);
+  stopping_.store(false);
+  poll_thread_ = std::thread([this] { poll_loop(); });
+}
+
+void FileQueueIngress::stop() {
+  if (!poll_thread_.joinable()) return;
+  stopping_.store(true);
+  poll_thread_.join();
+}
+
+void FileQueueIngress::poll_loop() {
+  while (!stopping_.load()) {
+    bool worked = false;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(spool_dir_, ec)) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().extension() != ".req") continue;
+      handle_request_file(entry.path());
+      worked = true;
+    }
+    if (!worked) std::this_thread::sleep_for(poll_interval_);
+  }
+}
+
+void FileQueueIngress::handle_request_file(const std::filesystem::path& req) {
+  // Claim by rename: a competing poller loses the race and skips.
+  const std::filesystem::path claimed = req.string() + ".claimed." +
+                                        std::to_string(::getpid());
+  std::error_code ec;
+  std::filesystem::rename(req, claimed, ec);
+  if (ec) return;
+
+  std::string responses;
+  {
+    std::ifstream in(claimed);
+    std::string line;
+    while (std::getline(in, line)) {
+      bool shutdown = false;
+      const std::string response = process_request_line(server_, line, &shutdown);
+      if (shutdown) shutdown_.store(true);
+      if (!response.empty()) {
+        responses += response;
+        responses += '\n';
+      }
+    }
+  }
+
+  // Atomic response drop: the client never observes a half-written file.
+  std::filesystem::path resp = req;
+  resp.replace_extension(".resp");
+  const std::filesystem::path tmp = resp.string() + ".tmp." +
+                                    std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << responses;
+  }
+  std::filesystem::rename(tmp, resp, ec);
+  std::filesystem::remove(claimed, ec);
+}
+
+// ---- client helper -----------------------------------------------------
+
+std::vector<std::string> client_roundtrip(const std::filesystem::path& socket_path,
+                                          const std::vector<std::string>& lines) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  require(fd >= 0, "socket(AF_UNIX) failed: " + std::string(std::strerror(errno)));
+  const sockaddr_un addr = make_unix_addr(socket_path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("connect(" + socket_path.string() + ") failed: " + std::strerror(err));
+  }
+
+  std::string request;
+  std::size_t expected = 0;
+  for (const auto& line : lines) {
+    request += line;
+    request += '\n';
+    // Blank/comment lines get no response; count the ones that do.
+    std::istringstream probe{line};
+    std::string first;
+    if (probe >> first && first[0] != '#') ++expected;
+  }
+  if (!write_all(fd, request)) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("write to daemon failed: " + std::string(std::strerror(err)));
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  std::vector<std::string> responses;
+  std::string buffer;
+  char chunk[4096];
+  while (responses.size() < expected) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      responses.emplace_back(buffer.substr(start, nl - start));
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+  require(responses.size() == expected,
+          "daemon closed the connection early (" + std::to_string(responses.size()) +
+              "/" + std::to_string(expected) + " responses)");
+  return responses;
+}
+
+}  // namespace sva::serve

@@ -1,0 +1,200 @@
+#include "sva/serve/protocol.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "sva/engine/digest.hpp"
+#include "sva/util/bytes.hpp"
+#include "sva/util/parse.hpp"
+
+namespace sva::serve {
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::istringstream in{std::string(line)};
+  std::string token;
+  while (in >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+std::optional<Request> fail(std::string& error, std::string why) {
+  error = std::move(why);
+  return std::nullopt;
+}
+
+std::optional<Request> parse_tokens(const std::vector<std::string>& tokens,
+                                    bool allow_control, std::string& error) {
+  Request req;
+  if (tokens.empty() || tokens[0][0] == '#') {
+    req.kind = Request::Kind::kBlank;
+    return req;
+  }
+  const std::string& verb = tokens[0];
+
+  if (verb == "similar") {
+    // Strict arity: exactly `similar <doc_id> <k>`; trailing garbage on a
+    // line must fail loudly, not silently drop.
+    if (tokens.size() != 3) return fail(error, "expected 'similar <doc_id> <k>'");
+    const auto doc = parse_u64(tokens[1]);
+    const auto k = parse_u64(tokens[2]);
+    if (!doc) return fail(error, "bad doc id '" + tokens[1] + "'");
+    if (!k || *k == 0) return fail(error, "bad top-k '" + tokens[2] + "'");
+    req.kind = Request::Kind::kQuery;
+    req.query = query::Query::similar_doc(*doc, static_cast<std::size_t>(*k));
+    return req;
+  }
+  if (verb == "summary") {
+    if (tokens.size() != 2 && tokens.size() != 3) {
+      return fail(error, "expected 'summary <cluster> [reps]'");
+    }
+    const auto cluster = parse_u64(tokens[1]);
+    if (!cluster || *cluster > static_cast<std::uint64_t>(INT32_MAX)) {
+      return fail(error, "bad cluster id '" + tokens[1] + "'");
+    }
+    std::uint64_t reps = 5;
+    if (tokens.size() == 3) {
+      const auto parsed = parse_u64(tokens[2]);
+      if (!parsed || *parsed == 0) {
+        return fail(error, "bad representatives count '" + tokens[2] + "'");
+      }
+      reps = *parsed;
+    }
+    req.kind = Request::Kind::kQuery;
+    req.query = query::Query::cluster_summary(static_cast<int>(*cluster),
+                                              static_cast<std::size_t>(reps));
+    return req;
+  }
+
+  if (allow_control) {
+    if (verb == "ping" && tokens.size() == 1) {
+      req.kind = Request::Kind::kPing;
+      return req;
+    }
+    if (verb == "stats" && tokens.size() == 1) {
+      req.kind = Request::Kind::kStats;
+      return req;
+    }
+    if (verb == "shutdown" && tokens.size() == 1) {
+      req.kind = Request::Kind::kShutdown;
+      return req;
+    }
+    if (verb == "reload") {
+      if (tokens.size() != 2) return fail(error, "expected 'reload <bundle-path>'");
+      req.kind = Request::Kind::kReload;
+      req.reload_path = tokens[1];
+      return req;
+    }
+  }
+  return fail(error, "unknown query verb '" + verb + "'");
+}
+
+/// Exact double bit pattern in hex — cached and uncached replies compare
+/// textually equal iff the answers are bit-identical.
+void append_f64_bits(std::string& out, double v) {
+  static const char* hex = "0123456789abcdef";
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out += hex[(bits >> shift) & 0xF];
+  }
+}
+
+}  // namespace
+
+std::optional<Request> parse_query_line(std::string_view line, std::string& error) {
+  return parse_tokens(tokenize(line), /*allow_control=*/false, error);
+}
+
+std::optional<Request> parse_request_line(std::string_view line, std::string& error) {
+  return parse_tokens(tokenize(line), /*allow_control=*/true, error);
+}
+
+void encode_query(ByteWriter& w, const query::Query& q) {
+  w.u64(static_cast<std::uint64_t>(q.kind));
+  w.u64(q.k);
+  switch (q.kind) {
+    case query::Query::Kind::kSimilarByProbe:
+      w.u64(q.probe.size());
+      for (const double v : q.probe) w.f64(v);
+      break;
+    case query::Query::Kind::kSimilarByDoc:
+      w.u64(q.doc_id);
+      break;
+    case query::Query::Kind::kClusterSummary:
+      w.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(q.cluster)));
+      break;
+  }
+}
+
+query::Query decode_query(ByteReader& in) {
+  query::Query q;
+  const std::uint64_t kind = in.u64();
+  require_format(kind <= static_cast<std::uint64_t>(query::Query::Kind::kClusterSummary),
+                 "serve protocol: bad query kind");
+  q.kind = static_cast<query::Query::Kind>(kind);
+  q.k = static_cast<std::size_t>(in.u64());
+  switch (q.kind) {
+    case query::Query::Kind::kSimilarByProbe: {
+      const std::uint64_t dim = in.u64();
+      q.probe.resize(static_cast<std::size_t>(dim));
+      for (auto& v : q.probe) v = in.f64();
+      break;
+    }
+    case query::Query::Kind::kSimilarByDoc:
+      q.doc_id = in.u64();
+      break;
+    case query::Query::Kind::kClusterSummary:
+      q.cluster = static_cast<int>(static_cast<std::int64_t>(in.u64()));
+      break;
+  }
+  return q;
+}
+
+std::vector<std::uint8_t> query_key_bytes(const query::Query& q) {
+  ByteWriter w;
+  encode_query(w, q);
+  return std::move(w.bytes);
+}
+
+std::uint64_t query_digest(const query::Query& q) {
+  const auto bytes = query_key_bytes(q);
+  return engine::fnv1a64(bytes.data(), bytes.size());
+}
+
+std::string format_result(const query::QueryResult& result) {
+  std::string out = "ok ";
+  if (result.kind == query::Query::Kind::kClusterSummary) {
+    const auto& s = result.summary;
+    out += "summary cluster=" + std::to_string(s.cluster) +
+           " docs=" + std::to_string(s.size) + " cohesion=";
+    append_f64_bits(out, s.cohesion);
+    out += " theme=";
+    for (std::size_t i = 0; i < s.top_terms.size(); ++i) {
+      if (i > 0) out += '/';
+      out += s.top_terms[i];
+    }
+    out += " reps=";
+    for (std::size_t i = 0; i < s.representatives.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(s.representatives[i]);
+    }
+  } else {
+    out += "similar hits=" + std::to_string(result.hits.size());
+    for (const auto& h : result.hits) {
+      out += ' ' + std::to_string(h.doc_id) + ':';
+      append_f64_bits(out, h.similarity);
+    }
+  }
+  return out;
+}
+
+std::string format_error(std::string_view what) {
+  std::string out = "error ";
+  // Keep the response a single line whatever the exception text held.
+  for (const char c : what) out += (c == '\n' || c == '\r') ? ' ' : c;
+  return out;
+}
+
+}  // namespace sva::serve

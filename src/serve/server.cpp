@@ -1,0 +1,364 @@
+#include "sva/serve/server.hpp"
+
+#include <utility>
+
+#include "sva/engine/bundle.hpp"
+#include "sva/engine/digest.hpp"
+#include "sva/engine/section_file.hpp"
+#include "sva/ga/runtime.hpp"
+#include "sva/serve/protocol.hpp"
+#include "sva/util/bytes.hpp"
+#include "sva/util/error.hpp"
+
+namespace sva::serve {
+
+namespace {
+
+// Serve-loop command opcodes: rank 0 encodes, every rank decodes the
+// same blob, so the world executes the identical collective sequence.
+constexpr std::uint64_t kOpSweep = 0;   ///< count + encoded queries
+constexpr std::uint64_t kOpReload = 1;  ///< bundle path string
+constexpr std::uint64_t kOpExit = 2;
+
+constexpr const char* kShuttingDown = "server is shutting down";
+
+std::vector<std::uint8_t> encode_exit() {
+  ByteWriter w;
+  w.u64(kOpExit);
+  return std::move(w.bytes);
+}
+
+}  // namespace
+
+Server::Server(std::filesystem::path bundle_path, ServeOptions options)
+    : bundle_path_(std::move(bundle_path)),
+      options_(options),
+      scheduler_(options.batch_max, options.batch_deadline),
+      cache_(options.cache_capacity) {}
+
+Server::~Server() {
+  stop_now();
+  if (world_thread_.joinable()) world_thread_.join();
+}
+
+void Server::start() {
+  require(!world_thread_.joinable(), "Server::start: already started");
+  auto ready = ready_.get_future();
+  running_.store(true);  // before the spawn: the thread clears it on exit
+  world_thread_ = std::thread([this] {
+    try {
+      ga::spmd_run(options_.procs, options_.model,
+                   [this](ga::Context& ctx) { serve_world(ctx); });
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(meta_mutex_);
+      run_error_ = std::current_exception();
+    }
+    running_.store(false);
+
+    // The world is gone: everything still queued (or arriving late) must
+    // fail rather than hang its client.
+    std::exception_ptr down;
+    {
+      std::lock_guard<std::mutex> lock(meta_mutex_);
+      down = run_error_ != nullptr
+                 ? run_error_
+                 : std::make_exception_ptr(InvalidArgument(kShuttingDown));
+      if (!ready_signalled_) {
+        ready_signalled_ = true;
+        ready_.set_exception(down);
+      }
+    }
+    scheduler_.stop();
+    for (;;) {
+      auto rest = scheduler_.take_batch();
+      if (rest.empty()) break;
+      for (auto& q : rest) q.promise.set_exception(down);
+    }
+    if (current_reload_.has_value()) {
+      current_reload_->promise.set_exception(down);
+      current_reload_.reset();
+    }
+    std::deque<ReloadRequest> reloads;
+    {
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      reloads.swap(reloads_);
+    }
+    for (auto& r : reloads) r.promise.set_exception(down);
+  });
+  ready.get();  // rethrows a failed Session::open
+}
+
+void Server::serve_world(ga::Context& ctx) {
+  auto session = query::Session::open(ctx, bundle_path_);
+  refresh_metadata(ctx, session);
+  if (ctx.rank() == 0) {
+    std::lock_guard<std::mutex> lock(meta_mutex_);
+    ready_signalled_ = true;
+    ready_.set_value();
+  }
+
+  std::vector<PendingQuery> batch;
+  for (;;) {
+    std::vector<std::uint8_t> command;
+    if (ctx.rank() == 0) {
+      batch.clear();
+      command = next_command(batch);
+    }
+    ga::broadcast_bytes(ctx, command, 0);
+    ByteReader in(command);
+    const std::uint64_t op = in.u64();
+
+    if (op == kOpExit) break;
+
+    if (op == kOpReload) {
+      const std::string path = in.str();
+      try {
+        auto next = query::Session::open(ctx, path);
+        session = std::move(next);
+        refresh_metadata(ctx, session);
+        if (ctx.rank() == 0) {
+          cache_.invalidate_all();
+          reload_count_.fetch_add(1);
+          current_reload_->promise.set_value();
+          current_reload_.reset();
+        }
+      } catch (const ProtocolError&) {
+        throw;  // world aborted — unrecoverable
+      } catch (const Error&) {
+        // Every rank parsed the same broadcast image, so the throw is
+        // symmetric: the old session keeps serving.
+        if (ctx.rank() == 0) {
+          current_reload_->promise.set_exception(std::current_exception());
+          current_reload_.reset();
+        }
+      }
+      continue;
+    }
+
+    // kOpSweep: decode and run the batch collectively.
+    const std::uint64_t count = in.u64();
+    std::vector<query::Query> queries;
+    queries.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) queries.push_back(decode_query(in));
+
+    query::BatchControl control;
+    control.cancel = &cancel_;
+    std::vector<query::QueryResult> results;
+    std::string sweep_error;
+    try {
+      results = session.run_batch(queries, control);
+    } catch (const ProtocolError&) {
+      throw;
+    } catch (const Error& e) {
+      // Validation throws are symmetric (identical queries on every
+      // rank); admission filtering makes them rare, not impossible.
+      sweep_error = e.what();
+    }
+
+    if (ctx.rank() == 0) {
+      sweeps_.fetch_add(1);
+      if (!sweep_error.empty()) {
+        fail_batch(batch, sweep_error);
+      } else if (results.size() != queries.size()) {
+        fail_batch(batch, kShuttingDown);  // sweep abandoned mid-flight
+      } else {
+        queries_swept_.fetch_add(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          cache_.insert(batch[i].digest, batch[i].key, results[i]);
+          batch[i].promise.set_value(std::move(results[i]));
+        }
+      }
+      batch.clear();
+    }
+  }
+}
+
+std::vector<std::uint8_t> Server::next_command(std::vector<PendingQuery>& batch_out) {
+  for (;;) {
+    // Control commands outrank queued queries.
+    std::optional<ReloadRequest> reload;
+    {
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      if (!reloads_.empty()) {
+        reload.emplace(std::move(reloads_.front()));
+        reloads_.pop_front();
+      }
+    }
+    if (reload.has_value()) {
+      try {
+        // Serial pre-validation on rank 0: a missing or corrupt file must
+        // fail this request, not strand the other ranks mid-broadcast.
+        (void)engine::SectionedFile::read(reload->path, engine::kBundleMagic,
+                                          engine::kBundleFormatVersion, "bundle");
+      } catch (...) {
+        reload->promise.set_exception(std::current_exception());
+        continue;
+      }
+      ByteWriter w;
+      w.u64(kOpReload);
+      w.str(reload->path.string());
+      current_reload_ = std::move(reload);
+      return std::move(w.bytes);
+    }
+
+    if (cancel_.load()) {
+      // Urgent shutdown: fail everything still queued instead of
+      // sweeping it.
+      scheduler_.stop();
+      for (;;) {
+        auto rest = scheduler_.take_batch();
+        if (rest.empty()) break;
+        fail_batch(rest, kShuttingDown);
+      }
+      return encode_exit();
+    }
+
+    auto batch = scheduler_.take_batch([this] {
+      if (cancel_.load()) return true;
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      return !reloads_.empty();
+    });
+    if (!batch.empty()) {
+      ByteWriter w;
+      w.u64(kOpSweep);
+      w.u64(batch.size());
+      for (const auto& q : batch) encode_query(w, q.query);
+      batch_out = std::move(batch);
+      return std::move(w.bytes);
+    }
+    if (scheduler_.stopped() && scheduler_.pending() == 0 && !cancel_.load()) {
+      return encode_exit();  // graceful drain complete
+    }
+    // Interrupted for a control command — loop and pick it up.
+  }
+}
+
+std::string Server::validate(const query::Query& q) const {
+  std::lock_guard<std::mutex> lock(meta_mutex_);
+  if (q.k < 1) return "query: k must be >= 1";
+  switch (q.kind) {
+    case query::Query::Kind::kSimilarByProbe:
+      if (q.probe.size() != meta_.dimension) {
+        return "query: probe dimension mismatch (bundle dimension is " +
+               std::to_string(meta_.dimension) + ", got " +
+               std::to_string(q.probe.size()) + ")";
+      }
+      break;
+    case query::Query::Kind::kSimilarByDoc:
+      if (meta_.doc_ids.find(q.doc_id) == meta_.doc_ids.end()) {
+        return "query: unknown doc id " + std::to_string(q.doc_id);
+      }
+      break;
+    case query::Query::Kind::kClusterSummary:
+      if (q.cluster < 0 ||
+          static_cast<std::size_t>(q.cluster) >= meta_.num_clusters) {
+        return "query: cluster " + std::to_string(q.cluster) +
+               " out of range (bundle has " + std::to_string(meta_.num_clusters) +
+               " clusters)";
+      }
+      break;
+  }
+  return {};
+}
+
+void Server::fail_batch(std::vector<PendingQuery>& batch, const std::string& why) {
+  for (auto& q : batch) {
+    q.promise.set_exception(std::make_exception_ptr(InvalidArgument(why)));
+  }
+  batch.clear();
+}
+
+std::future<query::QueryResult> Server::submit(query::Query q) {
+  const std::string why = validate(q);
+  if (!why.empty()) {
+    rejected_.fetch_add(1);
+    std::promise<query::QueryResult> p;
+    p.set_exception(std::make_exception_ptr(InvalidArgument(why)));
+    return p.get_future();
+  }
+  auto key = query_key_bytes(q);
+  const std::uint64_t digest = engine::fnv1a64(key.data(), key.size());
+  if (auto hit = cache_.lookup(digest, key)) {
+    std::promise<query::QueryResult> p;
+    p.set_value(std::move(*hit));
+    return p.get_future();
+  }
+  return scheduler_.submit(std::move(q), digest, std::move(key));
+}
+
+std::future<void> Server::reload(std::filesystem::path new_bundle) {
+  ReloadRequest request;
+  request.path = std::move(new_bundle);
+  auto future = request.promise.get_future();
+  if (!running_.load()) {
+    request.promise.set_exception(
+        std::make_exception_ptr(InvalidArgument(kShuttingDown)));
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    reloads_.push_back(std::move(request));
+  }
+  scheduler_.wake();
+  return future;
+}
+
+void Server::stop() {
+  scheduler_.stop();
+}
+
+void Server::stop_now() {
+  cancel_.store(true);
+  scheduler_.stop();
+}
+
+void Server::join() {
+  if (world_thread_.joinable()) world_thread_.join();
+  std::lock_guard<std::mutex> lock(meta_mutex_);
+  if (run_error_ != nullptr && !joined_) {
+    joined_ = true;
+    std::rethrow_exception(run_error_);
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.sweeps = sweeps_.load();
+  out.queries_swept = queries_swept_.load();
+  out.rejected = rejected_.load();
+  out.reloads = reload_count_.load();
+  out.scheduler = scheduler_.stats();
+  out.cache = cache_.stats();
+  return out;
+}
+
+std::uint64_t Server::num_documents() const {
+  std::lock_guard<std::mutex> lock(meta_mutex_);
+  return meta_.num_documents;
+}
+
+std::size_t Server::num_clusters() const {
+  std::lock_guard<std::mutex> lock(meta_mutex_);
+  return meta_.num_clusters;
+}
+
+std::size_t Server::dimension() const {
+  std::lock_guard<std::mutex> lock(meta_mutex_);
+  return meta_.dimension;
+}
+
+void Server::refresh_metadata(ga::Context& ctx, query::Session& session) {
+  const auto& local_ids = session.bundle().signatures.doc_ids;
+  const auto all_ids =
+      ctx.allgatherv(std::span<const std::uint64_t>(local_ids));
+  if (ctx.rank() == 0) {
+    std::lock_guard<std::mutex> lock(meta_mutex_);
+    meta_.num_documents = session.num_documents();
+    meta_.dimension = session.dimension();
+    meta_.num_clusters = session.num_clusters();
+    meta_.doc_ids.clear();
+    meta_.doc_ids.insert(all_ids.begin(), all_ids.end());
+  }
+}
+
+}  // namespace sva::serve

@@ -1,0 +1,23 @@
+// Strict numeric parsing shared by the CLI tools (sva_pipeline,
+// sva_query, sva_serve) and the serving request protocol.
+//
+// `std::strtoull` alone is a trap for user-facing flags: it silently
+// wraps negative input ("-5" parses as 18446744073709551611) and leaves
+// overflow detectable only through errno, which callers forget to reset
+// and check.  parse_u64 rejects both, plus empty input, leading
+// whitespace/signs, and trailing garbage — a flag value either parses
+// exactly or it does not parse at all.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace sva {
+
+/// Parses a non-negative base-10 integer strictly: the whole of `text`
+/// must be digits, with no sign, whitespace, prefix, or trailing bytes,
+/// and the value must fit in 64 bits.  Returns nullopt otherwise.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+}  // namespace sva

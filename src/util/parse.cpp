@@ -1,0 +1,19 @@
+#include "sva/util/parse.hpp"
+
+namespace sva {
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // Hand-rolled instead of strtoull: no errno protocol to get wrong, and
+  // a leading '-' (which strtoull accepts and wraps) is just a non-digit.
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;  // would overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace sva

@@ -219,6 +219,54 @@ TEST(CompareTest, MicroQueryWallWithinToleranceIsNoise) {
   EXPECT_FALSE(out.failed());
 }
 
+json::Value micro_serve_doc(double p50_s, double p95_s, double p99_s,
+                            double cached_elapsed_s) {
+  json::Value doc = json::Value::object();
+  doc["name"] = "micro_serve";
+  json::Value series = json::Value::array();
+  json::Value gated = json::Value::object();
+  gated["primitive"] = "coalesced";
+  gated["config"] = "P=2 C=8 Q=64";
+  gated["best_s"] = 2.0e-3;
+  gated["p50_s"] = p50_s;
+  gated["p95_s"] = p95_s;
+  gated["p99_s"] = p99_s;
+  series.push_back(std::move(gated));
+  // The cache plane deliberately reports elapsed_s instead of best_s:
+  // a few map lookups' wall time is scheduler jitter, not serving cost.
+  json::Value cached = json::Value::object();
+  cached["primitive"] = "cached";
+  cached["config"] = "P=2 C=8 Q=64";
+  cached["elapsed_s"] = cached_elapsed_s;
+  series.push_back(std::move(cached));
+  json::Value data = json::Value::object();
+  data["series"] = std::move(series);
+  doc["data"] = std::move(data);
+  return doc;
+}
+
+TEST(CompareTest, MicroServeLatencyQuantileRiseBeyondToleranceFails) {
+  CompareResult out;
+  compare_report_documents("micro_serve", micro_serve_doc(1.0e-3, 2.0e-3, 3.0e-3, 1.0e-4),
+                           micro_serve_doc(1.3e-3, 2.0e-3, 3.0e-3, 1.0e-4), {}, out);
+  EXPECT_TRUE(out.failed());
+}
+
+TEST(CompareTest, MicroServeP99RiseIsInformationalOnly) {
+  CompareResult out;
+  compare_report_documents("micro_serve", micro_serve_doc(1.0e-3, 2.0e-3, 3.0e-3, 1.0e-4),
+                           micro_serve_doc(1.0e-3, 2.0e-3, 9.0e-3, 1.0e-4), {}, out);
+  EXPECT_FALSE(out.failed());
+  EXPECT_FALSE(out.findings.empty());  // the tail drift is still noted
+}
+
+TEST(CompareTest, MicroServeCachedPlaneElapsedIsNotGated) {
+  CompareResult out;
+  compare_report_documents("micro_serve", micro_serve_doc(1.0e-3, 2.0e-3, 3.0e-3, 1.0e-4),
+                           micro_serve_doc(1.0e-3, 2.0e-3, 3.0e-3, 9.0e-4), {}, out);
+  EXPECT_FALSE(out.failed());
+}
+
 TEST(CompareTest, ModeledRegressionDowngradesWhenAllowed) {
   CompareResult out;
   CompareOptions options;

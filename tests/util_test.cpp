@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "sva/util/error.hpp"
+#include "sva/util/parse.hpp"
 #include "sva/util/rng.hpp"
 #include "sva/util/stringutil.hpp"
 #include "sva/util/table.hpp"
@@ -29,6 +30,40 @@ TEST(ErrorTest, HierarchyIsCatchableAsError) {
   } catch (const Error& e) {
     EXPECT_STREQ(e.what(), "p");
   }
+}
+
+// ---- parse ------------------------------------------------------------------
+
+TEST(ParseU64Test, AcceptsPlainDigits) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64("007"), 7u);
+  // Exactly UINT64_MAX is the last representable value.
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ull);
+}
+
+TEST(ParseU64Test, RejectsSignsWhitespaceAndEmpty) {
+  // strtoull accepted all of these (negation wraps, whitespace skips).
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_FALSE(parse_u64("+1").has_value());
+  EXPECT_FALSE(parse_u64(" 1").has_value());
+  EXPECT_FALSE(parse_u64("1 ").has_value());
+  EXPECT_FALSE(parse_u64("").has_value());
+}
+
+TEST(ParseU64Test, RejectsNonDigitsAndMixed) {
+  EXPECT_FALSE(parse_u64("abc").has_value());
+  EXPECT_FALSE(parse_u64("12a").has_value());
+  EXPECT_FALSE(parse_u64("a12").has_value());
+  EXPECT_FALSE(parse_u64("1.5").has_value());
+  EXPECT_FALSE(parse_u64("0x10").has_value());
+}
+
+TEST(ParseU64Test, RejectsOverflow) {
+  // One past UINT64_MAX — strtoull reported ERANGE, which was ignored.
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());
+  EXPECT_FALSE(parse_u64("99999999999999999999").has_value());
+  EXPECT_FALSE(parse_u64("184467440737095516150").has_value());
 }
 
 // ---- stringutil -------------------------------------------------------------

@@ -12,6 +12,7 @@
 // checksum printed at the end is byte-identical for any shard count,
 // processor count, or resume point — that is the contract the test
 // suite enforces.
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -25,6 +26,7 @@
 #include "sva/engine/digest.hpp"
 #include "sva/engine/engine.hpp"
 #include "sva/util/error.hpp"
+#include "sva/util/parse.hpp"
 
 namespace {
 
@@ -55,14 +57,16 @@ void print_usage() {
       "  --export-bundle FILE   export a serving model bundle (open with sva_query)\n";
 }
 
+/// Strict flag-value parser (shared sva::parse_u64): rejects signs,
+/// non-digits, and overflow instead of silently wrapping them.
 std::uint64_t parse_u64(const std::string& arg, const char* flag) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(arg.c_str(), &end, 10);
-  if (end != arg.c_str() + arg.size() || arg.empty()) {
-    std::cerr << "sva_pipeline: bad value '" << arg << "' for " << flag << "\n";
+  const auto v = sva::parse_u64(arg);
+  if (!v.has_value()) {
+    std::cerr << "sva_pipeline: bad value '" << arg << "' for " << flag
+              << " (expected an unsigned integer within 64 bits)\n";
     std::exit(2);
   }
-  return v;
+  return *v;
 }
 
 }  // namespace
@@ -105,7 +109,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed") {
       seed = parse_u64(next(), "--seed");
     } else if (arg == "--procs") {
-      procs = static_cast<int>(parse_u64(next(), "--procs"));
+      const std::uint64_t v = parse_u64(next(), "--procs");
+      if (v > static_cast<std::uint64_t>(INT32_MAX)) {
+        std::cerr << "sva_pipeline: value for --procs is too large\n";
+        return 2;
+      }
+      procs = static_cast<int>(v);
     } else if (arg == "--shards") {
       options.sharding.num_shards = static_cast<std::size_t>(parse_u64(next(), "--shards"));
     } else if (arg == "--mem-budget-mb") {

@@ -9,12 +9,16 @@
 //   sva_query --bundle corpus.svab --batch queries.txt --procs 4
 //
 // The batch file holds one query per line (the batched plane executes
-// the whole file in one collective sweep):
+// the whole file in one collective sweep).  The grammar is strict —
+// every field is required unless bracketed, anything after the last
+// field is an error, and a malformed line aborts with its file:line:
 //
-//   similar <doc_id> <k>
-//   summary <cluster> [representatives]
+//   similar <doc_id> <k>             exactly two fields
+//   summary <cluster> [reps]         reps defaults to 5
 //
-// Blank lines and lines starting with '#' are ignored.
+// Blank lines and lines whose first field starts with '#' are skipped.
+// The same grammar is served by the sva_serve daemon (serve/protocol).
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -26,7 +30,9 @@
 
 #include "sva/cluster/projection.hpp"
 #include "sva/query/session.hpp"
+#include "sva/serve/protocol.hpp"
 #include "sva/util/error.hpp"
+#include "sva/util/parse.hpp"
 #include "sva/util/table.hpp"
 
 namespace {
@@ -54,17 +60,31 @@ void print_usage() {
       "  --batch FILE        run every query in FILE in one collective sweep\n";
 }
 
+/// Strict flag-value parser: rejects signs, non-digits, and values past
+/// UINT64_MAX (the old strtoull path silently wrapped "-1" and ERANGE).
 std::uint64_t parse_u64(const std::string& arg, const char* flag) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(arg.c_str(), &end, 10);
-  if (end != arg.c_str() + arg.size() || arg.empty()) {
-    std::cerr << "sva_query: bad value '" << arg << "' for " << flag << "\n";
+  const auto v = sva::parse_u64(arg);
+  if (!v.has_value()) {
+    std::cerr << "sva_query: bad value '" << arg << "' for " << flag
+              << " (expected an unsigned integer within 64 bits)\n";
     std::exit(2);
   }
-  return v;
+  return *v;
 }
 
-/// Parses the batch file; exits with a message on malformed lines.
+/// parse_u64 bounded to int range — for flags consumed as int (a value
+/// that survives the 64-bit parse can still not fit an int).
+int parse_int(const std::string& arg, const char* flag) {
+  const std::uint64_t v = parse_u64(arg, flag);
+  if (v > static_cast<std::uint64_t>(INT32_MAX)) {
+    std::cerr << "sva_query: value '" << arg << "' for " << flag << " is too large\n";
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+/// Parses the batch file via the shared protocol grammar; exits with
+/// `path:lineno` on the first malformed line (trailing garbage included).
 std::vector<sva::query::Query> parse_batch_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -76,35 +96,20 @@ std::vector<sva::query::Query> parse_batch_file(const std::string& path) {
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    std::istringstream fields(line);
-    std::string verb;
-    if (!(fields >> verb) || verb[0] == '#') continue;
-    auto bad = [&](const char* why) {
-      std::cerr << "sva_query: " << path << ":" << lineno << ": " << why << ": " << line
-                << "\n";
+    std::string error;
+    const auto request = sva::serve::parse_query_line(line, error);
+    if (!request.has_value()) {
+      std::cerr << "sva_query: " << path << ":" << lineno << ": " << error << ": "
+                << line << "\n";
       std::exit(2);
-    };
-    if (verb == "similar") {
-      std::uint64_t doc = 0;
-      std::size_t k = 10;
-      if (!(fields >> doc >> k)) bad("expected 'similar <doc_id> <k>'");
-      queries.push_back(sva::query::Query::similar_doc(doc, k));
-    } else if (verb == "summary") {
-      int cluster = 0;
-      if (!(fields >> cluster)) bad("expected 'summary <cluster> [reps]'");
-      std::size_t reps = 5;
-      std::string reps_token;
-      if (fields >> reps_token) {
-        char* end = nullptr;
-        reps = static_cast<std::size_t>(std::strtoull(reps_token.c_str(), &end, 10));
-        if (end != reps_token.c_str() + reps_token.size()) {
-          bad("bad representatives count");
-        }
-      }
-      queries.push_back(sva::query::Query::cluster_summary(cluster, reps));
-    } else {
-      bad("unknown query verb");
     }
+    if (request->kind == sva::serve::Request::Kind::kQuery) {
+      queries.push_back(request->query);
+    }
+  }
+  if (in.bad()) {
+    std::cerr << "sva_query: I/O error reading batch file " << path << "\n";
+    std::exit(2);
   }
   if (queries.empty()) {
     std::cerr << "sva_query: batch file " << path << " holds no queries\n";
@@ -165,7 +170,7 @@ int main(int argc, char** argv) {
     if (arg == "--bundle") {
       bundle_path = next();
     } else if (arg == "--procs") {
-      procs = static_cast<int>(parse_u64(next(), "--procs"));
+      procs = parse_int(next(), "--procs");
     } else if (arg == "--info") {
       mode = Mode::kInfo;
     } else if (arg == "--similar-doc") {
@@ -173,10 +178,10 @@ int main(int argc, char** argv) {
       similar_doc = parse_u64(next(), "--similar-doc");
     } else if (arg == "--summary") {
       mode = Mode::kSummary;
-      cluster = static_cast<int>(parse_u64(next(), "--summary"));
+      cluster = parse_int(next(), "--summary");
     } else if (arg == "--drill") {
       mode = Mode::kDrill;
-      cluster = static_cast<int>(parse_u64(next(), "--drill"));
+      cluster = parse_int(next(), "--drill");
     } else if (arg == "--landscape") {
       mode = Mode::kLandscape;
     } else if (arg == "--batch") {

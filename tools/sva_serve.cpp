@@ -1,0 +1,201 @@
+// Long-lived serving daemon: opens one Session over a model bundle and
+// answers protocol lines from a Unix domain socket (or a file-queue
+// spool), coalescing concurrent queries into batched collective sweeps.
+//
+//   sva_serve --bundle corpus.svab --socket /tmp/sva.sock --procs 4
+//   sva_serve --bundle corpus.svab --spool /tmp/sva-spool
+//
+// Talk to it with anything that speaks newline-delimited text:
+//
+//   printf 'similar 42 8\nstats\n' | nc -U /tmp/sva.sock
+//
+// One response line per request line ("ok ..." / "error ..."); see
+// serve/protocol.hpp for the grammar.  `shutdown` (or SIGINT/SIGTERM)
+// drains in-flight queries and exits cleanly.
+//
+// Single-query mode sends one request over the socket of an already
+// running daemon and prints the response — handy for scripting:
+//
+//   sva_serve --socket /tmp/sva.sock --send 'summary 3'
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "sva/serve/ingress.hpp"
+#include "sva/serve/server.hpp"
+#include "sva/util/parse.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "usage: sva_serve --bundle FILE [options]\n"
+      "       sva_serve --socket PATH --send LINE\n"
+      "\n"
+      "  --bundle FILE        model bundle to serve (required for the daemon)\n"
+      "  --procs P            SPMD ranks to serve with (default 2)\n"
+      "  --socket PATH        Unix domain socket to listen on\n"
+      "                       (default <bundle>.sock next to the bundle)\n"
+      "  --spool DIR          also poll DIR for *.req file-queue requests\n"
+      "                       (fallback transport; responses land as *.resp)\n"
+      "\n"
+      "admission scheduler:\n"
+      "  --batch-max N        flush a sweep at N pending queries (default 16)\n"
+      "  --deadline-us U      ...or once the oldest has waited U us (default 2000)\n"
+      "  --cache N            result-cache entries, 0 disables (default 1024)\n"
+      "\n"
+      "client mode:\n"
+      "  --send LINE          send one protocol line to --socket and print\n"
+      "                       the response (requires a running daemon)\n";
+}
+
+std::uint64_t parse_u64(const std::string& arg, const char* flag) {
+  const auto v = sva::parse_u64(arg);
+  if (!v.has_value()) {
+    std::cerr << "sva_serve: bad value '" << arg << "' for " << flag
+              << " (expected an unsigned integer within 64 bits)\n";
+    std::exit(2);
+  }
+  return *v;
+}
+
+// Signal flag: the main loop polls it and turns it into a graceful stop.
+volatile std::sig_atomic_t g_signalled = 0;
+void on_signal(int) { g_signalled = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sva;
+
+  std::string bundle_path;
+  std::string socket_path;
+  std::string spool_dir;
+  std::string send_line;
+  serve::ServeOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "sva_serve: " << arg << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--bundle") {
+      bundle_path = next();
+    } else if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--spool") {
+      spool_dir = next();
+    } else if (arg == "--send") {
+      send_line = next();
+    } else if (arg == "--procs") {
+      const std::uint64_t v = parse_u64(next(), "--procs");
+      if (v < 1 || v > 1024) {
+        std::cerr << "sva_serve: --procs must be in [1, 1024]\n";
+        return 2;
+      }
+      options.procs = static_cast<int>(v);
+    } else if (arg == "--batch-max") {
+      options.batch_max = static_cast<std::size_t>(parse_u64(next(), "--batch-max"));
+      if (options.batch_max < 1) {
+        std::cerr << "sva_serve: --batch-max must be >= 1\n";
+        return 2;
+      }
+    } else if (arg == "--deadline-us") {
+      options.batch_deadline =
+          std::chrono::microseconds(parse_u64(next(), "--deadline-us"));
+    } else if (arg == "--cache") {
+      options.cache_capacity = static_cast<std::size_t>(parse_u64(next(), "--cache"));
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::cerr << "sva_serve: unknown argument " << arg << "\n";
+      print_usage();
+      return 2;
+    }
+  }
+
+  // Client mode: one round trip against a running daemon.
+  if (!send_line.empty()) {
+    if (socket_path.empty()) {
+      std::cerr << "sva_serve: --send needs --socket\n";
+      return 2;
+    }
+    try {
+      const auto responses = serve::client_roundtrip(socket_path, {send_line});
+      for (const auto& r : responses) std::cout << r << "\n";
+      return (responses.empty() || responses[0].rfind("error", 0) == 0) ? 1 : 0;
+    } catch (const std::exception& e) {
+      std::cerr << "sva_serve: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  if (bundle_path.empty()) {
+    std::cerr << "sva_serve: --bundle is required\n";
+    print_usage();
+    return 2;
+  }
+  if (socket_path.empty() && spool_dir.empty()) socket_path = bundle_path + ".sock";
+
+  try {
+    serve::Server server(bundle_path, options);
+    server.start();
+    std::cerr << "sva_serve: serving " << bundle_path << " ("
+              << server.num_documents() << " documents, " << server.num_clusters()
+              << " clusters) with " << options.procs << " ranks\n";
+
+    std::optional<serve::SocketIngress> socket_ingress;
+    if (!socket_path.empty()) {
+      socket_ingress.emplace(server, socket_path);
+      socket_ingress->start();
+      std::cerr << "sva_serve: listening on " << socket_path << "\n";
+    }
+    std::optional<serve::FileQueueIngress> spool_ingress;
+    if (!spool_dir.empty()) {
+      spool_ingress.emplace(server, spool_dir);
+      spool_ingress->start();
+      std::cerr << "sva_serve: polling spool " << spool_dir << "\n";
+    }
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    // Run until a `shutdown` request lands on either transport, a signal
+    // arrives, or the serving world dies.
+    while (server.running()) {
+      if (g_signalled != 0) {
+        std::cerr << "sva_serve: signal received, draining\n";
+        server.stop();
+        break;
+      }
+      if ((socket_ingress && socket_ingress->shutdown_requested()) ||
+          (spool_ingress && spool_ingress->shutdown_requested())) {
+        break;  // `shutdown` already called server.stop()
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    server.join();  // drains; rethrows a fatal world error
+    if (socket_ingress) socket_ingress->stop();
+    if (spool_ingress) spool_ingress->stop();
+
+    const auto stats = server.stats();
+    std::cerr << "sva_serve: served " << stats.scheduler.submitted + stats.cache.hits
+              << " queries (" << stats.queries_swept << " swept in " << stats.sweeps
+              << " sweeps, " << stats.cache.hits << " cache hits)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "sva_serve: " << e.what() << "\n";
+    return 1;
+  }
+}
