@@ -125,6 +125,11 @@ void compare_wall_series(const std::string& bench, const json::Value& baseline,
           {false, bench + ": wall metric '" + key + "' absent from current run"});
       continue;
     }
+    // Entries the producer flagged informational (e.g. micro_ga's
+    // process-backend axis, whose fork + shm staging costs are recorded
+    // for trajectory, not yet gated) report drift without failing.
+    const json::Value* info = base_entry.find("informational");
+    const bool entry_gates = !(info != nullptr && info->is_bool() && info->as_bool());
     // best_s plus the latency quantiles the serving micro reports; all
     // keyed gates, same tolerance.  p99_s never fails the build — the
     // extreme tail is dominated by scheduler jitter on shared runners.
@@ -141,7 +146,8 @@ void compare_wall_series(const std::string& bench, const json::Value& baseline,
       const double rise = rise_fraction(base_metric->as_double(), cur_metric->as_double());
       if (rise > options.wall_tolerance) {
         out.findings.push_back(
-            {wf.gates, bench + ": wall " + wf.field + " for '" + key + "' regressed " +
+            {wf.gates && entry_gates,
+             bench + ": wall " + wf.field + " for '" + key + "' regressed " +
                            format_pct(rise) + " (" +
                            std::to_string(base_metric->as_double()) + "s -> " +
                            std::to_string(cur_metric->as_double()) + "s, tolerance " +

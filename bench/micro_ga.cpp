@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "registry.hpp"
@@ -47,10 +48,15 @@ double best_seconds(int reps, Body&& body) {
 /// closing barrier makes rank 0's stopwatch cover every rank's work);
 /// the first rep additionally absorbs warmup, and only the minimum is
 /// kept — thread spawn/join never pollutes the per-op figures.
+///
+/// Under Backend::kProcess the same trick holds: rank 0 runs on the
+/// calling thread, so `best` (captured by reference) survives the forked
+/// ranks' exits.
 template <typename MakeBody>
-double best_seconds_in_world(int nprocs, int reps, MakeBody&& make) {
+double best_seconds_in_world(const sva::ga::SpmdOptions& world, int reps,
+                             MakeBody&& make) {
   double best = 0.0;
-  spmd_run(nprocs, [&](Context& ctx) {
+  spmd_run(world, [&](Context& ctx) {
     auto body = make(ctx);
     for (int rep = 0; rep < reps; ++rep) {
       ctx.barrier();
@@ -62,6 +68,13 @@ double best_seconds_in_world(int nprocs, int reps, MakeBody&& make) {
     }
   });
   return best;
+}
+
+template <typename MakeBody>
+double best_seconds_in_world(int nprocs, int reps, MakeBody&& make) {
+  sva::ga::SpmdOptions world;
+  world.nprocs = nprocs;
+  return best_seconds_in_world(world, reps, std::forward<MakeBody>(make));
 }
 
 /// Adapter for bodies without per-rank state.
@@ -86,7 +99,7 @@ report::Report run_micro_ga(const BenchOptions& opts) {
   json::Value series = json::Value::array();
 
   auto add = [&](const std::string& primitive, const std::string& config, double seconds,
-                 double ops) {
+                 double ops, bool informational = false) {
     const double per_op_us = ops > 0 ? 1.0e6 * seconds / ops : 0.0;
     table.add_row({primitive, config, sva::Table::num(seconds, 5),
                    sva::Table::num(per_op_us, 3)});
@@ -96,6 +109,10 @@ report::Report run_micro_ga(const BenchOptions& opts) {
     record["best_s"] = seconds;
     record["ops"] = ops;
     record["per_op_us"] = per_op_us;
+    // The compare gate reports but never fails on entries flagged
+    // informational (the process-backend axis: fork + shm staging noise
+    // is a trajectory to watch, not a regression signal yet).
+    if (informational) record["informational"] = true;
     series.push_back(std::move(record));
   };
 
@@ -179,6 +196,44 @@ report::Report run_micro_ga(const BenchOptions& opts) {
     add("fetch_add", "P=" + std::to_string(nprocs), t,
         static_cast<double>(kIncrements) * nprocs);
   }
+
+  // Backend axis: the same barrier and allreduce sweeps under the
+  // multi-process shm transport, keyed by an explicit backend= token so
+  // thread-vs-process costs sit side by side in BENCH_micro_ga.json.
+  // Process entries are informational in the compare gate for now; the
+  // classic thread entries above keep their historical (gated) keys.
+#if defined(__linux__)
+  for (const int nprocs : {2, 4}) {
+    sva::ga::SpmdOptions world;
+    world.nprocs = nprocs;
+    world.backend = sva::ga::Backend::kProcess;
+
+    const double launch = best_seconds(reps, [&] { spmd_run(world, [](Context&) {}); });
+    add("spmd_launch", "P=" + std::to_string(nprocs) + " backend=process", launch, 1.0,
+        /*informational=*/true);
+
+    constexpr int kBarrierIters = 64;
+    const double barrier_t =
+        best_seconds_in_world(world, world_reps, stateless([](Context& ctx) {
+                                for (int i = 0; i < kBarrierIters; ++i) ctx.barrier();
+                              }));
+    add("barrier", "P=" + std::to_string(nprocs) + " backend=process", barrier_t,
+        kBarrierIters, /*informational=*/true);
+
+    constexpr int kReduceIters = 4;
+    constexpr std::size_t kReduceCount = 4096;
+    const double reduce_t = best_seconds_in_world(world, world_reps, [](Context&) {
+      return [v = std::vector<double>(kReduceCount, 1.0)](Context& ctx) mutable {
+        for (int i = 0; i < kReduceIters; ++i) ctx.allreduce_sum(v.data(), v.size());
+      };
+    });
+    add("allreduce_sum",
+        "P=" + std::to_string(nprocs) + " n=" + std::to_string(kReduceCount) +
+            " backend=process x" + std::to_string(kReduceIters),
+        reduce_t, static_cast<double>(kReduceCount) * kReduceIters,
+        /*informational=*/true);
+  }
+#endif
 
   {
     const std::size_t batch = opts.smoke ? 2048 : 8192;

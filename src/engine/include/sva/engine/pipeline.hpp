@@ -103,13 +103,20 @@ struct EngineResult {
 EngineResult run_text_engine(ga::Context& ctx, const corpus::SourceSet& sources,
                              const EngineConfig& config = {});
 
-/// Single-call harness: spawns an SPMD world of `nprocs` ranks, runs the
-/// engine, and returns rank 0's result plus the modeled/wall durations.
+/// Single-call harness: spawns an SPMD world per `options` (rank count,
+/// communication model, transport backend), runs the engine, and returns
+/// rank 0's result plus the modeled/wall durations.
 struct PipelineRun {
   EngineResult result;  ///< rank 0's view (includes gathered outputs)
   double modeled_seconds = 0.0;
   double wall_seconds = 0.0;
 };
+PipelineRun run_pipeline(const ga::SpmdOptions& options, const corpus::SourceSet& sources,
+                         const EngineConfig& config = {});
+
+/// \deprecated Classic harness entry point; prefer
+/// `run_pipeline(ga::SpmdOptions{.nprocs = P, .comm_model = model}, ...)`.
+/// Kept as a thin wrapper (thread backend) for existing call sites.
 PipelineRun run_pipeline(int nprocs, const ga::CommModel& model,
                          const corpus::SourceSet& sources, const EngineConfig& config = {});
 

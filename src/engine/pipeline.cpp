@@ -43,11 +43,11 @@ EngineResult run_text_engine(ga::Context& ctx, const corpus::SourceSet& sources,
                          std::move(projection_state), fold_timings(timer));
 }
 
-PipelineRun run_pipeline(int nprocs, const ga::CommModel& model,
-                         const corpus::SourceSet& sources, const EngineConfig& config) {
+PipelineRun run_pipeline(const ga::SpmdOptions& options, const corpus::SourceSet& sources,
+                         const EngineConfig& config) {
   PipelineRun run;
   auto rank0_result = std::make_shared<EngineResult>();
-  const ga::SpmdResult spmd = ga::spmd_run(nprocs, model, [&](ga::Context& ctx) {
+  const ga::SpmdResult spmd = ga::spmd_run(options, [&](ga::Context& ctx) {
     EngineResult r = run_text_engine(ctx, sources, config);
     if (ctx.rank() == 0) *rank0_result = std::move(r);
   });
@@ -55,6 +55,14 @@ PipelineRun run_pipeline(int nprocs, const ga::CommModel& model,
   run.modeled_seconds = run.result.timings.total();
   run.wall_seconds = spmd.wall_seconds;
   return run;
+}
+
+PipelineRun run_pipeline(int nprocs, const ga::CommModel& model,
+                         const corpus::SourceSet& sources, const EngineConfig& config) {
+  ga::SpmdOptions options;
+  options.nprocs = nprocs;
+  options.comm_model = model;
+  return run_pipeline(options, sources, config);
 }
 
 }  // namespace sva::engine

@@ -1,6 +1,8 @@
 #include "sva/ga/dist_hashmap.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 
 #include "sva/util/rng.hpp"
 
@@ -35,6 +37,12 @@ int DistHashmap::owner_of(std::string_view term) const {
 }
 
 std::int64_t DistHashmap::insert_or_get(Context& ctx, std::string_view term) {
+  if (ctx.backend() == Backend::kProcess) {
+    throw ProtocolError(
+        "DistHashmap::insert_or_get is not available under the process "
+        "backend: a one-sided insert cannot keep the per-rank replicas "
+        "coherent; use the collective insert_batch instead");
+  }
   const int part = owner_of(term);
   auto& p = storage_->partitions[static_cast<std::size_t>(part)];
   const bool remote = part != ctx.rank();
@@ -65,8 +73,92 @@ struct BatchScratch {
 
 }  // namespace
 
+std::int64_t DistHashmap::apply_insert(std::string_view term) {
+  const int part = owner_of(term);
+  auto& p = storage_->partitions[static_cast<std::size_t>(part)];
+  std::lock_guard<std::mutex> lock(p.mutex);
+  if (auto it = p.ids.find(term); it != p.ids.end()) return encode(it->second, part);
+  const auto it =
+      p.ids.emplace(std::string(term), static_cast<std::int64_t>(p.insertion_order.size()))
+          .first;
+  p.insertion_order.push_back(it->first);
+  return encode(it->second, part);
+}
+
+std::vector<std::int64_t> DistHashmap::insert_batch_replicated(
+    Context& ctx, std::span<const std::string_view> terms) {
+  // Every rank serializes its batch (u32 length prefix + bytes per term),
+  // the batches are allgathered, and every rank applies every batch in
+  // rank order.  Replicas stay identical because application order is
+  // deterministic; the requester reads its own IDs while applying its own
+  // section.  Charge the same per-partition RPC accounting as the thread
+  // path (the allgather charges its own collective cost on top).
+  {
+    static thread_local std::vector<std::size_t> bytes_per_part;
+    static thread_local std::vector<std::size_t> count_per_part;
+    const auto nprocs = static_cast<std::size_t>(storage_->nprocs);
+    bytes_per_part.assign(nprocs, 0);
+    count_per_part.assign(nprocs, 0);
+    for (const auto& term : terms) {
+      const auto o = static_cast<std::size_t>(owner_of(term));
+      bytes_per_part[o] += term.size() + sizeof(std::int64_t);
+      ++count_per_part[o];
+    }
+    double cost = 0.0;
+    for (std::size_t part = 0; part < nprocs; ++part) {
+      if (count_per_part[part] == 0) continue;
+      const bool remote = static_cast<int>(part) != ctx.rank();
+      cost += ctx.model().onesided(bytes_per_part[part], remote) +
+              ctx.model().rpc_service * static_cast<double>(count_per_part[part]);
+    }
+    ctx.charge(cost);
+  }
+
+  std::vector<char> payload;
+  {
+    std::size_t total = 0;
+    for (const auto& term : terms) total += sizeof(std::uint32_t) + term.size();
+    payload.reserve(total);
+  }
+  for (const auto& term : terms) {
+    require(term.size() <= UINT32_MAX, "DistHashmap::insert_batch: term too long");
+    const auto len = static_cast<std::uint32_t>(term.size());
+    const char* lp = reinterpret_cast<const char*>(&len);
+    payload.insert(payload.end(), lp, lp + sizeof(len));
+    payload.insert(payload.end(), term.begin(), term.end());
+  }
+
+  const std::vector<std::uint64_t> sizes =
+      ctx.allgather(static_cast<std::uint64_t>(payload.size()));
+  const std::vector<char> all =
+      ctx.allgatherv(std::span<const char>(payload.data(), payload.size()));
+
+  std::vector<std::int64_t> out(terms.size(), -1);
+  std::size_t cursor = 0;
+  for (int r = 0; r < ctx.nprocs(); ++r) {
+    const std::size_t end =
+        cursor + static_cast<std::size_t>(sizes[static_cast<std::size_t>(r)]);
+    require(end <= all.size(), "DistHashmap::insert_batch: corrupt replicated payload");
+    std::size_t i = 0;
+    while (cursor < end) {
+      std::uint32_t len = 0;
+      require(cursor + sizeof(len) <= end, "DistHashmap::insert_batch: corrupt length prefix");
+      std::memcpy(&len, all.data() + cursor, sizeof(len));
+      cursor += sizeof(len);
+      require(cursor + len <= end, "DistHashmap::insert_batch: corrupt term payload");
+      const std::string_view term(all.data() + cursor, len);
+      cursor += len;
+      const std::int64_t id = apply_insert(term);
+      if (r == ctx.rank()) out[i] = id;
+      ++i;
+    }
+  }
+  return out;
+}
+
 std::vector<std::int64_t> DistHashmap::insert_batch(Context& ctx,
                                                     std::span<const std::string_view> terms) {
+  if (ctx.backend() == Backend::kProcess) return insert_batch_replicated(ctx, terms);
   // Group requests by partition so each RPC channel — and each partition
   // lock — is used exactly once per call; this is the aggregation ARMCI
   // encourages and what makes insertion scale.

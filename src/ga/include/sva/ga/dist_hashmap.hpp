@@ -54,6 +54,10 @@ class DistHashmap {
 
   /// Inserts `term` (or looks it up) and returns its provisional global
   /// ID.  One-sided: no cooperation from the owner rank.  Thread-safe.
+  ///
+  /// Thread backend only.  Under Backend::kProcess the map is replicated
+  /// per rank and a one-sided insert cannot keep the replicas coherent;
+  /// this throws ProtocolError there — use the collective insert_batch.
   std::int64_t insert_or_get(Context& ctx, std::string_view term);
 
   /// Batched insert: groups terms by owning partition so each partition's
@@ -61,6 +65,13 @@ class DistHashmap {
   /// aligned with `terms`.  The string_view overload is the scanner's
   /// fast path: callers keep their spellings in a TokenArena and never
   /// materialize per-term std::strings on the requesting side.
+  ///
+  /// Under Backend::kProcess this is a *collective*: every rank must call
+  /// it the same number of times.  The batches are allgathered and applied
+  /// by every rank in rank order, keeping the per-rank replicas identical;
+  /// provisional IDs then differ from the thread backend's
+  /// arrival-order IDs, but finalize() canonicalizes both to the same
+  /// vocabulary, so downstream products stay bit-identical.
   std::vector<std::int64_t> insert_batch(Context& ctx, std::span<const std::string_view> terms);
   std::vector<std::int64_t> insert_batch(Context& ctx,
                                          const std::vector<std::string>& terms);
@@ -104,6 +115,14 @@ class DistHashmap {
   };
 
   explicit DistHashmap(std::shared_ptr<Storage> storage) : storage_(std::move(storage)) {}
+
+  /// Process-backend insert_batch: collective, replica-synchronizing.
+  std::vector<std::int64_t> insert_batch_replicated(
+      Context& ctx, std::span<const std::string_view> terms);
+
+  /// Applies one insert to the local partitions (no charge, no RPC); used
+  /// by the replicated path where every rank applies every rank's batch.
+  std::int64_t apply_insert(std::string_view term);
 
   // Provisional ID encoding: local_index * nprocs + partition.  Unique
   // world-wide without any cross-partition coordination.

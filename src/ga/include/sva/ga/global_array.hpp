@@ -10,15 +10,18 @@
 //   * locality introspection (row_range / local_span) so algorithms can
 //     exploit data locality, as §3.1 of the paper emphasizes.
 //
-// Storage is one contiguous block per rank (block row distribution).  A
-// 2-D array of shape rows×cols is stored row-major and distributed by
-// rows; a 1-D array is the cols == 1 case.  Physical access goes through a
-// per-block mutex; communication costs are charged to the calling rank's
+// Storage is one contiguous block per rank (block row distribution), laid
+// out in a single transport-shared region (Context::create_shared_region):
+// a per-rank WorldMutex lock table followed by the cache-line-aligned
+// block payloads.  Under the thread backend the region is one in-process
+// allocation; under the process backend it is a POSIX shm segment mapped
+// by every rank, which is what makes the one-sided operations genuinely
+// one-sided across address spaces.  Physical access goes through the
+// per-block lock; communication costs are charged to the calling rank's
 // virtual clock based on locality (see comm_model.hpp).
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -39,25 +42,52 @@ class GlobalArray {
   /// Collective: creates a rows×cols array block-distributed by rows.
   static GlobalArray create(Context& ctx, std::size_t rows, std::size_t cols = 1) {
     require(cols >= 1, "GlobalArray: cols must be >= 1");
-    auto storage = ctx.collective_create<Storage>([&]() -> std::shared_ptr<Storage> {
-      auto s = std::make_shared<Storage>();
-      s->rows = rows;
-      s->cols = cols;
-      const int nprocs = ctx.nprocs();
-      // Sized construction default-constructs in place; Block holds a
-      // mutex and is neither copyable nor movable.
-      s->blocks = std::vector<Block>(static_cast<std::size_t>(nprocs));
-      const std::size_t per_rank = (rows + static_cast<std::size_t>(nprocs) - 1) /
-                                   static_cast<std::size_t>(nprocs);
-      for (int r = 0; r < nprocs; ++r) {
-        auto& b = s->blocks[static_cast<std::size_t>(r)];
-        b.row_begin = std::min(rows, static_cast<std::size_t>(r) * per_rank);
-        b.row_end = std::min(rows, b.row_begin + per_rank);
-        b.data.assign((b.row_end - b.row_begin) * cols, T{});
-      }
-      return s;
-    });
-    return GlobalArray(std::move(storage));
+    const int nprocs = ctx.nprocs();
+    const auto np = static_cast<std::size_t>(nprocs);
+    const std::size_t per_rank = (rows + np - 1) / np;
+
+    // Region layout: the per-rank lock table, then every block payload at
+    // cache-line alignment.  Computed identically on every rank.
+    std::size_t offset = align_up(np * sizeof(detail::WorldMutex));
+    std::vector<std::size_t> data_offset(np);
+    std::vector<std::pair<std::size_t, std::size_t>> ranges(np);
+    for (std::size_t r = 0; r < np; ++r) {
+      const std::size_t begin = std::min(rows, r * per_rank);
+      const std::size_t end = std::min(rows, begin + per_rank);
+      ranges[r] = {begin, end};
+      data_offset[r] = offset;
+      offset += align_up((end - begin) * cols * sizeof(T));
+    }
+
+    auto region = ctx.create_shared_region(offset);
+    auto s = std::make_shared<Storage>();
+    s->rows = rows;
+    s->cols = cols;
+    s->lock_env = ctx.lock_env();
+    s->region = std::move(region);
+    auto* base = static_cast<std::uint8_t*>(s->region.get());
+    s->blocks.resize(np);
+    for (std::size_t r = 0; r < np; ++r) {
+      Block& b = s->blocks[r];
+      b.row_begin = ranges[r].first;
+      b.row_end = ranges[r].second;
+      b.count = (b.row_end - b.row_begin) * cols;
+      b.data = reinterpret_cast<T*>(base + data_offset[r]);
+      b.mutex = reinterpret_cast<detail::WorldMutex*>(
+          base + static_cast<std::size_t>(r) * sizeof(detail::WorldMutex));
+    }
+    // Each rank brings its own cells to life (the region is zero-filled,
+    // but T{} need not be all-zero-bytes, and the lock wants a formal
+    // lifetime); the barriers publish them — two rounds, same modeled
+    // cost as the historical collective_create path.
+    {
+      Block& mine = s->blocks[static_cast<std::size_t>(ctx.rank())];
+      new (mine.mutex) detail::WorldMutex();
+      std::uninitialized_fill_n(mine.data, mine.count, T{});
+    }
+    ctx.barrier();
+    ctx.barrier();
+    return GlobalArray(std::move(s));
   }
 
   [[nodiscard]] std::size_t rows() const { return storage_->rows; }
@@ -86,7 +116,7 @@ class GlobalArray {
   /// elements; pipeline phases are barrier-separated so this holds.
   [[nodiscard]] std::span<T> local_span(Context& ctx) {
     auto& b = storage_->blocks[static_cast<std::size_t>(ctx.rank())];
-    return {b.data.data(), b.data.size()};
+    return {b.data, b.count};
   }
 
   [[nodiscard]] std::pair<std::size_t, std::size_t> local_row_range(Context& ctx) const {
@@ -97,8 +127,8 @@ class GlobalArray {
   void get(Context& ctx, std::size_t offset, std::span<T> out) const {
     traverse(ctx, offset, out.size(), [&](Block& b, std::size_t block_off,
                                           std::size_t count, std::size_t cursor) {
-      std::lock_guard<std::mutex> lock(b.mutex);
-      std::copy_n(b.data.data() + block_off, count, out.data() + cursor);
+      detail::WorldLock lock(*b.mutex, storage_->lock_env);
+      std::copy_n(b.data + block_off, count, out.data() + cursor);
     });
   }
 
@@ -106,8 +136,8 @@ class GlobalArray {
   void put(Context& ctx, std::size_t offset, std::span<const T> data) {
     traverse(ctx, offset, data.size(), [&](Block& b, std::size_t block_off,
                                            std::size_t count, std::size_t cursor) {
-      std::lock_guard<std::mutex> lock(b.mutex);
-      std::copy_n(data.data() + cursor, count, b.data.data() + block_off);
+      detail::WorldLock lock(*b.mutex, storage_->lock_env);
+      std::copy_n(data.data() + cursor, count, b.data + block_off);
     });
   }
 
@@ -115,7 +145,7 @@ class GlobalArray {
   void accumulate(Context& ctx, std::size_t offset, std::span<const T> data) {
     traverse(ctx, offset, data.size(), [&](Block& b, std::size_t block_off,
                                            std::size_t count, std::size_t cursor) {
-      std::lock_guard<std::mutex> lock(b.mutex);
+      detail::WorldLock lock(*b.mutex, storage_->lock_env);
       for (std::size_t i = 0; i < count; ++i) b.data[block_off + i] += data[cursor + i];
     });
   }
@@ -178,7 +208,7 @@ class GlobalArray {
     auto& b = storage_->blocks[static_cast<std::size_t>(owner)];
     const std::size_t block_off = index - b.row_begin * storage_->cols;
     ctx.charge(ctx.model().atomic_rmw(owner != ctx.rank()));
-    std::lock_guard<std::mutex> lock(b.mutex);
+    detail::WorldLock lock(*b.mutex, storage_->lock_env);
     const T prev = b.data[block_off];
     b.data[block_off] = prev + delta;
     return prev;
@@ -211,17 +241,26 @@ class GlobalArray {
   }
 
  private:
+  /// Per-rank view of one block: pointers into the shared region, local to
+  /// this rank's mapping (never shipped across ranks).
   struct Block {
     std::size_t row_begin = 0;
     std::size_t row_end = 0;
-    std::vector<T> data;
-    std::mutex mutex;
+    std::size_t count = 0;  ///< elements, (row_end - row_begin) * cols
+    T* data = nullptr;
+    detail::WorldMutex* mutex = nullptr;
   };
   struct Storage {
     std::size_t rows = 0;
     std::size_t cols = 0;
+    detail::LockEnv lock_env{};
+    std::shared_ptr<void> region;
     std::vector<Block> blocks;
   };
+
+  static constexpr std::size_t align_up(std::size_t n) {
+    return (n + detail::kCacheLine - 1) / detail::kCacheLine * detail::kCacheLine;
+  }
 
   explicit GlobalArray(std::shared_ptr<Storage> storage) : storage_(std::move(storage)) {}
 
@@ -282,7 +321,7 @@ class GlobalArray {
         ctx.charge(ctx.model().onesided(bytes, remote));
       }
       const std::size_t block_first = b.row_begin * storage_->cols;
-      std::lock_guard<std::mutex> lock(b.mutex);
+      detail::WorldLock lock(*b.mutex, storage_->lock_env);
       for (std::size_t p = owner_begin[o]; p < owner_begin[o + 1]; ++p) {
         const std::size_t i = positions[p];
         fn(b, i, indices[i] - block_first);

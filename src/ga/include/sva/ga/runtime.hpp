@@ -1,24 +1,30 @@
 // SPMD runtime: the Global-Arrays-style substrate the paper's engine runs
-// on.  `spmd_run(P, model, fn)` launches P ranks (one thread each), every
-// rank executes `fn(Context&)`, and the runtime provides:
+// on.  `spmd_run(SpmdOptions{...}, fn)` launches P ranks, every rank
+// executes `fn(Context&)`, and the runtime provides:
 //
 //   * collectives — barrier, broadcast, reduce/allreduce, gather(v),
 //     allgather(v), exclusive scan — with LogGP-modeled costs;
 //   * virtual time — per-rank clocks combining measured thread-CPU compute
 //     with modeled communication (see comm_model.hpp);
 //   * collective object creation — the hook GlobalArray / DistHashmap /
-//     task queues use to materialize shared state.
+//     task queues use to materialize shared state;
+//   * pluggable transports — SpmdOptions::backend selects threads in one
+//     address space (default) or forked processes over POSIX shared
+//     memory (see transport.hpp); Context::backend() lets shared
+//     containers adapt without engine code caring.
 //
 // Protocol: like MPI/GA, all ranks must issue collectives in the same
 // order.  If any rank throws, the runtime aborts the remaining ranks at
 // their next synchronization point and rethrows the first exception from
-// spmd_run.
+// spmd_run (under the process backend, peer failures surface as a
+// ProtocolError carrying the first rank's diagnostic; a killed rank is
+// detected and reported as "rank N died" instead of hanging the world).
 //
 // Host fast path (see README "GA substrate performance"): synchronization
 // is an epoch-counting sense-reversing barrier — one atomic arrival per
 // rank, the last arriver folds the virtual clocks and releases the epoch;
 // waiters spin briefly, then park on the epoch word (futex).  Collectives
-// that can stage their payload in World-owned scratch complete in a
+// that can stage their payload in transport-owned scratch complete in a
 // single arrival round; zero-copy paths add one departure fence so caller
 // buffers stay readable until every peer is done.  Allreduce combines
 // partitioned: each rank reduces only its contiguous element block (in
@@ -27,7 +33,6 @@
 #pragma once
 
 #include <algorithm>
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
@@ -38,9 +43,11 @@
 #include <span>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sva/ga/comm_model.hpp"
+#include "sva/ga/transport.hpp"
 #include "sva/util/error.hpp"
 #include "sva/util/timer.hpp"
 
@@ -48,139 +55,29 @@ namespace sva::ga {
 
 class Context;
 
-namespace detail {
-
-inline constexpr std::size_t kCacheLine = 64;
-
-/// Spin budget before parking: on an oversubscribed host (more ranks than
-/// cores) spinning only steals cycles from the rank being waited for, so
-/// the barrier parks immediately.
-int default_spin_iters(int nprocs);
-
-/// Central epoch-counting (sense-reversing) barrier with abort support.
-/// One `fetch_add` per arrival; the last arriver runs a callback while it
-/// exclusively owns the round, then releases everyone by bumping the
-/// epoch word and waking parked waiters.  Counter and epoch live on
-/// separate cache lines so arrivals don't bounce the waiters' line.
-class SpinBarrier {
- public:
-  SpinBarrier(int nprocs, int spin_iters) : nprocs_(nprocs), spin_iters_(spin_iters) {}
-
-  /// Arrives at the current round; the last rank runs `on_last()` before
-  /// any waiter is released.  Throws ProtocolError if the world has been
-  /// aborted (some rank threw).
-  template <typename OnLast>
-  void arrive(const std::atomic<bool>& aborted, OnLast&& on_last) {
-    // Pre-abort this load is exact under coherence: the epoch cannot
-    // advance without this rank's arrival, and this rank already observed
-    // the value released by the previous round.  The acquire matters for
-    // the abort race: if this load sees an abort_wakeup bump, it
-    // synchronizes with that release, making the aborted flag (stored
-    // before the bump) visible to the re-check below — without it a rank
-    // could capture the post-abort epoch yet read a stale aborted=false,
-    // then park on a futex nobody will ever notify again.
-    const std::uint32_t epoch = epoch_.value.load(std::memory_order_acquire);
-    throw_if_aborted(aborted);
-    if (arrived_.value.fetch_add(1, std::memory_order_acq_rel) == nprocs_ - 1) {
-      arrived_.value.store(0, std::memory_order_relaxed);
-      on_last();
-      // fetch_add, not store: an abort_wakeup bump racing with the round's
-      // release must never be overwritten, or parked peers sleep forever.
-      epoch_.value.fetch_add(1, std::memory_order_release);
-      epoch_.value.notify_all();
-    } else {
-      wait_for_epoch(epoch, aborted);
-    }
-    throw_if_aborted(aborted);
-  }
-
-  void arrive(const std::atomic<bool>& aborted) {
-    arrive(aborted, [] {});
-  }
-
-  /// Wakes all waiters (parked or spinning) so they can observe the abort
-  /// flag.  Call only after setting the flag.
-  void abort_wakeup();
-
- private:
-  static void throw_if_aborted(const std::atomic<bool>& aborted);
-  void wait_for_epoch(std::uint32_t epoch, const std::atomic<bool>& aborted) const;
-
-  struct alignas(kCacheLine) PaddedEpoch {
-    std::atomic<std::uint32_t> value{0};
-  };
-  struct alignas(kCacheLine) PaddedCount {
-    std::atomic<int> value{0};
-  };
-  PaddedEpoch epoch_;
-  PaddedCount arrived_;
-  int nprocs_;
-  int spin_iters_;
-};
-
-/// Publication slot for one rank's collective contribution.  Padded so
-/// concurrent publishes never share a cache line.
-struct alignas(kCacheLine) ExSlot {
-  const void* ptr = nullptr;
-  std::size_t bytes = 0;
-  /// Payload was staged into World scratch (stable storage): readers need
-  /// no departure fence before the contributor reuses its own buffer.
-  bool copied = false;
-};
-
-/// Reusable per-rank payload staging buffer (padded vector header).
-struct alignas(kCacheLine) Scratch {
-  std::vector<std::uint8_t> buf;
-};
-
-/// Per-rank virtual clock slot, folded to a max by each round's last
-/// arriver.
-struct alignas(kCacheLine) ClockSlot {
-  double v = 0.0;
-};
-
-}  // namespace detail
-
 /// Shared state of one SPMD world.  Users never construct this directly;
 /// it is owned by spmd_run and surfaced through Context.
 class World {
  public:
-  World(int nprocs, CommModel model);
+  explicit World(const SpmdOptions& options);
 
   [[nodiscard]] int nprocs() const { return nprocs_; }
   [[nodiscard]] const CommModel& model() const { return model_; }
+  [[nodiscard]] Transport& transport() { return *transport_; }
+  [[nodiscard]] const Transport& transport() const { return *transport_; }
 
-  // Internal state below: accessed by Context and the spmd_run launcher.
+  // Internal state below: accessed by Context and the spmd_run launchers.
   // Not part of the public API surface.
   int nprocs_;
   CommModel model_;
-  detail::SpinBarrier barrier_;
-  std::atomic<bool> aborted_{false};
+  std::unique_ptr<Transport> transport_;
 
-  // Publication slots and staging scratch for collectives, double-buffered
-  // by data-round parity: a one-round collective's readers of parity p are
-  // provably done before parity p is written again (the next arrival round
-  // sits in between), so no departure fence is needed on the copy path.
-  std::array<std::vector<detail::ExSlot>, 2> slots_;
-  std::array<std::vector<detail::Scratch>, 2> scratch_;
-  // Generic exchange keeps the historical consume(vector<const void*>)
-  // signature; these mirror slots_[par][r].ptr for that path only.
-  std::array<std::vector<const void*>, 2> ptrs_;
-
-  // Virtual clocks: each rank publishes before arriving; the round's last
-  // arriver folds the max into synced_clock_.
-  std::vector<detail::ClockSlot> clocks_;
-  double synced_clock_ = 0.0;
-
-  // Shared combine target for allreduce (partitioned blocks or the
-  // leader's fold); grows to the high-water payload and is reused.
-  std::vector<std::uint8_t> reduce_buf_;
-
-  // Collective object transfer: rank 0 parks a shared_ptr here between the
-  // two barriers of collective_create.
+  // Collective object transfer (thread backend): rank 0 parks a
+  // shared_ptr here between the two barriers of collective_create.
   std::shared_ptr<void> create_slot_;
 
-  // First exception thrown by any rank.
+  // First exception thrown by any rank (thread backend; the process
+  // backend propagates error text through the transport).
   std::mutex error_mutex_;
   std::exception_ptr first_error_;
 };
@@ -197,6 +94,20 @@ class Context {
   [[nodiscard]] int nprocs() const { return world_.nprocs(); }
   [[nodiscard]] const CommModel& model() const { return world_.model(); }
   [[nodiscard]] World& world() { return world_; }
+
+  /// Which transport carries this world — lets shared containers pick a
+  /// strategy (e.g. replicated vs shared-pointer state) while engine code
+  /// stays transport-agnostic.
+  [[nodiscard]] Backend backend() const { return world_.transport().backend(); }
+
+  /// True once any rank has failed the world; pollable from wait loops.
+  [[nodiscard]] bool world_aborted() const { return world_.transport().aborted(); }
+
+  /// Parking/abort parameters for WorldMutex-protected shared state.
+  [[nodiscard]] detail::LockEnv lock_env() const {
+    return detail::LockEnv{backend() == Backend::kProcess,
+                           world_.transport().abort_word()};
+  }
 
   // ---- virtual time ------------------------------------------------------
 
@@ -231,7 +142,9 @@ class Context {
   /// Generic exchange: publish `mine`, run `consume(slots)` with every
   /// rank's pointer visible, then resynchronize.  `consume` runs on every
   /// rank between the arrival round and the departure fence.  `comm_cost`
-  /// is added to each clock after max-synchronization.
+  /// is added to each clock after max-synchronization.  Thread backend
+  /// only: raw pointers cannot cross address spaces, so the process
+  /// backend throws ProtocolError (use the typed collectives instead).
   void exchange(const void* mine, double comm_cost,
                 const std::function<void(const std::vector<const void*>&)>& consume);
 
@@ -295,15 +208,29 @@ class Context {
 
   // ---- collective object creation -------------------------------------
 
-  /// All ranks call this with the same factory; rank 0 runs it, everyone
-  /// returns the same shared_ptr.  Used by GlobalArray et al.
+  /// All ranks call this with the same factory.  Thread backend: rank 0
+  /// runs it and everyone returns the same shared_ptr.  Process backend:
+  /// every rank runs the factory and keeps its own replica (a shared_ptr
+  /// cannot cross address spaces), so the factory must be deterministic
+  /// and must not itself issue collectives — hoist collective sub-steps
+  /// (GlobalArray::create, create_shared_region, ...) before the call, as
+  /// the task-queue factories do.
   template <typename T>
   std::shared_ptr<T> collective_create(const std::function<std::shared_ptr<T>()>& factory);
+
+  /// Collective: zero-filled memory of `bytes` shared by every rank (one
+  /// allocation for threads, a shm segment mapped per rank for
+  /// processes).  Synchronizes internally without a modeled charge.
+  /// Store offsets or rank-local pointers inside the region, never
+  /// absolute pointers.
+  [[nodiscard]] std::shared_ptr<void> create_shared_region(std::size_t bytes) {
+    return world_.transport().create_region(rank_, bytes);
+  }
 
  private:
   // ---- round engine ----------------------------------------------------
   // Every collective is built from at most two arrival rounds on the
-  // world barrier.  sync_round publishes this rank's clock and lets the
+  // transport.  sync_round publishes this rank's clock and lets the
   // round's last arriver fold the max (plus run `on_last` while it owns
   // the round); fence_round is an arrival-only departure fence for
   // zero-copy payloads.  finish_round applies the post-round clock:
@@ -312,18 +239,15 @@ class Context {
 
   template <typename OnLast>
   void sync_round(OnLast&& on_last) {
-    world_.clocks_[static_cast<std::size_t>(rank_)].v = vtime_;
-    world_.barrier_.arrive(world_.aborted_, [&] {
-      double mx = 0.0;
-      for (const auto& c : world_.clocks_) mx = std::max(mx, c.v);
-      world_.synced_clock_ = mx;
-      on_last();
-    });
+    using Fn = std::remove_reference_t<OnLast>;
+    synced_clock_ = world_.transport().sync(
+        rank_, vtime_, [](void* arg) { (*static_cast<Fn*>(arg))(); },
+        const_cast<void*>(static_cast<const void*>(&on_last)));
   }
   void sync_round() {
-    sync_round([] {});
+    synced_clock_ = world_.transport().sync(rank_, vtime_, nullptr, nullptr);
   }
-  void fence_round() { world_.barrier_.arrive(world_.aborted_); }
+  void fence_round() { world_.transport().fence(rank_); }
   void finish_round(double extra_cost);
 
   /// Flips the slot/scratch parity; every rank executes the same
@@ -331,22 +255,10 @@ class Context {
   std::uint32_t next_parity() { return static_cast<std::uint32_t>(data_round_++ & 1U); }
 
   /// Publishes this rank's contribution for the current data round,
-  /// staging it into World scratch when `copy` is set (the scratch only
-  /// ever grows: steady-state collectives allocate nothing).
-  detail::ExSlot& publish(std::uint32_t parity, const void* ptr, std::size_t bytes,
-                          bool copy) {
-    auto& slot = world_.slots_[parity][static_cast<std::size_t>(rank_)];
-    if (copy && bytes > 0) {
-      auto& buf = world_.scratch_[parity][static_cast<std::size_t>(rank_)].buf;
-      if (buf.size() < bytes) buf.resize(bytes);
-      std::memcpy(buf.data(), ptr, bytes);
-      slot.ptr = buf.data();
-    } else {
-      slot.ptr = ptr;
-    }
-    slot.bytes = bytes;
-    slot.copied = copy || bytes == 0;
-    return slot;
+  /// staging it into transport scratch when `copy` is set (the scratch
+  /// only ever grows: steady-state collectives allocate nothing).
+  void publish(std::uint32_t parity, const void* ptr, std::size_t bytes, bool copy) {
+    world_.transport().publish(parity, rank_, ptr, bytes, copy);
   }
 
   /// Contiguous element block [begin, end) combined by `rank` in the
@@ -365,6 +277,7 @@ class Context {
   int rank_;
   double vtime_ = 0.0;
   double cpu_mark_;
+  double synced_clock_ = 0.0;
   std::uint64_t data_round_ = 0;
 };
 
@@ -375,13 +288,21 @@ struct SpmdResult {
   double wall_seconds = 0.0;           ///< actual host wall-clock
 };
 
-/// Launches `nprocs` ranks executing `fn`.  Rethrows the first rank
-/// exception.  `nprocs` may exceed the hardware concurrency; ranks are
-/// plain threads and the virtual-time model keeps timing meaningful.
+/// Launches `options.nprocs` ranks executing `fn` on the selected
+/// transport backend.  Rethrows the first rank exception.  `nprocs` may
+/// exceed the hardware concurrency; the virtual-time model keeps timing
+/// meaningful.
+SpmdResult spmd_run(const SpmdOptions& options, const std::function<void(Context&)>& fn);
+
+/// \deprecated Classic entry point; prefer
+/// `spmd_run(SpmdOptions{.nprocs = P, .comm_model = model}, fn)`.  Kept
+/// as a thin wrapper (thread backend) so existing call sites compile
+/// unmodified; see the README migration table.
 SpmdResult spmd_run(int nprocs, const CommModel& model,
                     const std::function<void(Context&)>& fn);
 
-/// Convenience overload with the default cluster model.
+/// \deprecated Classic entry point with the default cluster model; prefer
+/// `spmd_run(SpmdOptions{.nprocs = P}, fn)`.
 SpmdResult spmd_run(int nprocs, const std::function<void(Context&)>& fn);
 
 /// Broadcasts a variable-length byte buffer from `root`: the size first,
@@ -409,8 +330,8 @@ void Context::broadcast(T* data, std::size_t count, int root) {
   if (rank_ == root) publish(par, data, bytes, staged);
   sync_round();
   if (rank_ != root) {
-    const T* src =
-        static_cast<const T*>(world_.slots_[par][static_cast<std::size_t>(root)].ptr);
+    const T* src = static_cast<const T*>(
+        world_.transport().peers(par)[static_cast<std::size_t>(root)].ptr);
     std::copy(src, src + count, data);
   }
   if (!staged) fence_round();  // root's buffer may be reused after return
@@ -425,15 +346,16 @@ void Context::allreduce(T* data, std::size_t count, Op op) {
   const double cost = model().allreduce(nprocs(), bytes);
   const int np = nprocs();
   const std::uint32_t par = next_parity();
-  auto& slots = world_.slots_[par];
+  Transport& tp = world_.transport();
+  const detail::PeerSlot* slots = tp.peers(par);
   if (bytes <= model().host_leader_max_bytes || np == 1) {
     // Leader combines: the round's last arriver folds every contribution
-    // (rank order per element) into reduce_buf_; one round, and the
-    // staged copies make the contributions outlive the fold.
+    // (rank order per element) into the shared combine buffer; one round,
+    // and the staged copies make the contributions outlive the fold.
     publish(par, data, bytes, /*copy=*/true);
     sync_round([&] {
-      if (world_.reduce_buf_.size() < bytes) world_.reduce_buf_.resize(bytes);
-      T* acc = reinterpret_cast<T*>(world_.reduce_buf_.data());
+      tp.ensure_reduce_capacity(bytes);
+      T* acc = static_cast<T*>(tp.reduce_base());
       const T* first = static_cast<const T*>(slots[0].ptr);
       std::copy(first, first + count, acc);
       for (int r = 1; r < np; ++r) {
@@ -441,21 +363,20 @@ void Context::allreduce(T* data, std::size_t count, Op op) {
         for (std::size_t i = 0; i < count; ++i) acc[i] = op(acc[i], src[i]);
       }
     });
-    const T* acc = reinterpret_cast<const T*>(world_.reduce_buf_.data());
+    const T* acc = static_cast<const T*>(tp.reduce_base());
     std::copy(acc, acc + count, data);
   } else {
     // Partitioned combining (reduce-scatter + allgather): contributions
-    // stay zero-copy in the callers' buffers; each rank folds only its
+    // stay zero-copy in the callers' buffers (the process backend stages
+    // them in the shared mapping instead); each rank folds only its
     // contiguous element block — same rank order per element, so results
     // are bit-identical to the leader path — then a departure fence
     // protects the source buffers and everyone copies the assembled
     // result out.
     publish(par, data, bytes, /*copy=*/false);
-    sync_round([&] {
-      if (world_.reduce_buf_.size() < bytes) world_.reduce_buf_.resize(bytes);
-    });
+    sync_round([&] { tp.ensure_reduce_capacity(bytes); });
     const auto [eb, ee] = element_block(count, rank_, np);
-    T* acc = reinterpret_cast<T*>(world_.reduce_buf_.data());
+    T* acc = static_cast<T*>(tp.reduce_base());
     const T* first = static_cast<const T*>(slots[0].ptr);
     for (std::size_t i = eb; i < ee; ++i) {
       T v = first[i];
@@ -479,7 +400,7 @@ std::vector<T> Context::allgather(const T& value) {
   const std::uint32_t par = next_parity();
   publish(par, &value, sizeof(T), /*copy=*/true);
   sync_round();
-  const auto& slots = world_.slots_[par];
+  const detail::PeerSlot* slots = world_.transport().peers(par);
   for (int r = 0; r < nprocs(); ++r) {
     out[static_cast<std::size_t>(r)] =
         *static_cast<const T*>(slots[static_cast<std::size_t>(r)].ptr);
@@ -499,7 +420,7 @@ std::vector<T> Context::allgatherv(std::span<const T> mine) {
   // the published `copied` flags — the decision needs no extra round.
   publish(par, mine.data(), my_bytes, my_bytes <= model().host_vstage_max_bytes);
   sync_round();
-  const auto& slots = world_.slots_[par];
+  const detail::PeerSlot* slots = world_.transport().peers(par);
   std::size_t total = 0;
   bool any_raw = false;
   for (int r = 0; r < nprocs(); ++r) {
@@ -533,7 +454,7 @@ std::vector<T> Context::gatherv(std::span<const T> mine, int root) {
   const std::uint32_t par = next_parity();
   publish(par, mine.data(), my_bytes, my_bytes <= model().host_vstage_max_bytes);
   sync_round();
-  const auto& slots = world_.slots_[par];
+  const detail::PeerSlot* slots = world_.transport().peers(par);
   std::size_t total = 0;
   bool any_raw = false;
   for (int r = 0; r < nprocs(); ++r) {
@@ -566,7 +487,7 @@ T Context::exscan_sum(const T& value) {
   const std::uint32_t par = next_parity();
   publish(par, &value, sizeof(T), /*copy=*/true);
   sync_round();
-  const auto& slots = world_.slots_[par];
+  const detail::PeerSlot* slots = world_.transport().peers(par);
   T acc{};
   for (int r = 0; r < rank_; ++r) {
     acc = acc + *static_cast<const T*>(slots[static_cast<std::size_t>(r)].ptr);
@@ -578,6 +499,15 @@ T Context::exscan_sum(const T& value) {
 template <typename T>
 std::shared_ptr<T> Context::collective_create(
     const std::function<std::shared_ptr<T>()>& factory) {
+  if (backend() == Backend::kProcess) {
+    // Disjoint address spaces: every rank materializes its own replica
+    // from the (deterministic) factory.  Same two rounds as the thread
+    // path so modeled time stays aligned across backends.
+    std::shared_ptr<T> result = factory();
+    barrier();
+    barrier();
+    return result;
+  }
   std::shared_ptr<T> result;
   if (rank_ == 0) {
     result = factory();

@@ -9,10 +9,8 @@
 // the same interface so the indexing code is strategy-agnostic.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -42,11 +40,17 @@ struct TaskChunk {
 /// Protocol: every rank of the world must call next() until it returns
 /// nullopt (the standard drain loop); a rank that abandons the queue
 /// early would stall peers with larger virtual times.
+///
+/// The per-rank claim cells live in a transport-shared region, so one
+/// gate orders claims under either backend: ranks publish their (state,
+/// vtime) cell lock-free and park on a generation futex word until the
+/// grant condition holds.
 class ClaimGate {
  public:
-  explicit ClaimGate(int nprocs)
-      : state_(static_cast<std::size_t>(nprocs), State::kUnseen),
-        vtime_(static_cast<std::size_t>(nprocs), 0.0) {}
+  /// Collective: allocates the claim cells in a shared region.  The cells
+  /// are zero-init-valid, so no construction round is needed; every rank
+  /// gets its own (cheap) handle onto the same region.
+  static std::shared_ptr<ClaimGate> create(Context& ctx);
 
   /// Blocks until this rank holds the minimal (vtime, rank) key among
   /// active ranks.  Throws ProtocolError if the world aborts.
@@ -56,14 +60,25 @@ class ClaimGate {
   void finish(Context& ctx);
 
  private:
-  enum class State { kUnseen, kWaiting, kProcessing, kDone };
+  // One cache line per rank; zero bytes == {kUnseen, vtime 0}.  Accessed
+  // only through std::atomic_ref.
+  struct alignas(64) Cell {
+    std::uint32_t state;       // kUnseen / kWaiting / kProcessing / kDone
+    std::uint32_t pad;
+    std::uint64_t vtime_bits;  // bit pattern of the rank's claim vtime
+  };
+  enum : std::uint32_t { kUnseen = 0, kWaiting = 1, kProcessing = 2, kDone = 3 };
 
-  [[nodiscard]] bool may_grant(int rank) const;  // caller holds mutex_
+  ClaimGate(std::shared_ptr<void> region, detail::LockEnv env, int nprocs);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<State> state_;
-  std::vector<double> vtime_;
+  [[nodiscard]] bool may_grant(int rank) const;
+  void bump_generation();
+
+  std::shared_ptr<void> region_;
+  detail::LockEnv env_;
+  int nprocs_;
+  std::uint32_t* generation_ = nullptr;  ///< futex word waiters park on
+  Cell* cells_ = nullptr;
 };
 
 /// Interface for chunk schedulers.  next() claims the next chunk or
@@ -82,10 +97,13 @@ class TaskQueue {
   /// Strategy-specific claim, called with gate ordering already applied.
   virtual std::optional<TaskChunk> claim(Context& ctx) = 0;
 
-  void enable_vtime_order(int nprocs) { gate_ = std::make_unique<ClaimGate>(nprocs); }
+  /// Attaches a gate created collectively (ClaimGate::create) *before*
+  /// the queue's collective_create factory ran — the factory itself must
+  /// not issue collectives (see Context::collective_create).
+  void enable_vtime_order(std::shared_ptr<ClaimGate> gate) { gate_ = std::move(gate); }
 
  private:
-  std::unique_ptr<ClaimGate> gate_;
+  std::shared_ptr<ClaimGate> gate_;
 };
 
 /// Shared-counter queue: one atomic fetch-and-add per claim, hosted in a
@@ -128,15 +146,25 @@ class MasterWorkerQueue : public TaskQueue {
 
   [[nodiscard]] std::size_t num_tasks() const override { return num_tasks_; }
 
-  MasterWorkerQueue(std::size_t num_tasks, std::size_t chunk_size);
+  MasterWorkerQueue(std::size_t num_tasks, std::size_t chunk_size,
+                    std::shared_ptr<void> state_region, detail::LockEnv env);
 
  protected:
   std::optional<TaskChunk> claim(Context& ctx) override;
 
  private:
-  std::mutex mutex_;
-  std::size_t next_task_ = 0;
-  double master_busy_until_ = 0.0;  ///< master's virtual clock for queue service
+  /// The master's serial service state, in a transport-shared region so
+  /// the bottleneck clock is one value under either backend.  Zero bytes
+  /// are the valid initial state (implicit-lifetime aggregate).
+  struct SharedState {
+    detail::WorldMutex mutex;
+    std::uint64_t next_task;
+    double busy_until;  ///< master's virtual clock for queue service
+  };
+
+  std::shared_ptr<void> region_;
+  detail::LockEnv env_;
+  SharedState* state_ = nullptr;
   std::size_t num_tasks_;
   std::size_t chunk_size_;
 };

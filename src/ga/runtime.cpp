@@ -4,70 +4,15 @@
 #include <thread>
 
 #include "sva/util/log.hpp"
+#include "transport_impl.hpp"
 
 namespace sva::ga {
 
-namespace detail {
-
-namespace {
-
-inline void cpu_relax() {
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#elif defined(__aarch64__)
-  asm volatile("yield" ::: "memory");
-#else
-  std::atomic_signal_fence(std::memory_order_seq_cst);
-#endif
-}
-
-}  // namespace
-
-int default_spin_iters(int nprocs) {
-  const unsigned hw = std::thread::hardware_concurrency();
-  if (hw != 0 && static_cast<unsigned>(nprocs) > hw) return 0;
-  return 4096;
-}
-
-void SpinBarrier::throw_if_aborted(const std::atomic<bool>& aborted) {
-  if (aborted.load(std::memory_order_acquire)) {
-    throw ProtocolError("SPMD world aborted by a peer rank");
-  }
-}
-
-void SpinBarrier::wait_for_epoch(std::uint32_t epoch,
-                                 const std::atomic<bool>& aborted) const {
-  // Fast path: spin on the epoch word (read-only until it changes, so the
-  // line stays shared); bail to the caller on abort.
-  for (int i = 0; i < spin_iters_; ++i) {
-    if (epoch_.value.load(std::memory_order_acquire) != epoch) return;
-    if ((i & 63) == 0 && aborted.load(std::memory_order_acquire)) return;
-    cpu_relax();
-  }
-  // Park: futex wait on the epoch word.  abort_wakeup bumps the epoch, so
-  // an abort always wakes parked waiters.
-  while (epoch_.value.load(std::memory_order_acquire) == epoch) {
-    epoch_.value.wait(epoch, std::memory_order_acquire);
-  }
-}
-
-void SpinBarrier::abort_wakeup() {
-  epoch_.value.fetch_add(1, std::memory_order_release);
-  epoch_.value.notify_all();
-}
-
-}  // namespace detail
-
-World::World(int nprocs, CommModel model)
-    : nprocs_(nprocs),
-      model_(model),
-      barrier_(nprocs, model.host_spin_iters >= 0 ? model.host_spin_iters
-                                                  : detail::default_spin_iters(nprocs)),
-      clocks_(static_cast<std::size_t>(nprocs)) {
-  require(nprocs >= 1, "World: nprocs must be >= 1");
-  for (auto& parity : slots_) parity.resize(static_cast<std::size_t>(nprocs));
-  for (auto& parity : scratch_) parity.resize(static_cast<std::size_t>(nprocs));
-  for (auto& parity : ptrs_) parity.assign(static_cast<std::size_t>(nprocs), nullptr);
+World::World(const SpmdOptions& options)
+    : nprocs_(options.nprocs),
+      model_(options.comm_model),
+      transport_(make_transport(options)) {
+  require(options.nprocs >= 1, "World: nprocs must be >= 1");
 }
 
 Context::Context(World& world, int rank)
@@ -90,7 +35,7 @@ void Context::reset_vtime() {
 }
 
 void Context::finish_round(double extra_cost) {
-  vtime_ = world_.synced_clock_ + extra_cost;
+  vtime_ = synced_clock_ + extra_cost;
   // Compute done inside the exchange window (e.g. local combine work)
   // belongs to the next interval; reset the CPU baseline.
   cpu_mark_ = ThreadCpuTimer::now();
@@ -105,21 +50,38 @@ void Context::barrier() {
 void Context::exchange(const void* mine, double comm_cost,
                        const std::function<void(const std::vector<const void*>&)>& consume) {
   sample_compute();
-  // The generic path publishes through the ptrs_ mirror only (the typed
-  // slots_ of this parity stay untouched); the parity still advances so
-  // ptrs_ reuse follows the same two-rounds-apart rule as slots_.
+  // The generic path publishes through the ptrs mirror only (the typed
+  // slots of this parity stay untouched); the parity still advances so
+  // ptr reuse follows the same two-rounds-apart rule as the slots.
   const std::uint32_t par = next_parity();
-  world_.ptrs_[par][static_cast<std::size_t>(rank_)] = mine;
+  std::vector<const void*>* ptrs = world_.transport().ptr_slots(par);
+  if (ptrs == nullptr) {
+    throw ProtocolError(
+        "Context::exchange requires the thread backend: raw pointers cannot "
+        "cross rank address spaces (use the typed collectives instead)");
+  }
+  (*ptrs)[static_cast<std::size_t>(rank_)] = mine;
   sync_round();
-  consume(world_.ptrs_[par]);
+  consume(*ptrs);
   fence_round();  // caller buffers stay readable until every consume is done
   finish_round(comm_cost);
 }
 
-SpmdResult spmd_run(int nprocs, const CommModel& model,
-                    const std::function<void(Context&)>& fn) {
-  require(nprocs >= 1 && nprocs <= 4096, "spmd_run: nprocs out of range [1, 4096]");
-  World world(nprocs, model);
+namespace {
+
+/// what() of the in-flight exception, for the transport error channel.
+std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+SpmdResult run_thread_world(World& world, const std::function<void(Context&)>& fn) {
+  const int nprocs = world.nprocs();
   SpmdResult result;
   result.rank_vtimes.assign(static_cast<std::size_t>(nprocs), 0.0);
 
@@ -136,8 +98,7 @@ SpmdResult spmd_run(int nprocs, const CommModel& model,
         std::lock_guard<std::mutex> lock(world.error_mutex_);
         if (!world.first_error_) world.first_error_ = std::current_exception();
       }
-      world.aborted_.store(true, std::memory_order_release);
-      world.barrier_.abort_wakeup();
+      world.transport().post_error(describe_current_exception().c_str());
     }
   };
 
@@ -156,8 +117,30 @@ SpmdResult spmd_run(int nprocs, const CommModel& model,
   return result;
 }
 
+}  // namespace
+
+SpmdResult spmd_run(const SpmdOptions& options, const std::function<void(Context&)>& fn) {
+  require(options.nprocs >= 1 && options.nprocs <= 4096,
+          "spmd_run: nprocs out of range [1, 4096]");
+  World world(options);
+  if (options.backend == Backend::kProcess) {
+    return detail::run_process_world(world, fn);
+  }
+  return run_thread_world(world, fn);
+}
+
+SpmdResult spmd_run(int nprocs, const CommModel& model,
+                    const std::function<void(Context&)>& fn) {
+  SpmdOptions options;
+  options.nprocs = nprocs;
+  options.comm_model = model;
+  return spmd_run(options, fn);
+}
+
 SpmdResult spmd_run(int nprocs, const std::function<void(Context&)>& fn) {
-  return spmd_run(nprocs, CommModel{}, fn);
+  SpmdOptions options;
+  options.nprocs = nprocs;
+  return spmd_run(options, fn);
 }
 
 }  // namespace sva::ga

@@ -1,26 +1,59 @@
 #include "sva/ga/task_queue.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <atomic>
+#include <bit>
 
 namespace sva::ga {
 
 // ---- ClaimGate -------------------------------------------------------------
 
+std::shared_ptr<ClaimGate> ClaimGate::create(Context& ctx) {
+  const auto np = static_cast<std::size_t>(ctx.nprocs());
+  // Layout: [generation word, padded to a line][Cell × nprocs].
+  const std::size_t bytes = detail::kCacheLine + np * sizeof(Cell);
+  auto region = ctx.create_shared_region(bytes);
+  return std::shared_ptr<ClaimGate>(
+      new ClaimGate(std::move(region), ctx.lock_env(), ctx.nprocs()));
+}
+
+ClaimGate::ClaimGate(std::shared_ptr<void> region, detail::LockEnv env, int nprocs)
+    : region_(std::move(region)), env_(env), nprocs_(nprocs) {
+  auto* base = static_cast<std::uint8_t*>(region_.get());
+  generation_ = reinterpret_cast<std::uint32_t*>(base);
+  cells_ = reinterpret_cast<Cell*>(base + detail::kCacheLine);
+}
+
+void ClaimGate::bump_generation() {
+  std::atomic_ref<std::uint32_t>(*generation_).fetch_add(1, std::memory_order_release);
+  detail::futex_wake_all_u32(generation_, env_.process_shared);
+}
+
 bool ClaimGate::may_grant(int rank) const {
   const auto r = static_cast<std::size_t>(rank);
-  for (std::size_t s = 0; s < state_.size(); ++s) {
+  const double my_vtime = std::bit_cast<double>(
+      std::atomic_ref<std::uint64_t>(cells_[r].vtime_bits).load(std::memory_order_relaxed));
+  for (std::size_t s = 0; s < static_cast<std::size_t>(nprocs_); ++s) {
     if (s == r) continue;
-    switch (state_[s]) {
-      case State::kUnseen:
+    // Acquire on the state pairs with the release store in enter(): once a
+    // peer reads kWaiting/kProcessing, its vtime_bits are visible.
+    const std::uint32_t st =
+        std::atomic_ref<std::uint32_t>(cells_[s].state).load(std::memory_order_acquire);
+    switch (st) {
+      case kUnseen:
         // s has not reached the queue yet; its first claim could carry any
         // virtual time, so nobody may overtake it.
         return false;
-      case State::kWaiting:
-      case State::kProcessing:
-        if (vtime_[s] < vtime_[r] || (vtime_[s] == vtime_[r] && s < r)) return false;
+      case kWaiting:
+      case kProcessing: {
+        const double v = std::bit_cast<double>(std::atomic_ref<std::uint64_t>(
+                                                   cells_[s].vtime_bits)
+                                                   .load(std::memory_order_relaxed));
+        if (v < my_vtime || (v == my_vtime && s < r)) return false;
         break;
-      case State::kDone:
+      }
+      case kDone:
+      default:
         break;
     }
   }
@@ -29,27 +62,38 @@ bool ClaimGate::may_grant(int rank) const {
 
 void ClaimGate::enter(Context& ctx) {
   const auto r = static_cast<std::size_t>(ctx.rank());
+  Cell& me = cells_[r];
+  std::atomic_ref<std::uint32_t> state(me.state);
+  if (state.load(std::memory_order_relaxed) == kDone) {
+    return;  // post-drain probes skip the gate
+  }
   const double now = ctx.vtime();  // samples compute before blocking
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (state_[r] == State::kDone) return;  // post-drain probes skip the gate
-  state_[r] = State::kWaiting;
-  vtime_[r] = now;
-  cv_.notify_all();
-  while (!may_grant(ctx.rank())) {
-    // Poll the abort flag so a peer's exception cannot strand us here.
-    cv_.wait_for(lock, std::chrono::milliseconds(20));
-    if (ctx.world().aborted_.load()) {
+  std::atomic_ref<std::uint64_t>(me.vtime_bits)
+      .store(std::bit_cast<std::uint64_t>(now), std::memory_order_relaxed);
+  state.store(kWaiting, std::memory_order_release);
+  bump_generation();
+  for (;;) {
+    // Snapshot the generation before scanning, so a peer update between
+    // the scan and the park turns the wait into an immediate retry.
+    const std::uint32_t gen =
+        std::atomic_ref<std::uint32_t>(*generation_).load(std::memory_order_acquire);
+    if (may_grant(ctx.rank())) break;
+    // The timeout doubles as the abort poll: a peer's exception must not
+    // strand us here.
+    detail::futex_wait_u32(generation_, gen, env_.process_shared, 20);
+    if (ctx.world_aborted()) {
       throw ProtocolError("ClaimGate: world aborted while waiting for a claim");
     }
   }
-  state_[r] = State::kProcessing;  // vtime_[r] stays as the lower bound
+  // Same (vtime, rank) key while processing, so no generation bump: this
+  // transition cannot enable any peer's grant.
+  state.store(kProcessing, std::memory_order_release);
 }
 
 void ClaimGate::finish(Context& ctx) {
   const auto r = static_cast<std::size_t>(ctx.rank());
-  std::lock_guard<std::mutex> lock(mutex_);
-  state_[r] = State::kDone;
-  cv_.notify_all();
+  std::atomic_ref<std::uint32_t>(cells_[r].state).store(kDone, std::memory_order_release);
+  bump_generation();
 }
 
 // ---- TaskQueue base ----------------------------------------------------------
@@ -74,10 +118,15 @@ std::shared_ptr<AtomicCounterQueue> AtomicCounterQueue::create(Context& ctx,
                                                                std::size_t num_tasks,
                                                                std::size_t chunk_size,
                                                                bool vtime_ordered) {
+  // Collective sub-steps run before the factory: under the process
+  // backend every rank executes the factory, which therefore must not
+  // issue collectives of its own.
   auto counter = GlobalArray<std::int64_t>::create(ctx, 1);
+  std::shared_ptr<ClaimGate> gate;
+  if (vtime_ordered) gate = ClaimGate::create(ctx);
   return ctx.collective_create<AtomicCounterQueue>([&]() {
     auto q = std::make_shared<AtomicCounterQueue>(counter, num_tasks, chunk_size);
-    if (vtime_ordered) q->enable_vtime_order(ctx.nprocs());
+    if (gate) q->enable_vtime_order(gate);
     return q;
   });
 }
@@ -92,8 +141,14 @@ std::optional<TaskChunk> AtomicCounterQueue::claim(Context& ctx) {
 
 // ---- MasterWorkerQueue -----------------------------------------------------
 
-MasterWorkerQueue::MasterWorkerQueue(std::size_t num_tasks, std::size_t chunk_size)
-    : num_tasks_(num_tasks), chunk_size_(chunk_size) {
+MasterWorkerQueue::MasterWorkerQueue(std::size_t num_tasks, std::size_t chunk_size,
+                                     std::shared_ptr<void> state_region,
+                                     detail::LockEnv env)
+    : region_(std::move(state_region)),
+      env_(env),
+      state_(static_cast<SharedState*>(region_.get())),
+      num_tasks_(num_tasks),
+      chunk_size_(chunk_size) {
   require(chunk_size >= 1, "MasterWorkerQueue: chunk_size must be >= 1");
 }
 
@@ -101,9 +156,13 @@ std::shared_ptr<MasterWorkerQueue> MasterWorkerQueue::create(Context& ctx,
                                                              std::size_t num_tasks,
                                                              std::size_t chunk_size,
                                                              bool vtime_ordered) {
+  auto region = ctx.create_shared_region(sizeof(SharedState));
+  std::shared_ptr<ClaimGate> gate;
+  if (vtime_ordered) gate = ClaimGate::create(ctx);
+  const detail::LockEnv env = ctx.lock_env();
   return ctx.collective_create<MasterWorkerQueue>([&]() {
-    auto q = std::make_shared<MasterWorkerQueue>(num_tasks, chunk_size);
-    if (vtime_ordered) q->enable_vtime_order(ctx.nprocs());
+    auto q = std::make_shared<MasterWorkerQueue>(num_tasks, chunk_size, region, env);
+    if (gate) q->enable_vtime_order(gate);
     return q;
   });
 }
@@ -115,19 +174,20 @@ std::optional<TaskChunk> MasterWorkerQueue::claim(Context& ctx) {
   // The request leaves the worker at its current virtual time and queues
   // at the master, which services requests one at a time.  The reply
   // arrives one message latency after service completes.  This serial
-  // `master_busy_until_` clock is precisely the bottleneck of [20].
+  // `busy_until` clock is precisely the bottleneck of [20].
   const double request_arrives = ctx.vtime() + request_latency;
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  const double service_start = std::max(master_busy_until_, request_arrives);
+  detail::WorldLock lock(state_->mutex, env_);
+  const double service_start = std::max(state_->busy_until, request_arrives);
   const double service_end = service_start + ctx.model().rpc_service;
-  master_busy_until_ = service_end;
+  state_->busy_until = service_end;
   ctx.set_vtime(service_end + request_latency);
 
-  if (next_task_ >= num_tasks_) return std::nullopt;
-  const std::size_t begin = next_task_;
-  next_task_ = std::min(num_tasks_, next_task_ + chunk_size_);
-  return TaskChunk{begin, next_task_};
+  if (state_->next_task >= num_tasks_) return std::nullopt;
+  const auto begin = static_cast<std::size_t>(state_->next_task);
+  const std::size_t end = std::min(num_tasks_, begin + chunk_size_);
+  state_->next_task = end;
+  return TaskChunk{begin, end};
 }
 
 // ---- StaticPartitionQueue ---------------------------------------------------
@@ -140,9 +200,11 @@ StaticPartitionQueue::StaticPartitionQueue(std::size_t num_tasks, int nprocs)
 std::shared_ptr<StaticPartitionQueue> StaticPartitionQueue::create(Context& ctx,
                                                                    std::size_t num_tasks,
                                                                    bool vtime_ordered) {
+  std::shared_ptr<ClaimGate> gate;
+  if (vtime_ordered) gate = ClaimGate::create(ctx);
   return ctx.collective_create<StaticPartitionQueue>([&]() {
     auto q = std::make_shared<StaticPartitionQueue>(num_tasks, ctx.nprocs());
-    if (vtime_ordered) q->enable_vtime_order(ctx.nprocs());
+    if (gate) q->enable_vtime_order(gate);
     return q;
   });
 }
@@ -182,9 +244,11 @@ std::shared_ptr<OwnerFirstChunkQueue> OwnerFirstChunkQueue::create(
   cursors.put_value(
       ctx, static_cast<std::size_t>(ctx.rank()),
       static_cast<std::int64_t>(ranges[static_cast<std::size_t>(ctx.rank())].first));
+  std::shared_ptr<ClaimGate> gate;
+  if (vtime_ordered) gate = ClaimGate::create(ctx);
   auto queue = ctx.collective_create<OwnerFirstChunkQueue>([&]() {
     auto q = std::make_shared<OwnerFirstChunkQueue>(cursors, ranges, chunk_size);
-    if (vtime_ordered) q->enable_vtime_order(ctx.nprocs());
+    if (gate) q->enable_vtime_order(gate);
     return q;
   });
   ctx.barrier();  // cursors visible before anyone claims

@@ -1,0 +1,185 @@
+// Internal transport implementations (not installed): the thread backend
+// (the historical in-process fast path, moved verbatim out of World) and
+// the shared-memory multi-process backend.  runtime.cpp dispatches here
+// from spmd_run; only transport.hpp is public API.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sva/ga/runtime.hpp"
+#include "sva/ga/transport.hpp"
+
+namespace sva::ga::detail {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Spin budget before parking: on an oversubscribed host (more ranks than
+/// cores) spinning only steals cycles from the rank being waited for, so
+/// the barrier parks immediately.
+int default_spin_iters(int nprocs);
+
+/// Central epoch-counting (sense-reversing) barrier with abort support —
+/// the thread backend's arrival engine.  One `fetch_add` per arrival; the
+/// last arriver runs a callback while it exclusively owns the round, then
+/// releases everyone by bumping the epoch word and waking parked waiters.
+/// Counter and epoch live on separate cache lines so arrivals don't
+/// bounce the waiters' line.
+class SpinBarrier {
+ public:
+  SpinBarrier(int nprocs, int spin_iters) : nprocs_(nprocs), spin_iters_(spin_iters) {}
+
+  /// Arrives at the current round; the last rank runs `on_last()` before
+  /// any waiter is released.  Throws ProtocolError if the world has been
+  /// aborted (some rank threw).
+  template <typename OnLast>
+  void arrive(const std::atomic<std::uint32_t>& aborted, OnLast&& on_last) {
+    // Pre-abort this load is exact under coherence: the epoch cannot
+    // advance without this rank's arrival, and this rank already observed
+    // the value released by the previous round.  The acquire matters for
+    // the abort race: if this load sees an abort_wakeup bump, it
+    // synchronizes with that release, making the aborted flag (stored
+    // before the bump) visible to the re-check below — without it a rank
+    // could capture the post-abort epoch yet read a stale aborted=false,
+    // then park on a futex nobody will ever notify again.
+    const std::uint32_t epoch = epoch_.value.load(std::memory_order_acquire);
+    throw_if_aborted(aborted);
+    if (arrived_.value.fetch_add(1, std::memory_order_acq_rel) == nprocs_ - 1) {
+      arrived_.value.store(0, std::memory_order_relaxed);
+      on_last();
+      // fetch_add, not store: an abort_wakeup bump racing with the round's
+      // release must never be overwritten, or parked peers sleep forever.
+      epoch_.value.fetch_add(1, std::memory_order_release);
+      epoch_.value.notify_all();
+    } else {
+      wait_for_epoch(epoch, aborted);
+    }
+    throw_if_aborted(aborted);
+  }
+
+  void arrive(const std::atomic<std::uint32_t>& aborted) {
+    arrive(aborted, [] {});
+  }
+
+  /// Wakes all waiters (parked or spinning) so they can observe the abort
+  /// flag.  Call only after setting the flag.
+  void abort_wakeup();
+
+ private:
+  static void throw_if_aborted(const std::atomic<std::uint32_t>& aborted);
+  void wait_for_epoch(std::uint32_t epoch, const std::atomic<std::uint32_t>& aborted) const;
+
+  struct alignas(kCacheLine) PaddedEpoch {
+    std::atomic<std::uint32_t> value{0};
+  };
+  struct alignas(kCacheLine) PaddedCount {
+    std::atomic<int> value{0};
+  };
+  PaddedEpoch epoch_;
+  PaddedCount arrived_;
+  int nprocs_;
+  int spin_iters_;
+};
+
+/// Reusable per-rank payload staging buffer (padded vector header).
+struct alignas(kCacheLine) Scratch {
+  std::vector<std::uint8_t> buf;
+};
+
+/// Per-rank virtual clock slot, folded to a max by each round's last
+/// arriver.
+struct alignas(kCacheLine) ClockSlot {
+  double v = 0.0;
+};
+
+/// In-process backend: ranks are threads, publication slots and staging
+/// scratch live in this object, arrival is the SpinBarrier — the PR 4
+/// fast path re-expressed behind the Transport seam, byte-for-byte
+/// unchanged behavior.
+class ThreadTransport final : public Transport {
+ public:
+  explicit ThreadTransport(const SpmdOptions& options);
+
+  [[nodiscard]] Backend backend() const override { return Backend::kThread; }
+  void publish(std::uint32_t parity, int rank, const void* data, std::size_t bytes,
+               bool copy) override;
+  [[nodiscard]] const PeerSlot* peers(std::uint32_t parity) const override {
+    return slots_[parity].data();
+  }
+  double sync(int rank, double vtime, RoundFn on_last, void* arg) override;
+  void fence(int rank) override;
+  void ensure_reduce_capacity(std::size_t bytes) override {
+    if (reduce_buf_.size() < bytes) reduce_buf_.resize(bytes);
+  }
+  [[nodiscard]] void* reduce_base() override { return reduce_buf_.data(); }
+  bool post_error(const char* what) override;
+  [[nodiscard]] bool aborted() const override {
+    return aborted_.load(std::memory_order_acquire) != 0;
+  }
+  [[nodiscard]] std::string error_text() const override;
+  [[nodiscard]] const std::atomic<std::uint32_t>* abort_word() const override {
+    return &aborted_;
+  }
+  std::shared_ptr<void> create_region(int rank, std::size_t bytes) override;
+  [[nodiscard]] std::vector<const void*>* ptr_slots(std::uint32_t parity) override {
+    return &ptrs_[parity];
+  }
+
+ private:
+  SpinBarrier barrier_;
+  std::atomic<std::uint32_t> aborted_{0};
+
+  // Publication slots and staging scratch for collectives, double-buffered
+  // by data-round parity: a one-round collective's readers of parity p are
+  // provably done before parity p is written again (the next arrival round
+  // sits in between), so no departure fence is needed on the copy path.
+  std::array<std::vector<PeerSlot>, 2> slots_;
+  std::array<std::vector<Scratch>, 2> scratch_;
+  // Generic exchange keeps the historical consume(vector<const void*>)
+  // signature; these mirror slots_[par][r].ptr for that path only.
+  std::array<std::vector<const void*>, 2> ptrs_;
+
+  // Virtual clocks: each rank publishes before arriving; the round's last
+  // arriver folds the max into synced_clock_.
+  std::vector<ClockSlot> clocks_;
+  double synced_clock_ = 0.0;
+
+  // Shared combine target for allreduce (partitioned blocks or the
+  // leader's fold); grows to the high-water payload and is reused.
+  std::vector<std::uint8_t> reduce_buf_;
+
+  // create_region hand-off (rank 0 parks the allocation between fences).
+  std::shared_ptr<void> region_slot_;
+
+  mutable std::mutex error_mutex_;
+  bool error_posted_ = false;
+  std::string error_text_;
+};
+
+std::unique_ptr<Transport> make_thread_transport(const SpmdOptions& options);
+
+/// Builds the shared-memory process transport (throws InvalidArgument off
+/// Linux).
+std::unique_ptr<Transport> make_shm_transport(const SpmdOptions& options);
+
+/// Launches `world` (which must own a ShmTransport) as forked rank
+/// processes — rank 0 runs on the calling thread of the parent so tool
+/// and serve captures keep working — and reaps children, turning an
+/// abnormal exit into a world abort with a "rank N died" diagnostic.
+SpmdResult run_process_world(World& world, const std::function<void(Context&)>& fn);
+
+}  // namespace sva::ga::detail

@@ -1,0 +1,458 @@
+// Process backend: ranks are forked processes synchronizing over shared
+// memory.  The design mirrors the thread fast path exactly — the same
+// parity-double-buffered slot+staging layout and the same epoch-counting
+// barrier — but every structure lives in one anonymous MAP_SHARED mapping
+// created *before* the fork, so all ranks inherit it at the same virtual
+// address and publication slots can hold absolute pointers into the
+// staging area.  Arrival parks on raw futexes (FUTEX_WAIT without the
+// PRIVATE flag: std::atomic::wait is process-local), and collective
+// object regions (GlobalArray storage et al.) are named POSIX shm
+// segments mapped per rank and unlinked as soon as everyone holds them.
+//
+// Failure semantics: any rank's exception is recorded first-wins in the
+// control block, the abort flag trips, and the epoch word is bumped so
+// every parked rank wakes and throws at its next synchronization point.
+// A reaper thread in the parent waitpid()s each child; an abnormal exit
+// (a SIGKILLed rank, an exit() from foreign code) is converted into the
+// same abort with a "rank N died" diagnostic instead of hanging the
+// world.  Children are armed with PR_SET_PDEATHSIG so a dying parent
+// never leaks rank processes.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#include "sva/util/error.hpp"
+#include "sva/util/timer.hpp"
+#include "transport_impl.hpp"
+
+#if defined(__linux__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+
+namespace sva::ga::detail {
+
+namespace {
+
+std::string errno_text(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+/// Distinguishes concurrently-live worlds created by the same parent
+/// (e.g. sequential spmd_run calls, or a serve world next to a bench
+/// world) in shm segment names.
+std::uint64_t next_world_salt() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+/// Shared-memory multi-process transport.  Constructed pre-fork by the
+/// parent; every member pointer targets the inherited anonymous mapping
+/// and is therefore valid verbatim in every rank process.
+class ShmTransport final : public Transport {
+ public:
+  explicit ShmTransport(const SpmdOptions& options)
+      : Transport(options.nprocs),
+        slot_cap_(round_up(std::max<std::size_t>(options.shm_slot_bytes, kCacheLine),
+                           kCacheLine)),
+        reduce_cap_(round_up(std::max<std::size_t>(options.shm_reduce_bytes, kCacheLine),
+                             kCacheLine)),
+        spin_iters_(options.comm_model.host_spin_iters >= 0
+                        ? options.comm_model.host_spin_iters
+                        : default_spin_iters(options.nprocs)),
+        prefix_(options.shm_prefix.empty() || options.shm_prefix[0] != '/'
+                    ? "/" + options.shm_prefix
+                    : options.shm_prefix),
+        parent_pid_(::getpid()),
+        world_salt_(next_world_salt()) {
+    const auto np = static_cast<std::size_t>(nprocs_);
+    const std::size_t ctl_bytes = round_up(sizeof(Control), kCacheLine);
+    const std::size_t clock_bytes = round_up(np * sizeof(ClockSlot), kCacheLine);
+    const std::size_t vtime_bytes = round_up(np * sizeof(double), kCacheLine);
+    const std::size_t slot_bytes = round_up(2 * np * sizeof(PeerSlot), kCacheLine);
+    total_bytes_ =
+        ctl_bytes + clock_bytes + vtime_bytes + slot_bytes + 2 * np * slot_cap_ + reduce_cap_;
+    void* base = ::mmap(nullptr, total_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (base == MAP_FAILED) {
+      throw Error(errno_text("ShmTransport: mmap of the world segment failed"));
+    }
+    base_ = static_cast<std::uint8_t*>(base);
+    // The mapping is zero-filled; placement-new gives the atomics defined
+    // lifetimes.  std::atomic over lock-free types is address-free, so the
+    // objects constructed here are valid in every forked rank.
+    std::uint8_t* cursor = base_;
+    ctl_ = new (cursor) Control();
+    cursor += ctl_bytes;
+    clocks_ = reinterpret_cast<ClockSlot*>(cursor);
+    for (std::size_t r = 0; r < np; ++r) new (clocks_ + r) ClockSlot();
+    cursor += clock_bytes;
+    final_vtimes_ = reinterpret_cast<double*>(cursor);
+    cursor += vtime_bytes;
+    auto* slot_base = reinterpret_cast<PeerSlot*>(cursor);
+    for (std::size_t i = 0; i < 2 * np; ++i) new (slot_base + i) PeerSlot();
+    slots_[0] = slot_base;
+    slots_[1] = slot_base + np;
+    cursor += slot_bytes;
+    staging_ = cursor;
+    cursor += 2 * np * slot_cap_;
+    reduce_ = cursor;
+  }
+
+  ~ShmTransport() override { ::munmap(base_, total_bytes_); }
+
+  [[nodiscard]] Backend backend() const override { return Backend::kProcess; }
+
+  void publish(std::uint32_t parity, int rank, const void* data, std::size_t bytes,
+               bool /*copy*/) override {
+    // Always staged: a peer cannot read this rank's private heap, so the
+    // zero-copy hint from the collective layer is ignored and `copied`
+    // reports staging (sparing the departure fence on the v-paths).
+    if (bytes > slot_cap_) {
+      throw ProtocolError(
+          "ShmTransport: a collective contribution of " + std::to_string(bytes) +
+          " bytes exceeds the per-rank staging capacity of " + std::to_string(slot_cap_) +
+          " bytes; raise SpmdOptions::shm_slot_bytes");
+    }
+    std::uint8_t* dst = staging_slot(parity, rank);
+    if (bytes > 0) std::memcpy(dst, data, bytes);
+    PeerSlot& slot = slots_[parity][rank];
+    slot.ptr = dst;
+    slot.bytes = bytes;
+    slot.copied = true;
+  }
+
+  [[nodiscard]] const PeerSlot* peers(std::uint32_t parity) const override {
+    return slots_[parity];
+  }
+
+  double sync(int rank, double vtime, RoundFn on_last, void* arg) override {
+    clocks_[rank].v = vtime;
+    const std::uint32_t epoch = ctl_->epoch.load(std::memory_order_acquire);
+    throw_if_aborted();
+    if (ctl_->arrived.fetch_add(1, std::memory_order_acq_rel) == nprocs_ - 1) {
+      ctl_->arrived.store(0, std::memory_order_relaxed);
+      double mx = 0.0;
+      for (int r = 0; r < nprocs_; ++r) mx = std::max(mx, clocks_[r].v);
+      ctl_->synced_clock = mx;
+      if (on_last != nullptr) on_last(arg);
+      ctl_->epoch.fetch_add(1, std::memory_order_release);
+      futex_wake_all_u32(&ctl_->epoch, /*process_shared=*/true);
+    } else {
+      wait_for_epoch(epoch);
+    }
+    throw_if_aborted();
+    return ctl_->synced_clock;
+  }
+
+  void fence(int /*rank*/) override {
+    const std::uint32_t epoch = ctl_->epoch.load(std::memory_order_acquire);
+    throw_if_aborted();
+    if (ctl_->arrived.fetch_add(1, std::memory_order_acq_rel) == nprocs_ - 1) {
+      ctl_->arrived.store(0, std::memory_order_relaxed);
+      ctl_->epoch.fetch_add(1, std::memory_order_release);
+      futex_wake_all_u32(&ctl_->epoch, /*process_shared=*/true);
+    } else {
+      wait_for_epoch(epoch);
+    }
+    throw_if_aborted();
+  }
+
+  void ensure_reduce_capacity(std::size_t bytes) override {
+    if (bytes > reduce_cap_) {
+      throw ProtocolError(
+          "ShmTransport: an allreduce payload of " + std::to_string(bytes) +
+          " bytes exceeds the shared combine capacity of " + std::to_string(reduce_cap_) +
+          " bytes; raise SpmdOptions::shm_reduce_bytes");
+    }
+  }
+
+  [[nodiscard]] void* reduce_base() override { return reduce_; }
+
+  bool post_error(const char* what) override {
+    std::uint32_t expected = 0;
+    const bool first = ctl_->error_state.compare_exchange_strong(
+        expected, 1, std::memory_order_acq_rel, std::memory_order_acquire);
+    if (first) {
+      std::snprintf(ctl_->error_text, sizeof(ctl_->error_text), "%s", what);
+      ctl_->error_state.store(2, std::memory_order_release);
+    }
+    ctl_->aborted.store(1, std::memory_order_release);
+    ctl_->epoch.fetch_add(1, std::memory_order_release);
+    futex_wake_all_u32(&ctl_->epoch, /*process_shared=*/true);
+    return first;
+  }
+
+  [[nodiscard]] bool aborted() const override {
+    return ctl_->aborted.load(std::memory_order_acquire) != 0;
+  }
+
+  [[nodiscard]] std::string error_text() const override {
+    // A claimant may still be mid-snprintf; the zero-filled mapping keeps
+    // the text NUL-terminated either way, so cap the wait.
+    for (int i = 0; i < 1000 && ctl_->error_state.load(std::memory_order_acquire) == 1;
+         ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return {ctl_->error_text,
+            ::strnlen(ctl_->error_text, sizeof(ctl_->error_text) - 1)};
+  }
+
+  [[nodiscard]] const std::atomic<std::uint32_t>* abort_word() const override {
+    return &ctl_->aborted;
+  }
+
+  std::shared_ptr<void> create_region(int rank, std::size_t bytes) override {
+    // Lockstep protocol, no rendezvous payload needed: the segment name is
+    // a pure function of pre-fork state and a per-rank sequence counter
+    // that every rank advances identically.
+    const std::uint64_t seq = region_seq_++;
+    const std::size_t map_bytes = std::max<std::size_t>(bytes, 1);
+    const std::string name = prefix_ + "." + std::to_string(parent_pid_) + "." +
+                             std::to_string(world_salt_) + "." + std::to_string(seq);
+    int fd = -1;
+    if (rank == 0) {
+      fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+      if (fd < 0 && errno == EEXIST) {
+        // Stale leftover from a crashed earlier run that recycled our pid.
+        ::shm_unlink(name.c_str());
+        fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+      }
+      if (fd < 0) throw Error(errno_text("create_region: shm_open(" + name + ") failed"));
+      if (::ftruncate(fd, static_cast<off_t>(map_bytes)) != 0) {
+        ::close(fd);
+        ::shm_unlink(name.c_str());
+        throw Error(errno_text("create_region: ftruncate(" + name + ") failed"));
+      }
+    }
+    fence(rank);  // segment created and sized
+    if (rank != 0) {
+      fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+      if (fd < 0) throw Error(errno_text("create_region: shm_open(" + name + ") failed"));
+    }
+    void* mem = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (mem == MAP_FAILED) {
+      throw Error(errno_text("create_region: mmap(" + name + ") failed"));
+    }
+    fence(rank);  // every rank mapped — safe to drop the name
+    if (rank == 0) ::shm_unlink(name.c_str());
+    return {mem, [map_bytes](void* p) { ::munmap(p, map_bytes); }};
+  }
+
+  // ---- process-runner hooks (not part of the Transport seam) -----------
+
+  void set_final_vtime(int rank, double v) { final_vtimes_[rank] = v; }
+  [[nodiscard]] double final_vtime(int rank) const { return final_vtimes_[rank]; }
+
+ private:
+  struct alignas(kCacheLine) Control {
+    alignas(kCacheLine) std::atomic<std::uint32_t> epoch{0};
+    alignas(kCacheLine) std::atomic<int> arrived{0};
+    alignas(kCacheLine) std::atomic<std::uint32_t> aborted{0};
+    alignas(kCacheLine) std::atomic<std::uint32_t> error_state{0};  // 0/1 claiming/2 set
+    char error_text[2048] = {};
+    alignas(kCacheLine) double synced_clock = 0.0;
+  };
+
+  void throw_if_aborted() const {
+    if (aborted()) throw ProtocolError("SPMD world aborted by a peer rank");
+  }
+
+  void wait_for_epoch(std::uint32_t epoch) const {
+    for (int i = 0; i < spin_iters_; ++i) {
+      if (ctl_->epoch.load(std::memory_order_acquire) != epoch) return;
+      if ((i & 63) == 0 && aborted()) return;
+      cpu_relax();
+    }
+    // Park on the epoch word.  post_error bumps the epoch, so aborts wake
+    // parked ranks; the timeout is a belt-and-suspenders re-check should a
+    // wake ever be lost across processes.
+    while (ctl_->epoch.load(std::memory_order_acquire) == epoch) {
+      if (aborted()) return;
+      futex_wait_u32(&ctl_->epoch, epoch, /*process_shared=*/true, 200);
+    }
+  }
+
+  [[nodiscard]] std::uint8_t* staging_slot(std::uint32_t parity, int rank) const {
+    return staging_ +
+           (static_cast<std::size_t>(parity) * static_cast<std::size_t>(nprocs_) +
+            static_cast<std::size_t>(rank)) *
+               slot_cap_;
+  }
+
+  std::size_t slot_cap_;
+  std::size_t reduce_cap_;
+  int spin_iters_;
+  std::string prefix_;
+  pid_t parent_pid_;
+  std::uint64_t world_salt_;
+  std::uint64_t region_seq_ = 0;
+
+  std::uint8_t* base_ = nullptr;
+  std::size_t total_bytes_ = 0;
+  Control* ctl_ = nullptr;
+  ClockSlot* clocks_ = nullptr;
+  double* final_vtimes_ = nullptr;
+  PeerSlot* slots_[2] = {nullptr, nullptr};
+  std::uint8_t* staging_ = nullptr;
+  std::uint8_t* reduce_ = nullptr;
+};
+
+std::unique_ptr<Transport> make_shm_transport(const SpmdOptions& options) {
+  return std::make_unique<ShmTransport>(options);
+}
+
+namespace {
+
+/// what() of the in-flight exception, for cross-process error transport.
+std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
+
+SpmdResult run_process_world(World& world, const std::function<void(Context&)>& fn) {
+  auto& tp = static_cast<ShmTransport&>(world.transport());
+  const int nprocs = world.nprocs();
+  SpmdResult result;
+  result.rank_vtimes.assign(static_cast<std::size_t>(nprocs), 0.0);
+  WallTimer wall;
+
+  // Flush inherited stdio buffers once, pre-fork, so children never
+  // re-flush the parent's pending output.
+  std::fflush(nullptr);
+
+  const pid_t parent_pid = ::getpid();
+  std::vector<pid_t> pids;
+  pids.reserve(static_cast<std::size_t>(nprocs - 1));
+  for (int r = 1; r < nprocs; ++r) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Child: run rank r to completion, report failure through the
+      // shared control block, and _exit without parent atexit handlers.
+      ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+      if (::getppid() != parent_pid) ::_exit(3);  // parent died pre-prctl
+      int code = 0;
+      try {
+        Context ctx(world, r);
+        fn(ctx);
+        ctx.sample_compute();
+        tp.set_final_vtime(r, ctx.vtime_raw());
+      } catch (...) {
+        tp.post_error(describe_current_exception().c_str());
+        code = 1;
+      }
+      std::fflush(nullptr);
+      ::_exit(code);
+    }
+    if (pid < 0) {
+      tp.post_error(errno_text("spmd_run: fork failed").c_str());
+      break;  // abort the ranks already forked; rank 0 below fails fast
+    }
+    pids.push_back(pid);
+  }
+
+  // Reaper: every child is waited on individually; an abnormal death is
+  // converted into a world abort so surviving ranks throw instead of
+  // parking forever on a barrier the dead rank will never reach.
+  std::thread reaper([&] {
+    std::vector<char> done(pids.size(), 0);
+    std::size_t reaped = 0;
+    while (reaped < pids.size()) {
+      bool progress = false;
+      for (std::size_t i = 0; i < pids.size(); ++i) {
+        if (done[i] != 0) continue;
+        int status = 0;
+        const pid_t got = ::waitpid(pids[i], &status, WNOHANG);
+        if (got == 0) continue;
+        done[i] = 1;
+        ++reaped;
+        progress = true;
+        if (got < 0) continue;  // reparented/lost — nothing more to learn
+        const int rank = static_cast<int>(i) + 1;
+        if (WIFSIGNALED(status)) {
+          tp.post_error(("rank " + std::to_string(rank) + " died (killed by signal " +
+                         std::to_string(WTERMSIG(status)) + ")")
+                            .c_str());
+        } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0 &&
+                   !(WEXITSTATUS(status) == 1 && tp.aborted())) {
+          // Exit 1 is our own posted-an-error path; anything else is a
+          // foreign exit() from inside fn.
+          tp.post_error(("rank " + std::to_string(rank) + " died (exit status " +
+                         std::to_string(WEXITSTATUS(status)) + ")")
+                            .c_str());
+        }
+      }
+      if (!progress) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // Rank 0 runs on the calling thread so tool/serve lambdas capturing
+  // rank-0 results keep their historical semantics.
+  std::exception_ptr local_error;
+  bool local_first = false;
+  try {
+    Context ctx(world, 0);
+    fn(ctx);
+    ctx.sample_compute();
+    tp.set_final_vtime(0, ctx.vtime_raw());
+  } catch (...) {
+    local_error = std::current_exception();
+    local_first = tp.post_error(describe_current_exception().c_str());
+  }
+
+  reaper.join();
+  result.wall_seconds = wall.elapsed();
+  if (tp.aborted()) {
+    // Rethrow rank 0's own exception when it was the first failure (exact
+    // type preserved); peer failures arrive as text and surface uniformly.
+    if (local_first && local_error) std::rethrow_exception(local_error);
+    throw ProtocolError("SPMD world failed: " + tp.error_text());
+  }
+  for (int r = 0; r < nprocs; ++r) {
+    result.rank_vtimes[static_cast<std::size_t>(r)] = tp.final_vtime(r);
+  }
+  result.max_vtime =
+      *std::max_element(result.rank_vtimes.begin(), result.rank_vtimes.end());
+  return result;
+}
+
+}  // namespace sva::ga::detail
+
+#else  // !__linux__
+
+namespace sva::ga::detail {
+
+std::unique_ptr<Transport> make_shm_transport(const SpmdOptions&) {
+  throw InvalidArgument(
+      "Backend::kProcess (ShmTransport) requires Linux; use Backend::kThread");
+}
+
+SpmdResult run_process_world(World&, const std::function<void(Context&)>&) {
+  throw InvalidArgument(
+      "Backend::kProcess (ShmTransport) requires Linux; use Backend::kThread");
+}
+
+}  // namespace sva::ga::detail
+
+#endif

@@ -1,0 +1,260 @@
+// Thread backend of the transport seam plus the cross-backend shared
+// primitives: raw futex wrappers (std::atomic::wait is FUTEX_PRIVATE and
+// cannot cross processes) and the WorldMutex that GlobalArray blocks and
+// task-queue cells park on under either backend.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#include "sva/util/error.hpp"
+#include "transport_impl.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <ctime>
+#endif
+
+namespace sva::ga {
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kThread:
+      return "thread";
+    case Backend::kProcess:
+      return "process";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  if (name == "thread") return Backend::kThread;
+  if (name == "process") return Backend::kProcess;
+  return std::nullopt;
+}
+
+std::unique_ptr<Transport> make_transport(const SpmdOptions& options) {
+  switch (options.backend) {
+    case Backend::kThread:
+      return detail::make_thread_transport(options);
+    case Backend::kProcess:
+      return detail::make_shm_transport(options);
+  }
+  throw InvalidArgument("make_transport: unknown backend");
+}
+
+namespace detail {
+
+// ---- futex wrappers ----------------------------------------------------
+
+#if defined(__linux__)
+
+void futex_wait_u32(const void* addr, std::uint32_t expected, bool process_shared,
+                    int timeout_ms) {
+  timespec ts{};
+  ts.tv_sec = timeout_ms / 1000;
+  ts.tv_nsec = static_cast<long>(timeout_ms % 1000) * 1000000L;
+  const int op = process_shared ? FUTEX_WAIT : FUTEX_WAIT_PRIVATE;
+  // Spurious wakeups, EAGAIN (word already changed) and ETIMEDOUT are all
+  // fine: every caller loops re-checking the word and the abort flag.
+  syscall(SYS_futex, addr, op, expected, timeout_ms > 0 ? &ts : nullptr, nullptr, 0);
+}
+
+namespace {
+void futex_wake(const void* addr, bool process_shared, int count) {
+  const int op = process_shared ? FUTEX_WAKE : FUTEX_WAKE_PRIVATE;
+  syscall(SYS_futex, addr, op, count, nullptr, nullptr, 0);
+}
+}  // namespace
+
+void futex_wake_all_u32(const void* addr, bool process_shared) {
+  futex_wake(addr, process_shared, INT32_MAX);
+}
+
+void futex_wake_one_u32(const void* addr, bool process_shared) {
+  futex_wake(addr, process_shared, 1);
+}
+
+#else  // portable fallback: timed-sleep polling (no cross-process wakes)
+
+void futex_wait_u32(const void* addr, std::uint32_t expected, bool /*process_shared*/,
+                    int timeout_ms) {
+  const auto* word = static_cast<const volatile std::uint32_t*>(addr);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(std::max(timeout_ms, 1));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (*word != expected) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::atomic_thread_fence(std::memory_order_acquire);
+  }
+}
+
+void futex_wake_all_u32(const void* /*addr*/, bool /*process_shared*/) {}
+void futex_wake_one_u32(const void* /*addr*/, bool /*process_shared*/) {}
+
+#endif
+
+// ---- WorldMutex --------------------------------------------------------
+
+void WorldMutex::lock(const LockEnv& env) {
+  std::atomic_ref<std::uint32_t> word(word_);
+  std::uint32_t c = 0;
+  if (word.compare_exchange_strong(c, 1, std::memory_order_acquire,
+                                   std::memory_order_relaxed)) {
+    return;
+  }
+  // Brief spin: block locks are short (a memcpy or a few map probes).
+  for (int i = 0; i < 128; ++i) {
+    cpu_relax();
+    c = word.load(std::memory_order_relaxed);
+    if (c == 0 && word.compare_exchange_weak(c, 1, std::memory_order_acquire,
+                                             std::memory_order_relaxed)) {
+      return;
+    }
+  }
+  // Park.  The timeout doubles as the abort poll: a rank waiting on a
+  // lock whose holder died must observe the world abort, not hang.
+  for (;;) {
+    c = word.exchange(2, std::memory_order_acquire);
+    if (c == 0) return;
+    futex_wait_u32(&word_, 2, env.process_shared, 50);
+    if (env.abort_word != nullptr &&
+        env.abort_word->load(std::memory_order_acquire) != 0) {
+      throw ProtocolError("SPMD world aborted while waiting for a shared lock");
+    }
+  }
+}
+
+void WorldMutex::unlock(const LockEnv& env) {
+  std::atomic_ref<std::uint32_t> word(word_);
+  if (word.exchange(0, std::memory_order_release) == 2) {
+    futex_wake_one_u32(&word_, env.process_shared);
+  }
+}
+
+// ---- SpinBarrier -------------------------------------------------------
+
+int default_spin_iters(int nprocs) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw != 0 && static_cast<unsigned>(nprocs) > hw) return 0;
+  return 4096;
+}
+
+void SpinBarrier::throw_if_aborted(const std::atomic<std::uint32_t>& aborted) {
+  if (aborted.load(std::memory_order_acquire) != 0) {
+    throw ProtocolError("SPMD world aborted by a peer rank");
+  }
+}
+
+void SpinBarrier::wait_for_epoch(std::uint32_t epoch,
+                                 const std::atomic<std::uint32_t>& aborted) const {
+  // Fast path: spin on the epoch word (read-only until it changes, so the
+  // line stays shared); bail to the caller on abort.
+  for (int i = 0; i < spin_iters_; ++i) {
+    if (epoch_.value.load(std::memory_order_acquire) != epoch) return;
+    if ((i & 63) == 0 && aborted.load(std::memory_order_acquire) != 0) return;
+    cpu_relax();
+  }
+  // Park: futex wait on the epoch word.  abort_wakeup bumps the epoch, so
+  // an abort always wakes parked waiters.
+  while (epoch_.value.load(std::memory_order_acquire) == epoch) {
+    epoch_.value.wait(epoch, std::memory_order_acquire);
+  }
+}
+
+void SpinBarrier::abort_wakeup() {
+  epoch_.value.fetch_add(1, std::memory_order_release);
+  epoch_.value.notify_all();
+}
+
+// ---- ThreadTransport ---------------------------------------------------
+
+ThreadTransport::ThreadTransport(const SpmdOptions& options)
+    : Transport(options.nprocs),
+      barrier_(options.nprocs, options.comm_model.host_spin_iters >= 0
+                                   ? options.comm_model.host_spin_iters
+                                   : default_spin_iters(options.nprocs)),
+      clocks_(static_cast<std::size_t>(options.nprocs)) {
+  const auto np = static_cast<std::size_t>(options.nprocs);
+  for (auto& parity : slots_) parity.resize(np);
+  for (auto& parity : scratch_) parity.resize(np);
+  for (auto& parity : ptrs_) parity.assign(np, nullptr);
+}
+
+void ThreadTransport::publish(std::uint32_t parity, int rank, const void* data,
+                              std::size_t bytes, bool copy) {
+  auto& slot = slots_[parity][static_cast<std::size_t>(rank)];
+  if (copy && bytes > 0) {
+    auto& buf = scratch_[parity][static_cast<std::size_t>(rank)].buf;
+    if (buf.size() < bytes) buf.resize(bytes);
+    std::memcpy(buf.data(), data, bytes);
+    slot.ptr = buf.data();
+  } else {
+    slot.ptr = data;
+  }
+  slot.bytes = bytes;
+  slot.copied = copy || bytes == 0;
+}
+
+double ThreadTransport::sync(int rank, double vtime, RoundFn on_last, void* arg) {
+  clocks_[static_cast<std::size_t>(rank)].v = vtime;
+  barrier_.arrive(aborted_, [&] {
+    double mx = 0.0;
+    for (const auto& c : clocks_) mx = std::max(mx, c.v);
+    synced_clock_ = mx;
+    if (on_last != nullptr) on_last(arg);
+  });
+  return synced_clock_;
+}
+
+void ThreadTransport::fence(int /*rank*/) { barrier_.arrive(aborted_); }
+
+bool ThreadTransport::post_error(const char* what) {
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!error_posted_) {
+      error_posted_ = true;
+      error_text_ = what;
+      first = true;
+    }
+  }
+  aborted_.store(1, std::memory_order_release);
+  barrier_.abort_wakeup();
+  return first;
+}
+
+std::string ThreadTransport::error_text() const {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  return error_text_;
+}
+
+std::shared_ptr<void> ThreadTransport::create_region(int rank, std::size_t bytes) {
+  if (rank == 0) {
+    const std::size_t rounded =
+        (std::max<std::size_t>(bytes, 1) + kCacheLine - 1) / kCacheLine * kCacheLine;
+    void* mem = std::aligned_alloc(kCacheLine, rounded);
+    if (mem == nullptr) throw std::bad_alloc();
+    std::memset(mem, 0, rounded);
+    region_slot_ = std::shared_ptr<void>(mem, std::free);
+  }
+  fence(rank);  // allocation published
+  std::shared_ptr<void> out = region_slot_;
+  fence(rank);  // every rank holds a reference
+  if (rank == 0) region_slot_.reset();
+  return out;
+}
+
+std::unique_ptr<Transport> make_thread_transport(const SpmdOptions& options) {
+  return std::make_unique<ThreadTransport>(options);
+}
+
+}  // namespace detail
+
+}  // namespace sva::ga

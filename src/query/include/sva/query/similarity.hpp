@@ -31,6 +31,13 @@ struct SimilarDoc {
 /// Collective: the k most similar documents to `probe` (an M-vector in
 /// signature space).  All ranks receive the same result, ordered by
 /// descending similarity with doc-id tie-break.
+///
+/// \deprecated Classic free-function plane, kept for callers that hold a
+/// live in-engine SignatureSet.  New code should open a persisted bundle
+/// through query::Session and use Session::similar /
+/// Session::run_batch — the Session plane answers the same query against
+/// a bundle, batches sweeps, and is what the serving daemon speaks.  See
+/// the README migration table.
 [[nodiscard]] std::vector<SimilarDoc> similar_documents(ga::Context& ctx,
                                                         const sig::SignatureSet& signatures,
                                                         std::span<const double> probe,
@@ -39,6 +46,10 @@ struct SimilarDoc {
 /// Collective: the k documents most similar to document `doc_id`
 /// (excluded from its own result).  Throws InvalidArgument when no rank
 /// owns `doc_id`.
+///
+/// \deprecated Like similar_documents: prefer query::Session::similar /
+/// Session::run_batch over a persisted bundle.  See the README migration
+/// table.
 [[nodiscard]] std::vector<SimilarDoc> similar_to_document(ga::Context& ctx,
                                                           const sig::SignatureSet& signatures,
                                                           std::uint64_t doc_id, std::size_t k);

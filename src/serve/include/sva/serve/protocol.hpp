@@ -1,6 +1,17 @@
 // Newline-delimited request protocol of the serving daemon, shared with
 // sva_query's --batch files so one grammar serves both planes.
 //
+// Version header (optional on any plane, checked when present):
+//
+//   sva-protocol <version>
+//
+// A matching header parses as a blank line; a mismatched one fails with
+// an explicit "protocol version mismatch" diagnostic rather than the
+// generic unknown-verb error, so peers from a different build stop with
+// a message that names both versions.  The daemon also greets every
+// socket connection with `ok sva-protocol <version>` before reading
+// requests; client_roundtrip() validates that greeting.
+//
 // Query lines (strict: unknown verbs, missing fields and trailing
 // garbage are all malformed — nothing is silently ignored):
 //
@@ -31,6 +42,20 @@
 #include "sva/util/bytes.hpp"
 
 namespace sva::serve {
+
+/// Wire protocol version.  Bump on any change a peer from an older build
+/// could misread (new verbs, response shape, greeting format); the
+/// `sva-protocol` header and the connection greeting both carry it.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// The greeting line the daemon writes on every accepted connection:
+/// "ok sva-protocol <kProtocolVersion>".
+std::string protocol_greeting();
+
+/// Validates a daemon greeting line against this build's version.
+/// Throws sva::Error naming both versions on mismatch (or a daemon too
+/// old to greet at all).
+void check_peer_greeting(std::string_view line);
 
 /// A parsed protocol line.
 struct Request {

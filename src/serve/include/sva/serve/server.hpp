@@ -56,6 +56,11 @@ struct ServeOptions {
   std::size_t cache_capacity = 1024;
   /// Communication model for the serving world.
   ga::CommModel model{};
+  /// Transport backend for the serving world.  Rank 0 always runs in the
+  /// daemon's own address space (it drives the scheduler and fulfils the
+  /// futures), so both backends serve identically; kProcess isolates the
+  /// other ranks in forked children.
+  ga::Backend backend = ga::Backend::kThread;
 };
 
 /// Counter snapshot across the daemon's moving parts.

@@ -172,6 +172,13 @@ void SocketIngress::accept_loop() {
 }
 
 void SocketIngress::serve_connection(int fd) {
+  // Greet before reading anything: a peer from another build learns the
+  // daemon's protocol version up front instead of diagnosing grammar
+  // errors one line at a time.
+  if (!write_all(fd, protocol_greeting() + "\n")) {
+    ::close(fd);
+    return;
+  }
   std::string buffer;
   char chunk[4096];
   bool open = true;
@@ -291,10 +298,11 @@ std::vector<std::string> client_roundtrip(const std::filesystem::path& socket_pa
   for (const auto& line : lines) {
     request += line;
     request += '\n';
-    // Blank/comment lines get no response; count the ones that do.
-    std::istringstream probe{line};
-    std::string first;
-    if (probe >> first && first[0] != '#') ++expected;
+    // Count the lines that get a response exactly as the daemon decides
+    // it: everything except a clean blank/comment/version-header parse.
+    std::string error;
+    const auto probe = parse_request_line(line, error);
+    if (!probe.has_value() || probe->kind != Request::Kind::kBlank) ++expected;
   }
   if (!write_all(fd, request)) {
     const int err = errno;
@@ -303,27 +311,43 @@ std::vector<std::string> client_roundtrip(const std::filesystem::path& socket_pa
   }
   ::shutdown(fd, SHUT_WR);
 
+  // The first line back is the daemon's version greeting, not a response;
+  // validate it before trusting anything that follows.
+  bool greeted = false;
+
   std::vector<std::string> responses;
   std::string buffer;
   char chunk[4096];
-  while (responses.size() < expected) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
+  try {
+    while (!greeted || responses.size() < expected) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n == 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t nl = buffer.find('\n', start);
+        if (nl == std::string::npos) break;
+        std::string line = buffer.substr(start, nl - start);
+        start = nl + 1;
+        if (!greeted) {
+          check_peer_greeting(line);
+          greeted = true;
+        } else {
+          responses.emplace_back(std::move(line));
+        }
+      }
+      buffer.erase(0, start);
     }
-    if (n == 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    for (;;) {
-      const std::size_t nl = buffer.find('\n', start);
-      if (nl == std::string::npos) break;
-      responses.emplace_back(buffer.substr(start, nl - start));
-      start = nl + 1;
-    }
-    buffer.erase(0, start);
+  } catch (...) {
+    ::close(fd);
+    throw;
   }
   ::close(fd);
+  require(greeted, "daemon closed the connection before greeting");
   require(responses.size() == expected,
           "daemon closed the connection early (" + std::to_string(responses.size()) +
               "/" + std::to_string(expected) + " responses)");

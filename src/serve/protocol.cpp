@@ -5,6 +5,7 @@
 
 #include "sva/engine/digest.hpp"
 #include "sva/util/bytes.hpp"
+#include "sva/util/error.hpp"
 #include "sva/util/parse.hpp"
 
 namespace sva::serve {
@@ -34,6 +35,21 @@ std::optional<Request> parse_tokens(const std::vector<std::string>& tokens,
   }
   const std::string& verb = tokens[0];
 
+  if (verb == "sva-protocol") {
+    // Version header, legal on every plane.  A match is a no-op line; a
+    // mismatch must name both versions — the whole point is that a peer
+    // from another build stops with a diagnostic, not a grammar error.
+    if (tokens.size() != 2) return fail(error, "expected 'sva-protocol <version>'");
+    const auto v = parse_u64(tokens[1]);
+    if (!v) return fail(error, "bad protocol version '" + tokens[1] + "'");
+    if (*v != kProtocolVersion) {
+      return fail(error, "protocol version mismatch: peer speaks sva-protocol " +
+                             tokens[1] + ", this build speaks sva-protocol " +
+                             std::to_string(kProtocolVersion));
+    }
+    req.kind = Request::Kind::kBlank;
+    return req;
+  }
   if (verb == "similar") {
     // Strict arity: exactly `similar <doc_id> <k>`; trailing garbage on a
     // line must fail loudly, not silently drop.
@@ -102,6 +118,22 @@ void append_f64_bits(std::string& out, double v) {
 }
 
 }  // namespace
+
+std::string protocol_greeting() {
+  return "ok sva-protocol " + std::to_string(kProtocolVersion);
+}
+
+void check_peer_greeting(std::string_view line) {
+  if (line == protocol_greeting()) return;
+  if (line.rfind("ok sva-protocol ", 0) == 0) {
+    throw Error("daemon protocol version mismatch: daemon speaks sva-protocol " +
+                std::string(line.substr(sizeof("ok sva-protocol ") - 1)) +
+                ", this client speaks sva-protocol " +
+                std::to_string(kProtocolVersion));
+  }
+  throw Error("daemon sent no protocol greeting (pre-versioning build?): got '" +
+              std::string(line) + "'");
+}
 
 std::optional<Request> parse_query_line(std::string_view line, std::string& error) {
   return parse_tokens(tokenize(line), /*allow_control=*/false, error);

@@ -47,8 +47,11 @@ void Server::start() {
   running_.store(true);  // before the spawn: the thread clears it on exit
   world_thread_ = std::thread([this] {
     try {
-      ga::spmd_run(options_.procs, options_.model,
-                   [this](ga::Context& ctx) { serve_world(ctx); });
+      ga::SpmdOptions world_options;
+      world_options.nprocs = options_.procs;
+      world_options.comm_model = options_.model;
+      world_options.backend = options_.backend;
+      ga::spmd_run(world_options, [this](ga::Context& ctx) { serve_world(ctx); });
     } catch (...) {
       std::lock_guard<std::mutex> lock(meta_mutex_);
       run_error_ = std::current_exception();

@@ -1,0 +1,132 @@
+#include "sva/util/cli_options.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sva/util/parse.hpp"
+
+namespace sva::cli {
+
+Parser::Parser(std::string program, std::string usage_head)
+    : program_(std::move(program)), usage_head_(std::move(usage_head)) {
+  sections_.push_back(Section{});
+}
+
+void Parser::section(std::string title) {
+  sections_.push_back(Section{std::move(title), {}});
+}
+
+void Parser::flag(std::string name, std::string help, std::function<void()> on_set) {
+  sections_.back().flags.push_back(
+      Flag{std::move(name), "", std::move(help), std::move(on_set), nullptr});
+}
+
+void Parser::option(std::string name, std::string value_name, std::string help,
+                    std::function<void(const std::string&)> on_value) {
+  sections_.back().flags.push_back(Flag{std::move(name), std::move(value_name),
+                                        std::move(help), nullptr, std::move(on_value)});
+}
+
+void Parser::u64(std::string name, std::string value_name, std::string help,
+                 std::uint64_t* out) {
+  const std::string flag_name = name;
+  option(std::move(name), std::move(value_name), std::move(help),
+         [this, flag_name, out](const std::string& v) {
+           *out = parse_u64_or_die(v, flag_name);
+         });
+}
+
+void Parser::bounded_int(std::string name, std::string value_name, std::string help,
+                         int* out, int lo, int hi) {
+  const std::string flag_name = name;
+  option(std::move(name), std::move(value_name), std::move(help),
+         [this, flag_name, out, lo, hi](const std::string& v) {
+           const std::uint64_t u = parse_u64_or_die(v, flag_name);
+           if (u > static_cast<std::uint64_t>(hi) ||
+               static_cast<std::uint64_t>(lo) > u) {
+             die(flag_name + " must be in [" + std::to_string(lo) + ", " +
+                 std::to_string(hi) + "]");
+           }
+           *out = static_cast<int>(u);
+         });
+}
+
+void Parser::size(std::string name, std::string value_name, std::string help,
+                  std::size_t* out, unsigned shift) {
+  const std::string flag_name = name;
+  option(std::move(name), std::move(value_name), std::move(help),
+         [this, flag_name, out, shift](const std::string& v) {
+           *out = static_cast<std::size_t>(parse_u64_or_die(v, flag_name)) << shift;
+         });
+}
+
+const Parser::Flag* Parser::find(const std::string& name) const {
+  for (const auto& s : sections_) {
+    for (const auto& f : s.flags) {
+      if (f.name == name) return &f;
+    }
+  }
+  return nullptr;
+}
+
+void Parser::parse(int argc, char** argv) const {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      std::exit(0);
+    }
+    const Flag* f = find(arg);
+    if (f == nullptr) {
+      std::cerr << program_ << ": unknown argument " << arg << "\n";
+      print_usage(std::cerr);
+      std::exit(2);
+    }
+    if (f->value_name.empty()) {
+      f->on_set();
+      continue;
+    }
+    if (i + 1 >= argc) die(arg + " needs an argument");
+    f->on_value(argv[++i]);
+  }
+}
+
+void Parser::print_usage(std::ostream& os) const {
+  os << usage_head_ << "\n";
+  // Column width over all flags so every section aligns identically.
+  std::size_t width = 0;
+  for (const auto& s : sections_) {
+    for (const auto& f : s.flags) {
+      std::size_t w = f.name.size();
+      if (!f.value_name.empty()) w += 1 + f.value_name.size();
+      width = std::max(width, w);
+    }
+  }
+  for (const auto& s : sections_) {
+    if (s.flags.empty()) continue;
+    os << "\n";
+    if (!s.title.empty()) os << s.title << ":\n";
+    for (const auto& f : s.flags) {
+      std::string head = f.name;
+      if (!f.value_name.empty()) head += " " + f.value_name;
+      os << "  " << head << std::string(width - head.size() + 3, ' ') << f.help << "\n";
+    }
+  }
+}
+
+void Parser::die(const std::string& message) const {
+  std::cerr << program_ << ": " << message << "\n";
+  std::exit(2);
+}
+
+std::uint64_t Parser::parse_u64_or_die(const std::string& value,
+                                       const std::string& flag) const {
+  const auto v = sva::parse_u64(value);
+  if (!v.has_value()) {
+    die("bad value '" + value + "' for " + flag +
+        " (expected an unsigned integer within 64 bits)");
+  }
+  return *v;
+}
+
+}  // namespace sva::cli

@@ -1,0 +1,92 @@
+// Declarative command-line option table shared by the sva_* tools.
+//
+// Each tool used to hand-roll the same loop: scan argv, fetch flag
+// values, exit(2) with a one-line diagnostic on anything malformed.
+// The drift between the three copies (slightly different messages,
+// slightly different bounds checks) is what this parser removes:
+//
+//   sva::cli::Parser p("sva_pipeline", "usage: sva_pipeline [options]");
+//   p.section("corpus");
+//   p.u64("--seed", "N", "generator seed (default 20070326)", &seed);
+//   p.option("--corpus", "pubmed|trec", "corpus family", [&](const std::string& v) {
+//     ...;  // call p.die("--corpus must be pubmed or trec") on bad input
+//   });
+//   p.parse(argc, argv);
+//
+// Conventions enforced for every tool:
+//   * `--help` / `-h` print the sectioned usage text and exit 0;
+//   * unknown flags and missing values print `<tool>: ...` + usage, exit 2;
+//   * numeric values go through the strict sva::parse_u64 (rejects signs,
+//     non-digits, overflow) with one shared diagnostic, exit 2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sva::cli {
+
+class Parser {
+ public:
+  /// `program` prefixes every diagnostic; `usage_head` is the first line(s)
+  /// of --help output (e.g. "usage: sva_query --bundle FILE [options]").
+  Parser(std::string program, std::string usage_head);
+
+  /// Starts a titled help section; subsequent flags are listed under it.
+  void section(std::string title);
+
+  /// Boolean flag (no value).
+  void flag(std::string name, std::string help, std::function<void()> on_set);
+
+  /// Value flag; `on_value` receives the raw argument.
+  void option(std::string name, std::string value_name, std::string help,
+              std::function<void(const std::string&)> on_value);
+
+  /// Strictly-parsed unsigned value stored into `*out`.
+  void u64(std::string name, std::string value_name, std::string help, std::uint64_t* out);
+
+  /// Strictly-parsed value bounded to [lo, hi], stored into `*out` as int.
+  void bounded_int(std::string name, std::string value_name, std::string help, int* out,
+                   int lo, int hi);
+
+  /// Strictly-parsed size stored into `*out` (optionally left-shifted, for
+  /// MiB-style flags).
+  void size(std::string name, std::string value_name, std::string help, std::size_t* out,
+            unsigned shift = 0);
+
+  /// Parses argv.  Handles --help/-h (prints usage, exits 0); exits 2 with
+  /// a `<program>: ...` diagnostic on unknown flags or missing values.
+  void parse(int argc, char** argv) const;
+
+  void print_usage(std::ostream& os) const;
+
+  /// Uniform failure: prints "<program>: <message>" to stderr, exits 2.
+  [[noreturn]] void die(const std::string& message) const;
+
+  /// Strict unsigned parse with the uniform diagnostic (exits 2).
+  [[nodiscard]] std::uint64_t parse_u64_or_die(const std::string& value,
+                                               const std::string& flag) const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value_name;  // empty => boolean
+    std::string help;
+    std::function<void()> on_set;
+    std::function<void(const std::string&)> on_value;
+  };
+  struct Section {
+    std::string title;  // empty for the leading untitled section
+    std::vector<Flag> flags;
+  };
+
+  [[nodiscard]] const Flag* find(const std::string& name) const;
+
+  std::string program_;
+  std::string usage_head_;
+  std::vector<Section> sections_;
+};
+
+}  // namespace sva::cli

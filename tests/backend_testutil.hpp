@@ -1,0 +1,41 @@
+// Shared guard for tests that spin up Backend::kProcess (ShmTransport)
+// worlds.  The process backend forks ranks, which is Linux-only and
+// fundamentally incompatible with ThreadSanitizer (TSan's runtime does
+// not follow fork() into a multi-threaded world) — such tests skip
+// instead of failing on those configurations.
+//
+// Note for authors of process-backend tests: gtest EXPECT/ASSERT failures
+// raised inside a non-zero rank happen in a forked child and are lost at
+// its _exit.  Make in-world checks throw (sva::require) so they abort the
+// world and surface in the parent; keep EXPECTs on rank 0 or outside the
+// world.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#if defined(__SANITIZE_THREAD__)
+#define SVA_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SVA_TEST_TSAN 1
+#endif
+#endif
+
+namespace sva::testutil {
+
+inline bool process_backend_supported() {
+#if defined(__linux__) && !defined(SVA_TEST_TSAN)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace sva::testutil
+
+#define SVA_REQUIRE_PROCESS_BACKEND()                                       \
+  do {                                                                      \
+    if (!sva::testutil::process_backend_supported()) {                      \
+      GTEST_SKIP() << "Backend::kProcess requires Linux without TSan";      \
+    }                                                                       \
+  } while (0)

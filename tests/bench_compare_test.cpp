@@ -177,6 +177,27 @@ TEST(CompareTest, MicroGaConfigAbsentFromCurrentIsInformational) {
   EXPECT_FALSE(out.findings.empty());  // still noted
 }
 
+TEST(CompareTest, MicroGaInformationalEntryReportsButNeverGates) {
+  // Entries flagged informational in the baseline (the process-backend
+  // axis) report their drift without failing the build.
+  CompareResult out;
+  auto base = micro_ga_doc(1.0e-3, 1.0e-3);
+  auto cur = micro_ga_doc(1.0e-3, 1.0e-3);
+  auto shm_entry = [](double best_s, bool informational) {
+    json::Value e = json::Value::object();
+    e["primitive"] = "barrier";
+    e["config"] = "P=4 backend=process";
+    e["best_s"] = best_s;
+    if (informational) e["informational"] = true;
+    return e;
+  };
+  base["data"]["series"].push_back(shm_entry(1.0e-3, true));
+  cur["data"]["series"].push_back(shm_entry(5.0e-3, false));  // 5x slower
+  compare_report_documents("micro_ga", base, cur, {}, out);
+  EXPECT_FALSE(out.failed());
+  EXPECT_FALSE(out.findings.empty());  // drift is still reported
+}
+
 TEST(CompareTest, MicroGaWallImprovementPasses) {
   CompareResult out;
   compare_report_documents("micro_ga", micro_ga_doc(1.0e-3, 1.0e-3),

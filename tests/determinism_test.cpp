@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "backend_testutil.hpp"
 #include "sva/corpus/generator.hpp"
 #include "sva/engine/digest.hpp"
 #include "sva/engine/pipeline.hpp"
@@ -101,6 +102,29 @@ TEST_P(KindTest, HierarchicalBackendIsByteIdenticalAcrossRankCounts) {
   for (const int nprocs : {2, 4}) {
     EXPECT_EQ(snapshot(run_pipeline(nprocs, model, sources, config).result), baseline)
         << "hierarchical EngineResult diverged at nprocs=" << nprocs;
+  }
+}
+
+TEST_P(KindTest, ProcessBackendIsByteIdenticalToThreadBackend) {
+  // The transport seam's acceptance bar: the same corpus through the same
+  // engine must yield byte-identical products whether the ranks are
+  // threads sharing a heap (ThreadTransport) or forked processes over
+  // POSIX shm (ShmTransport), at every processor count.
+  SVA_REQUIRE_PROCESS_BACKEND();
+  const auto sources = corpus::generate_corpus(small_spec(GetParam()));
+  const auto config = small_config();
+
+  ga::SpmdOptions thread_world;
+  thread_world.nprocs = 1;
+  const std::string baseline = snapshot(run_pipeline(thread_world, sources, config).result);
+  ASSERT_FALSE(baseline.empty());
+
+  for (const int nprocs : {1, 2, 4}) {
+    ga::SpmdOptions world;
+    world.nprocs = nprocs;
+    world.backend = ga::Backend::kProcess;
+    EXPECT_EQ(snapshot(run_pipeline(world, sources, config).result), baseline)
+        << "process-backend EngineResult diverged at nprocs=" << nprocs;
   }
 }
 

@@ -10,8 +10,8 @@
 // whole); ingestion runs shard by shard under the memory budget; a
 // checkpoint lands after every completed stage.  The EngineResult
 // checksum printed at the end is byte-identical for any shard count,
-// processor count, or resume point — that is the contract the test
-// suite enforces.
+// processor count, transport backend, or resume point — that is the
+// contract the test suite enforces.
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -19,151 +19,86 @@
 #include <iostream>
 #include <optional>
 #include <string>
-#include <string_view>
 
 #include "sva/corpus/generator.hpp"
 #include "sva/corpus/reader.hpp"
 #include "sva/engine/digest.hpp"
 #include "sva/engine/engine.hpp"
+#include "sva/util/cli_options.hpp"
 #include "sva/util/error.hpp"
-#include "sva/util/parse.hpp"
-
-namespace {
-
-void print_usage() {
-  std::cout <<
-      "usage: sva_pipeline [options]\n"
-      "\n"
-      "corpus:\n"
-      "  --corpus pubmed|trec   synthetic corpus family (default pubmed)\n"
-      "  --size-mb N            corpus size in MiB (default 4)\n"
-      "  --seed N               generator seed (default 20070326)\n"
-      "\n"
-      "execution:\n"
-      "  --procs P              SPMD ranks (default 4)\n"
-      "  --shards N             ingestion shard count (default: from budget, else 1)\n"
-      "  --mem-budget-mb M      max resident raw corpus MiB per shard\n"
-      "  --major-terms N        topicality N (default 800)\n"
-      "  --clusters K           k-means clusters (default 16)\n"
-      "\n"
-      "durability:\n"
-      "  --checkpoint-dir D     persist a checkpoint after every stage\n"
-      "  --resume               restart from the last completed stage in D\n"
-      "  --stop-after STAGE     halt after STAGE's checkpoint (ingest|signatures|cluster);\n"
-      "                         simulates a kill for testing resume\n"
-      "\n"
-      "output:\n"
-      "  --out FILE             write a JSON summary (checksum, counts, timings)\n"
-      "  --export-bundle FILE   export a serving model bundle (open with sva_query)\n";
-}
-
-/// Strict flag-value parser (shared sva::parse_u64): rejects signs,
-/// non-digits, and overflow instead of silently wrapping them.
-std::uint64_t parse_u64(const std::string& arg, const char* flag) {
-  const auto v = sva::parse_u64(arg);
-  if (!v.has_value()) {
-    std::cerr << "sva_pipeline: bad value '" << arg << "' for " << flag
-              << " (expected an unsigned integer within 64 bits)\n";
-    std::exit(2);
-  }
-  return *v;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sva;
 
   corpus::CorpusKind kind = corpus::CorpusKind::kPubMedLike;
-  std::size_t size_mb = 4;
+  std::uint64_t size_mb = 4;
   std::uint64_t seed = 20070326;
-  int procs = 4;
+  ga::SpmdOptions world;
+  world.nprocs = 4;
   engine::PipelineOptions options;
   bool resume = false;
-  std::size_t major_terms = 800;
-  std::size_t clusters = 16;
+  std::uint64_t major_terms = 800;
+  std::uint64_t clusters = 16;
   std::string out_path;
   std::string bundle_path;
+  std::uint64_t shards = 0;
+  std::size_t mem_budget_bytes = 0;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << "sva_pipeline: " << arg << " needs an argument\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--corpus") {
-      const std::string v = next();
-      if (v == "pubmed") {
-        kind = corpus::CorpusKind::kPubMedLike;
-      } else if (v == "trec") {
-        kind = corpus::CorpusKind::kTrecLike;
-      } else {
-        std::cerr << "sva_pipeline: --corpus must be pubmed or trec\n";
-        return 2;
-      }
-    } else if (arg == "--size-mb") {
-      size_mb = static_cast<std::size_t>(parse_u64(next(), "--size-mb"));
-    } else if (arg == "--seed") {
-      seed = parse_u64(next(), "--seed");
-    } else if (arg == "--procs") {
-      const std::uint64_t v = parse_u64(next(), "--procs");
-      if (v > static_cast<std::uint64_t>(INT32_MAX)) {
-        std::cerr << "sva_pipeline: value for --procs is too large\n";
-        return 2;
-      }
-      procs = static_cast<int>(v);
-    } else if (arg == "--shards") {
-      options.sharding.num_shards = static_cast<std::size_t>(parse_u64(next(), "--shards"));
-    } else if (arg == "--mem-budget-mb") {
-      options.sharding.mem_budget_bytes =
-          static_cast<std::size_t>(parse_u64(next(), "--mem-budget-mb")) << 20;
-    } else if (arg == "--major-terms") {
-      major_terms = static_cast<std::size_t>(parse_u64(next(), "--major-terms"));
-    } else if (arg == "--clusters") {
-      clusters = static_cast<std::size_t>(parse_u64(next(), "--clusters"));
-    } else if (arg == "--checkpoint-dir") {
-      options.checkpoint_dir = next();
-    } else if (arg == "--resume") {
-      resume = true;
-    } else if (arg == "--stop-after") {
-      const std::string v = next();
-      options.stop_after = engine::parse_stage(v);
-      if (!options.stop_after || *options.stop_after == engine::Stage::kFinal) {
-        std::cerr << "sva_pipeline: --stop-after must be ingest, signatures or cluster\n";
-        return 2;
-      }
-    } else if (arg == "--out") {
-      out_path = next();
-    } else if (arg == "--export-bundle") {
-      bundle_path = next();
-    } else if (arg == "--help" || arg == "-h") {
-      print_usage();
-      return 0;
-    } else {
-      std::cerr << "sva_pipeline: unknown argument " << arg << "\n";
-      print_usage();
-      return 2;
-    }
-  }
-  if (procs < 1) {
-    std::cerr << "sva_pipeline: --procs must be >= 1\n";
-    return 2;
-  }
-  if (resume && options.checkpoint_dir.empty()) {
-    std::cerr << "sva_pipeline: --resume needs --checkpoint-dir\n";
-    return 2;
-  }
+  cli::Parser p("sva_pipeline", "usage: sva_pipeline [options]");
+  p.section("corpus");
+  p.option("--corpus", "pubmed|trec", "synthetic corpus family (default pubmed)",
+           [&](const std::string& v) {
+             if (v == "pubmed") {
+               kind = corpus::CorpusKind::kPubMedLike;
+             } else if (v == "trec") {
+               kind = corpus::CorpusKind::kTrecLike;
+             } else {
+               p.die("--corpus must be pubmed or trec");
+             }
+           });
+  p.u64("--size-mb", "N", "corpus size in MiB (default 4)", &size_mb);
+  p.u64("--seed", "N", "generator seed (default 20070326)", &seed);
+  p.section("execution");
+  p.bounded_int("--procs", "P", "SPMD ranks (default 4)", &world.nprocs, 1, 4096);
+  p.option("--backend", "B", "transport backend: thread|process (default thread)",
+           [&](const std::string& v) {
+             const auto b = ga::parse_backend(v);
+             if (!b) p.die("--backend must be thread or process");
+             world.backend = *b;
+           });
+  p.u64("--shards", "N", "ingestion shard count (default: from budget, else 1)", &shards);
+  p.size("--mem-budget-mb", "M", "max resident raw corpus MiB per shard",
+         &mem_budget_bytes, 20);
+  p.u64("--major-terms", "N", "topicality N (default 800)", &major_terms);
+  p.u64("--clusters", "K", "k-means clusters (default 16)", &clusters);
+  p.section("durability");
+  p.option("--checkpoint-dir", "D", "persist a checkpoint after every stage",
+           [&](const std::string& v) { options.checkpoint_dir = v; });
+  p.flag("--resume", "restart from the last completed stage in D", [&] { resume = true; });
+  p.option("--stop-after", "STAGE",
+           "halt after STAGE's checkpoint (ingest|signatures|cluster)",
+           [&](const std::string& v) {
+             options.stop_after = engine::parse_stage(v);
+             if (!options.stop_after || *options.stop_after == engine::Stage::kFinal) {
+               p.die("--stop-after must be ingest, signatures or cluster");
+             }
+           });
+  p.section("output");
+  p.option("--out", "FILE", "write a JSON summary (checksum, counts, timings)",
+           [&](const std::string& v) { out_path = v; });
+  p.option("--export-bundle", "FILE",
+           "export a serving model bundle (open with sva_query)",
+           [&](const std::string& v) { bundle_path = v; });
+  p.parse(argc, argv);
+
+  options.sharding.num_shards = static_cast<std::size_t>(shards);
+  options.sharding.mem_budget_bytes = mem_budget_bytes;
+  if (resume && options.checkpoint_dir.empty()) p.die("--resume needs --checkpoint-dir");
   if (resume && options.stop_after) {
-    std::cerr << "sva_pipeline: --stop-after only applies to fresh runs; a resumed run "
-                 "always completes\n";
-    return 2;
+    p.die("--stop-after only applies to fresh runs; a resumed run always completes");
   }
   if (!bundle_path.empty() && options.stop_after) {
-    std::cerr << "sva_pipeline: --export-bundle needs a completed run; drop --stop-after\n";
-    return 2;
+    p.die("--export-bundle needs a completed run; drop --stop-after");
   }
   if (resume &&
       (options.sharding.num_shards > 0 || options.sharding.mem_budget_bytes > 0)) {
@@ -174,8 +109,8 @@ int main(int argc, char** argv) {
   try {
     corpus::CorpusSpec spec =
         kind == corpus::CorpusKind::kPubMedLike
-            ? corpus::pubmed_like_spec(0, size_mb << 20)
-            : corpus::trec_like_spec(0, size_mb << 20);
+            ? corpus::pubmed_like_spec(0, static_cast<std::size_t>(size_mb) << 20)
+            : corpus::trec_like_spec(0, static_cast<std::size_t>(size_mb) << 20);
     spec.seed = seed;
 
     std::cout << "synthesizing " << corpus::corpus_kind_name(kind)
@@ -185,14 +120,14 @@ int main(int argc, char** argv) {
               << " bytes\n";
 
     engine::EngineConfig config;
-    config.topicality.num_major_terms = major_terms;
-    config.kmeans.k = clusters;
+    config.topicality.num_major_terms = static_cast<std::size_t>(major_terms);
+    config.kmeans.k = static_cast<std::size_t>(clusters);
     engine::Engine eng(config);
 
     options.export_bundle = bundle_path;
     std::optional<engine::EngineResult> result;
     bool stopped = false;
-    const ga::SpmdResult spmd = ga::spmd_run(procs, ga::CommModel{}, [&](ga::Context& ctx) {
+    const ga::SpmdResult spmd = ga::spmd_run(world, [&](ga::Context& ctx) {
       std::optional<engine::EngineResult> r;
       if (resume) {
         r = eng.resume(ctx, options.checkpoint_dir, options.export_bundle);
@@ -224,6 +159,7 @@ int main(int argc, char** argv) {
               << "  dimension          " << result->dimension << " ("
               << result->signature_rounds << " adaptive round(s))\n"
               << "  clusters           " << result->clustering.centroids.rows() << "\n"
+              << "  backend            " << ga::backend_name(world.backend) << "\n"
               << "  modeled seconds    " << t.total() << "  (scan " << t.scan << ", index "
               << t.index << ", topic " << t.topic << ", AM " << t.am << ", DocVec "
               << t.docvec << ", ClusProj " << t.clusproj << ")\n"
@@ -235,16 +171,17 @@ int main(int argc, char** argv) {
     }
 
     if (!out_path.empty()) {
-      std::filesystem::path p(out_path);
-      if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
-      std::ofstream out(p);
+      std::filesystem::path fp(out_path);
+      if (fp.has_parent_path()) std::filesystem::create_directories(fp.parent_path());
+      std::ofstream out(fp);
       if (!out) {
         std::cerr << "sva_pipeline: cannot open " << out_path << "\n";
         return 1;
       }
       out << "{\n"
           << "  \"corpus\": \"" << corpus::corpus_kind_name(kind) << "\",\n"
-          << "  \"procs\": " << procs << ",\n"
+          << "  \"procs\": " << world.nprocs << ",\n"
+          << "  \"backend\": \"" << ga::backend_name(world.backend) << "\",\n"
           << "  \"records\": " << result->num_records << ",\n"
           << "  \"terms\": " << result->num_terms << ",\n"
           << "  \"occurrences\": " << result->total_term_occurrences << ",\n"

@@ -25,72 +25,23 @@
 #include <optional>
 #include <sstream>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "sva/cluster/projection.hpp"
 #include "sva/query/session.hpp"
 #include "sva/serve/protocol.hpp"
+#include "sva/util/cli_options.hpp"
 #include "sva/util/error.hpp"
-#include "sva/util/parse.hpp"
 #include "sva/util/table.hpp"
 
 namespace {
 
-void print_usage() {
-  std::cout <<
-      "usage: sva_query --bundle FILE [options] [query]\n"
-      "\n"
-      "  --bundle FILE       model bundle to open (required)\n"
-      "  --procs P           SPMD ranks to serve with (default 2)\n"
-      "\n"
-      "one-shot queries (pick one):\n"
-      "  --info              bundle contents and theme overview (default)\n"
-      "  --similar-doc ID    documents most similar to document ID\n"
-      "  --summary C         digest of theme cluster C\n"
-      "  --drill C           drill into theme cluster C (re-cluster + re-project)\n"
-      "  --landscape         render the ASCII ThemeView terrain\n"
-      "\n"
-      "query knobs:\n"
-      "  --topk K            similarity hits to return (default 10)\n"
-      "  --reps N            summary representatives (default 5)\n"
-      "  --k K               drill-down sub-clusters (default 4)\n"
-      "\n"
-      "batched plane:\n"
-      "  --batch FILE        run every query in FILE in one collective sweep\n";
-}
-
-/// Strict flag-value parser: rejects signs, non-digits, and values past
-/// UINT64_MAX (the old strtoull path silently wrapped "-1" and ERANGE).
-std::uint64_t parse_u64(const std::string& arg, const char* flag) {
-  const auto v = sva::parse_u64(arg);
-  if (!v.has_value()) {
-    std::cerr << "sva_query: bad value '" << arg << "' for " << flag
-              << " (expected an unsigned integer within 64 bits)\n";
-    std::exit(2);
-  }
-  return *v;
-}
-
-/// parse_u64 bounded to int range — for flags consumed as int (a value
-/// that survives the 64-bit parse can still not fit an int).
-int parse_int(const std::string& arg, const char* flag) {
-  const std::uint64_t v = parse_u64(arg, flag);
-  if (v > static_cast<std::uint64_t>(INT32_MAX)) {
-    std::cerr << "sva_query: value '" << arg << "' for " << flag << " is too large\n";
-    std::exit(2);
-  }
-  return static_cast<int>(v);
-}
-
 /// Parses the batch file via the shared protocol grammar; exits with
 /// `path:lineno` on the first malformed line (trailing garbage included).
-std::vector<sva::query::Query> parse_batch_file(const std::string& path) {
+std::vector<sva::query::Query> parse_batch_file(const sva::cli::Parser& p,
+                                                const std::string& path) {
   std::ifstream in(path);
-  if (!in) {
-    std::cerr << "sva_query: cannot open batch file " << path << "\n";
-    std::exit(2);
-  }
+  if (!in) p.die("cannot open batch file " + path);
   std::vector<sva::query::Query> queries;
   std::string line;
   std::size_t lineno = 0;
@@ -99,22 +50,14 @@ std::vector<sva::query::Query> parse_batch_file(const std::string& path) {
     std::string error;
     const auto request = sva::serve::parse_query_line(line, error);
     if (!request.has_value()) {
-      std::cerr << "sva_query: " << path << ":" << lineno << ": " << error << ": "
-                << line << "\n";
-      std::exit(2);
+      p.die(path + ":" + std::to_string(lineno) + ": " + error + ": " + line);
     }
     if (request->kind == sva::serve::Request::Kind::kQuery) {
       queries.push_back(request->query);
     }
   }
-  if (in.bad()) {
-    std::cerr << "sva_query: I/O error reading batch file " << path << "\n";
-    std::exit(2);
-  }
-  if (queries.empty()) {
-    std::cerr << "sva_query: batch file " << path << " holds no queries\n";
-    std::exit(2);
-  }
+  if (in.bad()) p.die("I/O error reading batch file " + path);
+  if (queries.empty()) p.die("batch file " + path + " holds no queries");
   return queries;
 }
 
@@ -149,74 +92,66 @@ int main(int argc, char** argv) {
 
   std::string bundle_path;
   std::string batch_path;
-  int procs = 2;
+  ga::SpmdOptions world;
+  world.nprocs = 2;
   enum class Mode { kInfo, kSimilarDoc, kSummary, kDrill, kLandscape, kBatch };
   Mode mode = Mode::kInfo;
   std::uint64_t similar_doc = 0;
   int cluster = 0;
-  std::size_t topk = 10;
-  std::size_t reps = 5;
-  std::size_t drill_k = 4;
+  std::uint64_t topk = 10;
+  std::uint64_t reps = 5;
+  std::uint64_t drill_k = 4;
 
+  cli::Parser p("sva_query", "usage: sva_query --bundle FILE [options] [query]");
+  p.option("--bundle", "FILE", "model bundle to open (required)",
+           [&](const std::string& v) { bundle_path = v; });
+  p.bounded_int("--procs", "P", "SPMD ranks to serve with (default 2)", &world.nprocs, 1,
+                4096);
+  p.option("--backend", "B", "transport backend: thread|process (default thread)",
+           [&](const std::string& v) {
+             const auto b = ga::parse_backend(v);
+             if (!b) p.die("--backend must be thread or process");
+             world.backend = *b;
+           });
+  p.section("one-shot queries (pick one; default --info)");
+  p.flag("--info", "bundle contents and theme overview", [&] { mode = Mode::kInfo; });
+  p.u64("--similar-doc", "ID", "documents most similar to document ID", &similar_doc);
+  p.bounded_int("--summary", "C", "digest of theme cluster C", &cluster, 0, INT32_MAX);
+  p.bounded_int("--drill", "C", "drill into theme cluster C (re-cluster + re-project)",
+                &cluster, 0, INT32_MAX);
+  p.flag("--landscape", "render the ASCII ThemeView terrain",
+         [&] { mode = Mode::kLandscape; });
+  p.section("query knobs");
+  p.u64("--topk", "K", "similarity hits to return (default 10)", &topk);
+  p.u64("--reps", "N", "summary representatives (default 5)", &reps);
+  p.u64("--k", "K", "drill-down sub-clusters (default 4)", &drill_k);
+  p.section("batched plane");
+  p.option("--batch", "FILE", "run every query in FILE in one collective sweep",
+           [&](const std::string& v) {
+             mode = Mode::kBatch;
+             batch_path = v;
+           });
+  // Mode flags that also carry a value are declared above through their
+  // value handler; record which mode the last one selected.
   for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << "sva_query: " << arg << " needs an argument\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--bundle") {
-      bundle_path = next();
-    } else if (arg == "--procs") {
-      procs = parse_int(next(), "--procs");
-    } else if (arg == "--info") {
-      mode = Mode::kInfo;
-    } else if (arg == "--similar-doc") {
-      mode = Mode::kSimilarDoc;
-      similar_doc = parse_u64(next(), "--similar-doc");
-    } else if (arg == "--summary") {
-      mode = Mode::kSummary;
-      cluster = parse_int(next(), "--summary");
-    } else if (arg == "--drill") {
-      mode = Mode::kDrill;
-      cluster = parse_int(next(), "--drill");
-    } else if (arg == "--landscape") {
-      mode = Mode::kLandscape;
-    } else if (arg == "--batch") {
-      mode = Mode::kBatch;
-      batch_path = next();
-    } else if (arg == "--topk") {
-      topk = static_cast<std::size_t>(parse_u64(next(), "--topk"));
-    } else if (arg == "--reps") {
-      reps = static_cast<std::size_t>(parse_u64(next(), "--reps"));
-    } else if (arg == "--k") {
-      drill_k = static_cast<std::size_t>(parse_u64(next(), "--k"));
-    } else if (arg == "--help" || arg == "-h") {
-      print_usage();
-      return 0;
-    } else {
-      std::cerr << "sva_query: unknown argument " << arg << "\n";
-      print_usage();
-      return 2;
-    }
+    const std::string arg = argv[i];
+    if (arg == "--similar-doc") mode = Mode::kSimilarDoc;
+    if (arg == "--summary") mode = Mode::kSummary;
+    if (arg == "--drill") mode = Mode::kDrill;
   }
+  p.parse(argc, argv);
+
   if (bundle_path.empty()) {
     std::cerr << "sva_query: --bundle is required\n";
-    print_usage();
-    return 2;
-  }
-  if (procs < 1) {
-    std::cerr << "sva_query: --procs must be >= 1\n";
+    p.print_usage(std::cerr);
     return 2;
   }
 
   std::vector<query::Query> batch;
-  if (mode == Mode::kBatch) batch = parse_batch_file(batch_path);
+  if (mode == Mode::kBatch) batch = parse_batch_file(p, batch_path);
 
   try {
-    ga::spmd_run(procs, ga::CommModel{}, [&](ga::Context& ctx) {
+    ga::spmd_run(world, [&](ga::Context& ctx) {
       auto session = query::Session::open(ctx, bundle_path);
       const bool print = ctx.rank() == 0;
 
@@ -225,7 +160,8 @@ int main(int argc, char** argv) {
           // One batched sweep summarizes every theme.
           std::vector<query::Query> overview;
           for (std::size_t c = 0; c < session.num_clusters(); ++c) {
-            overview.push_back(query::Query::cluster_summary(static_cast<int>(c), reps));
+            overview.push_back(query::Query::cluster_summary(
+                static_cast<int>(c), static_cast<std::size_t>(reps)));
           }
           const auto results = session.run_batch(overview);
           if (print) {
@@ -254,20 +190,21 @@ int main(int argc, char** argv) {
           break;
         }
         case Mode::kSimilarDoc: {
-          const auto hits = session.similar(similar_doc, topk);
+          const auto hits = session.similar(similar_doc, static_cast<std::size_t>(topk));
           if (print) {
             print_hits("documents most similar to doc " + std::to_string(similar_doc), hits);
           }
           break;
         }
         case Mode::kSummary: {
-          const auto summary = session.cluster_summary(cluster, reps);
+          const auto summary =
+              session.cluster_summary(cluster, static_cast<std::size_t>(reps));
           if (print) print_summary(summary);
           break;
         }
         case Mode::kDrill: {
           cluster::KMeansConfig sub;
-          sub.k = drill_k;
+          sub.k = static_cast<std::size_t>(drill_k);
           const auto drill = session.drill_down(cluster, sub);
           const auto labels = session.sub_theme_labels(drill.clustering);
           if (print) {

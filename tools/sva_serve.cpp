@@ -23,46 +23,13 @@
 #include <iostream>
 #include <optional>
 #include <string>
-#include <string_view>
 #include <thread>
 
 #include "sva/serve/ingress.hpp"
 #include "sva/serve/server.hpp"
-#include "sva/util/parse.hpp"
+#include "sva/util/cli_options.hpp"
 
 namespace {
-
-void print_usage() {
-  std::cout <<
-      "usage: sva_serve --bundle FILE [options]\n"
-      "       sva_serve --socket PATH --send LINE\n"
-      "\n"
-      "  --bundle FILE        model bundle to serve (required for the daemon)\n"
-      "  --procs P            SPMD ranks to serve with (default 2)\n"
-      "  --socket PATH        Unix domain socket to listen on\n"
-      "                       (default <bundle>.sock next to the bundle)\n"
-      "  --spool DIR          also poll DIR for *.req file-queue requests\n"
-      "                       (fallback transport; responses land as *.resp)\n"
-      "\n"
-      "admission scheduler:\n"
-      "  --batch-max N        flush a sweep at N pending queries (default 16)\n"
-      "  --deadline-us U      ...or once the oldest has waited U us (default 2000)\n"
-      "  --cache N            result-cache entries, 0 disables (default 1024)\n"
-      "\n"
-      "client mode:\n"
-      "  --send LINE          send one protocol line to --socket and print\n"
-      "                       the response (requires a running daemon)\n";
-}
-
-std::uint64_t parse_u64(const std::string& arg, const char* flag) {
-  const auto v = sva::parse_u64(arg);
-  if (!v.has_value()) {
-    std::cerr << "sva_serve: bad value '" << arg << "' for " << flag
-              << " (expected an unsigned integer within 64 bits)\n";
-    std::exit(2);
-  }
-  return *v;
-}
 
 // Signal flag: the main loop polls it and turns it into a graceful stop.
 volatile std::sig_atomic_t g_signalled = 0;
@@ -78,58 +45,50 @@ int main(int argc, char** argv) {
   std::string spool_dir;
   std::string send_line;
   serve::ServeOptions options;
+  std::uint64_t batch_max = options.batch_max;
+  std::uint64_t deadline_us =
+      static_cast<std::uint64_t>(options.batch_deadline.count());
+  std::uint64_t cache_capacity = options.cache_capacity;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << "sva_serve: " << arg << " needs an argument\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--bundle") {
-      bundle_path = next();
-    } else if (arg == "--socket") {
-      socket_path = next();
-    } else if (arg == "--spool") {
-      spool_dir = next();
-    } else if (arg == "--send") {
-      send_line = next();
-    } else if (arg == "--procs") {
-      const std::uint64_t v = parse_u64(next(), "--procs");
-      if (v < 1 || v > 1024) {
-        std::cerr << "sva_serve: --procs must be in [1, 1024]\n";
-        return 2;
-      }
-      options.procs = static_cast<int>(v);
-    } else if (arg == "--batch-max") {
-      options.batch_max = static_cast<std::size_t>(parse_u64(next(), "--batch-max"));
-      if (options.batch_max < 1) {
-        std::cerr << "sva_serve: --batch-max must be >= 1\n";
-        return 2;
-      }
-    } else if (arg == "--deadline-us") {
-      options.batch_deadline =
-          std::chrono::microseconds(parse_u64(next(), "--deadline-us"));
-    } else if (arg == "--cache") {
-      options.cache_capacity = static_cast<std::size_t>(parse_u64(next(), "--cache"));
-    } else if (arg == "--help" || arg == "-h") {
-      print_usage();
-      return 0;
-    } else {
-      std::cerr << "sva_serve: unknown argument " << arg << "\n";
-      print_usage();
-      return 2;
-    }
-  }
+  cli::Parser p("sva_serve",
+                "usage: sva_serve --bundle FILE [options]\n"
+                "       sva_serve --socket PATH --send LINE");
+  p.option("--bundle", "FILE", "model bundle to serve (required for the daemon)",
+           [&](const std::string& v) { bundle_path = v; });
+  p.bounded_int("--procs", "P", "SPMD ranks to serve with (default 2)", &options.procs,
+                1, 1024);
+  p.option("--backend", "B", "transport backend: thread|process (default thread)",
+           [&](const std::string& v) {
+             const auto b = ga::parse_backend(v);
+             if (!b) p.die("--backend must be thread or process");
+             options.backend = *b;
+           });
+  p.option("--socket", "PATH",
+           "Unix domain socket to listen on (default <bundle>.sock)",
+           [&](const std::string& v) { socket_path = v; });
+  p.option("--spool", "DIR", "also poll DIR for *.req file-queue requests",
+           [&](const std::string& v) { spool_dir = v; });
+  p.section("admission scheduler");
+  p.u64("--batch-max", "N", "flush a sweep at N pending queries (default 16)",
+        &batch_max);
+  p.u64("--deadline-us", "U", "...or once the oldest has waited U us (default 2000)",
+        &deadline_us);
+  p.u64("--cache", "N", "result-cache entries, 0 disables (default 1024)",
+        &cache_capacity);
+  p.section("client mode");
+  p.option("--send", "LINE",
+           "send one protocol line to --socket and print the response",
+           [&](const std::string& v) { send_line = v; });
+  p.parse(argc, argv);
+
+  if (batch_max < 1) p.die("--batch-max must be >= 1");
+  options.batch_max = static_cast<std::size_t>(batch_max);
+  options.batch_deadline = std::chrono::microseconds(deadline_us);
+  options.cache_capacity = static_cast<std::size_t>(cache_capacity);
 
   // Client mode: one round trip against a running daemon.
   if (!send_line.empty()) {
-    if (socket_path.empty()) {
-      std::cerr << "sva_serve: --send needs --socket\n";
-      return 2;
-    }
+    if (socket_path.empty()) p.die("--send needs --socket");
     try {
       const auto responses = serve::client_roundtrip(socket_path, {send_line});
       for (const auto& r : responses) std::cout << r << "\n";
@@ -142,7 +101,7 @@ int main(int argc, char** argv) {
 
   if (bundle_path.empty()) {
     std::cerr << "sva_serve: --bundle is required\n";
-    print_usage();
+    p.print_usage(std::cerr);
     return 2;
   }
   if (socket_path.empty() && spool_dir.empty()) socket_path = bundle_path + ".sock";
@@ -152,7 +111,8 @@ int main(int argc, char** argv) {
     server.start();
     std::cerr << "sva_serve: serving " << bundle_path << " ("
               << server.num_documents() << " documents, " << server.num_clusters()
-              << " clusters) with " << options.procs << " ranks\n";
+              << " clusters) with " << options.procs << " "
+              << ga::backend_name(options.backend) << " ranks\n";
 
     std::optional<serve::SocketIngress> socket_ingress;
     if (!socket_path.empty()) {
