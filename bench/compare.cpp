@@ -206,7 +206,8 @@ void compare_report_documents(const std::string& name, const json::Value& baseli
                               CompareResult& out) {
   ++out.benchmarks_compared;
   compare_checksums(name, baseline, current, options, out);
-  if (name == "micro_ga" || name == "micro_query" || name == "micro_serve") {
+  if (name == "micro_ga" || name == "micro_query" || name == "micro_serve" ||
+      name == "micro_delta") {
     compare_wall_series(name, baseline, current, options, out);
   }
   const json::Value* base_data = baseline.find("data");

@@ -47,6 +47,23 @@ struct KMeansResult {
 KMeansResult kmeans_cluster(ga::Context& ctx, const Matrix& points,
                             const KMeansConfig& config = {});
 
+/// One nearest-centroid evaluation pass (no centroid update).
+struct AssignEval {
+  std::vector<std::int32_t> assignment;     ///< local points → cluster id
+  std::vector<std::int64_t> cluster_sizes;  ///< global, length k
+  double inertia = 0.0;                     ///< global, order-invariant
+};
+
+/// Collective: assigns the rank-local `points` to the replicated (frozen)
+/// `centroids`, mirroring kmeans_cluster's final pass exactly — same tile
+/// kernel, tie-breaking, and ReproducibleSum inertia bank, with the
+/// quantization bound derived from an allreduce_max over the *global*
+/// point set.  Given the same global points and centroids, the inertia is
+/// byte-identical for any processor count and any local split of the
+/// points — the foundation of the delta-vs-recompute equivalence gate.
+AssignEval assign_to_centroids(ga::Context& ctx, const Matrix& points,
+                               const Matrix& centroids);
+
 /// Deterministic k-means++ seeding over a replicated sample (exposed for
 /// tests).  Returns k × dim centroids.
 Matrix kmeanspp_seed(const Matrix& sample, std::size_t k, std::uint64_t seed);

@@ -225,4 +225,44 @@ KMeansResult kmeans_cluster(ga::Context& ctx, const Matrix& points,
   return result;
 }
 
+AssignEval assign_to_centroids(ga::Context& ctx, const Matrix& points,
+                               const Matrix& centroids) {
+  const std::size_t k = centroids.rows();
+  const std::size_t dim = centroids.cols();
+  require(k >= 1 && dim >= 1, "assign_to_centroids: empty centroids");
+  require(points.rows() == 0 || points.cols() == dim,
+          "assign_to_centroids: point/centroid dimension mismatch");
+
+  // Same quantization bound derivation as kmeans_cluster: max coordinate
+  // magnitude over the global point set (centroids are convex
+  // combinations of signatures, so they stay within the same bound).
+  double local_abs = 0.0;
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    for (const double v : points.row(i)) local_abs = std::max(local_abs, std::abs(v));
+  }
+  const double coord_bound = ctx.allreduce_max(local_abs);
+  const double inertia_bound =
+      4.0 * static_cast<double>(dim) * coord_bound * coord_bound + 1.0;
+
+  AssignEval out;
+  out.assignment.assign(points.rows(), 0);
+  std::vector<std::int64_t> counts(k, 0);
+  std::vector<std::int32_t> tile_c(kAssignTilePoints);
+  std::vector<double> tile_d(kAssignTilePoints);
+  ga::ReproducibleSum inertia_acc(1, inertia_bound);
+  for (std::size_t tb = 0; tb < points.rows(); tb += kAssignTilePoints) {
+    const std::size_t te = std::min(points.rows(), tb + kAssignTilePoints);
+    assign_tile_blocked(points, tb, te, centroids, tile_c, tile_d);
+    for (std::size_t i = tb; i < te; ++i) {
+      out.assignment[i] = tile_c[i - tb];
+      inertia_acc.add(0, tile_d[i - tb]);
+      ++counts[static_cast<std::size_t>(tile_c[i - tb])];
+    }
+  }
+  ctx.allreduce_sum(counts.data(), counts.size());
+  out.inertia = inertia_acc.allreduce_sum(ctx)[0];
+  out.cluster_sizes = std::move(counts);
+  return out;
+}
+
 }  // namespace sva::cluster

@@ -87,6 +87,33 @@ class GeneratedReader final : public CorpusReader {
   std::vector<std::size_t> sizes_;
 };
 
+/// Contiguous window [begin, end) of another reader (position j here
+/// reads position begin+j underneath), with document ids *rebased* to
+/// slice-local positions 0..size()-1.  The delta-ingestion driver uses
+/// this to treat the tail of a combined corpus as "the new documents":
+/// engine::ingest_delta expects position ids from its reader and assigns
+/// the global ids (base_records + position) itself.
+class SliceReader final : public CorpusReader {
+ public:
+  SliceReader(const CorpusReader& under, std::size_t begin, std::size_t end)
+      : under_(&under), begin_(begin), end_(end) {}
+
+  [[nodiscard]] std::size_t size() const override { return end_ - begin_; }
+  [[nodiscard]] std::size_t doc_bytes(std::size_t i) const override {
+    return under_->doc_bytes(begin_ + i);
+  }
+  [[nodiscard]] RawDocument read(std::size_t i) const override {
+    RawDocument doc = under_->read(begin_ + i);
+    doc.id = i;
+    return doc;
+  }
+
+ private:
+  const CorpusReader* under_;
+  std::size_t begin_;
+  std::size_t end_;
+};
+
 /// How to cut the corpus into ingestion shards.
 struct ShardingConfig {
   /// Explicit shard count (0 = derive from the memory budget, or 1).

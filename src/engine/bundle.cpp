@@ -1,8 +1,10 @@
 #include "sva/engine/bundle.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "sva/corpus/document.hpp"
+#include "sva/engine/digest.hpp"
 #include "sva/engine/engine.hpp"
 #include "sva/engine/section_file.hpp"
 #include "sva/util/bytes.hpp"
@@ -19,11 +21,178 @@ std::pair<std::size_t, std::size_t> my_range(ga::Context& ctx,
   return parts[static_cast<std::size_t>(ctx.rank())];
 }
 
+/// Fixed-width 8-byte little-endian word (the generation section uses a
+/// fixed layout so the parent link sits at a stable offset).
+void put_word(ByteWriter& w, std::uint64_t v) { w.raw(&v, sizeof(v)); }
+
+std::uint64_t get_word(ByteReader& r) {
+  std::uint64_t v = 0;
+  r.raw(&v, sizeof(v));
+  return v;
+}
+
 }  // namespace
 
-void export_bundle(ga::Context& ctx, const EngineResult& result,
-                   std::uint64_t config_fingerprint, const std::filesystem::path& path,
-                   std::span<const std::size_t> record_sizes) {
+std::uint64_t bundle_lineage(const GenerationInfo& generation, std::uint64_t num_records,
+                             std::uint64_t num_terms, std::uint64_t total_term_occurrences,
+                             std::uint64_t global_null_count, double inertia) {
+  ByteWriter w;
+  w.u64(generation.parent_lineage);
+  w.u64(generation.generation);
+  w.u64(generation.base_records);
+  w.u64(generation.new_records);
+  w.u64(num_records);
+  w.u64(num_terms);
+  w.u64(total_term_occurrences);
+  w.u64(global_null_count);
+  w.f64(inertia);
+  return fnv1a64(w.bytes.data(), w.bytes.size());
+}
+
+void require_extends(const BundleView& base, const BundleView& next) {
+  if (next.generation.generation != base.generation.generation + 1) {
+    throw FormatError(
+        "bundle: generation counter rollback — bundle at generation " +
+        std::to_string(next.generation.generation) + " cannot extend generation " +
+        std::to_string(base.generation.generation) + " (expected generation " +
+        std::to_string(base.generation.generation + 1) + ")");
+  }
+  if (next.generation.parent_lineage != base.generation.lineage) {
+    throw FormatError(
+        "bundle: delta bundle opened without its base — parent lineage " +
+        checksum_hex(next.generation.parent_lineage) + " does not match the base lineage " +
+        checksum_hex(base.generation.lineage));
+  }
+}
+
+void write_bundle_data(BundleData& data, const std::filesystem::path& path) {
+  require(data.doc_ids.size() == data.num_records,
+          "write_bundle_data: doc id count disagrees with num_records");
+  require(data.weights.empty() || data.weights.size() == data.num_records,
+          "write_bundle_data: weights must cover every document");
+
+  data.generation.lineage =
+      bundle_lineage(data.generation, data.num_records, data.num_terms,
+                     data.total_term_occurrences, data.global_null_count, data.inertia);
+
+  SectionedFile file;
+  file.fingerprint = data.config_fingerprint;
+
+  ByteWriter meta;
+  meta.u64(data.num_records);
+  meta.u64(data.num_terms);
+  meta.u64(data.total_term_occurrences);
+  meta.u64(data.dimension);
+  meta.u64(static_cast<std::uint64_t>(data.signature_rounds));
+  meta.u64(data.global_null_count);
+  file.add("meta", std::move(meta.bytes));
+
+  // Row-partition weights: raw document bytes when the caller has them
+  // (Engine::run does), else one unit per row.
+  ByteWriter weights;
+  weights.u64(data.num_records);
+  for (std::size_t i = 0; i < data.num_records; ++i) {
+    weights.u64(data.weights.empty() ? 1 : data.weights[i]);
+  }
+  file.add("weights", std::move(weights.bytes));
+
+  ByteWriter rows;
+  rows.u64(data.doc_ids.size());
+  rows.u64(data.dimension);
+  for (const auto id : data.doc_ids) rows.u64(id);
+  rows.raw(data.null_flags.data(), data.null_flags.size());
+  rows.raw(data.signature_rows.data(), data.signature_rows.size() * sizeof(double));
+  file.add("signatures", std::move(rows.bytes));
+
+  require(data.cluster_sizes.size() == data.centroids.rows(),
+          "write_bundle_data: cluster_sizes/centroid shape mismatch");
+  ByteWriter clu;
+  clu.u64(static_cast<std::uint64_t>(data.iterations));
+  clu.f64(data.inertia);
+  clu.u64(data.centroids.rows());
+  clu.u64(data.centroids.cols());
+  clu.raw(data.centroids.flat().data(), data.centroids.flat().size() * sizeof(double));
+  for (const auto s : data.cluster_sizes) clu.u64(static_cast<std::uint64_t>(s));
+  clu.u64(data.assignment.size());
+  for (const auto a : data.assignment) clu.u64(static_cast<std::uint64_t>(a));
+  file.add("cluster", std::move(clu.bytes));
+
+  ByteWriter labels;
+  labels.u64(data.theme_labels.size());
+  for (const auto& cluster_labels : data.theme_labels) {
+    labels.u64(cluster_labels.size());
+    for (const auto& l : cluster_labels) labels.str(l);
+  }
+  file.add("labels", std::move(labels.bytes));
+
+  ByteWriter topics;
+  topics.u64(data.topic_term_names.size());
+  for (const auto& t : data.topic_term_names) topics.str(t);
+  file.add("topic_terms", std::move(topics.bytes));
+
+  ByteWriter proj;
+  proj.u64(data.projection_components);
+  proj.u64(data.projection_doc_ids.size());
+  for (const auto id : data.projection_doc_ids) proj.u64(id);
+  proj.raw(data.projection_xy.data(), data.projection_xy.size() * sizeof(double));
+  file.add("projection", std::move(proj.bytes));
+
+  // Fixed-width layout: generation @0, parent lineage @8, lineage @16.
+  ByteWriter gen;
+  put_word(gen, data.generation.generation);
+  put_word(gen, data.generation.parent_lineage);
+  put_word(gen, data.generation.lineage);
+  put_word(gen, data.generation.base_records);
+  put_word(gen, data.generation.new_records);
+  gen.f64(data.generation.inertia_rise);
+  gen.f64(data.generation.size_skew);
+  gen.f64(data.generation.size_skew_rise);
+  gen.f64(data.generation.max_inertia_rise);
+  gen.f64(data.generation.max_size_skew_rise);
+  put_word(gen, data.generation.recluster_recommended ? 1 : 0);
+  file.add("generation", std::move(gen.bytes));
+
+  if (!data.vocabulary.empty()) {
+    ByteWriter vocab;
+    vocab.u64(data.vocabulary.size());
+    for (const auto& t : data.vocabulary) vocab.str(t);
+    file.add("vocab", std::move(vocab.bytes));
+  }
+
+  if (!data.model.major_terms.empty()) {
+    require(data.model.association.rows() == data.model.major_terms.size(),
+            "write_bundle_data: association rows disagree with the major terms");
+    ByteWriter model;
+    model.u64(data.model.major_terms.size());
+    for (const auto& t : data.model.major_terms) model.str(t);
+    model.u64(data.model.association.rows());
+    model.u64(data.model.association.cols());
+    model.raw(data.model.association.flat().data(),
+              data.model.association.flat().size() * sizeof(double));
+    const auto& pca = data.model.pca;
+    model.u64(pca.mean.size());
+    model.raw(pca.mean.data(), pca.mean.size() * sizeof(double));
+    model.u64(pca.components.rows());
+    model.u64(pca.components.cols());
+    model.raw(pca.components.flat().data(), pca.components.flat().size() * sizeof(double));
+    model.u64(pca.eigenvalues.size());
+    model.raw(pca.eigenvalues.data(), pca.eigenvalues.size() * sizeof(double));
+    file.add("model", std::move(model.bytes));
+  }
+
+  if (!data.config_bytes.empty()) {
+    file.add("config", std::vector<std::uint8_t>(data.config_bytes));
+  }
+
+  file.write(path, kBundleMagic, kBundleFormatVersion);
+}
+
+namespace {
+
+void export_bundle_impl(ga::Context& ctx, const EngineResult& result,
+                        std::uint64_t config_fingerprint, const std::filesystem::path& path,
+                        std::span<const std::size_t> record_sizes,
+                        std::vector<std::uint8_t> config_bytes) {
   const auto& sigs = result.signatures;
   require(result.clustering.assignment.size() == sigs.doc_ids.size(),
           "export_bundle: assignment/signature row mismatch");
@@ -35,15 +204,15 @@ void export_bundle(ga::Context& ctx, const EngineResult& result,
   for (std::size_t i = 0; i < sigs.is_null.size(); ++i) {
     null_bytes[i] = sigs.is_null[i] ? 1 : 0;
   }
-  const auto all_ids = ctx.gatherv(std::span<const std::uint64_t>(sigs.doc_ids), 0);
-  const auto all_nulls = ctx.gatherv(std::span<const std::uint8_t>(null_bytes), 0);
-  const auto all_vecs = ctx.gatherv(
+  auto all_ids = ctx.gatherv(std::span<const std::uint64_t>(sigs.doc_ids), 0);
+  auto all_nulls = ctx.gatherv(std::span<const std::uint8_t>(null_bytes), 0);
+  auto all_vecs = ctx.gatherv(
       std::span<const double>(sigs.docvecs.flat().data(), sigs.docvecs.flat().size()), 0);
-  const auto all_assignment =
+  auto all_assignment =
       ctx.gatherv(std::span<const std::int32_t>(result.clustering.assignment), 0);
-  const auto all_proj_ids =
+  auto all_proj_ids =
       ctx.gatherv(std::span<const std::uint64_t>(result.projection.local_doc_ids), 0);
-  const auto all_xy = ctx.gatherv(std::span<const double>(result.projection.local_xy), 0);
+  auto all_xy = ctx.gatherv(std::span<const double>(result.projection.local_xy), 0);
 
   if (ctx.rank() == 0) {
     require(all_ids.size() == result.num_records,
@@ -51,86 +220,81 @@ void export_bundle(ga::Context& ctx, const EngineResult& result,
     require(record_sizes.empty() || record_sizes.size() == all_ids.size(),
             "export_bundle: record_sizes must cover every document");
 
-    SectionedFile file;
-    file.fingerprint = config_fingerprint;
-
-    ByteWriter meta;
-    meta.u64(result.num_records);
-    meta.u64(result.num_terms);
-    meta.u64(result.total_term_occurrences);
-    meta.u64(sigs.dimension);
-    meta.u64(static_cast<std::uint64_t>(result.signature_rounds));
-    meta.u64(sigs.global_null_count);
-    file.add("meta", std::move(meta.bytes));
-
-    // Row-partition weights: raw document bytes when the caller has them
-    // (Engine::run does), else one unit per row.
-    ByteWriter weights;
-    weights.u64(all_ids.size());
-    for (std::size_t i = 0; i < all_ids.size(); ++i) {
-      weights.u64(record_sizes.empty() ? 1 : record_sizes[i]);
-    }
-    file.add("weights", std::move(weights.bytes));
-
-    ByteWriter rows;
-    rows.u64(all_ids.size());
-    rows.u64(sigs.dimension);
-    for (const auto id : all_ids) rows.u64(id);
-    rows.raw(all_nulls.data(), all_nulls.size());
-    rows.raw(all_vecs.data(), all_vecs.size() * sizeof(double));
-    file.add("signatures", std::move(rows.bytes));
-
-    const auto& c = result.clustering;
-    require(c.cluster_sizes.size() == c.centroids.rows(),
-            "export_bundle: cluster_sizes/centroid shape mismatch");
-    ByteWriter clu;
-    clu.u64(static_cast<std::uint64_t>(c.iterations));
-    clu.f64(c.inertia);
-    clu.u64(c.centroids.rows());
-    clu.u64(c.centroids.cols());
-    clu.raw(c.centroids.flat().data(), c.centroids.flat().size() * sizeof(double));
-    for (const auto s : c.cluster_sizes) clu.u64(static_cast<std::uint64_t>(s));
-    clu.u64(all_assignment.size());
-    for (const auto a : all_assignment) clu.u64(static_cast<std::uint64_t>(a));
-    file.add("cluster", std::move(clu.bytes));
-
-    ByteWriter labels;
-    labels.u64(result.theme_labels.size());
-    for (const auto& cluster_labels : result.theme_labels) {
-      labels.u64(cluster_labels.size());
-      for (const auto& l : cluster_labels) labels.str(l);
-    }
-    file.add("labels", std::move(labels.bytes));
+    BundleData data;
+    data.config_fingerprint = config_fingerprint;
+    data.num_records = result.num_records;
+    data.num_terms = result.num_terms;
+    data.total_term_occurrences = result.total_term_occurrences;
+    data.dimension = sigs.dimension;
+    data.signature_rounds = result.signature_rounds;
+    data.global_null_count = sigs.global_null_count;
+    data.weights.assign(record_sizes.begin(), record_sizes.end());
+    data.doc_ids = std::move(all_ids);
+    data.null_flags = std::move(all_nulls);
+    data.signature_rows = std::move(all_vecs);
+    data.iterations = result.clustering.iterations;
+    data.inertia = result.clustering.inertia;
+    data.centroids = result.clustering.centroids;
+    data.cluster_sizes = result.clustering.cluster_sizes;
+    data.assignment = std::move(all_assignment);
+    data.theme_labels = result.theme_labels;
 
     // Vocabulary slice: only the topic terms (the M dimension labels)
-    // travel with the bundle — queries never need the full vocabulary.
-    ByteWriter topics;
-    const auto& topic_terms = result.selection.topic_terms;
-    topics.u64(topic_terms.size());
-    for (const auto t : topic_terms) {
+    // travel in the query-facing section — queries never need the full
+    // vocabulary (the optional "vocab" section carries it for deltas).
+    const auto resolve = [&result](std::int64_t t) -> const std::string& {
       require(result.vocabulary != nullptr && t >= 0 &&
                   static_cast<std::size_t>(t) < result.vocabulary->terms.size(),
-              "export_bundle: topic term outside the vocabulary");
-      topics.str(result.vocabulary->terms[static_cast<std::size_t>(t)]);
+              "export_bundle: term outside the vocabulary");
+      return result.vocabulary->terms[static_cast<std::size_t>(t)];
+    };
+    data.topic_term_names.reserve(result.selection.topic_terms.size());
+    for (const auto t : result.selection.topic_terms) {
+      data.topic_term_names.push_back(resolve(t));
     }
-    file.add("topic_terms", std::move(topics.bytes));
 
-    ByteWriter proj;
-    proj.u64(result.projection.components);
-    proj.u64(all_proj_ids.size());
-    for (const auto id : all_proj_ids) proj.u64(id);
-    proj.raw(all_xy.data(), all_xy.size() * sizeof(double));
-    file.add("projection", std::move(proj.bytes));
+    data.projection_components = result.projection.components;
+    data.projection_doc_ids = std::move(all_proj_ids);
+    data.projection_xy = std::move(all_xy);
 
-    file.write(path, kBundleMagic, kBundleFormatVersion);
+    // A full build is generation 0 of a fresh lineage.
+    data.generation.new_records = result.num_records;
+
+    if (result.vocabulary != nullptr) data.vocabulary = result.vocabulary->terms;
+    // The frozen model rides along whenever the result carries one
+    // (synthetic results assembled without an association matrix or PCA
+    // basis still export a servable bundle, just not a delta-extensible
+    // one).
+    if (!result.selection.major_terms.empty() &&
+        result.association.n() == result.selection.major_terms.size() &&
+        result.pca.components.rows() > 0) {
+      data.model.major_terms.reserve(result.selection.major_terms.size());
+      for (const auto t : result.selection.major_terms) {
+        data.model.major_terms.push_back(resolve(t));
+      }
+      data.model.association = result.association.weights;
+      data.model.pca = result.pca;
+    }
+    data.config_bytes = std::move(config_bytes);
+
+    write_bundle_data(data, path);
   }
   ctx.barrier();
+}
+
+}  // namespace
+
+void export_bundle(ga::Context& ctx, const EngineResult& result,
+                   std::uint64_t config_fingerprint, const std::filesystem::path& path,
+                   std::span<const std::size_t> record_sizes) {
+  export_bundle_impl(ctx, result, config_fingerprint, path, record_sizes, {});
 }
 
 void export_bundle(ga::Context& ctx, const EngineResult& result, const EngineConfig& config,
                    const std::filesystem::path& path,
                    std::span<const std::size_t> record_sizes) {
-  export_bundle(ctx, result, Engine::config_fingerprint(config), path, record_sizes);
+  export_bundle_impl(ctx, result, Engine::config_fingerprint(config), path, record_sizes,
+                     encode_engine_config(config));
 }
 
 BundleView load_bundle(ga::Context& ctx, const std::filesystem::path& path) {
@@ -153,18 +317,17 @@ BundleView load_bundle(ga::Context& ctx, const std::filesystem::path& path) {
     meta.expect_done();
   }
 
-  std::vector<std::size_t> weights;
   {
     ByteReader w(file.section("weights"));
     const std::uint64_t n = w.u64();
     require_format(n == out.num_records, "bundle: weight count mismatch");
-    weights.reserve(static_cast<std::size_t>(n));
+    out.weights.reserve(static_cast<std::size_t>(n));
     for (std::uint64_t i = 0; i < n; ++i) {
-      weights.push_back(static_cast<std::size_t>(w.u64()));
+      out.weights.push_back(static_cast<std::size_t>(w.u64()));
     }
     w.expect_done();
   }
-  const auto [begin, end] = my_range(ctx, weights);
+  const auto [begin, end] = my_range(ctx, out.weights);
   out.row_range = {begin, end};
   const std::size_t mine = end > begin ? end - begin : 0;
 
@@ -261,6 +424,79 @@ BundleView load_bundle(ga::Context& ctx, const std::filesystem::path& path) {
     if (mine > 0) proj.raw(out.projection_xy.data(), mine * row_bytes);
     proj.skip((static_cast<std::size_t>(n) - end) * row_bytes);
     proj.expect_done();
+  }
+
+  {
+    ByteReader gen(file.section("generation"));
+    auto& g = out.generation;
+    g.generation = get_word(gen);
+    g.parent_lineage = get_word(gen);
+    g.lineage = get_word(gen);
+    g.base_records = get_word(gen);
+    g.new_records = get_word(gen);
+    g.inertia_rise = gen.f64();
+    g.size_skew = gen.f64();
+    g.size_skew_rise = gen.f64();
+    g.max_inertia_rise = gen.f64();
+    g.max_size_skew_rise = gen.f64();
+    g.recluster_recommended = get_word(gen) != 0;
+    gen.expect_done();
+    const std::uint64_t expected =
+        bundle_lineage(g, out.num_records, out.num_terms, out.total_term_occurrences,
+                       out.signatures.global_null_count, out.clustering.inertia);
+    require_format(g.lineage == expected,
+                   "bundle: generation lineage mismatch — parent fingerprint or "
+                   "generation metadata corrupted");
+  }
+
+  if (file.has("vocab")) {
+    ByteReader vocab(file.section("vocab"));
+    const std::uint64_t n = vocab.u64();
+    require_format(n <= (1u << 30), "bundle: implausible vocabulary size");
+    out.vocabulary.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) out.vocabulary.push_back(vocab.str());
+    vocab.expect_done();
+  }
+
+  if (file.has("model")) {
+    ByteReader model(file.section("model"));
+    const std::uint64_t n_major = model.u64();
+    require_format(n_major <= (1u << 24), "bundle: implausible major-term count");
+    out.model.major_terms.reserve(static_cast<std::size_t>(n_major));
+    for (std::uint64_t i = 0; i < n_major; ++i) {
+      out.model.major_terms.push_back(model.str());
+    }
+    const std::uint64_t am_rows = model.u64();
+    const std::uint64_t am_cols = model.u64();
+    require_format(am_rows == n_major, "bundle: association rows disagree with major terms");
+    require_format(am_cols == out.signatures.dimension,
+                   "bundle: association columns disagree with the signature dimension");
+    out.model.association =
+        Matrix(static_cast<std::size_t>(am_rows), static_cast<std::size_t>(am_cols));
+    model.raw(out.model.association.flat().data(),
+              out.model.association.flat().size() * sizeof(double));
+    auto& pca = out.model.pca;
+    const std::uint64_t mean_n = model.u64();
+    require_format(mean_n <= (1u << 24), "bundle: implausible PCA mean size");
+    pca.mean.resize(static_cast<std::size_t>(mean_n));
+    model.raw(pca.mean.data(), pca.mean.size() * sizeof(double));
+    const std::uint64_t comp_rows = model.u64();
+    const std::uint64_t comp_cols = model.u64();
+    require_format(comp_rows <= 3 && comp_cols <= (1u << 24),
+                   "bundle: implausible PCA component shape");
+    pca.components =
+        Matrix(static_cast<std::size_t>(comp_rows), static_cast<std::size_t>(comp_cols));
+    model.raw(pca.components.flat().data(), pca.components.flat().size() * sizeof(double));
+    const std::uint64_t n_eigen = model.u64();
+    require_format(n_eigen == comp_rows, "bundle: eigenvalue count disagrees with components");
+    pca.eigenvalues.resize(static_cast<std::size_t>(n_eigen));
+    model.raw(pca.eigenvalues.data(), pca.eigenvalues.size() * sizeof(double));
+    model.expect_done();
+    out.has_model = true;
+  }
+
+  if (file.has("config")) {
+    out.config_bytes = file.section("config");
   }
   return out;
 }

@@ -11,7 +11,10 @@ namespace sva::engine {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'V', 'A', 'C', 'K', 'P', 'T', '1'};
-constexpr std::uint64_t kFormatVersion = 1;
+// v2: the signature checkpoint carries the association matrix and the
+// final checkpoint the padded PCA basis, so a resumed run exports
+// bundles carrying the same frozen model as the original run.
+constexpr std::uint64_t kFormatVersion = 2;
 
 const char* kStageFiles[] = {"ingest.svack", "signatures.svack", "cluster.svack",
                              "final.svack"};
@@ -354,6 +357,13 @@ void save_signature_checkpoint(ga::Context& ctx, const std::filesystem::path& di
     for (const auto t : s.topic_terms) sel.u64(static_cast<std::uint64_t>(t));
     file.add("selection", std::move(sel.bytes));
 
+    ByteWriter am;
+    am.u64(state.association.weights.rows());
+    am.u64(state.association.weights.cols());
+    am.raw(state.association.weights.flat().data(),
+           state.association.weights.flat().size() * sizeof(double));
+    file.add("association", std::move(am.bytes));
+
     ByteWriter rows;
     rows.u64(all_ids.size());
     rows.u64(sigs.dimension);
@@ -406,6 +416,20 @@ SignatureCheckpoint load_signature_checkpoint(ga::Context& ctx,
     sel.expect_done();
     for (std::size_t i = 0; i < s.major_terms.size(); ++i) s.major_index[s.major_terms[i]] = i;
     for (std::size_t i = 0; i < s.topic_terms.size(); ++i) s.topic_index[s.topic_terms[i]] = i;
+  }
+  {
+    ByteReader am(file.section("association"));
+    const std::uint64_t rows = am.u64();
+    const std::uint64_t cols = am.u64();
+    require_format(rows == out.state.selection.major_terms.size(),
+                   "checkpoint: association rows disagree with the selection");
+    require_format(cols == out.state.signatures.dimension,
+                   "checkpoint: association columns disagree with the dimension");
+    out.state.association.weights =
+        Matrix(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+    am.raw(out.state.association.weights.flat().data(),
+           out.state.association.weights.flat().size() * sizeof(double));
+    am.expect_done();
   }
   {
     ByteReader rows(file.section("signatures"));
@@ -568,6 +592,17 @@ void save_final_checkpoint(ga::Context& ctx, const std::filesystem::path& dir,
     proj.raw(state.projection.all_xy.data(), state.projection.all_xy.size() * sizeof(double));
     file.add("projection", std::move(proj.bytes));
 
+    ByteWriter pca;
+    pca.u64(state.pca.mean.size());
+    pca.raw(state.pca.mean.data(), state.pca.mean.size() * sizeof(double));
+    pca.u64(state.pca.components.rows());
+    pca.u64(state.pca.components.cols());
+    pca.raw(state.pca.components.flat().data(),
+            state.pca.components.flat().size() * sizeof(double));
+    pca.u64(state.pca.eigenvalues.size());
+    pca.raw(state.pca.eigenvalues.data(), state.pca.eigenvalues.size() * sizeof(double));
+    file.add("pca", std::move(pca.bytes));
+
     file.write(stage_path(dir, Stage::kFinal));
   }
   ctx.barrier();
@@ -625,6 +660,27 @@ FinalCheckpoint load_final_checkpoint(ga::Context& ctx, const std::filesystem::p
       out.state.projection.all_doc_ids = std::move(ids);
       out.state.projection.all_xy = std::move(xy);
     }
+  }
+  {
+    ByteReader pca(file.section("pca"));
+    auto& p = out.state.pca;
+    const std::uint64_t mean_n = pca.u64();
+    require_format(mean_n <= (1u << 24), "checkpoint: implausible PCA mean size");
+    p.mean.resize(static_cast<std::size_t>(mean_n));
+    pca.raw(p.mean.data(), p.mean.size() * sizeof(double));
+    const std::uint64_t comp_rows = pca.u64();
+    const std::uint64_t comp_cols = pca.u64();
+    require_format(comp_rows <= 3 && comp_cols <= (1u << 24),
+                   "checkpoint: implausible PCA component shape");
+    p.components =
+        Matrix(static_cast<std::size_t>(comp_rows), static_cast<std::size_t>(comp_cols));
+    pca.raw(p.components.flat().data(), p.components.flat().size() * sizeof(double));
+    const std::uint64_t n_eigen = pca.u64();
+    require_format(n_eigen == comp_rows,
+                   "checkpoint: eigenvalue count disagrees with components");
+    p.eigenvalues.resize(static_cast<std::size_t>(n_eigen));
+    pca.raw(p.eigenvalues.data(), p.eigenvalues.size() * sizeof(double));
+    pca.expect_done();
   }
   return out;
 }

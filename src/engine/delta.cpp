@@ -1,0 +1,310 @@
+#include "sva/engine/delta.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <string>
+
+#include "sva/cluster/kmeans.hpp"
+#include "sva/engine/bundle.hpp"
+#include "sva/engine/engine.hpp"
+#include "sva/engine/ingest.hpp"
+#include "sva/ga/stage_timer.hpp"
+#include "sva/sig/signature.hpp"
+#include "sva/util/error.hpp"
+#include "sva/util/log.hpp"
+
+namespace sva::engine {
+
+namespace {
+
+struct FrozenBase {
+  BundleView view;
+  EngineConfig config;
+};
+
+/// Loads the base bundle and validates it carries everything a delta
+/// needs: the frozen model, the full vocabulary and the embedded
+/// configuration.
+FrozenBase load_frozen_base(ga::Context& ctx, const std::filesystem::path& path,
+                            const char* what) {
+  FrozenBase base;
+  base.view = load_bundle(ctx, path);
+  require(base.view.has_model,
+          std::string(what) + ": base bundle carries no frozen model section "
+                              "(exported from a result without an association matrix "
+                              "or PCA basis); re-export it from a full engine run");
+  require(!base.view.vocabulary.empty(),
+          std::string(what) + ": base bundle carries no vocabulary section");
+  require(!base.view.config_bytes.empty(),
+          std::string(what) + ": base bundle carries no embedded engine configuration");
+  base.config = decode_engine_config(base.view.config_bytes);
+  return base;
+}
+
+/// Drift metrics vs the base generation and the advanced counters.  All
+/// inputs are replicated, so every rank computes the identical verdict.
+GenerationInfo next_generation(const BundleView& base, const cluster::AssignEval& eval,
+                               std::uint64_t n_total, const DeltaOptions& options) {
+  GenerationInfo g;
+  g.generation = base.generation.generation + 1;
+  g.parent_lineage = base.generation.lineage;
+  g.base_records = base.num_records;
+  g.new_records = n_total - base.num_records;
+
+  const double base_per_doc =
+      base.num_records > 0
+          ? base.clustering.inertia / static_cast<double>(base.num_records)
+          : 0.0;
+  const double now_per_doc =
+      n_total > 0 ? eval.inertia / static_cast<double>(n_total) : 0.0;
+  g.inertia_rise = base_per_doc > 0.0 ? now_per_doc / base_per_doc - 1.0 : 0.0;
+
+  const auto skew = [](const std::vector<std::int64_t>& sizes, std::uint64_t n) {
+    if (n == 0 || sizes.empty()) return 0.0;
+    std::int64_t largest = 0;
+    for (const auto s : sizes) largest = std::max(largest, s);
+    const double mean = static_cast<double>(n) / static_cast<double>(sizes.size());
+    return static_cast<double>(largest) / mean;
+  };
+  g.size_skew = skew(eval.cluster_sizes, n_total);
+  const double base_skew = skew(base.clustering.cluster_sizes, base.num_records);
+  g.size_skew_rise = base_skew > 0.0 ? g.size_skew / base_skew - 1.0 : 0.0;
+
+  g.max_inertia_rise = options.max_inertia_rise;
+  g.max_size_skew_rise = options.max_size_skew_rise;
+  g.recluster_recommended = g.inertia_rise > options.max_inertia_rise ||
+                            g.size_skew_rise > options.max_size_skew_rise;
+  return g;
+}
+
+std::vector<std::uint8_t> null_bytes(const std::vector<bool>& flags) {
+  std::vector<std::uint8_t> out(flags.size());
+  for (std::size_t i = 0; i < flags.size(); ++i) out[i] = flags[i] ? 1 : 0;
+  return out;
+}
+
+/// Pure per-row projection through the frozen (padded) PCA basis — the
+/// same pca.project a full run's project_documents applies, so the
+/// coordinates are byte-identical.
+std::vector<double> project_rows(const Matrix& rows, const cluster::PcaResult& pca) {
+  const std::size_t comps = pca.components.rows();
+  std::vector<double> xy;
+  xy.reserve(rows.rows() * comps);
+  for (std::size_t i = 0; i < rows.rows(); ++i) {
+    const auto p = pca.project(rows.row(i));
+    xy.insert(xy.end(), p.begin(), p.end());
+  }
+  return xy;
+}
+
+DeltaReport report_of(const GenerationInfo& gen, std::uint64_t lineage) {
+  DeltaReport report;
+  report.generation = gen.generation;
+  report.base_records = gen.base_records;
+  report.new_records = gen.new_records;
+  report.inertia_rise = gen.inertia_rise;
+  report.size_skew = gen.size_skew;
+  report.size_skew_rise = gen.size_skew_rise;
+  report.recluster_recommended = gen.recluster_recommended;
+  report.lineage = lineage;
+  return report;
+}
+
+}  // namespace
+
+DeltaReport ingest_delta(ga::Context& ctx, const std::filesystem::path& base_bundle,
+                         const corpus::CorpusReader& new_docs,
+                         const std::filesystem::path& out_bundle,
+                         const DeltaOptions& options) {
+  FrozenBase base = load_frozen_base(ctx, base_bundle, "ingest_delta");
+  const BundleView& view = base.view;
+
+  // Scan only the new documents (bounded-memory sharded path), then
+  // compute their signatures in the frozen model's row order.
+  ga::StageTimer timer(ctx);
+  const IngestState ingest = ingest_sharded(ctx, new_docs, base.config.tokenizer,
+                                            base.config.indexing, options.sharding, timer);
+  const sig::MajorRowMap row_map(view.model.major_terms, *ingest.vocabulary);
+  sig::AssociationMatrix association;
+  association.weights = view.model.association;
+  sig::SignatureSet new_sigs = sig::compute_signatures(ctx, ingest.records, row_map,
+                                                       association, base.config.signature);
+  // New documents append after the base corpus in global record order.
+  for (auto& id : new_sigs.doc_ids) id += view.num_records;
+
+  // Nearest-centroid evaluation over the full row set — inherited rows
+  // straight from the base bundle plus the new rows — against the frozen
+  // centroids.  The global point set is identical to a recompute over
+  // the combined corpus, so the order-invariant inertia matches exactly.
+  const std::size_t m = view.signatures.dimension;
+  const std::size_t local_base = view.signatures.docvecs.rows();
+  const std::size_t local_new = new_sigs.docvecs.rows();
+  Matrix points(local_base + local_new, m);
+  std::copy(view.signatures.docvecs.flat().begin(), view.signatures.docvecs.flat().end(),
+            points.flat().begin());
+  std::copy(new_sigs.docvecs.flat().begin(), new_sigs.docvecs.flat().end(),
+            points.flat().begin() + static_cast<std::ptrdiff_t>(local_base * m));
+  const cluster::AssignEval eval =
+      cluster::assign_to_centroids(ctx, points, view.clustering.centroids);
+
+  const std::uint64_t n_total = view.num_records + ingest.num_records;
+  const GenerationInfo gen = next_generation(view, eval, n_total, options);
+
+  // Merged corpus statistics: terms union (both lists are sorted), counts
+  // additive.
+  std::vector<std::string> vocab_union;
+  vocab_union.reserve(view.vocabulary.size() + ingest.vocabulary->terms.size());
+  std::set_union(view.vocabulary.begin(), view.vocabulary.end(),
+                 ingest.vocabulary->terms.begin(), ingest.vocabulary->terms.end(),
+                 std::back_inserter(vocab_union));
+  const auto num_terms = static_cast<std::uint64_t>(vocab_union.size());
+  const std::uint64_t total_occ =
+      view.total_term_occurrences + ingest.total_term_occurrences;
+  const std::uint64_t null_count =
+      view.signatures.global_null_count + new_sigs.global_null_count;
+  const std::uint64_t lineage =
+      bundle_lineage(gen, n_total, num_terms, total_occ, null_count, eval.inertia);
+
+  // Gather the global image: rank order == global doc order, base slices
+  // first within each array, then the new slices.
+  const std::vector<double> new_xy = project_rows(new_sigs.docvecs, view.model.pca);
+  const auto base_null = null_bytes(view.signatures.is_null);
+  const auto new_null = null_bytes(new_sigs.is_null);
+  auto all_base_ids = ctx.gatherv(std::span<const std::uint64_t>(view.signatures.doc_ids), 0);
+  auto all_new_ids = ctx.gatherv(std::span<const std::uint64_t>(new_sigs.doc_ids), 0);
+  auto all_base_nulls = ctx.gatherv(std::span<const std::uint8_t>(base_null), 0);
+  auto all_new_nulls = ctx.gatherv(std::span<const std::uint8_t>(new_null), 0);
+  auto all_base_vecs = ctx.gatherv(
+      std::span<const double>(view.signatures.docvecs.flat().data(),
+                              view.signatures.docvecs.flat().size()),
+      0);
+  auto all_new_vecs = ctx.gatherv(
+      std::span<const double>(new_sigs.docvecs.flat().data(), new_sigs.docvecs.flat().size()),
+      0);
+  auto all_base_assign =
+      ctx.gatherv(std::span<const std::int32_t>(eval.assignment.data(), local_base), 0);
+  auto all_new_assign = ctx.gatherv(
+      std::span<const std::int32_t>(eval.assignment.data() + local_base, local_new), 0);
+  auto all_base_proj_ids =
+      ctx.gatherv(std::span<const std::uint64_t>(view.projection_doc_ids), 0);
+  auto all_base_xy = ctx.gatherv(std::span<const double>(view.projection_xy), 0);
+  auto all_new_xy = ctx.gatherv(std::span<const double>(new_xy), 0);
+
+  if (ctx.rank() == 0) {
+    const auto concat = [](auto& dst, const auto& tail) {
+      dst.insert(dst.end(), tail.begin(), tail.end());
+    };
+    BundleData data;
+    data.config_fingerprint = view.config_fingerprint;
+    data.num_records = n_total;
+    data.num_terms = num_terms;
+    data.total_term_occurrences = total_occ;
+    data.dimension = m;
+    data.signature_rounds = view.signature_rounds;
+    data.global_null_count = null_count;
+    data.weights = view.weights;
+    concat(data.weights, new_docs.doc_sizes());
+    data.doc_ids = std::move(all_base_ids);
+    concat(data.doc_ids, all_new_ids);
+    data.null_flags = std::move(all_base_nulls);
+    concat(data.null_flags, all_new_nulls);
+    data.signature_rows = std::move(all_base_vecs);
+    concat(data.signature_rows, all_new_vecs);
+    data.iterations = view.clustering.iterations;
+    data.inertia = eval.inertia;
+    data.centroids = view.clustering.centroids;
+    data.cluster_sizes = eval.cluster_sizes;
+    data.assignment = std::move(all_base_assign);
+    concat(data.assignment, all_new_assign);
+    data.theme_labels = view.theme_labels;
+    data.topic_term_names = view.topic_term_names;
+    data.projection_components = view.projection_components;
+    data.projection_doc_ids = std::move(all_base_proj_ids);
+    concat(data.projection_doc_ids, all_new_ids);
+    data.projection_xy = std::move(all_base_xy);
+    concat(data.projection_xy, all_new_xy);
+    data.generation = gen;
+    data.vocabulary = std::move(vocab_union);
+    data.model = view.model;
+    data.config_bytes = view.config_bytes;
+    write_bundle_data(data, out_bundle);
+  }
+  ctx.barrier();
+
+  log::debug("delta") << "generation " << gen.generation << ": +" << gen.new_records
+                      << " records, inertia rise " << gen.inertia_rise << ", skew rise "
+                      << gen.size_skew_rise
+                      << (gen.recluster_recommended ? " (full re-cluster recommended)" : "");
+  return report_of(gen, lineage);
+}
+
+DeltaReport recompute_generation(ga::Context& ctx, const std::filesystem::path& base_bundle,
+                                 const corpus::CorpusReader& combined,
+                                 const std::filesystem::path& out_bundle,
+                                 const DeltaOptions& options) {
+  FrozenBase base = load_frozen_base(ctx, base_bundle, "recompute_generation");
+  const BundleView& view = base.view;
+
+  // Full scan of the combined corpus, signatures under the frozen model.
+  ga::StageTimer timer(ctx);
+  const IngestState ingest = ingest_sharded(ctx, combined, base.config.tokenizer,
+                                            base.config.indexing, options.sharding, timer);
+  require(ingest.num_records >= view.num_records,
+          "recompute_generation: combined corpus is smaller than the base generation");
+  const sig::MajorRowMap row_map(view.model.major_terms, *ingest.vocabulary);
+  sig::AssociationMatrix association;
+  association.weights = view.model.association;
+  const sig::SignatureSet sigs = sig::compute_signatures(ctx, ingest.records, row_map,
+                                                         association, base.config.signature);
+  const cluster::AssignEval eval =
+      cluster::assign_to_centroids(ctx, sigs.docvecs, view.clustering.centroids);
+
+  const std::uint64_t n_total = ingest.num_records;
+  const GenerationInfo gen = next_generation(view, eval, n_total, options);
+  const std::uint64_t lineage =
+      bundle_lineage(gen, n_total, ingest.num_terms, ingest.total_term_occurrences,
+                     sigs.global_null_count, eval.inertia);
+
+  const std::vector<double> xy = project_rows(sigs.docvecs, view.model.pca);
+  const auto nulls = null_bytes(sigs.is_null);
+  auto all_ids = ctx.gatherv(std::span<const std::uint64_t>(sigs.doc_ids), 0);
+  auto all_nulls = ctx.gatherv(std::span<const std::uint8_t>(nulls), 0);
+  auto all_vecs = ctx.gatherv(
+      std::span<const double>(sigs.docvecs.flat().data(), sigs.docvecs.flat().size()), 0);
+  auto all_assign = ctx.gatherv(std::span<const std::int32_t>(eval.assignment), 0);
+  auto all_xy = ctx.gatherv(std::span<const double>(xy), 0);
+
+  if (ctx.rank() == 0) {
+    BundleData data;
+    data.config_fingerprint = view.config_fingerprint;
+    data.num_records = n_total;
+    data.num_terms = ingest.num_terms;
+    data.total_term_occurrences = ingest.total_term_occurrences;
+    data.dimension = view.signatures.dimension;
+    data.signature_rounds = view.signature_rounds;
+    data.global_null_count = sigs.global_null_count;
+    data.weights = combined.doc_sizes();
+    data.doc_ids = std::move(all_ids);
+    data.null_flags = std::move(all_nulls);
+    data.signature_rows = std::move(all_vecs);
+    data.iterations = view.clustering.iterations;
+    data.inertia = eval.inertia;
+    data.centroids = view.clustering.centroids;
+    data.cluster_sizes = eval.cluster_sizes;
+    data.assignment = std::move(all_assign);
+    data.theme_labels = view.theme_labels;
+    data.topic_term_names = view.topic_term_names;
+    data.projection_components = view.projection_components;
+    data.projection_doc_ids = data.doc_ids;
+    data.projection_xy = std::move(all_xy);
+    data.generation = gen;
+    data.vocabulary = ingest.vocabulary->terms;
+    data.model = view.model;
+    data.config_bytes = view.config_bytes;
+    write_bundle_data(data, out_bundle);
+  }
+  ctx.barrier();
+  return report_of(gen, lineage);
+}
+
+}  // namespace sva::engine

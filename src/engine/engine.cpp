@@ -24,7 +24,7 @@ ComponentTimings add_timings(const ComponentTimings& a, const ComponentTimings& 
 
 }  // namespace
 
-std::uint64_t Engine::config_fingerprint(const EngineConfig& config) {
+std::vector<std::uint8_t> encode_engine_config(const EngineConfig& config) {
   ByteWriter w;
   const auto& tok = config.tokenizer;
   w.str(tok.delimiters);
@@ -73,7 +73,69 @@ std::uint64_t Engine::config_fingerprint(const EngineConfig& config) {
 
   w.u64(config.projection_components);
   w.u64(config.theme_label_terms);
-  return fnv1a64(w.bytes.data(), w.bytes.size());
+  return std::move(w.bytes);
+}
+
+EngineConfig decode_engine_config(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  EngineConfig config;
+  auto& tok = config.tokenizer;
+  tok.delimiters = r.str();
+  tok.lowercase = r.u64() != 0;
+  tok.min_length = static_cast<std::size_t>(r.u64());
+  tok.max_length = static_cast<std::size_t>(r.u64());
+  tok.drop_numeric = r.u64() != 0;
+  tok.use_stopwords = r.u64() != 0;
+  const std::uint64_t n_stop = r.u64();
+  require_format(n_stop <= (1u << 20), "engine config: implausible stopword count");
+  tok.extra_stopwords.clear();
+  tok.extra_stopwords.reserve(static_cast<std::size_t>(n_stop));
+  for (std::uint64_t i = 0; i < n_stop; ++i) tok.extra_stopwords.push_back(r.str());
+  tok.stem = r.u64() != 0;
+
+  auto& idx = config.indexing;
+  idx.scheduling = static_cast<ga::Scheduling>(r.u64());
+  idx.chunk_fields = static_cast<std::size_t>(r.u64());
+  idx.vtime_ordered_claims = r.u64() != 0;
+
+  auto& top = config.topicality;
+  top.num_major_terms = static_cast<std::size_t>(r.u64());
+  top.topic_fraction = r.f64();
+  top.min_doc_frequency = static_cast<std::int64_t>(r.u64());
+  top.max_df_fraction = r.f64();
+
+  config.association.weighting = static_cast<sig::AssociationWeighting>(r.u64());
+
+  auto& sig = config.signature;
+  sig.null_threshold = r.f64();
+  sig.adaptive = r.u64() != 0;
+  sig.max_null_fraction = r.f64();
+  sig.growth_factor = r.f64();
+  sig.max_rounds = static_cast<int>(r.u64());
+
+  config.clustering = static_cast<ClusteringBackend>(r.u64());
+  auto& km = config.kmeans;
+  km.k = static_cast<std::size_t>(r.u64());
+  km.max_iterations = static_cast<int>(r.u64());
+  km.tolerance = r.f64();
+  km.seed = r.u64();
+  km.seed_sample_total = static_cast<std::size_t>(r.u64());
+  auto& h = config.hierarchical;
+  h.linkage = static_cast<cluster::Linkage>(r.u64());
+  h.k = static_cast<std::size_t>(r.u64());
+  h.min_k = static_cast<std::size_t>(r.u64());
+  h.max_k = static_cast<std::size_t>(r.u64());
+  h.seed_sample_total = static_cast<std::size_t>(r.u64());
+
+  config.projection_components = static_cast<std::size_t>(r.u64());
+  config.theme_label_terms = static_cast<std::size_t>(r.u64());
+  r.expect_done();
+  return config;
+}
+
+std::uint64_t Engine::config_fingerprint(const EngineConfig& config) {
+  const std::vector<std::uint8_t> bytes = encode_engine_config(config);
+  return fnv1a64(bytes.data(), bytes.size());
 }
 
 std::optional<EngineResult> Engine::run(ga::Context& ctx, const corpus::CorpusReader& reader,
@@ -127,7 +189,7 @@ std::optional<EngineResult> Engine::run(ga::Context& ctx, const corpus::CorpusRe
       assemble_result(std::move(ingest), std::move(sig_state), std::move(cluster_state),
                       std::move(projection_state), timings);
   if (!options.export_bundle.empty()) {
-    export_bundle(ctx, result, fp, options.export_bundle, record_sizes);
+    export_bundle(ctx, result, config_, options.export_bundle, record_sizes);
   }
   return result;
 }
@@ -199,7 +261,7 @@ EngineResult Engine::resume(ga::Context& ctx, const std::filesystem::path& check
                       std::move(cluster_state), std::move(projection_state), final_timings);
   if (!export_bundle_path.empty()) {
     // The ingest checkpoint already carries the global byte sizes.
-    export_bundle(ctx, result, fp, export_bundle_path, ingest.record_sizes);
+    export_bundle(ctx, result, config_, export_bundle_path, ingest.record_sizes);
   }
   return result;
 }

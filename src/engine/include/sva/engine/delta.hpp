@@ -1,0 +1,92 @@
+// Incremental delta ingestion (ROADMAP: streaming/incremental corpora).
+//
+// A version-2 bundle carries the frozen analysis model — major-term
+// strings, association matrix, PCA basis — plus the full vocabulary and
+// the serialized engine configuration.  That is exactly enough to extend
+// the bundle with new documents *without the run that produced it*:
+//
+//   1. the new shards are scanned and inverted with the embedded
+//      configuration (ingest_sharded — same bounded-memory path as a
+//      full build);
+//   2. signatures for the new documents are combined in the frozen
+//      model's row order (string-keyed MajorRowMap), so each signature is
+//      byte-identical to what a full run over the combined corpus would
+//      compute under the same model;
+//   3. every document — inherited rows straight from the base bundle,
+//      new rows from step 2 — is assigned to the frozen centroids with
+//      the same order-invariant evaluation pass k-means itself ends on;
+//   4. vocabulary and corpus statistics are merged (sorted union /
+//      additive counts) and a new bundle generation is written with the
+//      counter advanced and the parent lineage linking it to its base.
+//
+// The acceptance invariant: ingest_delta(base, new) produces a bundle
+// byte-identical to recompute_generation(base, combined) — the full
+// recompute of the combined corpus under the same frozen model — for any
+// processor count and either transport backend, provided the base bundle
+// was exported with its per-document byte sizes as partition weights
+// (Engine::run always does).  Queries over the two bundles are therefore
+// digest-identical.
+//
+// Centroids are frozen, so cluster quality drifts as the corpus grows
+// away from the base distribution.  Each delta measures that drift —
+// per-document inertia rise and cluster-size skew vs the base — records
+// it in the generation section, and flags "full re-cluster recommended"
+// when a configurable threshold is exceeded.  The flag never blocks the
+// ingest: the generation is still written and servable.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+#include "sva/corpus/reader.hpp"
+#include "sva/ga/runtime.hpp"
+
+namespace sva::engine {
+
+struct DeltaOptions {
+  /// Shard plan for scanning the new documents (defaults to one shard).
+  corpus::ShardingConfig sharding;
+  /// Drift thresholds: exceeding either flags recluster_recommended.
+  /// Recorded in the generation section, so the verdict is reproducible
+  /// from the artifact alone.
+  double max_inertia_rise = 0.25;
+  double max_size_skew_rise = 0.5;
+};
+
+/// What a delta ingest measured and produced (replicated on all ranks).
+struct DeltaReport {
+  std::uint64_t generation = 0;  ///< the new bundle's generation counter
+  std::uint64_t base_records = 0;
+  std::uint64_t new_records = 0;
+  double inertia_rise = 0.0;
+  double size_skew = 0.0;
+  double size_skew_rise = 0.0;
+  bool recluster_recommended = false;
+  std::uint64_t lineage = 0;  ///< the new bundle's lineage fingerprint
+};
+
+/// Collective: extends the bundle at `base_bundle` with the documents of
+/// `new_docs` (positions 0..n-1 become global records base_records..) and
+/// writes the next generation to `out_bundle`.  Only the new documents
+/// are scanned; inherited products are reused from the base.  Throws
+/// sva::Error when the base bundle lacks the frozen model, vocabulary or
+/// embedded configuration (bundles exported by Engine::run carry all
+/// three).
+DeltaReport ingest_delta(ga::Context& ctx, const std::filesystem::path& base_bundle,
+                         const corpus::CorpusReader& new_docs,
+                         const std::filesystem::path& out_bundle,
+                         const DeltaOptions& options = {});
+
+/// Collective: the equivalence comparator — recomputes the next
+/// generation from scratch over the *combined* corpus (base documents
+/// first, new documents appended) under the base bundle's frozen model,
+/// and writes it to `out_bundle`.  With identical `options`, the output
+/// is byte-identical to ingest_delta over the tail alone; the
+/// delta-equivalence gate (tests/delta_test.cpp, CI job) compares the two
+/// files and their query digests.
+DeltaReport recompute_generation(ga::Context& ctx, const std::filesystem::path& base_bundle,
+                                 const corpus::CorpusReader& combined,
+                                 const std::filesystem::path& out_bundle,
+                                 const DeltaOptions& options = {});
+
+}  // namespace sva::engine

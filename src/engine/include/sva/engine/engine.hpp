@@ -15,13 +15,26 @@
 // scale-out and durability on top of the same stage functions.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "sva/engine/checkpoint.hpp"
 #include "sva/engine/pipeline.hpp"
 
 namespace sva::engine {
+
+/// Canonical byte serialization of an EngineConfig — the stream the
+/// configuration fingerprint hashes, and (embedded in version-2 bundles)
+/// what lets `engine::ingest_delta` rebuild the exact scan/indexing
+/// configuration a bundle was produced under.
+std::vector<std::uint8_t> encode_engine_config(const EngineConfig& config);
+
+/// Inverse of encode_engine_config; throws FormatError on malformed or
+/// truncated input.
+EngineConfig decode_engine_config(std::span<const std::uint8_t> bytes);
 
 struct PipelineOptions {
   /// Shard plan for out-of-core ingestion (defaults to one shard).

@@ -80,8 +80,10 @@ struct EngineResult {
   // Replicated products.
   std::shared_ptr<const ga::Vocabulary> vocabulary;
   sig::TopicSelection selection;
+  sig::AssociationMatrix association;  ///< final round's N×M matrix
   std::size_t dimension = 0;
   cluster::KMeansResult clustering;  ///< centroids/sizes replicated
+  cluster::PcaResult pca;            ///< padded projection basis
   std::vector<std::vector<std::string>> theme_labels;  ///< k × top terms
 
   // Local products.

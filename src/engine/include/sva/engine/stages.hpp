@@ -20,6 +20,7 @@ namespace sva::engine {
 /// acceptable).
 struct SignatureStageState {
   sig::TopicSelection selection;
+  sig::AssociationMatrix association;  ///< final round's N×M matrix
   sig::SignatureSet signatures;
   int signature_rounds = 1;
   std::vector<double> null_fraction_per_round;
@@ -43,6 +44,7 @@ ClusterStageState run_cluster_stage(ga::Context& ctx, const SignatureStageState&
 /// Stage 7: PCA projection, gathered outputs and theme labels.
 struct ProjectionStageState {
   cluster::ProjectionResult projection;
+  cluster::PcaResult pca;  ///< padded to projection_components rows
   std::vector<std::int32_t> all_assignment;  ///< rank 0 only
   std::vector<std::vector<std::string>> theme_labels;
 };

@@ -22,12 +22,12 @@ SignatureStageState run_signature_stage(ga::Context& ctx, const IngestState& ing
     state.selection = sig::select_topics(ctx, ingest.stats, topicality);
     timer.mark("topic");
 
-    sig::AssociationMatrix association = sig::build_association_matrix(
+    state.association = sig::build_association_matrix(
         ctx, ingest.records, state.selection, ingest.stats.num_records, config.association);
     timer.mark("AM");
 
     state.signatures = sig::compute_signatures(ctx, ingest.records, state.selection,
-                                               association, config.signature);
+                                               state.association, config.signature);
     timer.mark("DocVec");
 
     const double null_fraction =
@@ -106,6 +106,7 @@ ProjectionStageState run_projection_stage(ga::Context& ctx, const IngestState& i
   }
   state.projection = cluster::project_documents(ctx, sig_state.signatures.docvecs,
                                                 sig_state.signatures.doc_ids, pca);
+  state.pca = std::move(pca);
   state.all_assignment =
       ctx.gatherv(std::span<const std::int32_t>(clustering.assignment), 0);
 
@@ -159,6 +160,7 @@ EngineResult assemble_result(IngestState&& ingest, SignatureStageState&& sig_sta
   result.index_load_balance = std::move(ingest.load_balance);
 
   result.selection = std::move(sig_state.selection);
+  result.association = std::move(sig_state.association);
   result.signatures = std::move(sig_state.signatures);
   result.dimension = result.signatures.dimension;
   result.signature_rounds = sig_state.signature_rounds;
@@ -166,6 +168,7 @@ EngineResult assemble_result(IngestState&& ingest, SignatureStageState&& sig_sta
 
   result.clustering = std::move(cluster_state.clustering);
   result.projection = std::move(projection_state.projection);
+  result.pca = std::move(projection_state.pca);
   result.all_assignment = std::move(projection_state.all_assignment);
   result.theme_labels = std::move(projection_state.theme_labels);
 

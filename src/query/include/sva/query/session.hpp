@@ -201,6 +201,14 @@ class Session {
   [[nodiscard]] const engine::BundleView& bundle() const { return data_; }
   [[nodiscard]] std::uint64_t config_fingerprint() const { return data_.config_fingerprint; }
   [[nodiscard]] std::uint64_t num_documents() const { return data_.num_records; }
+  /// Bundle generation counter (0 = full build, n+1 = delta over gen n).
+  [[nodiscard]] std::uint64_t generation() const { return data_.generation.generation; }
+  /// This bundle's lineage fingerprint (see engine::bundle_lineage).
+  [[nodiscard]] std::uint64_t lineage() const { return data_.generation.lineage; }
+  /// True when the last delta's drift crossed a configured threshold.
+  [[nodiscard]] bool recluster_recommended() const {
+    return data_.generation.recluster_recommended;
+  }
   [[nodiscard]] std::size_t dimension() const { return data_.signatures.dimension; }
   [[nodiscard]] std::size_t num_clusters() const { return data_.clustering.centroids.rows(); }
   [[nodiscard]] const std::vector<std::vector<std::string>>& theme_labels() const {

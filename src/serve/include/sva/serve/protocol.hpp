@@ -23,6 +23,9 @@
 //   ping                 liveness probe
 //   stats                scheduler/cache counter snapshot
 //   reload <path>        swap the served bundle (invalidates the cache)
+//   ingest <docs> <out>  delta-ingest the newline-delimited documents of
+//                        file <docs> into the served bundle, write the
+//                        next generation to <out> and swap to it
 //   shutdown             drain and stop the daemon
 //
 // Blank lines and lines whose first non-space character is '#' are
@@ -46,7 +49,9 @@ namespace sva::serve {
 /// Wire protocol version.  Bump on any change a peer from an older build
 /// could misread (new verbs, response shape, greeting format); the
 /// `sva-protocol` header and the connection greeting both carry it.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Version 2 added the `ingest` control verb and the `generation=` /
+/// `ingests=` fields of the stats response.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// The greeting line the daemon writes on every accepted connection:
 /// "ok sva-protocol <kProtocolVersion>".
@@ -59,10 +64,12 @@ void check_peer_greeting(std::string_view line);
 
 /// A parsed protocol line.
 struct Request {
-  enum class Kind { kBlank, kQuery, kPing, kStats, kReload, kShutdown };
+  enum class Kind { kBlank, kQuery, kPing, kStats, kReload, kIngest, kShutdown };
   Kind kind = Kind::kBlank;
-  query::Query query;       ///< kQuery
-  std::string reload_path;  ///< kReload
+  query::Query query;           ///< kQuery
+  std::string reload_path;      ///< kReload
+  std::string ingest_docs;      ///< kIngest: newline-delimited documents file
+  std::string ingest_out;       ///< kIngest: next-generation bundle path
 };
 
 /// Parses one query line (`similar`/`summary` grammar only — the shape

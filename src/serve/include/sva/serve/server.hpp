@@ -39,6 +39,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "sva/engine/delta.hpp"
 #include "sva/ga/comm_model.hpp"
 #include "sva/serve/cache.hpp"
 #include "sva/serve/scheduler.hpp"
@@ -69,6 +70,8 @@ struct ServerStats {
   std::uint64_t queries_swept = 0;   ///< queries answered by sweeps
   std::uint64_t rejected = 0;        ///< failed admission validation
   std::uint64_t reloads = 0;         ///< completed bundle swaps
+  std::uint64_t ingests = 0;         ///< completed delta ingests
+  std::uint64_t generation = 0;      ///< served bundle's generation counter
   SchedulerStats scheduler;
   CacheStats cache;
 };
@@ -96,6 +99,17 @@ class Server {
   /// invalidates the result cache.  The future fails if the new bundle
   /// does not validate; the old bundle keeps serving in that case.
   std::future<void> reload(std::filesystem::path new_bundle);
+
+  /// Delta-ingests the newline-delimited documents of `docs_file` into
+  /// the currently served bundle: the world runs engine::ingest_delta
+  /// collectively, writes the next generation to `out_bundle` and swaps
+  /// the live Session to it through the same pre-validated path reload
+  /// uses (cache invalidated, metadata re-gathered).  The future carries
+  /// the drift report; it fails — and the old generation keeps serving —
+  /// when the docs file is unreadable or the served bundle cannot be
+  /// extended (no frozen model/vocabulary/config).
+  std::future<engine::DeltaReport> ingest(std::filesystem::path docs_file,
+                                          std::filesystem::path out_bundle);
 
   /// Graceful shutdown: stops admission, drains queued sweeps, exits.
   void stop();
@@ -126,6 +140,11 @@ class Server {
     std::filesystem::path path;
     std::promise<void> promise;
   };
+  struct IngestRequest {
+    std::filesystem::path docs;
+    std::filesystem::path out;
+    std::promise<engine::DeltaReport> promise;
+  };
 
   /// The SPMD body every rank runs (rank 0 drives the scheduler).
   void serve_world(ga::Context& ctx);
@@ -133,7 +152,10 @@ class Server {
   /// (rank 0 publishes it under meta_mutex_).
   void refresh_metadata(ga::Context& ctx, query::Session& session);
   /// Rank 0: blocks for the next command; returns the encoded blob.
-  std::vector<std::uint8_t> next_command(std::vector<PendingQuery>& batch_out);
+  /// `served_path` is the bundle the world currently serves (the delta
+  /// base an ingest command extends).
+  std::vector<std::uint8_t> next_command(std::vector<PendingQuery>& batch_out,
+                                         const std::filesystem::path& served_path);
   /// Rank 0: validates `q` against the current metadata; empty string
   /// when admissible.
   std::string validate(const query::Query& q) const;
@@ -151,8 +173,11 @@ class Server {
 
   std::mutex control_mutex_;
   std::deque<ReloadRequest> reloads_;
-  /// The reload whose collective open is in flight (rank 0 / exit path).
+  std::deque<IngestRequest> ingests_;
+  /// The reload/ingest whose collective phase is in flight (rank 0 /
+  /// exit path).
   std::optional<ReloadRequest> current_reload_;
+  std::optional<IngestRequest> current_ingest_;
 
   std::atomic<bool> cancel_{false};
   std::atomic<bool> running_{false};
@@ -160,6 +185,8 @@ class Server {
   std::atomic<std::uint64_t> queries_swept_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> reload_count_{0};
+  std::atomic<std::uint64_t> ingest_count_{0};
+  std::atomic<std::uint64_t> generation_{0};
 
   std::thread world_thread_;
   std::promise<void> ready_;

@@ -56,6 +56,8 @@ std::string format_stats(const ServerStats& s) {
   kv("queries_swept", s.queries_swept);
   kv("rejected", s.rejected);
   kv("reloads", s.reloads);
+  kv("ingests", s.ingests);
+  kv("generation", s.generation);
   kv("submitted", s.scheduler.submitted);
   kv("batches", s.scheduler.batches);
   kv("size_flushes", s.scheduler.size_flushes);
@@ -89,6 +91,16 @@ std::string process_request_line(Server& server, std::string_view line, bool* sh
       try {
         server.reload(request->reload_path).get();
         return "ok reloaded";
+      } catch (const std::exception& e) {
+        return format_error(e.what());
+      }
+    case Request::Kind::kIngest:
+      try {
+        const auto report =
+            server.ingest(request->ingest_docs, request->ingest_out).get();
+        return "ok ingested generation=" + std::to_string(report.generation) +
+               " added=" + std::to_string(report.new_records) +
+               " recluster=" + (report.recluster_recommended ? "1" : "0");
       } catch (const std::exception& e) {
         return format_error(e.what());
       }

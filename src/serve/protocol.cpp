@@ -103,6 +103,15 @@ std::optional<Request> parse_tokens(const std::vector<std::string>& tokens,
       req.reload_path = tokens[1];
       return req;
     }
+    if (verb == "ingest") {
+      if (tokens.size() != 3) {
+        return fail(error, "expected 'ingest <docs-file> <out-bundle>'");
+      }
+      req.kind = Request::Kind::kIngest;
+      req.ingest_docs = tokens[1];
+      req.ingest_out = tokens[2];
+      return req;
+    }
   }
   return fail(error, "unknown query verb '" + verb + "'");
 }

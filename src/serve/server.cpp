@@ -2,6 +2,11 @@
 
 #include <utility>
 
+#include <fstream>
+#include <sstream>
+
+#include "sva/corpus/document.hpp"
+#include "sva/corpus/reader.hpp"
 #include "sva/engine/bundle.hpp"
 #include "sva/engine/digest.hpp"
 #include "sva/engine/section_file.hpp"
@@ -19,6 +24,7 @@ namespace {
 constexpr std::uint64_t kOpSweep = 0;   ///< count + encoded queries
 constexpr std::uint64_t kOpReload = 1;  ///< bundle path string
 constexpr std::uint64_t kOpExit = 2;
+constexpr std::uint64_t kOpIngest = 3;  ///< base path + docs text + out path
 
 constexpr const char* kShuttingDown = "server is shutting down";
 
@@ -26,6 +32,26 @@ std::vector<std::uint8_t> encode_exit() {
   ByteWriter w;
   w.u64(kOpExit);
   return std::move(w.bytes);
+}
+
+/// One document per non-empty line, ids = positions (the contract
+/// engine::ingest_delta expects from its reader).
+corpus::SourceSet parse_ingest_docs(const std::string& text) {
+  corpus::SourceSet docs;
+  std::size_t start = 0;
+  std::uint64_t seq = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    if (nl > start) {
+      corpus::RawDocument doc;
+      doc.id = seq++;
+      doc.fields.push_back({"body", text.substr(start, nl - start)});
+      docs.add(std::move(doc));
+    }
+    start = nl + 1;
+  }
+  return docs;
 }
 
 }  // namespace
@@ -81,12 +107,19 @@ void Server::start() {
       current_reload_->promise.set_exception(down);
       current_reload_.reset();
     }
+    if (current_ingest_.has_value()) {
+      current_ingest_->promise.set_exception(down);
+      current_ingest_.reset();
+    }
     std::deque<ReloadRequest> reloads;
+    std::deque<IngestRequest> ingests;
     {
       std::lock_guard<std::mutex> lock(control_mutex_);
       reloads.swap(reloads_);
+      ingests.swap(ingests_);
     }
     for (auto& r : reloads) r.promise.set_exception(down);
+    for (auto& r : ingests) r.promise.set_exception(down);
   });
   ready.get();  // rethrows a failed Session::open
 }
@@ -100,12 +133,17 @@ void Server::serve_world(ga::Context& ctx) {
     ready_.set_value();
   }
 
+  // The bundle this world currently serves — reload and ingest both move
+  // it.  Every rank tracks it identically (the path travels in the
+  // broadcast command blob), so it needs no synchronization.
+  std::filesystem::path served_path = bundle_path_;
+
   std::vector<PendingQuery> batch;
   for (;;) {
     std::vector<std::uint8_t> command;
     if (ctx.rank() == 0) {
       batch.clear();
-      command = next_command(batch);
+      command = next_command(batch, served_path);
     }
     ga::broadcast_bytes(ctx, command, 0);
     ByteReader in(command);
@@ -118,6 +156,7 @@ void Server::serve_world(ga::Context& ctx) {
       try {
         auto next = query::Session::open(ctx, path);
         session = std::move(next);
+        served_path = path;
         refresh_metadata(ctx, session);
         if (ctx.rank() == 0) {
           cache_.invalidate_all();
@@ -133,6 +172,41 @@ void Server::serve_world(ga::Context& ctx) {
         if (ctx.rank() == 0) {
           current_reload_->promise.set_exception(std::current_exception());
           current_reload_.reset();
+        }
+      }
+      continue;
+    }
+
+    if (op == kOpIngest) {
+      const std::string base = in.str();
+      const std::string docs_text = in.str();
+      const std::string out = in.str();
+      try {
+        // The whole delta runs collectively inside the serving world —
+        // scan the new documents, extend the base generation, write the
+        // next bundle — then the live Session swaps through the same
+        // open-validate-replace sequence reload uses.
+        const corpus::SourceSet docs = parse_ingest_docs(docs_text);
+        const corpus::InMemoryReader reader(docs);
+        const engine::DeltaReport report = engine::ingest_delta(ctx, base, reader, out);
+        auto next = query::Session::open(ctx, out);
+        session = std::move(next);
+        served_path = out;
+        refresh_metadata(ctx, session);
+        if (ctx.rank() == 0) {
+          cache_.invalidate_all();
+          ingest_count_.fetch_add(1);
+          current_ingest_->promise.set_value(report);
+          current_ingest_.reset();
+        }
+      } catch (const ProtocolError&) {
+        throw;  // world aborted — unrecoverable
+      } catch (const Error&) {
+        // Symmetric throw (replicated inputs): the old generation keeps
+        // serving.
+        if (ctx.rank() == 0) {
+          current_ingest_->promise.set_exception(std::current_exception());
+          current_ingest_.reset();
         }
       }
       continue;
@@ -176,15 +250,20 @@ void Server::serve_world(ga::Context& ctx) {
   }
 }
 
-std::vector<std::uint8_t> Server::next_command(std::vector<PendingQuery>& batch_out) {
+std::vector<std::uint8_t> Server::next_command(std::vector<PendingQuery>& batch_out,
+                                               const std::filesystem::path& served_path) {
   for (;;) {
     // Control commands outrank queued queries.
     std::optional<ReloadRequest> reload;
+    std::optional<IngestRequest> ingest;
     {
       std::lock_guard<std::mutex> lock(control_mutex_);
       if (!reloads_.empty()) {
         reload.emplace(std::move(reloads_.front()));
         reloads_.pop_front();
+      } else if (!ingests_.empty()) {
+        ingest.emplace(std::move(ingests_.front()));
+        ingests_.pop_front();
       }
     }
     if (reload.has_value()) {
@@ -203,6 +282,29 @@ std::vector<std::uint8_t> Server::next_command(std::vector<PendingQuery>& batch_
       current_reload_ = std::move(reload);
       return std::move(w.bytes);
     }
+    if (ingest.has_value()) {
+      // Serial pre-read on rank 0: the documents travel in the command
+      // blob so every rank scans identical bytes, and an unreadable file
+      // fails this request instead of stranding the world.
+      std::string docs_text;
+      try {
+        std::ifstream docs(ingest->docs, std::ios::binary);
+        require(docs.good(), "ingest: cannot open documents file " + ingest->docs.string());
+        std::ostringstream collect;
+        collect << docs.rdbuf();
+        docs_text = std::move(collect).str();
+      } catch (...) {
+        ingest->promise.set_exception(std::current_exception());
+        continue;
+      }
+      ByteWriter w;
+      w.u64(kOpIngest);
+      w.str(served_path.string());
+      w.str(docs_text);
+      w.str(ingest->out.string());
+      current_ingest_ = std::move(ingest);
+      return std::move(w.bytes);
+    }
 
     if (cancel_.load()) {
       // Urgent shutdown: fail everything still queued instead of
@@ -219,7 +321,7 @@ std::vector<std::uint8_t> Server::next_command(std::vector<PendingQuery>& batch_
     auto batch = scheduler_.take_batch([this] {
       if (cancel_.load()) return true;
       std::lock_guard<std::mutex> lock(control_mutex_);
-      return !reloads_.empty();
+      return !reloads_.empty() || !ingests_.empty();
     });
     if (!batch.empty()) {
       ByteWriter w;
@@ -306,6 +408,25 @@ std::future<void> Server::reload(std::filesystem::path new_bundle) {
   return future;
 }
 
+std::future<engine::DeltaReport> Server::ingest(std::filesystem::path docs_file,
+                                                std::filesystem::path out_bundle) {
+  IngestRequest request;
+  request.docs = std::move(docs_file);
+  request.out = std::move(out_bundle);
+  auto future = request.promise.get_future();
+  if (!running_.load()) {
+    request.promise.set_exception(
+        std::make_exception_ptr(InvalidArgument(kShuttingDown)));
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    ingests_.push_back(std::move(request));
+  }
+  scheduler_.wake();
+  return future;
+}
+
 void Server::stop() {
   scheduler_.stop();
 }
@@ -330,6 +451,8 @@ ServerStats Server::stats() const {
   out.queries_swept = queries_swept_.load();
   out.rejected = rejected_.load();
   out.reloads = reload_count_.load();
+  out.ingests = ingest_count_.load();
+  out.generation = generation_.load();
   out.scheduler = scheduler_.stats();
   out.cache = cache_.stats();
   return out;
@@ -361,6 +484,7 @@ void Server::refresh_metadata(ga::Context& ctx, query::Session& session) {
     meta_.num_clusters = session.num_clusters();
     meta_.doc_ids.clear();
     meta_.doc_ids.insert(all_ids.begin(), all_ids.end());
+    generation_.store(session.generation());
   }
 }
 

@@ -50,6 +50,20 @@ SignatureSet compute_signatures(ga::Context& ctx,
                                 const AssociationMatrix& association,
                                 const SignatureConfig& config = {});
 
+/// Mapped variant: combines association rows through an explicit term→row
+/// map instead of a TopicSelection.  This is the delta-ingest kernel —
+/// new shards are scanned into their own vocabulary, and `row_map` (built
+/// from the frozen model's major-term *strings* against that vocabulary)
+/// keys each occurrence to the model's row order.  Per record the result
+/// is a pure function of (record, row_map, association, config), so a
+/// document signature is byte-identical whether computed in a full run or
+/// a delta ingest.
+SignatureSet compute_signatures(ga::Context& ctx,
+                                const std::vector<text::ScannedRecord>& records,
+                                const MajorRowMap& row_map,
+                                const AssociationMatrix& association,
+                                const SignatureConfig& config = {});
+
 /// Outcome of the adaptive driver: final artifacts plus round telemetry.
 struct SignatureGenerationResult {
   TopicSelection selection;

@@ -20,11 +20,16 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "sva/ga/runtime.hpp"
 #include "sva/index/inverted_index.hpp"
+
+namespace sva::ga {
+struct Vocabulary;  // dist_hashmap.hpp
+}
 
 namespace sva::sig {
 
@@ -65,6 +70,15 @@ struct TopicSelection {
 class MajorRowMap {
  public:
   explicit MajorRowMap(const TopicSelection& selection);
+
+  /// Builds the map from major-term *strings* in row order against an
+  /// arbitrary vocabulary: row r's term string is looked up in `vocab`
+  /// and its canonical id mapped to r (absent terms simply never match).
+  /// This is the delta-ingest path — new shards are scanned into their
+  /// own vocabulary, but signatures must combine association rows in the
+  /// frozen model's row order, keyed by term string.
+  MajorRowMap(const std::vector<std::string>& major_terms_in_row_order,
+              const ga::Vocabulary& vocabulary);
 
   [[nodiscard]] std::int32_t row_of(std::int64_t term) const {
     return term >= 0 && static_cast<std::size_t>(term) < map_.size()

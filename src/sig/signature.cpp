@@ -12,10 +12,18 @@ SignatureSet compute_signatures(ga::Context& ctx,
                                 const TopicSelection& selection,
                                 const AssociationMatrix& association,
                                 const SignatureConfig& config) {
-  const std::size_t m = association.m();
-  require(m >= 1, "compute_signatures: zero-dimensional space");
   require(association.n() == selection.n(),
           "compute_signatures: selection/association mismatch");
+  return compute_signatures(ctx, records, MajorRowMap(selection), association, config);
+}
+
+SignatureSet compute_signatures(ga::Context& ctx,
+                                const std::vector<text::ScannedRecord>& records,
+                                const MajorRowMap& row_map,
+                                const AssociationMatrix& association,
+                                const SignatureConfig& config) {
+  const std::size_t m = association.m();
+  require(m >= 1, "compute_signatures: zero-dimensional space");
 
   SignatureSet out;
   out.dimension = m;
@@ -29,8 +37,7 @@ SignatureSet compute_signatures(ga::Context& ctx,
   // processed before, which would make the FP sum — and so the signature
   // — depend on the partitioning and break P-invariance).  The dense
   // MajorRowMap turns the per-occurrence selection probe into one load.
-  const MajorRowMap row_map(selection);
-  std::vector<double> freq(selection.n(), 0.0);
+  std::vector<double> freq(association.n(), 0.0);
   std::vector<std::size_t> touched;
   std::int64_t local_nulls = 0;
 

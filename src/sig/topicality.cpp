@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sva/ga/dist_hashmap.hpp"
 #include "sva/util/error.hpp"
 
 namespace sva::sig {
@@ -13,6 +14,15 @@ MajorRowMap::MajorRowMap(const TopicSelection& selection) {
   map_.assign(static_cast<std::size_t>(max_term + 1), -1);
   for (std::size_t i = 0; i < selection.major_terms.size(); ++i) {
     map_[static_cast<std::size_t>(selection.major_terms[i])] = static_cast<std::int32_t>(i);
+  }
+}
+
+MajorRowMap::MajorRowMap(const std::vector<std::string>& major_terms_in_row_order,
+                         const ga::Vocabulary& vocabulary) {
+  map_.assign(vocabulary.size(), -1);
+  for (std::size_t i = 0; i < major_terms_in_row_order.size(); ++i) {
+    const std::int64_t id = vocabulary.id_of(major_terms_in_row_order[i]);
+    if (id >= 0) map_[static_cast<std::size_t>(id)] = static_cast<std::int32_t>(i);
   }
 }
 

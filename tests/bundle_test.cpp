@@ -17,6 +17,7 @@
 #include "sva/corpus/generator.hpp"
 #include "sva/corpus/reader.hpp"
 #include "sva/engine/bundle.hpp"
+#include "sva/engine/delta.hpp"
 #include "sva/engine/engine.hpp"
 #include "sva/engine/section_file.hpp"
 #include "sva/query/session.hpp"
@@ -271,6 +272,110 @@ TEST(BundleFuzzTest, TruncatedFileFailsCollectivelyThroughTheLoader) {
   EXPECT_THROW(ga::spmd_run(1,
                             [&](ga::Context& ctx) { (void)load_bundle(ctx, path); }),
                FormatError);
+}
+
+// ---- generation-link fuzzing ---------------------------------------------
+
+/// A generation-1 bundle delta-ingested over the fixture's base.
+struct DeltaFixture {
+  std::filesystem::path gen1 = fresh_path("gen1");
+  corpus::SourceSet new_docs;
+
+  DeltaFixture() {
+    const Fixture& f = fixture();
+    corpus::CorpusSpec spec = tiny_spec();
+    spec.seed = 777;
+    spec.target_bytes = 8 << 10;
+    new_docs = corpus::generate_corpus(spec);
+    const corpus::InMemoryReader reader(new_docs);
+    ga::spmd_run(2, [&](ga::Context& ctx) {
+      (void)ingest_delta(ctx, f.bundle, reader, gen1);
+    });
+  }
+};
+
+const DeltaFixture& delta_fixture() {
+  static const DeltaFixture d;
+  return d;
+}
+
+TEST(BundleGenerationFuzzTest, CorruptedParentFingerprintRaisesFormatError) {
+  const DeltaFixture& d = delta_fixture();
+  // Rewrite the bundle with one bit of the parent-lineage word flipped
+  // (fixed offset 8 of the "generation" section), re-checksumming every
+  // section so only the lineage self-check can catch it.
+  auto file = SectionedFile::read(d.gen1, kBundleMagic, kBundleFormatVersion, "bundle");
+  SectionedFile corrupted;
+  corrupted.tag = file.tag;
+  corrupted.fingerprint = file.fingerprint;
+  for (const char* name : {"meta", "weights", "signatures", "cluster", "labels",
+                           "topic_terms", "projection", "generation", "vocab", "model",
+                           "config"}) {
+    if (!file.has(name)) continue;
+    std::vector<std::uint8_t> payload = file.section(name);
+    if (std::string_view(name) == "generation") payload[8] ^= 0x01;
+    corrupted.add(name, std::move(payload));
+  }
+  const auto path = fresh_path("bad_parent");
+  corrupted.write(path, kBundleMagic, kBundleFormatVersion);
+  try {
+    ga::spmd_run(1, [&](ga::Context& ctx) { (void)load_bundle(ctx, path); });
+    FAIL() << "corrupted parent fingerprint must not load";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("generation lineage mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(BundleGenerationFuzzTest, GenerationCounterRollbackRaisesFormatError) {
+  const Fixture& f = fixture();
+  const DeltaFixture& d = delta_fixture();
+  BundleView base_view, gen1_view;
+  ga::spmd_run(1, [&](ga::Context& ctx) {
+    base_view = load_bundle(ctx, f.bundle);
+    gen1_view = load_bundle(ctx, d.gen1);
+  });
+  // Forward link is fine...
+  EXPECT_NO_THROW(require_extends(base_view, gen1_view));
+  // ...but a counter that fails to advance by exactly one is a rollback.
+  try {
+    require_extends(gen1_view, base_view);
+    FAIL() << "generation rollback must be rejected";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("generation counter rollback"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(require_extends(gen1_view, gen1_view), FormatError);
+}
+
+TEST(BundleGenerationFuzzTest, DeltaOpenedWithoutItsBaseRaisesFormatError) {
+  const DeltaFixture& d = delta_fixture();
+  // A different gen-0 build (other seed): right counter, wrong lineage.
+  corpus::CorpusSpec alt = tiny_spec();
+  alt.seed = 999;
+  const corpus::GeneratedReader alt_reader(alt);
+  const auto alt_path = fresh_path("alt_base");
+  Engine engine(tiny_config());
+  PipelineOptions options;
+  options.export_bundle = alt_path;
+  BundleView alt_view, gen1_view;
+  ga::spmd_run(1, [&](ga::Context& ctx) {
+    (void)engine.run(ctx, alt_reader, options);
+    alt_view = load_bundle(ctx, alt_path);
+    gen1_view = load_bundle(ctx, d.gen1);
+  });
+  try {
+    require_extends(alt_view, gen1_view);
+    FAIL() << "a delta must not open over a foreign base";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("delta bundle opened without its base"),
+              std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(alt_path);
 }
 
 TEST(BundleTest, MissingFileThrows) {

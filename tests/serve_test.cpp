@@ -18,6 +18,8 @@
 #include "sva/cluster/kmeans.hpp"
 #include "sva/cluster/pca.hpp"
 #include "sva/cluster/projection.hpp"
+#include "sva/corpus/generator.hpp"
+#include "sva/corpus/reader.hpp"
 #include "sva/engine/bundle.hpp"
 #include "sva/engine/engine.hpp"
 #include "sva/serve/cache.hpp"
@@ -183,6 +185,19 @@ TEST(ProtocolTest, RejectsTrailingGarbageAndBadNumbers) {
   EXPECT_FALSE(parse_request_line("shutdown now", error).has_value());
   EXPECT_TRUE(parse_request_line("reload /tmp/b.svab", error).has_value());
   EXPECT_FALSE(parse_request_line("reload", error).has_value());
+}
+
+TEST(ProtocolTest, ParsesIngestVerbStrictly) {
+  std::string error;
+  const auto r = parse_request_line("ingest new.txt gen1.svab", error);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->kind, Request::Kind::kIngest);
+  EXPECT_EQ(r->ingest_docs, "new.txt");
+  EXPECT_EQ(r->ingest_out, "gen1.svab");
+  // Strict arity on both sides, and not part of the batch-file grammar.
+  EXPECT_FALSE(parse_request_line("ingest new.txt", error).has_value());
+  EXPECT_FALSE(parse_request_line("ingest a b c", error).has_value());
+  EXPECT_FALSE(parse_query_line("ingest new.txt gen1.svab", error).has_value());
 }
 
 TEST(ProtocolTest, QueryDigestDistinguishesQueries) {
@@ -527,6 +542,142 @@ TEST(ServeTest, SocketIngressAnswersProtocolLines) {
   EXPECT_TRUE(ingress.shutdown_requested());
   server.join();
   ingress.stop();
+}
+
+// ---- delta ingest through the daemon ------------------------------------
+
+/// A bundle carrying the frozen model/vocab/config sections (a real
+/// Engine::run, unlike the synthetic make_bundle exports) — the kind
+/// `ingest` can extend — plus a docs file with a few extra documents of
+/// the same family, one per line.
+struct IngestFixture {
+  std::filesystem::path bundle = fresh_path("ingestbase", ".svab");
+  std::filesystem::path docs = fresh_path("newdocs", ".txt");
+  std::uint64_t base_records = 0;
+  std::size_t num_new = 0;
+
+  IngestFixture() {
+    corpus::CorpusSpec spec;
+    spec.kind = corpus::CorpusKind::kPubMedLike;
+    spec.seed = 555;
+    spec.target_bytes = 32 << 10;
+    spec.core_vocabulary = 700;
+    spec.num_themes = 4;
+    spec.theme_vocabulary = 50;
+    spec.theme_token_fraction = 0.3;
+    const corpus::GeneratedReader reader(spec);
+    engine::EngineConfig config;
+    config.topicality.num_major_terms = 100;
+    config.kmeans.k = 4;
+    engine::Engine engine(config);
+    engine::PipelineOptions options;
+    options.export_bundle = bundle;
+    ga::spmd_run(2, [&](ga::Context& ctx) {
+      const auto r = engine.run(ctx, reader, options);
+      if (ctx.rank() == 0) base_records = r->num_records;
+    });
+
+    corpus::CorpusSpec extra = spec;
+    extra.seed = 556;
+    extra.target_bytes = 3 << 10;
+    const auto docs_set = corpus::generate_corpus(extra);
+    num_new = docs_set.size();
+    std::ofstream out(docs);
+    for (std::size_t i = 0; i < docs_set.size(); ++i) {
+      std::string line;
+      for (const auto& field : docs_set[i].fields) {
+        line += field.text;
+        line += ' ';
+      }
+      for (char& ch : line) {
+        if (ch == '\n' || ch == '\r') ch = ' ';
+      }
+      out << line << "\n";
+    }
+  }
+};
+
+const IngestFixture& ingest_fixture() {
+  static const IngestFixture f;
+  return f;
+}
+
+TEST(ServeTest, StatsResponseCarriesReloadAndGenerationCounters) {
+  const auto bundle = make_bundle("statsgen");
+  ServeOptions options;
+  options.procs = 2;
+  options.batch_deadline = std::chrono::milliseconds(1);
+  Server server(bundle, options);
+  server.start();
+
+  const auto before = format_stats(server.stats());
+  EXPECT_NE(before.find(" reloads=0"), std::string::npos) << before;
+  EXPECT_NE(before.find(" ingests=0"), std::string::npos) << before;
+  EXPECT_NE(before.find(" generation=0"), std::string::npos) << before;
+
+  server.reload(bundle).get();
+  const auto after = format_stats(server.stats());
+  EXPECT_NE(after.find(" reloads=1"), std::string::npos) << after;
+  EXPECT_NE(after.find(" generation=0"), std::string::npos) << after;  // still gen 0
+
+  server.stop();
+  server.join();
+}
+
+TEST(ServeTest, IngestVerbAdvancesTheGenerationOverTheWire) {
+  const IngestFixture& f = ingest_fixture();
+  ServeOptions options;
+  options.procs = 2;
+  options.batch_deadline = std::chrono::milliseconds(1);
+  Server server(f.bundle, options);
+  server.start();
+  EXPECT_EQ(server.num_documents(), f.base_records);
+  SocketIngress ingress(server, fresh_path("ingest_sock", ".sock"));
+  ingress.start();
+
+  const auto out = fresh_path("ingest_gen1", ".svab");
+  const auto responses = client_roundtrip(
+      ingress.path(),
+      {"stats", "ingest " + f.docs.string() + " " + out.string(), "stats",
+       // The first NEW document must be queryable after the swap.
+       "similar " + std::to_string(f.base_records) + " 3"});
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_NE(responses[0].find(" generation=0"), std::string::npos) << responses[0];
+  EXPECT_EQ(responses[1].rfind("ok ingested generation=1 added=" +
+                                   std::to_string(f.num_new) + " recluster=",
+                               0),
+            0u)
+      << responses[1];
+  EXPECT_NE(responses[2].find(" ingests=1"), std::string::npos) << responses[2];
+  EXPECT_NE(responses[2].find(" generation=1"), std::string::npos) << responses[2];
+  EXPECT_EQ(responses[3].rfind("ok similar", 0), 0u) << responses[3];
+  EXPECT_EQ(server.num_documents(), f.base_records + f.num_new);
+  EXPECT_TRUE(std::filesystem::exists(out));
+
+  ingress.stop();
+  server.stop();
+  server.join();
+  std::filesystem::remove(out);
+}
+
+TEST(ServeTest, IngestOfMissingDocsFileFailsWithoutKillingTheDaemon) {
+  const IngestFixture& f = ingest_fixture();
+  ServeOptions options;
+  options.procs = 2;
+  options.batch_deadline = std::chrono::milliseconds(1);
+  Server server(f.bundle, options);
+  server.start();
+
+  EXPECT_THROW(
+      server.ingest(fresh_path("nodocs", ".txt"), fresh_path("noout", ".svab")).get(),
+      Error);
+  EXPECT_EQ(server.stats().ingests, 0u);
+  EXPECT_EQ(server.stats().generation, 0u);
+  // Still serving the old generation.
+  EXPECT_EQ(server.submit(query::Query::similar_doc(3, 2)).get().hits.size(), 2u);
+
+  server.stop();
+  server.join();
 }
 
 TEST(ServeTest, FileQueueIngressAnswersRequestFiles) {

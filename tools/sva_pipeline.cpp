@@ -12,20 +12,51 @@
 // checksum printed at the end is byte-identical for any shard count,
 // processor count, transport backend, or resume point — that is the
 // contract the test suite enforces.
+//
+// Incremental ingestion rides the same synthesis: build a base bundle
+// from a corpus prefix, then delta-ingest the tail into it — only the
+// new documents are scanned:
+//
+//   sva_pipeline --size-mb 8 --head-docs 9000 --export-bundle base.bundle
+//   sva_pipeline --size-mb 8 --delta base.bundle --export-bundle gen1.bundle
+//   # equivalence reference (full recompute under the frozen model):
+//   sva_pipeline --size-mb 8 --delta base.bundle --delta-recompute
+//                --export-bundle full.bundle
+//
+// The two output bundles are byte-identical (the printed bundle digest
+// compares them directly) for any --procs / --backend — the CI
+// delta-equivalence job enforces exactly that.
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "sva/corpus/generator.hpp"
 #include "sva/corpus/reader.hpp"
+#include "sva/engine/bundle.hpp"
+#include "sva/engine/delta.hpp"
 #include "sva/engine/digest.hpp"
 #include "sva/engine/engine.hpp"
 #include "sva/util/cli_options.hpp"
 #include "sva/util/error.hpp"
+
+namespace {
+
+/// FNV-1a digest of a file's bytes — the delta-equivalence comparator.
+std::uint64_t file_digest(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  sva::require(in.good(), "cannot open " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  return sva::engine::fnv1a64(bytes.data(), bytes.size());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sva;
@@ -43,6 +74,20 @@ int main(int argc, char** argv) {
   std::string bundle_path;
   std::uint64_t shards = 0;
   std::size_t mem_budget_bytes = 0;
+  std::uint64_t head_docs = 0;
+  std::string delta_base;
+  bool delta_recompute = false;
+  engine::DeltaOptions delta_options;
+
+  const auto parse_f64 = [](cli::Parser& parser, const std::string& flag,
+                            const std::string& v, double* out) {
+    char* end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (end == nullptr || *end != '\0' || v.empty() || !(parsed >= 0.0)) {
+      parser.die(flag + " needs a non-negative number, got '" + v + "'");
+    }
+    *out = parsed;
+  };
 
   cli::Parser p("sva_pipeline", "usage: sva_pipeline [options]");
   p.section("corpus");
@@ -58,6 +103,8 @@ int main(int argc, char** argv) {
            });
   p.u64("--size-mb", "N", "corpus size in MiB (default 4)", &size_mb);
   p.u64("--seed", "N", "generator seed (default 20070326)", &seed);
+  p.u64("--head-docs", "N", "use only the first N documents (base for a later --delta)",
+        &head_docs);
   p.section("execution");
   p.bounded_int("--procs", "P", "SPMD ranks (default 4)", &world.nprocs, 1, 4096);
   p.option("--backend", "B", "transport backend: thread|process (default thread)",
@@ -71,6 +118,25 @@ int main(int argc, char** argv) {
          &mem_budget_bytes, 20);
   p.u64("--major-terms", "N", "topicality N (default 800)", &major_terms);
   p.u64("--clusters", "K", "k-means clusters (default 16)", &clusters);
+  p.section("delta ingestion");
+  p.option("--delta", "BUNDLE",
+           "delta-ingest: extend BUNDLE with the corpus documents beyond its "
+           "record count (needs --export-bundle)",
+           [&](const std::string& v) { delta_base = v; });
+  p.flag("--delta-recompute",
+         "with --delta: recompute the generation from the combined corpus under "
+         "the frozen model (equivalence reference)",
+         [&] { delta_recompute = true; });
+  p.option("--max-inertia-rise", "F",
+           "drift threshold: per-doc inertia rise flagging a re-cluster (default 0.25)",
+           [&](const std::string& v) {
+             parse_f64(p, "--max-inertia-rise", v, &delta_options.max_inertia_rise);
+           });
+  p.option("--max-size-skew-rise", "F",
+           "drift threshold: cluster-size skew rise flagging a re-cluster (default 0.5)",
+           [&](const std::string& v) {
+             parse_f64(p, "--max-size-skew-rise", v, &delta_options.max_size_skew_rise);
+           });
   p.section("durability");
   p.option("--checkpoint-dir", "D", "persist a checkpoint after every stage",
            [&](const std::string& v) { options.checkpoint_dir = v; });
@@ -93,6 +159,16 @@ int main(int argc, char** argv) {
 
   options.sharding.num_shards = static_cast<std::size_t>(shards);
   options.sharding.mem_budget_bytes = mem_budget_bytes;
+  delta_options.sharding = options.sharding;
+  if (!delta_base.empty()) {
+    if (bundle_path.empty()) p.die("--delta needs --export-bundle");
+    if (resume || !options.checkpoint_dir.empty() || options.stop_after) {
+      p.die("--delta is incompatible with --resume/--checkpoint-dir/--stop-after");
+    }
+    if (head_docs > 0) p.die("--head-docs applies to fresh runs, not --delta");
+  } else if (delta_recompute) {
+    p.die("--delta-recompute needs --delta");
+  }
   if (resume && options.checkpoint_dir.empty()) p.die("--resume needs --checkpoint-dir");
   if (resume && options.stop_after) {
     p.die("--stop-after only applies to fresh runs; a resumed run always completes");
@@ -119,6 +195,92 @@ int main(int argc, char** argv) {
     std::cout << "  " << reader.size() << " documents, " << reader.total_bytes()
               << " bytes\n";
 
+    if (!delta_base.empty()) {
+      // Probe the base bundle for its record count — the documents beyond
+      // it are the delta.  A throwaway one-rank world keeps load_bundle on
+      // its collective path.
+      std::uint64_t base_records = 0;
+      ga::SpmdOptions probe;
+      probe.nprocs = 1;
+      ga::spmd_run(probe, [&](ga::Context& ctx) {
+        base_records = engine::load_bundle(ctx, delta_base).num_records;
+      });
+      if (base_records > reader.size()) {
+        throw Error("base bundle holds " + std::to_string(base_records) +
+                    " records but the corpus has only " + std::to_string(reader.size()) +
+                    " documents; base must be a prefix of the combined corpus");
+      }
+      std::cout << "delta: base " << delta_base << " covers " << base_records << " of "
+                << reader.size() << " documents ("
+                << (reader.size() - static_cast<std::size_t>(base_records)) << " new)\n";
+
+      const corpus::SliceReader tail(reader, static_cast<std::size_t>(base_records),
+                                     reader.size());
+      std::optional<engine::DeltaReport> report;
+      const ga::SpmdResult spmd = ga::spmd_run(world, [&](ga::Context& ctx) {
+        const auto r =
+            delta_recompute
+                ? engine::recompute_generation(ctx, delta_base, reader, bundle_path,
+                                               delta_options)
+                : engine::ingest_delta(ctx, delta_base, tail, bundle_path, delta_options);
+        if (ctx.rank() == 0) report = r;
+      });
+
+      const std::uint64_t digest = file_digest(bundle_path);
+      std::cout << (delta_recompute ? "recompute" : "delta ingest") << " complete:\n"
+                << "  generation         " << report->generation << "\n"
+                << "  base records       " << report->base_records << "\n"
+                << "  new records        " << report->new_records << "\n"
+                << "  inertia rise       " << report->inertia_rise << "\n"
+                << "  size skew          " << report->size_skew << " (rise "
+                << report->size_skew_rise << ")\n"
+                << "  recluster          "
+                << (report->recluster_recommended ? "recommended" : "not needed") << "\n"
+                << "  lineage            " << engine::checksum_hex(report->lineage) << "\n"
+                << "  backend            " << ga::backend_name(world.backend) << "\n"
+                << "  wall seconds       " << spmd.wall_seconds << "\n"
+                << "  bundle digest      " << engine::checksum_hex(digest) << "\n";
+
+      if (!out_path.empty()) {
+        std::filesystem::path fp(out_path);
+        if (fp.has_parent_path()) std::filesystem::create_directories(fp.parent_path());
+        std::ofstream out(fp);
+        if (!out) {
+          std::cerr << "sva_pipeline: cannot open " << out_path << "\n";
+          return 1;
+        }
+        out << "{\n"
+            << "  \"mode\": \"" << (delta_recompute ? "delta-recompute" : "delta-ingest")
+            << "\",\n"
+            << "  \"procs\": " << world.nprocs << ",\n"
+            << "  \"backend\": \"" << ga::backend_name(world.backend) << "\",\n"
+            << "  \"generation\": " << report->generation << ",\n"
+            << "  \"base_records\": " << report->base_records << ",\n"
+            << "  \"new_records\": " << report->new_records << ",\n"
+            << "  \"inertia_rise\": " << report->inertia_rise << ",\n"
+            << "  \"size_skew_rise\": " << report->size_skew_rise << ",\n"
+            << "  \"recluster\": " << (report->recluster_recommended ? "true" : "false")
+            << ",\n"
+            << "  \"wall_s\": " << spmd.wall_seconds << ",\n"
+            << "  \"bundle_digest\": \"" << engine::checksum_hex(digest) << "\"\n"
+            << "}\n";
+        std::cout << "wrote " << out_path << "\n";
+      }
+      return 0;
+    }
+
+    std::optional<corpus::SliceReader> head;
+    const corpus::CorpusReader* run_reader = &reader;
+    if (head_docs > 0) {
+      if (head_docs > reader.size()) {
+        throw Error("--head-docs " + std::to_string(head_docs) + " exceeds the corpus (" +
+                    std::to_string(reader.size()) + " documents)");
+      }
+      head.emplace(reader, 0, static_cast<std::size_t>(head_docs));
+      run_reader = &*head;
+      std::cout << "  restricting to the first " << head_docs << " documents\n";
+    }
+
     engine::EngineConfig config;
     config.topicality.num_major_terms = static_cast<std::size_t>(major_terms);
     config.kmeans.k = static_cast<std::size_t>(clusters);
@@ -132,7 +294,7 @@ int main(int argc, char** argv) {
       if (resume) {
         r = eng.resume(ctx, options.checkpoint_dir, options.export_bundle);
       } else {
-        r = eng.run(ctx, reader, options);
+        r = eng.run(ctx, *run_reader, options);
       }
       if (ctx.rank() == 0) {
         if (r) {
