@@ -1,0 +1,85 @@
+// Microbenchmark for the fault-injection substrate's hot-path promise:
+// a disabled fault point costs one relaxed atomic load, so production
+// code can afford points on every load-bearing edge (section-file IO,
+// every shm collective, every admitted query).  Measured per traversal:
+// disarmed (the always-on production configuration), armed-elsewhere
+// (rules exist but not for this site — the map lookup under the lock),
+// and armed-no-fire (a rule on this site whose trigger never decides).
+#include <string>
+
+#include "registry.hpp"
+#include "sva/fault/fault.hpp"
+#include "sva/util/timer.hpp"
+
+namespace svabench {
+namespace {
+
+constexpr char kBenchSite[] = "bench.fault.site";
+
+/// Best-of-reps seconds for `iters` traversals of kBenchSite.
+double best_point_seconds(int reps, int iters) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    sva::WallTimer timer;
+    for (int i = 0; i < iters; ++i) {
+      (void)sva::fault::point(kBenchSite);
+    }
+    const double elapsed = timer.elapsed();
+    if (rep == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+report::Report run_micro_fault(const BenchOptions& opts) {
+  banner("Micro: fault-point traversal cost (host wall-clock)");
+
+  report::Report out;
+  out.name = "micro_fault";
+  out.kind = "micro";
+  out.title = "fault-point traversal cost (host wall-clock)";
+
+  const int reps = opts.smoke ? 3 : 8;
+  const int iters = opts.smoke ? 200000 : 2000000;
+  sva::Table table({"state", "best_s", "per_traversal_ns"});
+  json::Value series = json::Value::array();
+
+  auto add = [&](const std::string& state, double seconds) {
+    const double per_ns = 1.0e9 * seconds / static_cast<double>(iters);
+    table.add_row({state, sva::Table::num(seconds, 5), sva::Table::num(per_ns, 3)});
+    json::Value record = json::Value::object();
+    record["state"] = state;
+    record["best_s"] = seconds;
+    record["ops"] = static_cast<double>(iters);
+    record["per_traversal_ns"] = per_ns;
+    series.push_back(std::move(record));
+  };
+
+  // Disarmed: the production steady state — this is the figure that must
+  // stay at "one relaxed load" as the substrate grows.
+  sva::fault::reset();
+  add("disarmed", best_point_seconds(reps, iters));
+
+  // Armed, but the rule names a different site: traversals take the
+  // locked map lookup and miss.
+  sva::fault::configure("bench.fault.other:error:hit=1");
+  add("armed_other_site", best_point_seconds(reps, iters));
+
+  // Armed on this site with a trigger that never decides to fire: the
+  // full per-rule bookkeeping without any action.
+  sva::fault::configure(std::string(kBenchSite) + ":error:hit=1000000000");
+  add("armed_no_fire", best_point_seconds(reps, iters));
+
+  sva::fault::reset();
+
+  emit_table(opts, "micro_fault", table);
+  out.data["series"] = std::move(series);
+  out.data["table"] = report::table_json(table);
+  return out;
+}
+
+const Registrar registrar{"micro_fault", "micro",
+                          "fault-point traversal cost (disarmed/armed-miss/armed-no-fire)",
+                          &run_micro_fault};
+
+}  // namespace
+}  // namespace svabench

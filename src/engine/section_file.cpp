@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "sva/engine/digest.hpp"
+#include "sva/fault/fault.hpp"
 #include "sva/util/bytes.hpp"
 #include "sva/util/error.hpp"
 
@@ -84,6 +85,7 @@ const std::vector<std::uint8_t>& SectionedFile::section(std::string_view name) c
 
 void SectionedFile::write(const std::filesystem::path& path, const char (&magic)[8],
                           std::uint64_t version) const {
+  fault::point(fault::sites::kSectionFileWrite);
   ByteWriter out;
   out.raw(magic, sizeof(magic));
   out.u64(version);
@@ -203,6 +205,11 @@ std::vector<std::uint8_t> SectionedFile::read_file_bytes(const std::filesystem::
   in.seekg(0);
   in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
   require(in.good(), prefix + ": cannot read " + path.string());
+  if (fault::point(fault::sites::kSectionFileRead) == fault::Hint::kShortRead) {
+    // Torn read: hand back a truncated prefix so the checksummed parse
+    // path gets exercised exactly as a half-written file would exercise it.
+    bytes.resize(bytes.size() / 2);
+  }
   return bytes;
 }
 

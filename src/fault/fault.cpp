@@ -1,0 +1,289 @@
+#include "sva/fault/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "sva/util/error.hpp"
+#include "sva/util/parse.hpp"
+
+namespace sva::fault {
+namespace {
+
+enum class Action { kError, kFormat, kShort, kKill, kDelay };
+
+struct Rule {
+  Action action = Action::kError;
+  // Trigger (at most one of hit/every/prob is set).
+  std::uint64_t hit = 0;    // fire on the Nth matching traversal
+  std::uint64_t every = 0;  // fire on every Nth matching traversal
+  double prob = -1.0;       // fire with this probability per traversal
+  std::uint64_t seed = 1;
+  std::uint64_t count = 0;  // max firings; 0 = unlimited
+  int rank = -1;            // -1: any thread matches
+  std::uint64_t delay_ms = 100;
+  // Counters.
+  std::uint64_t seen = 0;   // matching traversals
+  std::uint64_t fired = 0;  // firings
+};
+
+struct Site {
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+  std::vector<Rule> rules;
+};
+
+// kUninit -> first point() traversal reads SVA_FAULT exactly once; after
+// that every disabled traversal is the single relaxed load below.
+enum Mode : int { kUninit = -1, kDisarmed = 0, kArmed = 1 };
+
+std::atomic<int> g_mode{kUninit};
+std::mutex g_mutex;
+// Transparent comparator: point() looks up by const char* without
+// allocating.  Guarded by g_mutex.
+std::map<std::string, Site, std::less<>>& state() {
+  static std::map<std::string, Site, std::less<>> s;
+  return s;
+}
+
+thread_local int t_rank = -1;
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic uniform draw in [0, 1) for traversal `n` of `site`.
+double draw(std::uint64_t seed, std::string_view site, std::uint64_t n) {
+  const std::uint64_t bits = splitmix64(seed ^ fnv1a(site) ^ (n * 0xD1B54A32D192ED03ull));
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+[[noreturn]] void bad_spec(const std::string& detail) {
+  throw InvalidArgument("SVA_FAULT: " + detail);
+}
+
+std::uint64_t parse_count(std::string_view text, const std::string& what) {
+  const std::optional<std::uint64_t> value = parse_u64(text);
+  if (!value) bad_spec(what + "= must be an unsigned integer, got '" + std::string(text) + "'");
+  return *value;
+}
+
+Rule parse_rule_options(std::string_view opts, Rule rule) {
+  std::size_t start = 0;
+  int triggers = 0;
+  while (start <= opts.size()) {
+    const std::size_t end = std::min(opts.find(',', start), opts.size());
+    const std::string_view opt = opts.substr(start, end - start);
+    start = end + 1;
+    if (opt.empty()) continue;
+    const std::size_t eq = opt.find('=');
+    if (eq == std::string_view::npos) bad_spec("option '" + std::string(opt) + "' is not key=value");
+    const std::string_view key = opt.substr(0, eq);
+    const std::string_view val = opt.substr(eq + 1);
+    if (key == "hit") {
+      rule.hit = parse_count(val, "hit");
+      if (rule.hit == 0) bad_spec("hit= must be >= 1");
+      ++triggers;
+    } else if (key == "every") {
+      rule.every = parse_count(val, "every");
+      if (rule.every == 0) bad_spec("every= must be >= 1");
+      ++triggers;
+    } else if (key == "prob") {
+      char* end_ptr = nullptr;
+      const std::string text(val);
+      rule.prob = std::strtod(text.c_str(), &end_ptr);
+      if (end_ptr != text.c_str() + text.size() || rule.prob < 0.0 || rule.prob > 1.0) {
+        bad_spec("prob= must be a number in [0, 1], got '" + text + "'");
+      }
+      ++triggers;
+    } else if (key == "seed") {
+      rule.seed = parse_count(val, "seed");
+    } else if (key == "count") {
+      rule.count = parse_count(val, "count");
+    } else if (key == "rank") {
+      rule.rank = static_cast<int>(parse_count(val, "rank"));
+    } else if (key == "ms") {
+      rule.delay_ms = parse_count(val, "ms");
+    } else {
+      bad_spec("unknown option '" + std::string(key) + "'");
+    }
+  }
+  if (triggers > 1) bad_spec("at most one of hit=/every=/prob= per rule");
+  // A one-shot hit trigger fires once unless the spec says otherwise.
+  if (rule.hit != 0 && rule.count == 0) rule.count = 1;
+  return rule;
+}
+
+/// Parses `spec` into site -> rules, throwing InvalidArgument on errors.
+std::map<std::string, Site, std::less<>> parse_spec(std::string_view spec) {
+  std::map<std::string, Site, std::less<>> parsed;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t end = std::min(spec.find(';', start), spec.size());
+    const std::string_view entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t first = entry.find(':');
+    if (first == std::string_view::npos) bad_spec("rule '" + std::string(entry) + "' has no action (want site:action[:opts])");
+    const std::string_view site = entry.substr(0, first);
+    if (site.empty()) bad_spec("rule '" + std::string(entry) + "' has an empty site name");
+    const std::size_t second = entry.find(':', first + 1);
+    const std::string_view action = entry.substr(first + 1, std::min(second, entry.size()) - first - 1);
+    const std::string_view opts = second == std::string_view::npos ? std::string_view{} : entry.substr(second + 1);
+    Rule rule;
+    if (action == "error") {
+      rule.action = Action::kError;
+    } else if (action == "format") {
+      rule.action = Action::kFormat;
+    } else if (action == "short") {
+      rule.action = Action::kShort;
+    } else if (action == "kill") {
+      rule.action = Action::kKill;
+    } else if (action == "delay") {
+      rule.action = Action::kDelay;
+    } else {
+      bad_spec("unknown action '" + std::string(action) + "' (want error|format|short|kill|delay)");
+    }
+    parsed[std::string(site)].rules.push_back(parse_rule_options(opts, rule));
+  }
+  return parsed;
+}
+
+void install(std::map<std::string, Site, std::less<>> parsed) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const bool any = !parsed.empty();
+  state() = std::move(parsed);
+  g_mode.store(any ? kArmed : kDisarmed, std::memory_order_relaxed);
+}
+
+void init_from_env_once() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    // configure()/reset() may have run before the first point() traversal;
+    // never clobber an explicit configuration with the environment.
+    if (g_mode.load(std::memory_order_relaxed) == kUninit) configure_from_env();
+  });
+}
+
+Hint point_slow(const char* site) {
+  Action action = Action::kError;
+  std::uint64_t delay_ms = 0;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_mode.load(std::memory_order_relaxed) != kArmed) return Hint::kNone;
+    auto it = state().find(std::string_view(site));
+    if (it == state().end()) {
+      // Record the traversal so sites_seen()/hits() cover unarmed sites
+      // too, which is how tests assert a point is actually on a path.
+      it = state().emplace(site, Site{}).first;
+    }
+    Site& entry = it->second;
+    ++entry.hits;
+    for (Rule& rule : entry.rules) {
+      if (rule.rank >= 0 && rule.rank != t_rank) continue;
+      const std::uint64_t n = ++rule.seen;
+      if (rule.count != 0 && rule.fired >= rule.count) continue;
+      bool decided = false;
+      if (rule.hit != 0) {
+        decided = n == rule.hit;
+      } else if (rule.every != 0) {
+        decided = n % rule.every == 0;
+      } else if (rule.prob >= 0.0) {
+        decided = draw(rule.seed, site, n) < rule.prob;
+      } else {
+        decided = true;
+      }
+      if (!decided) continue;
+      ++rule.fired;
+      ++entry.fired;
+      action = rule.action;
+      delay_ms = rule.delay_ms;
+      fire = true;
+      break;
+    }
+  }
+  if (!fire) return Hint::kNone;
+  switch (action) {
+    case Action::kError:
+      throw Error(std::string("fault injected at '") + site + "'");
+    case Action::kFormat:
+      throw FormatError(std::string("fault injected at '") + site + "'");
+    case Action::kShort:
+      return Hint::kShortRead;
+    case Action::kKill:
+      std::raise(SIGKILL);
+      break;  // unreachable; keeps non-POSIX builds honest
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      break;
+  }
+  return Hint::kNone;
+}
+
+}  // namespace
+
+Hint point(const char* site) {
+  const int mode = g_mode.load(std::memory_order_relaxed);
+  if (mode == kDisarmed) return Hint::kNone;
+  if (mode == kUninit) {
+    init_from_env_once();
+    if (g_mode.load(std::memory_order_relaxed) == kDisarmed) return Hint::kNone;
+  }
+  return point_slow(site);
+}
+
+void configure(std::string_view spec) { install(parse_spec(spec)); }
+
+void configure_from_env() {
+  const char* spec = std::getenv("SVA_FAULT");
+  install(spec == nullptr ? std::map<std::string, Site, std::less<>>{} : parse_spec(spec));
+}
+
+void reset() { install({}); }
+
+bool armed() { return g_mode.load(std::memory_order_relaxed) == kArmed; }
+
+std::uint64_t hits(std::string_view site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const auto it = state().find(site);
+  return it == state().end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fired(std::string_view site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const auto it = state().find(site);
+  return it == state().end() ? 0 : it->second.fired;
+}
+
+std::vector<std::string> sites_seen() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<std::string> names;
+  for (const auto& [name, site] : state()) {
+    if (site.hits > 0) names.push_back(name);
+  }
+  return names;
+}
+
+void set_thread_rank(int rank) { t_rank = rank; }
+
+int thread_rank() { return t_rank; }
+
+}  // namespace sva::fault

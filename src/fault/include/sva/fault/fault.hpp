@@ -1,0 +1,127 @@
+// Deterministic, seedable fault injection.
+//
+// Production code marks its load-bearing edges with named fault points:
+//
+//   sva::fault::point(sva::fault::sites::kSectionFileRead);
+//
+// A disabled point costs one relaxed atomic load.  Tests — or an operator,
+// via the SVA_FAULT environment variable or a tool's --fault flag — arm
+// points with rules so that failure behavior can be *proven* rather than
+// hoped for.  All triggers are driven by per-rule traversal counters and a
+// seeded hash, never by wall-clock or a global RNG, so a given spec fires
+// at exactly the same traversals on every run.
+//
+// Spec grammar (one or more rules joined by ';'):
+//
+//   <site>:<action>[:opt=val[,opt=val...]]
+//
+//   actions   error    throw sva::Error
+//             format   throw sva::FormatError
+//             short    ask the caller to truncate its read (only sites
+//                      that inspect the returned Hint honor it)
+//             kill     raise SIGKILL on the calling process
+//             delay    sleep for ms=<N> milliseconds, then continue
+//
+//   options   hit=N    fire on the Nth matching traversal (1-based)
+//             every=N  fire on every Nth matching traversal
+//             prob=P   fire with probability P per traversal, decided by
+//                      hash(seed, site, traversal) — deterministic
+//             seed=S   seed for prob (default 1)
+//             count=C  stop after C firings (default 1 for hit,
+//                      unlimited otherwise)
+//             rank=R   only traversals on SPMD rank R match (ranks are
+//                      published by the GA runtime via set_thread_rank)
+//             ms=N     sleep duration for the delay action (default 100)
+//
+// Examples:
+//
+//   SVA_FAULT="engine.section_file.read:format:hit=1"
+//   SVA_FAULT="serve.sweep:kill:rank=1,hit=1"
+//   SVA_FAULT="ga.shm.sync:delay:prob=0.01,seed=7,ms=20,count=3"
+//
+// At most one of hit/every/prob per rule; a rule with none of them fires
+// on every matching traversal.  When several rules arm one site, the
+// first rule that decides to fire on a traversal acts; the rest are
+// skipped for that traversal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sva::fault {
+
+/// Compiled-in registry of fault-point names.  Call sites use these
+/// constants (never ad-hoc strings) so the registry below is the complete,
+/// greppable list of injectable edges.
+namespace sites {
+/// SectionedFile payload read (bundle/checkpoint open; honors `short`).
+inline constexpr char kSectionFileRead[] = "engine.section_file.read";
+/// SectionedFile atomic write (bundle/checkpoint publish).
+inline constexpr char kSectionFileWrite[] = "engine.section_file.write";
+/// Shm transport: a rank publishing its staged payload.
+inline constexpr char kShmPublish[] = "ga.shm.publish";
+/// Shm transport: a rank waiting for peer arrival (every collective).
+inline constexpr char kShmSync[] = "ga.shm.sync";
+/// Shm transport: one pass of the parent's child-reaper loop.
+inline constexpr char kShmReap[] = "ga.shm.reap";
+/// Session::open (collective bundle load into a world).
+inline constexpr char kSessionOpen[] = "query.session.open";
+/// Serve admission: a validated query entering the scheduler queue.
+inline constexpr char kServeAdmission[] = "serve.admission";
+/// Serve sweep: every rank, immediately before executing a batch.
+inline constexpr char kServeSweep[] = "serve.sweep";
+/// Socket ingress: one request line about to be processed.
+inline constexpr char kServeSocketLine[] = "serve.ingress.socket";
+/// File-queue ingress: one claimed request file about to be processed.
+inline constexpr char kServeSpoolFile[] = "serve.ingress.spool";
+}  // namespace sites
+
+/// What an armed point asks of its caller when it neither throws, kills,
+/// nor delays.  Only sites documented as honoring kShortRead inspect it.
+enum class Hint {
+  kNone,
+  kShortRead,
+};
+
+/// Traverse the fault point `site`.  When a matching rule fires this may
+/// throw (sva::Error / sva::FormatError), sleep, or SIGKILL the calling
+/// process; the `short` action is returned as Hint::kShortRead instead.
+/// The very first traversal in a process reads SVA_FAULT from the
+/// environment; after that a disabled substrate is a single atomic load.
+Hint point(const char* site);
+
+/// Replace the active configuration with `spec` (see grammar above) and
+/// reset all traversal/fire counters.  An empty spec disarms every point.
+/// Throws InvalidArgument on a malformed spec.
+void configure(std::string_view spec);
+
+/// configure() from the SVA_FAULT environment variable (disarms when the
+/// variable is unset or empty).
+void configure_from_env();
+
+/// Disarm all points and forget all counters.
+void reset();
+
+/// True when at least one rule is armed.
+bool armed();
+
+/// Traversals of `site` observed while armed.
+std::uint64_t hits(std::string_view site);
+
+/// Rule firings at `site` (includes short/delay firings).
+std::uint64_t fired(std::string_view site);
+
+/// Sites traversed at least once while armed, sorted.
+std::vector<std::string> sites_seen();
+
+/// Publish the calling thread's SPMD rank for `rank=` rule filters.  The
+/// GA runtime calls this as each rank's body starts; -1 (the initial
+/// value) means "no rank", which only rank-unfiltered rules match.
+void set_thread_rank(int rank);
+
+/// The calling thread's published SPMD rank, or -1.
+int thread_rank();
+
+}  // namespace sva::fault

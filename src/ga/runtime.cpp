@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "sva/fault/fault.hpp"
 #include "sva/util/log.hpp"
 #include "transport_impl.hpp"
 
@@ -16,7 +17,12 @@ World::World(const SpmdOptions& options)
 }
 
 Context::Context(World& world, int rank)
-    : world_(world), rank_(rank), cpu_mark_(ThreadCpuTimer::now()) {}
+    : world_(world), rank_(rank), cpu_mark_(ThreadCpuTimer::now()) {
+  // A Context is constructed on its rank's own thread (or forked process),
+  // so this is where the fault substrate learns which rank a `rank=` rule
+  // filter should match on.
+  fault::set_thread_rank(rank);
+}
 
 void Context::sample_compute() {
   const double now = ThreadCpuTimer::now();

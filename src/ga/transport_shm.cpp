@@ -23,6 +23,7 @@
 #include <new>
 #include <thread>
 
+#include "sva/fault/fault.hpp"
 #include "sva/util/error.hpp"
 #include "sva/util/timer.hpp"
 #include "transport_impl.hpp"
@@ -118,6 +119,7 @@ class ShmTransport final : public Transport {
 
   void publish(std::uint32_t parity, int rank, const void* data, std::size_t bytes,
                bool /*copy*/) override {
+    fault::point(fault::sites::kShmPublish);
     // Always staged: a peer cannot read this rank's private heap, so the
     // zero-copy hint from the collective layer is ignored and `copied`
     // reports staging (sparing the departure fence on the v-paths).
@@ -140,6 +142,7 @@ class ShmTransport final : public Transport {
   }
 
   double sync(int rank, double vtime, RoundFn on_last, void* arg) override {
+    fault::point(fault::sites::kShmSync);
     clocks_[rank].v = vtime;
     const std::uint32_t epoch = ctl_->epoch.load(std::memory_order_acquire);
     throw_if_aborted();
@@ -379,6 +382,13 @@ SpmdResult run_process_world(World& world, const std::function<void(Context&)>& 
     std::vector<char> done(pids.size(), 0);
     std::size_t reaped = 0;
     while (reaped < pids.size()) {
+      try {
+        fault::point(fault::sites::kShmReap);
+      } catch (const Error& e) {
+        // A thrown injection cannot unwind a detached-duty thread; convert
+        // it into the same world abort a real reaper failure would cause.
+        tp.post_error(e.what());
+      }
       bool progress = false;
       for (std::size_t i = 0; i < pids.size(); ++i) {
         if (done[i] != 0) continue;

@@ -6,6 +6,7 @@
 
 #include "sva/cluster/pca.hpp"
 #include "sva/cluster/projection.hpp"
+#include "sva/fault/fault.hpp"
 #include "sva/ga/repro_sum.hpp"
 #include "sva/util/error.hpp"
 
@@ -301,6 +302,7 @@ DrillDownResult drill_down_subset(ga::Context& ctx, const sig::SignatureSet& sub
 // ===== Session ==========================================================
 
 Session Session::open(ga::Context& ctx, const std::filesystem::path& bundle_path) {
+  fault::point(fault::sites::kSessionOpen);
   return Session(ctx, engine::load_bundle(ctx, bundle_path));
 }
 

@@ -14,9 +14,19 @@
 //
 // Both transports share process_request_line(), so the grammar and the
 // response shapes cannot drift between them.
+//
+// Failure plane: socket connections that sit silent past the idle
+// timeout are closed (a wedged client cannot pin a reader thread
+// forever); spool files claimed by a poller that died are swept back to
+// `*.req` so another poller answers them; and client_roundtrip retries
+// idempotent request batches across a daemon whose serving world is
+// mid-respawn, announcing each retry with a `# retry <n>` comment line
+// the daemon counts into its stats.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <filesystem>
 #include <mutex>
 #include <string>
@@ -42,7 +52,12 @@ std::string format_stats(const ServerStats& stats);
 /// the accept loop, closes every live connection and joins the threads.
 class SocketIngress {
  public:
-  SocketIngress(Server& server, std::filesystem::path socket_path);
+  /// `idle_timeout` bounds how long a connection may sit silent between
+  /// request bytes before the daemon closes it — a client that wedged
+  /// mid-request cannot pin a reader thread forever.  Zero disables the
+  /// timeout.
+  SocketIngress(Server& server, std::filesystem::path socket_path,
+                std::chrono::milliseconds idle_timeout = std::chrono::seconds(30));
   ~SocketIngress();
 
   SocketIngress(const SocketIngress&) = delete;
@@ -64,6 +79,7 @@ class SocketIngress {
 
   Server& server_;
   const std::filesystem::path socket_path_;
+  const std::chrono::milliseconds idle_timeout_;
   int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shutdown_{false};
@@ -91,6 +107,13 @@ class FileQueueIngress {
   /// Stops polling and joins.  In-flight request files are finished.
   void stop();
 
+  /// Renames `*.req.claimed.<pid>` files whose claiming process is dead
+  /// back to `*.req` so a live poller answers them instead of leaving
+  /// the client waiting on a response that will never come.  Runs at
+  /// start() and periodically from the poll loop; returns how many
+  /// claims were swept back.
+  std::size_t recover_stale_claims();
+
   [[nodiscard]] bool shutdown_requested() const { return shutdown_.load(); }
 
  private:
@@ -105,10 +128,26 @@ class FileQueueIngress {
   std::thread poll_thread_;
 };
 
+/// How client_roundtrip rides out a daemon whose serving world is
+/// mid-respawn: retry the whole batch, doubling the backoff per attempt.
+struct ClientRetryPolicy {
+  int attempts = 5;                      ///< total tries (1 = never retry)
+  std::chrono::milliseconds backoff{100};      ///< before the first retry...
+  std::chrono::milliseconds backoff_max{1000}; ///< ...doubling up to this cap
+};
+
 /// Client helper: connects to `socket_path`, sends every line, and
 /// returns one response line per non-blank request line.  Throws Error on
 /// connect/IO failure or a short response stream.
+///
+/// When every line is retry-safe (blank/query/ping/stats — idempotent,
+/// so a duplicate execution is harmless), a transport failure or a
+/// "world failure" response is retried under `retry`: the batch is
+/// re-sent prefixed with a `# retry <n>` marker the daemon counts.
+/// Batches carrying control verbs (reload/ingest/shutdown) never retry —
+/// the last error (or the failed responses) surfaces to the caller.
 std::vector<std::string> client_roundtrip(const std::filesystem::path& socket_path,
-                                          const std::vector<std::string>& lines);
+                                          const std::vector<std::string>& lines,
+                                          const ClientRetryPolicy& retry = {});
 
 }  // namespace sva::serve

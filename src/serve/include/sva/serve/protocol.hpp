@@ -50,8 +50,24 @@ namespace sva::serve {
 /// could misread (new verbs, response shape, greeting format); the
 /// `sva-protocol` header and the connection greeting both carry it.
 /// Version 2 added the `ingest` control verb and the `generation=` /
-/// `ingests=` fields of the stats response.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// `ingests=` fields of the stats response.  Version 3 added the failure
+/// counters of the stats response (respawns=, world_failures=,
+/// in_flight_failed=, deadline_expired=, client_retries=, last_failure=)
+/// and the "world failure:" error mark clients key their retries on.
+inline constexpr std::uint32_t kProtocolVersion = 3;
+
+/// Prefix of every error string caused by the serving world dying with
+/// the request in flight (the daemon renders it as
+/// "error world failure: <reason>").  Query verbs are idempotent, so a
+/// client seeing this mark may re-issue once the supervisor has respawned
+/// the world; client_roundtrip() does exactly that.
+inline constexpr std::string_view kWorldFailureMark = "world failure: ";
+
+/// True when re-issuing `line` cannot change daemon state: blank/comment
+/// lines, queries, ping and stats.  reload/ingest/shutdown mutate the
+/// daemon and are never retried automatically; malformed lines are not
+/// retry-safe either (the error is deterministic, retrying is noise).
+bool retry_safe_line(std::string_view line);
 
 /// The greeting line the daemon writes on every accepted connection:
 /// "ok sva-protocol <kProtocolVersion>".

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sva/query/session.hpp"
+#include "sva/util/error.hpp"
 
 namespace sva::serve {
 
@@ -36,6 +37,14 @@ struct PendingQuery {
   std::chrono::steady_clock::time_point admitted{};
 };
 
+/// A queued request outlived its admission deadline (typically because
+/// the serving world was down across repeated respawn attempts) and was
+/// failed rather than left waiting forever.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
 /// Counter snapshot; taken under the scheduler lock.
 struct SchedulerStats {
   std::uint64_t submitted = 0;
@@ -44,12 +53,22 @@ struct SchedulerStats {
   std::uint64_t deadline_flushes = 0;  ///< released because the window expired
   std::uint64_t drain_flushes = 0;     ///< released while draining for shutdown
   std::uint64_t max_batch = 0;         ///< largest batch released
+  std::uint64_t expired = 0;           ///< failed by the admission deadline
 };
 
 class AdmissionScheduler {
  public:
-  AdmissionScheduler(std::size_t batch_max, std::chrono::microseconds deadline)
-      : batch_max_(batch_max > 0 ? batch_max : 1), deadline_(deadline) {}
+  /// `admission_deadline` bounds how long a query may sit in the queue
+  /// before it fails with DeadlineExceeded: take_batch() prunes expired
+  /// entries before releasing a batch, and the server's supervisor prunes
+  /// during respawn backoff (when nothing is calling take_batch).  Zero
+  /// disables expiry.
+  AdmissionScheduler(std::size_t batch_max, std::chrono::microseconds deadline,
+                     std::chrono::milliseconds admission_deadline =
+                         std::chrono::milliseconds::zero())
+      : batch_max_(batch_max > 0 ? batch_max : 1),
+        deadline_(deadline),
+        admission_deadline_(admission_deadline) {}
 
   /// Admits one query; returns the future its sweep will complete.
   /// After stop(), admission fails the promise immediately with
@@ -69,6 +88,11 @@ class AdmissionScheduler {
   /// Wakes a blocked take_batch (external condition changed).
   void wake();
 
+  /// Fails every queued query older than the admission deadline with
+  /// DeadlineExceeded; returns how many were failed.  No-op when the
+  /// deadline is disabled.
+  std::size_t fail_expired();
+
   [[nodiscard]] bool stopped() const;
   [[nodiscard]] std::size_t pending() const;
   [[nodiscard]] SchedulerStats stats() const;
@@ -76,9 +100,12 @@ class AdmissionScheduler {
  private:
   /// Pops up to batch_max_ items (caller holds the lock).
   std::vector<PendingQuery> pop_batch_locked();
+  /// fail_expired() body (caller holds the lock).
+  std::size_t fail_expired_locked();
 
   const std::size_t batch_max_;
   const std::chrono::microseconds deadline_;
+  const std::chrono::milliseconds admission_deadline_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

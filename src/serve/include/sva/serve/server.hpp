@@ -26,6 +26,20 @@
 // sweep cancel flag — an in-flight sweep is abandoned at its next phase
 // boundary (query::BatchControl) and every unanswered query fails with
 // "server is shutting down".
+//
+// The world thread is a supervisor, not a single spmd_run: when the
+// serving world dies abnormally (a rank SIGKILLed, a transport abort, an
+// injected fault), the supervisor fails every future the dead world owned
+// with WorldFailure — a client is never left hanging — then respawns a
+// fresh world over the last-good bundle (serially pre-validated, the same
+// idiom the reload path uses) with bounded exponential backoff, and
+// resumes serving.  Queries queued during the outage ride over the
+// respawn; the admission deadline bounds how long they may wait.  The
+// bundle is unchanged across a respawn, so post-respawn answers are
+// byte-identical to the never-failed path (and the result cache stays
+// valid).  A world that has never served (first open fails) or that
+// exhausts max_respawn_attempts consecutive failures becomes the fatal
+// error join() rethrows.
 #pragma once
 
 #include <atomic>
@@ -62,6 +76,40 @@ struct ServeOptions {
   /// futures), so both backends serve identically; kProcess isolates the
   /// other ranks in forked children.
   ga::Backend backend = ga::Backend::kThread;
+  /// Supervisor: respawn the world after an abnormal death.  Off, the
+  /// first world death is fatal (join() rethrows it) — the pre-PR-9
+  /// behavior.
+  bool respawn = true;
+  /// Give up (fatally) after this many consecutive failed respawn
+  /// attempts; the counter resets once a respawned world serves again.
+  int max_respawn_attempts = 5;
+  /// Backoff before the first respawn attempt; doubles per consecutive
+  /// failure up to respawn_backoff_max.
+  std::chrono::milliseconds respawn_backoff{50};
+  std::chrono::milliseconds respawn_backoff_max{2000};
+  /// A queued query that has waited this long fails with DeadlineExceeded
+  /// instead of waiting forever (the bound that matters when queries pile
+  /// up across repeated respawn attempts).  Zero disables expiry.
+  std::chrono::milliseconds admission_deadline{30000};
+};
+
+/// The serving world died (rank killed, transport abort, injected fault)
+/// with this request in flight.  Queries are idempotent: a client may
+/// re-issue once the supervisor has respawned the world and the answer
+/// will be byte-identical to the never-failed path.  The what() text
+/// always starts with protocol's kWorldFailureMark ("world failure: ").
+class WorldFailure : public Error {
+ public:
+  explicit WorldFailure(const std::string& what) : Error(what) {}
+};
+
+/// Failure-plane counters (the `stats` verb surfaces all of these).
+struct FailureStats {
+  std::uint64_t world_failures = 0;   ///< abnormal world deaths observed
+  std::uint64_t respawns = 0;         ///< worlds respawned by the supervisor
+  std::uint64_t in_flight_failed = 0; ///< futures failed with WorldFailure
+  std::uint64_t client_retries = 0;   ///< "# retry" markers seen on ingress
+  std::string last_failure;           ///< reason of the most recent world death
 };
 
 /// Counter snapshot across the daemon's moving parts.
@@ -74,6 +122,7 @@ struct ServerStats {
   std::uint64_t generation = 0;      ///< served bundle's generation counter
   SchedulerStats scheduler;
   CacheStats cache;
+  FailureStats failures;
 };
 
 class Server {
@@ -121,6 +170,10 @@ class Server {
   /// Waits for the serve loop to exit; rethrows its fatal error, if any.
   void join();
 
+  /// Ingress transports report a client's "# retry" marker here so the
+  /// stats verb can surface how many retries the respawn window caused.
+  void note_client_retry() { client_retries_.fetch_add(1); }
+
   [[nodiscard]] bool running() const { return running_.load(); }
   [[nodiscard]] ServerStats stats() const;
 
@@ -146,19 +199,27 @@ class Server {
     std::promise<engine::DeltaReport> promise;
   };
 
+  /// The world thread's body: runs serving worlds in a loop, turning each
+  /// abnormal death into failed futures + a backed-off respawn over the
+  /// last-good bundle, until a clean exit or a fatal give-up.
+  void supervise();
   /// The SPMD body every rank runs (rank 0 drives the scheduler).
   void serve_world(ga::Context& ctx);
   /// Collective: re-gathers the served bundle's admission metadata
   /// (rank 0 publishes it under meta_mutex_).
   void refresh_metadata(ga::Context& ctx, query::Session& session);
-  /// Rank 0: blocks for the next command; returns the encoded blob.
-  /// `served_path` is the bundle the world currently serves (the delta
-  /// base an ingest command extends).
-  std::vector<std::uint8_t> next_command(std::vector<PendingQuery>& batch_out,
-                                         const std::filesystem::path& served_path);
+  /// Rank 0: blocks for the next command; returns the encoded blob.  A
+  /// sweep command parks its batch in inflight_ so the supervisor can
+  /// fail it if the world dies mid-sweep.  `served_path` is the bundle
+  /// the world currently serves (the delta base an ingest command
+  /// extends).
+  std::vector<std::uint8_t> next_command(const std::filesystem::path& served_path);
   /// Rank 0: validates `q` against the current metadata; empty string
   /// when admissible.
   std::string validate(const query::Query& q) const;
+  /// Supervisor: fails the in-flight batch and any in-flight
+  /// reload/ingest with WorldFailure("world failure: " + reason).
+  void fail_world_owned(const std::string& reason);
   /// Fails every query in `batch` with `why`.
   static void fail_batch(std::vector<PendingQuery>& batch, const std::string& why);
 
@@ -174,19 +235,35 @@ class Server {
   std::mutex control_mutex_;
   std::deque<ReloadRequest> reloads_;
   std::deque<IngestRequest> ingests_;
+  /// The bundle the live world serves; reload/ingest move it (rank 0) and
+  /// the supervisor re-opens it on respawn.  Guarded by control_mutex_.
+  std::filesystem::path served_path_;
   /// The reload/ingest whose collective phase is in flight (rank 0 /
   /// exit path).
   std::optional<ReloadRequest> current_reload_;
   std::optional<IngestRequest> current_ingest_;
+  /// The batch the current sweep carries.  Touched only by rank 0 inside
+  /// a world and by the supervisor between worlds — rank 0 runs on the
+  /// supervisor's own thread (both backends), so no lock is needed.
+  std::vector<PendingQuery> inflight_;
 
   std::atomic<bool> cancel_{false};
   std::atomic<bool> running_{false};
+  /// Set by rank 0 once a world's Session is open and serving; tells the
+  /// supervisor whether a death was a serving failure (respawn counter
+  /// resets) or a failed respawn attempt (counter escalates).
+  std::atomic<bool> world_healthy_{false};
   std::atomic<std::uint64_t> sweeps_{0};
   std::atomic<std::uint64_t> queries_swept_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> reload_count_{0};
   std::atomic<std::uint64_t> ingest_count_{0};
   std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint64_t> world_failures_{0};
+  std::atomic<std::uint64_t> respawns_{0};
+  std::atomic<std::uint64_t> in_flight_failed_{0};
+  std::atomic<std::uint64_t> client_retries_{0};
+  std::string last_failure_;  ///< guarded by meta_mutex_
 
   std::thread world_thread_;
   std::promise<void> ready_;

@@ -1,16 +1,21 @@
 #include "sva/serve/ingress.hpp"
 
+#include <signal.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "sva/fault/fault.hpp"
 #include "sva/serve/protocol.hpp"
 #include "sva/util/error.hpp"
+#include "sva/util/parse.hpp"
 
 namespace sva::serve {
 
@@ -68,10 +73,26 @@ std::string format_stats(const ServerStats& s) {
   kv("cache_evictions", s.cache.evictions);
   kv("cache_invalidations", s.cache.invalidations);
   kv("cache_entries", s.cache.entries);
+  kv("deadline_expired", s.scheduler.expired);
+  kv("world_failures", s.failures.world_failures);
+  kv("respawns", s.failures.respawns);
+  kv("in_flight_failed", s.failures.in_flight_failed);
+  kv("client_retries", s.failures.client_retries);
+  // The reason stays one token so the stats line keeps its key=value
+  // grammar whatever the exception text held.
+  std::string reason = s.failures.last_failure.empty() ? "none" : s.failures.last_failure;
+  for (char& c : reason) {
+    if (c == ' ' || c == '\n' || c == '\r' || c == '\t' || c == '=') c = '_';
+  }
+  out += " last_failure=" + reason;
   return out;
 }
 
 std::string process_request_line(Server& server, std::string_view line, bool* shutdown) {
+  // Retrying clients announce each attempt with a "# retry <n>" comment
+  // (still a blank line to the grammar — no response owed); counting them
+  // here covers both transports.
+  if (line.rfind("# retry", 0) == 0) server.note_client_retry();
   std::string error;
   const auto request = parse_request_line(line, error);
   if (!request.has_value()) return format_error(error);
@@ -116,8 +137,11 @@ std::string process_request_line(Server& server, std::string_view line, bool* sh
 
 // ---- SocketIngress -----------------------------------------------------
 
-SocketIngress::SocketIngress(Server& server, std::filesystem::path socket_path)
-    : server_(server), socket_path_(std::move(socket_path)) {}
+SocketIngress::SocketIngress(Server& server, std::filesystem::path socket_path,
+                             std::chrono::milliseconds idle_timeout)
+    : server_(server),
+      socket_path_(std::move(socket_path)),
+      idle_timeout_(idle_timeout) {}
 
 SocketIngress::~SocketIngress() { stop(); }
 
@@ -184,6 +208,14 @@ void SocketIngress::accept_loop() {
 }
 
 void SocketIngress::serve_connection(int fd) {
+  // A connection that goes silent between request bytes is closed after
+  // the idle timeout — a wedged client must not pin this thread forever.
+  if (idle_timeout_ > std::chrono::milliseconds::zero()) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(idle_timeout_.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((idle_timeout_.count() % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
   // Greet before reading anything: a peer from another build learns the
   // daemon's protocol version up front instead of diagnosing grammar
   // errors one line at a time.
@@ -198,7 +230,7 @@ void SocketIngress::serve_connection(int fd) {
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0) {
       if (errno == EINTR) continue;
-      break;
+      break;  // includes EAGAIN/EWOULDBLOCK: the idle timeout expired
     }
     if (n == 0) break;  // EOF
     buffer.append(chunk, static_cast<std::size_t>(n));
@@ -209,7 +241,15 @@ void SocketIngress::serve_connection(int fd) {
       const std::string_view line(buffer.data() + start, nl - start);
       start = nl + 1;
       bool shutdown = false;
-      const std::string response = process_request_line(server_, line, &shutdown);
+      std::string response;
+      try {
+        fault::point(fault::sites::kServeSocketLine);
+        response = process_request_line(server_, line, &shutdown);
+      } catch (const Error& e) {
+        // An injected ingress fault answers like any other bad request —
+        // the connection survives.
+        response = format_error(e.what());
+      }
       if (shutdown) shutdown_.store(true);
       if (!response.empty() && !write_all(fd, response + "\n")) {
         open = false;
@@ -232,6 +272,9 @@ FileQueueIngress::~FileQueueIngress() { stop(); }
 void FileQueueIngress::start() {
   require(!poll_thread_.joinable(), "FileQueueIngress::start: already started");
   std::filesystem::create_directories(spool_dir_);
+  // Requests claimed by a poller that died before answering must not
+  // strand their clients: sweep them back before serving anything new.
+  recover_stale_claims();
   stopping_.store(false);
   poll_thread_ = std::thread([this] { poll_loop(); });
 }
@@ -242,8 +285,35 @@ void FileQueueIngress::stop() {
   poll_thread_.join();
 }
 
+std::size_t FileQueueIngress::recover_stale_claims() {
+  std::size_t recovered = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(spool_dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    // A claim is `<stem>.req.claimed.<pid>`; the claiming pid is the
+    // liveness witness.
+    const std::string name = entry.path().filename().string();
+    const std::size_t mark = name.rfind(".req.claimed.");
+    if (mark == std::string::npos) continue;
+    const auto pid = parse_u64(name.substr(mark + sizeof(".req.claimed.") - 1));
+    if (!pid) continue;
+    if (*pid == static_cast<std::uint64_t>(::getpid())) continue;  // ours, in flight
+    if (::kill(static_cast<pid_t>(*pid), 0) == 0 || errno != ESRCH) {
+      continue;  // claimer still alive (or unknowable) — leave it be
+    }
+    const std::filesystem::path back =
+        entry.path().parent_path() / name.substr(0, mark + sizeof(".req") - 1);
+    std::filesystem::rename(entry.path(), back, ec);
+    if (!ec) ++recovered;
+  }
+  return recovered;
+}
+
 void FileQueueIngress::poll_loop() {
+  std::uint64_t iterations = 0;
   while (!stopping_.load()) {
+    // Periodic stale-claim sweep: a sibling poller can die at any time.
+    if (iterations++ % 64 == 0) recover_stale_claims();
     bool worked = false;
     std::error_code ec;
     for (const auto& entry : std::filesystem::directory_iterator(spool_dir_, ec)) {
@@ -263,6 +333,17 @@ void FileQueueIngress::handle_request_file(const std::filesystem::path& req) {
   std::error_code ec;
   std::filesystem::rename(req, claimed, ec);
   if (ec) return;
+
+  try {
+    // A kill action here dies holding the claim — exactly the stale
+    // claim recover_stale_claims() exists to sweep.
+    fault::point(fault::sites::kServeSpoolFile);
+  } catch (const Error&) {
+    // An injected error abandons the claim cleanly: hand the request
+    // back so any poller (including us, next pass) can answer it.
+    std::filesystem::rename(claimed, req, ec);
+    return;
+  }
 
   std::string responses;
   {
@@ -294,8 +375,11 @@ void FileQueueIngress::handle_request_file(const std::filesystem::path& req) {
 
 // ---- client helper -----------------------------------------------------
 
-std::vector<std::string> client_roundtrip(const std::filesystem::path& socket_path,
-                                          const std::vector<std::string>& lines) {
+namespace {
+
+/// One connect-send-collect pass (the pre-retry client_roundtrip).
+std::vector<std::string> roundtrip_once(const std::filesystem::path& socket_path,
+                                        const std::vector<std::string>& lines) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   require(fd >= 0, "socket(AF_UNIX) failed: " + std::string(std::strerror(errno)));
   const sockaddr_un addr = make_unix_addr(socket_path);
@@ -364,6 +448,45 @@ std::vector<std::string> client_roundtrip(const std::filesystem::path& socket_pa
           "daemon closed the connection early (" + std::to_string(responses.size()) +
               "/" + std::to_string(expected) + " responses)");
   return responses;
+}
+
+}  // namespace
+
+std::vector<std::string> client_roundtrip(const std::filesystem::path& socket_path,
+                                          const std::vector<std::string>& lines,
+                                          const ClientRetryPolicy& retry) {
+  // Only an all-idempotent batch may retry: re-running a query or a ping
+  // is harmless, re-running a reload/ingest/shutdown is not.
+  const bool retryable =
+      std::all_of(lines.begin(), lines.end(),
+                  [](const std::string& line) { return retry_safe_line(line); });
+  const std::string failure_response = "error " + std::string(kWorldFailureMark);
+  auto backoff = retry.backoff;
+
+  for (int attempt = 0;; ++attempt) {
+    std::vector<std::string> request = lines;
+    if (attempt > 0) {
+      // Announce the retry so the daemon's stats can count it; a comment
+      // line is legal on every plane and owes no response.
+      request.insert(request.begin(), "# retry " + std::to_string(attempt));
+    }
+    const bool last = !retryable || attempt + 1 >= retry.attempts;
+    try {
+      auto responses = roundtrip_once(socket_path, request);
+      const bool world_failed =
+          std::any_of(responses.begin(), responses.end(),
+                      [&failure_response](const std::string& r) {
+                        return r.rfind(failure_response, 0) == 0;
+                      });
+      if (!world_failed || last) return responses;
+    } catch (const Error&) {
+      // Transport failure: the daemon may be restarting its socket (or
+      // the world died before answering) — retry rides the respawn.
+      if (last) throw;
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, retry.backoff_max);
+  }
 }
 
 }  // namespace sva::serve

@@ -238,4 +238,22 @@ std::string format_error(std::string_view what) {
   return out;
 }
 
+bool retry_safe_line(std::string_view line) {
+  std::string error;
+  const auto request = parse_request_line(line, error);
+  if (!request.has_value()) return false;
+  switch (request->kind) {
+    case Request::Kind::kBlank:
+    case Request::Kind::kQuery:
+    case Request::Kind::kPing:
+    case Request::Kind::kStats:
+      return true;
+    case Request::Kind::kReload:
+    case Request::Kind::kIngest:
+    case Request::Kind::kShutdown:
+      return false;
+  }
+  return false;
+}
+
 }  // namespace sva::serve

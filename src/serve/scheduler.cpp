@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sva/fault/fault.hpp"
 #include "sva/util/error.hpp"
 
 namespace sva::serve {
@@ -9,6 +10,7 @@ namespace sva::serve {
 std::future<query::QueryResult> AdmissionScheduler::submit(query::Query q,
                                                            std::uint64_t digest,
                                                            std::vector<std::uint8_t> key) {
+  fault::point(fault::sites::kServeAdmission);
   PendingQuery item;
   item.query = std::move(q);
   item.digest = digest;
@@ -43,10 +45,32 @@ std::vector<PendingQuery> AdmissionScheduler::pop_batch_locked() {
   return batch;
 }
 
+std::size_t AdmissionScheduler::fail_expired_locked() {
+  if (admission_deadline_ <= std::chrono::milliseconds::zero()) return 0;
+  const auto now = std::chrono::steady_clock::now();
+  std::size_t failed = 0;
+  // Admission order means expiry order: only a prefix can be expired.
+  while (!queue_.empty() && now - queue_.front().admitted >= admission_deadline_) {
+    queue_.front().promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+        "admission deadline of " + std::to_string(admission_deadline_.count()) +
+        "ms exceeded before a sweep could run")));
+    queue_.pop_front();
+    ++failed;
+  }
+  stats_.expired += failed;
+  return failed;
+}
+
+std::size_t AdmissionScheduler::fail_expired() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fail_expired_locked();
+}
+
 std::vector<PendingQuery> AdmissionScheduler::take_batch(
     const std::function<bool()>& interrupt) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
+    fail_expired_locked();
     if (interrupt && interrupt()) return {};
     if (stopped_) {
       if (queue_.empty()) return {};

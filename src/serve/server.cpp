@@ -1,5 +1,6 @@
 #include "sva/serve/server.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include <fstream>
@@ -10,6 +11,7 @@
 #include "sva/engine/bundle.hpp"
 #include "sva/engine/digest.hpp"
 #include "sva/engine/section_file.hpp"
+#include "sva/fault/fault.hpp"
 #include "sva/ga/runtime.hpp"
 #include "sva/serve/protocol.hpp"
 #include "sva/util/bytes.hpp"
@@ -32,6 +34,17 @@ std::vector<std::uint8_t> encode_exit() {
   ByteWriter w;
   w.u64(kOpExit);
   return std::move(w.bytes);
+}
+
+/// Renders a captured exception for failure reporting.
+std::string describe_exception(const std::exception_ptr& err) {
+  try {
+    std::rethrow_exception(err);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
 }
 
 /// One document per non-empty line, ids = positions (the contract
@@ -59,8 +72,10 @@ corpus::SourceSet parse_ingest_docs(const std::string& text) {
 Server::Server(std::filesystem::path bundle_path, ServeOptions options)
     : bundle_path_(std::move(bundle_path)),
       options_(options),
-      scheduler_(options.batch_max, options.batch_deadline),
-      cache_(options.cache_capacity) {}
+      scheduler_(options.batch_max, options.batch_deadline, options.admission_deadline),
+      cache_(options.cache_capacity) {
+  served_path_ = bundle_path_;
+}
 
 Server::~Server() {
   stop_now();
@@ -71,79 +86,203 @@ void Server::start() {
   require(!world_thread_.joinable(), "Server::start: already started");
   auto ready = ready_.get_future();
   running_.store(true);  // before the spawn: the thread clears it on exit
-  world_thread_ = std::thread([this] {
+  world_thread_ = std::thread([this] { supervise(); });
+  ready.get();  // rethrows a failed first Session::open
+}
+
+void Server::supervise() {
+  ga::SpmdOptions world_options;
+  world_options.nprocs = options_.procs;
+  world_options.comm_model = options_.model;
+  world_options.backend = options_.backend;
+
+  bool ever_healthy = false;
+  int consecutive_failures = 0;
+  auto backoff = options_.respawn_backoff;
+  std::exception_ptr fatal;
+
+  for (;;) {
+    world_healthy_.store(false);
+    std::exception_ptr err;
     try {
-      ga::SpmdOptions world_options;
-      world_options.nprocs = options_.procs;
-      world_options.comm_model = options_.model;
-      world_options.backend = options_.backend;
       ga::spmd_run(world_options, [this](ga::Context& ctx) { serve_world(ctx); });
     } catch (...) {
-      std::lock_guard<std::mutex> lock(meta_mutex_);
-      run_error_ = std::current_exception();
+      err = std::current_exception();
     }
-    running_.store(false);
+    if (err == nullptr) break;  // serve_world only returns on kOpExit
 
-    // The world is gone: everything still queued (or arriving late) must
-    // fail rather than hang its client.
-    std::exception_ptr down;
+    // The world died abnormally.  Name the failure and fail every future
+    // the dead world owned — a client must see an error, never a hang.
+    const std::string reason = describe_exception(err);
+    world_failures_.fetch_add(1);
     {
       std::lock_guard<std::mutex> lock(meta_mutex_);
-      down = run_error_ != nullptr
-                 ? run_error_
-                 : std::make_exception_ptr(InvalidArgument(kShuttingDown));
-      if (!ready_signalled_) {
-        ready_signalled_ = true;
-        ready_.set_exception(down);
-      }
+      last_failure_ = reason;
     }
-    scheduler_.stop();
+    fail_world_owned(reason);
+
+    const bool was_healthy = world_healthy_.load();
+    ever_healthy = ever_healthy || was_healthy;
+    if (!options_.respawn || !ever_healthy) {
+      // Respawning only makes sense over a bundle that has served: a
+      // world that never opened fails start() loudly instead of retrying
+      // a configuration that has never worked.
+      fatal = err;
+      break;
+    }
+    consecutive_failures = was_healthy ? 1 : consecutive_failures + 1;
+    backoff = was_healthy
+                  ? options_.respawn_backoff
+                  : std::min(backoff * 2, options_.respawn_backoff_max);
+    if (consecutive_failures > options_.max_respawn_attempts) {
+      fatal = std::make_exception_ptr(WorldFailure(
+          "world failure: giving up after " +
+          std::to_string(options_.max_respawn_attempts) +
+          " consecutive respawn attempts (last: " + reason + ")"));
+      break;
+    }
+
+    // Bounded exponential backoff, in slices so shutdown stays prompt and
+    // queued work cannot wait past its admission deadline while nothing
+    // is draining the scheduler.
+    const auto until = std::chrono::steady_clock::now() + backoff;
+    bool bail = false;
     for (;;) {
-      auto rest = scheduler_.take_batch();
-      if (rest.empty()) break;
-      for (auto& q : rest) q.promise.set_exception(down);
+      if (cancel_.load() || (scheduler_.stopped() && scheduler_.pending() == 0)) {
+        bail = true;  // shutdown requested with nothing left to serve
+        break;
+      }
+      scheduler_.fail_expired();
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= until) break;
+      std::this_thread::sleep_for(
+          std::min<std::chrono::steady_clock::duration>(
+              until - now, std::chrono::milliseconds(20)));
     }
-    if (current_reload_.has_value()) {
-      current_reload_->promise.set_exception(down);
-      current_reload_.reset();
-    }
-    if (current_ingest_.has_value()) {
-      current_ingest_->promise.set_exception(down);
-      current_ingest_.reset();
-    }
-    std::deque<ReloadRequest> reloads;
-    std::deque<IngestRequest> ingests;
+    if (bail) break;
+
+    // Re-validate the last-good bundle serially before burning a fresh
+    // world on it (the reload path's pre-validation idiom): a vanished or
+    // torn file counts as a failed attempt and retries with backoff.
+    std::filesystem::path serving;
     {
       std::lock_guard<std::mutex> lock(control_mutex_);
-      reloads.swap(reloads_);
-      ingests.swap(ingests_);
+      serving = served_path_;
     }
-    for (auto& r : reloads) r.promise.set_exception(down);
-    for (auto& r : ingests) r.promise.set_exception(down);
-  });
-  ready.get();  // rethrows a failed Session::open
+    try {
+      (void)engine::SectionedFile::read(serving, engine::kBundleMagic,
+                                        engine::kBundleFormatVersion, "bundle");
+    } catch (const std::exception& e) {
+      ++consecutive_failures;
+      backoff = std::min(backoff * 2, options_.respawn_backoff_max);
+      {
+        std::lock_guard<std::mutex> lock(meta_mutex_);
+        last_failure_ = e.what();
+      }
+      if (consecutive_failures > options_.max_respawn_attempts) {
+        fatal = std::make_exception_ptr(WorldFailure(
+            "world failure: giving up after " +
+            std::to_string(options_.max_respawn_attempts) +
+            " consecutive respawn attempts (last-good bundle no longer "
+            "validates: " + std::string(e.what()) + ")"));
+        break;
+      }
+      continue;  // without respawning: the bundle must validate first
+    }
+    respawns_.fetch_add(1);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(meta_mutex_);
+    run_error_ = fatal;
+  }
+  running_.store(false);
+
+  // The last world is gone for good: everything still queued (or arriving
+  // late) must fail rather than hang its client.
+  std::exception_ptr down;
+  {
+    std::lock_guard<std::mutex> lock(meta_mutex_);
+    down = run_error_ != nullptr
+               ? run_error_
+               : std::make_exception_ptr(InvalidArgument(kShuttingDown));
+    if (!ready_signalled_) {
+      ready_signalled_ = true;
+      ready_.set_exception(down);
+    }
+  }
+  scheduler_.stop();
+  for (;;) {
+    auto rest = scheduler_.take_batch();
+    if (rest.empty()) break;
+    for (auto& q : rest) q.promise.set_exception(down);
+  }
+  for (auto& q : inflight_) q.promise.set_exception(down);
+  inflight_.clear();
+  if (current_reload_.has_value()) {
+    current_reload_->promise.set_exception(down);
+    current_reload_.reset();
+  }
+  if (current_ingest_.has_value()) {
+    current_ingest_->promise.set_exception(down);
+    current_ingest_.reset();
+  }
+  std::deque<ReloadRequest> reloads;
+  std::deque<IngestRequest> ingests;
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    reloads.swap(reloads_);
+    ingests.swap(ingests_);
+  }
+  for (auto& r : reloads) r.promise.set_exception(down);
+  for (auto& r : ingests) r.promise.set_exception(down);
+}
+
+void Server::fail_world_owned(const std::string& reason) {
+  const auto err =
+      std::make_exception_ptr(WorldFailure("world failure: " + reason));
+  std::uint64_t failed = inflight_.size();
+  for (auto& q : inflight_) q.promise.set_exception(err);
+  inflight_.clear();
+  if (current_reload_.has_value()) {
+    current_reload_->promise.set_exception(err);
+    current_reload_.reset();
+    ++failed;
+  }
+  if (current_ingest_.has_value()) {
+    current_ingest_->promise.set_exception(err);
+    current_ingest_.reset();
+    ++failed;
+  }
+  in_flight_failed_.fetch_add(failed);
 }
 
 void Server::serve_world(ga::Context& ctx) {
-  auto session = query::Session::open(ctx, bundle_path_);
-  refresh_metadata(ctx, session);
-  if (ctx.rank() == 0) {
-    std::lock_guard<std::mutex> lock(meta_mutex_);
-    ready_signalled_ = true;
-    ready_.set_value();
+  // The bundle this world serves from birth: the original bundle, or
+  // wherever the previous world's reloads/ingests had moved to.  Under
+  // the process backend the forked ranks inherit the parent's value as of
+  // the fork, which is exactly this world's starting point.
+  std::filesystem::path served_path;
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    served_path = served_path_;
   }
 
-  // The bundle this world currently serves — reload and ingest both move
-  // it.  Every rank tracks it identically (the path travels in the
-  // broadcast command blob), so it needs no synchronization.
-  std::filesystem::path served_path = bundle_path_;
+  auto session = query::Session::open(ctx, served_path);
+  refresh_metadata(ctx, session);
+  if (ctx.rank() == 0) {
+    world_healthy_.store(true);
+    std::lock_guard<std::mutex> lock(meta_mutex_);
+    if (!ready_signalled_) {
+      ready_signalled_ = true;
+      ready_.set_value();
+    }
+  }
 
-  std::vector<PendingQuery> batch;
   for (;;) {
     std::vector<std::uint8_t> command;
     if (ctx.rank() == 0) {
-      batch.clear();
-      command = next_command(batch, served_path);
+      command = next_command(served_path);
     }
     ga::broadcast_bytes(ctx, command, 0);
     ByteReader in(command);
@@ -159,13 +298,17 @@ void Server::serve_world(ga::Context& ctx) {
         served_path = path;
         refresh_metadata(ctx, session);
         if (ctx.rank() == 0) {
+          {
+            std::lock_guard<std::mutex> lock(control_mutex_);
+            served_path_ = served_path;
+          }
           cache_.invalidate_all();
           reload_count_.fetch_add(1);
           current_reload_->promise.set_value();
           current_reload_.reset();
         }
       } catch (const ProtocolError&) {
-        throw;  // world aborted — unrecoverable
+        throw;  // world aborted — the supervisor owns recovery
       } catch (const Error&) {
         // Every rank parsed the same broadcast image, so the throw is
         // symmetric: the old session keeps serving.
@@ -194,13 +337,17 @@ void Server::serve_world(ga::Context& ctx) {
         served_path = out;
         refresh_metadata(ctx, session);
         if (ctx.rank() == 0) {
+          {
+            std::lock_guard<std::mutex> lock(control_mutex_);
+            served_path_ = served_path;
+          }
           cache_.invalidate_all();
           ingest_count_.fetch_add(1);
           current_ingest_->promise.set_value(report);
           current_ingest_.reset();
         }
       } catch (const ProtocolError&) {
-        throw;  // world aborted — unrecoverable
+        throw;  // world aborted — the supervisor owns recovery
       } catch (const Error&) {
         // Symmetric throw (replicated inputs): the old generation keeps
         // serving.
@@ -218,6 +365,8 @@ void Server::serve_world(ga::Context& ctx) {
     queries.reserve(static_cast<std::size_t>(count));
     for (std::uint64_t i = 0; i < count; ++i) queries.push_back(decode_query(in));
 
+    fault::point(fault::sites::kServeSweep);
+
     query::BatchControl control;
     control.cancel = &cancel_;
     std::vector<query::QueryResult> results;
@@ -225,7 +374,7 @@ void Server::serve_world(ga::Context& ctx) {
     try {
       results = session.run_batch(queries, control);
     } catch (const ProtocolError&) {
-      throw;
+      throw;  // world aborted — the supervisor owns recovery
     } catch (const Error& e) {
       // Validation throws are symmetric (identical queries on every
       // rank); admission filtering makes them rare, not impossible.
@@ -235,23 +384,22 @@ void Server::serve_world(ga::Context& ctx) {
     if (ctx.rank() == 0) {
       sweeps_.fetch_add(1);
       if (!sweep_error.empty()) {
-        fail_batch(batch, sweep_error);
+        fail_batch(inflight_, sweep_error);
       } else if (results.size() != queries.size()) {
-        fail_batch(batch, kShuttingDown);  // sweep abandoned mid-flight
+        fail_batch(inflight_, kShuttingDown);  // sweep abandoned mid-flight
       } else {
-        queries_swept_.fetch_add(batch.size());
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-          cache_.insert(batch[i].digest, batch[i].key, results[i]);
-          batch[i].promise.set_value(std::move(results[i]));
+        queries_swept_.fetch_add(inflight_.size());
+        for (std::size_t i = 0; i < inflight_.size(); ++i) {
+          cache_.insert(inflight_[i].digest, inflight_[i].key, results[i]);
+          inflight_[i].promise.set_value(std::move(results[i]));
         }
       }
-      batch.clear();
+      inflight_.clear();
     }
   }
 }
 
-std::vector<std::uint8_t> Server::next_command(std::vector<PendingQuery>& batch_out,
-                                               const std::filesystem::path& served_path) {
+std::vector<std::uint8_t> Server::next_command(const std::filesystem::path& served_path) {
   for (;;) {
     // Control commands outrank queued queries.
     std::optional<ReloadRequest> reload;
@@ -328,7 +476,10 @@ std::vector<std::uint8_t> Server::next_command(std::vector<PendingQuery>& batch_
       w.u64(kOpSweep);
       w.u64(batch.size());
       for (const auto& q : batch) encode_query(w, q.query);
-      batch_out = std::move(batch);
+      // Parked before the broadcast: if the world dies anywhere between
+      // here and the sweep completing, the supervisor fails these
+      // futures with WorldFailure instead of leaving clients hanging.
+      inflight_ = std::move(batch);
       return std::move(w.bytes);
     }
     if (scheduler_.stopped() && scheduler_.pending() == 0 && !cancel_.load()) {
@@ -455,6 +606,14 @@ ServerStats Server::stats() const {
   out.generation = generation_.load();
   out.scheduler = scheduler_.stats();
   out.cache = cache_.stats();
+  out.failures.world_failures = world_failures_.load();
+  out.failures.respawns = respawns_.load();
+  out.failures.in_flight_failed = in_flight_failed_.load();
+  out.failures.client_retries = client_retries_.load();
+  {
+    std::lock_guard<std::mutex> lock(meta_mutex_);
+    out.failures.last_failure = last_failure_;
+  }
   return out;
 }
 

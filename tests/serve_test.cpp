@@ -614,6 +614,19 @@ TEST(ServeTest, StatsResponseCarriesReloadAndGenerationCounters) {
   EXPECT_NE(before.find(" reloads=0"), std::string::npos) << before;
   EXPECT_NE(before.find(" ingests=0"), std::string::npos) << before;
   EXPECT_NE(before.find(" generation=0"), std::string::npos) << before;
+  // The failure plane reports even when nothing has failed.
+  EXPECT_NE(before.find(" world_failures=0"), std::string::npos) << before;
+  EXPECT_NE(before.find(" respawns=0"), std::string::npos) << before;
+  EXPECT_NE(before.find(" in_flight_failed=0"), std::string::npos) << before;
+  EXPECT_NE(before.find(" deadline_expired=0"), std::string::npos) << before;
+  EXPECT_NE(before.find(" client_retries=0"), std::string::npos) << before;
+  EXPECT_NE(before.find(" last_failure=none"), std::string::npos) << before;
+
+  // A client announcing a retry bumps the counter through either ingress.
+  bool shutdown = false;
+  EXPECT_EQ(process_request_line(server, "# retry 1", &shutdown), "");
+  const auto retried = format_stats(server.stats());
+  EXPECT_NE(retried.find(" client_retries=1"), std::string::npos) << retried;
 
   server.reload(bundle).get();
   const auto after = format_stats(server.stats());

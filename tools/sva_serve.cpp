@@ -25,6 +25,7 @@
 #include <string>
 #include <thread>
 
+#include "sva/fault/fault.hpp"
 #include "sva/serve/ingress.hpp"
 #include "sva/serve/server.hpp"
 #include "sva/util/cli_options.hpp"
@@ -49,6 +50,10 @@ int main(int argc, char** argv) {
   std::uint64_t deadline_us =
       static_cast<std::uint64_t>(options.batch_deadline.count());
   std::uint64_t cache_capacity = options.cache_capacity;
+  std::uint64_t admission_deadline_ms =
+      static_cast<std::uint64_t>(options.admission_deadline.count());
+  std::uint64_t client_idle_s = 30;
+  std::string fault_spec;
 
   cli::Parser p("sva_serve",
                 "usage: sva_serve --bundle FILE [options]\n"
@@ -75,6 +80,19 @@ int main(int argc, char** argv) {
         &deadline_us);
   p.u64("--cache", "N", "result-cache entries, 0 disables (default 1024)",
         &cache_capacity);
+  p.section("failure plane");
+  p.bounded_int("--max-respawns", "N",
+                "give up after N consecutive failed respawns (default 5)",
+                &options.max_respawn_attempts, 0, 1000);
+  p.u64("--admission-deadline-ms", "MS",
+        "fail a queued query after waiting MS ms, 0 disables (default 30000)",
+        &admission_deadline_ms);
+  p.u64("--client-idle-timeout", "S",
+        "close a socket connection silent for S seconds, 0 disables (default 30)",
+        &client_idle_s);
+  p.option("--fault", "SPEC",
+           "arm fault injection (same grammar as SVA_FAULT; see sva/fault/fault.hpp)",
+           [&](const std::string& v) { fault_spec = v; });
   p.section("client mode");
   p.option("--send", "LINE",
            "send one protocol line to --socket and print the response",
@@ -85,6 +103,14 @@ int main(int argc, char** argv) {
   options.batch_max = static_cast<std::size_t>(batch_max);
   options.batch_deadline = std::chrono::microseconds(deadline_us);
   options.cache_capacity = static_cast<std::size_t>(cache_capacity);
+  options.admission_deadline = std::chrono::milliseconds(admission_deadline_ms);
+  if (!fault_spec.empty()) {
+    try {
+      fault::configure(fault_spec);
+    } catch (const std::exception& e) {
+      p.die(e.what());
+    }
+  }
 
   // Client mode: one round trip against a running daemon.
   if (!send_line.empty()) {
@@ -116,7 +142,8 @@ int main(int argc, char** argv) {
 
     std::optional<serve::SocketIngress> socket_ingress;
     if (!socket_path.empty()) {
-      socket_ingress.emplace(server, socket_path);
+      socket_ingress.emplace(server, socket_path,
+                             std::chrono::seconds(client_idle_s));
       socket_ingress->start();
       std::cerr << "sva_serve: listening on " << socket_path << "\n";
     }
