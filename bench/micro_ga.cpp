@@ -233,6 +233,41 @@ report::Report run_micro_ga(const BenchOptions& opts) {
         reduce_t, static_cast<double>(kReduceCount) * kReduceIters,
         /*informational=*/true);
   }
+
+  // Socket axis: the same sweeps again over the loopback TCP transport,
+  // keyed backend=socket — wire framing + reduce-scatter/allgather costs
+  // next to the shm and thread numbers.  Informational like the process
+  // axis.
+  for (const int nprocs : {2, 4}) {
+    sva::ga::SpmdOptions world;
+    world.nprocs = nprocs;
+    world.backend = sva::ga::Backend::kSocket;
+
+    const double launch = best_seconds(reps, [&] { spmd_run(world, [](Context&) {}); });
+    add("spmd_launch", "P=" + std::to_string(nprocs) + " backend=socket", launch, 1.0,
+        /*informational=*/true);
+
+    constexpr int kBarrierIters = 64;
+    const double barrier_t =
+        best_seconds_in_world(world, world_reps, stateless([](Context& ctx) {
+                                for (int i = 0; i < kBarrierIters; ++i) ctx.barrier();
+                              }));
+    add("barrier", "P=" + std::to_string(nprocs) + " backend=socket", barrier_t,
+        kBarrierIters, /*informational=*/true);
+
+    constexpr int kReduceIters = 4;
+    constexpr std::size_t kReduceCount = 4096;
+    const double reduce_t = best_seconds_in_world(world, world_reps, [](Context&) {
+      return [v = std::vector<double>(kReduceCount, 1.0)](Context& ctx) mutable {
+        for (int i = 0; i < kReduceIters; ++i) ctx.allreduce_sum(v.data(), v.size());
+      };
+    });
+    add("allreduce_sum",
+        "P=" + std::to_string(nprocs) + " n=" + std::to_string(kReduceCount) +
+            " backend=socket x" + std::to_string(kReduceIters),
+        reduce_t, static_cast<double>(kReduceCount) * kReduceIters,
+        /*informational=*/true);
+  }
 #endif
 
   {

@@ -66,6 +66,14 @@ inline constexpr char kShmPublish[] = "ga.shm.publish";
 inline constexpr char kShmSync[] = "ga.shm.sync";
 /// Shm transport: one pass of the parent's child-reaper loop.
 inline constexpr char kShmReap[] = "ga.shm.reap";
+/// Socket transport: rendezvous/mesh connection setup (per rank).
+inline constexpr char kSocketConnect[] = "ga.socket.connect";
+/// Socket transport: a rank framing its round payload for the wire.
+inline constexpr char kSocketSend[] = "ga.socket.send";
+/// Socket transport: frame-header validation on the receive path.
+inline constexpr char kSocketRecv[] = "ga.socket.recv";
+/// Socket transport: one heartbeat tick of the I/O thread.
+inline constexpr char kSocketHeartbeat[] = "ga.socket.heartbeat";
 /// Session::open (collective bundle load into a world).
 inline constexpr char kSessionOpen[] = "query.session.open";
 /// Serve admission: a validated query entering the scheduler queue.

@@ -37,11 +37,12 @@ int DistHashmap::owner_of(std::string_view term) const {
 }
 
 std::int64_t DistHashmap::insert_or_get(Context& ctx, std::string_view term) {
-  if (ctx.backend() == Backend::kProcess) {
+  if (!ctx.world().transport().shared_address()) {
     throw ProtocolError(
-        "DistHashmap::insert_or_get is not available under the process "
-        "backend: a one-sided insert cannot keep the per-rank replicas "
-        "coherent; use the collective insert_batch instead");
+        "DistHashmap::insert_or_get requires a shared address space (thread "
+        "backend): under the process and socket backends the map is "
+        "replicated per rank and a one-sided insert cannot keep the "
+        "replicas coherent; use the collective insert_batch instead");
   }
   const int part = owner_of(term);
   auto& p = storage_->partitions[static_cast<std::size_t>(part)];
@@ -158,7 +159,10 @@ std::vector<std::int64_t> DistHashmap::insert_batch_replicated(
 
 std::vector<std::int64_t> DistHashmap::insert_batch(Context& ctx,
                                                     std::span<const std::string_view> terms) {
-  if (ctx.backend() == Backend::kProcess) return insert_batch_replicated(ctx, terms);
+  if (!ctx.world().transport().shared_address()) {
+    // Disjoint address spaces (process, socket): replicate via allgather.
+    return insert_batch_replicated(ctx, terms);
+  }
   // Group requests by partition so each RPC channel — and each partition
   // lock — is used exactly once per call; this is the aggregation ARMCI
   // encourages and what makes insertion scale.

@@ -55,9 +55,10 @@ class DistHashmap {
   /// Inserts `term` (or looks it up) and returns its provisional global
   /// ID.  One-sided: no cooperation from the owner rank.  Thread-safe.
   ///
-  /// Thread backend only.  Under Backend::kProcess the map is replicated
-  /// per rank and a one-sided insert cannot keep the replicas coherent;
-  /// this throws ProtocolError there — use the collective insert_batch.
+  /// Thread backend only.  Under the process and socket backends the map
+  /// is replicated per rank and a one-sided insert cannot keep the
+  /// replicas coherent; this throws ProtocolError there — use the
+  /// collective insert_batch.
   std::int64_t insert_or_get(Context& ctx, std::string_view term);
 
   /// Batched insert: groups terms by owning partition so each partition's
@@ -66,8 +67,8 @@ class DistHashmap {
   /// fast path: callers keep their spellings in a TokenArena and never
   /// materialize per-term std::strings on the requesting side.
   ///
-  /// Under Backend::kProcess this is a *collective*: every rank must call
-  /// it the same number of times.  The batches are allgathered and applied
+  /// Under the process and socket backends this is a *collective*: every
+  /// rank must call it the same number of times.  The batches are allgathered and applied
   /// by every rank in rank order, keeping the per-rank replicas identical;
   /// provisional IDs then differ from the thread backend's
   /// arrival-order IDs, but finalize() canonicalizes both to the same

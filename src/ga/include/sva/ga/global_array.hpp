@@ -10,18 +10,31 @@
 //   * locality introspection (row_range / local_span) so algorithms can
 //     exploit data locality, as §3.1 of the paper emphasizes.
 //
-// Storage is one contiguous block per rank (block row distribution), laid
-// out in a single transport-shared region (Context::create_shared_region):
-// a per-rank WorldMutex lock table followed by the cache-line-aligned
-// block payloads.  Under the thread backend the region is one in-process
-// allocation; under the process backend it is a POSIX shm segment mapped
-// by every rank, which is what makes the one-sided operations genuinely
-// one-sided across address spaces.  Physical access goes through the
-// per-block lock; communication costs are charged to the calling rank's
-// virtual clock based on locality (see comm_model.hpp).
+// Storage is one contiguous block per rank (block row distribution).  Two
+// physical modes sit behind the same API:
+//
+//   * Shared-region mode (thread and process backends): all blocks live in
+//     a single transport-shared region (Context::create_shared_region) — a
+//     per-rank WorldMutex lock table followed by the cache-line-aligned
+//     block payloads.  One in-process allocation for threads; a POSIX shm
+//     segment mapped by every rank for processes.  Physical access goes
+//     through the per-block lock.
+//   * Windowed mode (socket backend): no shared memory exists, so each
+//     rank keeps only its own block and registers a one-sided window with
+//     the transport.  Remote get/put/accumulate and the element-list ops
+//     become request/reply messages serviced by the owner's I/O thread
+//     against that rank-local block (raw T bytes on the wire — multi-host
+//     worlds are assumed architecture-homogeneous, like the little-endian
+//     frame format itself).  The API stays genuinely one-sided: the owner
+//     rank's *compute* thread never cooperates.
+//
+// Communication costs are charged to the calling rank's virtual clock by
+// the same locality-dependent formulas in both modes (see comm_model.hpp),
+// so modeled results are backend-independent.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -59,6 +72,38 @@ class GlobalArray {
       offset += align_up((end - begin) * cols * sizeof(T));
     }
 
+    Transport& tp = ctx.world().transport();
+    if (!tp.shared_regions()) {
+      // Windowed mode: keep only our block and publish it through a
+      // one-sided window.  Window ids are lockstep counters, so every
+      // rank's id for this (collectively created) array is identical and
+      // doubles as the remote address.  Same two charged barriers as the
+      // shared-region path, so modeled time stays backend-independent.
+      auto s = std::make_shared<Storage>();
+      s->rows = rows;
+      s->cols = cols;
+      s->windowed = true;
+      s->transport = &tp;
+      s->blocks.resize(np);
+      for (std::size_t r = 0; r < np; ++r) {
+        Block& b = s->blocks[r];
+        b.owner = static_cast<int>(r);
+        b.row_begin = ranges[r].first;
+        b.row_end = ranges[r].second;
+        b.count = (b.row_end - b.row_begin) * cols;
+      }
+      Block& mine = s->blocks[static_cast<std::size_t>(ctx.rank())];
+      s->local_store.assign(mine.count, T{});
+      mine.data = s->local_store.data();
+      Storage* raw = s.get();  // ~Storage unregisters before members die
+      s->window = tp.onesided_register(
+          [raw](const std::uint8_t* req, std::size_t len,
+                std::vector<std::uint8_t>& reply) { raw->serve(req, len, reply); });
+      ctx.barrier();
+      ctx.barrier();
+      return GlobalArray(std::move(s));
+    }
+
     auto region = ctx.create_shared_region(offset);
     auto s = std::make_shared<Storage>();
     s->rows = rows;
@@ -69,6 +114,7 @@ class GlobalArray {
     s->blocks.resize(np);
     for (std::size_t r = 0; r < np; ++r) {
       Block& b = s->blocks[r];
+      b.owner = static_cast<int>(r);
       b.row_begin = ranges[r].first;
       b.row_end = ranges[r].second;
       b.count = (b.row_end - b.row_begin) * cols;
@@ -127,6 +173,15 @@ class GlobalArray {
   void get(Context& ctx, std::size_t offset, std::span<T> out) const {
     traverse(ctx, offset, out.size(), [&](Block& b, std::size_t block_off,
                                           std::size_t count, std::size_t cursor) {
+      if (storage_->windowed) {
+        if (b.data != nullptr) {
+          std::lock_guard<std::mutex> lock(storage_->local_mutex);
+          std::copy_n(b.data + block_off, count, out.data() + cursor);
+        } else {
+          remote_range(b, kOpGet, block_off, count, out.data() + cursor, nullptr);
+        }
+        return;
+      }
       detail::WorldLock lock(*b.mutex, storage_->lock_env);
       std::copy_n(b.data + block_off, count, out.data() + cursor);
     });
@@ -136,6 +191,15 @@ class GlobalArray {
   void put(Context& ctx, std::size_t offset, std::span<const T> data) {
     traverse(ctx, offset, data.size(), [&](Block& b, std::size_t block_off,
                                            std::size_t count, std::size_t cursor) {
+      if (storage_->windowed) {
+        if (b.data != nullptr) {
+          std::lock_guard<std::mutex> lock(storage_->local_mutex);
+          std::copy_n(data.data() + cursor, count, b.data + block_off);
+        } else {
+          remote_range(b, kOpPut, block_off, count, nullptr, data.data() + cursor);
+        }
+        return;
+      }
       detail::WorldLock lock(*b.mutex, storage_->lock_env);
       std::copy_n(data.data() + cursor, count, b.data + block_off);
     });
@@ -145,6 +209,15 @@ class GlobalArray {
   void accumulate(Context& ctx, std::size_t offset, std::span<const T> data) {
     traverse(ctx, offset, data.size(), [&](Block& b, std::size_t block_off,
                                            std::size_t count, std::size_t cursor) {
+      if (storage_->windowed) {
+        if (b.data != nullptr) {
+          std::lock_guard<std::mutex> lock(storage_->local_mutex);
+          for (std::size_t i = 0; i < count; ++i) b.data[block_off + i] += data[cursor + i];
+        } else {
+          remote_range(b, kOpAcc, block_off, count, nullptr, data.data() + cursor);
+        }
+        return;
+      }
       detail::WorldLock lock(*b.mutex, storage_->lock_env);
       for (std::size_t i = 0; i < count; ++i) b.data[block_off + i] += data[cursor + i];
     });
@@ -156,7 +229,7 @@ class GlobalArray {
   /// element-list operations.
   void gather(Context& ctx, std::span<const std::size_t> indices, std::span<T> out) const {
     require(indices.size() == out.size(), "GlobalArray::gather: size mismatch");
-    for_each_owner_batch(ctx, indices, /*rmw=*/false,
+    for_each_owner_batch(ctx, indices, /*rmw=*/false, kOpGather, nullptr, out.data(),
                          [&](Block& b, std::size_t i, std::size_t element) {
                            out[i] = b.data[element];
                          });
@@ -167,7 +240,7 @@ class GlobalArray {
   void scatter(Context& ctx, std::span<const std::size_t> indices,
                std::span<const T> values) {
     require(indices.size() == values.size(), "GlobalArray::scatter: size mismatch");
-    for_each_owner_batch(ctx, indices, /*rmw=*/false,
+    for_each_owner_batch(ctx, indices, /*rmw=*/false, kOpScatter, values.data(), nullptr,
                          [&](Block& b, std::size_t i, std::size_t element) {
                            b.data[element] = values[i];
                          });
@@ -178,7 +251,7 @@ class GlobalArray {
   void scatter_acc(Context& ctx, std::span<const std::size_t> indices,
                    std::span<const T> values) {
     require(indices.size() == values.size(), "GlobalArray::scatter_acc: size mismatch");
-    for_each_owner_batch(ctx, indices, /*rmw=*/true,
+    for_each_owner_batch(ctx, indices, /*rmw=*/true, kOpScatterAcc, values.data(), nullptr,
                          [&](Block& b, std::size_t i, std::size_t element) {
                            b.data[element] += values[i];
                          });
@@ -192,7 +265,7 @@ class GlobalArray {
                                  std::span<const T> deltas) {
     require(indices.size() == deltas.size(), "GlobalArray::fetch_add_batch: size mismatch");
     std::vector<T> out(indices.size());
-    for_each_owner_batch(ctx, indices, /*rmw=*/true,
+    for_each_owner_batch(ctx, indices, /*rmw=*/true, kOpFetchAdd, deltas.data(), out.data(),
                          [&](Block& b, std::size_t i, std::size_t element) {
                            out[i] = b.data[element];
                            b.data[element] += deltas[i];
@@ -208,6 +281,18 @@ class GlobalArray {
     auto& b = storage_->blocks[static_cast<std::size_t>(owner)];
     const std::size_t block_off = index - b.row_begin * storage_->cols;
     ctx.charge(ctx.model().atomic_rmw(owner != ctx.rank()));
+    if (storage_->windowed) {
+      if (b.data != nullptr) {
+        std::lock_guard<std::mutex> lock(storage_->local_mutex);
+        const T prev = b.data[block_off];
+        b.data[block_off] = prev + delta;
+        return prev;
+      }
+      T prev{};
+      remote_list(b, kOpFetchAdd, std::span<const std::size_t>(&block_off, 1),
+                  &delta, &prev);
+      return prev;
+    }
     detail::WorldLock lock(*b.mutex, storage_->lock_env);
     const T prev = b.data[block_off];
     b.data[block_off] = prev + delta;
@@ -241,9 +326,27 @@ class GlobalArray {
   }
 
  private:
-  /// Per-rank view of one block: pointers into the shared region, local to
-  /// this rank's mapping (never shipped across ranks).
+  /// Wire op codes of the windowed one-sided protocol.  Range requests are
+  /// {op, u64 block_off, u64 count, [count*T]}; list requests are {op,
+  /// u64 n, n*u64 block_offs, [n*T]}; counts/offsets little-endian,
+  /// element payloads raw T bytes.  Replies carry count*T for kOpGet /
+  /// kOpGather / kOpFetchAdd and nothing otherwise.
+  enum : std::uint8_t {
+    kOpGet = 1,
+    kOpPut = 2,
+    kOpAcc = 3,
+    kOpGather = 4,
+    kOpScatter = 5,
+    kOpScatterAcc = 6,
+    kOpFetchAdd = 7,
+  };
+
+  /// Per-rank view of one block.  Shared-region mode: pointers into this
+  /// rank's mapping of the region (never shipped across ranks).  Windowed
+  /// mode: `data` points at local_store for the calling rank's own block
+  /// and is null for every peer block (mutex stays null throughout).
   struct Block {
+    int owner = 0;
     std::size_t row_begin = 0;
     std::size_t row_end = 0;
     std::size_t count = 0;  ///< elements, (row_end - row_begin) * cols
@@ -256,7 +359,149 @@ class GlobalArray {
     detail::LockEnv lock_env{};
     std::shared_ptr<void> region;
     std::vector<Block> blocks;
+
+    // Windowed (socket) mode: this rank's block payload and the window
+    // peers send their requests to.  local_mutex orders the owner's I/O
+    // thread (serving peers) against this rank's own direct accesses.
+    bool windowed = false;
+    Transport* transport = nullptr;
+    std::uint64_t window = 0;
+    std::vector<T> local_store;
+    std::mutex local_mutex;
+
+    ~Storage() {
+      // Blocks until no handler is mid-request, so local_store cannot be
+      // freed under the I/O thread.
+      if (windowed && transport != nullptr) transport->onesided_unregister(window);
+    }
+
+    /// Owner-side service of one windowed request (runs on the owner's
+    /// I/O thread).  Throws FormatError on a malformed request and
+    /// InvalidArgument on out-of-range offsets; the transport turns the
+    /// exception into an error reply for the requester.
+    void serve(const std::uint8_t* req, std::size_t len, std::vector<std::uint8_t>& reply) {
+      require_format(len >= 1, "GlobalArray window: empty request");
+      const std::uint8_t op = req[0];
+      const auto u64_at = [&](std::size_t off) { return read_u64(req + off); };
+      std::lock_guard<std::mutex> lock(local_mutex);
+      T* base = local_store.data();
+      const std::size_t limit = local_store.size();
+      if (op == kOpGet || op == kOpPut || op == kOpAcc) {
+        require_format(len >= 17, "GlobalArray window: truncated range request");
+        const std::size_t off = u64_at(1);
+        const std::size_t n = u64_at(9);
+        require(off <= limit && n <= limit - off,
+                "GlobalArray window: range request out of block bounds");
+        const std::size_t body = 17;
+        if (op == kOpGet) {
+          require_format(len == body, "GlobalArray window: oversized get request");
+          reply.resize(n * sizeof(T));
+          std::memcpy(reply.data(), base + off, reply.size());
+        } else {
+          require_format(len == body + n * sizeof(T),
+                         "GlobalArray window: range payload size mismatch");
+          if (op == kOpPut) {
+            std::memcpy(base + off, req + body, n * sizeof(T));
+          } else {
+            for (std::size_t i = 0; i < n; ++i) {
+              T v;
+              std::memcpy(&v, req + body + i * sizeof(T), sizeof(T));
+              base[off + i] += v;
+            }
+          }
+        }
+        return;
+      }
+      require_format(op == kOpGather || op == kOpScatter || op == kOpScatterAcc ||
+                         op == kOpFetchAdd,
+                     "GlobalArray window: unknown op");
+      require_format(len >= 9, "GlobalArray window: truncated list request");
+      const std::size_t n = u64_at(1);
+      const bool has_values = op != kOpGather;
+      const std::size_t want = 9 + n * 8 + (has_values ? n * sizeof(T) : 0);
+      require_format(len == want, "GlobalArray window: list request size mismatch");
+      const std::uint8_t* offs = req + 9;
+      const std::uint8_t* vals = offs + n * 8;
+      if (op == kOpGather || op == kOpFetchAdd) reply.resize(n * sizeof(T));
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t off = read_u64(offs + i * 8);
+        require(off < limit, "GlobalArray window: list offset out of block bounds");
+        T v{};
+        if (has_values) std::memcpy(&v, vals + i * sizeof(T), sizeof(T));
+        switch (op) {
+          case kOpGather:
+            std::memcpy(reply.data() + i * sizeof(T), base + off, sizeof(T));
+            break;
+          case kOpScatter:
+            base[off] = v;
+            break;
+          case kOpScatterAcc:
+            base[off] += v;
+            break;
+          default:  // kOpFetchAdd
+            std::memcpy(reply.data() + i * sizeof(T), base + off, sizeof(T));
+            base[off] += v;
+            break;
+        }
+      }
+    }
   };
+
+  static void append_u64(std::vector<std::uint8_t>& v, std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+  }
+
+  static std::uint64_t read_u64(const std::uint8_t* p) {
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) x |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return x;
+  }
+
+  /// Windowed remote range op against peer block `b`: one request/reply.
+  /// `out` receives count elements (kOpGet); `in` supplies them
+  /// (kOpPut/kOpAcc).
+  void remote_range(const Block& b, std::uint8_t op, std::size_t block_off,
+                    std::size_t count, T* out, const T* in) const {
+    std::vector<std::uint8_t> req;
+    req.reserve(17 + (in != nullptr ? count * sizeof(T) : 0));
+    req.push_back(op);
+    append_u64(req, block_off);
+    append_u64(req, count);
+    if (in != nullptr) {
+      const auto* bytes = reinterpret_cast<const std::uint8_t*>(in);
+      req.insert(req.end(), bytes, bytes + count * sizeof(T));
+    }
+    std::vector<std::uint8_t> reply;
+    storage_->transport->onesided_call(b.owner, storage_->window, req.data(), req.size(),
+                                       reply);
+    if (out != nullptr) {
+      require(reply.size() == count * sizeof(T), "GlobalArray: short one-sided reply");
+      std::memcpy(out, reply.data(), reply.size());
+    }
+  }
+
+  /// Windowed remote element-list op: block-local `offsets` with optional
+  /// per-element `values`; `results` (if any) filled in the same order.
+  void remote_list(const Block& b, std::uint8_t op, std::span<const std::size_t> offsets,
+                   const T* values, T* results) const {
+    const std::size_t n = offsets.size();
+    std::vector<std::uint8_t> req;
+    req.reserve(9 + n * 8 + (values != nullptr ? n * sizeof(T) : 0));
+    req.push_back(op);
+    append_u64(req, n);
+    for (const std::size_t off : offsets) append_u64(req, off);
+    if (values != nullptr) {
+      const auto* bytes = reinterpret_cast<const std::uint8_t*>(values);
+      req.insert(req.end(), bytes, bytes + n * sizeof(T));
+    }
+    std::vector<std::uint8_t> reply;
+    storage_->transport->onesided_call(b.owner, storage_->window, req.data(), req.size(),
+                                       reply);
+    if (results != nullptr) {
+      require(reply.size() == n * sizeof(T), "GlobalArray: short one-sided reply");
+      std::memcpy(results, reply.data(), reply.size());
+    }
+  }
 
   static constexpr std::size_t align_up(std::size_t n) {
     return (n + detail::kCacheLine - 1) / detail::kCacheLine * detail::kCacheLine;
@@ -280,8 +525,13 @@ class GlobalArray {
     std::vector<std::size_t> positions;
   };
 
+  /// `wire_op`, `values` and `results` describe the same operation for the
+  /// windowed remote path: one batched request per remote owner, `results`
+  /// (if any) scattered back by position.  Local owners (and the whole
+  /// world in shared-region mode) apply `fn` element-wise as before.
   template <typename Fn>
   void for_each_owner_batch(Context& ctx, std::span<const std::size_t> indices, bool rmw,
+                            std::uint8_t wire_op, const T* values, T* results,
                             Fn&& fn) const {
     if (indices.empty()) return;
     // Group positions by owner without allocating per-owner vectors:
@@ -321,6 +571,34 @@ class GlobalArray {
         ctx.charge(ctx.model().onesided(bytes, remote));
       }
       const std::size_t block_first = b.row_begin * storage_->cols;
+      if (storage_->windowed) {
+        if (b.data != nullptr) {
+          std::lock_guard<std::mutex> lock(storage_->local_mutex);
+          for (std::size_t p = owner_begin[o]; p < owner_begin[o + 1]; ++p) {
+            const std::size_t i = positions[p];
+            fn(b, i, indices[i] - block_first);
+          }
+        } else {
+          std::vector<std::size_t> offs;
+          std::vector<T> vals;
+          offs.reserve(n);
+          if (values != nullptr) vals.reserve(n);
+          for (std::size_t p = owner_begin[o]; p < owner_begin[o + 1]; ++p) {
+            const std::size_t i = positions[p];
+            offs.push_back(indices[i] - block_first);
+            if (values != nullptr) vals.push_back(values[i]);
+          }
+          std::vector<T> got(results != nullptr ? n : 0);
+          remote_list(b, wire_op, offs, values != nullptr ? vals.data() : nullptr,
+                      results != nullptr ? got.data() : nullptr);
+          if (results != nullptr) {
+            for (std::size_t p = owner_begin[o]; p < owner_begin[o + 1]; ++p) {
+              results[positions[p]] = got[p - owner_begin[o]];
+            }
+          }
+        }
+        continue;
+      }
       detail::WorldLock lock(*b.mutex, storage_->lock_env);
       for (std::size_t p = owner_begin[o]; p < owner_begin[o + 1]; ++p) {
         const std::size_t i = positions[p];

@@ -209,9 +209,10 @@ class Context {
   // ---- collective object creation -------------------------------------
 
   /// All ranks call this with the same factory.  Thread backend: rank 0
-  /// runs it and everyone returns the same shared_ptr.  Process backend:
-  /// every rank runs the factory and keeps its own replica (a shared_ptr
-  /// cannot cross address spaces), so the factory must be deterministic
+  /// runs it and everyone returns the same shared_ptr.  Process and
+  /// socket backends: every rank runs the factory and keeps its own
+  /// replica (a shared_ptr cannot cross address spaces), so the factory
+  /// must be deterministic
   /// and must not itself issue collectives — hoist collective sub-steps
   /// (GlobalArray::create, create_shared_region, ...) before the call, as
   /// the task-queue factories do.
@@ -365,6 +366,40 @@ void Context::allreduce(T* data, std::size_t count, Op op) {
     });
     const T* acc = static_cast<const T*>(tp.reduce_base());
     std::copy(acc, acc + count, data);
+  } else if (!tp.shared_combine()) {
+    // Wire partitioned combining (reduce-scatter + allgather as two framed
+    // rounds, socket backend): each rank ships every peer only that peer's
+    // contiguous element block, folds the received slices in rank order —
+    // the same per-element fold order as the shared-memory paths, so
+    // results stay bit-identical — then a second round allgathers the
+    // folded blocks.  Both rounds publish the same unchanged clock, so the
+    // folded max (and therefore vtime) matches the one-round backends.
+    for (int q = 0; q < np; ++q) {
+      const auto [qb, qe] = element_block(count, q, np);
+      tp.publish_to(par, rank_, q, data + qb, (qe - qb) * sizeof(T));
+    }
+    sync_round([&] { tp.ensure_reduce_capacity(bytes); });
+    const auto [eb, ee] = element_block(count, rank_, np);
+    const std::size_t mine = ee - eb;
+    T* acc = static_cast<T*>(tp.reduce_base());
+    for (std::size_t i = 0; i < mine; ++i) {
+      T v = static_cast<const T*>(slots[0].ptr)[i];
+      for (int r = 1; r < np; ++r) {
+        v = op(v, static_cast<const T*>(slots[static_cast<std::size_t>(r)].ptr)[i]);
+      }
+      acc[i] = v;
+    }
+    const std::uint32_t par2 = next_parity();
+    publish(par2, acc, mine * sizeof(T), /*copy=*/true);
+    sync_round();
+    const detail::PeerSlot* blocks = tp.peers(par2);
+    std::size_t cursor = 0;
+    for (int r = 0; r < np; ++r) {
+      const auto& s = blocks[static_cast<std::size_t>(r)];
+      const T* src = static_cast<const T*>(s.ptr);
+      std::copy(src, src + s.bytes / sizeof(T), data + cursor);
+      cursor += s.bytes / sizeof(T);
+    }
   } else {
     // Partitioned combining (reduce-scatter + allgather): contributions
     // stay zero-copy in the callers' buffers (the process backend stages
@@ -499,10 +534,10 @@ T Context::exscan_sum(const T& value) {
 template <typename T>
 std::shared_ptr<T> Context::collective_create(
     const std::function<std::shared_ptr<T>()>& factory) {
-  if (backend() == Backend::kProcess) {
-    // Disjoint address spaces: every rank materializes its own replica
-    // from the (deterministic) factory.  Same two rounds as the thread
-    // path so modeled time stays aligned across backends.
+  if (!world_.transport().shared_address()) {
+    // Disjoint address spaces (process, socket): every rank materializes
+    // its own replica from the (deterministic) factory.  Same two rounds
+    // as the thread path so modeled time stays aligned across backends.
     std::shared_ptr<T> result = factory();
     barrier();
     barrier();

@@ -41,16 +41,23 @@ struct TaskChunk {
 /// nullopt (the standard drain loop); a rank that abandons the queue
 /// early would stall peers with larger virtual times.
 ///
-/// The per-rank claim cells live in a transport-shared region, so one
-/// gate orders claims under either backend: ranks publish their (state,
-/// vtime) cell lock-free and park on a generation futex word until the
-/// grant condition holds.
+/// The per-rank claim cells live in a transport-shared region under the
+/// thread and process backends: ranks publish their (state, vtime) cell
+/// lock-free and park on a generation futex word until the grant
+/// condition holds.  Under the socket backend no shared memory exists, so
+/// rank 0 hosts the cells behind a one-sided window: ranks publish and
+/// snapshot them by request/reply and poll the grant condition (the
+/// ordering rule — and therefore every virtual-time result — is
+/// identical).
 class ClaimGate {
  public:
-  /// Collective: allocates the claim cells in a shared region.  The cells
-  /// are zero-init-valid, so no construction round is needed; every rank
-  /// gets its own (cheap) handle onto the same region.
+  /// Collective: allocates the claim cells in a shared region (or, on the
+  /// socket backend, registers the rank-0-hosted window).  The cells are
+  /// zero-init-valid, so no construction round is needed; every rank gets
+  /// its own (cheap) handle onto the same cell table.
   static std::shared_ptr<ClaimGate> create(Context& ctx);
+
+  ~ClaimGate();
 
   /// Blocks until this rank holds the minimal (vtime, rank) key among
   /// active ranks.  Throws ProtocolError if the world aborts.
@@ -70,15 +77,30 @@ class ClaimGate {
   enum : std::uint32_t { kUnseen = 0, kWaiting = 1, kProcessing = 2, kDone = 3 };
 
   ClaimGate(std::shared_ptr<void> region, detail::LockEnv env, int nprocs);
+  ClaimGate(Transport& transport, int rank, int nprocs);  // windowed (socket)
 
   [[nodiscard]] bool may_grant(int rank) const;
   void bump_generation();
+
+  // Windowed-mode plumbing: publish this rank's cell / snapshot all cells
+  // through the rank-0 window, and the grant rule over a snapshot.
+  void windowed_set(std::uint32_t state, double vtime);
+  static bool may_grant_snapshot(const std::vector<std::pair<std::uint32_t, double>>& cells,
+                                 int rank, double my_vtime);
 
   std::shared_ptr<void> region_;
   detail::LockEnv env_;
   int nprocs_;
   std::uint32_t* generation_ = nullptr;  ///< futex word waiters park on
   Cell* cells_ = nullptr;
+
+  // Windowed (socket) mode.
+  Transport* transport_ = nullptr;
+  std::uint64_t window_ = 0;
+  int my_rank_ = 0;
+  bool done_ = false;  ///< post-drain probes skip the gate
+  std::mutex host_mu_;  ///< rank 0: orders the I/O thread against itself
+  std::vector<std::pair<std::uint32_t, double>> host_cells_;  ///< rank 0 hosts
 };
 
 /// Interface for chunk schedulers.  next() claims the next chunk or
@@ -138,6 +160,9 @@ class AtomicCounterQueue : public TaskQueue {
 /// The modeled request/response latencies plus the master's serial service
 /// time reproduce the scalability bottleneck the paper describes.  (The
 /// master also performs its own work; its requests are serviced locally.)
+/// Under the socket backend the master's serial state lives only on rank
+/// 0 and claims become genuine request/reply messages through a one-sided
+/// window — the same arithmetic, so modeled results are unchanged.
 class MasterWorkerQueue : public TaskQueue {
  public:
   static std::shared_ptr<MasterWorkerQueue> create(Context& ctx, std::size_t num_tasks,
@@ -148,6 +173,10 @@ class MasterWorkerQueue : public TaskQueue {
 
   MasterWorkerQueue(std::size_t num_tasks, std::size_t chunk_size,
                     std::shared_ptr<void> state_region, detail::LockEnv env);
+  /// Windowed (socket) construction: rank 0 hosts the serial state.
+  MasterWorkerQueue(std::size_t num_tasks, std::size_t chunk_size, Transport& transport,
+                    double rpc_service);
+  ~MasterWorkerQueue() override;
 
  protected:
   std::optional<TaskChunk> claim(Context& ctx) override;
@@ -167,6 +196,15 @@ class MasterWorkerQueue : public TaskQueue {
   SharedState* state_ = nullptr;
   std::size_t num_tasks_;
   std::size_t chunk_size_;
+
+  // Windowed (socket) mode: rank 0's replica hosts the state; every
+  // rank's claim is one request/reply.
+  Transport* transport_ = nullptr;
+  std::uint64_t window_ = 0;
+  double rpc_service_ = 0.0;
+  std::mutex host_mu_;
+  std::uint64_t host_next_task_ = 0;
+  double host_busy_until_ = 0.0;
 };
 
 /// Static pre-partitioned "queue": rank r receives exactly its contiguous

@@ -2,7 +2,7 @@
 // collectives in runtime.hpp are written against, so backends can be
 // swapped without touching algorithm code (the DIY communicator idiom).
 //
-// Two backends ship today:
+// Three backends ship today:
 //
 //   * ThreadTransport (Backend::kThread, the default) — ranks are threads
 //     in one address space; publication slots, staging scratch and the
@@ -13,6 +13,14 @@
 //     before the fork (so it is inherited at the same address by every
 //     rank), arrival is a futex-parked epoch barrier, and collective
 //     object regions are POSIX shm_open segments.  Linux-only.
+//   * SocketTransport (Backend::kSocket) — ranks are processes connected
+//     over TCP (loopback or different hosts): a rendezvous handshake
+//     assigns ranks and distributes the peer table, PeerSlot publication
+//     becomes length-prefixed frames, the partitioned allreduce becomes
+//     reduce-scatter + allgather on the wire, collective objects route
+//     through a one-sided request/reply window protocol, and failure is
+//     detected by heartbeat + half-closed-socket EOF feeding post_error.
+//     Linux-only (launcher forks local ranks like the process backend).
 //
 // The seam is intentionally small: publish a contribution for a data
 // round, read every peer's slot, synchronize (with a clock fold and an
@@ -24,6 +32,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -31,6 +40,7 @@
 #include <vector>
 
 #include "sva/ga/comm_model.hpp"
+#include "sva/util/error.hpp"
 
 namespace sva::ga {
 
@@ -38,12 +48,13 @@ namespace sva::ga {
 enum class Backend {
   kThread,   ///< ranks are threads in this process (default)
   kProcess,  ///< ranks are forked processes over POSIX shared memory
+  kSocket,   ///< ranks are processes connected over TCP (multi-host capable)
 };
 
-/// Stable lowercase name ("thread" / "process") for CLI and logs.
+/// Stable lowercase name ("thread" / "process" / "socket") for CLI and logs.
 [[nodiscard]] const char* backend_name(Backend backend);
 
-/// Parses "thread" / "process"; nullopt on anything else.
+/// Parses "thread" / "process" / "socket"; nullopt on anything else.
 [[nodiscard]] std::optional<Backend> parse_backend(std::string_view name);
 
 /// Launch options for spmd_run(SpmdOptions, fn) — the redesigned entry
@@ -69,6 +80,37 @@ struct SpmdOptions {
 
   /// Process backend: capacity of the shared allreduce combine buffer.
   std::size_t shm_reduce_bytes = 64ull << 20;
+
+  /// Socket backend: rendezvous listener address as "host:port".  Every
+  /// rank connects here once at startup to claim its rank and receive the
+  /// peer table.  Empty means single-node: the launcher binds an ephemeral
+  /// loopback listener before forking the local ranks.  For multi-host
+  /// worlds, pass the same address to every launcher; the launcher whose
+  /// socket_node is 0 binds it.
+  std::string socket_rendezvous;
+
+  /// Socket backend: index of this launcher among socket_nodes cooperating
+  /// launchers.  Ranks are block-partitioned over nodes in node order, so
+  /// node 0 always owns rank 0 (and captures the SpmdResult).
+  int socket_node = 0;
+  int socket_nodes = 1;
+
+  /// Socket backend: heartbeat cadence and the silence threshold past
+  /// which a peer is declared dead ("rank N heartbeat lost").  Any frame
+  /// counts as liveness, so only a truly wedged or partitioned peer trips
+  /// the timeout; abrupt death is usually caught earlier by EOF.
+  int socket_heartbeat_ms = 500;
+  int socket_heartbeat_timeout_ms = 10000;
+
+  /// Socket backend: deadline for each step of the rendezvous/mesh
+  /// handshake (connect, hello, welcome, peer accept).
+  int socket_connect_timeout_ms = 10000;
+
+  /// Socket backend: hard bound on a single frame's payload.  Oversized
+  /// contributions are rejected at publish time with a ProtocolError
+  /// naming this knob; a larger length on the wire marks the stream
+  /// corrupt (FormatError).
+  std::size_t socket_max_frame_bytes = 256ull << 20;
 };
 
 namespace detail {
@@ -163,6 +205,23 @@ class Transport {
   [[nodiscard]] int nprocs() const { return nprocs_; }
   [[nodiscard]] virtual Backend backend() const = 0;
 
+  /// True when all ranks live in one address space (thread backend): raw
+  /// pointers published by one rank may be dereferenced by another, and
+  /// collective objects can be shared by reference instead of replicated.
+  [[nodiscard]] virtual bool shared_address() const { return false; }
+
+  /// True when create_region can hand every rank a view of the same
+  /// physical bytes (thread, process).  When false (socket), collective
+  /// objects must route through the one-sided window protocol below and
+  /// create_region throws.
+  [[nodiscard]] virtual bool shared_regions() const { return true; }
+
+  /// True when reduce_base() is one combine buffer shared by every rank
+  /// (thread, process), so the partitioned allreduce can fold in place.
+  /// When false (socket), Context switches to reduce-scatter + allgather
+  /// on the wire.
+  [[nodiscard]] virtual bool shared_combine() const { return true; }
+
   /// Publishes `bytes` of `data` as `rank`'s contribution for the data
   /// round of `parity`.  `copy` requests staging into transport-owned
   /// scratch; a transport may stage even when `copy` is false (the process
@@ -211,6 +270,41 @@ class Transport {
   /// transport cannot share raw pointers across ranks (process backend).
   [[nodiscard]] virtual std::vector<const void*>* ptr_slots(std::uint32_t /*parity*/) {
     return nullptr;
+  }
+
+  /// Per-destination publication for the wire reduce-scatter: stages the
+  /// slice of this round's contribution that only rank `dst` should
+  /// receive.  Used by Context::allreduce when !shared_combine(); other
+  /// transports never see it.
+  virtual void publish_to(std::uint32_t /*parity*/, int /*rank*/, int /*dst*/,
+                          const void* /*data*/, std::size_t /*bytes*/) {
+    throw ProtocolError(
+        "publish_to: per-destination publication requires the socket "
+        "backend");
+  }
+
+  /// One-sided window protocol (socket backend): a collective object
+  /// registers a handler on every rank in lockstep (ids are assigned from
+  /// a per-transport counter, so identical registration order yields
+  /// identical ids world-wide); onesided_call ships `req` to `owner`,
+  /// whose I/O thread runs the handler against rank-local state and
+  /// returns `reply`.  Handlers run concurrently with the owner's rank
+  /// thread — they must only touch state guarded by their own mutex, and
+  /// must never block on a collective.  A handler that throws is
+  /// propagated to the caller as a ProtocolError.
+  using OneSidedHandler = std::function<void(
+      const std::uint8_t* req, std::size_t len, std::vector<std::uint8_t>& reply)>;
+
+  virtual std::uint64_t onesided_register(OneSidedHandler /*handler*/) {
+    throw ProtocolError(
+        "onesided_register: one-sided windows require the socket backend");
+  }
+  virtual void onesided_unregister(std::uint64_t /*window*/) {}
+  virtual void onesided_call(int /*owner*/, std::uint64_t /*window*/,
+                             const void* /*req*/, std::size_t /*len*/,
+                             std::vector<std::uint8_t>& /*reply*/) {
+    throw ProtocolError(
+        "onesided_call: one-sided windows require the socket backend");
   }
 
  protected:

@@ -132,6 +132,9 @@ SpmdResult spmd_run(const SpmdOptions& options, const std::function<void(Context
   if (options.backend == Backend::kProcess) {
     return detail::run_process_world(world, fn);
   }
+  if (options.backend == Backend::kSocket) {
+    return detail::run_socket_world(world, fn);
+  }
   return run_thread_world(world, fn);
 }
 

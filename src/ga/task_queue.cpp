@@ -3,12 +3,46 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
+#include <cstring>
+#include <thread>
 
 namespace sva::ga {
+
+namespace {
+
+// Little-endian scalar codec for the windowed (socket) request payloads.
+void wire_put_u64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t wire_get_u64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+void wire_put_f64(std::uint8_t* out, double v) { std::memcpy(out, &v, sizeof v); }
+
+double wire_get_f64(const std::uint8_t* in) {
+  double v;
+  std::memcpy(&v, in, sizeof v);
+  return v;
+}
+
+// ClaimGate window ops.
+constexpr std::uint8_t kGateSet = 1;   // {op, u64 rank, u8 state, f64 vtime}
+constexpr std::uint8_t kGateSnap = 2;  // {op} -> nprocs * {u8 state, f64 vtime}
+
+}  // namespace
 
 // ---- ClaimGate -------------------------------------------------------------
 
 std::shared_ptr<ClaimGate> ClaimGate::create(Context& ctx) {
+  Transport& tp = ctx.world().transport();
+  if (!tp.shared_regions()) {
+    return std::shared_ptr<ClaimGate>(new ClaimGate(tp, ctx.rank(), ctx.nprocs()));
+  }
   const auto np = static_cast<std::size_t>(ctx.nprocs());
   // Layout: [generation word, padded to a line][Cell × nprocs].
   const std::size_t bytes = detail::kCacheLine + np * sizeof(Cell);
@@ -22,6 +56,71 @@ ClaimGate::ClaimGate(std::shared_ptr<void> region, detail::LockEnv env, int npro
   auto* base = static_cast<std::uint8_t*>(region_.get());
   generation_ = reinterpret_cast<std::uint32_t*>(base);
   cells_ = reinterpret_cast<Cell*>(base + detail::kCacheLine);
+}
+
+ClaimGate::ClaimGate(Transport& transport, int rank, int nprocs)
+    : nprocs_(nprocs), transport_(&transport), my_rank_(rank) {
+  host_cells_.assign(static_cast<std::size_t>(nprocs), {kUnseen, 0.0});
+  // Registered on every rank in the same collective order, so the window
+  // id is world-uniform; only rank 0's cell table is ever addressed.
+  window_ = transport_->onesided_register(
+      [this](const std::uint8_t* req, std::size_t len,
+             std::vector<std::uint8_t>& reply) {
+        require_format(len >= 1, "ClaimGate window: empty request");
+        std::lock_guard<std::mutex> lock(host_mu_);
+        if (req[0] == kGateSet) {
+          require_format(len == 18, "ClaimGate window: malformed set request");
+          const std::size_t r = wire_get_u64(req + 1);
+          require(r < host_cells_.size(), "ClaimGate window: rank out of range");
+          host_cells_[r] = {req[9], wire_get_f64(req + 10)};
+          return;
+        }
+        require_format(req[0] == kGateSnap && len == 1,
+                       "ClaimGate window: unknown request");
+        reply.resize(host_cells_.size() * 9);
+        for (std::size_t r = 0; r < host_cells_.size(); ++r) {
+          reply[r * 9] = static_cast<std::uint8_t>(host_cells_[r].first);
+          wire_put_f64(reply.data() + r * 9 + 1, host_cells_[r].second);
+        }
+      });
+}
+
+ClaimGate::~ClaimGate() {
+  if (transport_ != nullptr) transport_->onesided_unregister(window_);
+}
+
+void ClaimGate::windowed_set(std::uint32_t state, double vtime) {
+  std::uint8_t req[18];
+  req[0] = kGateSet;
+  wire_put_u64(req + 1, static_cast<std::uint64_t>(my_rank_));
+  req[9] = static_cast<std::uint8_t>(state);
+  wire_put_f64(req + 10, vtime);
+  std::vector<std::uint8_t> reply;
+  transport_->onesided_call(0, window_, req, sizeof req, reply);
+}
+
+bool ClaimGate::may_grant_snapshot(
+    const std::vector<std::pair<std::uint32_t, double>>& cells, int rank,
+    double my_vtime) {
+  for (std::size_t s = 0; s < cells.size(); ++s) {
+    if (s == static_cast<std::size_t>(rank)) continue;
+    switch (cells[s].first) {
+      case kUnseen:
+        return false;
+      case kWaiting:
+      case kProcessing: {
+        const double v = cells[s].second;
+        if (v < my_vtime || (v == my_vtime && s < static_cast<std::size_t>(rank))) {
+          return false;
+        }
+        break;
+      }
+      case kDone:
+      default:
+        break;
+    }
+  }
+  return true;
 }
 
 void ClaimGate::bump_generation() {
@@ -61,6 +160,32 @@ bool ClaimGate::may_grant(int rank) const {
 }
 
 void ClaimGate::enter(Context& ctx) {
+  if (transport_ != nullptr) {
+    // Windowed (socket) mode: publish our cell, then poll snapshots until
+    // the identical (vtime, rank) grant rule holds.
+    if (done_) return;  // post-drain probes skip the gate
+    const double now = ctx.vtime();
+    windowed_set(kWaiting, now);
+    for (;;) {
+      std::vector<std::uint8_t> snap;
+      const std::uint8_t op = kGateSnap;
+      transport_->onesided_call(0, window_, &op, 1, snap);
+      require(snap.size() == static_cast<std::size_t>(nprocs_) * 9,
+              "ClaimGate: malformed snapshot reply");
+      std::vector<std::pair<std::uint32_t, double>> cells(
+          static_cast<std::size_t>(nprocs_));
+      for (std::size_t s = 0; s < cells.size(); ++s) {
+        cells[s] = {snap[s * 9], wire_get_f64(snap.data() + s * 9 + 1)};
+      }
+      if (may_grant_snapshot(cells, my_rank_, now)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (ctx.world_aborted()) {
+        throw ProtocolError("ClaimGate: world aborted while waiting for a claim");
+      }
+    }
+    windowed_set(kProcessing, now);
+    return;
+  }
   const auto r = static_cast<std::size_t>(ctx.rank());
   Cell& me = cells_[r];
   std::atomic_ref<std::uint32_t> state(me.state);
@@ -91,6 +216,11 @@ void ClaimGate::enter(Context& ctx) {
 }
 
 void ClaimGate::finish(Context& ctx) {
+  if (transport_ != nullptr) {
+    done_ = true;
+    windowed_set(kDone, 0.0);
+    return;
+  }
   const auto r = static_cast<std::size_t>(ctx.rank());
   std::atomic_ref<std::uint32_t>(cells_[r].state).store(kDone, std::memory_order_release);
   bump_generation();
@@ -152,10 +282,57 @@ MasterWorkerQueue::MasterWorkerQueue(std::size_t num_tasks, std::size_t chunk_si
   require(chunk_size >= 1, "MasterWorkerQueue: chunk_size must be >= 1");
 }
 
+MasterWorkerQueue::MasterWorkerQueue(std::size_t num_tasks, std::size_t chunk_size,
+                                     Transport& transport, double rpc_service)
+    : num_tasks_(num_tasks),
+      chunk_size_(chunk_size),
+      transport_(&transport),
+      rpc_service_(rpc_service) {
+  require(chunk_size >= 1, "MasterWorkerQueue: chunk_size must be >= 1");
+  // The claim request carries only the arrival time; the master replies
+  // with {service_end, begin, end} computed under its serial clock —
+  // byte-for-byte the arithmetic of the shared-region path.
+  window_ = transport_->onesided_register(
+      [this](const std::uint8_t* req, std::size_t len,
+             std::vector<std::uint8_t>& reply) {
+        require_format(len == 8, "MasterWorkerQueue window: malformed request");
+        const double request_arrives = wire_get_f64(req);
+        std::lock_guard<std::mutex> lock(host_mu_);
+        const double service_start = std::max(host_busy_until_, request_arrives);
+        const double service_end = service_start + rpc_service_;
+        host_busy_until_ = service_end;
+        std::uint64_t begin = host_next_task_;
+        std::uint64_t end = begin;
+        if (begin < num_tasks_) {
+          end = std::min<std::uint64_t>(num_tasks_, begin + chunk_size_);
+          host_next_task_ = end;
+        }
+        reply.resize(24);
+        wire_put_f64(reply.data(), service_end);
+        wire_put_u64(reply.data() + 8, begin);
+        wire_put_u64(reply.data() + 16, end);
+      });
+}
+
+MasterWorkerQueue::~MasterWorkerQueue() {
+  if (transport_ != nullptr) transport_->onesided_unregister(window_);
+}
+
 std::shared_ptr<MasterWorkerQueue> MasterWorkerQueue::create(Context& ctx,
                                                              std::size_t num_tasks,
                                                              std::size_t chunk_size,
                                                              bool vtime_ordered) {
+  Transport& tp = ctx.world().transport();
+  if (!tp.shared_regions()) {
+    std::shared_ptr<ClaimGate> gate;
+    if (vtime_ordered) gate = ClaimGate::create(ctx);
+    const double rpc_service = ctx.model().rpc_service;
+    return ctx.collective_create<MasterWorkerQueue>([&]() {
+      auto q = std::make_shared<MasterWorkerQueue>(num_tasks, chunk_size, tp, rpc_service);
+      if (gate) q->enable_vtime_order(gate);
+      return q;
+    });
+  }
   auto region = ctx.create_shared_region(sizeof(SharedState));
   std::shared_ptr<ClaimGate> gate;
   if (vtime_ordered) gate = ClaimGate::create(ctx);
@@ -176,6 +353,20 @@ std::optional<TaskChunk> MasterWorkerQueue::claim(Context& ctx) {
   // arrives one message latency after service completes.  This serial
   // `busy_until` clock is precisely the bottleneck of [20].
   const double request_arrives = ctx.vtime() + request_latency;
+
+  if (transport_ != nullptr) {
+    std::uint8_t req[8];
+    wire_put_f64(req, request_arrives);
+    std::vector<std::uint8_t> reply;
+    transport_->onesided_call(0, window_, req, sizeof req, reply);
+    require(reply.size() == 24, "MasterWorkerQueue: malformed claim reply");
+    const double service_end = wire_get_f64(reply.data());
+    const auto begin = static_cast<std::size_t>(wire_get_u64(reply.data() + 8));
+    const auto end = static_cast<std::size_t>(wire_get_u64(reply.data() + 16));
+    ctx.set_vtime(service_end + request_latency);
+    if (begin >= num_tasks_) return std::nullopt;
+    return TaskChunk{begin, end};
+  }
 
   detail::WorldLock lock(state_->mutex, env_);
   const double service_start = std::max(state_->busy_until, request_arrives);

@@ -115,6 +115,7 @@ class ThreadTransport final : public Transport {
   explicit ThreadTransport(const SpmdOptions& options);
 
   [[nodiscard]] Backend backend() const override { return Backend::kThread; }
+  [[nodiscard]] bool shared_address() const override { return true; }
   void publish(std::uint32_t parity, int rank, const void* data, std::size_t bytes,
                bool copy) override;
   [[nodiscard]] const PeerSlot* peers(std::uint32_t parity) const override {
@@ -181,5 +182,20 @@ std::unique_ptr<Transport> make_shm_transport(const SpmdOptions& options);
 /// and serve captures keep working — and reaps children, turning an
 /// abnormal exit into a world abort with a "rank N died" diagnostic.
 SpmdResult run_process_world(World& world, const std::function<void(Context&)>& fn);
+
+/// Builds the TCP socket transport (throws InvalidArgument off Linux).
+/// The returned transport is *unconnected*: run_socket_world forks the
+/// local ranks and each rank dials the rendezvous and builds its peer
+/// mesh post-fork.
+std::unique_ptr<Transport> make_socket_transport(const SpmdOptions& options);
+
+/// Launches `world` (which must own a SocketTransport): forks this node's
+/// block of ranks (the first local rank runs on the calling thread, so on
+/// node 0 that is rank 0 and result capture keeps working), each rank
+/// performs the rendezvous + mesh handshake, runs `fn`, exchanges final
+/// virtual clocks, and tears the mesh down gracefully.  Local child death
+/// is reaped like the process backend; remote death surfaces via EOF or
+/// heartbeat loss.
+SpmdResult run_socket_world(World& world, const std::function<void(Context&)>& fn);
 
 }  // namespace sva::ga::detail

@@ -29,6 +29,8 @@ const char* backend_name(Backend backend) {
       return "thread";
     case Backend::kProcess:
       return "process";
+    case Backend::kSocket:
+      return "socket";
   }
   return "unknown";
 }
@@ -36,6 +38,7 @@ const char* backend_name(Backend backend) {
 std::optional<Backend> parse_backend(std::string_view name) {
   if (name == "thread") return Backend::kThread;
   if (name == "process") return Backend::kProcess;
+  if (name == "socket") return Backend::kSocket;
   return std::nullopt;
 }
 
@@ -45,6 +48,8 @@ std::unique_ptr<Transport> make_transport(const SpmdOptions& options) {
       return detail::make_thread_transport(options);
     case Backend::kProcess:
       return detail::make_shm_transport(options);
+    case Backend::kSocket:
+      return detail::make_socket_transport(options);
   }
   throw InvalidArgument("make_transport: unknown backend");
 }

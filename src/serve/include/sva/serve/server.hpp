@@ -73,9 +73,15 @@ struct ServeOptions {
   ga::CommModel model{};
   /// Transport backend for the serving world.  Rank 0 always runs in the
   /// daemon's own address space (it drives the scheduler and fulfils the
-  /// futures), so both backends serve identically; kProcess isolates the
-  /// other ranks in forked children.
+  /// futures), so every backend serves identically; kProcess isolates the
+  /// other ranks in forked children and kSocket connects them over TCP
+  /// (loopback by default, other hosts via socket_rendezvous).
   ga::Backend backend = ga::Backend::kThread;
+  /// kSocket only: rendezvous address for multi-node serving worlds
+  /// (empty = ephemeral loopback), and this daemon's node slot.
+  std::string socket_rendezvous;
+  int socket_node = 0;
+  int socket_nodes = 1;
   /// Supervisor: respawn the world after an abnormal death.  Off, the
   /// first world death is fatal (join() rethrows it) — the pre-PR-9
   /// behavior.
@@ -114,6 +120,8 @@ struct FailureStats {
 
 /// Counter snapshot across the daemon's moving parts.
 struct ServerStats {
+  std::string backend;               ///< serving world's transport backend
+  std::uint64_t world_size = 0;      ///< SPMD ranks the world serves with
   std::uint64_t sweeps = 0;          ///< run_batch sweeps executed
   std::uint64_t queries_swept = 0;   ///< queries answered by sweeps
   std::uint64_t rejected = 0;        ///< failed admission validation

@@ -57,6 +57,11 @@ std::string format_stats(const ServerStats& s) {
     out += '=';
     out += std::to_string(v);
   };
+  // Backend name is a fixed token (thread|process|socket), so the line
+  // keeps its key=value grammar.
+  out += " backend=";
+  out += s.backend;
+  kv("world_size", s.world_size);
   kv("sweeps", s.sweeps);
   kv("queries_swept", s.queries_swept);
   kv("rejected", s.rejected);

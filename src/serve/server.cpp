@@ -95,6 +95,9 @@ void Server::supervise() {
   world_options.nprocs = options_.procs;
   world_options.comm_model = options_.model;
   world_options.backend = options_.backend;
+  world_options.socket_rendezvous = options_.socket_rendezvous;
+  world_options.socket_node = options_.socket_node;
+  world_options.socket_nodes = options_.socket_nodes;
 
   bool ever_healthy = false;
   int consecutive_failures = 0;
@@ -598,6 +601,8 @@ void Server::join() {
 
 ServerStats Server::stats() const {
   ServerStats out;
+  out.backend = ga::backend_name(options_.backend);
+  out.world_size = static_cast<std::uint64_t>(options_.procs);
   out.sweeps = sweeps_.load();
   out.queries_swept = queries_swept_.load();
   out.rejected = rejected_.load();

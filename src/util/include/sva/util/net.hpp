@@ -1,0 +1,60 @@
+// Thin TCP helpers for the socket transport: listen/connect/accept with
+// timeouts, full-buffer send/recv, and host:port parsing.
+//
+// These wrap the POSIX socket calls with the library's error discipline:
+// configuration mistakes (an unparsable --rendezvous string) raise
+// sva::InvalidArgument, and network failures (refused connection, peer
+// reset, handshake timeout) raise sva::Error with the errno text so the
+// caller can surface a named diagnostic instead of a hang.  Everything
+// here is blocking with explicit deadlines; the transport's steady-state
+// I/O loop manages its own non-blocking sockets directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sva::net {
+
+/// A parsed "host:port" endpoint.
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port".  Throws sva::InvalidArgument when there is no
+/// colon, the host is empty, or the port is not a number in [1, 65535]
+/// (port 0 is allowed when `allow_port_zero` is set, meaning "let the
+/// kernel pick").
+HostPort parse_hostport(const std::string& text, bool allow_port_zero = false);
+
+/// Creates a listening TCP socket bound to host:port (port 0 = ephemeral).
+/// Returns the fd.  Throws sva::Error on failure.
+int listen_tcp(const std::string& host, std::uint16_t port);
+
+/// Returns the local port a socket is bound to.
+std::uint16_t local_port(int fd);
+
+/// Connects to host:port, waiting at most timeout_ms.  Returns the
+/// connected fd.  Throws sva::Error on refusal or timeout.
+int connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms);
+
+/// Accepts one connection from `listen_fd`, waiting at most timeout_ms.
+/// Returns the connected fd and, when `peer_host` is non-null, stores the
+/// peer's numeric address.  Throws sva::Error on timeout.
+int accept_tcp(int listen_fd, int timeout_ms, std::string* peer_host);
+
+/// Writes exactly `len` bytes (blocking).  Throws sva::Error on failure.
+void send_all(int fd, const void* data, std::size_t len);
+
+/// Reads exactly `len` bytes, waiting at most timeout_ms for the full
+/// buffer.  Throws sva::Error on EOF, reset, or timeout.
+void recv_all(int fd, void* data, std::size_t len, int timeout_ms);
+
+/// Toggles O_NONBLOCK on a socket.
+void set_nonblocking(int fd, bool on);
+
+/// close(2) ignoring errors; tolerates fd < 0.
+void close_fd(int fd);
+
+}  // namespace sva::net

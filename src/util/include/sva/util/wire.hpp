@@ -1,0 +1,61 @@
+// Length-prefixed frame codec for the socket transport wire protocol.
+//
+// Every message on a rank-to-rank TCP connection is one frame: a fixed
+// 24-byte header followed by `len` payload bytes.  The header is encoded
+// little-endian, field by field, so the format is identical across hosts:
+//
+//   offset  size  field
+//        0     4  magic  (kFrameMagic, "SVAF")
+//        4     1  type   (opaque to this layer; the transport defines it)
+//        5     1  flags
+//        6     2  src    (sender rank)
+//        8     8  seq    (round sequence number or request id)
+//       16     8  len    (payload bytes that follow the header)
+//
+// This layer validates only what makes the *stream* trustworthy — the
+// magic and the payload length bound — and throws sva::FormatError on
+// violation so a corrupted or truncated stream surfaces as a named
+// diagnostic instead of a misparse.  Frame types and payload layouts are
+// the transport's business.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sva::wire {
+
+/// First four bytes of every frame ("SVAF" on the wire).
+inline constexpr std::uint32_t kFrameMagic = 0x46415653u;
+
+/// Fixed header size in bytes.
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+
+/// Decoded frame header.  `len` is the payload length; the payload itself
+/// follows the header on the stream.
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint8_t type = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t src = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t len = 0;
+};
+
+/// Encodes `h` into exactly kFrameHeaderBytes at `out`.
+void encode_frame_header(const FrameHeader& h, std::uint8_t* out);
+
+/// Decodes a frame header from `bytes`.  Throws sva::FormatError when the
+/// buffer is shorter than a header, the magic does not match, or the
+/// payload length exceeds `max_payload` (a corrupted length field would
+/// otherwise ask the receiver to buffer garbage without bound).
+FrameHeader decode_frame_header(std::span<const std::uint8_t> bytes,
+                                std::size_t max_payload);
+
+/// Builds a complete frame (header + payload) ready for the wire.
+std::vector<std::uint8_t> make_frame(std::uint8_t type, std::uint8_t flags,
+                                     std::uint16_t src, std::uint64_t seq,
+                                     std::span<const std::uint8_t> payload);
+
+}  // namespace sva::wire

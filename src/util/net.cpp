@@ -1,0 +1,215 @@
+#include "sva/util/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "sva/util/error.hpp"
+#include "sva/util/parse.hpp"
+
+namespace sva::net {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+sockaddr_in resolve(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "*") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    return addr;
+  }
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1) return addr;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = getaddrinfo(host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr)
+    throw Error("cannot resolve host '" + host + "': " + gai_strerror(rc));
+  addr.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  freeaddrinfo(res);
+  return addr;
+}
+
+}  // namespace
+
+HostPort parse_hostport(const std::string& text, bool allow_port_zero) {
+  const auto colon = text.rfind(':');
+  require(colon != std::string::npos && colon > 0 && colon + 1 < text.size(),
+          "expected host:port, got '" + text + "'");
+  HostPort hp;
+  hp.host = text.substr(0, colon);
+  const auto port = parse_u64(text.substr(colon + 1));
+  require(port.has_value() && *port <= 65535 &&
+              (*port > 0 || allow_port_zero),
+          "bad port in '" + text + "': expected an integer in [" +
+              (allow_port_zero ? "0" : "1") + ", 65535]");
+  hp.port = static_cast<std::uint16_t>(*port);
+  return hp;
+}
+
+int listen_tcp(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = resolve(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    fail("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, 128) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    fail("listen " + host + ":" + std::to_string(port));
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    fail("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms) {
+  const sockaddr_in addr = resolve(host, port);
+  const std::int64_t deadline = now_ms() + timeout_ms;
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket");
+    set_nonblocking(fd, true);
+    int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof addr);
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd p{fd, POLLOUT, 0};
+      const int wait = static_cast<int>(deadline - now_ms());
+      if (wait > 0 && ::poll(&p, 1, wait) == 1) {
+        int err = 0;
+        socklen_t len = sizeof err;
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        rc = err == 0 ? 0 : -1;
+        errno = err;
+      } else {
+        rc = -1;
+        errno = ETIMEDOUT;
+      }
+    }
+    if (rc == 0) {
+      set_nonblocking(fd, false);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return fd;
+    }
+    const int err = errno;
+    ::close(fd);
+    // The peer's listener may simply not be up yet during rendezvous;
+    // retry refused connections until the deadline.
+    if ((err == ECONNREFUSED || err == ETIMEDOUT) && now_ms() < deadline) {
+      ::usleep(10 * 1000);
+      continue;
+    }
+    errno = err;
+    fail("connect " + host + ":" + std::to_string(port));
+  }
+}
+
+int accept_tcp(int listen_fd, int timeout_ms, std::string* peer_host) {
+  pollfd p{listen_fd, POLLIN, 0};
+  const int rc = ::poll(&p, 1, timeout_ms);
+  if (rc == 0) {
+    errno = ETIMEDOUT;
+    fail("accept (no connection within " + std::to_string(timeout_ms) +
+         " ms)");
+  }
+  if (rc < 0) fail("poll");
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  const int fd =
+      ::accept(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (fd < 0) fail("accept");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (peer_host != nullptr) {
+    char buf[INET_ADDRSTRLEN] = {0};
+    inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof buf);
+    *peer_host = buf;
+  }
+  return fd;
+}
+
+void send_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd pw{fd, POLLOUT, 0};
+        ::poll(&pw, 1, 100);
+        continue;
+      }
+      fail("send");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void recv_all(int fd, void* data, std::size_t len, int timeout_ms) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  const std::int64_t deadline = now_ms() + timeout_ms;
+  while (len > 0) {
+    pollfd pr{fd, POLLIN, 0};
+    const int wait = static_cast<int>(deadline - now_ms());
+    if (wait <= 0 || ::poll(&pr, 1, wait) <= 0) {
+      errno = ETIMEDOUT;
+      fail("recv (no data within " + std::to_string(timeout_ms) + " ms)");
+    }
+    const ssize_t n = ::recv(fd, p, len, 0);
+    if (n == 0) throw Error("recv: connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      fail("recv");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) fail("fcntl(F_GETFL)");
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) fail("fcntl(F_SETFL)");
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace sva::net

@@ -1,0 +1,95 @@
+#include "sva/util/wire.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sva/util/error.hpp"
+
+namespace sva::wire {
+namespace {
+
+void put_u16(std::uint8_t* out, std::uint16_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t get_u16(const std::uint8_t* in) {
+  return static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void encode_frame_header(const FrameHeader& h, std::uint8_t* out) {
+  put_u32(out + 0, h.magic);
+  out[4] = h.type;
+  out[5] = h.flags;
+  put_u16(out + 6, h.src);
+  put_u64(out + 8, h.seq);
+  put_u64(out + 16, h.len);
+}
+
+FrameHeader decode_frame_header(std::span<const std::uint8_t> bytes,
+                                std::size_t max_payload) {
+  require_format(bytes.size() >= kFrameHeaderBytes,
+                 "wire frame truncated: " + std::to_string(bytes.size()) +
+                     " bytes, need " + std::to_string(kFrameHeaderBytes) +
+                     " for the header");
+  FrameHeader h;
+  h.magic = get_u32(bytes.data() + 0);
+  require_format(h.magic == kFrameMagic,
+                 "wire frame corrupted: bad magic 0x" + [&] {
+                   char buf[16];
+                   std::snprintf(buf, sizeof buf, "%08x", h.magic);
+                   return std::string(buf);
+                 }());
+  h.type = bytes[4];
+  h.flags = bytes[5];
+  h.src = get_u16(bytes.data() + 6);
+  h.seq = get_u64(bytes.data() + 8);
+  h.len = get_u64(bytes.data() + 16);
+  require_format(h.len <= max_payload,
+                 "wire frame oversized: payload of " + std::to_string(h.len) +
+                     " bytes exceeds the " + std::to_string(max_payload) +
+                     "-byte limit (socket_max_frame_bytes)");
+  return h;
+}
+
+std::vector<std::uint8_t> make_frame(std::uint8_t type, std::uint8_t flags,
+                                     std::uint16_t src, std::uint64_t seq,
+                                     std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame(kFrameHeaderBytes + payload.size());
+  FrameHeader h;
+  h.type = type;
+  h.flags = flags;
+  h.src = src;
+  h.seq = seq;
+  h.len = payload.size();
+  encode_frame_header(h, frame.data());
+  if (!payload.empty())
+    std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(),
+                payload.size());
+  return frame;
+}
+
+}  // namespace sva::wire

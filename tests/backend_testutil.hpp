@@ -31,11 +31,23 @@ inline bool process_backend_supported() {
 #endif
 }
 
+// The socket backend forks ranks exactly like the process backend (they
+// just exchange over TCP instead of shm), so it shares the same
+// platform envelope.
+inline bool socket_backend_supported() { return process_backend_supported(); }
+
 }  // namespace sva::testutil
 
 #define SVA_REQUIRE_PROCESS_BACKEND()                                       \
   do {                                                                      \
     if (!sva::testutil::process_backend_supported()) {                      \
       GTEST_SKIP() << "Backend::kProcess requires Linux without TSan";      \
+    }                                                                       \
+  } while (0)
+
+#define SVA_REQUIRE_SOCKET_BACKEND()                                        \
+  do {                                                                      \
+    if (!sva::testutil::socket_backend_supported()) {                       \
+      GTEST_SKIP() << "Backend::kSocket requires Linux without TSan";       \
     }                                                                       \
   } while (0)

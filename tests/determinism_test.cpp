@@ -128,6 +128,28 @@ TEST_P(KindTest, ProcessBackendIsByteIdenticalToThreadBackend) {
   }
 }
 
+TEST_P(KindTest, SocketBackendIsByteIdenticalToThreadBackend) {
+  // Same acceptance bar for the TCP transport: byte-identical
+  // EngineResults whether the ranks share a heap, fork over shm, or
+  // exchange frames over loopback sockets.
+  SVA_REQUIRE_SOCKET_BACKEND();
+  const auto sources = corpus::generate_corpus(small_spec(GetParam()));
+  const auto config = small_config();
+
+  ga::SpmdOptions thread_world;
+  thread_world.nprocs = 1;
+  const std::string baseline = snapshot(run_pipeline(thread_world, sources, config).result);
+  ASSERT_FALSE(baseline.empty());
+
+  for (const int nprocs : {1, 2, 4}) {
+    ga::SpmdOptions world;
+    world.nprocs = nprocs;
+    world.backend = ga::Backend::kSocket;
+    EXPECT_EQ(snapshot(run_pipeline(world, sources, config).result), baseline)
+        << "socket-backend EngineResult diverged at nprocs=" << nprocs;
+  }
+}
+
 TEST_P(KindTest, EngineResultIsByteIdenticalAcrossRepeatedRuns) {
   const auto sources = corpus::generate_corpus(small_spec(GetParam()));
   const auto config = small_config();

@@ -611,6 +611,10 @@ TEST(ServeTest, StatsResponseCarriesReloadAndGenerationCounters) {
   server.start();
 
   const auto before = format_stats(server.stats());
+  // The world identity leads the line: which transport backend is
+  // serving and at what world size.
+  EXPECT_NE(before.find(" backend=thread"), std::string::npos) << before;
+  EXPECT_NE(before.find(" world_size=2"), std::string::npos) << before;
   EXPECT_NE(before.find(" reloads=0"), std::string::npos) << before;
   EXPECT_NE(before.find(" ingests=0"), std::string::npos) << before;
   EXPECT_NE(before.find(" generation=0"), std::string::npos) << before;

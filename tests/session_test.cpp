@@ -349,6 +349,50 @@ TEST(SessionTest, ProcessBackendAnswersMatchThreadBackendBitIdentically) {
   }
 }
 
+TEST(SessionTest, SocketBackendAnswersMatchThreadBackendBitIdentically) {
+  // The same serving-plane bar for the TCP transport: answers must be
+  // bit-identical when the ranks are forked processes exchanging frames
+  // over loopback sockets, at every processor count.
+  SVA_REQUIRE_SOCKET_BACKEND();
+  const auto bundle = fresh_bundle("socket_backend_sweep");
+  ga::spmd_run(2, [&](ga::Context& ctx) {
+    const auto r = make_result(ctx, 72, 9, 3);
+    engine::export_bundle(ctx, r, engine::EngineConfig{}, bundle);
+  });
+
+  const auto answers = [&](ga::Backend backend, int nprocs) {
+    auto out = std::make_shared<std::vector<QueryResult>>();
+    ga::SpmdOptions world;
+    world.nprocs = nprocs;
+    world.backend = backend;
+    ga::spmd_run(world, [&](ga::Context& ctx) {
+      auto session = Session::open(ctx, bundle);
+      std::vector<Query> batch;
+      for (int c = 0; c < 3; ++c) batch.push_back(Query::cluster_summary(c, 4));
+      batch.push_back(Query::similar_doc(4, 6));
+      batch.push_back(Query::similar_probe(std::vector<double>(9, 0.5), 5));
+      auto results = session.run_batch(batch);
+      if (ctx.rank() == 0) *out = std::move(results);
+    });
+    return *out;
+  };
+
+  const auto baseline = answers(ga::Backend::kThread, 1);
+  ASSERT_EQ(baseline.size(), 5u);
+  for (const int nprocs : {1, 2, 4}) {
+    const auto other = answers(ga::Backend::kSocket, nprocs);
+    ASSERT_EQ(other.size(), baseline.size()) << "nprocs=" << nprocs;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      ASSERT_EQ(baseline[i].kind, other[i].kind) << "query " << i;
+      if (baseline[i].kind == Query::Kind::kClusterSummary) {
+        expect_same_summary(other[i].summary, baseline[i].summary);
+      } else {
+        expect_same_hits(other[i].hits, baseline[i].hits);
+      }
+    }
+  }
+}
+
 TEST(SessionTest, LandscapeIsReplicatedAndGlobal) {
   const auto bundle = fresh_bundle("landscape");
   ga::spmd_run(2, [&](ga::Context& ctx) {

@@ -107,12 +107,21 @@ int main(int argc, char** argv) {
         &head_docs);
   p.section("execution");
   p.bounded_int("--procs", "P", "SPMD ranks (default 4)", &world.nprocs, 1, 4096);
-  p.option("--backend", "B", "transport backend: thread|process (default thread)",
+  p.option("--backend", "B",
+           "transport backend: thread|process|socket (default thread)",
            [&](const std::string& v) {
              const auto b = ga::parse_backend(v);
-             if (!b) p.die("--backend must be thread or process");
+             if (!b) p.die("--backend must be thread, process or socket");
              world.backend = *b;
            });
+  p.option("--rendezvous", "HOST:PORT",
+           "socket backend: rendezvous address ranks meet at (default: an "
+           "ephemeral loopback listener, single-node)",
+           [&](const std::string& v) { world.socket_rendezvous = v; });
+  p.bounded_int("--node", "N", "socket backend: this launcher's node slot (default 0)",
+                &world.socket_node, 0, 4095);
+  p.bounded_int("--nodes", "N", "socket backend: total launcher count (default 1)",
+                &world.socket_nodes, 1, 4096);
   p.u64("--shards", "N", "ingestion shard count (default: from budget, else 1)", &shards);
   p.size("--mem-budget-mb", "M", "max resident raw corpus MiB per shard",
          &mem_budget_bytes, 20);

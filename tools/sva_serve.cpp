@@ -62,12 +62,21 @@ int main(int argc, char** argv) {
            [&](const std::string& v) { bundle_path = v; });
   p.bounded_int("--procs", "P", "SPMD ranks to serve with (default 2)", &options.procs,
                 1, 1024);
-  p.option("--backend", "B", "transport backend: thread|process (default thread)",
+  p.option("--backend", "B",
+           "transport backend: thread|process|socket (default thread)",
            [&](const std::string& v) {
              const auto b = ga::parse_backend(v);
-             if (!b) p.die("--backend must be thread or process");
+             if (!b) p.die("--backend must be thread, process or socket");
              options.backend = *b;
            });
+  p.option("--rendezvous", "HOST:PORT",
+           "socket backend: rendezvous address ranks meet at (default: an "
+           "ephemeral loopback listener, single-node)",
+           [&](const std::string& v) { options.socket_rendezvous = v; });
+  p.bounded_int("--node", "N", "socket backend: this daemon's node slot (default 0)",
+                &options.socket_node, 0, 4095);
+  p.bounded_int("--nodes", "N", "socket backend: total launcher count (default 1)",
+                &options.socket_nodes, 1, 4096);
   p.option("--socket", "PATH",
            "Unix domain socket to listen on (default <bundle>.sock)",
            [&](const std::string& v) { socket_path = v; });
